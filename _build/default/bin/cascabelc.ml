@@ -1,0 +1,262 @@
+(* cascabelc — the Cascabel source-to-source compiler CLI.
+
+     cascabelc translate input.c --pdl machine.pdl     # emit output source
+     cascabelc translate input.c --zoo xeon-2gpu --makefile
+     cascabelc run input.c --zoo xeon-2gpu --policy heft
+     cascabelc run input.c --serial                    # the untranslated baseline
+     cascabelc report input.c --zoo xeon-2gpu          # pre-selection report *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_platform path zoo =
+  match (path, zoo) with
+  | Some path, None -> (
+      match Pdl.Codec.load_file path with
+      | Ok pf -> Ok pf
+      | Error msgs -> Error (String.concat "\n" msgs))
+  | None, Some name -> (
+      match Pdl_hwprobe.Zoo.find name with
+      | Some pf -> Ok pf
+      | None ->
+          Error
+            (Printf.sprintf "unknown zoo platform %S (available: %s)" name
+               (String.concat ", " (List.map fst Pdl_hwprobe.Zoo.all))))
+  | _ -> Error "provide --pdl FILE or --zoo NAME"
+
+let parse_source path =
+  match Minic.Parser.parse (read_file path) with
+  | Ok u -> Ok u
+  | Error e -> Error (path ^ ": " ^ Minic.Parser.error_to_string e)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+
+let input_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"INPUT.c" ~doc:"Annotated serial input program.")
+
+let pdl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pdl" ] ~docv:"FILE" ~doc:"Target PDL descriptor file.")
+
+let zoo_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "zoo" ] ~docv:"NAME" ~doc:"Predefined target platform.")
+
+let repo_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "repo" ] ~docv:"FILE.c"
+        ~doc:
+          "Additional source files whose task variants populate the \
+           repository (may repeat).")
+
+let build_repo repo_files =
+  let repo = Cascabel.Repository.create () in
+  List.iter
+    (fun path ->
+      let u = or_die (parse_source path) in
+      match Cascabel.Repository.register_unit repo u with
+      | Ok _ -> ()
+      | Error e ->
+          prerr_endline (path ^ ": " ^ e);
+          exit 1)
+    repo_files;
+  repo
+
+let translate_cmd =
+  let makefile =
+    Arg.(value & flag & info [ "makefile" ] ~doc:"Print the compilation plan.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o" ] ~docv:"FILE" ~doc:"Write generated source to FILE.")
+  in
+  let run input pdl zoo repo_files makefile output =
+    let platform = or_die (load_platform pdl zoo) in
+    let unit_ = or_die (parse_source input) in
+    let repo = build_repo repo_files in
+    match Cascabel.Codegen.translate ~repo ~platform unit_ with
+    | Error msgs ->
+        List.iter prerr_endline msgs;
+        1
+    | Ok out ->
+        (match output with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc out.gen_source;
+            close_out oc
+        | None -> print_string out.gen_source);
+        if makefile then begin
+          print_newline ();
+          print_string out.makefile
+        end;
+        0
+  in
+  Cmd.v
+    (Cmd.info "translate"
+       ~doc:
+         "Translate an annotated serial program for a target platform \
+          (paper Figure 4 flow).")
+    Term.(
+      const run $ input_arg $ pdl_arg $ zoo_arg $ repo_arg $ makefile $ output)
+
+let report_cmd =
+  let run input pdl zoo repo_files =
+    let platform = or_die (load_platform pdl zoo) in
+    let unit_ = or_die (parse_source input) in
+    let repo = build_repo repo_files in
+    (match Cascabel.Repository.register_unit repo unit_ with
+    | Ok _ -> ()
+    | Error e ->
+        prerr_endline e;
+        exit 1);
+    (match Cascabel.Preselect.select repo platform with
+    | Ok selections ->
+        print_string (Cascabel.Preselect.report selections);
+        let s = Cascabel.Preselect.stats selections in
+        Printf.printf "%d variants: %d kept, %d pruned\n" s.total s.kept_count
+          s.pruned_count;
+        (* Static mapping for every execute site of the input. *)
+        let mappings =
+          List.filter_map
+            (fun ((annot : Minic.Ast.exec_annot), _) ->
+              match
+                List.find_opt
+                  (fun (sel : Cascabel.Preselect.selection) ->
+                    sel.sel_interface = annot.ea_interface)
+                  selections
+              with
+              | None -> None
+              | Some sel -> (
+                  match
+                    Cascabel.Mapping.map_site sel platform
+                      ~group:annot.ea_group
+                  with
+                  | Ok m -> Some m
+                  | Error e ->
+                      prerr_endline e;
+                      None))
+            (Minic.Parser.executes unit_)
+        in
+        if mappings <> [] then begin
+          print_newline ();
+          print_string (Cascabel.Mapping.report mappings)
+        end
+    | Error e -> prerr_endline e);
+    0
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Show the static pre-selection verdicts.")
+    Term.(const run $ input_arg $ pdl_arg $ zoo_arg $ repo_arg)
+
+let run_cmd =
+  let serial =
+    Arg.(
+      value & flag
+      & info [ "serial" ]
+          ~doc:"Interpret the untranslated program (the 'single' baseline).")
+  in
+  let policy =
+    Arg.(
+      value & opt string "heft"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Scheduling policy: eager | heft | ws | random.")
+  in
+  let blocks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "blocks" ] ~docv:"N" ~doc:"Decomposition width per execute.")
+  in
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print runtime statistics.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace (chrome://tracing) of the run.")
+  in
+  let run input pdl zoo repo_files serial policy blocks stats_flag trace_out =
+    let unit_ = or_die (parse_source input) in
+    if serial then begin
+      match Cascabel.Runnable.run_serial unit_ with
+      | Ok (code, out) ->
+          print_string out;
+          code
+      | Error e ->
+          prerr_endline e;
+          1
+    end
+    else begin
+      let platform = or_die (load_platform pdl zoo) in
+      let policy =
+        match Taskrt.Engine.policy_of_string policy with
+        | Some p -> p
+        | None ->
+            prerr_endline "unknown policy (eager | heft | ws | random)";
+            exit 1
+      in
+      let repo = build_repo repo_files in
+      match
+        Cascabel.Runnable.run ~policy ?blocks ?trace:trace_out ~repo ~platform
+          unit_
+      with
+      | Ok r ->
+          print_string r.stdout;
+          if stats_flag then begin
+            Printf.eprintf
+              "# %d tasks on %S in %.6f virtual seconds (%.1f%% utilization)\n"
+              r.stats.tasks platform.Pdl_model.Machine.pf_name
+              r.stats.makespan
+              (100.0 *. Taskrt.Engine.utilization r.stats);
+            Array.iter
+              (fun ws ->
+                Printf.eprintf "#   %-12s %3d tasks, busy %.6fs\n"
+                  ws.Taskrt.Engine.ws_worker.Taskrt.Machine_config.w_name
+                  ws.Taskrt.Engine.tasks_run ws.Taskrt.Engine.busy_s)
+              r.stats.worker_stats
+          end;
+          r.exit_code
+      | Error e ->
+          prerr_endline e;
+          1
+    end
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute an annotated program on the simulated machine of a PDL \
+          descriptor.")
+    Term.(
+      const run $ input_arg $ pdl_arg $ zoo_arg $ repo_arg $ serial $ policy
+      $ blocks $ stats_flag $ trace_arg)
+
+let () =
+  let info =
+    Cmd.info "cascabelc" ~version:"1.0"
+      ~doc:
+        "Cascabel: source-to-source compilation of task-annotated C for \
+         heterogeneous many-core platforms, parameterized by PDL \
+         descriptors."
+  in
+  exit (Cmd.eval' (Cmd.group info [ translate_cmd; report_cmd; run_cmd ]))

@@ -1,0 +1,290 @@
+(* pdl_tool — command-line front end for the Platform Description
+   Language: validate, query, render, diff, probe and transform PDL
+   documents.
+
+     pdl_tool validate machine.pdl
+     pdl_tool query machine.pdl "//Worker[@id='gpu0']"
+     pdl_tool groups machine.pdl
+     pdl_tool render --zoo xeon-2gpu
+     pdl_tool probe --gpus 2
+     pdl_tool match machine.pdl "Master[Worker{ARCHITECTURE=gpu}]"
+     pdl_tool diff old.pdl new.pdl
+     pdl_tool view machine.pdl flatten *)
+
+open Cmdliner
+
+let load_platform path =
+  match Pdl.Codec.load_file path with
+  | Ok pf -> Ok pf
+  | Error msgs -> Error (String.concat "\n" msgs)
+
+let load_or_zoo path zoo =
+  match (path, zoo) with
+  | Some path, None -> load_platform path
+  | _, Some name -> (
+      match Pdl_hwprobe.Zoo.find name with
+      | Some pf -> Ok pf
+      | None ->
+          Error
+            (Printf.sprintf "unknown zoo platform %S (available: %s)" name
+               (String.concat ", " (List.map fst Pdl_hwprobe.Zoo.all))))
+  | _ -> Error "provide either a PDL file or --zoo NAME"
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+
+(* --- arguments ------------------------------------------------------- *)
+
+let file_pos n doc = Arg.(value & pos n (some string) None & info [] ~doc)
+
+let zoo_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "zoo" ] ~docv:"NAME" ~doc:"Use a predefined zoo platform.")
+
+(* --- commands -------------------------------------------------------- *)
+
+let validate_cmd =
+  let run file zoo =
+    let pf = or_die (load_or_zoo file zoo) in
+    let violations = Pdl_model.Validate.check pf in
+    if violations = [] then begin
+      Printf.printf "valid: %d PUs (%d physical units), depth %d\n"
+        (Pdl_model.Machine.pu_count pf)
+        (Pdl_model.Machine.unit_count pf)
+        (Pdl_model.Machine.depth pf);
+      0
+    end
+    else begin
+      List.iter
+        (fun v ->
+          Printf.eprintf "violation: %s\n"
+            (Pdl_model.Validate.violation_to_string v))
+        violations;
+      1
+    end
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Schema- and model-check a PDL document.")
+    Term.(const run $ file_pos 0 "PDL file" $ zoo_arg)
+
+let render_cmd =
+  let run file zoo =
+    let pf = or_die (load_or_zoo file zoo) in
+    print_string (Pdl.Codec.to_string pf);
+    0
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"Pretty-print a platform as canonical PDL XML.")
+    Term.(const run $ file_pos 0 "PDL file" $ zoo_arg)
+
+let query_cmd =
+  let run file zoo path =
+    let file, path = if zoo <> None then (None, file) else (file, path) in
+    let pf = or_die (load_or_zoo file zoo) in
+    match path with
+    | None ->
+        prerr_endline "missing path expression";
+        1
+    | Some path -> (
+        match Pdl.Query.select pf path with
+        | Ok pus ->
+            List.iter
+              (fun pu ->
+                Printf.printf "%s %s%s\n"
+                  (Pdl_model.Machine.pu_class_to_string
+                     pu.Pdl_model.Machine.pu_class)
+                  pu.Pdl_model.Machine.pu_id
+                  (match Pdl_model.Machine.pu_property pu "ARCHITECTURE" with
+                  | Some a -> " (" ^ a ^ ")"
+                  | None -> ""))
+              pus;
+            0
+        | Error e ->
+            prerr_endline e;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Select processing units with a path expression.")
+    Term.(const run $ file_pos 0 "PDL file" $ zoo_arg $ file_pos 1 "path")
+
+let groups_cmd =
+  let run file zoo =
+    let pf = or_die (load_or_zoo file zoo) in
+    List.iter
+      (fun g ->
+        let members = Pdl_model.Machine.group_members pf g in
+        Printf.printf "%s: %s\n" g
+          (String.concat ", "
+             (List.map (fun pu -> pu.Pdl_model.Machine.pu_id) members)))
+      (Pdl_model.Machine.groups pf);
+    0
+  in
+  Cmd.v
+    (Cmd.info "groups" ~doc:"List logic groups and their members.")
+    Term.(const run $ file_pos 0 "PDL file" $ zoo_arg)
+
+let match_cmd =
+  let run file zoo pattern =
+    let file, pattern = if zoo <> None then (None, file) else (file, pattern) in
+    let pf = or_die (load_or_zoo file zoo) in
+    match pattern with
+    | None ->
+        prerr_endline "missing pattern";
+        1
+    | Some pattern -> (
+        match Pdl.Pattern.parse_result pattern with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok pat ->
+            let hits = Pdl.Pattern.find_matches pat pf in
+            if hits = [] then begin
+              print_endline "no match";
+              1
+            end
+            else begin
+              List.iter
+                (fun (pu, binding) ->
+                  Printf.printf "match at %s%s\n" pu.Pdl_model.Machine.pu_id
+                    (if binding = [] then ""
+                     else
+                       " ("
+                       ^ String.concat ", "
+                           (List.map
+                              (fun (l, p) ->
+                                l ^ "=" ^ p.Pdl_model.Machine.pu_id)
+                              binding)
+                       ^ ")"))
+                hits;
+              0
+            end)
+  in
+  Cmd.v
+    (Cmd.info "match"
+       ~doc:"Match a platform pattern against a PDL document.")
+    Term.(const run $ file_pos 0 "PDL file" $ zoo_arg $ file_pos 1 "pattern")
+
+let diff_cmd =
+  let run old_file new_file =
+    match (old_file, new_file) with
+    | Some old_file, Some new_file ->
+        let old_pf = or_die (load_platform old_file) in
+        let new_pf = or_die (load_platform new_file) in
+        let changes = Pdl.Diff.diff old_pf new_pf in
+        if changes = [] then begin
+          print_endline "platforms are equivalent";
+          0
+        end
+        else begin
+          List.iter
+            (fun c -> print_endline (Pdl.Diff.change_to_string c))
+            changes;
+          1
+        end
+    | _ ->
+        prerr_endline "diff needs two PDL files";
+        1
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Structurally compare two PDL documents.")
+    Term.(const run $ file_pos 0 "old PDL file" $ file_pos 1 "new PDL file")
+
+let probe_cmd =
+  let gpus =
+    Arg.(
+      value & opt int 0
+      & info [ "gpus" ] ~docv:"N" ~doc:"Number of simulated GTX-class GPUs.")
+  in
+  let hwloc =
+    Arg.(
+      value & flag
+      & info [ "hwloc" ] ~doc:"Print the hwloc-style topology instead of PDL.")
+  in
+  let run ngpus hwloc =
+    let machine =
+      Pdl_hwprobe.Probe.machine ~hostname:"probed-host"
+        Pdl_hwprobe.Device_db.xeon_x5550
+        ~gpus:
+          (List.init ngpus (fun i ->
+               ( (if i mod 2 = 0 then Pdl_hwprobe.Device_db.gtx480
+                  else Pdl_hwprobe.Device_db.gtx285),
+                 Pdl_hwprobe.Device_db.pcie2_x16 )))
+    in
+    if hwloc then print_string (Pdl_hwprobe.Probe.hwloc_render machine)
+    else print_string (Pdl_hwprobe.Probe.to_pdl machine);
+    0
+  in
+  Cmd.v
+    (Cmd.info "probe"
+       ~doc:
+         "Probe the (simulated) local hardware and emit a generated PDL \
+          descriptor.")
+    Term.(const run $ gpus $ hwloc)
+
+let view_cmd =
+  let run file zoo view_name =
+    let file, view_name =
+      if zoo <> None then (None, file) else (file, view_name)
+    in
+    let pf = or_die (load_or_zoo file zoo) in
+    let view =
+      match view_name with
+      | Some "flatten" -> Ok Pdl.View.flatten
+      | Some "promote-hybrids" -> Ok Pdl.View.promote_hybrids
+      | Some other when String.length other > 6 && String.sub other 0 6 = "group:"
+        ->
+          Ok
+            (Pdl.View.restrict_to_group
+               (String.sub other 6 (String.length other - 6)))
+      | _ -> Error "views: flatten | promote-hybrids | group:NAME"
+    in
+    match view with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok view -> (
+        match Pdl.View.apply view pf with
+        | Ok pf' ->
+            print_string (Pdl.Codec.to_string pf');
+            0
+        | Error msgs ->
+            List.iter prerr_endline msgs;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "view"
+       ~doc:"Apply a logical view and print the resulting PDL.")
+    Term.(const run $ file_pos 0 "PDL file" $ zoo_arg $ file_pos 1 "view")
+
+let zoo_cmd =
+  let run () =
+    List.iter
+      (fun (name, pf) ->
+        Printf.printf "%-18s %d PUs, %d units, groups: %s\n" name
+          (Pdl_model.Machine.pu_count pf)
+          (Pdl_model.Machine.unit_count pf)
+          (String.concat ", " (Pdl_model.Machine.groups pf)))
+      Pdl_hwprobe.Zoo.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "zoo" ~doc:"List the predefined platform descriptions.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "pdl_tool" ~version:"1.0"
+      ~doc:"Work with Platform Description Language documents."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            validate_cmd; render_cmd; query_cmd; groups_cmd; match_cmd;
+            diff_cmd; probe_cmd; view_cmd; zoo_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/autogen_pdl.ml: List Pdl Pdl_hwprobe Printf String Taskrt

@@ -1,0 +1,1 @@
+examples/autogen_pdl.mli:

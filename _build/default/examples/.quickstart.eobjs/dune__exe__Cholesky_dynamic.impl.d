@@ -1,0 +1,1 @@
+examples/cholesky_dynamic.ml: Array Filename Kernels List Option Pdl_hwprobe Printf Taskrt

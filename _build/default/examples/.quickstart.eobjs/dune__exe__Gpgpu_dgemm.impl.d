@@ -1,0 +1,1 @@
+examples/gpgpu_dgemm.ml: Cascabel List Minic Pdl_hwprobe Printf String Taskrt

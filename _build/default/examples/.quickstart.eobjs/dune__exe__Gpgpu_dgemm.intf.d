@@ -1,0 +1,1 @@
+examples/gpgpu_dgemm.mli:

@@ -1,0 +1,1 @@
+examples/platform_zoo.ml: List Option Pdl Pdl_hwprobe Pdl_model Printf String

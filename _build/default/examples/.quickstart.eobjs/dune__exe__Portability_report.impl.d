@@ -1,0 +1,1 @@
+examples/portability_report.ml: Array Cascabel List Minic Pdl Pdl_hwprobe Printf String Taskrt

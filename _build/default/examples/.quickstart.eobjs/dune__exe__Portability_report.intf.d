@@ -1,0 +1,1 @@
+examples/portability_report.mli:

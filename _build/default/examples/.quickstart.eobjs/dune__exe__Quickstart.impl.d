@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Option Pdl Pdl_model Printf String Taskrt

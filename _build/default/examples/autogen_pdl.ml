@@ -1,0 +1,78 @@
+(* Automatic PDL generation and the unfixed-property workflow
+   (paper Figure 1 "possible automatic generation of PDL descriptors"
+   and §III-B's fixed/unfixed properties).
+
+   A hand-written descriptor declares requirements with unfixed
+   (placeholder) properties; a probe of the machine generates a
+   concrete descriptor; overlaying instantiates the placeholders —
+   the paper's "definition of required descriptors at program
+   composition time with later instantiation by a runtime".
+
+     dune exec examples/autogen_pdl.exe *)
+
+(* A descriptor written at program-composition time: the author
+   promises a GPU worker but leaves the measured properties open. *)
+let composed =
+  {|<Master id="host">
+  <PUDescriptor>
+    <Property fixed="true"><name>ARCHITECTURE</name><value>x86_64</value></Property>
+  </PUDescriptor>
+  <Worker id="gpu0">
+    <PUDescriptor>
+      <Property fixed="true"><name>ARCHITECTURE</name><value>gpu</value></Property>
+      <Property fixed="false"><name>DEVICE_NAME</name><value></value></Property>
+      <Property fixed="false"><name>MAX_COMPUTE_UNITS</name><value></value></Property>
+      <Property fixed="false"><name>GLOBAL_MEM_SIZE</name><value></value></Property>
+    </PUDescriptor>
+    <LogicGroupAttribute>gpus</LogicGroupAttribute>
+  </Worker>
+  <Interconnect type="PCIe" from="host" to="gpu0"/>
+</Master>|}
+
+let () =
+  let base =
+    match Pdl.Codec.load_string composed with
+    | Ok pf -> pf
+    | Error msgs ->
+        prerr_endline (String.concat "\n" msgs);
+        exit 1
+  in
+  Printf.printf "composed descriptor has %d unfilled properties: %s\n"
+    (List.length (Pdl.Diff.missing_values base))
+    (String.concat ", "
+       (List.map (fun (id, p) -> id ^ "." ^ p) (Pdl.Diff.missing_values base)));
+
+  (* Probe the machine (simulated GTX 480 behind PCIe). *)
+  let probed =
+    Pdl_hwprobe.Probe.to_platform
+      (Pdl_hwprobe.Probe.machine ~hostname:"local"
+         Pdl_hwprobe.Device_db.xeon_x5550
+         ~gpus:[ (Pdl_hwprobe.Device_db.gtx480, Pdl_hwprobe.Device_db.pcie2_x16) ])
+  in
+  print_endline "\n--- hwloc-style view of the probed machine ---";
+  print_string
+    (Pdl_hwprobe.Probe.hwloc_render
+       (Pdl_hwprobe.Probe.machine ~hostname:"local"
+          Pdl_hwprobe.Device_db.xeon_x5550
+          ~gpus:[ (Pdl_hwprobe.Device_db.gtx480, Pdl_hwprobe.Device_db.pcie2_x16) ]));
+
+  (* Instantiate the composed descriptor from the probe (matching PU
+     ids: the probe names its first GPU "gpu0" too). *)
+  let instantiated = Pdl.Diff.overlay ~base ~probe:probed in
+  print_endline "\n--- instantiated descriptor ---";
+  print_string (Pdl.Codec.to_string instantiated);
+  Printf.printf "\nremaining unfilled: %d\n"
+    (List.length (Pdl.Diff.missing_values instantiated));
+
+  (* What changed? *)
+  print_endline "\n--- diff composed -> instantiated ---";
+  List.iter
+    (fun c -> print_endline ("  " ^ Pdl.Diff.change_to_string c))
+    (Pdl.Diff.diff base instantiated);
+
+  (* The instantiated descriptor immediately parameterizes a runtime
+     machine. *)
+  print_endline "\n--- runtime machine from the instantiated PDL ---";
+  match Taskrt.Machine_config.of_platform instantiated with
+  | Ok cfg -> print_string (Taskrt.Machine_config.describe cfg)
+  | Error e -> prerr_endline e

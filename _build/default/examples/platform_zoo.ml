@@ -1,0 +1,86 @@
+(* Platform zoo tour: the PDL expressing different classes of
+   heterogeneous systems, multiple logical views of one physical
+   machine, and pattern-based capability discovery.
+
+     dune exec examples/platform_zoo.exe *)
+
+open Pdl_model.Machine
+
+let () =
+  (* --- 1. the zoo ------------------------------------------------- *)
+  print_endline "=== predefined platforms ===";
+  List.iter
+    (fun (name, pf) ->
+      Printf.printf "%-18s masters=%d hybrids=%d workers=%d units=%d depth=%d\n"
+        name
+        (List.length (masters pf))
+        (List.length (hybrids pf))
+        (List.length (workers pf))
+        (unit_count pf) (depth pf))
+    Pdl_hwprobe.Zoo.all;
+
+  (* --- 2. capability discovery with patterns ---------------------- *)
+  print_endline "\n=== which platforms can run which code? ===";
+  let probes =
+    [
+      ("gpu offload", "Master[Worker{ARCHITECTURE=gpu}]");
+      ("8-way cpu pool", "Master[Worker{ROLE=cpu-core,quantity>=8}]");
+      ("cell-style hierarchy", "Hybrid[Worker{ARCHITECTURE=spe}]");
+      ("dual gpu", "Master[Worker{ARCHITECTURE=gpu},Worker{ARCHITECTURE=gpu}]");
+    ]
+  in
+  List.iter
+    (fun (label, pattern_src) ->
+      let pattern = Pdl.Pattern.parse pattern_src in
+      let hits =
+        List.filter (fun (_, pf) -> Pdl.Pattern.matches pattern pf)
+          Pdl_hwprobe.Zoo.all
+      in
+      Printf.printf "%-22s %s\n" label
+        (if hits = [] then "(none)" else String.concat ", " (List.map fst hits)))
+    probes;
+
+  (* --- 3. multiple logical views of one physical system ----------- *)
+  print_endline "\n=== two logical views of the Cell blade ===";
+  let cell = Pdl_hwprobe.Zoo.cell_qs20 in
+  let flat = Pdl.View.apply_exn Pdl.View.flatten cell in
+  Printf.printf "hierarchical view: depth %d, %d hybrids\n" (depth cell)
+    (List.length (hybrids cell));
+  Printf.printf "host-device view:  depth %d, %d workers under the master\n"
+    (depth flat)
+    (List.length (List.hd flat.pf_masters).pu_children);
+  Printf.printf "both views valid: %b\n"
+    (Pdl_model.Validate.is_valid cell && Pdl_model.Validate.is_valid flat);
+
+  (* The same program maps differently under each view. *)
+  let spe_pattern = Pdl.Pattern.parse "Master[Worker{ARCHITECTURE=spe}]" in
+  Printf.printf "host-device SPE offload pattern: hierarchical=%b flat=%b\n"
+    (Pdl.Pattern.matches spe_pattern cell)
+    (Pdl.Pattern.matches spe_pattern flat);
+
+  (* --- 4. grouping: defining execution sets on the fly ------------ *)
+  print_endline "\n=== regrouping the quad-gpu node ===";
+  let quad = Pdl_hwprobe.Zoo.opencl_quad_gpu in
+  let fast_gpus =
+    Pdl.View.apply_exn
+      (Pdl.View.regroup ~group:"fast"
+         ~where:Pdl.Query.(property_at_least "DGEMM_THROUGHPUT" 100))
+      quad
+  in
+  Printf.printf "PUs in group \"fast\": %s\n"
+    (String.concat ", "
+       (List.map (fun pu -> pu.pu_id) (group_members fast_gpus "fast")));
+
+  (* --- 5. interconnect reasoning ---------------------------------- *)
+  print_endline "\n=== data paths on xeon-2gpu ===";
+  let pf = Pdl_hwprobe.Zoo.xeon_2gpu in
+  List.iter
+    (fun route ->
+      Printf.printf "route gpu0 -> gpu1: %s\n" (String.concat " -> " route))
+    (routes pf "gpu0" "gpu1");
+  List.iter
+    (fun ic ->
+      Printf.printf "%s -- %s (%s, %s MB/s)\n" ic.ic_from ic.ic_to ic.ic_type
+        (Option.value ~default:"?"
+           (property_value ic.ic_descriptor "BANDWIDTH_MBPS")))
+    (all_interconnects pf)

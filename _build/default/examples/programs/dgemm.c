@@ -1,0 +1,57 @@
+/* The paper's case study input: a serial program whose DGEMM call
+   is annotated for offload. Translated output programs are built
+   for different PDL descriptors without editing this file. */
+#define N 32
+
+#pragma cascabel task : x86
+    : Idgemm
+    : dgemm_blas
+    : (A: read, B: read, C: readwrite)
+void dgemm(double *A, double *B, double *C, int m, int n)
+{
+  for (int i = 0; i < m; i++) {
+    for (int j = 0; j < n; j++) {
+      double acc = 0.0;
+      for (int k = 0; k < n; k++)
+        acc += A[i * n + k] * B[k * n + j];
+      C[i * n + j] += acc;
+    }
+  }
+}
+
+#pragma cascabel task : Cuda
+    : Idgemm
+    : dgemm_cublas
+    : (A: read, B: read, C: readwrite)
+void dgemm_cublas(double *A, double *B, double *C, int m, int n)
+{
+  for (int i = 0; i < m; i++) {
+    for (int j = 0; j < n; j++) {
+      double acc = 0.0;
+      for (int k = 0; k < n; k++)
+        acc += A[i * n + k] * B[k * n + j];
+      C[i * n + j] += acc;
+    }
+  }
+}
+
+int main(void)
+{
+  double *A = malloc(N * N * sizeof(double));
+  double *B = malloc(N * N * sizeof(double));
+  double *C = malloc(N * N * sizeof(double));
+  for (int i = 0; i < N * N; i++) {
+    A[i] = 1.0 + i % 9;
+    B[i] = 0.5 * (i % 11);
+    C[i] = 0.0;
+  }
+  #pragma cascabel execute Idgemm
+      : executionset01
+      (A:BLOCK:m, C:BLOCK:m)
+  dgemm(A, B, C, N, N);
+  double checksum = 0.0;
+  for (int i = 0; i < N * N; i++)
+    checksum += C[i];
+  printf("checksum=%.3f\n", checksum);
+  return 0;
+}

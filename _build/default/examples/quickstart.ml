@@ -1,0 +1,69 @@
+(* Quickstart: author a PDL document, validate it, query it, and
+   instantiate a runtime machine from it.
+
+     dune exec examples/quickstart.exe *)
+
+(* Listing 1 of the paper: an x86 Master controlling one GPU Worker
+   over rDMA. *)
+let listing1 =
+  {|<Master id="0" quantity="1">
+  <PUDescriptor>
+    <Property fixed="true">
+      <name>ARCHITECTURE</name>
+      <value>x86</value>
+    </Property>
+  </PUDescriptor>
+  <Worker quantity="1" id="1">
+    <PUDescriptor>
+      <Property fixed="true">
+        <name>ARCHITECTURE</name>
+        <value>gpu</value>
+      </Property>
+    </PUDescriptor>
+  </Worker>
+  <Interconnect type="rDMA" from="0" to="1" scheme=""/>
+</Master>|}
+
+let () =
+  (* 1. Parse + schema-validate + model-validate in one step. *)
+  let platform =
+    match Pdl.Codec.load_string listing1 with
+    | Ok pf -> pf
+    | Error msgs ->
+        prerr_endline (String.concat "\n" msgs);
+        exit 1
+  in
+  Printf.printf "loaded a platform with %d processing units\n"
+    (Pdl_model.Machine.pu_count platform);
+
+  (* 2. Query it: the paper's "simple query API". *)
+  let open Pdl.Query in
+  Printf.printf "gpu workers: %d\n"
+    (count ~where:(is_worker &&& architecture_is "gpu") platform);
+  (match first ~where:is_master platform with
+  | Some m -> Printf.printf "master PU id: %s\n" m.Pdl_model.Machine.pu_id
+  | None -> ());
+  (match select platform "//Worker[@id='1']" with
+  | Ok [ w ] ->
+      Printf.printf "worker 1 architecture: %s\n"
+        (Option.value ~default:"?"
+           (Pdl_model.Machine.pu_property w "ARCHITECTURE"))
+  | _ -> ());
+
+  (* 3. Match an abstract platform pattern (what Cascabel's
+     pre-selection does). *)
+  let pattern = Pdl.Pattern.parse "Master{ARCHITECTURE=x86}[Worker{ARCHITECTURE=gpu}@dev]" in
+  (match Pdl.Pattern.find_matches pattern platform with
+  | [ (_, binding) ] ->
+      Printf.printf "pattern matches; @dev bound to PU %s\n"
+        (List.assoc "dev" binding).Pdl_model.Machine.pu_id
+  | _ -> print_endline "pattern did not match");
+
+  (* 4. Instantiate the runtime machine the descriptor describes. *)
+  (match Taskrt.Machine_config.of_platform platform with
+  | Ok cfg -> print_string (Taskrt.Machine_config.describe cfg)
+  | Error e -> Printf.printf "no runtime machine: %s\n" e);
+
+  (* 5. Round trip back to XML. *)
+  print_endline "--- canonical form ---";
+  print_string (Pdl.Codec.to_string platform)

@@ -1,0 +1,1 @@
+lib/cascabel/codegen.ml: Compile_plan List Mapping Minic Option Pdl_model Preselect Printf Repository String Targets

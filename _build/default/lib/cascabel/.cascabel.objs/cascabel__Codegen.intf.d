@@ -1,0 +1,1 @@
+lib/cascabel/codegen.mli: Compile_plan Mapping Minic Pdl_model Preselect Repository

@@ -1,0 +1,1 @@
+lib/cascabel/compile_plan.ml: Buffer List Pdl_model Preselect Printf Repository String Targets Taskrt

@@ -1,0 +1,1 @@
+lib/cascabel/compile_plan.mli: Pdl_model Preselect

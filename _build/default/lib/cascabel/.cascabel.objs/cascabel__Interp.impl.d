@@ -1,0 +1,1 @@
+lib/cascabel/interp.ml: Array Buffer Char Float Hashtbl List Minic Option Printf Scanf String

@@ -1,0 +1,1 @@
+lib/cascabel/interp.mli: Minic

@@ -1,0 +1,1 @@
+lib/cascabel/mapping.ml: Buffer List Pdl_model Preselect Printf Repository String Targets Taskrt

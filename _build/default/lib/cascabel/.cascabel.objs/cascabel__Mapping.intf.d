@@ -1,0 +1,1 @@
+lib/cascabel/mapping.mli: Pdl_model Preselect Repository

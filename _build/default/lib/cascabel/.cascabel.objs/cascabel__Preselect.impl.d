@@ -1,0 +1,1 @@
+lib/cascabel/preselect.ml: Buffer List Option Pdl Pdl_model Printf Repository Result Targets

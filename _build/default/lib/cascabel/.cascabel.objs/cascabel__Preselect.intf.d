@@ -1,0 +1,1 @@
+lib/cascabel/preselect.mli: Pdl_model Repository Targets

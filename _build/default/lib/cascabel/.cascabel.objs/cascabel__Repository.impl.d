@@ -1,0 +1,1 @@
+lib/cascabel/repository.ml: List Minic Printf Result Targets

@@ -1,0 +1,1 @@
+lib/cascabel/repository.mli: Minic Targets

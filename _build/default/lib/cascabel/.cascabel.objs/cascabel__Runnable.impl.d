@@ -1,0 +1,1 @@
+lib/cascabel/runnable.ml: Array Hashtbl Interp Kernels List Minic Option Pdl_model Preselect Printf Repository Targets Taskrt

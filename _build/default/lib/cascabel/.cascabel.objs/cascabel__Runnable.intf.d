@@ -1,0 +1,1 @@
+lib/cascabel/runnable.mli: Minic Pdl_model Repository Taskrt

@@ -1,0 +1,1 @@
+lib/cascabel/targets.ml: List Option Pdl Printf String

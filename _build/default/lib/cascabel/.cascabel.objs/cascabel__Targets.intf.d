@@ -1,0 +1,1 @@
+lib/cascabel/targets.mli: Pdl

@@ -1,0 +1,307 @@
+open Minic.Ast
+
+type execute_site = {
+  x_interface : string;
+  x_group : string;
+  x_dists : Minic.Ast.dist_spec list;
+  x_function : string;
+}
+
+type output = {
+  gen_unit : Minic.Ast.unit_;
+  gen_source : string;
+  sites : execute_site list;
+  selections : Preselect.selection list;
+  mappings : Mapping.site_mapping list;
+  plan : Compile_plan.t;
+  makefile : string;
+}
+
+let handle_type = Named "cascabel_handle_t"
+
+let call name args = Expr_stmt (Some (Call (Ident name, args)))
+
+(* Rewrite one execute site into runtime calls.  The call's pointer
+   arguments are registered as handles (with their annotated
+   distribution); scalars pass through. *)
+let rewrite_site counter (site_func : func) (annot : exec_annot) args =
+  let handle_decls = ref [] in
+  let submit_args = ref [] in
+  List.iteri
+    (fun i arg ->
+      let param = List.nth_opt site_func.f_params i in
+      let is_pointer =
+        match param with
+        | Some { p_type = Pointer _ | Array _; _ } -> true
+        | _ -> false
+      in
+      if is_pointer then begin
+        let pname =
+          match param with Some p -> p.p_name | None -> assert false
+        in
+        let dist =
+          List.find_opt (fun d -> d.ds_param = pname) annot.ea_dists
+        in
+        incr counter;
+        let var = Printf.sprintf "__cascabel_h%d" !counter in
+        let register =
+          match dist with
+          | Some d ->
+              Call
+                ( Ident "cascabel_register_distributed",
+                  [
+                    arg;
+                    String_lit (Minic.Ast.dist_kind_to_string d.ds_kind);
+                  ]
+                  @
+                  match d.ds_size with
+                  | Some sz ->
+                      [
+                        (match int_of_string_opt sz with
+                        | Some _ -> Int_lit sz
+                        | None -> Ident sz);
+                      ]
+                  | None -> [] )
+          | None -> Call (Ident "cascabel_register", [ arg ])
+        in
+        handle_decls :=
+          Decl_stmt [ { d_name = var; d_type = handle_type; d_init = Some register } ]
+          :: !handle_decls;
+        submit_args := Ident var :: !submit_args
+      end
+      else submit_args := arg :: !submit_args)
+    args;
+  Block
+    (List.rev !handle_decls
+    @ [
+        call "cascabel_submit"
+          (String_lit annot.ea_interface
+           :: String_lit annot.ea_group
+           :: List.rev !submit_args);
+        call "cascabel_wait_all" [];
+      ])
+
+let find_function unit_ name =
+  List.find_map
+    (function
+      | Func f when f.f_name = name -> Some f
+      | _ -> None)
+    unit_
+
+(* Walk a statement, rewriting execute pragmas. *)
+let rec rewrite_stmt unit_ counter errors s =
+  match s with
+  | Pragma_stmt (Execute_pragma annot, inner) -> (
+      match inner with
+      | Expr_stmt (Some (Call (Ident fname, args))) -> (
+          match find_function unit_ fname with
+          | Some f -> rewrite_site counter f annot args
+          | None ->
+              errors :=
+                Printf.sprintf "execute pragma calls unknown function %S" fname
+                :: !errors;
+              inner)
+      | _ ->
+          errors :=
+            "execute pragma must precede a plain function call" :: !errors;
+          inner)
+  | Pragma_stmt (Task_pragma _, inner) -> rewrite_stmt unit_ counter errors inner
+  | Block ss -> Block (List.map (rewrite_stmt unit_ counter errors) ss)
+  | If (c, a, b) ->
+      If
+        ( c,
+          rewrite_stmt unit_ counter errors a,
+          Option.map (rewrite_stmt unit_ counter errors) b )
+  | While (c, body) -> While (c, rewrite_stmt unit_ counter errors body)
+  | Do_while (body, c) -> Do_while (rewrite_stmt unit_ counter errors body, c)
+  | For (i, c, st, body) -> For (i, c, st, rewrite_stmt unit_ counter errors body)
+  | Expr_stmt _ | Decl_stmt _ | Return _ | Break | Continue -> s
+
+let init_calls platform selections =
+  call "cascabel_init"
+    [ String_lit platform.Pdl_model.Machine.pf_name ]
+  :: List.concat_map
+       (fun (sel : Preselect.selection) ->
+         List.map
+           (fun (v : Repository.variant) ->
+             let arch =
+               match v.v_targets with
+               | t :: _ -> t.Targets.arch_class
+               | [] -> "cpu"
+             in
+             call "cascabel_register_variant"
+               [
+                 String_lit sel.Preselect.sel_interface;
+                 String_lit v.v_name;
+                 String_lit arch;
+               ])
+           sel.Preselect.kept)
+       selections
+
+(* Insert shutdown before every return of main and at the end. *)
+let rec add_shutdown stmts =
+  match stmts with
+  | [] -> [ call "cascabel_shutdown" [] ]
+  | [ Return _ as r ] -> [ call "cascabel_shutdown" []; r ]
+  | s :: rest -> shutdown_in_stmt s :: add_shutdown rest
+
+and shutdown_in_stmt = function
+  | Block ss -> Block (add_shutdown_returns ss)
+  | If (c, a, b) -> If (c, shutdown_in_stmt a, Option.map shutdown_in_stmt b)
+  | s -> s
+
+and add_shutdown_returns = function
+  | [] -> []
+  | (Return _ as r) :: rest ->
+      call "cascabel_shutdown" [] :: r :: add_shutdown_returns rest
+  | s :: rest -> shutdown_in_stmt s :: add_shutdown_returns rest
+
+let translate ~repo ~platform ?(program_name = "cascabel_out") unit_ =
+  let errors = ref [] in
+  (* Step 1: task registration. *)
+  (match Repository.register_unit repo unit_ with
+  | Ok _ -> ()
+  | Error e -> errors := e :: !errors);
+  (* Collect execute sites. *)
+  let sites =
+    List.filter_map
+      (fun ((annot : exec_annot), stmt) ->
+        match stmt with
+        | Expr_stmt (Some (Call (Ident fname, _))) ->
+            Some
+              {
+                x_interface = annot.ea_interface;
+                x_group = annot.ea_group;
+                x_dists = annot.ea_dists;
+                x_function = fname;
+              }
+        | _ ->
+            errors := "execute pragma must precede a plain call" :: !errors;
+            None)
+      (Minic.Parser.executes unit_)
+  in
+  (* Group validation against the PDL. *)
+  let platform_groups = Pdl_model.Machine.groups platform in
+  List.iter
+    (fun site ->
+      if not (List.mem site.x_group platform_groups) then
+        errors :=
+          Printf.sprintf
+            "execution group %S is not a LogicGroupAttribute of platform %S \
+             (available: %s)"
+            site.x_group platform.Pdl_model.Machine.pf_name
+            (String.concat ", " platform_groups)
+          :: !errors)
+    sites;
+  (* Step 2: static pre-selection for the used interfaces. *)
+  let used_interfaces =
+    List.sort_uniq compare (List.map (fun s -> s.x_interface) sites)
+  in
+  let selections =
+    List.filter_map
+      (fun interface ->
+        match Preselect.select_interface repo platform interface with
+        | Ok sel -> Some sel
+        | Error e ->
+            errors := e :: !errors;
+            None)
+      used_interfaces
+  in
+  (* Step 2b: static task mapping per execute site (groups already
+     reported as invalid above are skipped to avoid duplicate
+     errors). *)
+  let mappings =
+    List.filter_map
+      (fun site ->
+        if not (List.mem site.x_group platform_groups) then None
+        else
+        match
+          List.find_opt
+            (fun (s : Preselect.selection) ->
+              s.sel_interface = site.x_interface)
+            selections
+        with
+        | None -> None
+        | Some sel -> (
+            match Mapping.map_site sel platform ~group:site.x_group with
+            | Ok m -> Some m
+            | Error e ->
+                errors := e :: !errors;
+                None))
+      sites
+  in
+  if !errors <> [] then Error (List.rev !errors)
+  else begin
+    (* Step 3: output construction. *)
+    let counter = ref 0 in
+    let kept_variant_names =
+      List.concat_map
+        (fun (sel : Preselect.selection) ->
+          List.map (fun (v : Repository.variant) -> v.Repository.v_name) sel.kept)
+        selections
+    in
+    let is_kept_variant f =
+      List.exists
+        (fun (v : Repository.variant) ->
+          v.v_func.f_name = f.f_name
+          && List.mem v.v_name kept_variant_names)
+        (Repository.all_variants repo)
+    in
+    let rewritten =
+      List.filter_map
+        (fun top ->
+          match top with
+          | Func ({ f_task = Some _; _ } as f) ->
+              (* Variant definitions: keep only selected ones, pragma
+                 consumed. *)
+              if is_kept_variant f then Some (Func { f with f_task = None })
+              else None
+          | Func ({ f_body = Some body; _ } as f) ->
+              let body =
+                List.map (rewrite_stmt unit_ counter errors) body
+              in
+              let body =
+                if f.f_name = "main" then
+                  init_calls platform selections @ add_shutdown body
+                else body
+              in
+              Some (Func { f with f_body = Some body })
+          | top -> Some top)
+        unit_
+    in
+    (* Kept variants that came from the repository but not from this
+       file are appended (the paper's shared repository flow). *)
+    let in_unit name =
+      List.exists
+        (function Func f -> f.f_name = name | _ -> false)
+        unit_
+    in
+    let extra_variants =
+      List.filter_map
+        (fun (v : Repository.variant) ->
+          if
+            List.mem v.v_name kept_variant_names
+            && not (in_unit v.v_func.f_name)
+          then Some (Func { v.v_func with f_task = None })
+          else None)
+        (Repository.all_variants repo)
+    in
+    let preamble =
+      [
+        Include "#include \"cascabel_rt.h\"";
+        Typedef ("cascabel_handle_t", Long);
+      ]
+    in
+    let gen_unit = preamble @ extra_variants @ rewritten in
+    let plan = Compile_plan.derive ~program_name ~selections ~platform in
+    Ok
+      {
+        gen_unit;
+        gen_source = Minic.Printer.unit_to_string gen_unit;
+        sites;
+        selections;
+        mappings;
+        plan;
+        makefile = Compile_plan.to_makefile plan;
+      }
+  end

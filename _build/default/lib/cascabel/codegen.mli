@@ -1,0 +1,53 @@
+(** Output generation (paper §IV-C step 3).
+
+    Translates an annotated serial program, parameterized by a target
+    PDL descriptor, into an output program for that target:
+
+    - task pragmas are consumed into the repository; the {e kept}
+      implementation variants (after pre-selection against the PDL)
+      are included in the output, pruned ones dropped;
+    - every [execute] site is rewritten into Cascabel runtime calls:
+      data registration (with the annotation's distribution), task
+      submission to the annotation's execution group, and
+      synchronization;
+    - [main] gains runtime initialization (naming the PDL platform and
+      the selected variants) and shutdown;
+    - a compilation plan ({!Compile_plan}) is derived from the kept
+      variants' target architectures.
+
+    The generated source is well-formed mini-C: it re-parses with
+    {!Minic.Parser} (a property the tests enforce). Running it is the
+    job of {!Runnable}, which gives the same translation executable
+    semantics on the simulated machine. *)
+
+type execute_site = {
+  x_interface : string;
+  x_group : string;
+  x_dists : Minic.Ast.dist_spec list;
+  x_function : string;  (** the function called at the site *)
+}
+
+type output = {
+  gen_unit : Minic.Ast.unit_;  (** transformed program *)
+  gen_source : string;  (** printed form of [gen_unit] *)
+  sites : execute_site list;
+  selections : Preselect.selection list;
+      (** pre-selection results for every interface the program uses *)
+  mappings : Mapping.site_mapping list;
+      (** static task mapping (§IV-B), one per execute site *)
+  plan : Compile_plan.t;
+  makefile : string;
+}
+
+val translate :
+  repo:Repository.t ->
+  platform:Pdl_model.Machine.platform ->
+  ?program_name:string ->
+  Minic.Ast.unit_ ->
+  (output, string list) result
+(** Registers the unit's tasks into [repo] (which may already hold
+    variants from other files — the paper's shared repository), then
+    translates. All errors are collected: unresolved interfaces,
+    execution groups absent from the platform's
+    [LogicGroupAttribute]s, missing fallback variants, no variant
+    matching the platform. *)

@@ -1,0 +1,81 @@
+type step = {
+  s_arch : string;
+  s_compiler : string;
+  s_flags : string list;
+  s_inputs : string list;
+  s_output : string;
+}
+
+type t = { steps : step list; link_command : string; executable : string }
+
+let compiler_for_arch = function
+  | "cpu" -> ("gcc", [ "-O3"; "-fopenmp" ])
+  | "gpu" -> ("nvcc", [ "-O3"; "-arch=sm_20" ])
+  | "spe" -> ("spu-gcc", [ "-O3" ])
+  | _ -> ("cc", [ "-O2" ])
+
+let derive ~program_name ~selections ~platform =
+  let arches =
+    List.fold_left
+      (fun acc (sel : Preselect.selection) ->
+        List.fold_left
+          (fun acc (v : Repository.variant) ->
+            List.fold_left
+              (fun acc (t : Targets.t) ->
+                if List.mem t.arch_class acc then acc else acc @ [ t.arch_class ])
+              acc v.v_targets)
+          acc sel.kept)
+      [ "cpu" ] selections
+  in
+  (* Only keep architecture classes the platform actually provides;
+     the PDL is the source of truth for what we can link for. *)
+  let platform_arches =
+    List.map Taskrt.Machine_config.arch_class_of_pu
+      (Pdl_model.Machine.all_pus platform)
+  in
+  let arches =
+    List.filter (fun a -> a = "cpu" || List.mem a platform_arches) arches
+  in
+  let steps =
+    List.map
+      (fun arch ->
+        let compiler, flags = compiler_for_arch arch in
+        let suffix = if arch = "cpu" then "" else "_" ^ arch in
+        {
+          s_arch = arch;
+          s_compiler = compiler;
+          s_flags = flags;
+          s_inputs = [ Printf.sprintf "%s%s.c" program_name suffix ];
+          s_output = Printf.sprintf "%s%s.o" program_name suffix;
+        })
+      arches
+  in
+  let objects = String.concat " " (List.map (fun s -> s.s_output) steps) in
+  let executable = program_name ^ ".exe" in
+  {
+    steps;
+    link_command =
+      Printf.sprintf "gcc -o %s %s -lcascabel_rt -lm" executable objects;
+    executable;
+  }
+
+let to_makefile t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "# compilation plan derived from the PDL descriptor\n");
+  Buffer.add_string buf (Printf.sprintf "all: %s\n\n" t.executable);
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s: %s\n\t%s %s -c %s -o %s\n\n" s.s_output
+           (String.concat " " s.s_inputs)
+           s.s_compiler
+           (String.concat " " s.s_flags)
+           (String.concat " " s.s_inputs)
+           s.s_output))
+    t.steps;
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %s\n\t%s\n" t.executable
+       (String.concat " " (List.map (fun s -> s.s_output) t.steps))
+       t.link_command);
+  Buffer.contents buf

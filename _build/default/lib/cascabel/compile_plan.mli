@@ -1,0 +1,40 @@
+(** Compilation-plan derivation (paper §IV-C step 4).
+
+    "After all required source-files have been constructed, platform
+    specific compilers (e.g., nvcc, gcc-spu, xlc) produce one or more
+    executables. The required compilation and linking plan is derived
+    from information available in the platform description file."
+
+    This module derives which platform compilers must run from the
+    architecture classes of the selected task variants, and renders
+    the plan as a Makefile. It is a {e plan} — the sealed environment
+    has none of these compilers — but it is exactly the artifact the
+    paper's step 4 emits. *)
+
+type step = {
+  s_arch : string;  (** architecture class, e.g. ["gpu"] *)
+  s_compiler : string;  (** e.g. ["nvcc"] *)
+  s_flags : string list;
+  s_inputs : string list;  (** source files *)
+  s_output : string;  (** object file *)
+}
+
+type t = {
+  steps : step list;
+  link_command : string;
+  executable : string;
+}
+
+val compiler_for_arch : string -> string * string list
+(** ["cpu"] -> [gcc -O3 -fopenmp]; ["gpu"] -> [nvcc -O3 -arch=sm_20];
+    ["spe"] -> [spu-gcc -O3]; anything else -> [cc]. *)
+
+val derive :
+  program_name:string ->
+  selections:Preselect.selection list ->
+  platform:Pdl_model.Machine.platform ->
+  t
+(** One compile step per architecture class appearing among kept
+    variants (plus the host step), and a final link. *)
+
+val to_makefile : t -> string

@@ -1,0 +1,669 @@
+open Minic.Ast
+
+type buf = { data : float array; off : int; len : int; tag : int }
+
+type value = VInt of int | VFloat of float | VBuf of buf | VStr of string | VUnit
+
+exception Runtime_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let value_to_string = function
+  | VInt n -> string_of_int n
+  | VFloat f -> Printf.sprintf "%g" f
+  | VBuf b -> Printf.sprintf "<buffer %d: %d doubles>" b.tag b.len
+  | VStr s -> Printf.sprintf "%S" s
+  | VUnit -> "void"
+
+type hooks = {
+  on_execute : exec_annot -> func -> value list -> value option;
+  on_buffer_access : buf -> unit;
+}
+
+let no_hooks =
+  { on_execute = (fun _ _ _ -> None); on_buffer_access = (fun _ -> ()) }
+
+type frame = (string, value ref) Hashtbl.t
+
+type t = {
+  funcs : (string, func) Hashtbl.t;
+  globals : frame;
+  hooks : hooks;
+  out : Buffer.t;
+  mutable fuel : int;
+  mutable next_tag : int;
+  mutable rng : int;
+}
+
+let tick t =
+  t.fuel <- t.fuel - 1;
+  if t.fuel <= 0 then fail "interpreter fuel exhausted (runaway loop?)"
+
+let alloc t n =
+  if n < 0 then fail "negative allocation size";
+  t.next_tag <- t.next_tag + 1;
+  { data = Array.make n 0.0; off = 0; len = n; tag = t.next_tag }
+
+let buf_of_array data = { data; off = 0; len = Array.length data; tag = 0 }
+
+(* --- environments --------------------------------------------------- *)
+
+type env = frame list (* innermost first; globals last *)
+
+let rec lookup (env : env) name =
+  match env with
+  | [] -> fail "unbound variable %S" name
+  | frame :: rest -> (
+      match Hashtbl.find_opt frame name with
+      | Some r -> r
+      | None -> lookup rest name)
+
+let bind (env : env) name v =
+  match env with
+  | frame :: _ -> Hashtbl.replace frame name (ref v)
+  | [] -> assert false
+
+(* --- coercions ------------------------------------------------------- *)
+
+let as_int = function
+  | VInt n -> n
+  | VFloat f -> int_of_float f
+  | v -> fail "expected an integer, got %s" (value_to_string v)
+
+let as_float = function
+  | VInt n -> float_of_int n
+  | VFloat f -> f
+  | v -> fail "expected a number, got %s" (value_to_string v)
+
+let truthy = function
+  | VInt n -> n <> 0
+  | VFloat f -> f <> 0.0
+  | VBuf _ | VStr _ -> true
+  | VUnit -> fail "void value in condition"
+
+let default_of_type = function
+  | Void -> VUnit
+  | Float | Double -> VFloat 0.0
+  | Pointer _ | Array _ -> VUnit (* uninitialized pointer *)
+  | _ -> VInt 0
+
+(* coerce an argument/initializer to a declared type *)
+let coerce ty v =
+  match (ty, v) with
+  | (Float | Double), VInt n -> VFloat (float_of_int n)
+  | (Char | Short | Int | Long | Unsigned _), VFloat f -> VInt (int_of_float f)
+  | _ -> v
+
+let shift_buf b n =
+  let off = b.off + n in
+  { b with off; len = b.len - n }
+
+let buf_get t b i =
+  t.hooks.on_buffer_access b;
+  let idx = b.off + i in
+  if i < 0 || i >= b.len || idx >= Array.length b.data then
+    fail "buffer read out of bounds (index %d of %d)" i b.len;
+  b.data.(idx)
+
+let buf_set t b i v =
+  t.hooks.on_buffer_access b;
+  let idx = b.off + i in
+  if i < 0 || i >= b.len || idx >= Array.length b.data then
+    fail "buffer write out of bounds (index %d of %d)" i b.len;
+  b.data.(idx) <- v
+
+(* --- printf ----------------------------------------------------------- *)
+
+let run_printf t fmt args =
+  let args = ref args in
+  let next () =
+    match !args with
+    | [] -> fail "printf: not enough arguments for format %S" fmt
+    | a :: rest ->
+        args := rest;
+        a
+  in
+  let n = String.length fmt in
+  let i = ref 0 in
+  while !i < n do
+    if fmt.[!i] = '%' && !i + 1 < n then begin
+      (* scan flags/width/precision then the conversion *)
+      let j = ref (!i + 1) in
+      while
+        !j < n
+        && (match fmt.[!j] with
+           | '0' .. '9' | '.' | '-' | '+' | ' ' | '#' | 'l' -> true
+           | _ -> false)
+      do
+        incr j
+      done;
+      if !j >= n then fail "printf: dangling %% in %S" fmt;
+      let spec = String.sub fmt !i (!j - !i + 1) in
+      let conv = fmt.[!j] in
+      let cleaned =
+        (* drop 'l' length modifiers; OCaml formats don't use them *)
+        String.concat "" (String.split_on_char 'l' spec)
+      in
+      (match conv with
+      | 'd' | 'i' ->
+          let spec = String.map (fun c -> if c = 'i' then 'd' else c) cleaned in
+          Buffer.add_string t.out
+            (Printf.sprintf (Scanf.format_from_string spec "%d") (as_int (next ())))
+      | 'u' ->
+          let spec = String.map (fun c -> if c = 'u' then 'd' else c) cleaned in
+          Buffer.add_string t.out
+            (Printf.sprintf (Scanf.format_from_string spec "%d") (as_int (next ())))
+      | 'f' | 'e' | 'g' ->
+          Buffer.add_string t.out
+            (Printf.sprintf
+               (Scanf.format_from_string cleaned
+                  (match conv with
+                  | 'f' -> "%f"
+                  | 'e' -> "%e"
+                  | _ -> "%g"))
+               (as_float (next ())))
+      | 's' -> (
+          match next () with
+          | VStr s -> Buffer.add_string t.out s
+          | v -> Buffer.add_string t.out (value_to_string v))
+      | 'c' -> Buffer.add_char t.out (Char.chr (as_int (next ()) land 0xFF))
+      | '%' -> Buffer.add_char t.out '%'
+      | c -> fail "printf: unsupported conversion %%%c" c);
+      i := !j + 1
+    end
+    else begin
+      (* interpret the usual escapes that the lexer kept verbatim *)
+      if fmt.[!i] = '\\' && !i + 1 < n then begin
+        (match fmt.[!i + 1] with
+        | 'n' -> Buffer.add_char t.out '\n'
+        | 't' -> Buffer.add_char t.out '\t'
+        | 'r' -> Buffer.add_char t.out '\r'
+        | '\\' -> Buffer.add_char t.out '\\'
+        | '"' -> Buffer.add_char t.out '"'
+        | c ->
+            Buffer.add_char t.out '\\';
+            Buffer.add_char t.out c);
+        i := !i + 2
+      end
+      else begin
+        Buffer.add_char t.out fmt.[!i];
+        incr i
+      end
+    end
+  done
+
+(* --- expression evaluation --------------------------------------------- *)
+
+type control = Normal | Returned of value | Broke | Continued
+
+let rec eval t env e : value =
+  tick t;
+  match e with
+  | Int_lit s ->
+      let s =
+        (* strip suffixes *)
+        let stop = ref (String.length s) in
+        while
+          !stop > 0
+          && (match Char.lowercase_ascii s.[!stop - 1] with
+             | 'u' | 'l' -> true
+             | _ -> false)
+        do
+          decr stop
+        done;
+        String.sub s 0 !stop
+      in
+      VInt (int_of_string s)
+  | Float_lit s ->
+      let s =
+        let n = String.length s in
+        if n > 0 && (s.[n - 1] = 'f' || s.[n - 1] = 'F') then
+          String.sub s 0 (n - 1)
+        else s
+      in
+      VFloat (float_of_string s)
+  | Char_lit s ->
+      VInt
+        (match s with
+        | "\\n" -> Char.code '\n'
+        | "\\t" -> Char.code '\t'
+        | "\\0" -> 0
+        | "\\\\" -> Char.code '\\'
+        | s when String.length s = 1 -> Char.code s.[0]
+        | s -> fail "unsupported character literal '%s'" s)
+  | String_lit s -> VStr s
+  | Ident name -> !(lookup env name)
+  | Call (Ident fname, args) ->
+      let argv = List.map (eval t env) args in
+      call_by_name t fname argv
+  | Call (f, _) ->
+      fail "only direct calls are supported (found %s)"
+        (Minic.Printer.expr_to_string f)
+  | Index (b, i) -> (
+      let bv = eval t env b in
+      let iv = as_int (eval t env i) in
+      match bv with
+      | VBuf buf -> VFloat (buf_get t buf iv)
+      | v -> fail "indexing a non-pointer %s" (value_to_string v))
+  | Member _ | Arrow _ -> fail "struct access is not interpreted"
+  | Unary (Deref, e) -> (
+      match eval t env e with
+      | VBuf b -> VFloat (buf_get t b 0)
+      | v -> fail "dereferencing non-pointer %s" (value_to_string v))
+  | Unary (Addr, Index (b, i)) -> (
+      let bv = eval t env b in
+      let iv = as_int (eval t env i) in
+      match bv with
+      | VBuf buf -> VBuf (shift_buf buf iv)
+      | v -> fail "taking address into non-pointer %s" (value_to_string v))
+  | Unary (Addr, Ident name) -> (
+      match !(lookup env name) with
+      | VBuf b -> VBuf b
+      | v -> fail "cannot take the address of %s" (value_to_string v))
+  | Unary (Addr, _) -> fail "unsupported address-of expression"
+  | Unary (Neg, e) -> (
+      match eval t env e with
+      | VInt n -> VInt (-n)
+      | VFloat f -> VFloat (-.f)
+      | v -> fail "negating %s" (value_to_string v))
+  | Unary (Pos, e) -> eval t env e
+  | Unary (Not, e) -> VInt (if truthy (eval t env e) then 0 else 1)
+  | Unary (Bit_not, e) -> VInt (lnot (as_int (eval t env e)))
+  | Unary (Pre_inc, lv) -> incr_lvalue t env lv 1 ~post:false
+  | Unary (Pre_dec, lv) -> incr_lvalue t env lv (-1) ~post:false
+  | Post_inc lv -> incr_lvalue t env lv 1 ~post:true
+  | Post_dec lv -> incr_lvalue t env lv (-1) ~post:true
+  | Binary (op, a, b) -> eval_binary t env op a b
+  | Assign (op, lhs, rhs) -> eval_assign t env op lhs rhs
+  | Ternary (c, th, el) ->
+      if truthy (eval t env c) then eval t env th else eval t env el
+  | Cast (ty, e) -> (
+      let v = eval t env e in
+      match ty with
+      | Float | Double -> VFloat (as_float v)
+      | Char | Short | Int | Long | Unsigned _ -> VInt (as_int v)
+      | Pointer _ -> v
+      | _ -> v)
+  | Sizeof_type ty -> (
+      match ty with
+      | Char -> VInt 1
+      | Short -> VInt 2
+      | Int | Float | Unsigned _ -> VInt 4
+      | Long | Double | Pointer _ -> VInt 8
+      | _ -> VInt 8)
+  | Sizeof_expr _ -> VInt 8
+  | Comma (a, b) ->
+      let _ = eval t env a in
+      eval t env b
+
+and eval_binary t env op a b =
+  match op with
+  | And -> VInt (if truthy (eval t env a) && truthy (eval t env b) then 1 else 0)
+  | Or -> VInt (if truthy (eval t env a) || truthy (eval t env b) then 1 else 0)
+  | _ -> (
+      let va = eval t env a and vb = eval t env b in
+      match (op, va, vb) with
+      (* pointer arithmetic *)
+      | Add, VBuf buf, VInt n | Add, VInt n, VBuf buf -> VBuf (shift_buf buf n)
+      | Sub, VBuf buf, VInt n -> VBuf (shift_buf buf (-n))
+      | Sub, VBuf x, VBuf y when x.tag = y.tag -> VInt (x.off - y.off)
+      | (Eq | Neq | Lt | Gt | Le | Ge), VBuf x, VBuf y when x.tag = y.tag ->
+          let cmp =
+            match op with
+            | Eq -> x.off = y.off
+            | Neq -> x.off <> y.off
+            | Lt -> x.off < y.off
+            | Gt -> x.off > y.off
+            | Le -> x.off <= y.off
+            | Ge -> x.off >= y.off
+            | _ -> assert false
+          in
+          VInt (if cmp then 1 else 0)
+      | Eq, VBuf x, VBuf y -> VInt (if x.tag = y.tag then 1 else 0)
+      | Neq, VBuf x, VBuf y -> VInt (if x.tag <> y.tag then 1 else 0)
+      | _, VInt x, VInt y -> (
+          match op with
+          | Add -> VInt (x + y)
+          | Sub -> VInt (x - y)
+          | Mul -> VInt (x * y)
+          | Div -> if y = 0 then fail "integer division by zero" else VInt (x / y)
+          | Mod -> if y = 0 then fail "modulo by zero" else VInt (x mod y)
+          | Shl -> VInt (x lsl y)
+          | Shr -> VInt (x asr y)
+          | Bit_and -> VInt (x land y)
+          | Bit_or -> VInt (x lor y)
+          | Bit_xor -> VInt (x lxor y)
+          | Eq -> VInt (if x = y then 1 else 0)
+          | Neq -> VInt (if x <> y then 1 else 0)
+          | Lt -> VInt (if x < y then 1 else 0)
+          | Gt -> VInt (if x > y then 1 else 0)
+          | Le -> VInt (if x <= y then 1 else 0)
+          | Ge -> VInt (if x >= y then 1 else 0)
+          | And | Or -> assert false)
+      | _, (VInt _ | VFloat _), (VInt _ | VFloat _) -> (
+          let x = as_float va and y = as_float vb in
+          match op with
+          | Add -> VFloat (x +. y)
+          | Sub -> VFloat (x -. y)
+          | Mul -> VFloat (x *. y)
+          | Div -> VFloat (x /. y)
+          | Eq -> VInt (if x = y then 1 else 0)
+          | Neq -> VInt (if x <> y then 1 else 0)
+          | Lt -> VInt (if x < y then 1 else 0)
+          | Gt -> VInt (if x > y then 1 else 0)
+          | Le -> VInt (if x <= y then 1 else 0)
+          | Ge -> VInt (if x >= y then 1 else 0)
+          | Mod -> VFloat (Float.rem x y)
+          | _ -> fail "unsupported float operation")
+      | _ ->
+          fail "unsupported operands %s and %s" (value_to_string va)
+            (value_to_string vb))
+
+and eval_assign t env op lhs rhs =
+  let rhs_value = eval t env rhs in
+  let combined read =
+    match op with
+    | None -> rhs_value
+    | Some o ->
+        let bop =
+          match o with
+          | "+" -> Add
+          | "-" -> Sub
+          | "*" -> Mul
+          | "/" -> Div
+          | "%" -> Mod
+          | "&" -> Bit_and
+          | "|" -> Bit_or
+          | "^" -> Bit_xor
+          | "<<" -> Shl
+          | ">>" -> Shr
+          | _ -> fail "unsupported compound assignment %s=" o
+        in
+        apply_binop t bop (read ()) rhs_value
+  in
+  match lhs with
+  | Ident name ->
+      let cell = lookup env name in
+      let v = combined (fun () -> !cell) in
+      cell := v;
+      v
+  | Index (b, i) -> (
+      let bv = eval t env b in
+      let iv = as_int (eval t env i) in
+      match bv with
+      | VBuf buf ->
+          let v = combined (fun () -> VFloat (buf_get t buf iv)) in
+          buf_set t buf iv (as_float v);
+          VFloat (as_float v)
+      | v -> fail "assigning into non-pointer %s" (value_to_string v))
+  | Unary (Deref, e) -> (
+      match eval t env e with
+      | VBuf buf ->
+          let v = combined (fun () -> VFloat (buf_get t buf 0)) in
+          buf_set t buf 0 (as_float v);
+          VFloat (as_float v)
+      | v -> fail "assigning through non-pointer %s" (value_to_string v))
+  | _ -> fail "unsupported assignment target"
+
+and apply_binop _t op a b =
+  (* reuse eval_binary's arithmetic on already-evaluated values *)
+  match (op, a, b) with
+  | Add, VBuf buf, VInt n -> VBuf (shift_buf buf n)
+  | _, VInt x, VInt y -> (
+      match op with
+      | Add -> VInt (x + y)
+      | Sub -> VInt (x - y)
+      | Mul -> VInt (x * y)
+      | Div -> if y = 0 then fail "integer division by zero" else VInt (x / y)
+      | Mod -> if y = 0 then fail "modulo by zero" else VInt (x mod y)
+      | Shl -> VInt (x lsl y)
+      | Shr -> VInt (x asr y)
+      | Bit_and -> VInt (x land y)
+      | Bit_or -> VInt (x lor y)
+      | Bit_xor -> VInt (x lxor y)
+      | _ -> fail "unsupported compound operator")
+  | _, (VInt _ | VFloat _), (VInt _ | VFloat _) -> (
+      let x = as_float a and y = as_float b in
+      match op with
+      | Add -> VFloat (x +. y)
+      | Sub -> VFloat (x -. y)
+      | Mul -> VFloat (x *. y)
+      | Div -> VFloat (x /. y)
+      | _ -> fail "unsupported compound operator")
+  | _ -> fail "unsupported compound operands"
+
+and incr_lvalue t env lv delta ~post =
+  let one = VInt delta in
+  let read_write read write =
+    let old = read () in
+    let nv = apply_binop t Add old one in
+    write nv;
+    if post then old else nv
+  in
+  match lv with
+  | Ident name ->
+      let cell = lookup env name in
+      read_write (fun () -> !cell) (fun v -> cell := v)
+  | Index (b, i) -> (
+      let bv = eval t env b in
+      let iv = as_int (eval t env i) in
+      match bv with
+      | VBuf buf ->
+          read_write
+            (fun () -> VFloat (buf_get t buf iv))
+            (fun v -> buf_set t buf iv (as_float v))
+      | v -> fail "incrementing into non-pointer %s" (value_to_string v))
+  | _ -> fail "unsupported increment target"
+
+(* --- builtins ----------------------------------------------------------- *)
+
+and call_builtin t name argv =
+  match (name, argv) with
+  | "malloc", [ v ] -> Some (VBuf (alloc t (as_int v / 8)))
+  | "calloc", [ n; sz ] -> Some (VBuf (alloc t (as_int n * as_int sz / 8)))
+  | "free", [ _ ] -> Some VUnit
+  | "printf", VStr fmt :: rest ->
+      run_printf t fmt rest;
+      Some (VInt 0)
+  | "sqrt", [ v ] -> Some (VFloat (sqrt (as_float v)))
+  | "fabs", [ v ] -> Some (VFloat (Float.abs (as_float v)))
+  | "fmax", [ a; b ] -> Some (VFloat (Float.max (as_float a) (as_float b)))
+  | "fmin", [ a; b ] -> Some (VFloat (Float.min (as_float a) (as_float b)))
+  | "pow", [ a; b ] -> Some (VFloat (Float.pow (as_float a) (as_float b)))
+  | "exp", [ v ] -> Some (VFloat (exp (as_float v)))
+  | "log", [ v ] -> Some (VFloat (log (as_float v)))
+  | "abs", [ v ] -> Some (VInt (abs (as_int v)))
+  | "rand_double", [] ->
+      t.rng <- ((t.rng * 1103515245) + 12345) land 0x3FFFFFFF;
+      Some (VFloat (float_of_int t.rng /. 1073741824.0))
+  | "assert_true", [ v ] ->
+      if truthy v then Some (VInt 0) else fail "assert_true failed"
+  | _ -> None
+
+and call_by_name t fname argv =
+  match call_builtin t fname argv with
+  | Some v -> v
+  | None -> (
+      match Hashtbl.find_opt t.funcs fname with
+      | Some f -> call_function t f argv
+      | None -> fail "call to unknown function %S" fname)
+
+and call_function t (f : func) argv =
+  tick t;
+  (match f.f_body with
+  | None -> fail "call to prototype %S (no body)" f.f_name
+  | Some _ -> ());
+  if List.length argv <> List.length f.f_params then
+    fail "%s expects %d arguments, got %d" f.f_name
+      (List.length f.f_params) (List.length argv);
+  let frame : frame = Hashtbl.create 8 in
+  List.iter2
+    (fun p v -> Hashtbl.replace frame p.p_name (ref (coerce p.p_type v)))
+    f.f_params argv;
+  let env = [ frame; t.globals ] in
+  match exec_block t env (Option.get f.f_body) with
+  | Returned v -> coerce f.f_return v
+  | Normal -> VUnit
+  | Broke | Continued -> fail "break/continue outside a loop in %s" f.f_name
+
+(* --- statements ---------------------------------------------------------- *)
+
+and exec_block t env stmts =
+  let frame : frame = Hashtbl.create 8 in
+  let env = frame :: env in
+  let rec go = function
+    | [] -> Normal
+    | s :: rest -> (
+        match exec_stmt t env s with
+        | Normal -> go rest
+        | ctrl -> ctrl)
+  in
+  go stmts
+
+and declare t env d =
+  let v =
+    match d.d_init with
+    | Some e -> coerce d.d_type (eval t env e)
+    | None -> (
+        (* Local fixed-size double arrays allocate a buffer. *)
+        match d.d_type with
+        | Array (Double, Some size) | Array (Float, Some size) ->
+            VBuf (alloc t (as_int (eval t env size)))
+        | Array (Array ((Double | Float), Some inner), Some outer) ->
+            VBuf
+              (alloc t (as_int (eval t env outer) * as_int (eval t env inner)))
+        | ty -> default_of_type ty)
+  in
+  bind env d.d_name v
+
+and exec_stmt t env s : control =
+  tick t;
+  match s with
+  | Expr_stmt None -> Normal
+  | Expr_stmt (Some e) ->
+      let _ = eval t env e in
+      Normal
+  | Decl_stmt decls ->
+      List.iter (declare t env) decls;
+      Normal
+  | Block stmts -> exec_block t env stmts
+  | If (c, th, el) ->
+      if truthy (eval t env c) then exec_stmt t env th
+      else Option.fold ~none:Normal ~some:(exec_stmt t env) el
+  | While (c, body) ->
+      let rec loop () =
+        if truthy (eval t env c) then
+          match exec_stmt t env body with
+          | Normal | Continued -> loop ()
+          | Broke -> Normal
+          | Returned _ as r -> r
+        else Normal
+      in
+      loop ()
+  | Do_while (body, c) ->
+      let rec loop () =
+        match exec_stmt t env body with
+        | Normal | Continued ->
+            if truthy (eval t env c) then loop () else Normal
+        | Broke -> Normal
+        | Returned _ as r -> r
+      in
+      loop ()
+  | For (init, cond, step, body) ->
+      let frame : frame = Hashtbl.create 4 in
+      let env = frame :: env in
+      (match init with
+      | Some (For_decl decls) -> List.iter (declare t env) decls
+      | Some (For_expr e) -> ignore (eval t env e)
+      | None -> ());
+      let rec loop () =
+        let go = match cond with None -> true | Some c -> truthy (eval t env c) in
+        if not go then Normal
+        else
+          match exec_stmt t env body with
+          | Normal | Continued ->
+              (match step with Some e -> ignore (eval t env e) | None -> ());
+              loop ()
+          | Broke -> Normal
+          | Returned _ as r -> r
+      in
+      loop ()
+  | Return None -> Returned VUnit
+  | Return (Some e) -> Returned (eval t env e)
+  | Break -> Broke
+  | Continue -> Continued
+  | Pragma_stmt (Execute_pragma annot, stmt) -> exec_execute t env annot stmt
+  | Pragma_stmt (Task_pragma _, stmt) -> exec_stmt t env stmt
+
+and exec_execute t env annot stmt =
+  match stmt with
+  | Expr_stmt (Some (Call (Ident fname, args))) -> (
+      let argv = List.map (eval t env) args in
+      match Hashtbl.find_opt t.funcs fname with
+      | None -> fail "execute pragma on unknown function %S" fname
+      | Some f -> (
+          match t.hooks.on_execute annot f argv with
+          | Some _ -> Normal
+          | None ->
+              let _ = call_function t f argv in
+              Normal))
+  | _ -> fail "execute pragma must precede a plain function call"
+
+(* --- construction ---------------------------------------------------------- *)
+
+let create ?(hooks = no_hooks) ?(fuel = 200_000_000) unit_ =
+  let funcs = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Func f when f.f_body <> None -> Hashtbl.replace funcs f.f_name f
+      | _ -> ())
+    unit_;
+  let t =
+    {
+      funcs;
+      globals = Hashtbl.create 16;
+      hooks;
+      out = Buffer.create 256;
+      fuel;
+      next_tag = 0;
+      rng = 20110516;
+    }
+  in
+  (* #define NAME value becomes a global constant when value is a
+     literal — enough for the paper's "#define N 8192" style. *)
+  List.iter
+    (function
+      | Define line -> (
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | [ "#define"; name; value ] -> (
+              match int_of_string_opt value with
+              | Some n -> Hashtbl.replace t.globals name (ref (VInt n))
+              | None -> (
+                  match float_of_string_opt value with
+                  | Some f -> Hashtbl.replace t.globals name (ref (VFloat f))
+                  | None -> ()))
+          | _ -> ())
+      | Global decls ->
+          List.iter (fun d -> declare t [ t.globals ] d) decls
+      | _ -> ())
+    unit_;
+  t
+
+let call t fname argv = call_by_name t fname argv
+
+let run_main t =
+  match Hashtbl.find_opt t.funcs "main" with
+  | None -> Error "program has no main function"
+  | Some f -> (
+      match call_function t f [] with
+      | VInt n -> Ok n
+      | VUnit -> Ok 0
+      | v -> Error ("main returned " ^ value_to_string v)
+      | exception Runtime_error msg -> Error msg)
+
+let output t = Buffer.contents t.out
+
+let global_int t name =
+  match Hashtbl.find_opt t.globals name with
+  | Some { contents = VInt n } -> Some n
+  | _ -> None

@@ -1,0 +1,76 @@
+(** Mini-C interpreter.
+
+    Gives Cascabel executable semantics for the C subset: the serial
+    input program can be {e run} (the "single" baseline of Figure 5),
+    and task implementation variants can be executed as codelet
+    bodies on the runtime's data buffers, whatever C the programmer
+    wrote — no lookup table of known kernels.
+
+    Value model: [int]/[long] are OCaml ints, [float]/[double] are
+    OCaml floats, and all pointers are {e views into double buffers}
+    (offset + length). [malloc]/[calloc] allocate double buffers;
+    pointer arithmetic shifts views; out-of-bounds access raises.
+    Strings exist for [printf]. Structs are not interpreted.
+
+    Builtins: [malloc], [calloc], [free], [printf], [sqrt], [fabs],
+    [fmax], [fmin], [pow], [exp], [log], [abs], [rand_double]
+    (deterministic LCG), [assert_true].
+
+    Hooks let an embedder intercept execute-annotated call sites
+    (to submit runtime tasks instead of calling directly) and observe
+    buffer accesses from serial code (to flush pending tasks). *)
+
+type buf = {
+  data : float array;
+  off : int;
+  len : int;  (** visible elements from [off] *)
+  tag : int;  (** allocation identity, stable across pointer shifts *)
+}
+
+type value = VInt of int | VFloat of float | VBuf of buf | VStr of string | VUnit
+
+val value_to_string : value -> string
+
+exception Runtime_error of string
+
+type hooks = {
+  on_execute :
+    Minic.Ast.exec_annot -> Minic.Ast.func -> value list -> value option;
+      (** Intercept an execute-annotated call; [None] falls through
+          to a direct (serial) call. *)
+  on_buffer_access : buf -> unit;
+      (** Called before serial code reads or writes a buffer
+          element. *)
+}
+
+val no_hooks : hooks
+
+type t
+
+val create : ?hooks:hooks -> ?fuel:int -> Minic.Ast.unit_ -> t
+(** Prepares globals. [fuel] bounds interpreted statements+calls
+    (default 200 million) so runaway loops fail fast.
+    @raise Runtime_error on bad globals. *)
+
+val call : t -> string -> value list -> value
+(** Call a function by name.
+    @raise Runtime_error on any dynamic error. *)
+
+val call_function : t -> Minic.Ast.func -> value list -> value
+(** Call a function value directly (used for task variants). *)
+
+val run_main : t -> (int, string) result
+(** Run [main(void)]; the [int] is its return value (0 when main
+    returns void or nothing). Errors are returned, not raised. *)
+
+val output : t -> string
+(** Everything [printf]ed so far. *)
+
+val global_int : t -> string -> int option
+(** Value of a global integer variable or [#define] constant. *)
+
+val alloc : t -> int -> buf
+(** Allocate a fresh zeroed buffer of [n] doubles (embedder use). *)
+
+val buf_of_array : float array -> buf
+(** Wrap an existing array (shared, not copied). *)

@@ -1,0 +1,100 @@
+open Pdl_model.Machine
+
+type assignment = {
+  a_pu : pu;
+  a_variant : Repository.variant;
+  a_path : string list;
+}
+
+type site_mapping = {
+  m_interface : string;
+  m_group : string;
+  m_assignments : assignment list;
+  m_unmapped : pu list;
+}
+
+(* The kept variant a PU would execute: the latest kept variant (the
+   most specific by pre-selection order) with a target whose
+   architecture class matches the PU's. *)
+let variant_for (sel : Preselect.selection) pu =
+  let arch = Taskrt.Machine_config.arch_class_of_pu pu in
+  List.fold_left
+    (fun acc (v : Repository.variant) ->
+      if List.exists (fun (t : Targets.t) -> t.arch_class = arch) v.v_targets
+      then Some v
+      else acc)
+    None sel.Preselect.kept
+
+let shortest_route pf ~from ~to_ =
+  match routes pf from to_ with
+  | [] -> []
+  | rs ->
+      List.fold_left
+        (fun best r -> if List.length r < List.length best then r else best)
+        (List.hd rs) rs
+
+let map_site (sel : Preselect.selection) pf ~group =
+  if not (List.mem group (groups pf)) then
+    Error
+      (Printf.sprintf
+         "execution group %S is not a LogicGroupAttribute of platform %S"
+         group pf.pf_name)
+  else begin
+    let members = group_members pf group in
+    let master_of pu =
+      match path_to pf pu.pu_id with m :: _ -> Some m | [] -> None
+    in
+    let assignments, unmapped =
+      List.fold_left
+        (fun (assigned, unmapped) pu ->
+          match variant_for sel pu with
+          | Some v ->
+              let path =
+                match master_of pu with
+                | Some m when m.pu_id <> pu.pu_id ->
+                    shortest_route pf ~from:m.pu_id ~to_:pu.pu_id
+                | _ -> []
+              in
+              (assigned @ [ { a_pu = pu; a_variant = v; a_path = path } ], unmapped)
+          | None -> (assigned, unmapped @ [ pu ]))
+        ([], []) members
+    in
+    if assignments = [] then
+      Error
+        (Printf.sprintf
+           "no kept variant of %S can run on any PU of group %S"
+           sel.Preselect.sel_interface group)
+    else
+      Ok
+        {
+          m_interface = sel.Preselect.sel_interface;
+          m_group = group;
+          m_assignments = assignments;
+          m_unmapped = unmapped;
+        }
+  end
+
+let report mappings =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun m ->
+      Buffer.add_string buf
+        (Printf.sprintf "task %s -> group %s:\n" m.m_interface m.m_group);
+      List.iter
+        (fun a ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-12s x%-3d runs %-16s%s\n" a.a_pu.pu_id
+               a.a_pu.pu_quantity a.a_variant.Repository.v_name
+               (match a.a_path with
+               | [] | [ _ ] -> ""
+               | path ->
+                   "  (data path " ^ String.concat " -> " path ^ ")")))
+        m.m_assignments;
+      List.iter
+        (fun pu ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-12s      unmapped (no suitable variant)\n"
+               pu.pu_id))
+        m.m_unmapped)
+    mappings;
+  Buffer.contents buf

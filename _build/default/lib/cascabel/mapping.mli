@@ -1,0 +1,41 @@
+(** Task mapping (paper §IV-B).
+
+    "The execute annotation enables via the LogicGroupAttribute the
+    specification of execution groups ... From that generic model a
+    compiler or run-time can further automatically derive optimized
+    mapping decisions to physical hardware elements."
+
+    This module performs the static half: for an execute site it
+    resolves the execution group to concrete PUs, pairs every PU with
+    the kept variant that can run there (by architecture class), and
+    derives the data-transfer path from the controlling Master to each
+    PU over the explicitly specified Interconnect entities — "the PDL
+    allows us to derive data-transfer paths between memory-regions and
+    communication between processing-units" (§IV-C). *)
+
+type assignment = {
+  a_pu : Pdl_model.Machine.pu;
+  a_variant : Repository.variant;  (** the variant this PU would run *)
+  a_path : string list;
+      (** PU ids from the controlling Master to the PU, interconnect
+          hops; [[]] when no route is declared *)
+}
+
+type site_mapping = {
+  m_interface : string;
+  m_group : string;
+  m_assignments : assignment list;
+  m_unmapped : Pdl_model.Machine.pu list;
+      (** group members no kept variant can serve *)
+}
+
+val map_site :
+  Preselect.selection ->
+  Pdl_model.Machine.platform ->
+  group:string ->
+  (site_mapping, string) result
+(** Fails when the group is unknown or no member can run any kept
+    variant. *)
+
+val report : site_mapping list -> string
+(** Human-readable mapping table, one line per PU. *)

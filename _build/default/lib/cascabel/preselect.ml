@@ -1,0 +1,122 @@
+type verdict = {
+  variant : Repository.variant;
+  matched : Targets.t option;
+  specificity : int;
+}
+
+type selection = {
+  sel_interface : string;
+  verdicts : verdict list;
+  kept : Repository.variant list;
+  chosen : Repository.variant option;
+}
+
+let judge platform (variant : Repository.variant) =
+  (* A variant may list several targets; the most specific satisfied
+     one counts. *)
+  let satisfied =
+    List.filter
+      (fun (t : Targets.t) -> Pdl.Pattern.matches t.pattern platform)
+      variant.v_targets
+  in
+  match
+    List.sort
+      (fun (a : Targets.t) b ->
+        compare
+          (Pdl.Pattern.specificity b.pattern)
+          (Pdl.Pattern.specificity a.pattern))
+      satisfied
+  with
+  | [] -> { variant; matched = None; specificity = -1 }
+  | best :: _ ->
+      { variant; matched = Some best;
+        specificity = Pdl.Pattern.specificity best.Targets.pattern }
+
+let select_interface repo platform interface =
+  match Repository.variants repo interface with
+  | [] -> Error (Printf.sprintf "unknown task interface %S" interface)
+  | variants ->
+      if not (Repository.has_fallback repo interface) then
+        Error
+          (Printf.sprintf
+             "task interface %S has no sequential fallback variant; one \
+              Master-executable implementation is required"
+             interface)
+      else
+        let verdicts = List.map (judge platform) variants in
+        let kept =
+          List.filter_map
+            (fun v -> if v.matched <> None then Some v.variant else None)
+            verdicts
+        in
+        if kept = [] then
+          Error
+            (Printf.sprintf
+               "no variant of task %S matches platform %S" interface
+               platform.Pdl_model.Machine.pf_name)
+        else
+          let chosen =
+            (* Highest specificity; later registration wins ties. *)
+            List.fold_left
+              (fun best v ->
+                match (best, v.matched) with
+                | None, Some _ -> Some v
+                | Some b, Some _ when v.specificity >= b.specificity -> Some v
+                | _ -> best)
+              None verdicts
+          in
+          Ok
+            {
+              sel_interface = interface;
+              verdicts;
+              kept;
+              chosen = Option.map (fun v -> v.variant) chosen;
+            }
+
+let select repo platform =
+  let ( let* ) = Result.bind in
+  List.fold_left
+    (fun acc interface ->
+      let* sels = acc in
+      let* sel = select_interface repo platform interface in
+      Ok (sels @ [ sel ]))
+    (Ok [])
+    (Repository.interfaces repo)
+
+type stats = { total : int; kept_count : int; pruned_count : int }
+
+let stats selections =
+  let total, kept_count =
+    List.fold_left
+      (fun (t, k) sel ->
+        (t + List.length sel.verdicts, k + List.length sel.kept))
+      (0, 0) selections
+  in
+  { total; kept_count; pruned_count = total - kept_count }
+
+let report selections =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun sel ->
+      Buffer.add_string buf (Printf.sprintf "interface %s:\n" sel.sel_interface);
+      List.iter
+        (fun v ->
+          let status =
+            match v.matched with
+            | Some t ->
+                let chosen =
+                  match sel.chosen with
+                  | Some c when c.Repository.v_name = v.variant.Repository.v_name
+                    ->
+                      " [chosen]"
+                  | _ -> ""
+                in
+                Printf.sprintf "kept (target %s, specificity %d)%s"
+                  t.Targets.target_name v.specificity chosen
+            | None -> "pruned (no target pattern matches)"
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-20s %s\n" v.variant.Repository.v_name status))
+        sel.verdicts)
+    selections;
+  Buffer.contents buf

@@ -1,0 +1,44 @@
+(** Static task pre-selection (paper §IV-C step 2).
+
+    "The platform patterns specified for available task implementation
+    variants are compared to the platform description of the target
+    environment. This serves pre-pruning of task variants not
+    suitable for the target as well as static mapping of tasks to
+    potentially available hardware resources."
+
+    A variant is {e kept} when at least one of its target patterns
+    embeds into the target platform; among kept variants the one with
+    the most specific matching pattern is {e chosen} (ties: later
+    registration wins, so specialized variants registered after the
+    fallback take precedence). *)
+
+type verdict = {
+  variant : Repository.variant;
+  matched : Targets.t option;  (** the satisfied target, if any *)
+  specificity : int;  (** of the matched pattern; -1 when pruned *)
+}
+
+type selection = {
+  sel_interface : string;
+  verdicts : verdict list;  (** registration order *)
+  kept : Repository.variant list;
+  chosen : Repository.variant option;
+}
+
+val select :
+  Repository.t -> Pdl_model.Machine.platform -> (selection list, string) result
+(** One selection per interface. Fails when an interface has no
+    sequential fallback variant (the paper's rule: the application
+    must always compile for a Master PU), or when nothing matches. *)
+
+val select_interface :
+  Repository.t ->
+  Pdl_model.Machine.platform ->
+  string ->
+  (selection, string) result
+
+type stats = { total : int; kept_count : int; pruned_count : int }
+
+val stats : selection list -> stats
+val report : selection list -> string
+(** Human-readable pre-selection report (one line per variant). *)

@@ -1,0 +1,109 @@
+open Minic.Ast
+
+type variant = {
+  v_interface : string;
+  v_name : string;
+  v_targets : Targets.t list;
+  v_func : Minic.Ast.func;
+  v_params : Minic.Ast.param_spec list;
+}
+
+type t = { mutable items : variant list (* reverse registration order *) }
+
+let create () = { items = [] }
+
+let interfaces t =
+  List.fold_left
+    (fun acc v ->
+      if List.mem v.v_interface acc then acc else v.v_interface :: acc)
+    [] t.items
+  |> List.rev
+
+let variants t interface =
+  List.rev (List.filter (fun v -> v.v_interface = interface) t.items)
+
+let find_variant t name = List.find_opt (fun v -> v.v_name = name) t.items
+let all_variants t = List.rev t.items
+let size t = List.length t.items
+
+let signature f = (f.f_return, List.map (fun p -> p.p_type) f.f_params)
+
+let register_variant t (f : func) (annot : task_annot) =
+  let ( let* ) = Result.bind in
+  let* () =
+    if find_variant t annot.ta_name <> None then
+      Error (Printf.sprintf "duplicate task variant name %S" annot.ta_name)
+    else Ok ()
+  in
+  let* targets =
+    List.fold_left
+      (fun acc name ->
+        let* ts = acc in
+        let* target = Targets.resolve name in
+        Ok (ts @ [ target ]))
+      (Ok []) annot.ta_targets
+  in
+  let param_names = List.map (fun p -> p.p_name) f.f_params in
+  let* () =
+    match
+      List.find_opt
+        (fun ps -> not (List.mem ps.ps_param param_names))
+        annot.ta_params
+    with
+    | Some ps ->
+        Error
+          (Printf.sprintf
+             "task %S: parameter spec %S does not name a parameter of %s"
+             annot.ta_name ps.ps_param f.f_name)
+    | None -> Ok ()
+  in
+  let* () =
+    match variants t annot.ta_interface with
+    | [] -> Ok ()
+    | peer :: _ ->
+        if signature peer.v_func = signature f then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "task %S: signature differs from variant %S of interface %S \
+                (all implementations must share the function signature)"
+               annot.ta_name peer.v_name annot.ta_interface)
+  in
+  let v =
+    {
+      v_interface = annot.ta_interface;
+      v_name = annot.ta_name;
+      v_targets = targets;
+      v_func = f;
+      v_params = annot.ta_params;
+    }
+  in
+  t.items <- v :: t.items;
+  Ok v
+
+let register_unit t unit_ =
+  let ( let* ) = Result.bind in
+  List.fold_left
+    (fun acc top ->
+      let* vs = acc in
+      match top with
+      | Func ({ f_task = Some annot; _ } as f) ->
+          let* v = register_variant t f annot in
+          Ok (vs @ [ v ])
+      | _ -> Ok vs)
+    (Ok []) unit_
+
+let has_fallback t interface =
+  List.exists
+    (fun v -> List.exists Targets.is_fallback v.v_targets)
+    (variants t interface)
+
+let access_of v name =
+  match List.find_opt (fun ps -> ps.ps_param = name) v.v_params with
+  | Some ps -> Some ps.ps_mode
+  | None -> (
+      match
+        List.find_opt (fun p -> p.p_name = name) v.v_func.f_params
+      with
+      | Some { p_type = Pointer _ | Array _; _ } -> Some Read
+      | _ -> None)

@@ -1,0 +1,46 @@
+(** The task implementation repository (paper §IV-C step 1).
+
+    Code regions outlined by [task] annotations are registered here.
+    A {e task interface} (the [taskidentifier]) groups implementation
+    {e variants} ([taskname]s) that share functionality and function
+    signature; each variant declares the target platforms it is
+    written for. *)
+
+type variant = {
+  v_interface : string;
+  v_name : string;  (** unique across the repository *)
+  v_targets : Targets.t list;
+  v_func : Minic.Ast.func;
+  v_params : Minic.Ast.param_spec list;  (** access modes, in
+      annotation order *)
+}
+
+type t
+
+val create : unit -> t
+
+val register_unit : t -> Minic.Ast.unit_ -> (variant list, string) result
+(** Register every task-annotated function of a translation unit.
+    Fails on: duplicate variant names, unresolvable targets,
+    parameter specs naming unknown function parameters, or variants
+    of one interface disagreeing on the signature (same arity and
+    parameter types required). *)
+
+val interfaces : t -> string list
+val variants : t -> string -> variant list
+(** All variants of an interface, registration order. *)
+
+val find_variant : t -> string -> variant option
+(** Lookup by variant name. *)
+
+val all_variants : t -> variant list
+val size : t -> int
+
+val has_fallback : t -> string -> bool
+(** Does the interface have a sequential CPU fallback variant? The
+    paper requires one per task. *)
+
+val access_of : variant -> string -> Minic.Ast.access_mode option
+(** Access mode of a function parameter (from the annotation);
+    unannotated parameters default to [Read] for pointers and are
+    [None] for scalars. *)

@@ -1,0 +1,395 @@
+module Engine = Taskrt.Engine
+module Data = Taskrt.Data
+module Codelet = Taskrt.Codelet
+module Machine_config = Taskrt.Machine_config
+module Matrix = Kernels.Matrix
+open Minic.Ast
+
+type report = {
+  exit_code : int;
+  stdout : string;
+  stats : Engine.stats;
+  tasks_submitted : int;
+  per_site_blocks : (string * int) list;
+}
+
+exception Abort of string
+
+let abort fmt = Printf.ksprintf (fun s -> raise (Abort s)) fmt
+
+(* Per-allocation runtime state: the registered handle for an
+   interpreter buffer, and whether it is currently partitioned for
+   in-flight tasks. *)
+type tracked = {
+  tr_handle : Data.handle;
+  tr_rows : int;
+  tr_cols : int;
+}
+
+type ctx = {
+  engine : Engine.t;
+  interp : Interp.t;
+  repo : Repository.t;
+  platform : Pdl_model.Machine.platform;
+  cfg : Machine_config.t;
+  blocks_override : int option;
+  handles : (int, tracked) Hashtbl.t;  (** interp buffer tag -> state *)
+  mutable dirty : bool;  (** tasks submitted since the last drain *)
+  mutable submitted : int;
+  mutable site_blocks : (string * int) list;
+  selections : (string, Preselect.selection) Hashtbl.t;
+}
+
+let drain ctx =
+  if ctx.dirty then begin
+    ignore (Engine.wait_all ctx.engine);
+    Hashtbl.iter
+      (fun _ tr ->
+        if Data.is_partitioned tr.tr_handle then Data.unpartition tr.tr_handle)
+      ctx.handles;
+    ctx.dirty <- false
+  end
+
+(* Register (or re-shape) the handle for an interpreter buffer. A
+   whole allocation is required: Cascabel registers what the program
+   malloc'ed, not interior pointers. *)
+let tracked_for ctx (b : Interp.buf) ~rows =
+  if b.off <> 0 || b.len <> Array.length b.data then
+    abort
+      "execute arguments must be whole allocations (got an interior pointer)";
+  (match Hashtbl.find_opt ctx.handles b.tag with
+  | Some tr when tr.tr_rows <> rows ->
+      (* Re-registration with a different shape: drain and drop. *)
+      drain ctx;
+      Hashtbl.remove ctx.handles b.tag
+  | Some tr when Data.is_partitioned tr.tr_handle ->
+      (* Shape agrees but a previous execute still holds partitions:
+         drain so the new partition sees settled data. *)
+      drain ctx
+  | _ -> ());
+  match Hashtbl.find_opt ctx.handles b.tag with
+  | Some tr -> tr
+  | None ->
+      if rows < 1 || b.len mod rows <> 0 then
+        abort "distribution rows %d do not divide buffer length %d" rows b.len;
+      let cols = b.len / rows in
+      let handle =
+        Data.register_matrix
+          ~name:(Printf.sprintf "buf%d" b.tag)
+          { Matrix.rows; cols; data = b.data }
+      in
+      let tr = { tr_handle = handle; tr_rows = rows; tr_cols = cols } in
+      Hashtbl.replace ctx.handles b.tag tr;
+      tr
+
+(* The codelet implementation: read the task's buffers, interpret the
+   variant's body, write back what the annotation says is written. *)
+let run_variant ctx (v : Repository.variant) handles_spec handles =
+  let param_values =
+    List.map2
+      (fun (pname, kind) handle_opt ->
+        match (kind, handle_opt) with
+        | `Pointer, Some h ->
+            let m = Data.read_matrix h in
+            (pname, Interp.VBuf (Interp.buf_of_array m.Matrix.data), Some (h, m))
+        | `Scalar v, None -> (pname, v, None)
+        | _ -> assert false)
+      handles_spec
+      (let hs = ref handles in
+       List.map
+         (fun (_, kind) ->
+           match kind with
+           | `Pointer ->
+               let h = List.hd !hs in
+               hs := List.tl !hs;
+               Some h
+           | `Scalar _ -> None)
+         handles_spec)
+  in
+  let argv = List.map (fun (_, v, _) -> v) param_values in
+  let _ = Interp.call_function ctx.interp v.v_func argv in
+  (* write back written buffers *)
+  List.iter
+    (fun (pname, value, hm) ->
+      match (hm, value) with
+      | Some (h, m), Interp.VBuf _ -> (
+          match Repository.access_of v pname with
+          | Some (Write | Readwrite) -> Data.write_matrix h m
+          | _ -> ())
+      | _ -> ())
+    param_values
+
+let codelet_for ctx (sel : Preselect.selection) ~interface ~handles_spec
+    ~work_elements =
+  (* arch class -> variant; later kept variants override (they are
+     the more specific ones per pre-selection tie-breaking). *)
+  let by_arch = Hashtbl.create 4 in
+  List.iter
+    (fun (v : Repository.variant) ->
+      List.iter
+        (fun (t : Targets.t) -> Hashtbl.replace by_arch t.arch_class v)
+        v.v_targets)
+    sel.Preselect.kept;
+  let impls =
+    Hashtbl.fold
+      (fun arch v acc ->
+        {
+          Codelet.impl_arch = arch;
+          run = (fun handles -> run_variant ctx v handles_spec handles);
+        }
+        :: acc)
+      by_arch []
+  in
+  Codelet.create ~name:interface ~flops:(fun _ -> work_elements) impls
+
+(* Handle one execute-annotated call. *)
+let on_execute ctx (annot : exec_annot) (f : func) argv =
+  let interface = annot.ea_interface in
+  let sel =
+    match Hashtbl.find_opt ctx.selections interface with
+    | Some sel -> sel
+    | None -> (
+        match Preselect.select_interface ctx.repo ctx.platform interface with
+        | Ok sel ->
+            Hashtbl.replace ctx.selections interface sel;
+            sel
+        | Error e -> abort "%s" e)
+  in
+  let group = annot.ea_group in
+  if not (List.mem group (Pdl_model.Machine.groups ctx.platform)) then
+    abort
+      "execution group %S is not a LogicGroupAttribute of platform %S"
+      group ctx.platform.Pdl_model.Machine.pf_name;
+  let group_workers = Machine_config.workers_in_group ctx.cfg group in
+  if group_workers = [] then
+    abort "execution group %S maps to no runtime worker" group;
+  if List.length argv <> List.length f.f_params then
+    abort "%s expects %d arguments" f.f_name (List.length f.f_params);
+  (* Scalar environment for dist-size lookups. *)
+  let scalar_env =
+    List.filter_map
+      (fun (p, v) ->
+        match v with
+        | Interp.VInt n -> Some (p.p_name, n)
+        | _ -> None)
+      (List.combine f.f_params argv)
+  in
+  (* A distribution size resolves to: an integer literal, a callee
+     scalar parameter, or a global constant (#define N). *)
+  let dist_rows (d : dist_spec) =
+    match d.ds_size with
+    | None -> abort "distribution on %S needs a size argument" d.ds_param
+    | Some sz -> (
+        match int_of_string_opt sz with
+        | Some n -> n
+        | None -> (
+            match List.assoc_opt sz scalar_env with
+            | Some n -> n
+            | None -> (
+                match Interp.global_int ctx.interp sz with
+                | Some n -> n
+                | None ->
+                    abort "distribution size %S is not an integer parameter"
+                      sz)))
+  in
+  (* Partition each distributed pointer argument. *)
+  let distributed =
+    List.filter_map
+      (fun (d : dist_spec) ->
+        match
+          List.find_opt (fun (p, _) -> p.p_name = d.ds_param)
+            (List.combine f.f_params argv)
+        with
+        | Some (p, Interp.VBuf b) -> Some (p.p_name, d, b)
+        | Some _ -> abort "distributed parameter %S is not a pointer" d.ds_param
+        | None -> abort "distribution names unknown parameter %S" d.ds_param)
+      annot.ea_dists
+  in
+  let rows_of_dists =
+    List.map (fun (_, d, _) -> dist_rows d) distributed
+  in
+  let common_rows =
+    match rows_of_dists with
+    | [] -> 1
+    | r :: rest ->
+        if List.for_all (( = ) r) rest then r
+        else abort "distributed parameters disagree on row counts"
+  in
+  (* Decomposing a call is only sound when every distribution size
+     names a callee parameter: then each sub-call can be told its
+     block's row count. Otherwise the call runs as one whole task. *)
+  let can_decompose =
+    distributed <> []
+    && List.for_all
+         (fun (_, (d : dist_spec), _) ->
+           match d.ds_size with
+           | Some sz -> List.mem_assoc sz scalar_env
+           | None -> false)
+         distributed
+  in
+  let blocks =
+    if not can_decompose then 1
+    else
+      let requested =
+        Option.value ~default:(List.length group_workers) ctx.blocks_override
+      in
+      max 1 (min requested common_rows)
+  in
+  (* Track + partition. *)
+  let tracked =
+    List.map
+      (fun (pname, d, b) -> (pname, d, tracked_for ctx b ~rows:(dist_rows d)))
+      distributed
+  in
+  let partitions =
+    List.map
+      (fun (pname, _, tr) ->
+        let parts =
+          if blocks = 1 then [| tr.tr_handle |]
+          else Data.partition_rows tr.tr_handle blocks
+        in
+        (pname, parts))
+      tracked
+  in
+  (* Whole handles for undistributed pointers. *)
+  let whole_handle pname b =
+    ignore pname;
+    (tracked_for ctx b ~rows:1).tr_handle
+  in
+  let chosen_variant =
+    match sel.Preselect.chosen with
+    | Some v -> v
+    | None -> abort "no variant chosen for %S" interface
+  in
+  (* Submit one task per block. *)
+  let dist_size_params =
+    List.filter_map
+      (fun (_, d, _) ->
+        match d.ds_size with
+        | Some sz when int_of_string_opt sz = None -> Some sz
+        | _ -> None)
+      distributed
+  in
+  for block = 0 to blocks - 1 do
+    (* Parameter spec for this block: pointers map to handles,
+       scalars carry their values (dist sizes rewritten to the
+       block's rows). *)
+    let handles = ref [] in
+    let handles_spec =
+      List.map2
+        (fun p v ->
+          match v with
+          | Interp.VBuf b -> (
+              match List.assoc_opt p.p_name partitions with
+              | Some parts ->
+                  let h = parts.(block) in
+                  handles := (h, p.p_name) :: !handles;
+                  (p.p_name, `Pointer)
+              | None ->
+                  let h = whole_handle p.p_name b in
+                  handles := (h, p.p_name) :: !handles;
+                  (p.p_name, `Pointer))
+          | Interp.VInt n when List.mem p.p_name dist_size_params ->
+              (* The size parameter is rewritten to this block's row
+                 count, taken from the common partition. *)
+              let block_rows =
+                match partitions with
+                | (_, parts) :: _ -> fst (Data.dims parts.(block))
+                | [] -> n
+              in
+              (p.p_name, `Scalar (Interp.VInt block_rows))
+          | v -> (p.p_name, `Scalar v))
+        f.f_params argv
+    in
+    let buffers =
+      List.map
+        (fun (h, pname) ->
+          let access =
+            match Repository.access_of chosen_variant pname with
+            | Some Read | None -> Codelet.R
+            | Some Write -> Codelet.W
+            | Some Readwrite -> Codelet.RW
+          in
+          (h, access))
+        (List.rev !handles)
+    in
+    let work_elements =
+      List.fold_left (fun acc (h, _) -> acc +. Data.bytes h /. 8.0) 0.0 buffers
+    in
+    let codelet =
+      codelet_for ctx sel ~interface ~handles_spec ~work_elements
+    in
+    (try Engine.submit ~group ctx.engine codelet buffers
+     with Invalid_argument msg -> abort "%s" msg);
+    ctx.submitted <- ctx.submitted + 1
+  done;
+  ctx.dirty <- true;
+  ctx.site_blocks <- ctx.site_blocks @ [ (interface, blocks) ];
+  Some Interp.VUnit
+
+let run ?policy ?blocks ?fuel ?trace ~repo ~platform unit_ =
+  match Machine_config.of_platform platform with
+  | Error e -> Error e
+  | Ok cfg -> (
+      (match Repository.register_unit repo unit_ with
+      | Ok _ -> ()
+      | Error _ -> ());
+      let engine = Engine.create ?policy cfg in
+      let ctx_ref = ref None in
+      let hooks =
+        {
+          Interp.on_execute =
+            (fun annot f argv ->
+              match !ctx_ref with
+              | Some ctx -> on_execute ctx annot f argv
+              | None -> None);
+          on_buffer_access =
+            (fun b ->
+              match !ctx_ref with
+              | Some ctx ->
+                  if ctx.dirty && Hashtbl.mem ctx.handles b.tag then drain ctx
+              | None -> ());
+        }
+      in
+      let interp = Interp.create ~hooks ?fuel unit_ in
+      let ctx =
+        {
+          engine;
+          interp;
+          repo;
+          platform;
+          cfg;
+          blocks_override = blocks;
+          handles = Hashtbl.create 8;
+          dirty = false;
+          submitted = 0;
+          site_blocks = [];
+          selections = Hashtbl.create 4;
+        }
+      in
+      ctx_ref := Some ctx;
+      match Interp.run_main interp with
+      | Error msg -> Error msg
+      | exception Abort msg -> Error msg
+      | Ok code -> (
+          match Engine.wait_all engine with
+          | stats ->
+              Option.iter
+                (fun path ->
+                  Taskrt.Trace_export.write_chrome path (Engine.trace engine))
+                trace;
+              Ok
+                {
+                  exit_code = code;
+                  stdout = Interp.output interp;
+                  stats;
+                  tasks_submitted = ctx.submitted;
+                  per_site_blocks = ctx.site_blocks;
+                }
+          | exception Failure msg -> Error msg))
+
+let run_serial ?fuel unit_ =
+  let interp = Interp.create ?fuel unit_ in
+  match Interp.run_main interp with
+  | Ok code -> Ok (code, Interp.output interp)
+  | Error msg -> Error msg

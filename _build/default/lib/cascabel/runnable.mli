@@ -1,0 +1,53 @@
+(** Executable semantics for translated programs.
+
+    Where {!Codegen} emits the output {e source}, this module {e runs}
+    the translation: it interprets the annotated program with
+    {!Interp}, intercepting every execute-annotated call site and
+    turning it into runtime task submissions on the simulated machine
+    of the target PDL descriptor. Task bodies execute through the
+    interpreter on the runtime's buffers, so any C the programmer
+    wrote runs — on whichever worker the scheduler picked.
+
+    Decomposition: a [BLOCK]-distributed pointer parameter is treated
+    as a row-major matrix whose row count is the value of the
+    annotation's size argument (e.g. [A:BLOCK:m] with parameter
+    [int m]); it is split into row blocks, one task per block, and
+    the size parameter is rewritten to the block's row count for each
+    sub-call. Undistributed pointers pass whole (typically read-only,
+    like [B] in DGEMM). [CYCLIC]/[BLOCKCYCLIC] currently decompose
+    like [BLOCK] (contiguous blocks, round-robin placement is the
+    scheduler's job) — a documented prototype restriction.
+
+    Synchronization follows StarPU's acquire model: submissions are
+    asynchronous; when {e serial} code touches a buffer involved in
+    pending tasks, the runtime drains before the access. *)
+
+type report = {
+  exit_code : int;
+  stdout : string;
+  stats : Taskrt.Engine.stats;
+  tasks_submitted : int;
+  per_site_blocks : (string * int) list;
+      (** interface -> blocks per submission *)
+}
+
+val run :
+  ?policy:Taskrt.Engine.policy ->
+  ?blocks:int ->
+  ?fuel:int ->
+  ?trace:string ->
+  repo:Repository.t ->
+  platform:Pdl_model.Machine.platform ->
+  Minic.Ast.unit_ ->
+  (report, string) result
+(** Interpret the program's [main] against the platform. [trace]
+    writes a Chrome trace of the execution to a file. [blocks]
+    overrides the decomposition width (default: number of workers
+    eligible for the site's execution group). The repository must
+    already contain (or the unit must define) every referenced task.
+    Selection follows {!Preselect}. *)
+
+val run_serial : ?fuel:int -> Minic.Ast.unit_ -> (int * string, string) result
+(** The untranslated baseline: interpret the program with execute
+    pragmas as plain calls ("single" in Figure 5). Returns exit code
+    and stdout. *)

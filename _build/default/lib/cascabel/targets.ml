@@ -1,0 +1,74 @@
+type t = {
+  target_name : string;
+  pattern : Pdl.Pattern.t;
+  arch_class : string;
+}
+
+let pattern_of s = Pdl.Pattern.parse s
+
+(* Pattern requirements per well-known target:
+   - plain CPU code only needs a Master;
+   - SMP code wants a pool of CPU-class workers;
+   - GPU code wants a gpu Worker under a Master;
+   - Cell code wants the Hybrid(PPE)/Worker(SPE) shape. *)
+let builtin name =
+  match String.lowercase_ascii name with
+  | "x86" | "cpu" | "sequential" | "serial" ->
+      Some (pattern_of "Master", "cpu")
+  | "smp" | "multicore" ->
+      Some (pattern_of "Master[Worker{ROLE=cpu-core,quantity>=2}]", "cpu")
+  | "opencl" | "cuda" | "gpu" | "gpgpu" ->
+      Some (pattern_of "Master[Worker{ARCHITECTURE=gpu}]", "gpu")
+  | "cellsdk" | "cell" | "spe" ->
+      Some (pattern_of "Hybrid[Worker{ARCHITECTURE=spe}]", "spe")
+  | _ -> None
+
+let builtin_names =
+  [
+    "x86"; "cpu"; "sequential"; "serial"; "smp"; "multicore"; "OpenCL";
+    "Cuda"; "gpu"; "gpgpu"; "CellSDK"; "cell"; "spe";
+  ]
+
+(* When an explicit pattern constrains ARCHITECTURE on some node, use
+   that as the variant's architecture class. *)
+let arch_of_pattern (p : Pdl.Pattern.t) =
+  let rec find (p : Pdl.Pattern.t) =
+    let own =
+      List.find_map
+        (function
+          | Pdl.Pattern.Prop_eq (("ARCHITECTURE" | "ARCH"), v) -> Some v
+          | _ -> None)
+        p.pat_constraints
+    in
+    match own with
+    | Some v ->
+        let v = String.lowercase_ascii v in
+        if List.mem v [ "x86"; "x86_64"; "ppc64"; "cpu" ] then Some "cpu"
+        else Some v
+    | None -> List.find_map find p.pat_children
+  in
+  (* Prefer the deepest (leaf) constraint: a Master[Worker{gpu}]
+     pattern is gpu code even though the Master is x86. *)
+  let rec deepest (p : Pdl.Pattern.t) =
+    match List.filter_map deepest p.pat_children with
+    | hit :: _ -> Some hit
+    | [] -> find { p with pat_children = [] }
+  in
+  match deepest p with Some a -> a | None -> Option.value ~default:"cpu" (find p)
+
+let resolve name =
+  let name = String.trim name in
+  match builtin name with
+  | Some (pattern, arch_class) -> Ok { target_name = name; pattern; arch_class }
+  | None -> (
+      match Pdl.Pattern.parse_result name with
+      | Ok pattern ->
+          Ok { target_name = name; pattern; arch_class = arch_of_pattern pattern }
+      | Error _ ->
+          Error
+            (Printf.sprintf
+               "unknown target platform %S (known: %s; or use pattern syntax)"
+               name
+               (String.concat ", " builtin_names)))
+
+let is_fallback t = t.arch_class = "cpu" && t.pattern.Pdl.Pattern.pat_children = []

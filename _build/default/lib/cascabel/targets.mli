@@ -1,0 +1,29 @@
+(** Target platform names of the [targetplatformlist] annotation
+    field (paper §IV-A) and their meaning.
+
+    A task variant declares the platforms it is written for — e.g.
+    [x86], [OpenCL], [Cuda], [CellSDK]. For pre-selection each target
+    name denotes a {e platform pattern} that must embed into the
+    target PDL descriptor; for execution it denotes the architecture
+    class whose workers may run the variant. Unknown names are
+    accepted when they parse as explicit pattern syntax
+    ({!Pdl.Pattern}), giving expert programmers the full pattern
+    language in annotations. *)
+
+type t = {
+  target_name : string;  (** as written in the annotation *)
+  pattern : Pdl.Pattern.t;  (** requirement on the target platform *)
+  arch_class : string;  (** worker class executing this variant *)
+}
+
+val resolve : string -> (t, string) result
+(** Known names (case-insensitive): [x86], [cpu], [sequential], [smp]
+    [-> "cpu"]; [OpenCL], [Cuda], [gpu], [gpgpu] [-> "gpu"];
+    [CellSDK], [spe] [-> "spe"]. Anything else must parse as pattern
+    syntax (arch class defaults to ["cpu"] unless the pattern
+    constrains [ARCHITECTURE]). *)
+
+val builtin_names : string list
+
+val is_fallback : t -> bool
+(** Is this a sequential CPU fallback target (always satisfiable)? *)

@@ -1,0 +1,1 @@
+lib/hwprobe/device_db.ml: List String

@@ -1,0 +1,1 @@
+lib/hwprobe/device_db.mli:

@@ -1,0 +1,1 @@
+lib/hwprobe/probe.ml: Buffer Device_db List Pdl Pdl_model Printf

@@ -1,0 +1,1 @@
+lib/hwprobe/probe.mli: Device_db Pdl_model

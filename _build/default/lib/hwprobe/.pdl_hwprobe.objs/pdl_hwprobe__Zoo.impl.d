@@ -1,0 +1,1 @@
+lib/hwprobe/zoo.ml: Device_db Filename List Pdl Pdl_model Printf Probe

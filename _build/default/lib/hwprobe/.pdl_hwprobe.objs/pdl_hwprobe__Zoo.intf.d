@@ -1,0 +1,1 @@
+lib/hwprobe/zoo.mli: Pdl_model

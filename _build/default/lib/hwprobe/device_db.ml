@@ -1,0 +1,117 @@
+type cpu = {
+  cpu_model : string;
+  sockets : int;
+  cores_per_socket : int;
+  threads_per_core : int;
+  freq_mhz : int;
+  cache_kb : int;
+  flops_per_cycle_dp : int;
+  dgemm_gflops_per_core : float;
+}
+
+type gpu = {
+  gpu_model : string;
+  compute_units : int;
+  work_item_dims : int;
+  global_mem_kb : int;
+  local_mem_kb : int;
+  gpu_freq_mhz : int;
+  dgemm_gflops : float;
+}
+
+type link = { link_type : string; bandwidth_mbps : float; latency_us : float }
+
+type accelerator = {
+  acc_model : string;
+  acc_arch : string;
+  acc_count : int;
+  acc_gflops : float;
+  acc_local_mem_kb : int;
+}
+
+(* Sustained DGEMM figures are calibrated to published GotoBLAS2 /
+   CuBLAS 3.2 measurements on the paper's testbed generation; see
+   EXPERIMENTS.md for the derivation. *)
+let xeon_x5550 =
+  {
+    cpu_model = "Intel Xeon X5550";
+    sockets = 2;
+    cores_per_socket = 4;
+    threads_per_core = 2;
+    freq_mhz = 2660;
+    cache_kb = 8192;
+    flops_per_cycle_dp = 4;
+    dgemm_gflops_per_core = 9.5;
+  }
+
+let gtx480 =
+  {
+    gpu_model = "GeForce GTX 480";
+    compute_units = 15;
+    work_item_dims = 3;
+    global_mem_kb = 1572864;
+    local_mem_kb = 48;
+    gpu_freq_mhz = 1401;
+    dgemm_gflops = 120.0;
+  }
+
+let gtx285 =
+  {
+    gpu_model = "GeForce GTX 285";
+    compute_units = 30;
+    work_item_dims = 3;
+    global_mem_kb = 1048576;
+    local_mem_kb = 16;
+    gpu_freq_mhz = 1476;
+    dgemm_gflops = 70.0;
+  }
+
+let cell_ppe =
+  {
+    cpu_model = "Cell B.E. PPE";
+    sockets = 1;
+    cores_per_socket = 1;
+    threads_per_core = 2;
+    freq_mhz = 3200;
+    cache_kb = 512;
+    flops_per_cycle_dp = 2;
+    dgemm_gflops_per_core = 4.5;
+  }
+
+let cell_spe =
+  {
+    acc_model = "Cell B.E. SPE";
+    acc_arch = "spe";
+    acc_count = 8;
+    acc_gflops = 1.8;
+    acc_local_mem_kb = 256;
+  }
+
+let generic_cpu ?(cores = 4) ?(freq_mhz = 2000) cpu_model =
+  {
+    cpu_model;
+    sockets = 1;
+    cores_per_socket = cores;
+    threads_per_core = 1;
+    freq_mhz;
+    cache_kb = 4096;
+    flops_per_cycle_dp = 4;
+    dgemm_gflops_per_core = float_of_int freq_mhz /. 1000.0 *. 3.0;
+  }
+
+let pcie2_x16 = { link_type = "PCIe"; bandwidth_mbps = 5500.0; latency_us = 10.0 }
+let qpi = { link_type = "QPI"; bandwidth_mbps = 12000.0; latency_us = 0.4 }
+let eib = { link_type = "EIB"; bandwidth_mbps = 25000.0; latency_us = 0.1 }
+
+let cpus = [ xeon_x5550; cell_ppe ]
+let gpus = [ gtx480; gtx285 ]
+
+let matches needle hay =
+  let needle = String.lowercase_ascii needle
+  and hay = String.lowercase_ascii hay in
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let find_cpu model = List.find_opt (fun c -> matches model c.cpu_model) cpus
+let find_gpu model = List.find_opt (fun g -> matches model g.gpu_model) gpus

@@ -1,0 +1,70 @@
+(** Synthetic hardware database.
+
+    The paper generates concrete PDL properties by querying the
+    Nvidia OpenCL runtime (Listing 2) and points at hwloc as a source
+    for CPU topology. Neither exists in this environment, so this
+    module is the substitution: a small database of device models with
+    the same observable fields those APIs expose. The probe
+    (see {!Probe}) turns entries into PDL descriptors; the values for
+    the devices of the paper's testbed (Xeon X5550, GTX 480, GTX 285)
+    mirror the published datasheets, and the GTX 480 entry reproduces
+    Listing 2 exactly. *)
+
+type cpu = {
+  cpu_model : string;
+  sockets : int;
+  cores_per_socket : int;
+  threads_per_core : int;
+  freq_mhz : int;
+  cache_kb : int;  (** last-level cache per socket *)
+  flops_per_cycle_dp : int;  (** DP FLOPs per cycle per core *)
+  dgemm_gflops_per_core : float;
+      (** sustained optimized-BLAS DGEMM throughput per core *)
+}
+
+type gpu = {
+  gpu_model : string;  (** OpenCL [DEVICE_NAME] *)
+  compute_units : int;  (** [MAX_COMPUTE_UNITS] *)
+  work_item_dims : int;  (** [MAX_WORK_ITEM_DIMENSIONS] *)
+  global_mem_kb : int;  (** [GLOBAL_MEM_SIZE] in kB *)
+  local_mem_kb : int;  (** [LOCAL_MEM_SIZE] in kB *)
+  gpu_freq_mhz : int;
+  dgemm_gflops : float;  (** sustained CuBLAS-class DGEMM throughput *)
+}
+
+type link = {
+  link_type : string;  (** PDL interconnect type, e.g. ["PCIe"] *)
+  bandwidth_mbps : float;
+  latency_us : float;
+}
+
+type accelerator = {
+  acc_model : string;
+  acc_arch : string;  (** PDL [ARCHITECTURE] value, e.g. ["spe"] *)
+  acc_count : int;
+  acc_gflops : float;
+  acc_local_mem_kb : int;
+}
+
+val xeon_x5550 : cpu
+(** 2.66 GHz quad-core Nehalem; the paper's testbed has two. *)
+
+val gtx480 : gpu
+(** Matches Listing 2 field-for-field. *)
+
+val gtx285 : gpu
+val cell_ppe : cpu
+val cell_spe : accelerator
+val generic_cpu : ?cores:int -> ?freq_mhz:int -> string -> cpu
+
+val pcie2_x16 : link
+val qpi : link
+val eib : link
+(** Cell Element Interconnect Bus. *)
+
+val find_cpu : string -> cpu option
+(** Lookup by model substring, case-insensitive. *)
+
+val find_gpu : string -> gpu option
+val cpus : cpu list
+val gpus : gpu list

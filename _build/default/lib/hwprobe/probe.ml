@@ -1,0 +1,171 @@
+open Pdl_model.Machine
+
+type machine = {
+  hostname : string;
+  cpu : Device_db.cpu;
+  cpu_arch : string;
+  cpu_link : Device_db.link;
+  gpus : (Device_db.gpu * Device_db.link) list;
+  accelerators : (Device_db.accelerator * Device_db.link) list;
+}
+
+let machine ?(cpu_arch = "x86_64") ?(cpu_link = Device_db.qpi) ?(gpus = [])
+    ?(accelerators = []) ~hostname cpu =
+  { hostname; cpu; cpu_arch; cpu_link; gpus; accelerators }
+
+let ocl_schema = "ocl:oclDevicePropertyType"
+
+let opencl_properties (g : Device_db.gpu) =
+  [
+    property ~fixed:false ~schema:ocl_schema "DEVICE_NAME" g.gpu_model;
+    property ~fixed:false ~schema:ocl_schema "MAX_COMPUTE_UNITS"
+      (string_of_int g.compute_units);
+    property ~fixed:false ~schema:ocl_schema "MAX_WORK_ITEM_DIMENSIONS"
+      (string_of_int g.work_item_dims);
+    property ~fixed:false ~schema:ocl_schema ~unit_:"kB" "GLOBAL_MEM_SIZE"
+      (string_of_int g.global_mem_kb);
+    property ~fixed:false ~schema:ocl_schema ~unit_:"kB" "LOCAL_MEM_SIZE"
+      (string_of_int g.local_mem_kb);
+    property ~fixed:false ~schema:ocl_schema ~unit_:"MHz" "CLOCK_FREQUENCY"
+      (string_of_int g.gpu_freq_mhz);
+  ]
+
+let perf_props gflops =
+  [ property ~unit_:"GFLOPS" "DGEMM_THROUGHPUT" (Printf.sprintf "%.1f" gflops) ]
+
+let link_props (l : Device_db.link) =
+  [
+    property ~unit_:"MB/s" "BANDWIDTH_MBPS"
+      (Printf.sprintf "%.0f" l.bandwidth_mbps);
+    property ~unit_:"us" "LATENCY_US" (Printf.sprintf "%.1f" l.latency_us);
+  ]
+
+let to_platform m =
+  let c = m.cpu in
+  let total_cores = c.sockets * c.cores_per_socket in
+  let host_props =
+    [
+      property "ARCHITECTURE" m.cpu_arch;
+      property "CPU_MODEL" c.cpu_model;
+      property "SOCKETS" (string_of_int c.sockets);
+      property "CORES" (string_of_int total_cores);
+      property "THREADS_PER_CORE" (string_of_int c.threads_per_core);
+      property ~unit_:"MHz" "FREQ_MHZ" (string_of_int c.freq_mhz);
+      property ~unit_:"kB" "CACHE_KB" (string_of_int c.cache_kb);
+    ]
+  in
+  let cpu_worker =
+    pu Worker "cpu-cores" ~quantity:total_cores
+      ~props:
+        ([
+           property "ARCHITECTURE" m.cpu_arch;
+           property "ROLE" "cpu-core";
+         ]
+        @ perf_props c.dgemm_gflops_per_core)
+      ~groups:[ "cpus"; "executionset01" ]
+      ~memory:
+        [
+          memory_region
+            ~props:[ property ~unit_:"kB" "SIZE" (string_of_int c.cache_kb) ]
+            "llc";
+        ]
+  in
+  let gpu_workers =
+    List.mapi
+      (fun i ((g : Device_db.gpu), _link) ->
+        pu Worker
+          (Printf.sprintf "gpu%d" i)
+          ~props:
+            ([ property "ARCHITECTURE" "gpu" ]
+            @ opencl_properties g
+            @ perf_props g.dgemm_gflops)
+          ~groups:[ "gpus"; "executionset01" ]
+          ~memory:
+            [
+              memory_region
+                ~props:
+                  [
+                    property ~unit_:"kB" "SIZE" (string_of_int g.global_mem_kb);
+                  ]
+                (Printf.sprintf "gpu%d-global" i);
+            ])
+      m.gpus
+  in
+  let acc_workers =
+    List.mapi
+      (fun i ((a : Device_db.accelerator), _link) ->
+        pu Worker
+          (Printf.sprintf "acc%d" i)
+          ~quantity:a.acc_count
+          ~props:
+            ([
+               property "ARCHITECTURE" a.acc_arch;
+               property "DEVICE_NAME" a.acc_model;
+             ]
+            @ perf_props a.acc_gflops)
+          ~groups:[ "accelerators"; "executionset01" ]
+          ~memory:
+            [
+              memory_region
+                ~props:
+                  [
+                    property ~unit_:"kB" "SIZE"
+                      (string_of_int a.acc_local_mem_kb);
+                  ]
+                (Printf.sprintf "acc%d-local" i);
+            ])
+      m.accelerators
+  in
+  let interconnects =
+    interconnect ~type_:m.cpu_link.link_type ~from:"host" ~to_:"cpu-cores"
+      ~props:(link_props m.cpu_link) ()
+    :: List.mapi
+         (fun i (_, (link : Device_db.link)) ->
+           interconnect ~type_:link.link_type ~from:"host"
+             ~to_:(Printf.sprintf "gpu%d" i)
+             ~props:(link_props link) ())
+         m.gpus
+    @ List.mapi
+        (fun i (_, (link : Device_db.link)) ->
+          interconnect ~type_:link.link_type ~from:"host"
+            ~to_:(Printf.sprintf "acc%d" i)
+            ~props:(link_props link) ())
+        m.accelerators
+  in
+  platform ~name:m.hostname
+    [
+      pu Master "host" ~props:host_props
+        ~memory:[ memory_region ~props:[ property "KIND" "system-ram" ] "ram" ]
+        ~children:((cpu_worker :: gpu_workers) @ acc_workers)
+        ~interconnects;
+    ]
+
+let to_pdl m = Pdl.Codec.to_string (to_platform m)
+
+let hwloc_render m =
+  let buf = Buffer.create 256 in
+  let c = m.cpu in
+  Buffer.add_string buf (Printf.sprintf "Machine (%s)\n" m.hostname);
+  for s = 0 to c.sockets - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  Package P#%d (%s, L3 %dkB)\n" s c.cpu_model c.cache_kb);
+    for core = 0 to c.cores_per_socket - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "    Core C#%d (%d MHz, %d threads)\n"
+           ((s * c.cores_per_socket) + core)
+           c.freq_mhz c.threads_per_core)
+    done
+  done;
+  List.iteri
+    (fun _i ((g : Device_db.gpu), (l : Device_db.link)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  CoProc (%s) \"%s\" (%d CUs, %d kB global)\n"
+           l.link_type g.gpu_model g.compute_units g.global_mem_kb))
+    m.gpus;
+  List.iteri
+    (fun _i ((a : Device_db.accelerator), (l : Device_db.link)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  Accel (%s) \"%s\" x%d (%d kB local)\n" l.link_type
+           a.acc_model a.acc_count a.acc_local_mem_kb))
+    m.accelerators;
+  Buffer.contents buf

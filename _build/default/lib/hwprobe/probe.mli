@@ -1,0 +1,53 @@
+(** Automatic generation of PDL descriptors from (simulated) hardware
+    probes — the "possible automatic generation of PDL descriptors for
+    various platforms" arrow in the paper's Figure 1.
+
+    A {!machine} is what a node's OS/driver stack would let us
+    enumerate: one CPU complex and a list of attached accelerators.
+    {!to_platform} lowers it to the machine model, emitting:
+
+    - a Master PU for the CPU complex with hwloc-style topology
+      properties ([CORES], [SOCKETS], [FREQ_MHZ], ...), all [fixed];
+    - one Worker per CPU core pool ([ARCHITECTURE] = the CPU ISA)
+      so runtimes can schedule data-parallel CPU tasks;
+    - one Worker per GPU with OpenCL-style properties
+      ([DEVICE_NAME], [MAX_COMPUTE_UNITS], ...) typed
+      [ocl:oclDevicePropertyType] and {e unfixed}, mirroring
+      Listing 2 ("Generated from OpenCL run-time libraries");
+    - Interconnect entities with [BANDWIDTH_MBPS] / [LATENCY_US]
+      properties that performance models may consume.
+
+    The generated platform always satisfies
+    {!Pdl_model.Validate.check} and the PDL core schema. *)
+
+type machine = {
+  hostname : string;
+  cpu : Device_db.cpu;
+  cpu_arch : string;  (** e.g. ["x86_64"], ["ppc64"] *)
+  cpu_link : Device_db.link;  (** CPU socket interconnect *)
+  gpus : (Device_db.gpu * Device_db.link) list;
+  accelerators : (Device_db.accelerator * Device_db.link) list;
+}
+
+val machine :
+  ?cpu_arch:string ->
+  ?cpu_link:Device_db.link ->
+  ?gpus:(Device_db.gpu * Device_db.link) list ->
+  ?accelerators:(Device_db.accelerator * Device_db.link) list ->
+  hostname:string ->
+  Device_db.cpu ->
+  machine
+
+val to_platform : machine -> Pdl_model.Machine.platform
+(** Probe the machine into a PDL platform. PU ids are stable:
+    ["host"], ["cpu-cores"], ["gpu0"], ["gpu1"], ..., ["acc0"], ... *)
+
+val to_pdl : machine -> string
+(** [to_platform] rendered as a PDL XML document. *)
+
+val opencl_properties : Device_db.gpu -> Pdl_model.Machine.property list
+(** Just the Listing 2 property block for one device. *)
+
+val hwloc_render : machine -> string
+(** An hwloc-[lstopo]-flavoured ASCII rendering of the topology, for
+    humans; PDL is the machine-readable output. *)

@@ -1,0 +1,210 @@
+open Pdl_model.Machine
+module D = Device_db
+
+(* The serial baseline runs one thread: Nehalem turbo raises the
+   single-core clock (2.66 -> 3.06 GHz), so its sustained DGEMM rate
+   is ~10% above the per-core all-core rate. This calibration is what
+   puts the SMP translation near the paper's ~7x rather than an
+   idealized 8x. *)
+let single_core =
+  Probe.to_platform
+    (Probe.machine ~hostname:"xeon-single"
+       {
+         D.xeon_x5550 with
+         sockets = 1;
+         cores_per_socket = 1;
+         freq_mhz = 3060;
+         dgemm_gflops_per_core = 10.5;
+       })
+
+let xeon_x5550_smp =
+  Probe.to_platform (Probe.machine ~hostname:"xeon-x5550-smp" D.xeon_x5550)
+
+let xeon_2gpu =
+  Probe.to_platform
+    (Probe.machine ~hostname:"xeon-2gpu" D.xeon_x5550
+       ~gpus:[ (D.gtx480, D.pcie2_x16); (D.gtx285, D.pcie2_x16) ])
+
+(* The Cell blade is built by hand: the probe emits flat
+   Master/Worker systems, while Cell's PPE is the canonical Hybrid —
+   controlled by the host, controlling the SPEs. *)
+let cell_qs20 =
+  let spe = D.cell_spe in
+  platform ~name:"cell-qs20"
+    [
+      pu Master "host"
+        ~props:
+          [
+            property "ARCHITECTURE" "ppc64";
+            property "CPU_MODEL" D.cell_ppe.cpu_model;
+            property ~unit_:"MHz" "FREQ_MHZ" (string_of_int D.cell_ppe.freq_mhz);
+          ]
+        ~children:
+          [
+            pu Hybrid "ppe"
+              ~props:
+                [
+                  property "ARCHITECTURE" "ppc64";
+                  property "ROLE" "control";
+                  property ~unit_:"GFLOPS" "DGEMM_THROUGHPUT"
+                    (Printf.sprintf "%.1f" D.cell_ppe.dgemm_gflops_per_core);
+                ]
+              ~children:
+                [
+                  pu Worker "spe" ~quantity:spe.acc_count
+                    ~props:
+                      [
+                        property "ARCHITECTURE" spe.acc_arch;
+                        property "DEVICE_NAME" spe.acc_model;
+                        property ~unit_:"GFLOPS" "DGEMM_THROUGHPUT"
+                          (Printf.sprintf "%.1f" spe.acc_gflops);
+                      ]
+                    ~groups:[ "simd"; "executionset01" ]
+                    ~memory:
+                      [
+                        memory_region
+                          ~props:
+                            [
+                              property ~unit_:"kB" "SIZE"
+                                (string_of_int spe.acc_local_mem_kb);
+                            ]
+                          "ls";
+                      ];
+                ]
+              ~interconnects:
+                [
+                  interconnect ~type_:D.eib.link_type ~from:"ppe" ~to_:"spe"
+                    ~props:
+                      [
+                        property ~unit_:"MB/s" "BANDWIDTH_MBPS"
+                          (Printf.sprintf "%.0f" D.eib.bandwidth_mbps);
+                        property ~unit_:"us" "LATENCY_US"
+                          (Printf.sprintf "%.1f" D.eib.latency_us);
+                      ]
+                    ();
+                ];
+          ]
+        ~interconnects:
+          [ interconnect ~type_:"XDR" ~from:"host" ~to_:"ppe" () ];
+    ]
+
+let laptop_igpu =
+  let igpu =
+    {
+      D.gpu_model = "Integrated HD";
+      compute_units = 4;
+      work_item_dims = 3;
+      global_mem_kb = 262144;
+      local_mem_kb = 32;
+      gpu_freq_mhz = 650;
+      dgemm_gflops = 8.0;
+    }
+  in
+  let slow_link =
+    { D.link_type = "PCIe"; bandwidth_mbps = 1500.0; latency_us = 25.0 }
+  in
+  Probe.to_platform
+    (Probe.machine ~hostname:"laptop-igpu"
+       (D.generic_cpu ~cores:2 ~freq_mhz:2200 "Mobile Core2")
+       ~gpus:[ (igpu, slow_link) ])
+
+let opencl_quad_gpu =
+  Probe.to_platform
+    (Probe.machine ~hostname:"opencl-quad-gpu" D.xeon_x5550
+       ~gpus:
+         [
+           (D.gtx480, D.pcie2_x16);
+           (D.gtx480, D.pcie2_x16);
+           (D.gtx285, D.pcie2_x16);
+           (D.gtx285, D.pcie2_x16);
+         ])
+
+(* A dual-host system: two Masters co-exist at the top level (paper
+   §III-A: "Master entities can only be defined on the highest
+   hierarchical level but may co-exist with other Masters within the
+   same system"), joined by an InfiniBand interconnect. Each host
+   controls a CPU pool and one GPU. *)
+let dual_host =
+  let host name gpu =
+    let gpu_id = name ^ "-gpu" and cpu_id = name ^ "-cpu" in
+    pu Master name
+      ~props:
+        [
+          property "ARCHITECTURE" "x86_64";
+          property "CPU_MODEL" D.xeon_x5550.cpu_model;
+          property "CORES" "4";
+        ]
+      ~children:
+        [
+          pu Worker cpu_id ~quantity:4
+            ~props:
+              [
+                property "ARCHITECTURE" "x86_64";
+                property "ROLE" "cpu-core";
+                property ~unit_:"GFLOPS" "DGEMM_THROUGHPUT"
+                  (Printf.sprintf "%.1f" D.xeon_x5550.dgemm_gflops_per_core);
+              ]
+            ~groups:[ "cpus"; "executionset01" ];
+          pu Worker gpu_id
+            ~props:
+              ([ property "ARCHITECTURE" "gpu" ]
+              @ Probe.opencl_properties gpu
+              @ [
+                  property ~unit_:"GFLOPS" "DGEMM_THROUGHPUT"
+                    (Printf.sprintf "%.1f" gpu.D.dgemm_gflops);
+                ])
+            ~groups:[ "gpus"; "executionset01" ];
+        ]
+      ~interconnects:
+        [
+          interconnect ~type_:"QPI" ~from:name ~to_:cpu_id ();
+          interconnect ~type_:"PCIe" ~from:name ~to_:gpu_id
+            ~props:
+              [
+                property ~unit_:"MB/s" "BANDWIDTH_MBPS" "5500";
+                property ~unit_:"us" "LATENCY_US" "10.0";
+              ]
+            ();
+        ]
+  in
+  let a = host "hostA" D.gtx480 and b = host "hostB" D.gtx285 in
+  {
+    (platform ~name:"dual-host" [ a; b ]) with
+    pf_masters =
+      [
+        {
+          a with
+          pu_interconnects =
+            a.pu_interconnects
+            @ [
+                interconnect ~type_:"InfiniBand" ~from:"hostA" ~to_:"hostB"
+                  ~props:
+                    [
+                      property ~unit_:"MB/s" "BANDWIDTH_MBPS" "3200";
+                      property ~unit_:"us" "LATENCY_US" "1.5";
+                    ]
+                  ();
+              ];
+        };
+        b;
+      ];
+  }
+
+let all =
+  [
+    ("xeon-single", single_core);
+    ("xeon-x5550-smp", xeon_x5550_smp);
+    ("xeon-2gpu", xeon_2gpu);
+    ("cell-qs20", cell_qs20);
+    ("laptop-igpu", laptop_igpu);
+    ("opencl-quad-gpu", opencl_quad_gpu);
+    ("dual-host", dual_host);
+  ]
+
+let find name = List.assoc_opt name all
+
+let write_all ~dir =
+  List.iter
+    (fun (name, pf) ->
+      Pdl.Codec.save_file (Filename.concat dir (name ^ ".pdl")) pf)
+    all

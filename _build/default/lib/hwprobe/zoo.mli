@@ -1,0 +1,44 @@
+(** Predefined platform descriptions ("PDL descriptors for various
+    platforms" in Figure 1).
+
+    The first three correspond to the paper's experiment targets:
+    the serial baseline machine, the 8-core SMP target of the
+    "starpu" translation, and the 8-core + GTX480 + GTX285 target of
+    the "starpu+2gpus" translation. The rest exercise other classes
+    of heterogeneous systems the PDL is meant to capture. *)
+
+open Pdl_model.Machine
+
+val single_core : platform
+(** One Xeon-class core; the "single" baseline of Figure 5. *)
+
+val xeon_x5550_smp : platform
+(** Dual-socket quad-core Xeon X5550, no accelerators. *)
+
+val xeon_2gpu : platform
+(** The paper's testbed: the SMP machine plus GTX 480 and GTX 285 on
+    PCIe. *)
+
+val cell_qs20 : platform
+(** A Cell-B.E.-style blade: Master host, Hybrid PPE controlling 8
+    SPE Workers — exercises the three-class hierarchy. *)
+
+val laptop_igpu : platform
+(** Small dual-core laptop with a weak integrated GPU; used to show
+    the offload crossover at small problem sizes. *)
+
+val opencl_quad_gpu : platform
+(** A 4-GPU compute node. *)
+
+val dual_host : platform
+(** Two co-existing Masters (paper §III-A), each controlling a CPU
+    pool and one GPU, joined by an InfiniBand interconnect — the
+    multi-Master class of system. *)
+
+val all : (string * platform) list
+(** Name [->] platform for every zoo member. *)
+
+val find : string -> platform option
+
+val write_all : dir:string -> unit
+(** Write each platform as [<dir>/<name>.pdl]. *)

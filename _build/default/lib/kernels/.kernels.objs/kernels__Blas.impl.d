@@ -1,0 +1,1 @@
+lib/kernels/blas.ml: Array Matrix Printf

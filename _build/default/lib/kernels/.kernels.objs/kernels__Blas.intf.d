@@ -1,0 +1,1 @@
+lib/kernels/blas.mli: Matrix

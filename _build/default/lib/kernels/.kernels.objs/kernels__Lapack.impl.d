@@ -1,0 +1,1 @@
+lib/kernels/lapack.ml: Float Matrix Printf

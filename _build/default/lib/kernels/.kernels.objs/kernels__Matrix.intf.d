@@ -1,0 +1,1 @@
+lib/kernels/matrix.mli: Format

@@ -1,0 +1,37 @@
+(** Double-precision BLAS-like kernels.
+
+    These are the task implementation variants of the case study: the
+    serial input program calls {!dgemm} ("a highly optimized BLAS
+    library" in the paper — here the blocked OCaml implementation),
+    and the generated programs run the same kernel per tile on CPU
+    workers and (simulated) GPU workers.
+
+    Conventions follow BLAS: [dgemm ~alpha a b ~beta c] computes
+    [c := alpha * a*b + beta * c] in place. *)
+
+val dgemm_naive :
+  ?alpha:float -> ?beta:float -> Matrix.t -> Matrix.t -> Matrix.t -> unit
+(** Triple loop, reference implementation. *)
+
+val dgemm :
+  ?alpha:float -> ?beta:float -> ?block:int -> Matrix.t -> Matrix.t ->
+  Matrix.t -> unit
+(** Cache-blocked (default block 64) with an ikj inner order. Bitwise
+    results may differ from {!dgemm_naive} only by rounding. *)
+
+val dgemv : ?alpha:float -> ?beta:float -> Matrix.t -> float array ->
+  float array -> unit
+(** [y := alpha*A*x + beta*y]. *)
+
+val daxpy : float -> float array -> float array -> unit
+(** [y := a*x + y]. *)
+
+val ddot : float array -> float array -> float
+val dscal : float -> float array -> unit
+val dnrm2 : float array -> float
+
+val vector_add : float array -> float array -> unit
+(** [a := a + b] — the paper's vecadd task example. *)
+
+val flops_dgemm : int -> int -> int -> float
+(** FLOP count of [m x k] times [k x n]: [2*m*n*k]. *)

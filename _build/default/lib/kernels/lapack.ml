@@ -1,0 +1,116 @@
+exception Not_positive_definite of int
+
+let square_check name (m : Matrix.t) =
+  if m.rows <> m.cols then
+    invalid_arg (Printf.sprintf "%s: matrix is %dx%d, not square" name m.rows m.cols)
+
+(* Unblocked right-looking Cholesky; tiles are small enough that
+   blocking inside the tile buys nothing. *)
+let dpotrf (a : Matrix.t) =
+  square_check "dpotrf" a;
+  let n = a.rows in
+  for k = 0 to n - 1 do
+    let akk = Matrix.get a k k in
+    let pivot = ref akk in
+    for l = 0 to k - 1 do
+      let v = Matrix.get a k l in
+      pivot := !pivot -. (v *. v)
+    done;
+    if !pivot <= 0.0 then raise (Not_positive_definite k);
+    let lkk = sqrt !pivot in
+    Matrix.set a k k lkk;
+    for i = k + 1 to n - 1 do
+      let acc = ref (Matrix.get a i k) in
+      for l = 0 to k - 1 do
+        acc := !acc -. (Matrix.get a i l *. Matrix.get a k l)
+      done;
+      Matrix.set a i k (!acc /. lkk)
+    done
+  done;
+  (* zero the strict upper triangle so the result is exactly L *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Matrix.set a i j 0.0
+    done
+  done
+
+let dtrsm_rlt ~(l : Matrix.t) (b : Matrix.t) =
+  square_check "dtrsm_rlt" l;
+  if b.cols <> l.rows then invalid_arg "dtrsm_rlt: shape mismatch";
+  let n = l.rows in
+  (* Solve X * L^T = B row by row: for each row r of B,
+     x_j = (b_j - sum_{k<j} x_k * L_{j,k}) / L_{j,j}. *)
+  for r = 0 to b.rows - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref (Matrix.get b r j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (Matrix.get b r k *. Matrix.get l j k)
+      done;
+      Matrix.set b r j (!acc /. Matrix.get l j j)
+    done
+  done
+
+let dsyrk_ln ~(a : Matrix.t) (c : Matrix.t) =
+  square_check "dsyrk_ln" c;
+  if a.rows <> c.rows then invalid_arg "dsyrk_ln: shape mismatch";
+  let n = c.rows and k = a.cols in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref 0.0 in
+      for l = 0 to k - 1 do
+        acc := !acc +. (Matrix.get a i l *. Matrix.get a j l)
+      done;
+      let v = Matrix.get c i j -. !acc in
+      Matrix.set c i j v;
+      if i <> j then Matrix.set c j i v
+    done
+  done
+
+let dgemm_nt ~(a : Matrix.t) ~(b : Matrix.t) (c : Matrix.t) =
+  if a.cols <> b.cols || c.rows <> a.rows || c.cols <> b.rows then
+    invalid_arg "dgemm_nt: shape mismatch";
+  let k = a.cols in
+  for i = 0 to c.rows - 1 do
+    for j = 0 to c.cols - 1 do
+      let acc = ref 0.0 in
+      for l = 0 to k - 1 do
+        acc := !acc +. (Matrix.get a i l *. Matrix.get b j l)
+      done;
+      Matrix.set c i j (Matrix.get c i j -. !acc)
+    done
+  done
+
+let random_spd ?(seed = 17) n =
+  let m = Matrix.random ~seed n n in
+  let a = Matrix.create n n in
+  (* a = m * m^T + n*I *)
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc := !acc +. (Matrix.get m i k *. Matrix.get m j k)
+      done;
+      Matrix.set a i j (!acc +. if i = j then float_of_int n else 0.0)
+    done
+  done;
+  a
+
+let cholesky_residual ~(a : Matrix.t) ~(l : Matrix.t) =
+  square_check "cholesky_residual" a;
+  let n = a.rows in
+  let worst = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref 0.0 in
+      for k = 0 to min i j do
+        acc := !acc +. (Matrix.get l i k *. Matrix.get l j k)
+      done;
+      let d = Float.abs (!acc -. Matrix.get a i j) in
+      if d > !worst then worst := d
+    done
+  done;
+  !worst
+
+let flops_potrf n = float_of_int (n * n * n) /. 3.0
+let flops_trsm m n = float_of_int (m * n * n)
+let flops_syrk n k = float_of_int (n * n * k)

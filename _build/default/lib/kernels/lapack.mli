@@ -1,0 +1,43 @@
+(** LAPACK-flavoured kernels for the tiled Cholesky factorization.
+
+    These four operations are the classic task types of a tiled
+    Cholesky (POTRF / TRSM / SYRK / GEMM-update); the runtime's
+    dependency tracking sequences them automatically when submitted
+    tile by tile. Only the lower triangle is referenced/produced. *)
+
+exception Not_positive_definite of int
+(** Raised by {!dpotrf} with the failing pivot index. *)
+
+val dpotrf : Matrix.t -> unit
+(** In-place lower-triangular Cholesky of a square matrix:
+    [A = L * L^T], [L] stored in the lower triangle (the strict upper
+    triangle is zeroed). *)
+
+val dtrsm_rlt : l:Matrix.t -> Matrix.t -> unit
+(** [dtrsm_rlt ~l b] solves [X * l^T = b] in place ([b := X]) with
+    [l] lower triangular — the panel update of tiled Cholesky. *)
+
+val dsyrk_ln : a:Matrix.t -> Matrix.t -> unit
+(** [dsyrk_ln ~a c] performs the symmetric rank-k update
+    [c := c - a * a^T] on the lower triangle of [c] (the upper
+    triangle is mirrored to keep the tile symmetric). *)
+
+val dgemm_nt : a:Matrix.t -> b:Matrix.t -> Matrix.t -> unit
+(** [dgemm_nt ~a ~b c] computes [c := c - a * b^T]. *)
+
+val random_spd : ?seed:int -> int -> Matrix.t
+(** A well-conditioned symmetric positive-definite matrix:
+    [M*M^T + n*I] for a random [M]. *)
+
+val cholesky_residual : a:Matrix.t -> l:Matrix.t -> float
+(** [max |(L*L^T - A)_ij|] over the lower triangle, for verification;
+    only the lower triangle of [l] is used. *)
+
+val flops_potrf : int -> float
+(** [n^3 / 3]. *)
+
+val flops_trsm : int -> int -> float
+(** [m] rows solved against an [n x n] triangle: [m * n^2]. *)
+
+val flops_syrk : int -> int -> float
+(** rank-[k] update of an [n x n] tile: [n^2 * k]. *)

@@ -1,0 +1,90 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Matrix.create: negative dimension";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let init rows cols f =
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+(* Numerical Recipes LCG; deterministic across runs and platforms. *)
+let random ?(seed = 42) rows cols =
+  let state = ref (Int64.of_int (seed land 0x3FFFFFFF)) in
+  let next () =
+    state :=
+      Int64.add (Int64.mul !state 1664525L) 1013904223L
+      |> Int64.logand 0xFFFFFFFFL;
+    (* map to [-1, 1) *)
+    (Int64.to_float !state /. 2147483648.0) -. 1.0
+  in
+  init rows cols (fun _ _ -> next ())
+
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j v = m.data.((i * m.cols) + j) <- v
+let copy m = { m with data = Array.copy m.data }
+let dims m = (m.rows, m.cols)
+
+let sub_block m ~row ~col ~rows ~cols =
+  if row < 0 || col < 0 || row + rows > m.rows || col + cols > m.cols then
+    invalid_arg "Matrix.sub_block: out of bounds";
+  init rows cols (fun i j -> get m (row + i) (col + j))
+
+let set_block m ~row ~col b =
+  if row < 0 || col < 0 || row + b.rows > m.rows || col + b.cols > m.cols then
+    invalid_arg "Matrix.set_block: out of bounds";
+  for i = 0 to b.rows - 1 do
+    for j = 0 to b.cols - 1 do
+      set m (row + i) (col + j) (get b i j)
+    done
+  done
+
+let frobenius m =
+  let acc = ref 0.0 in
+  Array.iter (fun x -> acc := !acc +. (x *. x)) m.data;
+  sqrt !acc
+
+let max_abs_diff a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Matrix.max_abs_diff: shape mismatch";
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let d = Float.abs (x -. b.data.(i)) in
+      if d > !worst then worst := d)
+    a.data;
+  !worst
+
+let approx_equal ?(tol = 1e-9) a b =
+  let scale = Float.max 1.0 (Float.max (frobenius a) (frobenius b)) in
+  max_abs_diff a b <= tol *. scale
+
+let checksum m =
+  let acc = ref 0.0 in
+  Array.iter (fun x -> acc := !acc +. x) m.data;
+  !acc
+
+let pp ppf m =
+  if m.rows * m.cols <= 64 then begin
+    Format.fprintf ppf "@[<v>";
+    for i = 0 to m.rows - 1 do
+      Format.fprintf ppf "[";
+      for j = 0 to m.cols - 1 do
+        if j > 0 then Format.fprintf ppf " ";
+        Format.fprintf ppf "%8.4f" (get m i j)
+      done;
+      Format.fprintf ppf "]";
+      if i < m.rows - 1 then Format.pp_print_cut ppf ()
+    done;
+    Format.fprintf ppf "@]"
+  end
+  else
+    Format.fprintf ppf "<%dx%d matrix, frobenius %.6g>" m.rows m.cols
+      (frobenius m)

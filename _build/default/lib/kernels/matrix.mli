@@ -1,0 +1,44 @@
+(** Dense row-major double-precision matrices.
+
+    The storage is a plain [float array] (unboxed in OCaml), indexed
+    as [a.(i * cols + j)]. All kernels in {!Blas} operate on this
+    representation. *)
+
+type t = { rows : int; cols : int; data : float array }
+
+val create : int -> int -> t
+(** Zero-filled [rows x cols] matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+val identity : int -> t
+
+val random : ?seed:int -> int -> int -> t
+(** Deterministic pseudo-random entries in [[-1, 1)]; the same seed
+    always yields the same matrix (own LCG, independent of
+    [Stdlib.Random]). *)
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+val dims : t -> int * int
+
+val sub_block : t -> row:int -> col:int -> rows:int -> cols:int -> t
+(** Copy of a block; used by tiled algorithms and tests. *)
+
+val set_block : t -> row:int -> col:int -> t -> unit
+(** Paste a block back. *)
+
+val frobenius : t -> float
+val max_abs_diff : t -> t -> float
+(** [max |a_ij - b_ij|]; raises [Invalid_argument] on shape
+    mismatch. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Default tolerance [1e-9] on the max absolute difference scaled by
+    the larger Frobenius norm. *)
+
+val checksum : t -> float
+(** Order-independent content digest used by integration tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints small matrices fully, large ones abridged. *)

@@ -1,0 +1,1 @@
+lib/minic/annot.pp.ml: Ast Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/minic/parser.pp.ml: Annot Array Ast Lexer List Option Printf Result String Token

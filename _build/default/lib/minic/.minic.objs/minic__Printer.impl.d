@@ -1,0 +1,1 @@
+lib/minic/printer.pp.ml: Annot Ast List Option Printf String

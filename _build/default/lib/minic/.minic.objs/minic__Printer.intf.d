@@ -1,0 +1,1 @@
+lib/minic/printer.pp.mli: Ast

@@ -1,0 +1,165 @@
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* Split on a separator character at bracket depth 0. All three
+   bracket kinds nest: parens delimit parameter lists, and square
+   brackets/braces appear inside explicit platform-pattern targets
+   (e.g. Master[Worker{ARCHITECTURE=gpu},Worker{ARCHITECTURE=gpu}]). *)
+let split_top sep s =
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      (match c with
+      | '(' | '[' | '{' -> incr depth
+      | ')' | ']' | '}' -> decr depth
+      | _ -> ());
+      if c = sep && !depth = 0 then begin
+        parts := Buffer.contents buf :: !parts;
+        Buffer.clear buf
+      end
+      else Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev_map String.trim !parts
+
+let is_cascabel body =
+  match String.index_opt body ' ' with
+  | Some i -> String.sub body 0 i = "cascabel"
+  | None -> body = "cascabel"
+
+let strip_parens s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '(' && s.[n - 1] = ')' then
+    String.trim (String.sub s 1 (n - 2))
+  else fail "expected a parenthesized list, found %S" s
+
+let parse_params s =
+  let body = strip_parens s in
+  if String.trim body = "" then []
+  else
+    List.map
+      (fun item ->
+        match split_top ':' item with
+        | [ param; mode ] -> (
+            match Ast.access_mode_of_string (String.lowercase_ascii mode) with
+            | Some m -> { Ast.ps_param = param; ps_mode = m }
+            | None -> fail "unknown access mode %S for parameter %S" mode param)
+        | _ -> fail "malformed parameter spec %S (expected name:access)" item)
+      (split_top ',' body)
+
+let parse_dists s =
+  let body = strip_parens s in
+  if String.trim body = "" then []
+  else
+    List.map
+      (fun item ->
+        match split_top ':' item with
+        | param :: kind :: rest -> (
+            match Ast.dist_kind_of_string kind with
+            | Some k ->
+                let size =
+                  match rest with
+                  | [] -> None
+                  | [ sz ] -> Some sz
+                  | _ -> fail "too many fields in distribution spec %S" item
+                in
+                { Ast.ds_param = param; ds_kind = k; ds_size = size }
+            | None -> fail "unknown distribution %S for parameter %S" kind param)
+        | _ -> fail "malformed distribution spec %S" item)
+      (split_top ',' body)
+
+let parse_task segments =
+  match segments with
+  | [ targets; interface; name; params ] ->
+      let targets =
+        List.filter (fun t -> t <> "") (split_top ',' targets)
+      in
+      if targets = [] then fail "task annotation needs at least one target";
+      if interface = "" then fail "task annotation needs a task identifier";
+      if name = "" then fail "task annotation needs a task name";
+      Ast.Task_pragma
+        {
+          ta_targets = targets;
+          ta_interface = interface;
+          ta_name = name;
+          ta_params = parse_params params;
+        }
+  | _ ->
+      fail
+        "task annotation expects 4 ':'-separated fields \
+         (targets:identifier:name:(params)), found %d"
+        (List.length segments)
+
+let parse_execute head segments =
+  (* head = "execute <interface>" *)
+  let interface =
+    match String.split_on_char ' ' head |> List.filter (( <> ) "") with
+    | [ "execute"; id ] -> id
+    | _ -> fail "execute annotation must name a task identifier"
+  in
+  match segments with
+  | [ group_and_dists ] ->
+      let group, dists =
+        match String.index_opt group_and_dists '(' with
+        | Some i ->
+            ( String.trim (String.sub group_and_dists 0 i),
+              parse_dists
+                (String.sub group_and_dists i
+                   (String.length group_and_dists - i)) )
+        | None -> (String.trim group_and_dists, [])
+      in
+      if group = "" then fail "execute annotation needs an execution group";
+      Ast.Execute_pragma
+        { ea_interface = interface; ea_group = group; ea_dists = dists }
+  | [] -> fail "execute annotation needs an execution group"
+  | _ -> fail "execute annotation has too many ':' fields"
+
+let parse body =
+  if not (is_cascabel body) then
+    fail "not a cascabel pragma: %S" body;
+  let rest =
+    String.trim (String.sub body 8 (String.length body - 8))
+  in
+  match split_top ':' rest with
+  | head :: segments ->
+      let head = String.trim head in
+      if head = "task" then parse_task segments
+      else if
+        String.length head >= 7 && String.sub head 0 7 = "execute"
+      then parse_execute head segments
+      else fail "unknown cascabel annotation %S (expected task or execute)" head
+  | [] -> fail "empty cascabel pragma"
+
+let task_to_string (t : Ast.task_annot) =
+  Printf.sprintf "cascabel task : %s : %s : %s : (%s)"
+    (String.concat ", " t.ta_targets)
+    t.ta_interface t.ta_name
+    (String.concat ", "
+       (List.map
+          (fun p ->
+            Printf.sprintf "%s: %s" p.Ast.ps_param
+              (Ast.access_mode_to_string p.Ast.ps_mode))
+          t.ta_params))
+
+let exec_to_string (e : Ast.exec_annot) =
+  Printf.sprintf "cascabel execute %s : %s%s" e.ea_interface e.ea_group
+    (if e.ea_dists = [] then ""
+     else
+       Printf.sprintf " (%s)"
+         (String.concat ", "
+            (List.map
+               (fun d ->
+                 Printf.sprintf "%s:%s%s" d.Ast.ds_param
+                   (Ast.dist_kind_to_string d.Ast.ds_kind)
+                   (match d.Ast.ds_size with
+                   | Some sz -> ":" ^ sz
+                   | None -> ""))
+               e.ea_dists)))
+
+let to_string = function
+  | Ast.Task_pragma t -> task_to_string t
+  | Ast.Execute_pragma e -> exec_to_string e

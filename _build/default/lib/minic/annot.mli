@@ -1,0 +1,33 @@
+(** Parsing of [#pragma cascabel] annotation bodies (paper §IV-A).
+
+    Syntax, as in the paper:
+
+    {v
+    #pragma cascabel task
+        : targetplatformlist        (comma-separated)
+        : taskidentifier
+        : taskname
+        : (param : access, ...)     access in {read, write, readwrite}
+
+    #pragma cascabel execute taskidentifier
+        : executiongroup
+        (param : BLOCK|CYCLIC|BLOCKCYCLIC [: size], ...)
+    v}
+
+    The lexer folds continuation lines, so a body arrives as a single
+    string. *)
+
+exception Error of string
+
+val parse : string -> Ast.pragma
+(** Parse a pragma body (the text after [#pragma]). Bodies not
+    starting with [cascabel] raise — the caller filters.
+    @raise Error on malformed cascabel annotations. *)
+
+val is_cascabel : string -> bool
+
+val task_to_string : Ast.task_annot -> string
+(** Render back to canonical single-line pragma body form. *)
+
+val exec_to_string : Ast.exec_annot -> string
+val to_string : Ast.pragma -> string

@@ -1,0 +1,166 @@
+(* Abstract syntax of the C subset Cascabel consumes, plus the
+   structured form of the paper's #pragma cascabel annotations. *)
+
+type pos = { line : int; col : int } [@@deriving show { with_path = false }, eq]
+
+(* --- types ----------------------------------------------------------- *)
+
+type ctype =
+  | Void
+  | Char
+  | Short
+  | Int
+  | Long
+  | Float
+  | Double
+  | Unsigned of ctype
+  | Pointer of ctype
+  | Array of ctype * expr option  (** [double a[N]] *)
+  | Struct_ref of string  (** [struct foo] *)
+  | Named of string  (** typedef name *)
+[@@deriving show { with_path = false }, eq]
+
+(* --- expressions ----------------------------------------------------- *)
+
+and unop = Neg | Pos | Not | Bit_not | Deref | Addr | Pre_inc | Pre_dec
+[@@deriving show { with_path = false }, eq]
+
+and binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Gt | Le | Ge
+  | And | Or
+  | Bit_and | Bit_or | Bit_xor | Shl | Shr
+[@@deriving show { with_path = false }, eq]
+
+and expr =
+  | Int_lit of string  (** lexical form kept: [0x10], [42L] *)
+  | Float_lit of string
+  | Char_lit of string  (** body between quotes, escapes kept *)
+  | String_lit of string
+  | Ident of string
+  | Call of expr * expr list
+  | Index of expr * expr
+  | Member of expr * string  (** [e.f] *)
+  | Arrow of expr * string  (** [e->f] *)
+  | Unary of unop * expr
+  | Post_inc of expr
+  | Post_dec of expr
+  | Binary of binop * expr * expr
+  | Assign of string option * expr * expr
+      (** [Assign (op, lhs, rhs)]: [op] is [None] for [=], [Some "+"]
+          for [+=], ... *)
+  | Ternary of expr * expr * expr
+  | Cast of ctype * expr
+  | Sizeof_type of ctype
+  | Sizeof_expr of expr
+  | Comma of expr * expr
+[@@deriving show { with_path = false }, eq]
+
+(* --- statements and declarations ------------------------------------- *)
+
+type declarator = {
+  d_name : string;
+  d_type : ctype;  (** full type with pointers/arrays applied *)
+  d_init : expr option;
+}
+[@@deriving show { with_path = false }, eq]
+
+type stmt =
+  | Expr_stmt of expr option  (** [;] when [None] *)
+  | Decl_stmt of declarator list
+  | Block of stmt list
+  | If of expr * stmt * stmt option
+  | While of expr * stmt
+  | Do_while of stmt * expr
+  | For of for_init option * expr option * expr option * stmt
+  | Return of expr option
+  | Break
+  | Continue
+  | Pragma_stmt of pragma * stmt
+      (** an [execute] pragma attached to the following statement *)
+
+and for_init = For_expr of expr | For_decl of declarator list
+[@@deriving show { with_path = false }, eq]
+
+(* --- annotations (paper §IV-A) --------------------------------------- *)
+
+and access_mode = Read | Write | Readwrite
+[@@deriving show { with_path = false }, eq]
+
+and param_spec = { ps_param : string; ps_mode : access_mode }
+[@@deriving show { with_path = false }, eq]
+
+and dist_kind = Block_dist | Cyclic_dist | Block_cyclic_dist
+[@@deriving show { with_path = false }, eq]
+
+and dist_spec = {
+  ds_param : string;
+  ds_kind : dist_kind;
+  ds_size : string option;  (** optional size argument *)
+}
+[@@deriving show { with_path = false }, eq]
+
+and task_annot = {
+  ta_targets : string list;  (** targetplatformlist, e.g. ["x86"; "OpenCL"] *)
+  ta_interface : string;  (** taskidentifier *)
+  ta_name : string;  (** taskname: unique per implementation *)
+  ta_params : param_spec list;
+}
+[@@deriving show { with_path = false }, eq]
+
+and exec_annot = {
+  ea_interface : string;
+  ea_group : string;  (** executiongroup -> LogicGroupAttribute *)
+  ea_dists : dist_spec list;
+}
+[@@deriving show { with_path = false }, eq]
+
+and pragma = Task_pragma of task_annot | Execute_pragma of exec_annot
+[@@deriving show { with_path = false }, eq]
+
+(* --- top level -------------------------------------------------------- *)
+
+type param = { p_name : string; p_type : ctype }
+[@@deriving show { with_path = false }, eq]
+
+type func = {
+  f_name : string;
+  f_return : ctype;
+  f_params : param list;
+  f_body : stmt list option;  (** [None] for prototypes *)
+  f_task : task_annot option;  (** attached task pragma, if any *)
+}
+[@@deriving show { with_path = false }, eq]
+
+type top =
+  | Func of func
+  | Global of declarator list
+  | Typedef of string * ctype
+  | Include of string  (** verbatim [#include ...] line *)
+  | Define of string  (** verbatim [#define ...] line *)
+[@@deriving show { with_path = false }, eq]
+
+type unit_ = top list [@@deriving show { with_path = false }, eq]
+
+let access_mode_of_string = function
+  | "read" -> Some Read
+  | "write" -> Some Write
+  | "readwrite" -> Some Readwrite
+  | _ -> None
+
+let access_mode_to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Readwrite -> "readwrite"
+
+let dist_kind_of_string s =
+  match String.uppercase_ascii s with
+  | "BLOCK" -> Some Block_dist
+  | "CYCLIC" -> Some Cyclic_dist
+  | "BLOCKCYCLIC" | "BLOCK_CYCLIC" | "BLOCK-CYCLIC" -> Some Block_cyclic_dist
+  | _ -> None
+
+let dist_kind_to_string = function
+  | Block_dist -> "BLOCK"
+  | Cyclic_dist -> "CYCLIC"
+  | Block_cyclic_dist -> "BLOCKCYCLIC"

@@ -1,0 +1,269 @@
+type error = { message : string; line : int; col : int }
+
+exception Error of error
+
+let error_to_string e =
+  Printf.sprintf "%s at line %d, column %d" e.message e.line e.col
+
+type state = {
+  src : string;
+  mutable i : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let fail st fmt =
+  Printf.ksprintf
+    (fun message -> raise (Error { message; line = st.line; col = st.col }))
+    fmt
+
+let eof st = st.i >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.i]
+
+let peek2 st =
+  if st.i + 1 >= String.length st.src then '\000' else st.src.[st.i + 1]
+
+let advance st =
+  (if peek st = '\n' then begin
+     st.line <- st.line + 1;
+     st.col <- 1
+   end
+   else st.col <- st.col + 1);
+  st.i <- st.i + 1
+
+let looking_at st s =
+  let n = String.length s in
+  st.i + n <= String.length st.src && String.sub st.src st.i n = s
+
+let skip_n st n =
+  for _ = 1 to n do
+    advance st
+  done
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let read_while st p =
+  let start = st.i in
+  while (not (eof st)) && p (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.i - start)
+
+let read_line st =
+  let start = st.i in
+  while (not (eof st)) && peek st <> '\n' do
+    advance st
+  done;
+  String.sub st.src start (st.i - start)
+
+(* A number: integer or float, keeping the lexical form. *)
+let read_number st =
+  let start = st.i in
+  let is_float = ref false in
+  if looking_at st "0x" || looking_at st "0X" then begin
+    skip_n st 2;
+    let _ = read_while st (fun c -> is_digit c || (Char.lowercase_ascii c >= 'a' && Char.lowercase_ascii c <= 'f')) in
+    ()
+  end
+  else begin
+    let _ = read_while st is_digit in
+    if peek st = '.' && is_digit (peek2 st) then begin
+      is_float := true;
+      advance st;
+      let _ = read_while st is_digit in
+      ()
+    end
+    else if peek st = '.' && not (is_ident_start (peek2 st)) then begin
+      is_float := true;
+      advance st
+    end;
+    if peek st = 'e' || peek st = 'E' then begin
+      is_float := true;
+      advance st;
+      if peek st = '+' || peek st = '-' then advance st;
+      let _ = read_while st is_digit in
+      ()
+    end
+  end;
+  (* suffixes *)
+  let _ =
+    read_while st (fun c ->
+        match Char.lowercase_ascii c with
+        | 'u' | 'l' -> true
+        | 'f' when !is_float -> true
+        | _ -> false)
+  in
+  let text = String.sub st.src start (st.i - start) in
+  if !is_float then Token.Float_lit text else Token.Int_lit text
+
+let read_quoted st quote what =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if eof st then fail st "unterminated %s" what
+    else
+      match peek st with
+      | c when c = quote -> advance st
+      | '\\' ->
+          Buffer.add_char buf '\\';
+          advance st;
+          if eof st then fail st "unterminated %s" what;
+          Buffer.add_char buf (peek st);
+          advance st;
+          loop ()
+      | '\n' -> fail st "newline in %s" what
+      | c ->
+          Buffer.add_char buf c;
+          advance st;
+          loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+(* Pragma bodies may continue over lines in the paper's layout: a
+   continuation line starts (after whitespace) with ':' or '('.
+   Backslash-newline also continues, as in real C. *)
+let read_pragma_body st =
+  let buf = Buffer.create 64 in
+  let rec read_one_line () =
+    let line = read_line st in
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\\' then begin
+      Buffer.add_string buf (String.sub line 0 (n - 1));
+      Buffer.add_char buf ' ';
+      if not (eof st) then advance st;
+      read_one_line ()
+    end
+    else Buffer.add_string buf line
+  in
+  read_one_line ();
+  let paren_depth () =
+    let d = ref 0 in
+    String.iter
+      (fun c -> if c = '(' then incr d else if c = ')' then decr d)
+      (Buffer.contents buf);
+    !d
+  in
+  let rec continuations () =
+    (* Unbalanced parentheses always continue; otherwise look ahead
+       for a line starting with ':' or '(' (the paper's layout). *)
+    let save = (st.i, st.line, st.col) in
+    if not (eof st) then begin
+      advance st (* the newline *);
+      while (not (eof st)) && (peek st = ' ' || peek st = '\t') do
+        advance st
+      done;
+      if
+        (not (eof st))
+        && (paren_depth () > 0 || peek st = ':' || peek st = '(')
+      then begin
+        Buffer.add_char buf ' ';
+        read_one_line ();
+        continuations ()
+      end
+      else begin
+        let i, line, col = save in
+        st.i <- i;
+        st.line <- line;
+        st.col <- col
+      end
+    end
+  in
+  continuations ();
+  String.trim (Buffer.contents buf)
+
+let tokenize src =
+  let st = { src; i = 0; line = 1; col = 1 } in
+  let tokens = ref [] in
+  let emit tok pos = tokens := (tok, pos) :: !tokens in
+  let rec loop () =
+    if eof st then emit Token.EOF { Ast.line = st.line; col = st.col }
+    else begin
+      let pos = { Ast.line = st.line; col = st.col } in
+      match peek st with
+      | ' ' | '\t' | '\r' | '\n' ->
+          advance st;
+          loop ()
+      | '/' when peek2 st = '/' ->
+          let _ = read_line st in
+          loop ()
+      | '/' when peek2 st = '*' ->
+          skip_n st 2;
+          let rec comment () =
+            if eof st then fail st "unterminated comment"
+            else if looking_at st "*/" then skip_n st 2
+            else begin
+              advance st;
+              comment ()
+            end
+          in
+          comment ();
+          loop ()
+      | '#' ->
+          let line_start = st.col = 1 || begin
+            (* only treat # at line start (modulo blanks) as cpp *)
+            let rec back j =
+              j < 0 || (match src.[j] with
+                        | ' ' | '\t' -> back (j - 1)
+                        | '\n' -> true
+                        | _ -> false)
+            in
+            back (st.i - 1)
+          end
+          in
+          if not line_start then fail st "stray '#'"
+          else begin
+            advance st;
+            while peek st = ' ' || peek st = '\t' do
+              advance st
+            done;
+            let word = read_while st is_ident_char in
+            match word with
+            | "pragma" ->
+                while peek st = ' ' || peek st = '\t' do
+                  advance st
+                done;
+                emit (Token.Pragma (read_pragma_body st)) pos;
+                loop ()
+            | "include" | "define" | "ifdef" | "ifndef" | "endif" | "undef"
+            | "if" | "else" | "elif" ->
+                let rest = read_line st in
+                emit (Token.Hash_line ("#" ^ word ^ rest)) pos;
+                loop ()
+            | other -> fail st "unsupported preprocessor directive #%s" other
+          end
+      | c when is_digit c ->
+          emit (read_number st) pos;
+          loop ()
+      | '.' when is_digit (peek2 st) ->
+          emit (read_number st) pos;
+          loop ()
+      | c when is_ident_start c ->
+          let word = read_while st is_ident_char in
+          emit
+            (if Token.is_keyword word then Token.Keyword word
+             else Token.Ident word)
+            pos;
+          loop ()
+      | '"' ->
+          emit (Token.String_lit (read_quoted st '"' "string literal")) pos;
+          loop ()
+      | '\'' ->
+          emit (Token.Char_lit (read_quoted st '\'' "character literal")) pos;
+          loop ()
+      | _ -> (
+          match List.find_opt (looking_at st) Token.puncts with
+          | Some p ->
+              skip_n st (String.length p);
+              emit (Token.Punct p) pos;
+              loop ()
+          | None -> fail st "unexpected character %C" (peek st))
+    end
+  in
+  loop ();
+  List.rev !tokens

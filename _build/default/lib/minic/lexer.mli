@@ -1,0 +1,16 @@
+(** Lexer for the C subset.
+
+    Produces a token list with source positions. Comments are
+    skipped; [#pragma] lines become single {!Token.Pragma} tokens
+    (with paper-style continuation lines folded in); other
+    preprocessor lines ([#include], [#define]) are kept verbatim as
+    tokens so the unparser can reproduce them. *)
+
+type error = { message : string; line : int; col : int }
+
+exception Error of error
+
+val error_to_string : error -> string
+
+val tokenize : string -> (Token.t * Ast.pos) list
+(** @raise Error on invalid input. The list ends with {!Token.EOF}. *)

@@ -1,0 +1,653 @@
+open Ast
+
+type error = { message : string; line : int; col : int }
+
+exception Error of error
+
+let error_to_string e =
+  Printf.sprintf "%s at line %d, column %d" e.message e.line e.col
+
+type state = {
+  tokens : (Token.t * Ast.pos) array;
+  mutable i : int;
+  mutable typedefs : string list;
+}
+
+let current st = fst st.tokens.(st.i)
+let pos st = snd st.tokens.(st.i)
+
+let fail st fmt =
+  let p = pos st in
+  Printf.ksprintf
+    (fun message -> raise (Error { message; line = p.line; col = p.col }))
+    fmt
+
+let advance st = if st.i < Array.length st.tokens - 1 then st.i <- st.i + 1
+
+let eat_punct st p =
+  match current st with
+  | Token.Punct q when q = p -> advance st
+  | tok -> fail st "expected %S, found %S" p (Token.to_string tok)
+
+let eat_keyword st k =
+  match current st with
+  | Token.Keyword q when q = k -> advance st
+  | tok -> fail st "expected %S, found %S" k (Token.to_string tok)
+
+let is_punct st p = match current st with Token.Punct q -> q = p | _ -> false
+let is_keyword st k = match current st with Token.Keyword q -> q = k | _ -> false
+
+let eat_ident st =
+  match current st with
+  | Token.Ident name ->
+      advance st;
+      name
+  | tok -> fail st "expected an identifier, found %S" (Token.to_string tok)
+
+(* --- types ------------------------------------------------------------ *)
+
+let type_keywords =
+  [ "void"; "char"; "short"; "int"; "long"; "float"; "double"; "unsigned";
+    "signed"; "struct"; "union"; "enum" ]
+
+let qualifier_keywords = [ "const"; "static"; "extern" ]
+
+let rec skip_qualifiers st =
+  match current st with
+  | Token.Keyword k when List.mem k qualifier_keywords ->
+      advance st;
+      skip_qualifiers st
+  | _ -> ()
+
+let starts_type st =
+  match current st with
+  | Token.Keyword k -> List.mem k type_keywords || List.mem k qualifier_keywords
+  | Token.Ident name -> List.mem name st.typedefs
+  | _ -> false
+
+(* Base type: one or more specifier keywords, or a typedef name. *)
+let parse_base_type st =
+  skip_qualifiers st;
+  match current st with
+  | Token.Ident name when List.mem name st.typedefs ->
+      advance st;
+      Named name
+  | Token.Keyword ("struct" | "union" | "enum") ->
+      advance st;
+      let name = eat_ident st in
+      Struct_ref name
+  | Token.Keyword _ ->
+      let rec collect acc =
+        match current st with
+        | Token.Keyword k when List.mem k type_keywords ->
+            advance st;
+            collect (k :: acc)
+        | Token.Keyword k when List.mem k qualifier_keywords ->
+            advance st;
+            collect acc
+        | _ -> List.rev acc
+      in
+      let specs = collect [] in
+      if specs = [] then fail st "expected a type";
+      let unsigned = List.mem "unsigned" specs in
+      let specs = List.filter (fun s -> s <> "unsigned" && s <> "signed") specs in
+      let base =
+        match specs with
+        | [ "void" ] -> Void
+        | [ "char" ] -> Char
+        | [ "short" ] | [ "short"; "int" ] -> Short
+        | [] | [ "int" ] -> Int
+        | [ "long" ] | [ "long"; "int" ] | [ "long"; "long" ]
+        | [ "long"; "long"; "int" ] ->
+            Long
+        | [ "float" ] -> Float
+        | [ "double" ] | [ "long"; "double" ] -> Double
+        | _ -> fail st "unsupported type specifiers: %s" (String.concat " " specs)
+      in
+      if unsigned then Unsigned base else base
+  | tok -> fail st "expected a type, found %S" (Token.to_string tok)
+
+let parse_pointers st base =
+  let ty = ref base in
+  while is_punct st "*" do
+    advance st;
+    skip_qualifiers st;
+    ty := Pointer !ty
+  done;
+  !ty
+
+(* --- expressions -------------------------------------------------------- *)
+
+let rec parse_expr_top st = parse_comma st
+
+and parse_comma st =
+  let e = parse_assign st in
+  if is_punct st "," then begin
+    advance st;
+    Comma (e, parse_comma st)
+  end
+  else e
+
+and parse_assign st =
+  let lhs = parse_ternary st in
+  let op =
+    match current st with
+    | Token.Punct "=" -> Some None
+    | Token.Punct ("+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" |
+                   "<<=" | ">>=" as p) ->
+        Some (Some (String.sub p 0 (String.length p - 1)))
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+      advance st;
+      Assign (op, lhs, parse_assign st)
+  | None -> lhs
+
+and parse_ternary st =
+  let cond = parse_binary st 0 in
+  if is_punct st "?" then begin
+    advance st;
+    let then_ = parse_assign st in
+    eat_punct st ":";
+    let else_ = parse_assign st in
+    Ternary (cond, then_, else_)
+  end
+  else cond
+
+(* precedence-climbing over binary operators *)
+and binop_levels =
+  [
+    [ ("||", Or) ];
+    [ ("&&", And) ];
+    [ ("|", Bit_or) ];
+    [ ("^", Bit_xor) ];
+    [ ("&", Bit_and) ];
+    [ ("==", Eq); ("!=", Neq) ];
+    [ ("<", Lt); (">", Gt); ("<=", Le); (">=", Ge) ];
+    [ ("<<", Shl); (">>", Shr) ];
+    [ ("+", Add); ("-", Sub) ];
+    [ ("*", Mul); ("/", Div); ("%", Mod) ];
+  ]
+
+and parse_binary st level =
+  if level >= List.length binop_levels then parse_unary st
+  else begin
+    let ops = List.nth binop_levels level in
+    let lhs = ref (parse_binary st (level + 1)) in
+    let continue = ref true in
+    while !continue do
+      match current st with
+      | Token.Punct p when List.mem_assoc p ops ->
+          advance st;
+          let rhs = parse_binary st (level + 1) in
+          lhs := Binary (List.assoc p ops, !lhs, rhs)
+      | _ -> continue := false
+    done;
+    !lhs
+  end
+
+and parse_unary st =
+  match current st with
+  | Token.Punct "-" ->
+      advance st;
+      Unary (Neg, parse_unary st)
+  | Token.Punct "+" ->
+      advance st;
+      Unary (Pos, parse_unary st)
+  | Token.Punct "!" ->
+      advance st;
+      Unary (Not, parse_unary st)
+  | Token.Punct "~" ->
+      advance st;
+      Unary (Bit_not, parse_unary st)
+  | Token.Punct "*" ->
+      advance st;
+      Unary (Deref, parse_unary st)
+  | Token.Punct "&" ->
+      advance st;
+      Unary (Addr, parse_unary st)
+  | Token.Punct "++" ->
+      advance st;
+      Unary (Pre_inc, parse_unary st)
+  | Token.Punct "--" ->
+      advance st;
+      Unary (Pre_dec, parse_unary st)
+  | Token.Keyword "sizeof" ->
+      advance st;
+      if is_punct st "(" && starts_type_at st (st.i + 1) then begin
+        eat_punct st "(";
+        let base = parse_base_type st in
+        let ty = parse_pointers st base in
+        eat_punct st ")";
+        Sizeof_type ty
+      end
+      else Sizeof_expr (parse_unary st)
+  | Token.Punct "(" when starts_type_at st (st.i + 1) ->
+      eat_punct st "(";
+      let base = parse_base_type st in
+      let ty = parse_pointers st base in
+      eat_punct st ")";
+      Cast (ty, parse_unary st)
+  | _ -> parse_postfix st
+
+and starts_type_at st i =
+  match fst st.tokens.(i) with
+  | Token.Keyword k -> List.mem k type_keywords || List.mem k qualifier_keywords
+  | Token.Ident name -> List.mem name st.typedefs
+  | _ -> false
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    match current st with
+    | Token.Punct "(" ->
+        advance st;
+        let args =
+          if is_punct st ")" then []
+          else begin
+            let rec args acc =
+              let a = parse_assign st in
+              if is_punct st "," then begin
+                advance st;
+                args (a :: acc)
+              end
+              else List.rev (a :: acc)
+            in
+            args []
+          end
+        in
+        eat_punct st ")";
+        e := Call (!e, args)
+    | Token.Punct "[" ->
+        advance st;
+        let idx = parse_expr_top st in
+        eat_punct st "]";
+        e := Index (!e, idx)
+    | Token.Punct "." ->
+        advance st;
+        e := Member (!e, eat_ident st)
+    | Token.Punct "->" ->
+        advance st;
+        e := Arrow (!e, eat_ident st)
+    | Token.Punct "++" ->
+        advance st;
+        e := Post_inc !e
+    | Token.Punct "--" ->
+        advance st;
+        e := Post_dec !e
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_primary st =
+  match current st with
+  | Token.Int_lit s ->
+      advance st;
+      Int_lit s
+  | Token.Float_lit s ->
+      advance st;
+      Float_lit s
+  | Token.Char_lit s ->
+      advance st;
+      Char_lit s
+  | Token.String_lit s ->
+      advance st;
+      String_lit s
+  | Token.Ident name ->
+      advance st;
+      Ident name
+  | Token.Punct "(" ->
+      advance st;
+      let e = parse_expr_top st in
+      eat_punct st ")";
+      e
+  | tok -> fail st "expected an expression, found %S" (Token.to_string tok)
+
+(* --- declarations -------------------------------------------------------- *)
+
+(* declarator: '*'* name ('[' expr? ']')*, with optional initializer *)
+and parse_declarator st base =
+  let ty = parse_pointers st base in
+  let name = eat_ident st in
+  let ty = ref ty in
+  (* Array suffixes bind outside-in: int a[2][3] is array of arrays. *)
+  let rec arrays () =
+    if is_punct st "[" then begin
+      advance st;
+      let size = if is_punct st "]" then None else Some (parse_assign st) in
+      eat_punct st "]";
+      arrays ();
+      ty := Array (!ty, size)
+    end
+  in
+  arrays ();
+  let init =
+    if is_punct st "=" then begin
+      advance st;
+      Some (parse_assign st)
+    end
+    else None
+  in
+  { d_name = name; d_type = !ty; d_init = init }
+
+and parse_declarator_list st base =
+  let rec loop acc =
+    let d = parse_declarator st base in
+    if is_punct st "," then begin
+      advance st;
+      loop (d :: acc)
+    end
+    else List.rev (d :: acc)
+  in
+  loop []
+
+(* --- statements ---------------------------------------------------------- *)
+
+let rec parse_stmt st =
+  match current st with
+  | Token.Pragma body when Annot.is_cascabel body -> (
+      advance st;
+      match Annot.parse body with
+      | Execute_pragma _ as p -> Pragma_stmt (p, parse_stmt st)
+      | Task_pragma _ ->
+          fail st "task pragmas belong before function definitions"
+      | exception Annot.Error msg -> fail st "bad cascabel pragma: %s" msg)
+  | Token.Pragma _ ->
+      (* Foreign pragmas are skipped. *)
+      advance st;
+      parse_stmt st
+  | Token.Punct "{" ->
+      advance st;
+      let rec items acc =
+        if is_punct st "}" then begin
+          advance st;
+          List.rev acc
+        end
+        else items (parse_stmt st :: acc)
+      in
+      Block (items [])
+  | Token.Punct ";" ->
+      advance st;
+      Expr_stmt None
+  | Token.Keyword "if" ->
+      advance st;
+      eat_punct st "(";
+      let cond = parse_expr_top st in
+      eat_punct st ")";
+      let then_ = parse_stmt st in
+      let else_ =
+        if is_keyword st "else" then begin
+          advance st;
+          Some (parse_stmt st)
+        end
+        else None
+      in
+      If (cond, then_, else_)
+  | Token.Keyword "while" ->
+      advance st;
+      eat_punct st "(";
+      let cond = parse_expr_top st in
+      eat_punct st ")";
+      While (cond, parse_stmt st)
+  | Token.Keyword "do" ->
+      advance st;
+      let body = parse_stmt st in
+      eat_keyword st "while";
+      eat_punct st "(";
+      let cond = parse_expr_top st in
+      eat_punct st ")";
+      eat_punct st ";";
+      Do_while (body, cond)
+  | Token.Keyword "for" ->
+      advance st;
+      eat_punct st "(";
+      let init =
+        if is_punct st ";" then None
+        else if starts_type st then begin
+          let base = parse_base_type st in
+          Some (For_decl (parse_declarator_list st base))
+        end
+        else Some (For_expr (parse_expr_top st))
+      in
+      eat_punct st ";";
+      let cond = if is_punct st ";" then None else Some (parse_expr_top st) in
+      eat_punct st ";";
+      let step = if is_punct st ")" then None else Some (parse_expr_top st) in
+      eat_punct st ")";
+      For (init, cond, step, parse_stmt st)
+  | Token.Keyword "return" ->
+      advance st;
+      let e = if is_punct st ";" then None else Some (parse_expr_top st) in
+      eat_punct st ";";
+      Return e
+  | Token.Keyword "break" ->
+      advance st;
+      eat_punct st ";";
+      Break
+  | Token.Keyword "continue" ->
+      advance st;
+      eat_punct st ";";
+      Continue
+  | _ when starts_type st ->
+      let base = parse_base_type st in
+      let decls = parse_declarator_list st base in
+      eat_punct st ";";
+      Decl_stmt decls
+  | _ ->
+      let e = parse_expr_top st in
+      eat_punct st ";";
+      Expr_stmt (Some e)
+
+(* --- top level ------------------------------------------------------------ *)
+
+let parse_params st =
+  eat_punct st "(";
+  if is_punct st ")" then begin
+    advance st;
+    []
+  end
+  else if is_keyword st "void" && fst st.tokens.(st.i + 1) = Token.Punct ")" then begin
+    advance st;
+    advance st;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let base = parse_base_type st in
+      let ty = parse_pointers st base in
+      let name = eat_ident st in
+      let ty = ref ty in
+      let rec arrays () =
+        if is_punct st "[" then begin
+          advance st;
+          let size = if is_punct st "]" then None else Some (parse_assign st) in
+          eat_punct st "]";
+          arrays ();
+          ty := Array (!ty, size)
+        end
+      in
+      arrays ();
+      let p = { p_name = name; p_type = !ty } in
+      if is_punct st "," then begin
+        advance st;
+        loop (p :: acc)
+      end
+      else begin
+        eat_punct st ")";
+        List.rev (p :: acc)
+      end
+    in
+    loop []
+  end
+
+let parse_unit st =
+  let items = ref [] in
+  let pending_task = ref None in
+  let attach_or_fail () =
+    if !pending_task <> None then
+      fail st "task pragma not followed by a function definition"
+  in
+  let rec loop () =
+    match current st with
+    | Token.EOF -> attach_or_fail ()
+    | Token.Hash_line line ->
+        attach_or_fail ();
+        advance st;
+        let item =
+          if String.length line >= 8 && String.sub line 0 8 = "#include" then
+            Include line
+          else Define line
+        in
+        items := item :: !items;
+        loop ()
+    | Token.Pragma body when Annot.is_cascabel body -> (
+        advance st;
+        match Annot.parse body with
+        | Task_pragma t ->
+            if !pending_task <> None then
+              fail st "two task pragmas before one function";
+            pending_task := Some t;
+            loop ()
+        | Execute_pragma _ ->
+            fail st "execute pragmas belong inside function bodies"
+        | exception Annot.Error msg -> fail st "bad cascabel pragma: %s" msg)
+    | Token.Pragma _ ->
+        advance st;
+        loop ()
+    | Token.Keyword "typedef" ->
+        attach_or_fail ();
+        advance st;
+        let base = parse_base_type st in
+        let ty = parse_pointers st base in
+        let name = eat_ident st in
+        eat_punct st ";";
+        st.typedefs <- name :: st.typedefs;
+        items := Typedef (name, ty) :: !items;
+        loop ()
+    | _ when starts_type st ->
+        let base = parse_base_type st in
+        let ty = parse_pointers st base in
+        let name = eat_ident st in
+        if is_punct st "(" then begin
+          (* function definition or prototype *)
+          let params = parse_params st in
+          let body =
+            if is_punct st "{" then begin
+              match parse_stmt st with
+              | Block stmts -> Some stmts
+              | _ -> assert false
+            end
+            else begin
+              eat_punct st ";";
+              None
+            end
+          in
+          let task = !pending_task in
+          pending_task := None;
+          if task <> None && body = None then
+            fail st "task pragma on a prototype; a definition is required";
+          items :=
+            Func
+              {
+                f_name = name;
+                f_return = ty;
+                f_params = params;
+                f_body = body;
+                f_task = task;
+              }
+            :: !items;
+          loop ()
+        end
+        else begin
+          attach_or_fail ();
+          (* global declaration; first declarator already started *)
+          let ty = ref ty in
+          let rec arrays () =
+            if is_punct st "[" then begin
+              advance st;
+              let size =
+                if is_punct st "]" then None else Some (parse_assign st)
+              in
+              eat_punct st "]";
+              arrays ();
+              ty := Array (!ty, size)
+            end
+          in
+          arrays ();
+          let init =
+            if is_punct st "=" then begin
+              advance st;
+              Some (parse_assign st)
+            end
+            else None
+          in
+          let first = { d_name = name; d_type = !ty; d_init = init } in
+          let rest =
+            if is_punct st "," then begin
+              advance st;
+              parse_declarator_list st base
+            end
+            else []
+          in
+          eat_punct st ";";
+          items := Global (first :: rest) :: !items;
+          loop ()
+        end
+    | tok -> fail st "unexpected %S at top level" (Token.to_string tok)
+  in
+  loop ();
+  List.rev !items
+
+let make_state src =
+  { tokens = Array.of_list (Lexer.tokenize src); i = 0; typedefs = [] }
+
+let parse_exn src =
+  match make_state src with
+  | st -> parse_unit st
+  | exception Lexer.Error e ->
+      raise (Error { message = e.message; line = e.line; col = e.col })
+
+let parse src =
+  match parse_exn src with
+  | unit_ -> Ok unit_
+  | exception Error e -> Result.Error e
+
+let parse_expr src =
+  match make_state src with
+  | st -> (
+      match parse_expr_top st with
+      | e when current st = Token.EOF -> Ok e
+      | _ ->
+          Result.Error
+            { message = "trailing tokens after expression"; line = 0; col = 0 }
+      | exception Error e -> Result.Error e)
+  | exception Lexer.Error e ->
+      Result.Error { message = e.message; line = e.line; col = e.col }
+
+let tasks unit_ =
+  List.filter_map
+    (function Func f when f.f_task <> None -> Some f | _ -> None)
+    unit_
+
+let executes unit_ =
+  let found = ref [] in
+  let rec in_stmt = function
+    | Pragma_stmt (Execute_pragma e, s) ->
+        found := (e, s) :: !found;
+        in_stmt s
+    | Pragma_stmt (Task_pragma _, s) -> in_stmt s
+    | Block ss -> List.iter in_stmt ss
+    | If (_, a, b) ->
+        in_stmt a;
+        Option.iter in_stmt b
+    | While (_, s) | Do_while (s, _) | For (_, _, _, s) -> in_stmt s
+    | Expr_stmt _ | Decl_stmt _ | Return _ | Break | Continue -> ()
+  in
+  List.iter
+    (function
+      | Func { f_body = Some body; _ } -> List.iter in_stmt body
+      | _ -> ())
+    unit_;
+  List.rev !found

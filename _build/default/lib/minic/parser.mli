@@ -1,0 +1,29 @@
+(** Recursive-descent parser for the C subset.
+
+    Handles the constructs Cascabel programs use: function
+    definitions and prototypes, global and local declarations with
+    initializers, typedefs, structs (as opaque named types), the full
+    statement set, and C expressions with standard precedence.
+    [#pragma cascabel task] attaches to the next function definition;
+    [#pragma cascabel execute] attaches to the next statement.
+
+    [const]/[static]/[extern] qualifiers are accepted and dropped. *)
+
+type error = { message : string; line : int; col : int }
+
+exception Error of error
+
+val error_to_string : error -> string
+
+val parse : string -> (Ast.unit_, error) result
+val parse_exn : string -> Ast.unit_
+
+val parse_expr : string -> (Ast.expr, error) result
+(** Parse a standalone expression (testing convenience). *)
+
+val tasks : Ast.unit_ -> Ast.func list
+(** Functions carrying a task annotation. *)
+
+val executes : Ast.unit_ -> (Ast.exec_annot * Ast.stmt) list
+(** Every execute-annotated statement in the unit, in source order
+    (searches all function bodies). *)

@@ -1,0 +1,250 @@
+open Ast
+
+let rec type_to_string = function
+  | Void -> "void"
+  | Char -> "char"
+  | Short -> "short"
+  | Int -> "int"
+  | Long -> "long"
+  | Float -> "float"
+  | Double -> "double"
+  | Unsigned t -> "unsigned " ^ type_to_string t
+  | Pointer t -> type_to_string t ^ "*"
+  | Array (t, _) -> type_to_string t ^ "[]"
+  | Struct_ref name -> "struct " ^ name
+  | Named name -> name
+
+(* Operator precedence, mirroring the parser's levels.  Higher binds
+   tighter. *)
+let binop_prec = function
+  | Or -> 3
+  | And -> 4
+  | Bit_or -> 5
+  | Bit_xor -> 6
+  | Bit_and -> 7
+  | Eq | Neq -> 8
+  | Lt | Gt | Le | Ge -> 9
+  | Shl | Shr -> 10
+  | Add | Sub -> 11
+  | Mul | Div | Mod -> 12
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Neq -> "!=" | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">="
+  | And -> "&&" | Or -> "||"
+  | Bit_and -> "&" | Bit_or -> "|" | Bit_xor -> "^" | Shl -> "<<" | Shr -> ">>"
+
+let unop_to_string = function
+  | Neg -> "-" | Pos -> "+" | Not -> "!" | Bit_not -> "~"
+  | Deref -> "*" | Addr -> "&" | Pre_inc -> "++" | Pre_dec -> "--"
+
+let rec expr_prec = function
+  | Comma _ -> 0
+  | Assign _ -> 1
+  | Ternary _ -> 2
+  | Binary (op, _, _) -> binop_prec op
+  | Unary _ | Cast _ | Sizeof_type _ | Sizeof_expr _ -> 13
+  | Post_inc _ | Post_dec _ | Call _ | Index _ | Member _ | Arrow _ -> 14
+  | Int_lit _ | Float_lit _ | Char_lit _ | String_lit _ | Ident _ -> 15
+
+and print_expr ~min_prec e =
+  let body =
+    match e with
+    | Int_lit s | Float_lit s -> s
+    | Char_lit s -> Printf.sprintf "'%s'" s
+    | String_lit s -> Printf.sprintf "\"%s\"" (escape_string s)
+    | Ident s -> s
+    | Call (f, args) ->
+        Printf.sprintf "%s(%s)"
+          (print_expr ~min_prec:14 f)
+          (String.concat ", " (List.map (print_expr ~min_prec:1) args))
+    | Index (a, i) ->
+        Printf.sprintf "%s[%s]" (print_expr ~min_prec:14 a)
+          (print_expr ~min_prec:0 i)
+    | Member (e, f) -> Printf.sprintf "%s.%s" (print_expr ~min_prec:14 e) f
+    | Arrow (e, f) -> Printf.sprintf "%s->%s" (print_expr ~min_prec:14 e) f
+    | Unary (op, e) ->
+        (* Avoid gluing "- -x" into "--x". *)
+        let operand = print_expr ~min_prec:13 e in
+        let sep =
+          match (op, e) with
+          | (Neg | Pre_dec), (Unary ((Neg | Pre_dec), _) | Int_lit _) when operand.[0] = '-' -> " "
+          | (Pos | Pre_inc), Unary ((Pos | Pre_inc), _) -> " "
+          | _ -> ""
+        in
+        unop_to_string op ^ sep ^ operand
+    | Post_inc e -> print_expr ~min_prec:14 e ^ "++"
+    | Post_dec e -> print_expr ~min_prec:14 e ^ "--"
+    | Binary (op, a, b) ->
+        let p = binop_prec op in
+        (* left-assoc: left child same level, right child one higher *)
+        Printf.sprintf "%s %s %s" (print_expr ~min_prec:p a)
+          (binop_to_string op)
+          (print_expr ~min_prec:(p + 1) b)
+    | Assign (op, lhs, rhs) ->
+        Printf.sprintf "%s %s= %s" (print_expr ~min_prec:14 lhs)
+          (Option.value ~default:"" op)
+          (print_expr ~min_prec:1 rhs)
+    | Ternary (c, t, f) ->
+        Printf.sprintf "%s ? %s : %s" (print_expr ~min_prec:3 c)
+          (print_expr ~min_prec:1 t) (print_expr ~min_prec:1 f)
+    | Cast (ty, e) ->
+        Printf.sprintf "(%s)%s" (type_to_string ty) (print_expr ~min_prec:13 e)
+    | Sizeof_type ty -> Printf.sprintf "sizeof(%s)" (type_to_string ty)
+    | Sizeof_expr e -> Printf.sprintf "sizeof %s" (print_expr ~min_prec:13 e)
+    | Comma (a, b) ->
+        Printf.sprintf "%s, %s" (print_expr ~min_prec:1 a)
+          (print_expr ~min_prec:0 b)
+  in
+  if expr_prec e < min_prec then "(" ^ body ^ ")" else body
+
+and escape_string s =
+  (* The lexer kept escape sequences verbatim, so re-emission is
+     byte-for-byte. *)
+  s
+
+let expr_to_string e = print_expr ~min_prec:0 e
+
+let rec peel_arrays ty =
+  match ty with
+  | Array (inner, size) ->
+      let base, dims = peel_arrays inner in
+      let dim =
+        match size with
+        | Some e -> Printf.sprintf "[%s]" (expr_to_string e)
+        | None -> "[]"
+      in
+      (base, dim :: dims)
+  | _ -> (ty, [])
+
+let declaration_to_string ty name =
+  let base, dims = peel_arrays ty in
+  Printf.sprintf "%s %s%s" (type_to_string base) name (String.concat "" dims)
+
+let declarator_to_string d =
+  let decl = declaration_to_string d.d_type d.d_name in
+  match d.d_init with
+  | Some e -> Printf.sprintf "%s = %s" decl (print_expr ~min_prec:1 e)
+  | None -> decl
+
+(* For a declarator list, the base type prints once; array/pointer
+   parts print per name. We print each declarator fully and join base
+   repetitions only when identical, keeping it simple: one decl per
+   statement is how Cascabel emits code anyway. *)
+let decl_list_to_string decls =
+  match decls with
+  | [] -> ";"
+  | [ d ] -> declarator_to_string d ^ ";"
+  | d :: rest ->
+      (* Multi-declarator lists share a base type: print names with
+         their suffixes relative to the common base. *)
+      let base, _ = peel_arrays d.d_type in
+      let base_str =
+        match base with
+        | Pointer _ ->
+            (* mixed pointer lists degrade to separate statements *)
+            ""
+        | _ -> type_to_string base
+      in
+      if base_str = "" then
+        String.concat " " (List.map (fun d -> declarator_to_string d ^ ";") decls)
+      else
+        let one d =
+          let b, dims = peel_arrays d.d_type in
+          let stars =
+            let rec count = function Pointer t -> 1 + count t | _ -> 0 in
+            String.make (count b) '*'
+          in
+          stars ^ d.d_name ^ String.concat "" dims
+          ^ match d.d_init with
+            | Some e -> " = " ^ print_expr ~min_prec:1 e
+            | None -> ""
+        in
+        base_str ^ " " ^ String.concat ", " (one d :: List.map one rest) ^ ";"
+
+let indent_str n = String.make (2 * n) ' '
+
+let rec stmt_lines ~indent s =
+  let pad = indent_str indent in
+  match s with
+  | Expr_stmt None -> [ pad ^ ";" ]
+  | Expr_stmt (Some e) -> [ pad ^ expr_to_string e ^ ";" ]
+  | Decl_stmt decls -> [ pad ^ decl_list_to_string decls ]
+  | Block stmts ->
+      (pad ^ "{")
+      :: List.concat_map (stmt_lines ~indent:(indent + 1)) stmts
+      @ [ pad ^ "}" ]
+  | If (cond, then_, else_) -> (
+      let head = Printf.sprintf "%sif (%s)" pad (expr_to_string cond) in
+      let then_lines = block_or_single ~indent then_ in
+      let else_lines =
+        match else_ with
+        | None -> []
+        | Some e -> (pad ^ "else") :: block_or_single ~indent e
+      in
+      (head :: then_lines) @ else_lines)
+  | While (cond, body) ->
+      (Printf.sprintf "%swhile (%s)" pad (expr_to_string cond))
+      :: block_or_single ~indent body
+  | Do_while (body, cond) ->
+      ((pad ^ "do") :: block_or_single ~indent body)
+      @ [ Printf.sprintf "%swhile (%s);" pad (expr_to_string cond) ]
+  | For (init, cond, step, body) ->
+      let init_str =
+        match init with
+        | None -> ""
+        | Some (For_expr e) -> expr_to_string e
+        | Some (For_decl ds) ->
+            let s = decl_list_to_string ds in
+            String.sub s 0 (String.length s - 1) (* drop trailing ';' *)
+      in
+      let cond_str = Option.fold ~none:"" ~some:expr_to_string cond in
+      let step_str = Option.fold ~none:"" ~some:expr_to_string step in
+      (Printf.sprintf "%sfor (%s; %s; %s)" pad init_str cond_str step_str)
+      :: block_or_single ~indent body
+  | Return None -> [ pad ^ "return;" ]
+  | Return (Some e) -> [ Printf.sprintf "%sreturn %s;" pad (expr_to_string e) ]
+  | Break -> [ pad ^ "break;" ]
+  | Continue -> [ pad ^ "continue;" ]
+  | Pragma_stmt (p, s) ->
+      (Printf.sprintf "%s#pragma %s" pad (Annot.to_string p))
+      :: stmt_lines ~indent s
+
+and block_or_single ~indent s =
+  match s with
+  | Block _ -> stmt_lines ~indent s
+  | _ -> stmt_lines ~indent:(indent + 1) s
+
+let stmt_to_string ?(indent = 0) s = String.concat "\n" (stmt_lines ~indent s)
+
+let params_to_string params =
+  if params = [] then "void"
+  else
+    String.concat ", "
+      (List.map (fun p -> declaration_to_string p.p_type p.p_name) params)
+
+let func_to_string f =
+  let pragma =
+    match f.f_task with
+    | Some t -> Printf.sprintf "#pragma %s\n" (Annot.task_to_string t)
+    | None -> ""
+  in
+  let head =
+    Printf.sprintf "%s %s(%s)" (type_to_string f.f_return) f.f_name
+      (params_to_string f.f_params)
+  in
+  match f.f_body with
+  | None -> pragma ^ head ^ ";"
+  | Some body ->
+      pragma ^ head ^ "\n"
+      ^ String.concat "\n" (stmt_lines ~indent:0 (Block body))
+
+let top_to_string = function
+  | Func f -> func_to_string f
+  | Global decls -> decl_list_to_string decls
+  | Typedef (name, ty) ->
+      Printf.sprintf "typedef %s %s;" (type_to_string ty) name
+  | Include line | Define line -> line
+
+let unit_to_string unit_ =
+  String.concat "\n\n" (List.map top_to_string unit_) ^ "\n"

@@ -1,0 +1,20 @@
+(** C unparser.
+
+    Emits compilable C text from the AST. Round-trip property:
+    [Parser.parse_exn (Printer.unit_to_string u)] is structurally
+    equal to [u]. Expressions are printed fully parenthesized below
+    statement level only where precedence requires it. *)
+
+val type_to_string : Ast.ctype -> string
+(** Abstract rendering, e.g. ["double*"]. For declarations use
+    {!declaration_to_string}, which places array suffixes after the
+    name. *)
+
+val declaration_to_string : Ast.ctype -> string -> string
+(** [declaration_to_string ty name] = ["double a[100]"] etc. *)
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : ?indent:int -> Ast.stmt -> string
+val func_to_string : Ast.func -> string
+val top_to_string : Ast.top -> string
+val unit_to_string : Ast.unit_ -> string

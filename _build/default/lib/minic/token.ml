@@ -1,0 +1,43 @@
+(* Lexical tokens of the C subset. *)
+
+type t =
+  | Ident of string
+  | Keyword of string
+  | Int_lit of string
+  | Float_lit of string
+  | Char_lit of string
+  | String_lit of string
+  | Punct of string  (** operators and punctuation, longest-match *)
+  | Pragma of string  (** full pragma body after [#pragma] *)
+  | Hash_line of string  (** verbatim [#include]/[#define] line *)
+  | EOF
+
+let keywords =
+  [
+    "void"; "char"; "short"; "int"; "long"; "float"; "double"; "unsigned";
+    "signed"; "struct"; "union"; "enum"; "typedef"; "if"; "else"; "while";
+    "do"; "for"; "return"; "break"; "continue"; "sizeof"; "const"; "static";
+    "extern"; "switch"; "case"; "default"; "goto";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+(* Multi-character punctuators, longest first. *)
+let puncts =
+  [
+    "<<="; ">>="; "..."; "->"; "++"; "--"; "<<"; ">>"; "<="; ">="; "=="; "!=";
+    "&&"; "||"; "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^="; "("; ")"; "[";
+    "]"; "{"; "}"; ";"; ","; ":"; "?"; "."; "+"; "-"; "*"; "/"; "%"; "<"; ">";
+    "="; "!"; "&"; "|"; "^"; "~";
+  ]
+
+let to_string = function
+  | Ident s -> s
+  | Keyword s -> s
+  | Int_lit s | Float_lit s -> s
+  | Char_lit s -> Printf.sprintf "'%s'" s
+  | String_lit s -> Printf.sprintf "%S" s
+  | Punct s -> s
+  | Pragma s -> "#pragma " ^ s
+  | Hash_line s -> s
+  | EOF -> "<eof>"

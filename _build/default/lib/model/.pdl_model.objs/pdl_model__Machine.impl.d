@@ -1,0 +1,1 @@
+lib/model/machine.pp.ml: List Option Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/model/machine.pp.mli: Ppx_deriving_runtime

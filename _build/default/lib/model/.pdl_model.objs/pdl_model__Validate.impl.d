@@ -1,0 +1,1 @@
+lib/model/validate.pp.ml: Format Hashtbl List Machine Printf String

@@ -1,0 +1,198 @@
+type pu_class = Master | Hybrid | Worker [@@deriving show { with_path = false }, eq]
+
+let pu_class_to_string = function
+  | Master -> "Master"
+  | Hybrid -> "Hybrid"
+  | Worker -> "Worker"
+
+let pu_class_of_string = function
+  | "Master" -> Some Master
+  | "Hybrid" -> Some Hybrid
+  | "Worker" -> Some Worker
+  | _ -> None
+
+type property = {
+  p_name : string;
+  p_value : string;
+  p_unit : string option;
+  p_fixed : bool;
+  p_schema : string option;
+}
+[@@deriving show { with_path = false }, eq]
+
+type descriptor = { d_properties : property list }
+[@@deriving show { with_path = false }, eq]
+
+type memory_region = { mr_id : string; mr_descriptor : descriptor }
+[@@deriving show { with_path = false }, eq]
+
+type interconnect = {
+  ic_type : string;
+  ic_from : string;
+  ic_to : string;
+  ic_scheme : string;
+  ic_descriptor : descriptor;
+}
+[@@deriving show { with_path = false }, eq]
+
+type pu = {
+  pu_id : string;
+  pu_class : pu_class;
+  pu_quantity : int;
+  pu_descriptor : descriptor;
+  pu_memory : memory_region list;
+  pu_groups : string list;
+  pu_children : pu list;
+  pu_interconnects : interconnect list;
+}
+[@@deriving show { with_path = false }, eq]
+
+type platform = { pf_name : string; pf_masters : pu list }
+[@@deriving show { with_path = false }, eq]
+
+let property ?unit_ ?(fixed = true) ?schema p_name p_value =
+  { p_name; p_value; p_unit = unit_; p_fixed = fixed; p_schema = schema }
+
+let descriptor d_properties = { d_properties }
+let no_descriptor = { d_properties = [] }
+
+let memory_region ?(props = []) mr_id =
+  { mr_id; mr_descriptor = descriptor props }
+
+let interconnect ?(scheme = "") ?(props = []) ~type_ ~from ~to_ () =
+  {
+    ic_type = type_;
+    ic_from = from;
+    ic_to = to_;
+    ic_scheme = scheme;
+    ic_descriptor = descriptor props;
+  }
+
+let pu ?(quantity = 1) ?(props = []) ?(memory = []) ?(groups = [])
+    ?(children = []) ?(interconnects = []) pu_class pu_id =
+  {
+    pu_id;
+    pu_class;
+    pu_quantity = quantity;
+    pu_descriptor = descriptor props;
+    pu_memory = memory;
+    pu_groups = groups;
+    pu_children = children;
+    pu_interconnects = interconnects;
+  }
+
+let platform ~name pf_masters = { pf_name = name; pf_masters }
+
+let find_property d name =
+  List.find_opt (fun p -> p.p_name = name) d.d_properties
+
+let property_value d name = Option.map (fun p -> p.p_value) (find_property d name)
+
+let property_int d name =
+  Option.bind (property_value d name) int_of_string_opt
+
+let pu_property pu name = property_value pu.pu_descriptor name
+
+let set_property d p =
+  if List.exists (fun q -> q.p_name = p.p_name) d.d_properties then
+    {
+      d_properties =
+        List.map (fun q -> if q.p_name = p.p_name then p else q) d.d_properties;
+    }
+  else { d_properties = d.d_properties @ [ p ] }
+
+let unfixed_properties d = List.filter (fun p -> not p.p_fixed) d.d_properties
+
+let rec fold_pu f acc pu =
+  List.fold_left (fold_pu f) (f acc pu) pu.pu_children
+
+let fold f acc pf = List.fold_left (fold_pu f) acc pf.pf_masters
+let iter f pf = fold (fun () pu -> f pu) () pf
+let all_pus pf = List.rev (fold (fun acc pu -> pu :: acc) [] pf)
+
+let find_pu pf id =
+  fold (fun acc pu -> if pu.pu_id = id then Some pu else acc) None pf
+
+let parent_of pf id =
+  fold
+    (fun acc pu ->
+      if List.exists (fun c -> c.pu_id = id) pu.pu_children then Some pu
+      else acc)
+    None pf
+
+let path_to pf id =
+  let rec search trail pu =
+    let trail = pu :: trail in
+    if pu.pu_id = id then Some (List.rev trail)
+    else List.find_map (search trail) pu.pu_children
+  in
+  match List.find_map (search []) pf.pf_masters with
+  | Some path -> path
+  | None -> []
+
+let depth pf =
+  let rec d pu =
+    1 + List.fold_left (fun m c -> max m (d c)) 0 pu.pu_children
+  in
+  List.fold_left (fun m pu -> max m (d pu)) 0 pf.pf_masters
+
+let pu_count pf = fold (fun n _ -> n + 1) 0 pf
+
+(* A node of quantity q with children c1..cn stands for
+   q * (1 + sum(units ci)) physical units. *)
+let unit_count pf =
+  let rec units pu =
+    pu.pu_quantity
+    * (1 + List.fold_left (fun acc c -> acc + units c) 0 pu.pu_children)
+  in
+  List.fold_left (fun acc m -> acc + units m) 0 pf.pf_masters
+
+let by_class cls pf =
+  List.rev
+    (fold (fun acc pu -> if pu.pu_class = cls then pu :: acc else acc) [] pf)
+
+let workers pf = by_class Worker pf
+let masters pf = by_class Master pf
+let hybrids pf = by_class Hybrid pf
+
+let groups pf =
+  let add acc g = if List.mem g acc then acc else acc @ [ g ] in
+  fold (fun acc pu -> List.fold_left add acc pu.pu_groups) [] pf
+
+let group_members pf g =
+  List.rev
+    (fold
+       (fun acc pu -> if List.mem g pu.pu_groups then pu :: acc else acc)
+       [] pf)
+
+let all_interconnects pf =
+  List.rev
+    (fold (fun acc pu -> List.rev_append pu.pu_interconnects acc) [] pf)
+
+let connections_of pf id =
+  List.filter
+    (fun ic -> ic.ic_from = id || ic.ic_to = id)
+    (all_interconnects pf)
+
+let connectivity pf =
+  List.map (fun ic -> (ic.ic_from, ic.ic_to, ic)) (all_interconnects pf)
+
+let routes pf src dst =
+  let edges = all_interconnects pf in
+  let neighbours id =
+    List.filter_map
+      (fun ic ->
+        if ic.ic_from = id then Some ic.ic_to
+        else if ic.ic_to = id then Some ic.ic_from
+        else None)
+      edges
+  in
+  let rec walk visited id =
+    if id = dst then [ [ id ] ]
+    else
+      neighbours id
+      |> List.filter (fun n -> not (List.mem n visited))
+      |> List.concat_map (fun n ->
+             List.map (fun path -> id :: path) (walk (id :: visited) n))
+  in
+  if src = dst then [ [ src ] ] else walk [ src ] src

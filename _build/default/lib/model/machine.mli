@@ -1,0 +1,174 @@
+(** The hierarchical machine model (paper §III-A).
+
+    A platform is a forest of processing units (PUs) related by
+    {e logical control}: an edge from parent to child means the parent
+    may delegate computational tasks to the child. PUs come in three
+    classes:
+
+    - {e Master}: feature-rich general-purpose PU, a possible program
+      entry point. Masters appear only at the top level; several may
+      coexist in one system.
+    - {e Hybrid}: acts as both controlled and controlling PU. Hybrids
+      appear only at inner nodes and must themselves be controlled by
+      a Master or another Hybrid.
+    - {e Worker}: specialized leaf compute resource; must be
+      controlled by a Master or Hybrid.
+
+    Memory regions (MR) attach to PUs; interconnects (IC) describe
+    communication facilities between PUs. Both carry extensible
+    descriptors made of key/value properties, as do PUs themselves.
+    Properties may be typed by a subschema ([xsi:type]) and marked
+    [fixed] (hand-written, authoritative) or unfixed (placeholders a
+    runtime or tool may instantiate later). *)
+
+type pu_class = Master | Hybrid | Worker [@@deriving show, eq]
+
+val pu_class_to_string : pu_class -> string
+(** ["Master"], ["Hybrid"], ["Worker"] — the PDL element names. *)
+
+val pu_class_of_string : string -> pu_class option
+
+type property = {
+  p_name : string;
+  p_value : string;
+  p_unit : string option;  (** e.g. ["kB"] on a value *)
+  p_fixed : bool;
+  p_schema : string option;
+      (** subschema type for polymorphic properties, e.g.
+          ["ocl:oclDevicePropertyType"] *)
+}
+[@@deriving show, eq]
+
+type descriptor = { d_properties : property list } [@@deriving show, eq]
+
+type memory_region = {
+  mr_id : string;
+  mr_descriptor : descriptor;
+}
+[@@deriving show, eq]
+
+type interconnect = {
+  ic_type : string;  (** e.g. ["rDMA"], ["PCIe"], ["QPI"] *)
+  ic_from : string;  (** source PU id *)
+  ic_to : string;  (** destination PU id *)
+  ic_scheme : string;
+  ic_descriptor : descriptor;
+}
+[@@deriving show, eq]
+
+type pu = {
+  pu_id : string;
+  pu_class : pu_class;
+  pu_quantity : int;
+      (** how many identical physical units this node stands for *)
+  pu_descriptor : descriptor;
+  pu_memory : memory_region list;
+  pu_groups : string list;  (** LogicGroupAttribute values *)
+  pu_children : pu list;  (** controlled PUs, in document order *)
+  pu_interconnects : interconnect list;
+      (** interconnects declared at this hierarchy level *)
+}
+[@@deriving show, eq]
+
+type platform = {
+  pf_name : string;
+  pf_masters : pu list;
+}
+[@@deriving show, eq]
+
+(** {1 Constructors} *)
+
+val property :
+  ?unit_:string -> ?fixed:bool -> ?schema:string -> string -> string ->
+  property
+(** [property name value]; [fixed] defaults to [true]. *)
+
+val descriptor : property list -> descriptor
+val no_descriptor : descriptor
+
+val memory_region : ?props:property list -> string -> memory_region
+
+val interconnect :
+  ?scheme:string -> ?props:property list -> type_:string ->
+  from:string -> to_:string -> unit -> interconnect
+
+val pu :
+  ?quantity:int ->
+  ?props:property list ->
+  ?memory:memory_region list ->
+  ?groups:string list ->
+  ?children:pu list ->
+  ?interconnects:interconnect list ->
+  pu_class ->
+  string ->
+  pu
+(** [pu cls id] builds a PU node. *)
+
+val platform : name:string -> pu list -> platform
+
+(** {1 Property access} *)
+
+val find_property : descriptor -> string -> property option
+val property_value : descriptor -> string -> string option
+val property_int : descriptor -> string -> int option
+val pu_property : pu -> string -> string option
+(** Property lookup on a PU's own descriptor. *)
+
+val set_property : descriptor -> property -> descriptor
+(** Replace (by name) or append a property. *)
+
+val unfixed_properties : descriptor -> property list
+(** Properties a runtime may still instantiate (paper §III-B). *)
+
+(** {1 Traversal} *)
+
+val fold : ('a -> pu -> 'a) -> 'a -> platform -> 'a
+(** Pre-order over every PU of every master tree. *)
+
+val iter : (pu -> unit) -> platform -> unit
+val all_pus : platform -> pu list
+val find_pu : platform -> string -> pu option
+(** Lookup by PU id anywhere in the platform. *)
+
+val parent_of : platform -> string -> pu option
+(** The controlling PU of the given id, or [None] for masters. *)
+
+val path_to : platform -> string -> pu list
+(** Control chain from a master down to (and including) the PU;
+    [[]] when the id is unknown. *)
+
+val depth : platform -> int
+(** Height of the deepest control chain (a lone master has depth 1). *)
+
+val pu_count : platform -> int
+(** Number of PU {e nodes}. *)
+
+val unit_count : platform -> int
+(** Number of physical units: sum over nodes of quantity, where a
+    node's multiplicity multiplies its subtree. *)
+
+val workers : platform -> pu list
+val masters : platform -> pu list
+val hybrids : platform -> pu list
+
+(** {1 Logic groups} *)
+
+val groups : platform -> string list
+(** All group names, deduplicated, in first-appearance order. *)
+
+val group_members : platform -> string -> pu list
+
+(** {1 Interconnects} *)
+
+val all_interconnects : platform -> interconnect list
+val connections_of : platform -> string -> interconnect list
+(** Interconnects with the given PU id as an endpoint. *)
+
+val connectivity :
+  platform -> (string * string * interconnect) list
+(** Directed edges (from, to, ic). *)
+
+val routes : platform -> string -> string -> string list list
+(** All simple paths (as PU-id lists, endpoints included) between two
+    PUs over interconnect edges, treating edges as bidirectional.
+    Used by the code generator to derive data-transfer paths. *)

@@ -1,0 +1,114 @@
+open Machine
+
+type violation =
+  | Master_below_top of { id : string; parent : string }
+  | Worker_with_children of { id : string }
+  | Hybrid_without_children of { id : string }
+  | Uncontrolled_pu of { id : string; cls : Machine.pu_class }
+  | Duplicate_id of { id : string }
+  | Bad_quantity of { id : string; quantity : int }
+  | Dangling_interconnect of { from_ : string; to_ : string; missing : string }
+  | Self_interconnect of { id : string }
+  | Empty_platform
+  | Empty_group_name of { id : string }
+  | Empty_property_name of { id : string }
+
+let pp_violation ppf = function
+  | Master_below_top { id; parent } ->
+      Format.fprintf ppf
+        "Master %S is controlled by %S; Masters may only appear at the top \
+         level"
+        id parent
+  | Worker_with_children { id } ->
+      Format.fprintf ppf "Worker %S controls other PUs; Workers are leaves" id
+  | Hybrid_without_children { id } ->
+      Format.fprintf ppf
+        "Hybrid %S has no controlled PUs; use a Worker for leaf resources" id
+  | Uncontrolled_pu { id; cls } ->
+      Format.fprintf ppf
+        "%s %S is not controlled by any Master or Hybrid"
+        (pu_class_to_string cls) id
+  | Duplicate_id { id } -> Format.fprintf ppf "duplicate PU id %S" id
+  | Bad_quantity { id; quantity } ->
+      Format.fprintf ppf "PU %S has quantity %d; must be at least 1" id
+        quantity
+  | Dangling_interconnect { from_; to_; missing } ->
+      Format.fprintf ppf
+        "interconnect %S -> %S references unknown PU %S" from_ to_ missing
+  | Self_interconnect { id } ->
+      Format.fprintf ppf "interconnect loops on PU %S" id
+  | Empty_platform ->
+      Format.fprintf ppf "platform has no Master processing unit"
+  | Empty_group_name { id } ->
+      Format.fprintf ppf "PU %S has an empty logic-group name" id
+  | Empty_property_name { id } ->
+      Format.fprintf ppf "PU %S has a property with an empty name" id
+
+let violation_to_string v = Format.asprintf "%a" pp_violation v
+
+let check pf =
+  let violations = ref [] in
+  let report v = violations := v :: !violations in
+  if pf.pf_masters = [] then report Empty_platform;
+  (* Roots must be Masters. *)
+  List.iter
+    (fun root ->
+      match root.pu_class with
+      | Master -> ()
+      | (Hybrid | Worker) as cls ->
+          report (Uncontrolled_pu { id = root.pu_id; cls }))
+    pf.pf_masters;
+  (* Structural rules, walked with the parent at hand. *)
+  let rec walk ~parent pu =
+    (match (pu.pu_class, parent) with
+    | Master, Some p -> report (Master_below_top { id = pu.pu_id; parent = p })
+    | Worker, _ when pu.pu_children <> [] ->
+        report (Worker_with_children { id = pu.pu_id })
+    | Hybrid, _ when pu.pu_children = [] ->
+        report (Hybrid_without_children { id = pu.pu_id })
+    | _ -> ());
+    if pu.pu_quantity < 1 then
+      report (Bad_quantity { id = pu.pu_id; quantity = pu.pu_quantity });
+    List.iter
+      (fun g -> if String.trim g = "" then report (Empty_group_name { id = pu.pu_id }))
+      pu.pu_groups;
+    List.iter
+      (fun p ->
+        if String.trim p.p_name = "" then
+          report (Empty_property_name { id = pu.pu_id }))
+      pu.pu_descriptor.d_properties;
+    List.iter (walk ~parent:(Some pu.pu_id)) pu.pu_children
+  in
+  List.iter (walk ~parent:None) pf.pf_masters;
+  (* Unique ids. *)
+  let ids = List.map (fun pu -> pu.pu_id) (all_pus pf) in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      if Hashtbl.mem seen id then report (Duplicate_id { id })
+      else Hashtbl.add seen id ())
+    ids;
+  (* Interconnect endpoints. *)
+  let known id = Hashtbl.mem seen id in
+  List.iter
+    (fun ic ->
+      if ic.ic_from = ic.ic_to then report (Self_interconnect { id = ic.ic_from });
+      List.iter
+        (fun endpoint ->
+          if not (known endpoint) then
+            report
+              (Dangling_interconnect
+                 { from_ = ic.ic_from; to_ = ic.ic_to; missing = endpoint }))
+        (List.filter (fun e -> not (known e)) [ ic.ic_from; ic.ic_to ]))
+    (all_interconnects pf);
+  List.rev !violations
+
+let is_valid pf = check pf = []
+
+let check_exn pf =
+  match check pf with
+  | [] -> pf
+  | vs ->
+      invalid_arg
+        (Printf.sprintf "invalid platform %S: %s" pf.pf_name
+           (String.concat "; " (List.map violation_to_string vs)))

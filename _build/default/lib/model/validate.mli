@@ -1,0 +1,48 @@
+(** Well-formedness of platforms against the machine model rules of
+    paper §III-A.
+
+    Checked rules:
+
+    - [Master_below_top]: Master PUs may appear only at the highest
+      hierarchical level.
+    - [Worker_with_children]: Workers are leaf nodes and cannot
+      control other PUs.
+    - [Hybrid_without_children]: a Hybrid is an inner node; a childless
+      Hybrid should have been a Worker.
+    - [Uncontrolled_pu]: Hybrids and Workers must be controlled — the
+      platform may not have them as roots.
+    - [Duplicate_id]: PU ids are unique platform-wide; memory-region
+      ids are unique per PU.
+    - [Bad_quantity]: quantities are at least 1.
+    - [Dangling_interconnect]: both interconnect endpoints name PUs
+      that exist in the platform.
+    - [Self_interconnect]: an interconnect may not loop onto a single
+      PU.
+    - [Empty_platform]: a platform has at least one Master.
+    - [Empty_group_name] / [Empty_property_name]: names are non-empty.
+*)
+
+type violation =
+  | Master_below_top of { id : string; parent : string }
+  | Worker_with_children of { id : string }
+  | Hybrid_without_children of { id : string }
+  | Uncontrolled_pu of { id : string; cls : Machine.pu_class }
+  | Duplicate_id of { id : string }
+  | Bad_quantity of { id : string; quantity : int }
+  | Dangling_interconnect of { from_ : string; to_ : string; missing : string }
+  | Self_interconnect of { id : string }
+  | Empty_platform
+  | Empty_group_name of { id : string }
+  | Empty_property_name of { id : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+val violation_to_string : violation -> string
+
+val check : Machine.platform -> violation list
+(** Empty list when the platform is well formed. *)
+
+val is_valid : Machine.platform -> bool
+
+val check_exn : Machine.platform -> Machine.platform
+(** Identity on valid platforms.
+    @raise Invalid_argument with all violations otherwise. *)

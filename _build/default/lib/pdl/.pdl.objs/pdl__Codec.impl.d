@@ -1,0 +1,1 @@
+lib/pdl/codec.ml: List Option Pdl_model Pdl_schema Pdl_xml Printf String

@@ -1,0 +1,1 @@
+lib/pdl/codec.mli: Pdl_model Pdl_xml

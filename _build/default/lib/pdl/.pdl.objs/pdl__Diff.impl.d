@@ -1,0 +1,1 @@
+lib/pdl/diff.ml: Format List Option Pdl_model String

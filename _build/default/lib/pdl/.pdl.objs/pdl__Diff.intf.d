@@ -1,0 +1,1 @@
+lib/pdl/diff.mli: Format Pdl_model

@@ -1,0 +1,1 @@
+lib/pdl/pattern.ml: List Option Pdl_model Printf String

@@ -1,0 +1,1 @@
+lib/pdl/pattern.mli: Pdl_model

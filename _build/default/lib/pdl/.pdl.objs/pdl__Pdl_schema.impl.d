@@ -1,0 +1,1 @@
+lib/pdl/pdl_schema.ml: List Pdl_xml

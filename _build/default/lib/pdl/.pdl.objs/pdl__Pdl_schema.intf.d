@@ -1,0 +1,1 @@
+lib/pdl/pdl_schema.mli: Pdl_xml

@@ -1,0 +1,1 @@
+lib/pdl/query.ml: Codec List Option Pdl_model Pdl_xml Printf String

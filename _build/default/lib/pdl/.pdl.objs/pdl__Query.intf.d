@@ -1,0 +1,1 @@
+lib/pdl/query.mli: Pdl_model

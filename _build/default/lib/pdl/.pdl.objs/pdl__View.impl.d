@@ -1,0 +1,1 @@
+lib/pdl/view.ml: Fun List Pdl_model Printf String

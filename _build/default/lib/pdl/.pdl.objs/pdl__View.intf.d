@@ -1,0 +1,1 @@
+lib/pdl/view.mli: Pdl_model

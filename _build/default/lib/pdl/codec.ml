@@ -1,0 +1,252 @@
+module Dom = Pdl_xml.Dom
+module Loc = Pdl_xml.Loc
+module M = Pdl_model.Machine
+
+type error = { message : string; at : Loc.span }
+
+exception Fail of error
+
+let error_to_string e =
+  Printf.sprintf "%s at %s" e.message (Loc.to_string e.at)
+
+let fail at fmt =
+  Printf.ksprintf (fun message -> raise (Fail { message; at })) fmt
+
+(* --- decoding ------------------------------------------------------- *)
+
+let required_attr (el : Dom.element) k =
+  match Dom.attr el k with
+  | Some v -> v
+  | None -> fail el.span "<%s> is missing required attribute %S" el.name.local k
+
+let quantity_of (el : Dom.element) =
+  match Dom.attr el "quantity" with
+  | None -> 1
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some q -> q
+      | None -> fail el.span "quantity %S is not an integer" v)
+
+let property_of_xml (el : Dom.element) =
+  let name_el =
+    match Dom.find_child el "name" with
+    | Some n -> n
+    | None -> fail el.span "<Property> is missing a <name> child"
+  in
+  let value_el =
+    match Dom.find_child el "value" with
+    | Some v -> v
+    | None -> fail el.span "<Property> is missing a <value> child"
+  in
+  let fixed =
+    match Dom.attr el "fixed" with
+    | Some ("true" | "1") | None -> true
+    | Some ("false" | "0") -> false
+    | Some other -> fail el.span "fixed=%S is not a boolean" other
+  in
+  {
+    M.p_name = String.trim (Dom.text_content name_el);
+    p_value = String.trim (Dom.text_content value_el);
+    p_unit = Dom.attr value_el "unit";
+    p_fixed = fixed;
+    p_schema = Dom.attr el "xsi:type";
+  }
+
+let descriptor_of_xml (el : Dom.element) =
+  M.descriptor (List.map property_of_xml (Dom.find_children el "Property"))
+
+let memory_region_of_xml (el : Dom.element) =
+  {
+    M.mr_id = required_attr el "id";
+    mr_descriptor =
+      (match Dom.find_child el "MRDescriptor" with
+      | Some d -> descriptor_of_xml d
+      | None -> M.no_descriptor);
+  }
+
+let interconnect_of_xml (el : Dom.element) =
+  {
+    M.ic_type = required_attr el "type";
+    ic_from = required_attr el "from";
+    ic_to = required_attr el "to";
+    ic_scheme = Option.value ~default:"" (Dom.attr el "scheme");
+    ic_descriptor =
+      (match Dom.find_child el "ICDescriptor" with
+      | Some d -> descriptor_of_xml d
+      | None -> M.no_descriptor);
+  }
+
+let rec pu_of_xml (el : Dom.element) =
+  let cls =
+    match M.pu_class_of_string el.name.local with
+    | Some cls -> cls
+    | None -> fail el.span "<%s> is not a processing-unit element" el.name.local
+  in
+  let descriptor =
+    match Dom.find_child el "PUDescriptor" with
+    | Some d -> descriptor_of_xml d
+    | None -> M.no_descriptor
+  in
+  let groups =
+    List.map
+      (fun g -> String.trim (Dom.text_content g))
+      (Dom.find_children el "LogicGroupAttribute")
+  in
+  let children =
+    List.filter_map
+      (fun (c : Dom.element) ->
+        match c.name.local with
+        | "Worker" | "Hybrid" | "Master" -> Some (pu_of_xml c)
+        | _ -> None)
+      (Dom.child_elements el)
+  in
+  {
+    M.pu_id = required_attr el "id";
+    pu_class = cls;
+    pu_quantity = quantity_of el;
+    pu_descriptor = descriptor;
+    pu_memory =
+      List.map memory_region_of_xml (Dom.find_children el "MemoryRegion");
+    pu_groups = groups;
+    pu_children = children;
+    pu_interconnects =
+      List.map interconnect_of_xml (Dom.find_children el "Interconnect");
+  }
+
+let platform_of_xml el =
+  let el = Dom.strip_layout el in
+  match el.name.local with
+  | "Platform" -> (
+      match
+        List.map pu_of_xml (Dom.find_children el "Master")
+      with
+      | masters ->
+          Ok
+            {
+              M.pf_name = Option.value ~default:"" (Dom.attr el "name");
+              pf_masters = masters;
+            }
+      | exception Fail e -> Error e)
+  | "Master" -> (
+      match pu_of_xml el with
+      | master -> Ok { M.pf_name = ""; pf_masters = [ master ] }
+      | exception Fail e -> Error e)
+  | other ->
+      Error
+        {
+          message =
+            Printf.sprintf "expected <Platform> or <Master>, found <%s>" other;
+          at = el.span;
+        }
+
+(* --- encoding ------------------------------------------------------- *)
+
+let strip_prefix s =
+  match String.index_opt s ':' with
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> ("", s)
+
+let property_to_xml (p : M.property) =
+  (* Typed properties reproduce the paper's prefixed children
+     (<ocl:name>, <ocl:value>). *)
+  let prefix = match p.p_schema with Some t -> fst (strip_prefix t) | None -> "" in
+  let attrs =
+    [ ("fixed", string_of_bool p.p_fixed) ]
+    @ match p.p_schema with Some t -> [ ("xsi:type", t) ] | None -> []
+  in
+  let value_attrs = match p.p_unit with Some u -> [ ("unit", u) ] | None -> [] in
+  Dom.e ~attrs "Property"
+    [
+      Dom.e ~prefix "name" [ Dom.text p.p_name ];
+      Dom.e ~prefix ~attrs:value_attrs "value" [ Dom.text p.p_value ];
+    ]
+
+let descriptor_to_xml tag (d : M.descriptor) =
+  if d.d_properties = [] then []
+  else [ Dom.e tag (List.map property_to_xml d.d_properties) ]
+
+let memory_region_to_xml (mr : M.memory_region) =
+  Dom.e
+    ~attrs:[ ("id", mr.mr_id) ]
+    "MemoryRegion"
+    (descriptor_to_xml "MRDescriptor" mr.mr_descriptor)
+
+let interconnect_to_xml (ic : M.interconnect) =
+  Dom.e
+    ~attrs:
+      [
+        ("type", ic.ic_type);
+        ("from", ic.ic_from);
+        ("to", ic.ic_to);
+        ("scheme", ic.ic_scheme);
+      ]
+    "Interconnect"
+    (descriptor_to_xml "ICDescriptor" ic.ic_descriptor)
+
+let rec pu_to_xml (pu : M.pu) =
+  let attrs =
+    [ ("id", pu.pu_id) ]
+    @
+    if pu.pu_quantity = 1 then [] else [ ("quantity", string_of_int pu.pu_quantity) ]
+  in
+  Dom.e ~attrs
+    (M.pu_class_to_string pu.pu_class)
+    (descriptor_to_xml "PUDescriptor" pu.pu_descriptor
+    @ List.map memory_region_to_xml pu.pu_memory
+    @ List.map (fun g -> Dom.e "LogicGroupAttribute" [ Dom.text g ]) pu.pu_groups
+    @ List.map pu_to_xml pu.pu_children
+    @ List.map interconnect_to_xml pu.pu_interconnects)
+
+let unwrap = function Dom.Element e -> e | _ -> assert false
+
+let platform_to_xml ?bare_master (pf : M.platform) =
+  let bare =
+    match bare_master with
+    | Some b -> b
+    | None -> pf.pf_name = "" && List.length pf.pf_masters = 1
+  in
+  match (bare, pf.pf_masters) with
+  | true, [ master ] -> unwrap (pu_to_xml master)
+  | _ ->
+      Dom.elem
+        ~attrs:(if pf.pf_name = "" then [] else [ ("name", pf.pf_name) ])
+        "Platform"
+        (List.map pu_to_xml pf.pf_masters)
+
+(* --- string / file pipelines ---------------------------------------- *)
+
+let of_string ?filename s =
+  match Pdl_xml.Decode.element_of_string ?filename s with
+  | Error e -> Error (Pdl_xml.Decode.error_to_string e)
+  | Ok el -> (
+      match platform_of_xml el with
+      | Ok pf -> Ok pf
+      | Error e -> Error (error_to_string e))
+
+let to_string ?bare_master pf =
+  Pdl_xml.Encode.doc_to_string (Dom.doc (platform_to_xml ?bare_master pf))
+
+let load_element el =
+  match Pdl_schema.validate el with
+  | _ :: _ as errs ->
+      Error (List.map Pdl_xml.Schema.error_to_string errs)
+  | [] -> (
+      match platform_of_xml el with
+      | Error e -> Error [ error_to_string e ]
+      | Ok pf -> (
+          match Pdl_model.Validate.check pf with
+          | [] -> Ok pf
+          | vs -> Error (List.map Pdl_model.Validate.violation_to_string vs)))
+
+let load_string ?filename s =
+  match Pdl_xml.Decode.element_of_string ?filename s with
+  | Error e -> Error [ Pdl_xml.Decode.error_to_string e ]
+  | Ok el -> load_element el
+
+let load_file path =
+  match Pdl_xml.Decode.doc_of_file path with
+  | Error e -> Error [ Pdl_xml.Decode.error_to_string e ]
+  | Ok doc -> load_element doc.root
+
+let save_file path pf =
+  Pdl_xml.Encode.doc_to_file path (Dom.doc (platform_to_xml pf))

@@ -1,0 +1,44 @@
+(** XML ⇄ machine-model codec for PDL documents.
+
+    The XML form follows the paper's listings: a [Platform] root with
+    one or more [Master] trees, or a bare [Master] root (Listing 1).
+    Properties serialize as
+
+    {v
+    <Property fixed="true" xsi:type="ocl:oclDevicePropertyType">
+      <name>GLOBAL_MEM_SIZE</name>
+      <value unit="kB">1572864</value>
+    </Property>
+    v}
+
+    Prefixed subschema children ([<ocl:name>]) are accepted on input
+    (matching is by local name) and reproduced on output when the
+    property carries a schema type with that prefix. *)
+
+type error = { message : string; at : Pdl_xml.Loc.span }
+
+val error_to_string : error -> string
+
+val platform_of_xml : Pdl_xml.Dom.element -> (Pdl_model.Machine.platform, error) result
+(** Structure decoding only; no schema or model validation. The
+    platform name defaults to [""] for bare-[Master] documents. *)
+
+val platform_to_xml :
+  ?bare_master:bool -> Pdl_model.Machine.platform -> Pdl_xml.Dom.element
+(** [bare_master] (default: automatic) emits a single [Master] root
+    when the platform has exactly one master and no name. *)
+
+val of_string : ?filename:string -> string -> (Pdl_model.Machine.platform, string) result
+(** Parse XML text and decode (no validation). *)
+
+val to_string : ?bare_master:bool -> Pdl_model.Machine.platform -> string
+(** Pretty-printed XML document text. *)
+
+val load_string :
+  ?filename:string -> string -> (Pdl_model.Machine.platform, string list) result
+(** Full pipeline: parse, schema-validate against
+    {!Pdl_schema.default_registry}, decode, and model-validate with
+    {!Pdl_model.Validate}. All failures are collected as messages. *)
+
+val load_file : string -> (Pdl_model.Machine.platform, string list) result
+val save_file : string -> Pdl_model.Machine.platform -> unit

@@ -1,0 +1,187 @@
+open Pdl_model.Machine
+
+type change =
+  | Pu_added of string
+  | Pu_removed of string
+  | Class_changed of { id : string; from_ : pu_class; to_ : pu_class }
+  | Quantity_changed of { id : string; from_ : int; to_ : int }
+  | Property_added of { id : string; name : string }
+  | Property_removed of { id : string; name : string }
+  | Property_changed of {
+      id : string;
+      name : string;
+      from_ : string;
+      to_ : string;
+    }
+  | Parent_changed of {
+      id : string;
+      from_ : string option;
+      to_ : string option;
+    }
+  | Group_added of { id : string; group : string }
+  | Group_removed of { id : string; group : string }
+
+let pp_change ppf =
+  let opt = function Some s -> s | None -> "<top level>" in
+  function
+  | Pu_added id -> Format.fprintf ppf "PU %S added" id
+  | Pu_removed id -> Format.fprintf ppf "PU %S removed" id
+  | Class_changed { id; from_; to_ } ->
+      Format.fprintf ppf "PU %S reclassified %s -> %s" id
+        (pu_class_to_string from_) (pu_class_to_string to_)
+  | Quantity_changed { id; from_; to_ } ->
+      Format.fprintf ppf "PU %S quantity %d -> %d" id from_ to_
+  | Property_added { id; name } ->
+      Format.fprintf ppf "PU %S gained property %S" id name
+  | Property_removed { id; name } ->
+      Format.fprintf ppf "PU %S lost property %S" id name
+  | Property_changed { id; name; from_; to_ } ->
+      Format.fprintf ppf "PU %S property %S: %S -> %S" id name from_ to_
+  | Parent_changed { id; from_; to_ } ->
+      Format.fprintf ppf "PU %S moved from %s to %s" id (opt from_) (opt to_)
+  | Group_added { id; group } ->
+      Format.fprintf ppf "PU %S joined group %S" id group
+  | Group_removed { id; group } ->
+      Format.fprintf ppf "PU %S left group %S" id group
+
+let change_to_string c = Format.asprintf "%a" pp_change c
+
+let diff old_pf new_pf =
+  let changes = ref [] in
+  let report c = changes := c :: !changes in
+  let old_pus = all_pus old_pf and new_pus = all_pus new_pf in
+  let old_ids = List.map (fun pu -> pu.pu_id) old_pus in
+  let new_ids = List.map (fun pu -> pu.pu_id) new_pus in
+  List.iter
+    (fun id -> if not (List.mem id old_ids) then report (Pu_added id))
+    new_ids;
+  List.iter
+    (fun id -> if not (List.mem id new_ids) then report (Pu_removed id))
+    old_ids;
+  let parent pf id = Option.map (fun p -> p.pu_id) (parent_of pf id) in
+  List.iter
+    (fun old_pu ->
+      match find_pu new_pf old_pu.pu_id with
+      | None -> ()
+      | Some new_pu ->
+          let id = old_pu.pu_id in
+          if old_pu.pu_class <> new_pu.pu_class then
+            report
+              (Class_changed
+                 { id; from_ = old_pu.pu_class; to_ = new_pu.pu_class });
+          if old_pu.pu_quantity <> new_pu.pu_quantity then
+            report
+              (Quantity_changed
+                 { id; from_ = old_pu.pu_quantity; to_ = new_pu.pu_quantity });
+          let old_parent = parent old_pf id and new_parent = parent new_pf id in
+          if old_parent <> new_parent then
+            report (Parent_changed { id; from_ = old_parent; to_ = new_parent });
+          (* Properties: multiset match exact (name, value, unit,
+             fixity, schema) pairs first, then pair leftovers by name
+             as changes. Duplicate property names are legal in PDL
+             descriptors, so this must not assume name uniqueness. *)
+          let remove_first eq x l =
+            let rec go acc = function
+              | [] -> None
+              | y :: rest ->
+                  if eq x y then Some (List.rev_append acc rest)
+                  else go (y :: acc) rest
+            in
+            go [] l
+          in
+          let unmatched_old, unmatched_new =
+            List.fold_left
+              (fun (uo, un) p ->
+                match remove_first equal_property p un with
+                | Some un' -> (uo, un')
+                | None -> (uo @ [ p ], un))
+              ([], new_pu.pu_descriptor.d_properties)
+              old_pu.pu_descriptor.d_properties
+          in
+          let leftovers_new =
+            List.fold_left
+              (fun un p ->
+                match
+                  remove_first (fun a b -> a.p_name = b.p_name) p un
+                with
+                | Some un' ->
+                    let q =
+                      List.find (fun b -> b.p_name = p.p_name) un
+                    in
+                    report
+                      (Property_changed
+                         {
+                           id;
+                           name = p.p_name;
+                           from_ = p.p_value;
+                           to_ = q.p_value;
+                         });
+                    un'
+                | None ->
+                    report (Property_removed { id; name = p.p_name });
+                    un)
+              unmatched_new unmatched_old
+          in
+          List.iter
+            (fun q -> report (Property_added { id; name = q.p_name }))
+            leftovers_new;
+          List.iter
+            (fun g ->
+              if not (List.mem g new_pu.pu_groups) then
+                report (Group_removed { id; group = g }))
+            old_pu.pu_groups;
+          List.iter
+            (fun g ->
+              if not (List.mem g old_pu.pu_groups) then
+                report (Group_added { id; group = g }))
+            new_pu.pu_groups)
+    old_pus;
+  List.rev !changes
+
+let equivalent a b = diff a b = []
+
+let map_pus f pf =
+  let rec go pu = f { pu with pu_children = List.map go pu.pu_children } in
+  { pf with pf_masters = List.map go pf.pf_masters }
+
+let instantiate ~values pf =
+  map_pus
+    (fun pu ->
+      let props =
+        List.map
+          (fun p ->
+            if p.p_fixed then p
+            else
+              match
+                List.find_opt
+                  (fun (id, name, _) -> id = pu.pu_id && name = p.p_name)
+                  values
+              with
+              | Some (_, _, v) -> { p with p_value = v }
+              | None -> p)
+          pu.pu_descriptor.d_properties
+      in
+      { pu with pu_descriptor = descriptor props })
+    pf
+
+let missing_values pf =
+  List.concat_map
+    (fun pu ->
+      List.filter_map
+        (fun p ->
+          if (not p.p_fixed) && String.trim p.p_value = "" then
+            Some (pu.pu_id, p.p_name)
+          else None)
+        pu.pu_descriptor.d_properties)
+    (all_pus pf)
+
+let overlay ~base ~probe =
+  let values =
+    List.concat_map
+      (fun pu ->
+        List.map
+          (fun p -> (pu.pu_id, p.p_name, p.p_value))
+          pu.pu_descriptor.d_properties)
+      (all_pus probe)
+  in
+  instantiate ~values base

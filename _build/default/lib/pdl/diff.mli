@@ -1,0 +1,64 @@
+(** Structural diff and merge of platform descriptions.
+
+    {!diff} compares two platforms PU-by-PU (matched on id) and
+    reports additions, removals and property/structure changes —
+    useful when regenerating descriptors from probes and reviewing
+    what changed.
+
+    {!instantiate} implements the paper's {e unfixed property}
+    workflow (§III-B): a descriptor written at program-composition
+    time may leave properties unfixed; a runtime or machine-dependent
+    library later fills in their values. Instantiation overlays
+    values onto unfixed properties only — fixed properties are
+    authoritative and never overwritten. *)
+
+open Pdl_model.Machine
+
+type change =
+  | Pu_added of string  (** id present only in the newer platform *)
+  | Pu_removed of string
+  | Class_changed of { id : string; from_ : pu_class; to_ : pu_class }
+  | Quantity_changed of { id : string; from_ : int; to_ : int }
+  | Property_added of { id : string; name : string }
+  | Property_removed of { id : string; name : string }
+  | Property_changed of {
+      id : string;
+      name : string;
+      from_ : string;
+      to_ : string;
+    }
+  | Parent_changed of {
+      id : string;
+      from_ : string option;
+      to_ : string option;
+    }
+  | Group_added of { id : string; group : string }
+  | Group_removed of { id : string; group : string }
+
+val pp_change : Format.formatter -> change -> unit
+val change_to_string : change -> string
+
+val diff : platform -> platform -> change list
+(** [diff old_pf new_pf]. Empty when equivalent (ignoring
+    interconnect descriptor internals). *)
+
+val equivalent : platform -> platform -> bool
+
+(** {1 Unfixed-property instantiation} *)
+
+val instantiate :
+  values:(string * string * string) list -> platform -> platform
+(** [instantiate ~values pf] sets unfixed properties from
+    [(pu id, property name, value)] triples. Properties that are
+    fixed, missing, or on unknown PUs are left untouched. The
+    instantiated property remains unfixed (it may be re-instantiated
+    later). *)
+
+val missing_values : platform -> (string * string) list
+(** [(pu id, property name)] for every unfixed property whose value
+    is empty — what a runtime still has to fill in. *)
+
+val overlay : base:platform -> probe:platform -> platform
+(** For every PU id present in both, copy property values measured by
+    [probe] onto [base]'s unfixed properties of the same name.
+    Fixed properties and structure always come from [base]. *)

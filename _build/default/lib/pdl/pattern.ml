@@ -1,0 +1,251 @@
+open Pdl_model.Machine
+
+type constr =
+  | Prop_eq of string * string
+  | Prop_at_least of string * int
+  | Prop_exists of string
+  | In_group of string
+  | Quantity_at_least of int
+
+type t = {
+  pat_class : pu_class option;
+  pat_constraints : constr list;
+  pat_children : t list;
+  pat_label : string option;
+}
+
+let make ?cls ?(constraints = []) ?(children = []) ?label () =
+  {
+    pat_class = cls;
+    pat_constraints = constraints;
+    pat_children = children;
+    pat_label = label;
+  }
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- parsing -------------------------------------------------------- *)
+
+type cursor = { src : string; mutable i : int }
+
+let peek c = if c.i >= String.length c.src then '\000' else c.src.[c.i]
+
+let skip_ws c =
+  while peek c = ' ' || peek c = '\t' || peek c = '\n' do
+    c.i <- c.i + 1
+  done
+
+let eat c ch =
+  skip_ws c;
+  if peek c = ch then c.i <- c.i + 1
+  else fail "expected %C at offset %d in pattern %S" ch c.i c.src
+
+let is_word_char ch =
+  (ch >= 'a' && ch <= 'z')
+  || (ch >= 'A' && ch <= 'Z')
+  || (ch >= '0' && ch <= '9')
+  || ch = '_' || ch = '-' || ch = '.' || ch = ':' || ch = '/'
+
+let read_word c =
+  skip_ws c;
+  let start = c.i in
+  while is_word_char (peek c) do
+    c.i <- c.i + 1
+  done;
+  if c.i = start then fail "expected a word at offset %d in pattern %S" start c.src;
+  String.sub c.src start (c.i - start)
+
+let read_constr c =
+  let name = read_word c in
+  skip_ws c;
+  if name = "quantity" || peek c = '>' then begin
+    eat c '>';
+    eat c '=';
+    let bound = read_word c in
+    match int_of_string_opt bound with
+    | Some n ->
+        if name = "quantity" then Quantity_at_least n else Prop_at_least (name, n)
+    | None -> fail "expected an integer after %s>=, found %S" name bound
+  end
+  else if peek c = '=' then begin
+    eat c '=';
+    Prop_eq (name, read_word c)
+  end
+  else Prop_exists name
+
+let rec read_pattern c =
+  skip_ws c;
+  let cls =
+    if peek c = '*' then begin
+      c.i <- c.i + 1;
+      None
+    end
+    else
+      let w = read_word c in
+      match pu_class_of_string w with
+      | Some cls -> Some cls
+      | None -> fail "unknown PU class %S (use Master, Hybrid, Worker or *)" w
+  in
+  let constraints =
+    skip_ws c;
+    if peek c <> '{' then []
+    else begin
+      eat c '{';
+      let rec loop acc =
+        skip_ws c;
+        let constr =
+          if peek c = '#' then begin
+            c.i <- c.i + 1;
+            In_group (read_word c)
+          end
+          else read_constr c
+        in
+        skip_ws c;
+        if peek c = ',' then begin
+          eat c ',';
+          loop (constr :: acc)
+        end
+        else begin
+          eat c '}';
+          List.rev (constr :: acc)
+        end
+      in
+      loop []
+    end
+  in
+  (* The label may sit before or after the child list:
+     Master@host[Worker] and Master[Worker]@host both parse. *)
+  let read_label () =
+    skip_ws c;
+    if peek c = '@' then begin
+      c.i <- c.i + 1;
+      Some (read_word c)
+    end
+    else None
+  in
+  let label_before = read_label () in
+  let children =
+    skip_ws c;
+    if peek c <> '[' then []
+    else begin
+      eat c '[';
+      let rec loop acc =
+        let child = read_pattern c in
+        skip_ws c;
+        if peek c = ',' then begin
+          eat c ',';
+          loop (child :: acc)
+        end
+        else begin
+          eat c ']';
+          List.rev (child :: acc)
+        end
+      in
+      loop []
+    end
+  in
+  let label =
+    match label_before with Some _ -> label_before | None -> read_label ()
+  in
+  {
+    pat_class = cls;
+    pat_constraints = constraints;
+    pat_children = children;
+    pat_label = label;
+  }
+
+let parse src =
+  let c = { src; i = 0 } in
+  let p = read_pattern c in
+  skip_ws c;
+  if c.i <> String.length src then
+    fail "trailing input at offset %d in pattern %S" c.i src;
+  p
+
+let parse_result src =
+  match parse src with p -> Ok p | exception Parse_error msg -> Error msg
+
+let constr_to_string = function
+  | Prop_eq (n, v) -> Printf.sprintf "%s=%s" n v
+  | Prop_at_least (n, b) -> Printf.sprintf "%s>=%d" n b
+  | Prop_exists n -> n
+  | In_group g -> "#" ^ g
+  | Quantity_at_least n -> Printf.sprintf "quantity>=%d" n
+
+let rec to_string p =
+  let cls = match p.pat_class with Some c -> pu_class_to_string c | None -> "*" in
+  let constraints =
+    match p.pat_constraints with
+    | [] -> ""
+    | cs -> "{" ^ String.concat "," (List.map constr_to_string cs) ^ "}"
+  in
+  let children =
+    match p.pat_children with
+    | [] -> ""
+    | cs -> "[" ^ String.concat "," (List.map to_string cs) ^ "]"
+  in
+  let label = match p.pat_label with Some l -> "@" ^ l | None -> "" in
+  cls ^ constraints ^ children ^ label
+
+(* --- matching ------------------------------------------------------- *)
+
+type binding = (string * pu) list
+
+let constr_holds pu = function
+  | Prop_eq (n, v) -> pu_property pu n = Some v
+  | Prop_at_least (n, b) -> (
+      match Option.bind (pu_property pu n) float_of_string_opt with
+      | Some x -> x >= float_of_int b
+      | None -> false)
+  | Prop_exists n -> pu_property pu n <> None
+  | In_group g -> List.mem g pu.pu_groups
+  | Quantity_at_least q -> pu.pu_quantity >= q
+
+let rec match_pu pat pu =
+  let class_ok =
+    match pat.pat_class with Some c -> pu.pu_class = c | None -> true
+  in
+  if not (class_ok && List.for_all (constr_holds pu) pat.pat_constraints) then
+    None
+  else
+    match match_children pat.pat_children pu.pu_children with
+    | None -> None
+    | Some child_binding ->
+        let own =
+          match pat.pat_label with Some l -> [ (l, pu) ] | None -> []
+        in
+        Some (own @ child_binding)
+
+(* Embed each pattern child into a distinct concrete child, by
+   backtracking over the (small) candidate lists. *)
+and match_children pats pus =
+  match pats with
+  | [] -> Some []
+  | pat :: rest ->
+      let rec try_candidates before = function
+        | [] -> None
+        | pu :: after -> (
+            match match_pu pat pu with
+            | Some binding -> (
+                match match_children rest (List.rev_append before after) with
+                | Some more -> Some (binding @ more)
+                | None -> try_candidates (pu :: before) after)
+            | None -> try_candidates (pu :: before) after)
+      in
+      try_candidates [] pus
+
+let matches_pu pat pu = match_pu pat pu <> None
+
+let find_matches pat pf =
+  List.filter_map
+    (fun pu -> Option.map (fun b -> (pu, b)) (match_pu pat pu))
+    (all_pus pf)
+
+let matches pat pf = find_matches pat pf <> []
+
+let rec specificity p =
+  1
+  + List.length p.pat_constraints
+  + List.fold_left (fun acc c -> acc + specificity c) 0 p.pat_children

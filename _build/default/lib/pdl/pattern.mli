@@ -1,0 +1,82 @@
+(** Platform patterns: abstract control-relationship shapes matched
+    against concrete platforms (paper §II, §IV-B).
+
+    A pattern is a small PU-hierarchy template. Task implementation
+    variants declare the pattern they require (e.g. {e a Master
+    controlling at least one GPU Worker}); static pre-selection keeps
+    a variant only when its pattern embeds into the target platform's
+    PDL description.
+
+    {2 Textual syntax}
+
+    {v
+    pattern  ::= class constraints? children? label?
+    class    ::= 'Master' | 'Hybrid' | 'Worker' | '*'
+    constraints ::= '{' constr (',' constr)* '}'
+    constr   ::= NAME '=' VALUE          property equality
+               | NAME '>=' INT           integer property bound
+               | NAME                    property presence
+               | '#' NAME                logic-group membership
+               | 'quantity' '>=' INT     physical multiplicity
+    children ::= '[' pattern (',' pattern)* ']'
+    label    ::= '@' NAME                binding label
+    v}
+
+    Example — the Listing 1 system as a pattern:
+    [{v Master{ARCHITECTURE=x86}[Worker{ARCHITECTURE=gpu}@gpu] v}]
+
+    Matching is an {e embedding}: every pattern child must match a
+    distinct concrete child of the matched PU; concrete children with
+    no counterpart are allowed. With [~deep:true] (the default for
+    {!find_matches}) the root pattern may match a PU anywhere in the
+    hierarchy. *)
+
+open Pdl_model.Machine
+
+type constr =
+  | Prop_eq of string * string
+  | Prop_at_least of string * int
+  | Prop_exists of string
+  | In_group of string
+  | Quantity_at_least of int
+
+type t = {
+  pat_class : pu_class option;  (** [None] is the ['*'] wildcard *)
+  pat_constraints : constr list;
+  pat_children : t list;
+  pat_label : string option;
+}
+
+val make :
+  ?cls:pu_class -> ?constraints:constr list -> ?children:t list ->
+  ?label:string -> unit -> t
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val parse_result : string -> (t, string) result
+val to_string : t -> string
+(** Prints the textual syntax; [parse (to_string p)] = [p]. *)
+
+type binding = (string * pu) list
+(** Label [->] matched PU, for every labelled pattern node. *)
+
+val matches_pu : t -> pu -> bool
+(** Does the pattern embed into this PU (pattern root matching the PU
+    itself)? *)
+
+val match_pu : t -> pu -> binding option
+(** Like {!matches_pu} but returns the label bindings of the first
+    embedding found. *)
+
+val matches : t -> platform -> bool
+(** Does the pattern embed anywhere in the platform? *)
+
+val find_matches : t -> platform -> (pu * binding) list
+(** Every PU at which the pattern root matches, with bindings. *)
+
+val specificity : t -> int
+(** A rough specificity score — number of nodes plus constraints —
+    used by Cascabel to prefer the most specific matching variant. *)

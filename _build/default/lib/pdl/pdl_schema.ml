@@ -1,0 +1,104 @@
+module S = Pdl_xml.Schema
+
+(* PU content is deliberately order-free: hand-written descriptors
+   (and the paper's listings) interleave descriptors, workers and
+   interconnects freely. *)
+let pu_content =
+  [
+    S.P_choice
+      ( [
+          S.el "PUDescriptor" "PUDescriptorType";
+          S.el "MemoryRegion" "MemoryRegionType";
+          S.el "LogicGroupAttribute" "string";
+          S.el "Worker" "WorkerType";
+          S.el "Hybrid" "HybridType";
+          S.el "Interconnect" "InterconnectType";
+        ],
+        S.many );
+  ]
+
+let worker_content =
+  [
+    S.P_choice
+      ( [
+          S.el "PUDescriptor" "PUDescriptorType";
+          S.el "MemoryRegion" "MemoryRegionType";
+          S.el "LogicGroupAttribute" "string";
+        ],
+        S.many );
+  ]
+
+let id_attrs =
+  [
+    S.attr ~required:true "id" S.S_string;
+    S.attr "quantity" (S.S_int { min = Some 1; max = None });
+  ]
+
+let core =
+  S.make ~id:"pdl-core" ~version:"1.0"
+    ~target_ns:"urn:pdl:core"
+    ~types:
+      [
+        S.complex "ValueType" ~text:S.S_string
+          ~attrs:[ S.attr "unit" S.S_string ];
+        S.complex "PropertyType"
+          ~attrs:[ S.attr "fixed" S.S_bool ]
+          ~content:[ S.el "name" "string"; S.el "value" "ValueType" ];
+        S.complex "PUDescriptorType"
+          ~content:[ S.el ~occ:S.many "Property" "PropertyType" ];
+        S.complex "MRDescriptorType"
+          ~content:[ S.el ~occ:S.many "Property" "PropertyType" ];
+        S.complex "ICDescriptorType"
+          ~content:[ S.el ~occ:S.many "Property" "PropertyType" ];
+        S.complex "MemoryRegionType"
+          ~attrs:[ S.attr ~required:true "id" S.S_string ]
+          ~content:[ S.el ~occ:S.optional "MRDescriptor" "MRDescriptorType" ];
+        S.complex "InterconnectType"
+          ~attrs:
+            [
+              S.attr ~required:true "type" S.S_string;
+              S.attr ~required:true "from" S.S_string;
+              S.attr ~required:true "to" S.S_string;
+              S.attr "scheme" S.S_string;
+            ]
+          ~content:[ S.el ~occ:S.optional "ICDescriptor" "ICDescriptorType" ];
+        S.complex "WorkerType" ~attrs:id_attrs ~content:worker_content;
+        S.complex "HybridType" ~attrs:id_attrs ~content:pu_content;
+        S.complex "MasterType" ~attrs:id_attrs ~content:pu_content;
+        S.complex "PlatformType"
+          ~attrs:[ S.attr "name" S.S_string ]
+          ~content:[ S.el ~occ:S.at_least_one "Master" "MasterType" ];
+      ]
+    ~roots:[ ("Platform", "PlatformType"); ("Master", "MasterType") ]
+    ()
+
+(* A property subschema: a named PropertyType extension whose
+   instances may carry extra attributes.  Instances select it with
+   xsi:type, exactly as in the paper's Listing 2. *)
+let property_subschema ~schema_id ~type_name ~extra_attrs =
+  S.make ~id:schema_id ~version:"1.0"
+    ~types:[ S.complex type_name ~base:"PropertyType" ~attrs:extra_attrs ]
+    ~roots:[] ()
+
+let ocl =
+  property_subschema ~schema_id:"pdl-ocl" ~type_name:"oclDevicePropertyType"
+    ~extra_attrs:[]
+
+let cuda =
+  property_subschema ~schema_id:"pdl-cuda" ~type_name:"cudaDevicePropertyType"
+    ~extra_attrs:[ S.attr "sm" S.S_string ]
+
+let cell =
+  property_subschema ~schema_id:"pdl-cell" ~type_name:"cellPropertyType"
+    ~extra_attrs:[]
+
+let default_registry =
+  let reg = S.registry core in
+  List.fold_left
+    (fun reg sub ->
+      match S.add_subschema reg sub with
+      | Ok reg -> reg
+      | Error msg -> invalid_arg ("Pdl_schema.default_registry: " ^ msg))
+    reg [ ocl; cuda; cell ]
+
+let validate el = S.validate default_registry el

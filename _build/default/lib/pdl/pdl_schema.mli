@@ -1,0 +1,33 @@
+(** The PDL base schema and its predefined subschemas (paper §III-B).
+
+    The base schema covers the initial specification: [Master],
+    [Hybrid], [Worker] with [PUDescriptor], [Interconnect],
+    [MemoryRegion] and [LogicGroupAttribute]; [Interconnect] with
+    [ICDescriptor]; [MemoryRegion] with [MRDescriptor]; descriptors
+    holding [Property] elements; a property being a [name]/[value]
+    pair. Values may carry a [unit] attribute (cf. Listing 2) and
+    properties a [fixed] flag plus an [xsi:type] subschema type.
+
+    Predefined subschemas mirror the paper's examples: [ocl] (OpenCL
+    device properties), [cuda] and [cell] descriptors. Each has a
+    unique id and version; vendors add more via
+    {!Pdl_xml.Schema.add_subschema}. *)
+
+val core : Pdl_xml.Schema.t
+(** Base schema, id ["pdl-core"]. Roots: [Platform] and [Master]. *)
+
+val ocl : Pdl_xml.Schema.t
+(** OpenCL property subschema, id ["pdl-ocl"]: [oclDevicePropertyType]
+    extending [PropertyType]. *)
+
+val cuda : Pdl_xml.Schema.t
+(** Cuda property subschema, id ["pdl-cuda"]. *)
+
+val cell : Pdl_xml.Schema.t
+(** Cell B.E. property subschema, id ["pdl-cell"]. *)
+
+val default_registry : Pdl_xml.Schema.registry
+(** [core] + all predefined subschemas. *)
+
+val validate : Pdl_xml.Dom.element -> Pdl_xml.Schema.error list
+(** Validate a PDL document against {!default_registry}. *)

@@ -1,0 +1,118 @@
+open Pdl_model.Machine
+
+type pred = pu -> bool
+
+let class_is cls pu = pu.pu_class = cls
+let is_master = class_is Master
+let is_worker = class_is Worker
+let is_hybrid = class_is Hybrid
+let has_property name pu = pu_property pu name <> None
+let property_is name value pu = pu_property pu name = Some value
+
+let property_at_least name bound pu =
+  match Option.bind (pu_property pu name) float_of_string_opt with
+  | Some n -> n >= float_of_int bound
+  | None -> false
+
+let in_group g pu = List.mem g pu.pu_groups
+let id_is id pu = pu.pu_id = id
+let quantity_at_least q pu = pu.pu_quantity >= q
+
+let architecture_is arch pu =
+  let arch = String.lowercase_ascii arch in
+  let matches key =
+    match pu_property pu key with
+    | Some v -> String.lowercase_ascii v = arch
+    | None -> false
+  in
+  matches "ARCHITECTURE" || matches "ARCH"
+
+let ( &&& ) p q pu = p pu && q pu
+let ( ||| ) p q pu = p pu || q pu
+let not_ p pu = not (p pu)
+let any _ = true
+
+let pus ?(where = any) pf = List.filter where (all_pus pf)
+let first ?where pf = match pus ?where pf with [] -> None | pu :: _ -> Some pu
+let count ?where pf = List.length (pus ?where pf)
+let exists p pf = List.exists p (all_pus pf)
+
+let architectures pf =
+  let add acc v = if List.mem v acc then acc else acc @ [ v ] in
+  List.fold_left
+    (fun acc pu ->
+      match pu_property pu "ARCHITECTURE" with
+      | Some v -> add acc v
+      | None -> (
+          match pu_property pu "ARCH" with Some v -> add acc v | None -> acc))
+    [] (all_pus pf)
+
+let property_values pf name =
+  List.filter_map
+    (fun pu ->
+      Option.map (fun v -> (pu.pu_id, v)) (pu_property pu name))
+    (all_pus pf)
+
+let workers_of pf id =
+  match find_pu pf id with
+  | None -> []
+  | Some root ->
+      let sub = platform ~name:"" [ { root with pu_class = Master } ] in
+      List.filter (fun pu -> pu.pu_class = Worker) (all_pus sub)
+
+let controllers_of pf id =
+  match path_to pf id with
+  | [] -> []
+  | path -> List.rev (List.filter (fun pu -> pu.pu_id <> id) path)
+
+let reachable pf ~from =
+  let edges = all_interconnects pf in
+  let neighbours id =
+    List.filter_map
+      (fun ic ->
+        if ic.ic_from = id then Some ic.ic_to
+        else if ic.ic_to = id then Some ic.ic_from
+        else None)
+      edges
+  in
+  let rec bfs visited frontier acc =
+    match frontier with
+    | [] -> List.rev acc
+    | id :: rest ->
+        let fresh =
+          List.fold_left
+            (fun acc n ->
+              if List.mem n visited || List.mem n acc then acc else acc @ [ n ])
+            [] (neighbours id)
+        in
+        bfs (fresh @ visited) (rest @ fresh) (List.rev_append fresh acc)
+  in
+  bfs [ from ] [ from ] []
+
+let select pf path =
+  match Pdl_xml.Path.parse path with
+  | exception Pdl_xml.Path.Parse_error msg -> Error msg
+  | compiled -> (
+      let xml = Codec.platform_to_xml ~bare_master:false pf in
+      let hits = Pdl_xml.Path.select compiled xml in
+      let to_pu (el : Pdl_xml.Dom.element) =
+        match
+          ( List.mem el.name.local [ "Master"; "Hybrid"; "Worker" ],
+            Pdl_xml.Dom.attr el "id" )
+        with
+        | true, Some id -> (
+            match find_pu pf id with
+            | Some pu -> Ok pu
+            | None -> Error (Printf.sprintf "unknown PU id %S" id))
+        | _ ->
+            Error
+              (Printf.sprintf "path selected a non-PU element <%s>"
+                 el.name.local)
+      in
+      List.fold_left
+        (fun acc el ->
+          match (acc, to_pu el) with
+          | Error e, _ -> Error e
+          | Ok pus, Ok pu -> Ok (pus @ [ pu ])
+          | Ok _, Error e -> Error e)
+        (Ok []) hits)

@@ -1,0 +1,70 @@
+(** The "simple query API" over platform descriptions (paper §IV).
+
+    Cascabel and other tools interrogate platforms through these
+    combinators instead of raw XML, shifting "the burden of querying
+    complex and platform dependent information away from user-space".
+
+    Predicates compose with {!(&&&)} / {!(|||)}; selections run over
+    every PU of a platform. String-based selection ({!select}) routes
+    through the {!Pdl_xml.Path} engine over the canonical XML
+    rendering, so tools can also query with path expressions. *)
+
+open Pdl_model.Machine
+
+type pred = pu -> bool
+
+val class_is : pu_class -> pred
+val is_master : pred
+val is_worker : pred
+val is_hybrid : pred
+
+val has_property : string -> pred
+val property_is : string -> string -> pred
+(** Value comparison is exact (case-sensitive). *)
+
+val property_at_least : string -> int -> pred
+(** True when the property parses as an integer [>=] the bound. *)
+
+val in_group : string -> pred
+val id_is : string -> pred
+val quantity_at_least : int -> pred
+
+val architecture_is : string -> pred
+(** Matches the [ARCHITECTURE] (or legacy [ARCH]) property,
+    case-insensitively. *)
+
+val ( &&& ) : pred -> pred -> pred
+val ( ||| ) : pred -> pred -> pred
+val not_ : pred -> pred
+val any : pred
+
+(** {1 Selection} *)
+
+val pus : ?where:pred -> platform -> pu list
+val first : ?where:pred -> platform -> pu option
+val count : ?where:pred -> platform -> int
+val exists : pred -> platform -> bool
+
+val architectures : platform -> string list
+(** Distinct [ARCHITECTURE] values present, in appearance order. *)
+
+val property_values : platform -> string -> (string * string) list
+(** [(pu id, value)] for every PU defining the property. *)
+
+val workers_of : platform -> string -> pu list
+(** Workers in the control subtree of the given PU id. *)
+
+val controllers_of : platform -> string -> pu list
+(** Masters/Hybrids on the control path above the given PU id
+    (nearest first). *)
+
+val reachable : platform -> from:string -> string list
+(** PU ids reachable from [from] over interconnects (undirected),
+    excluding [from] itself, in breadth-first order. *)
+
+val select : platform -> string -> (pu list, string) result
+(** Path-expression selection, e.g.
+    [select pf "//Worker[@id='1']"]. The platform is rendered to its
+    canonical XML and queried with {!Pdl_xml.Path}; resulting PU
+    elements are mapped back to model PUs via their [id] attribute.
+    Errors on malformed paths or non-PU results. *)

@@ -1,0 +1,175 @@
+open Pdl_model.Machine
+
+type t = { view_name : string; transform : platform -> platform }
+
+let name v = v.view_name
+let make view_name transform = { view_name; transform }
+
+let apply v pf =
+  let result = v.transform pf in
+  match Pdl_model.Validate.check result with
+  | [] -> Ok result
+  | vs ->
+      Error
+        (List.map
+           (fun viol ->
+             Printf.sprintf "view %s: %s" v.view_name
+               (Pdl_model.Validate.violation_to_string viol))
+           vs)
+
+let apply_exn v pf =
+  match apply v pf with
+  | Ok pf -> pf
+  | Error msgs -> invalid_arg (String.concat "; " msgs)
+
+let compose name views =
+  make name (fun pf ->
+      List.fold_left (fun pf v -> v.transform pf) pf views)
+
+let identity = make "identity" Fun.id
+let rename n = make ("rename:" ^ n) (fun pf -> { pf with pf_name = n })
+
+let restrict_to_group g =
+  make
+    ("restrict:" ^ g)
+    (fun pf ->
+      (* Keep a PU when it is in the group or controls one that is;
+         controlling ancestors stay for well-formedness. *)
+      let rec keep pu =
+        if List.mem g pu.pu_groups then Some pu
+        else
+          match List.filter_map keep pu.pu_children with
+          | [] -> None
+          | kept -> Some { pu with pu_children = kept }
+      in
+      let masters = List.filter_map keep pf.pf_masters in
+      let surviving =
+        List.concat_map
+          (fun m -> all_pus (platform ~name:"" [ { m with pu_class = Master } ]))
+          masters
+        |> List.map (fun pu -> pu.pu_id)
+      in
+      let prune pu =
+        {
+          pu with
+          pu_interconnects =
+            List.filter
+              (fun ic ->
+                List.mem ic.ic_from surviving && List.mem ic.ic_to surviving)
+              pu.pu_interconnects;
+        }
+      in
+      let rec prune_tree pu =
+        prune { pu with pu_children = List.map prune_tree pu.pu_children }
+      in
+      { pf with pf_masters = List.map prune_tree masters })
+
+let drop_pu id =
+  make
+    ("drop:" ^ id)
+    (fun pf ->
+      let rec remove pu =
+        if pu.pu_id = id then None
+        else Some { pu with pu_children = List.filter_map remove pu.pu_children }
+      in
+      let masters = List.filter_map remove pf.pf_masters in
+      let pruned = { pf with pf_masters = masters } in
+      let surviving = List.map (fun p -> p.pu_id) (all_pus pruned) in
+      let rec prune pu =
+        {
+          pu with
+          pu_children = List.map prune pu.pu_children;
+          pu_interconnects =
+            List.filter
+              (fun ic ->
+                List.mem ic.ic_from surviving && List.mem ic.ic_to surviving)
+              pu.pu_interconnects;
+        }
+      in
+      { pruned with pf_masters = List.map prune pruned.pf_masters })
+
+let flatten =
+  make "flatten" (fun pf ->
+      let flatten_master master =
+        (* Pre-order collection keeps the paper's document order. *)
+        let rec collect pu =
+          match pu.pu_class with
+          | Worker -> [ { pu with pu_children = [] } ]
+          | Hybrid ->
+              let kept =
+                if pu.pu_descriptor.d_properties <> [] then
+                  [ { pu with pu_class = Worker; pu_children = [] } ]
+                else []
+              in
+              kept @ List.concat_map collect pu.pu_children
+          | Master -> List.concat_map collect pu.pu_children
+        in
+        let workers = List.concat_map collect master.pu_children in
+        let surviving =
+          master.pu_id :: List.map (fun w -> w.pu_id) workers
+        in
+        let rec all_ics pu =
+          pu.pu_interconnects @ List.concat_map all_ics pu.pu_children
+        in
+        let interconnects =
+          List.filter
+            (fun ic ->
+              List.mem ic.ic_from surviving && List.mem ic.ic_to surviving)
+            (all_ics master)
+        in
+        {
+          master with
+          pu_children = workers;
+          pu_interconnects = interconnects;
+        }
+      in
+      { pf with pf_masters = List.map flatten_master pf.pf_masters })
+
+let promote_hybrids =
+  make "promote-hybrids" (fun pf ->
+      let promote master =
+        let has_hybrid =
+          List.exists (fun c -> c.pu_class = Hybrid) master.pu_children
+        in
+        let direct_workers =
+          List.filter (fun c -> c.pu_class = Worker) master.pu_children
+        in
+        if (not has_hybrid) || direct_workers = [] then master
+        else
+          let rest =
+            List.filter (fun c -> c.pu_class <> Worker) master.pu_children
+          in
+          let wrapper =
+            pu ~children:direct_workers
+              ~props:[ property "SYNTHETIC" "true" ]
+              Hybrid
+              (master.pu_id ^ ".hybrid")
+          in
+          { master with pu_children = rest @ [ wrapper ] }
+      in
+      { pf with pf_masters = List.map promote pf.pf_masters })
+
+let regroup ~group ~where =
+  make
+    ("regroup:" ^ group)
+    (fun pf ->
+      let rec go pu =
+        let pu = { pu with pu_children = List.map go pu.pu_children } in
+        if where pu && not (List.mem group pu.pu_groups) then
+          { pu with pu_groups = pu.pu_groups @ [ group ] }
+        else pu
+      in
+      { pf with pf_masters = List.map go pf.pf_masters })
+
+let ungroup group =
+  make
+    ("ungroup:" ^ group)
+    (fun pf ->
+      let rec go pu =
+        {
+          pu with
+          pu_groups = List.filter (fun g -> g <> group) pu.pu_groups;
+          pu_children = List.map go pu.pu_children;
+        }
+      in
+      { pf with pf_masters = List.map go pf.pf_masters })

@@ -1,0 +1,59 @@
+(** Logical platform views (paper §II).
+
+    "Multiple logic platform patterns can co-exist for a single target
+    system": the same physical hardware can be presented, say, as a
+    flat Master/Worker pool to one programming model and as a deep
+    Master/Hybrid/Worker hierarchy to another. A view is a named,
+    composable transformation from one platform description to
+    another; {!apply} checks that the result is still well formed. *)
+
+open Pdl_model.Machine
+
+type t
+(** A named platform transformation. *)
+
+val name : t -> string
+val make : string -> (platform -> platform) -> t
+
+val apply : t -> platform -> (platform, string list) result
+(** Runs the transformation, then {!Pdl_model.Validate.check}s the
+    result; violations are returned as messages prefixed with the
+    view name. *)
+
+val apply_exn : t -> platform -> platform
+
+val compose : string -> t list -> t
+(** Left-to-right composition under a new name. *)
+
+(** {1 Prefabricated views} *)
+
+val identity : t
+
+val rename : string -> t
+(** Set the platform name. *)
+
+val restrict_to_group : string -> t
+(** Keep only PUs in the group (and their controlling ancestors,
+    which are needed for well-formedness). Interconnects with a
+    dropped endpoint are removed. *)
+
+val drop_pu : string -> t
+(** Remove the PU with the given id (with its subtree). *)
+
+val flatten : t
+(** Collapse Hybrid levels: every Worker is re-attached directly
+    under its top-level Master, yielding the flat Master/Worker view
+    used by host-device programming models (OpenCL-style). Hybrids
+    themselves become Workers when they carried a descriptor worth
+    preserving, otherwise they disappear. *)
+
+val promote_hybrids : t
+(** The inverse presentation bias: Workers directly under a Master
+    that also controls Hybrids are wrapped into a synthetic Hybrid,
+    producing a uniform two-level control hierarchy. *)
+
+val regroup : group:string -> where:(pu -> bool) -> t
+(** Add all matching PUs to a logic group. *)
+
+val ungroup : string -> t
+(** Remove the group from every PU. *)

@@ -1,0 +1,1 @@
+lib/runtime/codelet.ml: Data Kernels List Printf

@@ -1,0 +1,1 @@
+lib/runtime/data.ml: Array Kernels List Option Printf

@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Codelet Data Float Hashtbl List Machine_config Option Printf Queue Sim

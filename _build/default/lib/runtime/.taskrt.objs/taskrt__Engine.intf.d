@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Codelet Data Machine_config

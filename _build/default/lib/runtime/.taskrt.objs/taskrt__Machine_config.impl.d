@@ -1,0 +1,1 @@
+lib/runtime/machine_config.ml: Array Buffer Data List Option Pdl_model Printf String

@@ -1,0 +1,1 @@
+lib/runtime/machine_config.mli: Pdl_model

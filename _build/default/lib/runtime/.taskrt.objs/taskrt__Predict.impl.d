@@ -1,0 +1,1 @@
+lib/runtime/predict.ml: Array Data Float List Machine_config Printf

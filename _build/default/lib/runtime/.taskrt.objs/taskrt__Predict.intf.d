@@ -1,0 +1,1 @@
+lib/runtime/predict.mli: Machine_config

@@ -1,0 +1,1 @@
+lib/runtime/sim.ml: Array Float Printf

@@ -1,0 +1,1 @@
+lib/runtime/tiled_cholesky.mli: Engine Kernels Machine_config

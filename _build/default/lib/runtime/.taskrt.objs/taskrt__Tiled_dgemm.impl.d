@@ -1,0 +1,1 @@
+lib/runtime/tiled_dgemm.ml: Array Codelet Data Engine Kernels List Machine_config Option

@@ -1,0 +1,1 @@
+lib/runtime/tiled_dgemm.mli: Engine Kernels Machine_config

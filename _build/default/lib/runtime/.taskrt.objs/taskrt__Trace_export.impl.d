@@ -1,0 +1,1 @@
+lib/runtime/trace_export.ml: Buffer Char Engine Fun Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/runtime/trace_export.mli: Engine

@@ -1,0 +1,86 @@
+module Matrix = Kernels.Matrix
+module Blas = Kernels.Blas
+
+type access = R | W | RW
+
+let access_to_string = function R -> "R" | W -> "W" | RW -> "RW"
+
+type impl = { impl_arch : string; run : Data.handle list -> unit }
+
+type t = {
+  cl_name : string;
+  impls : impl list;
+  flops : Data.handle list -> float;
+}
+
+let default_flops = function
+  | [] -> 0.0
+  | h :: _ ->
+      let rows, cols = Data.dims h in
+      float_of_int rows *. float_of_int cols
+
+let create ~name ?(flops = default_flops) impls =
+  if impls = [] then invalid_arg "Codelet.create: no implementations";
+  let archs = List.map (fun i -> i.impl_arch) impls in
+  let distinct = List.sort_uniq compare archs in
+  if List.length distinct <> List.length archs then
+    invalid_arg
+      (Printf.sprintf "Codelet.create: duplicate implementation for %S" name);
+  { cl_name = name; impls; flops }
+
+let cpu_impl run = { impl_arch = "cpu"; run }
+let gpu_impl run = { impl_arch = "gpu"; run }
+
+let impl_for cl arch = List.find_opt (fun i -> i.impl_arch = arch) cl.impls
+let supports cl arch = impl_for cl arch <> None
+
+let dgemm_run handles =
+  match handles with
+  | [ ha; hb; hc ] ->
+      let a = Data.read_matrix ha
+      and b = Data.read_matrix hb
+      and c = Data.read_matrix hc in
+      Blas.dgemm a b c;
+      Data.write_matrix hc c
+  | _ -> invalid_arg "dgemm codelet expects handles [a; b; c]"
+
+let dgemm =
+  create ~name:"dgemm"
+    ~flops:(fun handles ->
+      match handles with
+      | [ ha; hb; _ ] ->
+          let m, k = Data.dims ha in
+          let _, n = Data.dims hb in
+          Blas.flops_dgemm m n k
+      | _ -> 0.0)
+    [ cpu_impl dgemm_run; gpu_impl dgemm_run ]
+
+let vector_add =
+  create ~name:"vector_add"
+    ~flops:(fun handles ->
+      match handles with
+      | h :: _ ->
+          let r, c = Data.dims h in
+          float_of_int (r * c)
+      | [] -> 0.0)
+    [
+      cpu_impl (fun handles ->
+          match handles with
+          | [ ha; hb ] ->
+              let a = Data.read_matrix ha and b = Data.read_matrix hb in
+              Blas.vector_add a.Matrix.data b.Matrix.data;
+              Data.write_matrix ha a
+          | _ -> invalid_arg "vector_add codelet expects handles [a; b]");
+      gpu_impl (fun handles ->
+          match handles with
+          | [ ha; hb ] ->
+              let a = Data.read_matrix ha and b = Data.read_matrix hb in
+              Blas.vector_add a.Matrix.data b.Matrix.data;
+              Data.write_matrix ha a
+          | _ -> invalid_arg "vector_add codelet expects handles [a; b]");
+    ]
+
+let noop ~name ~flops ~archs =
+  create ~name
+    ~flops:(fun _ -> flops)
+    (List.map (fun impl_arch -> { impl_arch; run = ignore }) archs)

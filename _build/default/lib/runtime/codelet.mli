@@ -1,0 +1,53 @@
+(** Codelets: multi-implementation computational tasks.
+
+    A codelet bundles, under one task interface, one implementation
+    per architecture class ("the same functionality and function
+    signature for all implementations" — paper §IV-A). The scheduler
+    picks the implementation matching the worker it places the task
+    on; the cost model consumes the codelet's FLOP estimate.
+
+    Architecture classes are the strings of
+    {!Machine_config.arch_class_of_pu}: ["cpu"], ["gpu"], or any
+    custom accelerator architecture (e.g. ["spe"]). *)
+
+type access = R | W | RW
+
+val access_to_string : access -> string
+
+type impl = {
+  impl_arch : string;
+  run : Data.handle list -> unit;
+      (** functional execution on the handles, in buffer order *)
+}
+
+type t = {
+  cl_name : string;
+  impls : impl list;
+  flops : Data.handle list -> float;
+      (** work estimate given the task's handles *)
+}
+
+val create :
+  name:string -> ?flops:(Data.handle list -> float) -> impl list -> t
+(** [flops] defaults to a byte-proportional estimate (1 FLOP per
+    element of the first handle). The implementation list must be
+    non-empty with distinct architectures. *)
+
+val cpu_impl : (Data.handle list -> unit) -> impl
+val gpu_impl : (Data.handle list -> unit) -> impl
+val impl_for : t -> string -> impl option
+val supports : t -> string -> bool
+
+(** {1 Prebuilt codelets} *)
+
+val dgemm : t
+(** [handles = [a; b; c]]: [c := a*b + c] on CPU and GPU, FLOPs
+    [2mnk]. The GPU implementation runs the same blocked kernel (the
+    simulated CuBLAS — bit-identical results, device-speed timing). *)
+
+val vector_add : t
+(** [handles = [a; b]]: [a := a + b] — the paper's vecadd task. *)
+
+val noop : name:string -> flops:float -> archs:string list -> t
+(** A do-nothing codelet with a fixed cost, for scheduler tests and
+    synthetic workloads. *)

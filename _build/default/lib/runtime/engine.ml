@@ -1,0 +1,532 @@
+type policy = Eager | Heft | Locality_ws | Random_place
+
+let policy_to_string = function
+  | Eager -> "eager"
+  | Heft -> "heft"
+  | Locality_ws -> "ws"
+  | Random_place -> "random"
+
+let policy_of_string = function
+  | "eager" -> Some Eager
+  | "heft" | "dmda" -> Some Heft
+  | "ws" | "locality" -> Some Locality_ws
+  | "random" -> Some Random_place
+  | _ -> None
+
+type task_state = Pending | Ready | Running | Finished
+
+type task = {
+  t_id : int;
+  codelet : Codelet.t;
+  buffers : (Data.handle * Codelet.access) list;
+  t_group : string option;
+  mutable deps_remaining : int;
+  mutable dependents : task list;
+  mutable state : task_state;
+}
+
+type worker_state = {
+  w : Machine_config.worker;
+  queue : task Queue.t;  (** per-worker queue (heft / ws / random) *)
+  mutable idle : bool;
+  mutable online : bool;  (** dynamic resources: offline workers take no tasks *)
+  mutable gflops : float;  (** current throughput (DVFS may change it) *)
+  mutable free_estimate : float;  (** HEFT bookkeeping *)
+  mutable busy_s : float;
+  mutable tasks_run : int;
+}
+
+type trace_event = {
+  tr_task : string;
+  tr_codelet : string;
+  tr_worker : string;
+  tr_start : float;
+  tr_compute_start : float;
+  tr_end : float;
+  tr_bytes_in : float;
+}
+
+type t = {
+  sim : Sim.t;
+  cfg : Machine_config.t;
+  pol : policy;
+  execute_kernels : bool;
+  overhead_s : float;
+  workers : worker_state array;
+  link_resources : (int, Sim.resource * Machine_config.link) Hashtbl.t;
+  pool : task Queue.t;  (** Eager's shared ready-queue *)
+  last_writer : (int, task) Hashtbl.t;
+  readers : (int, task list) Hashtbl.t;
+  mutable next_task : int;
+  mutable live_tasks : int;
+  mutable total_tasks : int;
+  mutable bytes_transferred : float;
+  mutable events : trace_event list;
+  mutable rng : int;
+}
+
+let policy t = t.pol
+let machine t = t.cfg
+
+let create ?(policy = Eager) ?(execute_kernels = true)
+    ?(dispatch_overhead_us = 20.0) ?(seed = 1) cfg =
+  let link_resources = Hashtbl.create 8 in
+  List.iter
+    (fun (l : Machine_config.link) ->
+      Hashtbl.replace link_resources l.l_node (Sim.resource l.l_name, l))
+    cfg.Machine_config.links;
+  {
+    sim = Sim.create ();
+    cfg;
+    pol = policy;
+    execute_kernels;
+    overhead_s = dispatch_overhead_us *. 1e-6;
+    workers =
+      Array.map
+        (fun w ->
+          {
+            w;
+            queue = Queue.create ();
+            idle = true;
+            online = true;
+            gflops = w.Machine_config.w_gflops;
+            free_estimate = 0.0;
+            busy_s = 0.0;
+            tasks_run = 0;
+          })
+        cfg.Machine_config.workers;
+    link_resources;
+    pool = Queue.create ();
+    last_writer = Hashtbl.create 64;
+    readers = Hashtbl.create 64;
+    next_task = 0;
+    live_tasks = 0;
+    total_tasks = 0;
+    bytes_transferred = 0.0;
+    events = [];
+    rng = seed land 0x3FFFFFFF;
+  }
+
+let next_random t bound =
+  (* xorshift-ish LCG; deterministic given the seed *)
+  t.rng <- ((t.rng * 1103515245) + 12345) land 0x3FFFFFFF;
+  t.rng mod bound
+
+(* --- eligibility ---------------------------------------------------- *)
+
+let worker_eligible _t ws (task : task) =
+  ws.online
+  && Codelet.supports task.codelet ws.w.Machine_config.w_arch
+  &&
+  match task.t_group with
+  | None -> true
+  | Some g -> List.mem g ws.w.Machine_config.w_groups
+
+let eligible_workers t task =
+  Array.to_list t.workers |> List.filter (fun ws -> worker_eligible t ws task)
+
+(* Submission-time capability check ignores the online flag: a worker
+   may come back before the task becomes ready. *)
+let statically_eligible t task =
+  Array.to_list t.workers
+  |> List.exists (fun ws ->
+         Codelet.supports task.codelet ws.w.Machine_config.w_arch
+         &&
+         match task.t_group with
+         | None -> true
+         | Some g -> List.mem g ws.w.Machine_config.w_groups)
+
+(* --- time modeling --------------------------------------------------- *)
+
+let compute_time ws (task : task) =
+  let flops = task.codelet.Codelet.flops (List.map fst task.buffers) in
+  flops /. (ws.gflops *. 1e9)
+
+let link_time (l : Machine_config.link) bytes =
+  (l.l_latency_us *. 1e-6) +. (bytes /. (l.l_bandwidth_mbps *. 1e6))
+
+(* Hops for moving a handle to [dst]: data valid on some node src;
+   each non-host endpoint contributes its link. *)
+let transfer_hops t (h : Data.handle) dst =
+  if Data.is_valid_at h dst then []
+  else
+    let src =
+      if Data.is_valid_at h Data.main_memory then Data.main_memory
+      else match Data.valid_nodes h with n :: _ -> n | [] -> Data.main_memory
+    in
+    let hop node acc =
+      if node = Data.main_memory then acc
+      else
+        match Hashtbl.find_opt t.link_resources node with
+        | Some rl -> rl :: acc
+        | None -> acc
+    in
+    hop src (hop dst [])
+
+(* Estimated (not booked) time at which the task's inputs can be at
+   the worker's node, starting from [at]. *)
+let estimate_transfers t ws (task : task) ~at =
+  let dst = ws.w.Machine_config.w_node in
+  List.fold_left
+    (fun time (h, _) ->
+      let bytes = Data.bytes h in
+      List.fold_left
+        (fun time (res, l) ->
+          let _, finish = Sim.peek res ~at:time ~duration:(link_time l bytes) in
+          finish)
+        time (transfer_hops t h dst))
+    at task.buffers
+
+(* Booked version: actually occupies link resources; returns
+   (completion time, bytes moved). *)
+let book_transfers t ws (task : task) ~at =
+  let dst = ws.w.Machine_config.w_node in
+  List.fold_left
+    (fun (time, bytes_total) (h, _access) ->
+      let hops = transfer_hops t h dst in
+      if hops = [] then (time, bytes_total)
+      else begin
+        let bytes = Data.bytes h in
+        let time =
+          List.fold_left
+            (fun time (res, l) ->
+              let _, finish =
+                Sim.acquire res ~at:time ~duration:(link_time l bytes)
+              in
+              finish)
+            time hops
+        in
+        Data.add_valid h dst;
+        (time, bytes_total +. bytes)
+      end)
+    (at, 0.0) task.buffers
+
+(* --- scheduling ------------------------------------------------------ *)
+
+let rec worker_kick t ws =
+  if ws.idle && ws.online then begin
+    match next_task_for t ws with
+    | None -> ()
+    | Some task -> start_task t ws task
+  end
+
+and next_task_for t ws =
+  (* Own queue first; then the shared pool (eager); then steal. *)
+  match Queue.take_opt ws.queue with
+  | Some task -> Some task
+  | None -> (
+      match take_from_pool t ws with
+      | Some task -> Some task
+      | None -> if t.pol = Locality_ws then steal t ws else None)
+
+and take_from_pool t ws =
+  (* The pool may hold tasks this worker cannot run; scan it once,
+     preserving order of the rest. *)
+  let n = Queue.length t.pool in
+  let found = ref None in
+  for _ = 1 to n do
+    let task = Queue.pop t.pool in
+    if !found = None && worker_eligible t ws task then found := Some task
+    else Queue.push task t.pool
+  done;
+  !found
+
+and steal t ws =
+  (* Steal from the rear of the longest eligible queue. *)
+  let victim = ref None in
+  Array.iter
+    (fun other ->
+      if other != ws && Queue.length other.queue > 0 then
+        match !victim with
+        | Some v when Queue.length v.queue >= Queue.length other.queue -> ()
+        | _ -> victim := Some other)
+    t.workers;
+  match !victim with
+  | None -> None
+  | Some v ->
+      (* Take the most recently enqueued eligible task. *)
+      let items = List.rev (Queue.fold (fun acc x -> x :: acc) [] v.queue) in
+      let rec split_last_eligible seen = function
+        | [] -> None
+        | x :: rest -> (
+            match split_last_eligible (x :: seen) rest with
+            | Some _ as hit -> hit
+            | None ->
+                if worker_eligible t ws x then
+                  Some (x, List.rev_append seen rest)
+                else None)
+      in
+      (match split_last_eligible [] items with
+      | None -> None
+      | Some (task, rest) ->
+          Queue.clear v.queue;
+          List.iter (fun x -> Queue.push x v.queue) rest;
+          Some task)
+
+and start_task t ws task =
+  ws.idle <- false;
+  task.state <- Running;
+  let dispatched = Sim.now t.sim in
+  let after_overhead = dispatched +. t.overhead_s in
+  let transfers_done, bytes_in = book_transfers t ws task ~at:after_overhead in
+  let finish = transfers_done +. compute_time ws task in
+  t.bytes_transferred <- t.bytes_transferred +. bytes_in;
+  Sim.schedule_at t.sim ~time:finish (fun () ->
+      complete_task t ws task ~dispatched ~compute_start:transfers_done
+        ~bytes_in)
+
+and complete_task t ws task ~dispatched ~compute_start ~bytes_in =
+  let now = Sim.now t.sim in
+  (* Functional execution happens at completion so that writes land
+     in dependency order (the sim completes tasks in time order). *)
+  if t.execute_kernels then begin
+    match Codelet.impl_for task.codelet ws.w.Machine_config.w_arch with
+    | Some impl -> impl.Codelet.run (List.map fst task.buffers)
+    | None -> assert false (* eligibility checked at placement *)
+  end;
+  (* Coherence: writes leave this node with the only valid copy. *)
+  List.iter
+    (fun (h, access) ->
+      match access with
+      | Codelet.R -> ()
+      | Codelet.W | Codelet.RW -> Data.write_at h ws.w.Machine_config.w_node)
+    task.buffers;
+  task.state <- Finished;
+  ws.busy_s <- ws.busy_s +. (now -. dispatched);
+  ws.tasks_run <- ws.tasks_run + 1;
+  t.live_tasks <- t.live_tasks - 1;
+  t.events <-
+    {
+      tr_task = Printf.sprintf "t%d" task.t_id;
+      tr_codelet = task.codelet.Codelet.cl_name;
+      tr_worker = ws.w.Machine_config.w_name;
+      tr_start = dispatched;
+      tr_compute_start = compute_start;
+      tr_end = now;
+      tr_bytes_in = bytes_in;
+    }
+    :: t.events;
+  List.iter
+    (fun dep ->
+      dep.deps_remaining <- dep.deps_remaining - 1;
+      if dep.deps_remaining = 0 && dep.state = Pending then begin
+        dep.state <- Ready;
+        dispatch t dep
+      end)
+    task.dependents;
+  ws.idle <- true;
+  worker_kick t ws
+
+and dispatch t task =
+  match t.pol with
+  | Eager ->
+      Queue.push task t.pool;
+      (* Wake one idle eligible worker. *)
+      let woken = ref false in
+      Array.iter
+        (fun ws ->
+          if (not !woken) && ws.idle && worker_eligible t ws task then begin
+            woken := true;
+            worker_kick t ws
+          end)
+        t.workers
+  | Heft ->
+      let now = Sim.now t.sim in
+      let best = ref None in
+      List.iter
+        (fun ws ->
+          let ready = Float.max now ws.free_estimate in
+          let data_ready = estimate_transfers t ws task ~at:ready in
+          let eft = data_ready +. compute_time ws task +. t.overhead_s in
+          match !best with
+          | Some (_, best_eft) when best_eft <= eft -> ()
+          | _ -> best := Some (ws, eft))
+        (eligible_workers t task);
+      (match !best with
+      | None -> Queue.push task t.pool (* every candidate is offline *)
+      | Some (ws, eft) ->
+          ws.free_estimate <- eft;
+          Queue.push task ws.queue;
+          worker_kick t ws)
+  | Locality_ws ->
+      (* Place where most input bytes already live; break ties by
+         shortest queue. *)
+      let score ws =
+        let node = ws.w.Machine_config.w_node in
+        List.fold_left
+          (fun acc (h, _) ->
+            if Data.is_valid_at h node then acc +. Data.bytes h else acc)
+          0.0 task.buffers
+      in
+      let best = ref None in
+      List.iter
+        (fun ws ->
+          let s = score ws and q = Queue.length ws.queue in
+          match !best with
+          | Some (_, bs, bq) when bs > s || (bs = s && bq <= q) -> ()
+          | _ -> best := Some (ws, s, q))
+        (eligible_workers t task);
+      (match !best with
+      | None -> Queue.push task t.pool
+      | Some (ws, _, _) ->
+          Queue.push task ws.queue;
+          worker_kick t ws;
+          (* An idle thief may pick it up immediately. *)
+          Array.iter (fun other -> worker_kick t other) t.workers)
+  | Random_place -> (
+      match eligible_workers t task with
+      | [] -> Queue.push task t.pool
+      | candidates ->
+          let ws = List.nth candidates (next_random t (List.length candidates)) in
+          Queue.push task ws.queue;
+          worker_kick t ws)
+
+(* --- submission ------------------------------------------------------ *)
+
+let add_dep task dep_on =
+  if dep_on.state <> Finished && not (List.memq task dep_on.dependents) then begin
+    dep_on.dependents <- task :: dep_on.dependents;
+    task.deps_remaining <- task.deps_remaining + 1
+  end
+
+let submit ?group t codelet buffers =
+  List.iter
+    (fun (h, _) ->
+      if Data.is_partitioned h then
+        invalid_arg
+          (Printf.sprintf
+             "Engine.submit: handle %S is partitioned; submit its children"
+             (Data.name h));
+      if t.execute_kernels && Data.is_virtual h then
+        invalid_arg
+          (Printf.sprintf
+             "Engine.submit: virtual handle %S cannot be used while kernels \
+              execute; create the engine with ~execute_kernels:false"
+             (Data.name h)))
+    buffers;
+  let task =
+    {
+      t_id = t.next_task;
+      codelet;
+      buffers;
+      t_group = group;
+      deps_remaining = 0;
+      dependents = [];
+      state = Pending;
+    }
+  in
+  t.next_task <- t.next_task + 1;
+  if not (statically_eligible t task) then
+    invalid_arg
+      (Printf.sprintf
+         "Engine.submit: no worker%s implements codelet %S"
+         (match group with
+         | Some g -> Printf.sprintf " in group %S" g
+         | None -> "")
+         codelet.Codelet.cl_name);
+  (* Sequential consistency on each handle. *)
+  List.iter
+    (fun (h, access) ->
+      let hid = Data.id h in
+      let reads = access = Codelet.R || access = Codelet.RW in
+      let writes = access = Codelet.W || access = Codelet.RW in
+      if reads then
+        Option.iter (add_dep task) (Hashtbl.find_opt t.last_writer hid);
+      if writes then begin
+        Option.iter (add_dep task) (Hashtbl.find_opt t.last_writer hid);
+        List.iter (add_dep task)
+          (Option.value ~default:[] (Hashtbl.find_opt t.readers hid));
+        Hashtbl.replace t.last_writer hid task;
+        Hashtbl.replace t.readers hid []
+      end
+      else
+        Hashtbl.replace t.readers hid
+          (task :: Option.value ~default:[] (Hashtbl.find_opt t.readers hid)))
+    buffers;
+  t.live_tasks <- t.live_tasks + 1;
+  t.total_tasks <- t.total_tasks + 1;
+  if task.deps_remaining = 0 then begin
+    task.state <- Ready;
+    (* Defer dispatch into the simulation so submission order does
+       not leak into virtual time. *)
+    Sim.schedule t.sim ~delay:0.0 (fun () -> dispatch t task)
+  end
+
+(* --- dynamic resources ------------------------------------------------ *)
+
+let find_worker t name =
+  match
+    Array.to_list t.workers
+    |> List.find_opt (fun ws -> ws.w.Machine_config.w_name = name)
+  with
+  | Some ws -> ws
+  | None -> invalid_arg (Printf.sprintf "Engine: unknown worker %S" name)
+
+let set_offline t ~worker =
+  let ws = find_worker t worker in
+  if ws.online then begin
+    ws.online <- false;
+    ws.free_estimate <- 0.0;
+    (* Redistribute its queued tasks through the active policy. *)
+    let orphans = List.rev (Queue.fold (fun acc x -> x :: acc) [] ws.queue) in
+    Queue.clear ws.queue;
+    List.iter (dispatch t) orphans
+  end
+
+let set_online t ~worker =
+  let ws = find_worker t worker in
+  if not ws.online then begin
+    ws.online <- true;
+    (* Reconsider parked work. *)
+    worker_kick t ws
+  end
+
+let is_online t ~worker = (find_worker t worker).online
+
+let set_gflops t ~worker gflops =
+  if gflops <= 0.0 then invalid_arg "Engine.set_gflops: non-positive rate";
+  (find_worker t worker).gflops <- gflops
+
+let at t ~time f = Sim.schedule_at t.sim ~time (fun () -> f ())
+
+(* --- completion ------------------------------------------------------ *)
+
+type worker_stat = {
+  ws_worker : Machine_config.worker;
+  busy_s : float;
+  tasks_run : int;
+}
+
+type stats = {
+  makespan : float;
+  tasks : int;
+  bytes_transferred : float;
+  worker_stats : worker_stat array;
+  sim_events : int;
+}
+
+let wait_all t =
+  Sim.run t.sim;
+  if t.live_tasks <> 0 then
+    failwith
+      (Printf.sprintf
+         "Engine.wait_all: %d tasks stuck (circular dependency?)" t.live_tasks);
+  {
+    makespan = Sim.now t.sim;
+    tasks = t.total_tasks;
+    bytes_transferred = t.bytes_transferred;
+    worker_stats =
+      Array.map
+        (fun ws ->
+          { ws_worker = ws.w; busy_s = ws.busy_s; tasks_run = ws.tasks_run })
+        t.workers;
+    sim_events = Sim.events_processed t.sim;
+  }
+
+let trace t = List.rev t.events
+
+let utilization stats =
+  if stats.makespan <= 0.0 || Array.length stats.worker_stats = 0 then 0.0
+  else
+    Array.fold_left (fun acc ws -> acc +. ws.busy_s) 0.0 stats.worker_stats
+    /. (stats.makespan *. float_of_int (Array.length stats.worker_stats))

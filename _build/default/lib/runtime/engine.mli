@@ -1,0 +1,124 @@
+(** The task engine: StarPU-equivalent scheduling and data management
+    over the simulated machine.
+
+    Usage mirrors StarPU:
+
+    {[
+      let cfg = Machine_config.of_platform_exn platform in
+      let rt = Engine.create cfg in
+      let ha = Engine.register rt (Data.register_matrix a) in
+      Engine.submit rt Codelet.dgemm [ (ha, R); (hb, R); (hc, RW) ];
+      let stats = Engine.wait_all rt in
+      Printf.printf "took %gs\n" stats.makespan
+    ]}
+
+    Tasks are ordered by {e sequential consistency} on their data
+    (StarPU's implicit dependencies): a task depends on the previous
+    writer of everything it accesses, and writers also wait for
+    earlier readers.
+
+    Scheduling policies:
+    - {!Eager}: a shared ready-queue; any idle compatible worker
+      takes the oldest task. No cost model (StarPU's [eager]).
+    - {!Heft}: heterogeneous earliest-finish-time — each ready task
+      goes to the worker minimizing estimated completion, counting
+      pending transfers and queued work (StarPU's [dmda] family).
+    - {!Locality_ws}: tasks are placed where their data already
+      lives; idle workers steal from the rear of the longest queue
+      (locality-aware work stealing).
+    - {!Random_place}: uniformly random compatible worker — the
+      baseline ablation. *)
+
+type policy = Eager | Heft | Locality_ws | Random_place
+
+val policy_to_string : policy -> string
+val policy_of_string : string -> policy option
+
+type t
+
+val create :
+  ?policy:policy ->
+  ?execute_kernels:bool ->
+  ?dispatch_overhead_us:float ->
+  ?seed:int ->
+  Machine_config.t ->
+  t
+(** [execute_kernels] (default [true]) runs codelet implementations
+    for real as tasks complete; switch it off for model-only runs at
+    sizes too large to compute. [dispatch_overhead_us] (default 20)
+    is charged per task. *)
+
+val machine : t -> Machine_config.t
+val policy : t -> policy
+
+val submit :
+  ?group:string -> t -> Codelet.t -> (Data.handle * Codelet.access) list ->
+  unit
+(** Queue a task. [group] restricts placement to workers whose PU
+    carries that [LogicGroupAttribute] (the paper's execution
+    groups).
+    @raise Invalid_argument when no worker (in the group) has an
+    implementation, when a handle is partitioned, or when a virtual
+    handle is submitted while [execute_kernels] is on. *)
+
+type worker_stat = {
+  ws_worker : Machine_config.worker;
+  busy_s : float;  (** compute + transfer time attributed *)
+  tasks_run : int;
+}
+
+type stats = {
+  makespan : float;  (** virtual seconds from 0 to last completion *)
+  tasks : int;
+  bytes_transferred : float;
+  worker_stats : worker_stat array;
+  sim_events : int;
+}
+
+val wait_all : t -> stats
+(** Run the simulation until every submitted task completed. May be
+    called repeatedly; virtual time keeps advancing. *)
+
+(** {1 Dynamic resources}
+
+    The paper's §VI future work: "how platform descriptors could be
+    utilized for supporting highly dynamic run-time schedulers" when
+    "dynamically changing system resources" make static descriptors
+    stale. These primitives change the machine {e during} a run:
+    workers can go offline (hot-unplug, failure), come back, or change
+    speed (DVFS/thermal throttling). Queued tasks of an offline worker
+    are redistributed by the active policy; a running task always
+    completes. *)
+
+val set_offline : t -> worker:string -> unit
+(** Stop a worker (by {!Machine_config.worker} name) from accepting
+    tasks; its queue is re-dispatched.
+    @raise Invalid_argument on unknown names. *)
+
+val set_online : t -> worker:string -> unit
+val is_online : t -> worker:string -> bool
+
+val set_gflops : t -> worker:string -> float -> unit
+(** Change a worker's modeled throughput (a DVFS event). Affects
+    tasks dispatched from now on. *)
+
+val at : t -> time:float -> (unit -> unit) -> unit
+(** Schedule a reconfiguration at a virtual time (before or between
+    [wait_all] runs). Beware: if every worker a pending task could
+    use goes offline, {!wait_all} reports the stuck tasks. *)
+
+type trace_event = {
+  tr_task : string;
+  tr_codelet : string;
+  tr_worker : string;
+  tr_start : float;  (** dispatch time *)
+  tr_compute_start : float;  (** after transfers *)
+  tr_end : float;
+  tr_bytes_in : float;
+}
+
+val trace : t -> trace_event list
+(** Completed-task records in completion order. *)
+
+val utilization : stats -> float
+(** Mean busy fraction across workers, in [0, 1]. *)

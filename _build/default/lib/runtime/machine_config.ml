@@ -1,0 +1,182 @@
+open Pdl_model.Machine
+
+type worker = {
+  w_id : int;
+  w_name : string;
+  w_pu : string;
+  w_arch : string;
+  w_gflops : float;
+  w_node : int;
+  w_groups : string list;
+}
+
+type link = {
+  l_node : int;
+  l_name : string;
+  l_bandwidth_mbps : float;
+  l_latency_us : float;
+}
+
+type t = {
+  platform : Pdl_model.Machine.platform;
+  workers : worker array;
+  links : link list;
+  node_count : int;
+}
+
+type defaults = {
+  d_cpu_gflops : float;
+  d_gpu_gflops : float;
+  d_accel_gflops : float;
+  d_bandwidth_mbps : float;
+  d_latency_us : float;
+}
+
+let defaults =
+  {
+    d_cpu_gflops = 5.0;
+    d_gpu_gflops = 50.0;
+    d_accel_gflops = 2.0;
+    d_bandwidth_mbps = 4000.0;
+    d_latency_us = 15.0;
+  }
+
+let cpu_archs =
+  [ "x86"; "x86_64"; "amd64"; "i386"; "ppc"; "ppc64"; "arm"; "arm64"; "cpu" ]
+
+let arch_class_of_pu pu =
+  match pu_property pu "ARCHITECTURE" with
+  | None -> "cpu"
+  | Some a ->
+      let a = String.lowercase_ascii a in
+      if List.mem a cpu_archs then "cpu"
+      else if a = "gpu" || a = "gpgpu" || a = "cuda" || a = "opencl" then "gpu"
+      else a
+
+let float_prop d name =
+  Option.bind (property_value d name) float_of_string_opt
+
+let gflops_of_pu dft pu =
+  match float_prop pu.pu_descriptor "DGEMM_THROUGHPUT" with
+  | Some g -> g
+  | None -> (
+      match arch_class_of_pu pu with
+      | "cpu" -> dft.d_cpu_gflops
+      | "gpu" -> dft.d_gpu_gflops
+      | _ -> dft.d_accel_gflops)
+
+(* The link used to feed a PU: the interconnect whose endpoint set
+   contains the PU id, searching the whole platform. *)
+let link_props_of_pu dft pf pu =
+  let ics = connections_of pf pu.pu_id in
+  let bw, lat =
+    match ics with
+    | ic :: _ ->
+        ( Option.value
+            ~default:dft.d_bandwidth_mbps
+            (float_prop ic.ic_descriptor "BANDWIDTH_MBPS"),
+          Option.value ~default:dft.d_latency_us
+            (float_prop ic.ic_descriptor "LATENCY_US") )
+    | [] -> (dft.d_bandwidth_mbps, dft.d_latency_us)
+  in
+  (bw, lat)
+
+let of_platform ?(defaults = defaults) pf =
+  let dft = defaults in
+  let workers = ref [] in
+  let links = ref [] in
+  let next_worker = ref 0 in
+  let next_node = ref 1 in
+  let add_worker ~name ~pu ~arch ~gflops ~node =
+    let w =
+      {
+        w_id = !next_worker;
+        w_name = name;
+        w_pu = pu.pu_id;
+        w_arch = arch;
+        w_gflops = gflops;
+        w_node = node;
+        w_groups = pu.pu_groups;
+      }
+    in
+    incr next_worker;
+    workers := w :: !workers
+  in
+  let expand pu =
+    let arch = arch_class_of_pu pu in
+    let gflops = gflops_of_pu dft pu in
+    let shares_host_memory = arch = "cpu" in
+    for unit = 0 to pu.pu_quantity - 1 do
+      let name =
+        if pu.pu_quantity = 1 then pu.pu_id
+        else Printf.sprintf "%s#%d" pu.pu_id unit
+      in
+      let node =
+        if shares_host_memory then Data.main_memory
+        else begin
+          let bw, lat = link_props_of_pu dft pf pu in
+          let node = !next_node in
+          incr next_node;
+          links :=
+            {
+              l_node = node;
+              l_name = Printf.sprintf "link:%s" name;
+              l_bandwidth_mbps = bw;
+              l_latency_us = lat;
+            }
+            :: !links;
+          node
+        end
+      in
+      add_worker ~name ~pu ~arch ~gflops ~node
+    done
+  in
+  iter
+    (fun pu ->
+      match pu.pu_class with
+      | Worker -> expand pu
+      | Hybrid ->
+          (* A Hybrid computes only when the descriptor says so;
+             otherwise it is pure control. *)
+          if float_prop pu.pu_descriptor "DGEMM_THROUGHPUT" <> None then
+            expand pu
+      | Master -> ())
+    pf;
+  match List.rev !workers with
+  | [] ->
+      Error
+        (Printf.sprintf "platform %S provides no compute workers" pf.pf_name)
+  | ws ->
+      Ok
+        {
+          platform = pf;
+          workers = Array.of_list ws;
+          links = List.rev !links;
+          node_count = !next_node;
+        }
+
+let of_platform_exn ?defaults pf =
+  match of_platform ?defaults pf with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Machine_config.of_platform_exn: " ^ msg)
+
+let workers_in_group t g =
+  Array.to_list t.workers
+  |> List.filter (fun w -> List.mem g w.w_groups)
+
+let link_for_node t node = List.find_opt (fun l -> l.l_node = node) t.links
+
+let describe t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "machine %S: %d workers, %d memory nodes\n"
+       t.platform.pf_name (Array.length t.workers) t.node_count);
+  Array.iter
+    (fun w ->
+      Buffer.add_string buf
+        (Printf.sprintf "  worker %d: %s (%s, %.1f GFLOP/s, node %d%s)\n"
+           w.w_id w.w_name w.w_arch w.w_gflops w.w_node
+           (if w.w_groups = [] then ""
+            else ", groups " ^ String.concat "," w.w_groups)))
+    t.workers;
+  Buffer.contents buf

@@ -1,0 +1,76 @@
+(** Instantiating the runtime's machine from a PDL description.
+
+    This is the paper's point made executable: the runtime is not
+    compiled against a machine — it is {e parameterized by the PDL
+    descriptor}. Worker counts come from PU quantities, per-worker
+    throughput from [DGEMM_THROUGHPUT] properties, memory topology
+    from memory regions, and transfer costs from interconnect
+    [BANDWIDTH_MBPS]/[LATENCY_US] properties. Changing the target
+    system means loading a different descriptor (cf. Figure 5, where
+    the same input program runs on two PDLs).
+
+    Worker expansion rules:
+    - every Worker PU yields [quantity] runtime workers;
+    - Hybrid PUs contribute a worker too when they advertise
+      [DGEMM_THROUGHPUT] (they can compute, not just control);
+    - Master PUs never become workers — they are control.
+
+    Memory-node rules: CPU-class workers share the host's main
+    memory (node 0); every non-CPU worker unit gets a private memory
+    node reached over the PU's interconnect link. *)
+
+type worker = {
+  w_id : int;
+  w_name : string;  (** e.g. ["gpu0"], ["cpu-cores#3"] *)
+  w_pu : string;  (** the PDL PU id this worker came from *)
+  w_arch : string;  (** architecture class: ["cpu"], ["gpu"], ... *)
+  w_gflops : float;  (** sustained throughput for the cost model *)
+  w_node : int;  (** memory node holding its inputs *)
+  w_groups : string list;  (** logic groups inherited from the PU *)
+}
+
+type link = {
+  l_node : int;  (** device-side memory node *)
+  l_name : string;
+  l_bandwidth_mbps : float;
+  l_latency_us : float;
+}
+
+type t = {
+  platform : Pdl_model.Machine.platform;
+  workers : worker array;
+  links : link list;  (** one per non-host memory node *)
+  node_count : int;
+}
+
+type defaults = {
+  d_cpu_gflops : float;
+  d_gpu_gflops : float;
+  d_accel_gflops : float;
+  d_bandwidth_mbps : float;
+  d_latency_us : float;
+}
+
+val defaults : defaults
+(** 5 GFLOP/s CPU, 50 GFLOP/s GPU, 2 GFLOP/s accelerator, 4000 MB/s,
+    15 us — used when the PDL omits performance properties. *)
+
+val arch_class_of_pu : Pdl_model.Machine.pu -> string
+(** ["cpu"] for x86/ppc/arm-ish [ARCHITECTURE] values, ["gpu"] for
+    GPUs, otherwise the architecture string itself. *)
+
+val of_platform :
+  ?defaults:defaults -> Pdl_model.Machine.platform -> (t, string) result
+(** Fails when the platform has no usable worker. *)
+
+val of_platform_exn : ?defaults:defaults -> Pdl_model.Machine.platform -> t
+
+val workers_in_group : t -> string -> worker list
+(** Workers whose source PU belongs to the logic group — the runtime
+    side of the paper's execution-group mapping. *)
+
+val link_for_node : t -> int -> link option
+(** [None] for node 0 (main memory — no transfer needed). *)
+
+val describe : t -> string
+(** One-line-per-worker human summary. *)

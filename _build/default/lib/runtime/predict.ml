@@ -1,0 +1,81 @@
+type bounds = {
+  work_bound_s : float;
+  transfer_bound_s : float;
+  lower_bound_s : float;
+  serial_s : float;
+  max_speedup : float;
+}
+
+let selected_workers ?group (cfg : Machine_config.t) =
+  match group with
+  | None -> Array.to_list cfg.workers
+  | Some g -> Machine_config.workers_in_group cfg g
+
+let aggregate_gflops ?group cfg =
+  List.fold_left
+    (fun acc (w : Machine_config.worker) -> acc +. w.w_gflops)
+    0.0
+    (selected_workers ?group cfg)
+
+let fastest_worker_gflops ?group cfg =
+  List.fold_left
+    (fun acc (w : Machine_config.worker) -> Float.max acc w.w_gflops)
+    0.0
+    (selected_workers ?group cfg)
+
+let bounds ?group (cfg : Machine_config.t) ~flops ~device_bytes =
+  let workers = selected_workers ?group cfg in
+  let total = aggregate_gflops ?group cfg in
+  let fastest = fastest_worker_gflops ?group cfg in
+  let work_bound_s = if total > 0.0 then flops /. (total *. 1e9) else infinity in
+  (* Each device-side link must carry its workers' share of the
+     traffic; with uniform split the binding link is the slowest one
+     that is actually used. *)
+  let used_links =
+    List.filter_map
+      (fun (w : Machine_config.worker) -> Machine_config.link_for_node cfg w.w_node)
+      workers
+    |> List.sort_uniq compare
+  in
+  let transfer_bound_s =
+    match used_links with
+    | [] -> 0.0
+    | links ->
+        let share = device_bytes /. float_of_int (List.length links) in
+        List.fold_left
+          (fun worst (l : Machine_config.link) ->
+            Float.max worst
+              ((l.l_latency_us *. 1e-6)
+              +. (share /. (l.l_bandwidth_mbps *. 1e6))))
+          0.0 links
+  in
+  let lower_bound_s = Float.max work_bound_s transfer_bound_s in
+  let serial_s = if fastest > 0.0 then flops /. (fastest *. 1e9) else infinity in
+  {
+    work_bound_s;
+    transfer_bound_s;
+    lower_bound_s;
+    serial_s;
+    max_speedup = (if lower_bound_s > 0.0 then serial_s /. lower_bound_s else 1.0);
+  }
+
+let dgemm_bounds ?group cfg ~n =
+  let nf = float_of_int n in
+  let flops = 2.0 *. nf *. nf *. nf in
+  (* A strips + B strips + C tiles: about three matrix volumes cross
+     the device links in a strip decomposition. *)
+  let device_bytes =
+    let has_device =
+      List.exists
+        (fun (w : Machine_config.worker) -> w.w_node <> Data.main_memory)
+        (selected_workers ?group cfg)
+    in
+    if has_device then 3.0 *. 8.0 *. nf *. nf else 0.0
+  in
+  bounds ?group cfg ~flops ~device_bytes
+
+let report b =
+  Printf.sprintf
+    "work bound %.6f s, transfer bound %.6f s => lower bound %.6f s; \
+     serial %.6f s; max speedup %.2fx"
+    b.work_bound_s b.transfer_bound_s b.lower_bound_s b.serial_s b.max_speedup

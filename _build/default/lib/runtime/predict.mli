@@ -1,0 +1,42 @@
+(** Analytic performance prediction from PDL descriptors.
+
+    One of the paper's Figure 1 usage scenarios: tools use platform
+    descriptions for "selection of implementation variants,
+    performance prediction, task mapping". This module derives
+    closed-form bounds from the same PDL properties that drive the
+    simulator — no simulation run needed — and the test suite checks
+    the simulator never beats them (work conservation).
+
+    For a workload of [flops] total work whose inputs of [bytes] must
+    reach device memory:
+
+    - {e work bound}: [flops / sum of worker GFLOP/s] — perfect
+      load balance over every worker;
+    - {e transfer bound}: the slowest single link's share of the
+      bytes, at full bandwidth;
+    - {e serial time}: all work on the fastest single worker. *)
+
+type bounds = {
+  work_bound_s : float;
+  transfer_bound_s : float;
+  lower_bound_s : float;  (** max of the two *)
+  serial_s : float;
+  max_speedup : float;  (** serial / lower bound *)
+}
+
+val bounds :
+  ?group:string -> Machine_config.t -> flops:float -> device_bytes:float ->
+  bounds
+(** [device_bytes] is the data volume that must cross each non-host
+    link (0 for CPU-only machines). [group] restricts the worker set
+    like an execution group does. *)
+
+val dgemm_bounds : ?group:string -> Machine_config.t -> n:int -> bounds
+(** Bounds for the square [n x n] DGEMM: [2n^3] FLOPs; device bytes
+    approximate the A/B/C traffic of a row/column-strip decomposition
+    (3 matrix volumes across the device links combined). *)
+
+val aggregate_gflops : ?group:string -> Machine_config.t -> float
+val fastest_worker_gflops : ?group:string -> Machine_config.t -> float
+
+val report : bounds -> string

@@ -1,0 +1,112 @@
+(* Binary-heap event queue keyed by (time, sequence number); the
+   sequence number makes same-time events fire in insertion order. *)
+
+type event = { time : float; seq : int; action : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable processed : int;
+}
+
+let dummy_event = { time = 0.0; seq = 0; action = ignore }
+
+let create () =
+  {
+    heap = Array.make 64 dummy_event;
+    size = 0;
+    clock = 0.0;
+    next_seq = 0;
+    processed = 0;
+  }
+
+let now t = t.clock
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy_event in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  (* sift up *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    earlier t.heap.(!i) t.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.heap.(parent) in
+    t.heap.(parent) <- t.heap.(!i);
+    t.heap.(!i) <- tmp;
+    i := parent
+  done
+
+let pop t =
+  assert (t.size > 0);
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy_event;
+  (* sift down *)
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      let tmp = t.heap.(!smallest) in
+      t.heap.(!smallest) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := !smallest
+    end
+  done;
+  top
+
+let schedule_at t ~time action =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_at: time %g is before now (%g)" time
+         t.clock);
+  let ev = { time; seq = t.next_seq; action } in
+  t.next_seq <- t.next_seq + 1;
+  push t ev
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let run t =
+  while t.size > 0 do
+    let ev = pop t in
+    t.clock <- ev.time;
+    t.processed <- t.processed + 1;
+    ev.action ()
+  done
+
+let events_processed t = t.processed
+
+type resource = { rname : string; mutable free_at : float }
+
+let resource rname = { rname; free_at = 0.0 }
+let resource_name r = r.rname
+let busy_until r = r.free_at
+
+let peek r ~at ~duration =
+  let start = Float.max at r.free_at in
+  (start, start +. duration)
+
+let acquire r ~at ~duration =
+  let start, finish = peek r ~at ~duration in
+  r.free_at <- finish;
+  (start, finish)

@@ -1,0 +1,46 @@
+(** The case study's computation as a task graph (paper §IV-D).
+
+    [C := A*B] is partitioned StarPU-style: [C] into a [tiles x tiles]
+    grid, [A] into row strips, [B] into column strips, and one
+    {!Codelet.dgemm} task per [C] tile reading strip [i] of [A] and
+    strip [j] of [B]. With [tiles = 1] the graph is the single-task
+    serial program.
+
+    Two entry points:
+    - {!run} registers real matrices, executes kernels, and returns
+      both the result and the engine statistics — used by tests and
+      examples at small sizes;
+    - {!run_model} uses virtual handles (no buffers, no kernel
+      execution) so the 8192-size Figure 5 experiment simulates in
+      milliseconds. *)
+
+type result = {
+  c : Kernels.Matrix.t option;  (** [None] for model-only runs *)
+  stats : Engine.stats;
+  gflops_effective : float;
+      (** problem FLOPs divided by makespan, in GFLOP/s *)
+}
+
+val run :
+  ?policy:Engine.policy ->
+  ?tiles:int ->
+  ?group:string ->
+  Machine_config.t ->
+  a:Kernels.Matrix.t ->
+  b:Kernels.Matrix.t ->
+  result
+(** @raise Invalid_argument on shape mismatch or [tiles] exceeding
+    the matrix dimensions. *)
+
+val run_model :
+  ?policy:Engine.policy ->
+  ?tiles:int ->
+  ?group:string ->
+  ?dispatch_overhead_us:float ->
+  Machine_config.t ->
+  n:int ->
+  result
+(** Square [n x n] DGEMM, timing model only. *)
+
+val speedup : baseline:result -> result -> float
+(** Ratio of makespans. *)

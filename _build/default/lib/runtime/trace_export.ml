@@ -1,0 +1,123 @@
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Stable worker -> lane mapping in first-appearance order. *)
+let lanes events =
+  let table = Hashtbl.create 8 in
+  let next = ref 0 in
+  List.iter
+    (fun (e : Engine.trace_event) ->
+      if not (Hashtbl.mem table e.tr_worker) then begin
+        Hashtbl.replace table e.tr_worker !next;
+        incr next
+      end)
+    events;
+  table
+
+let us t = t *. 1e6
+
+let to_chrome_json events =
+  let table = lanes events in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let emit fmt =
+    Printf.ksprintf
+      (fun s ->
+        if !first then first := false else Buffer.add_char buf ',';
+        Buffer.add_string buf s)
+      fmt
+  in
+  (* lane names *)
+  Hashtbl.iter
+    (fun worker tid ->
+      emit
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\
+         \"args\":{\"name\":\"%s\"}}"
+        tid (json_escape worker))
+    table;
+  List.iter
+    (fun (e : Engine.trace_event) ->
+      let tid = Hashtbl.find table e.tr_worker in
+      if e.tr_compute_start > e.tr_start then
+        emit
+          "{\"name\":\"%s\",\"cat\":\"transfer\",\"ph\":\"X\",\"ts\":%.3f,\
+           \"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"bytes\":%.0f}}"
+          (json_escape (e.tr_task ^ ":in"))
+          (us e.tr_start)
+          (us (e.tr_compute_start -. e.tr_start))
+          tid e.tr_bytes_in;
+      emit
+        "{\"name\":\"%s\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":%.3f,\
+         \"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"codelet\":\"%s\"}}"
+        (json_escape e.tr_task)
+        (us e.tr_compute_start)
+        (us (e.tr_end -. e.tr_compute_start))
+        tid
+        (json_escape e.tr_codelet))
+    events;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let to_csv events =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "task,codelet,worker,start_us,compute_start_us,end_us,bytes_in\n";
+  List.iter
+    (fun (e : Engine.trace_event) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%.3f,%.3f,%.3f,%.0f\n" e.tr_task
+           e.tr_codelet e.tr_worker (us e.tr_start) (us e.tr_compute_start)
+           (us e.tr_end) e.tr_bytes_in))
+    events;
+  Buffer.contents buf
+
+let summary events =
+  let table : (string, int ref * float ref * float ref * float ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (e : Engine.trace_event) ->
+      let count, compute, transfer, bytes =
+        match Hashtbl.find_opt table e.tr_codelet with
+        | Some entry -> entry
+        | None ->
+            let entry = (ref 0, ref 0.0, ref 0.0, ref 0.0) in
+            Hashtbl.replace table e.tr_codelet entry;
+            entry
+      in
+      incr count;
+      compute := !compute +. (e.tr_end -. e.tr_compute_start);
+      transfer := !transfer +. (e.tr_compute_start -. e.tr_start);
+      bytes := !bytes +. e.tr_bytes_in)
+    events;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-12s %8s %14s %14s %14s %12s\n" "codelet" "tasks"
+       "compute [s]" "mean [ms]" "transfer [s]" "bytes [MB]");
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort compare
+  |> List.iter (fun (codelet, (count, compute, transfer, bytes)) ->
+         Buffer.add_string buf
+           (Printf.sprintf "%-12s %8d %14.6f %14.3f %14.6f %12.2f\n" codelet
+              !count !compute
+              (1e3 *. !compute /. float_of_int !count)
+              !transfer (!bytes /. 1e6)));
+  Buffer.contents buf
+
+let write_chrome path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_chrome_json events))

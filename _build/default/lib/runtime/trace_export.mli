@@ -1,0 +1,21 @@
+(** Execution-trace export.
+
+    StarPU emits Paje traces for post-mortem analysis; taskrt's
+    equivalent exports {!Engine.trace} events as Chrome trace-event
+    JSON (loadable in [chrome://tracing] / Perfetto), as CSV, or as a
+    per-codelet text summary. Virtual times are exported in
+    microseconds. *)
+
+val to_chrome_json : Engine.trace_event list -> string
+(** Complete-event ("ph":"X") records, one lane per worker; transfer
+    phases are emitted as separate events when a task moved bytes. *)
+
+val to_csv : Engine.trace_event list -> string
+(** Header: [task,codelet,worker,start_us,compute_start_us,end_us,bytes_in]. *)
+
+val summary : Engine.trace_event list -> string
+(** Per-codelet aggregate: count, total/mean compute seconds, total
+    transfer seconds, bytes moved. *)
+
+val write_chrome : string -> Engine.trace_event list -> unit
+(** Write the JSON to a file. *)

@@ -1,0 +1,1 @@
+lib/xml/decode.ml: Buffer Char Dom Fun List Loc Printf Result String

@@ -1,0 +1,1 @@
+lib/xml/decode.mli: Dom Loc

@@ -1,0 +1,1 @@
+lib/xml/encode.ml: Buffer Dom Format Fun List String

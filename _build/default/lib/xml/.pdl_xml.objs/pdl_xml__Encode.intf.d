@@ -1,0 +1,1 @@
+lib/xml/encode.mli: Dom Format

@@ -1,0 +1,1 @@
+lib/xml/ns.ml: Dom List Map Option Printf String

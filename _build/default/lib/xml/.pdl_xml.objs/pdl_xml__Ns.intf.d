@@ -1,0 +1,1 @@
+lib/xml/ns.mli: Dom

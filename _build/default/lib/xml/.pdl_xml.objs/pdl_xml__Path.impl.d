@@ -1,0 +1,1 @@
+lib/xml/path.ml: Dom List Option Printf String

@@ -1,0 +1,1 @@
+lib/xml/schema.ml: Decode Dom Format Hashtbl List Loc Option Printf Result Seq Str String

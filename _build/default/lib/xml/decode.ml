@@ -1,0 +1,415 @@
+type error = { message : string; at : Loc.span }
+
+exception Error of error
+
+let error_to_string e = Printf.sprintf "%s at %s" e.message (Loc.to_string e.at)
+
+type state = {
+  input : string;
+  filename : string;
+  mutable pos : Loc.pos;
+}
+
+let make ?(filename = "<string>") input = { input; filename; pos = Loc.start }
+
+let fail st msg =
+  let at = Loc.span st.pos st.pos in
+  let message =
+    if st.filename = "<string>" then msg else st.filename ^ ": " ^ msg
+  in
+  raise (Error { message; at })
+
+let eof st = st.pos.offset >= String.length st.input
+let peek st = if eof st then '\000' else st.input.[st.pos.offset]
+
+let next st =
+  if eof st then fail st "unexpected end of input"
+  else begin
+    let c = st.input.[st.pos.offset] in
+    st.pos <- Loc.advance st.pos c;
+    c
+  end
+
+let skip st = ignore (next st)
+
+let expect st c =
+  let got = next st in
+  if got <> c then fail st (Printf.sprintf "expected %C, found %C" c got)
+
+let expect_string st s = String.iter (expect st) s
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos.offset + n <= String.length st.input
+  && String.sub st.input st.pos.offset n = s
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_space st =
+  while (not (eof st)) && is_space (peek st) do
+    skip st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || c = '_'
+  || Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.' || c = ':'
+
+let read_name st =
+  if not (is_name_start (peek st)) then
+    fail st (Printf.sprintf "expected a name, found %C" (peek st));
+  let buf = Buffer.create 16 in
+  while (not (eof st)) && is_name_char (peek st) do
+    Buffer.add_char buf (next st)
+  done;
+  Buffer.contents buf
+
+(* Character and entity references.  [read_reference] is called just
+   after the '&' has been consumed. *)
+let read_reference st =
+  let name = ref (Buffer.create 8) in
+  let buf = !name in
+  let rec collect () =
+    match next st with
+    | ';' -> Buffer.contents buf
+    | c when is_name_char c || c = '#' ->
+        Buffer.add_char buf c;
+        collect ()
+    | c -> fail st (Printf.sprintf "malformed reference: unexpected %C" c)
+  in
+  let body = collect () in
+  match body with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "apos" -> "'"
+  | "quot" -> "\""
+  | _ when String.length body > 1 && body.[0] = '#' ->
+      let code =
+        try
+          if body.[1] = 'x' || body.[1] = 'X' then
+            int_of_string ("0x" ^ String.sub body 2 (String.length body - 2))
+          else int_of_string (String.sub body 1 (String.length body - 1))
+        with _ -> fail st ("malformed character reference: &" ^ body ^ ";")
+      in
+      if code < 0 || code > 0x10FFFF then
+        fail st ("character reference out of range: &" ^ body ^ ";");
+      (* Encode as UTF-8. *)
+      let b = Buffer.create 4 in
+      if code < 0x80 then Buffer.add_char b (Char.chr code)
+      else if code < 0x800 then begin
+        Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else if code < 0x10000 then begin
+        Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+        Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else begin
+        Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+        Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+      end;
+      Buffer.contents b
+  | _ -> fail st ("unknown entity: &" ^ body ^ ";")
+
+let read_quoted st =
+  let quote = next st in
+  if quote <> '"' && quote <> '\'' then
+    fail st "expected a quoted attribute value";
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match next st with
+    | c when c = quote -> Buffer.contents buf
+    | '&' ->
+        Buffer.add_string buf (read_reference st);
+        loop ()
+    | '<' -> fail st "'<' is not allowed in attribute values"
+    | c ->
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ()
+
+let read_attributes st =
+  let rec loop acc =
+    skip_space st;
+    if is_name_start (peek st) then begin
+      let start = st.pos in
+      let name = read_name st in
+      skip_space st;
+      expect st '=';
+      skip_space st;
+      let value = read_quoted st in
+      let attr =
+        {
+          Dom.attr_name = Dom.name_of_string name;
+          attr_value = value;
+          attr_span = Loc.span start st.pos;
+        }
+      in
+      loop (attr :: acc)
+    end
+    else List.rev acc
+  in
+  loop []
+
+let read_until st terminator what =
+  let buf = Buffer.create 32 in
+  let rec loop () =
+    if looking_at st terminator then begin
+      String.iter (fun _ -> skip st) terminator;
+      Buffer.contents buf
+    end
+    else if eof st then fail st ("unterminated " ^ what)
+    else begin
+      Buffer.add_char buf (next st);
+      loop ()
+    end
+  in
+  loop ()
+
+let read_comment st =
+  let start = st.pos in
+  expect_string st "<!--";
+  let body = read_until st "-->" "comment" in
+  Dom.Comment (body, Loc.span start st.pos)
+
+let read_cdata st =
+  let start = st.pos in
+  expect_string st "<![CDATA[";
+  let body = read_until st "]]>" "CDATA section" in
+  Dom.Cdata (body, Loc.span start st.pos)
+
+let read_pi st =
+  let start = st.pos in
+  expect_string st "<?";
+  let target = read_name st in
+  skip_space st;
+  let body = read_until st "?>" "processing instruction" in
+  Dom.Pi (target, String.trim body, Loc.span start st.pos)
+
+let read_text st =
+  let start = st.pos in
+  let buf = Buffer.create 32 in
+  let rec loop () =
+    if eof st || peek st = '<' then
+      Dom.Text (Buffer.contents buf, Loc.span start st.pos)
+    else
+      match next st with
+      | '&' ->
+          Buffer.add_string buf (read_reference st);
+          loop ()
+      | c ->
+          Buffer.add_char buf c;
+          loop ()
+  in
+  loop ()
+
+let rec read_element st =
+  let start = st.pos in
+  expect st '<';
+  let name = read_name st in
+  let attrs = read_attributes st in
+  skip_space st;
+  match peek st with
+  | '/' ->
+      skip st;
+      expect st '>';
+      {
+        Dom.name = Dom.name_of_string name;
+        attrs;
+        children = [];
+        span = Loc.span start st.pos;
+      }
+  | '>' ->
+      skip st;
+      let children = read_content st in
+      expect_string st "</";
+      skip_space st;
+      let close = read_name st in
+      if close <> name then
+        fail st
+          (Printf.sprintf "mismatched closing tag: expected </%s>, found </%s>"
+             name close);
+      skip_space st;
+      expect st '>';
+      {
+        Dom.name = Dom.name_of_string name;
+        attrs;
+        children;
+        span = Loc.span start st.pos;
+      }
+  | c -> fail st (Printf.sprintf "expected '>' or '/>', found %C" c)
+
+and read_content st =
+  let rec loop acc =
+    if eof st then fail st "unexpected end of input inside an element"
+    else if looking_at st "</" then List.rev acc
+    else if looking_at st "<!--" then loop (read_comment st :: acc)
+    else if looking_at st "<![CDATA[" then loop (read_cdata st :: acc)
+    else if looking_at st "<?" then loop (read_pi st :: acc)
+    else if peek st = '<' then loop (Dom.Element (read_element st) :: acc)
+    else
+      match read_text st with
+      | Dom.Text ("", _) -> loop acc
+      | t -> loop (t :: acc)
+  in
+  loop []
+
+let skip_doctype st =
+  expect_string st "<!DOCTYPE";
+  (* Skip to the matching '>', tracking nested '[' ... ']' internal
+     subsets but not interpreting them. *)
+  let depth = ref 0 in
+  let rec loop () =
+    match next st with
+    | '[' ->
+        incr depth;
+        loop ()
+    | ']' ->
+        decr depth;
+        loop ()
+    | '>' when !depth = 0 -> ()
+    | _ -> loop ()
+  in
+  loop ()
+
+let read_prolog st =
+  let version = ref "1.0" in
+  let encoding = ref None in
+  let standalone = ref None in
+  if looking_at st "<?xml" then begin
+    expect_string st "<?xml";
+    let attrs = read_attributes st in
+    skip_space st;
+    expect_string st "?>";
+    List.iter
+      (fun (a : Dom.attribute) ->
+        match Dom.name_to_string a.attr_name with
+        | "version" -> version := a.attr_value
+        | "encoding" -> encoding := Some a.attr_value
+        | "standalone" -> standalone := Some (a.attr_value = "yes")
+        | other -> fail st ("unknown XML declaration attribute: " ^ other))
+      attrs
+  end;
+  let rec misc () =
+    skip_space st;
+    if looking_at st "<!--" then begin
+      ignore (read_comment st);
+      misc ()
+    end
+    else if looking_at st "<!DOCTYPE" then begin
+      skip_doctype st;
+      misc ()
+    end
+    else if looking_at st "<?" then begin
+      ignore (read_pi st);
+      misc ()
+    end
+  in
+  misc ();
+  (!version, !encoding, !standalone)
+
+let finish st =
+  skip_space st;
+  let rec trailing () =
+    if looking_at st "<!--" then begin
+      ignore (read_comment st);
+      skip_space st;
+      trailing ()
+    end
+    else if looking_at st "<?" then begin
+      ignore (read_pi st);
+      skip_space st;
+      trailing ()
+    end
+    else if not (eof st) then
+      fail st (Printf.sprintf "trailing content after document root")
+  in
+  trailing ()
+
+let doc_of_string_exn ?filename input =
+  let st = make ?filename input in
+  let version, encoding, standalone = read_prolog st in
+  skip_space st;
+  if eof st then fail st "document has no root element";
+  let root = read_element st in
+  finish st;
+  { Dom.version; encoding; standalone; root }
+
+let element_of_string_exn ?filename input =
+  let st = make ?filename input in
+  skip_space st;
+  if looking_at st "<?xml" then begin
+    let _ = read_prolog st in
+    skip_space st
+  end;
+  let root = read_element st in
+  finish st;
+  root
+
+let wrap f =
+  match f () with v -> Ok v | exception Error e -> Result.Error e
+
+let doc_of_string ?filename input =
+  wrap (fun () -> doc_of_string_exn ?filename input)
+
+let element_of_string ?filename input =
+  wrap (fun () -> element_of_string_exn ?filename input)
+
+let doc_of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> doc_of_string ~filename:path contents
+  | exception Sys_error msg ->
+      Result.Error { message = msg; at = Loc.dummy }
+
+(* Expand references by re-scanning manually rather than reusing the
+   parser's text reader, so that malformed references degrade to
+   verbatim text instead of failing. *)
+let unescape s =
+  if not (String.contains s '&') then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let i = ref 0 in
+    let n = String.length s in
+    while !i < n do
+      if s.[!i] = '&' then begin
+        match String.index_from_opt s !i ';' with
+        | Some j ->
+            let body = String.sub s (!i + 1) (j - !i) in
+            let expanded =
+              let st = make body in
+              match read_reference st with
+              | v when eof st -> Some v
+              | _ | (exception Error _) -> None
+            in
+            (match expanded with
+            | Some v ->
+                Buffer.add_string buf v;
+                i := j + 1
+            | None ->
+                Buffer.add_char buf '&';
+                incr i)
+        | None ->
+            Buffer.add_char buf '&';
+            incr i
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  end

@@ -1,0 +1,41 @@
+(** XML parser.
+
+    A hand-written recursive-descent parser for the XML subset the
+    PDL toolchain needs: elements, attributes, character data, CDATA
+    sections, comments, processing instructions, an optional XML
+    declaration, a skipped DOCTYPE, and the five predefined entities
+    plus decimal/hexadecimal character references. UTF-8 input passes
+    through byte-transparently.
+
+    Not supported (by design): internal DTD subsets with entity
+    definitions, external entities, and attribute-value entity
+    expansion beyond the predefined five. PDL documents never use
+    these. *)
+
+type error = { message : string; at : Loc.span }
+
+exception Error of error
+
+val error_to_string : error -> string
+
+val doc_of_string : ?filename:string -> string -> (Dom.doc, error) result
+(** Parse a complete document. [filename] is used in error messages
+    only. *)
+
+val element_of_string : ?filename:string -> string -> (Dom.element, error) result
+(** Parse a single element (fragment parsing; no XML declaration
+    required, leading/trailing whitespace allowed). *)
+
+val doc_of_string_exn : ?filename:string -> string -> Dom.doc
+(** @raise Error on malformed input. *)
+
+val element_of_string_exn : ?filename:string -> string -> Dom.element
+
+val doc_of_file : string -> (Dom.doc, error) result
+(** Reads and parses a file. I/O failures are reported as [Error]
+    with a dummy location. *)
+
+val unescape : string -> string
+(** Expand predefined entities and character references in a string,
+    as attribute values are expanded. Malformed references are left
+    verbatim. *)

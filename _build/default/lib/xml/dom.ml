@@ -1,0 +1,182 @@
+type name = { prefix : string; local : string }
+type attribute = { attr_name : name; attr_value : string; attr_span : Loc.span }
+
+type node =
+  | Element of element
+  | Text of string * Loc.span
+  | Cdata of string * Loc.span
+  | Comment of string * Loc.span
+  | Pi of string * string * Loc.span
+
+and element = {
+  name : name;
+  attrs : attribute list;
+  children : node list;
+  span : Loc.span;
+}
+
+type doc = {
+  version : string;
+  encoding : string option;
+  standalone : bool option;
+  root : element;
+}
+
+let name ?(prefix = "") local = { prefix; local }
+
+let name_to_string n =
+  if n.prefix = "" then n.local else n.prefix ^ ":" ^ n.local
+
+let name_of_string s =
+  match String.index_opt s ':' with
+  | None -> { prefix = ""; local = s }
+  | Some i ->
+      {
+        prefix = String.sub s 0 i;
+        local = String.sub s (i + 1) (String.length s - i - 1);
+      }
+
+let equal_name a b = a.prefix = b.prefix && a.local = b.local
+
+let elem ?(prefix = "") ?(attrs = []) local children =
+  let attr (k, v) =
+    { attr_name = name_of_string k; attr_value = v; attr_span = Loc.dummy }
+  in
+  {
+    name = { prefix; local };
+    attrs = List.map attr attrs;
+    children;
+    span = Loc.dummy;
+  }
+
+let e ?prefix ?attrs local children = Element (elem ?prefix ?attrs local children)
+let text s = Text (s, Loc.dummy)
+let comment s = Comment (s, Loc.dummy)
+let doc root = { version = "1.0"; encoding = Some "UTF-8"; standalone = None; root }
+
+let attr el k =
+  let key = name_of_string k in
+  let matches a = equal_name a.attr_name key in
+  match List.find_opt matches el.attrs with
+  | Some a -> Some a.attr_value
+  | None -> None
+
+let attr_exn el k =
+  match attr el k with Some v -> v | None -> raise Not_found
+
+let child_elements el =
+  List.filter_map (function Element e -> Some e | _ -> None) el.children
+
+let find_children el local =
+  List.filter (fun (c : element) -> c.name.local = local) (child_elements el)
+
+let find_child el local =
+  match find_children el local with [] -> None | c :: _ -> Some c
+
+let rec text_content el =
+  let piece = function
+    | Text (s, _) | Cdata (s, _) -> s
+    | Element e -> text_content e
+    | Comment _ | Pi _ -> ""
+  in
+  String.concat "" (List.map piece el.children)
+
+let own_text el =
+  let piece = function Text (s, _) | Cdata (s, _) -> s | _ -> "" in
+  String.concat "" (List.map piece el.children)
+
+let is_blank s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s
+
+let rec strip_layout el =
+  let keep = function
+    | Comment _ | Pi _ -> None
+    | Text (s, _) when is_blank s -> None
+    | Text _ as n -> Some n
+    | Cdata (s, sp) -> Some (Text (s, sp))
+    | Element e -> Some (Element (strip_layout e))
+  in
+  { el with children = List.filter_map keep el.children }
+
+let rec map_elements f el =
+  let child = function
+    | Element e -> Element (map_elements f e)
+    | n -> n
+  in
+  f { el with children = List.map child el.children }
+
+let rec fold_elements f acc el =
+  let acc = f acc el in
+  List.fold_left
+    (fun acc -> function Element e -> fold_elements f acc e | _ -> acc)
+    acc el.children
+
+let equal_attribute a b =
+  equal_name a.attr_name b.attr_name && a.attr_value = b.attr_value
+
+let rec equal_element a b =
+  equal_name a.name b.name
+  && List.length a.attrs = List.length b.attrs
+  && List.for_all2 equal_attribute
+       (List.sort compare_attr a.attrs)
+       (List.sort compare_attr b.attrs)
+  && equal_children a.children b.children
+
+and compare_attr a b =
+  compare (a.attr_name, a.attr_value) (b.attr_name, b.attr_value)
+
+and significant = function
+  | Comment _ | Pi _ -> false
+  | Text (s, _) | Cdata (s, _) -> not (is_blank s)
+  | Element _ -> true
+
+and equal_node a b =
+  match (a, b) with
+  | Element x, Element y -> equal_element x y
+  | (Text (x, _) | Cdata (x, _)), (Text (y, _) | Cdata (y, _)) -> x = y
+  | Comment (x, _), Comment (y, _) -> x = y
+  | Pi (t1, c1, _), Pi (t2, c2, _) -> t1 = t2 && c1 = c2
+  | _ -> false
+
+and coalesce_text nodes =
+  (* Adjacent text/CDATA merge on any reparse, so equality treats
+     them as one node. *)
+  match nodes with
+  | (Text (s1, sp1) | Cdata (s1, sp1)) :: (Text (s2, _) | Cdata (s2, _)) :: rest
+    ->
+      coalesce_text (Text (s1 ^ s2, sp1) :: rest)
+  | n :: rest -> n :: coalesce_text rest
+  | [] -> []
+
+and equal_children a b =
+  (* Coalesce before dropping blanks: a blank text node adjacent to a
+     non-blank one merges into it on reparse. *)
+  let clean l =
+    List.filter significant
+      (coalesce_text (List.filter (function Comment _ | Pi _ -> false | _ -> true) l))
+  in
+  let a = clean a and b = clean b in
+  List.length a = List.length b && List.for_all2 equal_node a b
+
+let pp_name ppf n = Format.pp_print_string ppf (name_to_string n)
+
+let rec pp_element ppf el =
+  let pp_attr ppf a =
+    Format.fprintf ppf " %a=%S" pp_name a.attr_name a.attr_value
+  in
+  let pp_node ppf = function
+    | Element e -> pp_element ppf e
+    | Text (s, _) -> Format.pp_print_string ppf s
+    | Cdata (s, _) -> Format.fprintf ppf "<![CDATA[%s]]>" s
+    | Comment (s, _) -> Format.fprintf ppf "<!--%s-->" s
+    | Pi (t, c, _) -> Format.fprintf ppf "<?%s %s?>" t c
+  in
+  match el.children with
+  | [] ->
+      Format.fprintf ppf "<%a%a/>" pp_name el.name
+        (Format.pp_print_list pp_attr) el.attrs
+  | children ->
+      Format.fprintf ppf "<%a%a>%a</%a>" pp_name el.name
+        (Format.pp_print_list pp_attr)
+        el.attrs
+        (Format.pp_print_list pp_node)
+        children pp_name el.name

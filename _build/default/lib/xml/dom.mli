@@ -1,0 +1,109 @@
+(** XML document object model.
+
+    A deliberately small DOM: elements, text, CDATA, comments and
+    processing instructions, with prefixed names kept verbatim
+    (namespace expansion is a separate pass, see {!Pdl_xml.Ns}).
+    Every node carries a {!Loc.span} for error reporting; spans are
+    ignored by the structural equality functions. *)
+
+type name = { prefix : string; local : string }
+(** A possibly prefixed XML name. [prefix] is [""] when absent. *)
+
+type attribute = { attr_name : name; attr_value : string; attr_span : Loc.span }
+
+type node =
+  | Element of element
+  | Text of string * Loc.span
+  | Cdata of string * Loc.span
+  | Comment of string * Loc.span
+  | Pi of string * string * Loc.span  (** target, content *)
+
+and element = {
+  name : name;
+  attrs : attribute list;
+  children : node list;
+  span : Loc.span;
+}
+
+type doc = {
+  version : string;  (** ["1.0"] when no XML declaration is present *)
+  encoding : string option;
+  standalone : bool option;
+  root : element;
+}
+
+(** {1 Names} *)
+
+val name : ?prefix:string -> string -> name
+val name_to_string : name -> string
+(** ["prefix:local"] or just ["local"]. *)
+
+val name_of_string : string -> name
+(** Splits on the first [':']. *)
+
+val equal_name : name -> name -> bool
+
+(** {1 Constructors}
+
+    Builders for synthetic trees (no source locations). *)
+
+val elem :
+  ?prefix:string -> ?attrs:(string * string) list -> string -> node list ->
+  element
+(** [elem ?prefix ?attrs local children]. Attribute keys may be
+    prefixed ("xsi:type"). *)
+
+val e : ?prefix:string -> ?attrs:(string * string) list -> string ->
+  node list -> node
+(** Like {!elem} but wrapped as a {!node}. *)
+
+val text : string -> node
+val comment : string -> node
+val doc : element -> doc
+
+(** {1 Accessors} *)
+
+val attr : element -> string -> string option
+(** [attr el k] looks up attribute [k] (matched against the printed
+    name, so pass ["xsi:type"] for prefixed attributes). *)
+
+val attr_exn : element -> string -> string
+(** @raise Not_found when the attribute is absent. *)
+
+val child_elements : element -> element list
+val find_child : element -> string -> element option
+(** First child element whose local name is the argument. *)
+
+val find_children : element -> string -> element list
+(** All child elements with the given local name, in document order. *)
+
+val text_content : element -> string
+(** Concatenation of all descendant text and CDATA, in order. *)
+
+val own_text : element -> string
+(** Concatenation of the element's direct text/CDATA children only. *)
+
+(** {1 Transformations} *)
+
+val strip_layout : element -> element
+(** Recursively removes comments, processing instructions and
+    whitespace-only text nodes. Text nodes with content are kept
+    verbatim. *)
+
+val map_elements : (element -> element) -> element -> element
+(** Bottom-up rewriting over all elements of a tree. *)
+
+val fold_elements : ('a -> element -> 'a) -> 'a -> element -> 'a
+(** Pre-order fold over all elements of a tree, root included. *)
+
+(** {1 Comparison} *)
+
+val equal_element : element -> element -> bool
+(** Structural equality ignoring spans, comments, PIs and
+    whitespace-only text. *)
+
+val equal_node : node -> node -> bool
+
+val pp_name : Format.formatter -> name -> unit
+val pp_element : Format.formatter -> element -> unit
+(** Debug printer (single line); use {!Encode} for real output. *)

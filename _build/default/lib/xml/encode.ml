@@ -1,0 +1,159 @@
+type config = { indent : int; declaration : bool; self_close : bool }
+
+let default = { indent = 2; declaration = true; self_close = true }
+let compact = { indent = -1; declaration = true; self_close = true }
+
+let escape gen s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter (fun c -> Buffer.add_string buf (gen c)) s;
+  Buffer.contents buf
+
+let escape_text =
+  escape (function
+    | '&' -> "&amp;"
+    | '<' -> "&lt;"
+    | '>' -> "&gt;"
+    | c -> String.make 1 c)
+
+let escape_attr =
+  escape (function
+    | '&' -> "&amp;"
+    | '<' -> "&lt;"
+    | '"' -> "&quot;"
+    | '\n' -> "&#10;"
+    | '\t' -> "&#9;"
+    | '\r' -> "&#13;"
+    | c -> String.make 1 c)
+
+let add_attrs buf attrs =
+  List.iter
+    (fun (a : Dom.attribute) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (Dom.name_to_string a.attr_name);
+      Buffer.add_string buf "=\"";
+      Buffer.add_string buf (escape_attr a.attr_value);
+      Buffer.add_char buf '"')
+    attrs
+
+let is_blank s =
+  String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s
+
+(* An element renders inline when it has no element children, or when
+   it has mixed content: indentation would inject whitespace into the
+   character data and break the round trip. *)
+let inline_only (el : Dom.element) =
+  List.for_all (function Dom.Element _ -> false | _ -> true) el.children
+  || List.exists
+       (function
+         | Dom.Text (s, _) | Dom.Cdata (s, _) -> not (is_blank s)
+         | _ -> false)
+       el.children
+
+let render config buf root =
+  let pretty = config.indent >= 0 in
+  let pad level =
+    if pretty then Buffer.add_string buf (String.make (level * config.indent) ' ')
+  in
+  let newline () = if pretty then Buffer.add_char buf '\n' in
+  let rec node level = function
+    | Dom.Text (s, _) -> Buffer.add_string buf (escape_text s)
+    | Dom.Cdata (s, _) ->
+        Buffer.add_string buf "<![CDATA[";
+        Buffer.add_string buf s;
+        Buffer.add_string buf "]]>"
+    | Dom.Comment (s, _) ->
+        Buffer.add_string buf "<!--";
+        Buffer.add_string buf s;
+        Buffer.add_string buf "-->"
+    | Dom.Pi (target, content, _) ->
+        Buffer.add_string buf "<?";
+        Buffer.add_string buf target;
+        if content <> "" then begin
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf content
+        end;
+        Buffer.add_string buf "?>"
+    | Dom.Element el -> element level el
+  and element level el =
+    let name = Dom.name_to_string el.Dom.name in
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    add_attrs buf el.attrs;
+    let children =
+      if pretty then
+        List.filter
+          (function Dom.Text (s, _) when is_blank s -> false | _ -> true)
+          el.children
+      else el.children
+    in
+    match children with
+    | [] ->
+        if config.self_close then Buffer.add_string buf "/>"
+        else begin
+          Buffer.add_string buf "></";
+          Buffer.add_string buf name;
+          Buffer.add_char buf '>'
+        end
+    | _ when inline_only { el with children } ->
+        Buffer.add_char buf '>';
+        List.iter (node level) children;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf name;
+        Buffer.add_char buf '>'
+    | _ ->
+        Buffer.add_char buf '>';
+        List.iter
+          (fun n ->
+            newline ();
+            pad (level + 1);
+            node (level + 1) n)
+          children;
+        newline ();
+        pad level;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf name;
+        Buffer.add_char buf '>'
+  in
+  element 0 root
+
+let element_to_string ?(config = default) el =
+  let buf = Buffer.create 256 in
+  render config buf el;
+  Buffer.contents buf
+
+let doc_to_string ?(config = default) (doc : Dom.doc) =
+  let buf = Buffer.create 256 in
+  if config.declaration then begin
+    Buffer.add_string buf "<?xml version=\"";
+    Buffer.add_string buf doc.version;
+    Buffer.add_char buf '"';
+    (match doc.encoding with
+    | Some enc ->
+        Buffer.add_string buf " encoding=\"";
+        Buffer.add_string buf enc;
+        Buffer.add_char buf '"'
+    | None -> ());
+    (match doc.standalone with
+    | Some sa ->
+        Buffer.add_string buf " standalone=\"";
+        Buffer.add_string buf (if sa then "yes" else "no");
+        Buffer.add_char buf '"'
+    | None -> ());
+    Buffer.add_string buf "?>";
+    if config.indent >= 0 then Buffer.add_char buf '\n'
+  end;
+  render config buf doc.root;
+  Buffer.contents buf
+
+let pp_element ?config ppf el =
+  Format.pp_print_string ppf (element_to_string ?config el)
+
+let pp_doc ?config ppf doc = Format.pp_print_string ppf (doc_to_string ?config doc)
+
+let doc_to_file ?config path doc =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (doc_to_string ?config doc);
+      output_char oc '\n')

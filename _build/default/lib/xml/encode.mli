@@ -1,0 +1,35 @@
+(** XML serialization.
+
+    Produces either a compact single-line form or an indented,
+    human-readable form. Round trip property: for any tree [t],
+    [Decode.element_of_string_exn (Encode.element_to_string t)] is
+    structurally equal to [t] (modulo spans and layout whitespace). *)
+
+type config = {
+  indent : int;  (** spaces per nesting level (indented mode) *)
+  declaration : bool;  (** emit [<?xml version=...?>] for documents *)
+  self_close : bool;  (** emit [<a/>] instead of [<a></a>] *)
+}
+
+val default : config
+(** 2-space indent, declaration on, self-closing tags on. *)
+
+val compact : config
+(** No indentation at all (single line). *)
+
+val escape_text : string -> string
+(** Escape ['&'], ['<'], ['>'] for character data. *)
+
+val escape_attr : string -> string
+(** Escape ['&'], ['<'], ['"'] and control characters for a
+    double-quoted attribute value. *)
+
+val element_to_string : ?config:config -> Dom.element -> string
+val doc_to_string : ?config:config -> Dom.doc -> string
+
+val pp_element : ?config:config -> Format.formatter -> Dom.element -> unit
+val pp_doc : ?config:config -> Format.formatter -> Dom.doc -> unit
+
+val doc_to_file : ?config:config -> string -> Dom.doc -> unit
+(** [doc_to_file path doc] writes the document with a trailing
+    newline. *)

@@ -1,0 +1,41 @@
+type pos = { line : int; col : int; offset : int }
+type span = { start_pos : pos; end_pos : pos }
+
+let start = { line = 1; col = 1; offset = 0 }
+
+let dummy =
+  let p = { line = 0; col = 0; offset = -1 } in
+  { start_pos = p; end_pos = p }
+
+let is_dummy s = s.start_pos.offset < 0
+let span start_pos end_pos = { start_pos; end_pos }
+
+let advance p = function
+  | '\n' -> { line = p.line + 1; col = 1; offset = p.offset + 1 }
+  | _ -> { p with col = p.col + 1; offset = p.offset + 1 }
+
+let merge a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else
+    let start_pos =
+      if a.start_pos.offset <= b.start_pos.offset then a.start_pos
+      else b.start_pos
+    in
+    let end_pos =
+      if a.end_pos.offset >= b.end_pos.offset then a.end_pos else b.end_pos
+    in
+    { start_pos; end_pos }
+
+let pp_pos ppf p = Format.fprintf ppf "line %d, column %d" p.line p.col
+
+let pp ppf s =
+  if is_dummy s then Format.fprintf ppf "<no location>"
+  else if s.start_pos.line = s.end_pos.line then
+    Format.fprintf ppf "line %d, columns %d-%d" s.start_pos.line s.start_pos.col
+      s.end_pos.col
+  else
+    Format.fprintf ppf "line %d, column %d - line %d, column %d"
+      s.start_pos.line s.start_pos.col s.end_pos.line s.end_pos.col
+
+let to_string s = Format.asprintf "%a" pp s

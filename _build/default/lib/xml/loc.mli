@@ -1,0 +1,37 @@
+(** Source locations for XML documents.
+
+    Positions are 1-based line/column pairs; spans pair a start and an
+    end position. Every parse error and every element produced by
+    {!Pdl_xml.Decode} carries a span so downstream tools (the PDL
+    validator, the Cascabel compiler) can report precise locations. *)
+
+type pos = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+  offset : int;  (** 0-based byte offset into the input *)
+}
+
+type span = { start_pos : pos; end_pos : pos }
+
+val start : pos
+(** Position of the first byte of a document: line 1, column 1. *)
+
+val dummy : span
+(** Span used for synthetic nodes that have no source text. *)
+
+val is_dummy : span -> bool
+
+val span : pos -> pos -> span
+
+val advance : pos -> char -> pos
+(** [advance p c] is the position after reading character [c] at [p].
+    Newlines reset the column and bump the line. *)
+
+val merge : span -> span -> span
+(** Smallest span covering both arguments (dummy spans are ignored). *)
+
+val pp_pos : Format.formatter -> pos -> unit
+val pp : Format.formatter -> span -> unit
+
+val to_string : span -> string
+(** ["line L, column C"] or ["line L1, col C1 - line L2, col C2"]. *)

@@ -1,0 +1,68 @@
+type xname = { uri : string; xlocal : string }
+
+let xname ?(uri = "") xlocal = { uri; xlocal }
+
+let xname_to_string n =
+  if n.uri = "" then n.xlocal else "{" ^ n.uri ^ "}" ^ n.xlocal
+
+let xml_uri = "http://www.w3.org/XML/1998/namespace"
+let xmlns_uri = "http://www.w3.org/2000/xmlns/"
+let xsi = "http://www.w3.org/2001/XMLSchema-instance"
+
+module Smap = Map.Make (String)
+
+type scope = string Smap.t
+
+let root_scope = Smap.empty |> Smap.add "xml" xml_uri |> Smap.add "xmlns" xmlns_uri
+
+let of_bindings bindings =
+  List.fold_left (fun sc (p, u) -> Smap.add p u sc) root_scope bindings
+
+let declarations (el : Dom.element) =
+  List.filter_map
+    (fun (a : Dom.attribute) ->
+      match (a.attr_name.prefix, a.attr_name.local) with
+      | "", "xmlns" -> Some ("", a.attr_value)
+      | "xmlns", p -> Some (p, a.attr_value)
+      | _ -> None)
+    el.attrs
+
+let extend sc el =
+  List.fold_left (fun sc (p, u) -> Smap.add p u sc) sc (declarations el)
+
+let lookup sc prefix = Smap.find_opt prefix sc
+
+let resolve_name sc (n : Dom.name) =
+  if n.prefix = "" then
+    Ok { uri = Option.value ~default:"" (lookup sc ""); xlocal = n.local }
+  else
+    match lookup sc n.prefix with
+    | Some uri -> Ok { uri; xlocal = n.local }
+    | None -> Error (Printf.sprintf "undeclared namespace prefix %S" n.prefix)
+
+let resolve_attr_name sc (n : Dom.name) =
+  if n.prefix = "" then Ok { uri = ""; xlocal = n.local } else resolve_name sc n
+
+let fold sc el ~init ~f =
+  let rec go acc sc el =
+    let sc = extend sc el in
+    let acc = f acc sc el in
+    List.fold_left
+      (fun acc -> function Dom.Element e -> go acc sc e | _ -> acc)
+      acc el.Dom.children
+  in
+  go init sc el
+
+let xsi_type sc el =
+  let sc = extend sc el in
+  let is_xsi_type (a : Dom.attribute) =
+    match resolve_attr_name sc a.attr_name with
+    | Ok n -> n.uri = xsi && n.xlocal = "type"
+    | Error _ -> a.attr_name.prefix = "xsi" && a.attr_name.local = "type"
+  in
+  match List.find_opt is_xsi_type el.attrs with
+  | None -> Ok None
+  | Some a -> (
+      match resolve_name sc (Dom.name_of_string a.attr_value) with
+      | Ok n -> Ok (Some n)
+      | Error e -> Error e)

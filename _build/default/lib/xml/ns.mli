@@ -1,0 +1,54 @@
+(** Namespace resolution.
+
+    Expands the prefixed names of a {!Dom} tree into (URI, local)
+    pairs according to in-scope [xmlns] / [xmlns:p] declarations.
+    PDL uses namespaces for descriptor subschemas
+    (e.g. [xsi:type="ocl:oclDevicePropertyType"]). *)
+
+type xname = { uri : string; xlocal : string }
+
+val xname : ?uri:string -> string -> xname
+val xname_to_string : xname -> string
+(** ["{uri}local"] (Clark notation) or just ["local"]. *)
+
+val xsi : string
+(** The [http://www.w3.org/2001/XMLSchema-instance] namespace URI. *)
+
+type scope
+(** An immutable prefix [->] URI environment. *)
+
+val root_scope : scope
+(** Binds only the reserved [xml] and [xmlns] prefixes. *)
+
+val of_bindings : (string * string) list -> scope
+(** Extends {!root_scope}; keys are prefixes ([""] = default NS). *)
+
+val extend : scope -> Dom.element -> scope
+(** [extend sc el] adds the [xmlns] declarations appearing on [el]. *)
+
+val lookup : scope -> string -> string option
+(** URI bound to a prefix, if any. *)
+
+val declarations : Dom.element -> (string * string) list
+(** The (prefix, uri) pairs declared directly on an element. *)
+
+val resolve_name : scope -> Dom.name -> (xname, string) result
+(** Errors when the prefix is undeclared. Unprefixed names resolve to
+    the default namespace (which may be [""]). *)
+
+val resolve_attr_name : scope -> Dom.name -> (xname, string) result
+(** Attributes differ from elements: an unprefixed attribute is in
+    {e no} namespace regardless of the default namespace. *)
+
+val fold :
+  scope ->
+  Dom.element ->
+  init:'a ->
+  f:('a -> scope -> Dom.element -> 'a) ->
+  'a
+(** Pre-order traversal threading the correct scope to each element. *)
+
+val xsi_type : scope -> Dom.element -> (xname option, string) result
+(** The expanded value of the element's [xsi:type] attribute, if
+    present: the attribute {e value} is itself a prefixed name that is
+    resolved in the element's scope. *)

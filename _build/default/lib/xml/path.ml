@@ -1,0 +1,240 @@
+type pred =
+  | Attr_eq of string * string
+  | Child_text_eq of string * string
+  | Index of int
+
+type test = Name of string | Star | Text | Attr of string
+type step = { descendant : bool; test : test; preds : pred list }
+type t = { rooted : bool; steps : step list }
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- parsing ----------------------------------------------------- *)
+
+type cursor = { src : string; mutable i : int }
+
+let peek c = if c.i >= String.length c.src then '\000' else c.src.[c.i]
+let advance c = c.i <- c.i + 1
+let eof c = c.i >= String.length c.src
+
+let looking_at c s =
+  let n = String.length s in
+  c.i + n <= String.length c.src && String.sub c.src c.i n = s
+
+let eat c s =
+  if looking_at c s then c.i <- c.i + String.length s
+  else fail "expected %S at offset %d in path %S" s c.i c.src
+
+let is_name_char ch =
+  (ch >= 'a' && ch <= 'z')
+  || (ch >= 'A' && ch <= 'Z')
+  || (ch >= '0' && ch <= '9')
+  || ch = '_' || ch = '-' || ch = '.' || ch = ':'
+
+let read_name c =
+  let start = c.i in
+  while (not (eof c)) && is_name_char (peek c) do
+    advance c
+  done;
+  if c.i = start then fail "expected a name at offset %d in path %S" start c.src;
+  String.sub c.src start (c.i - start)
+
+let read_quoted c =
+  let quote = peek c in
+  if quote <> '\'' && quote <> '"' then
+    fail "expected a quoted value at offset %d in path %S" c.i c.src;
+  advance c;
+  let start = c.i in
+  while (not (eof c)) && peek c <> quote do
+    advance c
+  done;
+  if eof c then fail "unterminated quoted value in path %S" c.src;
+  let v = String.sub c.src start (c.i - start) in
+  advance c;
+  v
+
+let read_pred c =
+  eat c "[";
+  let pred =
+    if peek c = '@' then begin
+      advance c;
+      let n = read_name c in
+      eat c "=";
+      Attr_eq (n, read_quoted c)
+    end
+    else if peek c >= '0' && peek c <= '9' then begin
+      let start = c.i in
+      while peek c >= '0' && peek c <= '9' do
+        advance c
+      done;
+      Index (int_of_string (String.sub c.src start (c.i - start)))
+    end
+    else begin
+      let n = read_name c in
+      eat c "=";
+      Child_text_eq (n, read_quoted c)
+    end
+  in
+  eat c "]";
+  pred
+
+let read_step c ~descendant =
+  let test =
+    if peek c = '*' then begin
+      advance c;
+      Star
+    end
+    else if peek c = '@' then begin
+      advance c;
+      Attr (read_name c)
+    end
+    else
+      let n = read_name c in
+      if n = "text" && looking_at c "()" then begin
+        eat c "()";
+        Text
+      end
+      else Name n
+  in
+  let rec preds acc =
+    if peek c = '[' then preds (read_pred c :: acc) else List.rev acc
+  in
+  { descendant; test; preds = preds [] }
+
+let parse src =
+  if src = "" then fail "empty path";
+  let c = { src; i = 0 } in
+  let rooted = (not (looking_at c "//")) && peek c = '/' in
+  if rooted then advance c;
+  let rec steps acc =
+    let descendant = looking_at c "//" in
+    if descendant then eat c "//";
+    let step = read_step c ~descendant in
+    let acc = step :: acc in
+    if eof c then List.rev acc
+    else if looking_at c "//" then steps acc
+    else begin
+      eat c "/";
+      steps acc
+    end
+  in
+  { rooted; steps = steps [] }
+
+let to_string t =
+  let test_to_string = function
+    | Name n -> n
+    | Star -> "*"
+    | Text -> "text()"
+    | Attr n -> "@" ^ n
+  in
+  let pred_to_string = function
+    | Attr_eq (n, v) -> Printf.sprintf "[@%s='%s']" n v
+    | Child_text_eq (n, v) -> Printf.sprintf "[%s='%s']" n v
+    | Index i -> Printf.sprintf "[%d]" i
+  in
+  let step_to_string s =
+    (if s.descendant then "//" else "")
+    ^ test_to_string s.test
+    ^ String.concat "" (List.map pred_to_string s.preds)
+  in
+  let body =
+    List.mapi
+      (fun i s ->
+        if i = 0 then step_to_string s
+        else if s.descendant then step_to_string s
+        else "/" ^ step_to_string s)
+      t.steps
+    |> String.concat ""
+  in
+  if t.rooted then "/" ^ body else body
+
+(* --- evaluation -------------------------------------------------- *)
+
+let rec descendants_or_self (el : Dom.element) =
+  el
+  :: List.concat_map
+       (function Dom.Element e -> descendants_or_self e | _ -> [])
+       el.children
+
+let matches_test test (el : Dom.element) =
+  match test with
+  | Name n -> el.name.local = n
+  | Star -> true
+  | Text -> Dom.own_text el <> ""
+  | Attr n -> Dom.attr el n <> None
+
+let matches_pred (el : Dom.element) = function
+  | Attr_eq (n, v) -> Dom.attr el n = Some v
+  | Child_text_eq (n, v) -> (
+      match Dom.find_child el n with
+      | Some c -> String.trim (Dom.text_content c) = v
+      | None -> false)
+  | Index _ -> true (* handled positionally below *)
+
+let apply_preds preds els =
+  let non_positional =
+    List.filter
+      (fun el -> List.for_all (matches_pred el) preds)
+      els
+  in
+  let positional =
+    List.filter_map (function Index i -> Some i | _ -> None) preds
+  in
+  List.fold_left
+    (fun els i ->
+      match List.nth_opt els (i - 1) with Some e -> [ e ] | None -> [])
+    non_positional positional
+
+let apply_step ~first ~rooted step (ctx : Dom.element) =
+  let candidates =
+    match step.test with
+    | Attr _ | Text ->
+        if step.descendant then descendants_or_self ctx else [ ctx ]
+    | Name _ | Star ->
+        if step.descendant then descendants_or_self ctx
+        else if first && rooted then [ ctx ]
+        else Dom.child_elements ctx
+  in
+  apply_preds step.preds (List.filter (matches_test step.test) candidates)
+
+let dedup els =
+  (* Physical-identity dedup preserves document order; descendant
+     steps can select the same element through several contexts. *)
+  let seen = ref [] in
+  List.filter
+    (fun el ->
+      if List.memq el !seen then false
+      else begin
+        seen := el :: !seen;
+        true
+      end)
+    els
+
+let select t root =
+  let rec go first ctxs = function
+    | [] -> ctxs
+    | step :: rest ->
+        let next =
+          dedup
+            (List.concat_map (apply_step ~first ~rooted:t.rooted step) ctxs)
+        in
+        go false next rest
+  in
+  go true [ root ] t.steps
+
+let select_values t root =
+  let extract =
+    match List.rev t.steps with
+    | { test = Attr n; _ } :: _ ->
+        fun el -> Option.to_list (Dom.attr el n)
+    | { test = Text; _ } :: _ -> fun el -> [ Dom.own_text el ]
+    | _ -> fun el -> [ Dom.text_content el ]
+  in
+  List.concat_map extract (select t root)
+
+let select_one t root = match select t root with [] -> None | e :: _ -> Some e
+let query s root = select (parse s) root
+let query_values s root = select_values (parse s) root
+let query_one s root = select_one (parse s) root

@@ -1,0 +1,46 @@
+(** Minimal XPath-like queries over {!Dom} trees.
+
+    Grammar (a practical subset sufficient for the PDL query API):
+
+    {v
+    path      ::= ('/')? step ('/' step)*  |  '//' step ('/' step)*
+    step      ::= axis? test pred*
+    axis      ::= '//'                      (* descendant-or-self *)
+    test      ::= NAME | '*' | 'text()' | '@' NAME
+    pred      ::= '[' NAME '=' 'value' ']'          (* child text *)
+                | '[@' NAME '=' 'value' ']'          (* attribute *)
+                | '[' INT ']'                        (* 1-based index *)
+    v}
+
+    Example: [//Worker[@id='1']/PUDescriptor/Property[name='ARCH']].
+
+    Matching is on local names (prefixes ignored), which matches PDL
+    usage where subschema elements keep their local names. *)
+
+type t
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val to_string : t -> string
+
+val select : t -> Dom.element -> Dom.element list
+(** Elements selected by the path, evaluated with the argument as
+    context node. A leading ['/'] step matches the context node
+    itself (root test). Paths ending in [@name] or [text()] select
+    the elements {e owning} the attribute/text; use {!select_values}
+    for the strings. *)
+
+val select_values : t -> Dom.element -> string list
+(** For paths ending in [@name]: the attribute values. For paths
+    ending in [text()]: the text contents. For element paths: the
+    {!Dom.text_content} of each selected element. *)
+
+val select_one : t -> Dom.element -> Dom.element option
+val query : string -> Dom.element -> Dom.element list
+(** [query s el] = [select (parse s) el]. *)
+
+val query_values : string -> Dom.element -> string list
+val query_one : string -> Dom.element -> Dom.element option

@@ -1,0 +1,816 @@
+type simple =
+  | S_string
+  | S_bool
+  | S_int of { min : int option; max : int option }
+  | S_decimal
+  | S_enum of string list
+  | S_pattern of string
+
+type occurs = { min_occurs : int; max_occurs : int option }
+
+let once = { min_occurs = 1; max_occurs = Some 1 }
+let optional = { min_occurs = 0; max_occurs = Some 1 }
+let many = { min_occurs = 0; max_occurs = None }
+let at_least_one = { min_occurs = 1; max_occurs = None }
+
+type particle =
+  | P_elem of { el_name : string; el_type : string; occ : occurs }
+  | P_seq of particle list * occurs
+  | P_choice of particle list * occurs
+  | P_any of occurs
+
+type attr_decl = {
+  a_name : string;
+  a_type : simple;
+  a_required : bool;
+  a_default : string option;
+}
+
+type complex = {
+  c_name : string;
+  c_base : string option;
+  c_attrs : attr_decl list;
+  c_content : particle list;
+  c_mixed : bool;
+  c_text : simple option;
+  c_open_attrs : bool;
+}
+
+type t = {
+  id : string;
+  version : string;
+  target_ns : string;
+  types : complex list;
+  roots : (string * string) list;
+}
+
+let attr ?(required = false) ?default a_name a_type =
+  { a_name; a_type; a_required = required; a_default = default }
+
+let el ?(occ = once) el_name el_type = P_elem { el_name; el_type; occ }
+
+let complex ?base ?(attrs = []) ?(content = []) ?(mixed = false) ?text
+    ?(open_attrs = false) c_name =
+  {
+    c_name;
+    c_base = base;
+    c_attrs = attrs;
+    c_content = content;
+    c_mixed = mixed;
+    c_text = text;
+    c_open_attrs = open_attrs;
+  }
+
+let make ~id ?(version = "1.0") ?(target_ns = "") ~types ~roots () =
+  { id; version; target_ns; types; roots }
+
+(* --- builtins ----------------------------------------------------- *)
+
+let builtin_simple = function
+  | "string" -> Some S_string
+  | "boolean" -> Some S_bool
+  | "int" | "integer" -> Some (S_int { min = None; max = None })
+  | "positiveInteger" -> Some (S_int { min = Some 1; max = None })
+  | "nonNegativeInteger" -> Some (S_int { min = Some 0; max = None })
+  | "decimal" -> Some S_decimal
+  | _ -> None
+
+let builtin_complex name =
+  match name with
+  | "anyType" ->
+      Some (complex ~content:[ P_any many ] ~mixed:true ~open_attrs:true name)
+  | _ -> (
+      match builtin_simple name with
+      | Some s -> Some (complex ~text:s ~open_attrs:false name)
+      | None -> None)
+
+(* --- registry ------------------------------------------------------ *)
+
+type registry = { members : t list }
+
+let registry base = { members = [ base ] }
+let schemas reg = reg.members
+
+let find_type reg name =
+  let in_schema s = List.find_opt (fun c -> c.c_name = name) s.types in
+  match List.find_map in_schema reg.members with
+  | Some c -> Some c
+  | None -> builtin_complex name
+
+let add_subschema reg sub =
+  if List.exists (fun s -> s.id = sub.id) reg.members then
+    Error (Printf.sprintf "duplicate schema id %S" sub.id)
+  else
+    let clash =
+      List.find_opt (fun c -> find_type reg c.c_name <> None) sub.types
+    in
+    match clash with
+    | Some c ->
+        Error
+          (Printf.sprintf "schema %S redefines type %S already registered"
+             sub.id c.c_name)
+    | None -> Ok { members = reg.members @ [ sub ] }
+
+let rec derives_from reg sub base =
+  sub = base
+  ||
+  match find_type reg sub with
+  | Some { c_base = Some b; _ } -> derives_from reg b base
+  | _ -> false
+
+(* Flattened view of a type: inheritance chain from base-most to the
+   most-derived type. *)
+let chain reg name =
+  let rec go acc name guard =
+    if List.mem name guard then None (* cycle *)
+    else
+      match find_type reg name with
+      | None -> None
+      | Some c -> (
+          match c.c_base with
+          | None -> Some (c :: acc)
+          | Some b -> go (c :: acc) b (name :: guard))
+  in
+  go [] name []
+
+type flat = {
+  f_attrs : attr_decl list;
+  f_content : particle list;
+  f_mixed : bool;
+  f_text : simple option;
+  f_open_attrs : bool;
+}
+
+let flatten reg name =
+  match chain reg name with
+  | None -> None
+  | Some types ->
+      Some
+        {
+          f_attrs = List.concat_map (fun c -> c.c_attrs) types;
+          f_content = List.concat_map (fun c -> c.c_content) types;
+          f_mixed = List.exists (fun c -> c.c_mixed) types;
+          f_text = List.find_map (fun c -> c.c_text) types;
+          f_open_attrs = List.exists (fun c -> c.c_open_attrs) types;
+        }
+
+(* --- simple type validation --------------------------------------- *)
+
+let check_simple simple value =
+  match simple with
+  | S_string -> Ok ()
+  | S_bool -> (
+      match value with
+      | "true" | "false" | "0" | "1" -> Ok ()
+      | _ -> Error (Printf.sprintf "%S is not a boolean" value))
+  | S_int { min; max } -> (
+      match int_of_string_opt (String.trim value) with
+      | None -> Error (Printf.sprintf "%S is not an integer" value)
+      | Some n ->
+          let lo_ok = match min with Some m -> n >= m | None -> true in
+          let hi_ok = match max with Some m -> n <= m | None -> true in
+          if lo_ok && hi_ok then Ok ()
+          else Error (Printf.sprintf "%d is out of range" n))
+  | S_decimal -> (
+      match float_of_string_opt (String.trim value) with
+      | Some _ -> Ok ()
+      | None -> Error (Printf.sprintf "%S is not a decimal" value))
+  | S_enum allowed ->
+      if List.mem value allowed then Ok ()
+      else
+        Error
+          (Printf.sprintf "%S is not one of {%s}" value
+             (String.concat ", " allowed))
+  | S_pattern pat ->
+      let re = Str.regexp pat in
+      if Str.string_match re value 0 && Str.match_end () = String.length value
+      then Ok ()
+      else Error (Printf.sprintf "%S does not match pattern %S" value pat)
+
+(* --- content model matching ---------------------------------------- *)
+
+(* Matching yields the sequence of possible remainders; acceptance is
+   any path leaving no unconsumed children.  [match_rep] stops
+   expanding when an iteration consumes nothing, which keeps
+   all-optional unbounded groups from looping forever. *)
+let rec match_particle p (els : Dom.element list) : Dom.element list Seq.t =
+  match p with
+  | P_elem { el_name; occ; _ } ->
+      let one = function
+        | (c : Dom.element) :: rest when c.name.local = el_name ->
+            Seq.return rest
+        | _ -> Seq.empty
+      in
+      match_rep one occ els
+  | P_any occ ->
+      let one = function _ :: rest -> Seq.return rest | [] -> Seq.empty in
+      match_rep one occ els
+  | P_seq (ps, occ) -> match_rep (match_list ps) occ els
+  | P_choice (ps, occ) ->
+      let one els =
+        Seq.concat_map (fun p -> match_particle p els) (List.to_seq ps)
+      in
+      match_rep one occ els
+
+and match_list ps els =
+  match ps with
+  | [] -> Seq.return els
+  | p :: rest ->
+      Seq.concat_map (fun els' -> match_list rest els') (match_particle p els)
+
+and match_rep one occ els =
+  let rec go k els () =
+    let here () =
+      if k >= occ.min_occurs then Seq.Cons (els, Seq.empty) else Seq.Nil
+    in
+    let can_repeat =
+      match occ.max_occurs with Some m -> k < m | None -> true
+    in
+    if not can_repeat then here ()
+    else
+      let more =
+        Seq.concat_map
+          (fun els' -> if els' == els then Seq.empty else go (k + 1) els')
+          (one els)
+      in
+      Seq.append (fun () -> here ()) more ()
+  in
+  go 0 els
+
+let content_matches particles els =
+  Seq.exists (fun rest -> rest = []) (match_list particles els)
+
+let rec particle_to_string = function
+  | P_elem { el_name; occ; _ } -> el_name ^ occurs_to_string occ
+  | P_seq (ps, occ) ->
+      "(" ^ String.concat ", " (List.map particle_to_string ps) ^ ")"
+      ^ occurs_to_string occ
+  | P_choice (ps, occ) ->
+      "(" ^ String.concat " | " (List.map particle_to_string ps) ^ ")"
+      ^ occurs_to_string occ
+  | P_any occ -> "*" ^ occurs_to_string occ
+
+and occurs_to_string occ =
+  match (occ.min_occurs, occ.max_occurs) with
+  | 1, Some 1 -> ""
+  | 0, Some 1 -> "?"
+  | 0, None -> "*"
+  | 1, None -> "+"
+  | lo, Some hi -> Printf.sprintf "{%d,%d}" lo hi
+  | lo, None -> Printf.sprintf "{%d,}" lo
+
+(* Element name -> declared type, as read off the content model.  Used
+   to pick the type a child is validated against. *)
+let rec elem_types acc = function
+  | P_elem { el_name; el_type; _ } -> (el_name, el_type) :: acc
+  | P_seq (ps, _) | P_choice (ps, _) -> List.fold_left elem_types acc ps
+  | P_any _ -> acc
+
+(* --- validation ----------------------------------------------------- *)
+
+type error = { message : string; at : Loc.span; path : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "%s: %s (%a)" e.path e.message Loc.pp e.at
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let is_blank s =
+  String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s
+
+let is_ns_decl (a : Dom.attribute) =
+  a.attr_name.prefix = "xmlns" || (a.attr_name.prefix = "" && a.attr_name.local = "xmlns")
+
+let is_xsi_attr (a : Dom.attribute) = a.attr_name.prefix = "xsi"
+
+let validate_attrs flat path (el : Dom.element) errors =
+  let errors = ref errors in
+  let err at fmt =
+    Printf.ksprintf (fun message -> errors := { message; at; path } :: !errors) fmt
+  in
+  List.iter
+    (fun decl ->
+      match Dom.attr el decl.a_name with
+      | Some v -> (
+          match check_simple decl.a_type v with
+          | Ok () -> ()
+          | Error msg -> err el.span "attribute %S: %s" decl.a_name msg)
+      | None -> if decl.a_required then err el.span "missing required attribute %S" decl.a_name)
+    flat.f_attrs;
+  if not flat.f_open_attrs then
+    List.iter
+      (fun (a : Dom.attribute) ->
+        if (not (is_ns_decl a)) && not (is_xsi_attr a) then
+          if
+            not
+              (List.exists
+                 (fun d -> d.a_name = Dom.name_to_string a.attr_name)
+                 flat.f_attrs)
+          then err a.attr_span "undeclared attribute %S" (Dom.name_to_string a.attr_name))
+      el.attrs;
+  !errors
+
+let rec validate_element reg ~type_name ~path (el : Dom.element) errors =
+  let err at fmt =
+    Printf.ksprintf (fun message -> { message; at; path } :: errors) fmt
+  in
+  (* xsi:type substitution: the instance may downcast the declared
+     type to one deriving from it. *)
+  let effective =
+    match Dom.attr el "xsi:type" with
+    | None -> Ok type_name
+    | Some v ->
+        let named = (Dom.name_of_string v).local in
+        if find_type reg named = None then
+          Error
+            (Printf.sprintf "xsi:type references unknown type %S" named)
+        else if derives_from reg named type_name then Ok named
+        else
+          Error
+            (Printf.sprintf "xsi:type %S does not derive from declared type %S"
+               named type_name)
+  in
+  match effective with
+  | Error msg -> err el.span "%s" msg
+  | Ok type_name when type_name = "anyType" -> errors
+  | Ok type_name -> (
+      match flatten reg type_name with
+      | None -> err el.span "unknown or cyclic type %S" type_name
+      | Some flat -> (
+          let errors = validate_attrs flat path el errors in
+          let children = Dom.child_elements el in
+          match flat.f_text with
+          | Some simple -> (
+              let errors =
+                match children with
+                | [] -> errors
+                | c :: _ ->
+                    { message =
+                        Printf.sprintf
+                          "type %S has simple content; element children are \
+                           not allowed"
+                          type_name;
+                      at = c.span;
+                      path;
+                    }
+                    :: errors
+              in
+              match check_simple simple (Dom.text_content el) with
+              | Ok () -> errors
+              | Error msg ->
+                  { message = Printf.sprintf "content: %s" msg;
+                    at = el.span;
+                    path;
+                  }
+                  :: errors)
+          | None ->
+              let errors =
+                if flat.f_mixed then errors
+                else
+                  List.fold_left
+                    (fun errors -> function
+                      | Dom.Text (s, at) when not (is_blank s) ->
+                          { message =
+                              Printf.sprintf
+                                "unexpected character data %S in \
+                                 element-only type %S"
+                                (String.trim s) type_name;
+                            at;
+                            path;
+                          }
+                          :: errors
+                      | _ -> errors)
+                    errors el.children
+              in
+              let errors =
+                if content_matches flat.f_content children then errors
+                else
+                  { message =
+                      Printf.sprintf
+                        "children [%s] do not match the content model [%s] \
+                         of type %S"
+                        (String.concat "; "
+                           (List.map
+                              (fun (c : Dom.element) -> c.name.local)
+                              children))
+                        (String.concat "; "
+                           (List.map particle_to_string flat.f_content))
+                        type_name;
+                    at = el.span;
+                    path;
+                  }
+                  :: errors
+              in
+              let by_name =
+                List.fold_left elem_types [] flat.f_content
+              in
+              let counts = Hashtbl.create 8 in
+              List.fold_left
+                (fun errors (child : Dom.element) ->
+                  let n = child.name.local in
+                  let k =
+                    (Hashtbl.find_opt counts n |> Option.value ~default:0) + 1
+                  in
+                  Hashtbl.replace counts n k;
+                  match List.assoc_opt n by_name with
+                  | None -> errors (* matched P_any, or already reported *)
+                  | Some child_ty ->
+                      let child_path =
+                        if path = "" then n
+                        else Printf.sprintf "%s/%s[%d]" path n k
+                      in
+                      validate_element reg ~type_name:child_ty
+                        ~path:child_path child errors)
+                errors children))
+
+let validate reg (root : Dom.element) =
+  let root = Dom.strip_layout root in
+  let all_roots = List.concat_map (fun s -> s.roots) reg.members in
+  match List.assoc_opt root.name.local all_roots with
+  | None ->
+      [
+        {
+          message =
+            Printf.sprintf "element %S is not a declared root (expected %s)"
+              root.name.local
+              (String.concat " or "
+                 (List.map (fun (n, _) -> Printf.sprintf "%S" n) all_roots));
+          at = root.span;
+          path = root.name.local;
+        };
+      ]
+  | Some ty ->
+      List.rev
+        (validate_element reg ~type_name:ty ~path:root.name.local root [])
+
+let validate_against reg ~type_name (root : Dom.element) =
+  let root = Dom.strip_layout root in
+  List.rev (validate_element reg ~type_name ~path:root.name.local root [])
+
+(* --- schema well-formedness ---------------------------------------- *)
+
+let check reg schema =
+  let ( let* ) = Result.bind in
+  let* merged = add_subschema reg schema in
+  let check_ty_ref where name =
+    if find_type merged name = None then
+      Error (Printf.sprintf "%s references unknown type %S" where name)
+    else Ok ()
+  in
+  let rec check_particle where = function
+    | P_elem { el_type; _ } -> check_ty_ref where el_type
+    | P_seq (ps, _) | P_choice (ps, _) ->
+        List.fold_left
+          (fun acc p -> Result.bind acc (fun () -> check_particle where p))
+          (Ok ()) ps
+    | P_any _ -> Ok ()
+  in
+  let check_type c =
+    let where = Printf.sprintf "type %S" c.c_name in
+    let* () =
+      match c.c_base with
+      | Some b -> check_ty_ref where b
+      | None -> Ok ()
+    in
+    let* () =
+      if chain merged c.c_name = None then
+        Error (Printf.sprintf "type %S has a cyclic extension chain" c.c_name)
+      else Ok ()
+    in
+    let* () =
+      if c.c_text <> None && c.c_content <> [] then
+        Error
+          (Printf.sprintf "type %S mixes simple content and child elements"
+             c.c_name)
+      else Ok ()
+    in
+    List.fold_left
+      (fun acc p -> Result.bind acc (fun () -> check_particle where p))
+      (Ok ()) c.c_content
+  in
+  let* () =
+    List.fold_left
+      (fun acc c -> Result.bind acc (fun () -> check_type c))
+      (Ok ()) schema.types
+  in
+  let* () =
+    List.fold_left
+      (fun acc (n, ty) ->
+        Result.bind acc (fun () ->
+            check_ty_ref (Printf.sprintf "root %S" n) ty))
+      (Ok ()) schema.roots
+  in
+  Ok merged
+
+(* --- XML form -------------------------------------------------------- *)
+
+let occurs_of_el (el : Dom.element) =
+  let min_occurs =
+    match Dom.attr el "minOccurs" with
+    | Some v -> int_of_string v
+    | None -> 1
+  in
+  let max_occurs =
+    match Dom.attr el "maxOccurs" with
+    | Some "unbounded" -> None
+    | Some v -> Some (int_of_string v)
+    | None -> Some 1
+  in
+  { min_occurs; max_occurs }
+
+let of_xml root =
+  let ( let* ) = Result.bind in
+  let root = Dom.strip_layout root in
+  if root.name.local <> "schema" then
+    Error (Printf.sprintf "expected <schema>, found <%s>" root.name.local)
+  else
+    let* id =
+      match Dom.attr root "id" with
+      | Some id -> Ok id
+      | None -> Error "<schema> requires an id attribute"
+    in
+    let version = Option.value ~default:"1.0" (Dom.attr root "version") in
+    let target_ns =
+      Option.value ~default:"" (Dom.attr root "targetNamespace")
+    in
+    (* Named simple types defined in this document. *)
+    let simples = Hashtbl.create 8 in
+    let parse_simple_body (el : Dom.element) =
+      let enums =
+        Dom.find_children el "enumeration"
+        |> List.filter_map (fun e -> Dom.attr e "value")
+      in
+      if enums <> [] then Ok (S_enum enums)
+      else
+        match Dom.find_child el "pattern" with
+        | Some p -> (
+            match Dom.attr p "value" with
+            | Some v -> Ok (S_pattern v)
+            | None -> Error "<pattern> requires a value attribute")
+        | None -> (
+            match Dom.find_child el "restriction" with
+            | Some r -> (
+                match Dom.attr r "base" with
+                | Some ("int" | "integer") ->
+                    let get k =
+                      Option.map int_of_string (Dom.attr r k)
+                    in
+                    Ok (S_int { min = get "min"; max = get "max" })
+                | Some other ->
+                    Error
+                      (Printf.sprintf "unsupported restriction base %S" other)
+                | None -> Error "<restriction> requires a base attribute")
+            | None -> Error "empty <simpleType>")
+    in
+    let resolve_simple name =
+      match Hashtbl.find_opt simples name with
+      | Some s -> Ok s
+      | None -> (
+          match builtin_simple name with
+          | Some s -> Ok s
+          | None -> Error (Printf.sprintf "unknown simple type %S" name))
+    in
+    let parse_attr (el : Dom.element) =
+      let* a_name =
+        match Dom.attr el "name" with
+        | Some n -> Ok n
+        | None -> Error "<attribute> requires a name"
+      in
+      let* a_type =
+        match Dom.attr el "type" with
+        | Some t -> resolve_simple t
+        | None -> Ok S_string
+      in
+      Ok
+        {
+          a_name;
+          a_type;
+          a_required = Dom.attr el "use" = Some "required";
+          a_default = Dom.attr el "default";
+        }
+    in
+    let rec parse_particle (el : Dom.element) =
+      let occ = occurs_of_el el in
+      match el.name.local with
+      | "element" ->
+          let* el_name =
+            match Dom.attr el "name" with
+            | Some n -> Ok n
+            | None -> Error "<element> requires a name"
+          in
+          let el_type =
+            Option.value ~default:"string" (Dom.attr el "type")
+          in
+          Ok (P_elem { el_name; el_type; occ })
+      | "sequence" ->
+          let* ps = parse_particles (Dom.child_elements el) in
+          Ok (P_seq (ps, occ))
+      | "choice" ->
+          let* ps = parse_particles (Dom.child_elements el) in
+          Ok (P_choice (ps, occ))
+      | "any" -> Ok (P_any occ)
+      | other -> Error (Printf.sprintf "unexpected particle <%s>" other)
+    and parse_particles els =
+      List.fold_left
+        (fun acc el ->
+          let* ps = acc in
+          let* p = parse_particle el in
+          Ok (ps @ [ p ]))
+        (Ok []) els
+    in
+    let parse_complex (el : Dom.element) =
+      let* c_name =
+        match Dom.attr el "name" with
+        | Some n -> Ok n
+        | None -> Error "<complexType> requires a name"
+      in
+      let base = Dom.attr el "extends" in
+      let mixed = Dom.attr el "mixed" = Some "true" in
+      let open_attrs = Dom.attr el "open" = Some "true" in
+      let* attrs =
+        List.fold_left
+          (fun acc a ->
+            let* attrs = acc in
+            let* attr = parse_attr a in
+            Ok (attrs @ [ attr ]))
+          (Ok [])
+          (Dom.find_children el "attribute")
+      in
+      let* text =
+        match Dom.find_child el "text" with
+        | Some te ->
+            let* s =
+              resolve_simple
+                (Option.value ~default:"string" (Dom.attr te "type"))
+            in
+            Ok (Some s)
+        | None -> Ok None
+      in
+      let* content =
+        let particles =
+          List.filter
+            (fun (c : Dom.element) ->
+              List.mem c.name.local [ "sequence"; "choice"; "element"; "any" ])
+            (Dom.child_elements el)
+        in
+        parse_particles particles
+      in
+      Ok
+        {
+          c_name;
+          c_base = base;
+          c_attrs = attrs;
+          c_content = content;
+          c_mixed = mixed;
+          c_text = text;
+          c_open_attrs = open_attrs;
+        }
+    in
+    (* First pass: named simple types (so later references resolve). *)
+    let* () =
+      List.fold_left
+        (fun acc (el : Dom.element) ->
+          let* () = acc in
+          if el.name.local <> "simpleType" then Ok ()
+          else
+            let* name =
+              match Dom.attr el "name" with
+              | Some n -> Ok n
+              | None -> Error "<simpleType> requires a name"
+            in
+            let* s = parse_simple_body el in
+            Hashtbl.replace simples name s;
+            Ok ())
+        (Ok ())
+        (Dom.child_elements root)
+    in
+    let* types, roots =
+      List.fold_left
+        (fun acc (el : Dom.element) ->
+          let* types, roots = acc in
+          match el.name.local with
+          | "simpleType" ->
+              (* Also usable as an element type: simple content. *)
+              let name = Option.get (Dom.attr el "name") in
+              let s = Hashtbl.find simples name in
+              Ok (types @ [ complex ~text:s name ], roots)
+          | "complexType" ->
+              let* c = parse_complex el in
+              Ok (types @ [ c ], roots)
+          | "element" ->
+              let* n =
+                match Dom.attr el "name" with
+                | Some n -> Ok n
+                | None -> Error "top-level <element> requires a name"
+              in
+              let ty = Option.value ~default:"anyType" (Dom.attr el "type") in
+              Ok (types, roots @ [ (n, ty) ])
+          | other ->
+              Error (Printf.sprintf "unexpected <%s> under <schema>" other))
+        (Ok ([], []))
+        (Dom.child_elements root)
+    in
+    Ok { id; version; target_ns; types; roots }
+
+let of_string s =
+  match Decode.element_of_string s with
+  | Error e -> Error (Decode.error_to_string e)
+  | Ok el -> of_xml el
+
+let to_xml schema =
+  let occurs_attrs occ =
+    (if occ.min_occurs = 1 then []
+     else [ ("minOccurs", string_of_int occ.min_occurs) ])
+    @
+    match occ.max_occurs with
+    | Some 1 -> []
+    | Some m -> [ ("maxOccurs", string_of_int m) ]
+    | None -> [ ("maxOccurs", "unbounded") ]
+  in
+  let simple_nodes = function
+    | S_string -> (Some "string", [])
+    | S_bool -> (Some "boolean", [])
+    | S_decimal -> (Some "decimal", [])
+    | S_int { min = None; max = None } -> (Some "int", [])
+    | S_int { min; max } ->
+        let attrs =
+          [ ("base", "int") ]
+          @ (match min with Some m -> [ ("min", string_of_int m) ] | None -> [])
+          @
+          match max with Some m -> [ ("max", string_of_int m) ] | None -> []
+        in
+        (None, [ Dom.e ~attrs "restriction" [] ])
+    | S_enum vs ->
+        ( None,
+          List.map (fun v -> Dom.e ~attrs:[ ("value", v) ] "enumeration" []) vs
+        )
+    | S_pattern p -> (None, [ Dom.e ~attrs:[ ("value", p) ] "pattern" [] ])
+  in
+  let rec particle_node = function
+    | P_elem { el_name; el_type; occ } ->
+        Dom.e
+          ~attrs:([ ("name", el_name); ("type", el_type) ] @ occurs_attrs occ)
+          "element" []
+    | P_seq (ps, occ) ->
+        Dom.e ~attrs:(occurs_attrs occ) "sequence" (List.map particle_node ps)
+    | P_choice (ps, occ) ->
+        Dom.e ~attrs:(occurs_attrs occ) "choice" (List.map particle_node ps)
+    | P_any occ -> Dom.e ~attrs:(occurs_attrs occ) "any" []
+  in
+  let attr_node a =
+    let ty_name, extra = simple_nodes a.a_type in
+    let attrs =
+      [ ("name", a.a_name) ]
+      @ (match ty_name with Some t -> [ ("type", t) ] | None -> [])
+      @ (if a.a_required then [ ("use", "required") ] else [])
+      @ match a.a_default with Some d -> [ ("default", d) ] | None -> []
+    in
+    (* Inline simple types in attributes degrade to string in the XML
+       form; programmatic schemas keep full fidelity. *)
+    ignore extra;
+    Dom.e ~attrs "attribute" []
+  in
+  let type_node c =
+    match c.c_text with
+    | Some s when c.c_base = None && c.c_attrs = [] ->
+        let ty_name, extra = simple_nodes s in
+        (match ty_name with
+        | Some _ when extra = [] ->
+            Dom.e
+              ~attrs:[ ("name", c.c_name) ]
+              "complexType"
+              [ Dom.e ~attrs:[ ("type", Option.get ty_name) ] "text" [] ]
+        | _ -> Dom.e ~attrs:[ ("name", c.c_name) ] "simpleType" extra)
+    | _ ->
+        let attrs =
+          [ ("name", c.c_name) ]
+          @ (match c.c_base with Some b -> [ ("extends", b) ] | None -> [])
+          @ (if c.c_mixed then [ ("mixed", "true") ] else [])
+          @ if c.c_open_attrs then [ ("open", "true") ] else []
+        in
+        let text_node =
+          match c.c_text with
+          | Some s ->
+              let ty_name, _ = simple_nodes s in
+              [ Dom.e
+                  ~attrs:
+                    [ ("type", Option.value ~default:"string" ty_name) ]
+                  "text" [] ]
+          | None -> []
+        in
+        Dom.e ~attrs "complexType"
+          (List.map particle_node c.c_content
+          @ text_node
+          @ List.map attr_node c.c_attrs)
+  in
+  let root_node (n, ty) =
+    Dom.e ~attrs:[ ("name", n); ("type", ty) ] "element" []
+  in
+  Dom.elem
+    ~attrs:
+      ([ ("id", schema.id); ("version", schema.version) ]
+      @
+      if schema.target_ns = "" then []
+      else [ ("targetNamespace", schema.target_ns) ])
+    "schema"
+    (List.map type_node schema.types @ List.map root_node schema.roots)

@@ -1,0 +1,163 @@
+(** XSD-subset schema definition and validation.
+
+    The paper derives an XML Schema Definition from the hierarchical
+    machine model and relies on three XSD mechanisms: {e schema
+    inheritance} (complex-type extension), {e XML entity polymorphism}
+    ([xsi:type] substitution of a derived type for a declared base
+    type), and {e identified, versioned subschemas} that vendors or
+    tool developers can add for new platforms. This module implements
+    exactly that subset:
+
+    - simple types: string, boolean, integer (with bounds), decimal,
+      enumerations and regex patterns;
+    - complex types with attribute declarations and a content model of
+      sequences, choices and wildcards with occurrence bounds;
+    - complex-type extension ([extends]) with attribute and content
+      inheritance;
+    - [xsi:type] downcasts checked against the derivation chain;
+    - schema registries that merge a base schema with any number of
+      identified subschemas.
+
+    Schemas can be built programmatically or loaded from a compact
+    XML dialect (see {!of_xml}). *)
+
+(** {1 Types} *)
+
+type simple =
+  | S_string
+  | S_bool
+  | S_int of { min : int option; max : int option }
+  | S_decimal
+  | S_enum of string list
+  | S_pattern of string  (** anchored regular expression, {!Str} syntax *)
+
+type occurs = { min_occurs : int; max_occurs : int option }
+(** [max_occurs = None] means unbounded. *)
+
+val once : occurs
+val optional : occurs
+
+val many : occurs
+(** 0..unbounded. *)
+
+val at_least_one : occurs
+
+type particle =
+  | P_elem of { el_name : string; el_type : string; occ : occurs }
+  | P_seq of particle list * occurs
+  | P_choice of particle list * occurs
+  | P_any of occurs  (** matches any element, contents unchecked *)
+
+type attr_decl = {
+  a_name : string;
+  a_type : simple;
+  a_required : bool;
+  a_default : string option;
+}
+
+type complex = {
+  c_name : string;
+  c_base : string option;  (** extension base (another complex type) *)
+  c_attrs : attr_decl list;
+  c_content : particle list;  (** implicit top-level sequence *)
+  c_mixed : bool;  (** character data allowed between children *)
+  c_text : simple option;  (** simple content; excludes child elements *)
+  c_open_attrs : bool;  (** tolerate undeclared attributes *)
+}
+
+type t = {
+  id : string;  (** unique schema identifier *)
+  version : string;
+  target_ns : string;  (** informational *)
+  types : complex list;
+  roots : (string * string) list;  (** allowed (root element, type) *)
+}
+
+(** {1 Construction} *)
+
+val attr : ?required:bool -> ?default:string -> string -> simple -> attr_decl
+val el : ?occ:occurs -> string -> string -> particle
+(** [el name ty] is an element particle occurring exactly once. *)
+
+val complex :
+  ?base:string ->
+  ?attrs:attr_decl list ->
+  ?content:particle list ->
+  ?mixed:bool ->
+  ?text:simple ->
+  ?open_attrs:bool ->
+  string ->
+  complex
+
+val make :
+  id:string -> ?version:string -> ?target_ns:string ->
+  types:complex list -> roots:(string * string) list -> unit -> t
+
+(** {1 Registries} *)
+
+type registry
+(** A base schema merged with zero or more subschemas. Lookups see
+    the union of all types; roots come from every member. *)
+
+val registry : t -> registry
+val add_subschema : registry -> t -> (registry, string) result
+(** Fails on duplicate schema ids or conflicting type names. *)
+
+val schemas : registry -> t list
+val find_type : registry -> string -> complex option
+val derives_from : registry -> string -> string -> bool
+(** [derives_from reg sub base]: does [sub]'s extension chain reach
+    [base]? Reflexive. *)
+
+(** {1 Validation} *)
+
+type error = { message : string; at : Loc.span; path : string }
+(** [path] is a ['/']-separated element path like
+    ["Master/Worker[2]/PUDescriptor"]. *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val check : registry -> t -> (registry, string) result
+(** Well-formedness of a schema against a registry: every referenced
+    type exists (after merging), extension chains are acyclic, only
+    registered simple types are used. Returns the merged registry. *)
+
+val validate : registry -> Dom.element -> error list
+(** Validate a tree against the registry's root declarations. The
+    empty list means the document is valid. Layout (comments, PIs,
+    whitespace) is ignored. *)
+
+val validate_against : registry -> type_name:string -> Dom.element -> error list
+(** Validate a fragment against a specific complex type. *)
+
+val check_simple : simple -> string -> (unit, string) result
+(** Validate a lexical value against a simple type. *)
+
+(** {1 XML form}
+
+    A compact dialect mirroring XSD:
+
+    {v
+    <schema id="pdl-core" version="1.0">
+      <simpleType name="yesno"><enumeration value="yes"/>... </simpleType>
+      <complexType name="PropertyType" mixed="false">
+        <sequence>
+          <element name="name" type="string"/>
+          <element name="value" type="string" maxOccurs="unbounded"/>
+        </sequence>
+        <attribute name="fixed" type="boolean" use="required"/>
+      </complexType>
+      <complexType name="oclPropertyType" extends="PropertyType">...</complexType>
+      <element name="Master" type="MasterType"/>
+    </schema>
+    v}
+
+    Named [simpleType]s are usable as attribute/element types within
+    the same document. Builtin simple type names: [string], [boolean],
+    [int], [integer], [positiveInteger], [nonNegativeInteger],
+    [decimal], [anyType] (as element type: open wildcard content). *)
+
+val of_xml : Dom.element -> (t, string) result
+val of_string : string -> (t, string) result
+val to_xml : t -> Dom.element

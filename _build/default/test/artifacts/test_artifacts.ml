@@ -1,0 +1,128 @@
+(* Drift guards for the shipped artifacts: the PDL descriptors in
+   platforms/ and the schema documents in schemas/ must stay in sync
+   with the code that generated them. *)
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let string_ = Alcotest.string
+let int_ = Alcotest.int
+
+let platforms_dir = "../../platforms"
+let schemas_dir = "../../schemas"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let platform_tests =
+  [
+    Alcotest.test_case "every shipped descriptor loads and validates" `Quick
+      (fun () ->
+        List.iter
+          (fun (name, _) ->
+            let path = Filename.concat platforms_dir (name ^ ".pdl") in
+            match Pdl.Codec.load_file path with
+            | Ok _ -> ()
+            | Error msgs ->
+                Alcotest.failf "%s: %s" path (String.concat "; " msgs))
+          Pdl_hwprobe.Zoo.all);
+    Alcotest.test_case "shipped descriptors match the zoo exactly" `Quick
+      (fun () ->
+        List.iter
+          (fun (name, zoo_pf) ->
+            let path = Filename.concat platforms_dir (name ^ ".pdl") in
+            match Pdl.Codec.load_file path with
+            | Error msgs -> Alcotest.failf "%s: %s" path (String.concat ";" msgs)
+            | Ok file_pf ->
+                if not (Pdl.Diff.equivalent zoo_pf file_pf) then
+                  Alcotest.failf
+                    "%s drifted from the zoo; regenerate with \
+                     Zoo.write_all:\n%s"
+                    path
+                    (String.concat "\n"
+                       (List.map Pdl.Diff.change_to_string
+                          (Pdl.Diff.diff zoo_pf file_pf))))
+          Pdl_hwprobe.Zoo.all);
+    Alcotest.test_case "descriptor files carry the testbed properties"
+      `Quick (fun () ->
+        let text = read_file (Filename.concat platforms_dir "xeon-2gpu.pdl") in
+        let contains needle =
+          let nh = String.length text and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh && (String.sub text i nn = needle || go (i + 1))
+          in
+          go 0
+        in
+        check bool_ "GTX 480" true (contains "GeForce GTX 480");
+        check bool_ "ocl subschema" true
+          (contains "xsi:type=\"ocl:oclDevicePropertyType\"");
+        check bool_ "bandwidth" true (contains "BANDWIDTH_MBPS"));
+  ]
+
+let schema_tests =
+  [
+    Alcotest.test_case "shipped core schema loads" `Quick (fun () ->
+        match
+          Pdl_xml.Schema.of_string
+            (read_file (Filename.concat schemas_dir "pdl-core.schema.xml"))
+        with
+        | Error e -> Alcotest.fail e
+        | Ok s ->
+            check string_ "id" "pdl-core" s.id;
+            check int_ "type count"
+              (List.length Pdl.Pdl_schema.core.types)
+              (List.length s.types));
+    Alcotest.test_case "shipped schemas validate the shipped platforms"
+      `Quick (fun () ->
+        (* Rebuild a registry purely from the shipped schema files and
+           validate a shipped descriptor against it — the full
+           "external artifact" loop, no compiled-in schema. *)
+        let load name =
+          Result.get_ok
+            (Pdl_xml.Schema.of_string
+               (read_file (Filename.concat schemas_dir name)))
+        in
+        let reg =
+          List.fold_left
+            (fun reg sub ->
+              Result.get_ok (Pdl_xml.Schema.add_subschema reg sub))
+            (Pdl_xml.Schema.registry (load "pdl-core.schema.xml"))
+            [
+              load "pdl-ocl.schema.xml";
+              load "pdl-cuda.schema.xml";
+              load "pdl-cell.schema.xml";
+            ]
+        in
+        List.iter
+          (fun (name, _) ->
+            let path = Filename.concat platforms_dir (name ^ ".pdl") in
+            let doc =
+              Pdl_xml.Decode.element_of_string_exn (read_file path)
+            in
+            match Pdl_xml.Schema.validate reg doc with
+            | [] -> ()
+            | errs ->
+                Alcotest.failf "%s: %s" path
+                  (String.concat "; "
+                     (List.map Pdl_xml.Schema.error_to_string errs)))
+          Pdl_hwprobe.Zoo.all);
+    Alcotest.test_case "subschema files declare the paper's ocl type" `Quick
+      (fun () ->
+        let text = read_file (Filename.concat schemas_dir "pdl-ocl.schema.xml") in
+        let contains needle =
+          let nh = String.length text and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh && (String.sub text i nn = needle || go (i + 1))
+          in
+          go 0
+        in
+        check bool_ "type name" true (contains "oclDevicePropertyType");
+        check bool_ "extends PropertyType" true
+          (contains "extends=\"PropertyType\""));
+  ]
+
+let () =
+  Alcotest.run "artifacts"
+    [ ("platforms", platform_tests); ("schemas", schema_tests) ]

@@ -1,0 +1,955 @@
+(* Tests for the Cascabel compiler: targets, repository, static
+   pre-selection, the mini-C interpreter, code generation, and
+   end-to-end execution of translated programs on the simulated
+   heterogeneous runtime. *)
+
+open Cascabel
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+let string_ = Alcotest.string
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let parse src =
+  match Minic.Parser.parse src with
+  | Ok u -> u
+  | Error e -> Alcotest.failf "parse: %s" (Minic.Parser.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Example programs                                                    *)
+
+(* The paper's vecadd example, completed into a runnable program. *)
+let vecadd_program =
+  {|#define N 64
+
+#pragma cascabel task : x86 : Ivecadd : vecadd01 : (A: readwrite, B: read)
+void vectoradd(double *A, double *B, int n)
+{
+  for (int i = 0; i < n; i++)
+    A[i] = A[i] + B[i];
+}
+
+int main(void)
+{
+  double *A = malloc(N * sizeof(double));
+  double *B = malloc(N * sizeof(double));
+  for (int i = 0; i < N; i++) {
+    A[i] = i;
+    B[i] = 2 * i;
+  }
+  #pragma cascabel execute Ivecadd : executionset01 (A:BLOCK:n, B:BLOCK:n)
+  vectoradd(A, B, N);
+  double sum = 0.0;
+  for (int i = 0; i < N; i++)
+    sum += A[i];
+  printf("sum=%g\n", sum);
+  return 0;
+}
+|}
+
+(* The case study: DGEMM with a sequential fallback and a GPU
+   variant. m is the distributed row dimension, n the inner/column
+   dimension. *)
+let dgemm_program =
+  {|#define N 24
+
+#pragma cascabel task : x86 : Idgemm : dgemm_seq : (A: read, B: read, C: readwrite)
+void dgemm_kernel(double *A, double *B, double *C, int m, int n)
+{
+  for (int i = 0; i < m; i++) {
+    for (int j = 0; j < n; j++) {
+      double acc = 0.0;
+      for (int k = 0; k < n; k++)
+        acc += A[i * n + k] * B[k * n + j];
+      C[i * n + j] += acc;
+    }
+  }
+}
+
+#pragma cascabel task : OpenCL : Idgemm : dgemm_ocl : (A: read, B: read, C: readwrite)
+void dgemm_kernel_ocl(double *A, double *B, double *C, int m, int n)
+{
+  for (int i = 0; i < m; i++) {
+    for (int j = 0; j < n; j++) {
+      double acc = 0.0;
+      for (int k = 0; k < n; k++)
+        acc += A[i * n + k] * B[k * n + j];
+      C[i * n + j] += acc;
+    }
+  }
+}
+
+int main(void)
+{
+  double *A = malloc(N * N * sizeof(double));
+  double *B = malloc(N * N * sizeof(double));
+  double *C = malloc(N * N * sizeof(double));
+  for (int i = 0; i < N * N; i++) {
+    A[i] = 1.0 + i % 7;
+    B[i] = 2.0 - i % 5;
+    C[i] = 0.0;
+  }
+  #pragma cascabel execute Idgemm : executionset01 (A:BLOCK:m, C:BLOCK:m)
+  dgemm_kernel(A, B, C, N, N);
+  double checksum = 0.0;
+  for (int i = 0; i < N * N; i++)
+    checksum += C[i];
+  printf("checksum=%.3f\n", checksum);
+  return 0;
+}
+|}
+
+let smp = Pdl_hwprobe.Zoo.xeon_x5550_smp
+let gpus = Pdl_hwprobe.Zoo.xeon_2gpu
+
+(* ------------------------------------------------------------------ *)
+(* Targets                                                             *)
+
+let targets_tests =
+  [
+    Alcotest.test_case "builtin names resolve" `Quick (fun () ->
+        List.iter
+          (fun (name, arch) ->
+            match Targets.resolve name with
+            | Ok t -> check string_ name arch t.arch_class
+            | Error e -> Alcotest.fail e)
+          [
+            ("x86", "cpu");
+            ("OpenCL", "gpu");
+            ("Cuda", "gpu");
+            ("CellSDK", "spe");
+            ("smp", "cpu");
+          ]);
+    Alcotest.test_case "resolution is case-insensitive" `Quick (fun () ->
+        match Targets.resolve "opencl" with
+        | Ok t -> check string_ "gpu" "gpu" t.arch_class
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "explicit pattern syntax accepted" `Quick (fun () ->
+        match Targets.resolve "Master[Worker{ARCHITECTURE=spe}]" with
+        | Ok t ->
+            check string_ "arch from pattern" "spe" t.arch_class;
+            check bool_ "matches cell" true
+              (Pdl.Pattern.matches t.pattern
+                 (Pdl.View.apply_exn Pdl.View.flatten Pdl_hwprobe.Zoo.cell_qs20))
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "unknown target rejected with hint" `Quick (fun () ->
+        match Targets.resolve "vax780" with
+        | Ok _ -> Alcotest.fail "expected error"
+        | Error e -> check bool_ "mentions known names" true (contains e "x86"));
+    Alcotest.test_case "gpu targets require a gpu worker" `Quick (fun () ->
+        let t = Result.get_ok (Targets.resolve "Cuda") in
+        check bool_ "smp lacks gpu" false (Pdl.Pattern.matches t.pattern smp);
+        check bool_ "2gpu has gpu" true (Pdl.Pattern.matches t.pattern gpus));
+    Alcotest.test_case "fallback detection" `Quick (fun () ->
+        check bool_ "x86 is fallback" true
+          (Targets.is_fallback (Result.get_ok (Targets.resolve "x86")));
+        check bool_ "cuda is not" false
+          (Targets.is_fallback (Result.get_ok (Targets.resolve "Cuda"))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Repository + preselect                                              *)
+
+let repo_tests =
+  [
+    Alcotest.test_case "registration from a unit" `Quick (fun () ->
+        let repo = Repository.create () in
+        (match Repository.register_unit repo (parse dgemm_program) with
+        | Ok vs -> check int_ "two variants" 2 (List.length vs)
+        | Error e -> Alcotest.fail e);
+        check (Alcotest.list string_) "one interface" [ "Idgemm" ]
+          (Repository.interfaces repo);
+        check bool_ "fallback present" true
+          (Repository.has_fallback repo "Idgemm");
+        check bool_ "variant lookup" true
+          (Repository.find_variant repo "dgemm_ocl" <> None));
+    Alcotest.test_case "duplicate variant names rejected" `Quick (fun () ->
+        let repo = Repository.create () in
+        let u = parse dgemm_program in
+        let _ = Repository.register_unit repo u in
+        match Repository.register_unit repo u with
+        | Ok _ -> Alcotest.fail "expected duplicate error"
+        | Error e -> check bool_ "duplicate" true (contains e "duplicate"));
+    Alcotest.test_case "signature mismatch rejected" `Quick (fun () ->
+        let repo = Repository.create () in
+        let bad =
+          parse
+            {|#pragma cascabel task : x86 : I : v1 : (A: read)
+void f(double *A) { }
+#pragma cascabel task : OpenCL : I : v2 : (A: read)
+void g(double *A, int n) { }
+|}
+        in
+        match Repository.register_unit repo bad with
+        | Ok _ -> Alcotest.fail "expected signature error"
+        | Error e -> check bool_ "signature" true (contains e "signature"));
+    Alcotest.test_case "parameter specs must name parameters" `Quick
+      (fun () ->
+        let repo = Repository.create () in
+        let bad =
+          parse
+            {|#pragma cascabel task : x86 : I : v1 : (Z: read)
+void f(double *A) { }
+|}
+        in
+        match Repository.register_unit repo bad with
+        | Ok _ -> Alcotest.fail "expected param error"
+        | Error _ -> ());
+    Alcotest.test_case "access_of falls back to Read for pointers" `Quick
+      (fun () ->
+        let repo = Repository.create () in
+        let u =
+          parse
+            {|#pragma cascabel task : x86 : I : v1 : (A: write)
+void f(double *A, double *B, int n) { }
+|}
+        in
+        let _ = Repository.register_unit repo u in
+        let v = Option.get (Repository.find_variant repo "v1") in
+        check bool_ "annotated" true
+          (Repository.access_of v "A" = Some Minic.Ast.Write);
+        check bool_ "default pointer read" true
+          (Repository.access_of v "B" = Some Minic.Ast.Read);
+        check bool_ "scalar none" true (Repository.access_of v "n" = None));
+    Alcotest.test_case "preselect prunes gpu variant on smp" `Quick (fun () ->
+        let repo = Repository.create () in
+        let _ = Repository.register_unit repo (parse dgemm_program) in
+        match Preselect.select repo smp with
+        | Error e -> Alcotest.fail e
+        | Ok [ sel ] ->
+            check int_ "one kept" 1 (List.length sel.kept);
+            check (Alcotest.option string_) "fallback chosen" (Some "dgemm_seq")
+              (Option.map (fun v -> v.Repository.v_name) sel.chosen);
+            let stats = Preselect.stats [ sel ] in
+            check int_ "pruned" 1 stats.pruned_count
+        | Ok _ -> Alcotest.fail "expected one selection");
+    Alcotest.test_case "preselect keeps and prefers gpu variant on 2gpu"
+      `Quick (fun () ->
+        let repo = Repository.create () in
+        let _ = Repository.register_unit repo (parse dgemm_program) in
+        match Preselect.select repo gpus with
+        | Error e -> Alcotest.fail e
+        | Ok [ sel ] ->
+            check int_ "both kept" 2 (List.length sel.kept);
+            check (Alcotest.option string_) "gpu chosen" (Some "dgemm_ocl")
+              (Option.map (fun v -> v.Repository.v_name) sel.chosen)
+        | Ok _ -> Alcotest.fail "expected one selection");
+    Alcotest.test_case "missing fallback is an error" `Quick (fun () ->
+        let repo = Repository.create () in
+        let gpu_only =
+          parse
+            {|#pragma cascabel task : Cuda : I : v1 : (A: read)
+void f(double *A) { }
+|}
+        in
+        let _ = Repository.register_unit repo gpu_only in
+        match Preselect.select repo gpus with
+        | Ok _ -> Alcotest.fail "expected fallback error"
+        | Error e -> check bool_ "fallback" true (contains e "fallback"));
+    Alcotest.test_case "report names verdicts" `Quick (fun () ->
+        let repo = Repository.create () in
+        let _ = Repository.register_unit repo (parse dgemm_program) in
+        let sels = Result.get_ok (Preselect.select repo smp) in
+        let report = Preselect.report sels in
+        check bool_ "chosen marked" true (contains report "[chosen]");
+        check bool_ "pruned marked" true (contains report "pruned"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+
+let interp_run src =
+  match Runnable.run_serial (parse src) with
+  | Ok (code, out) -> (code, out)
+  | Error e -> Alcotest.failf "interp: %s" e
+
+let interp_tests =
+  [
+    Alcotest.test_case "arithmetic and control flow" `Quick (fun () ->
+        let _, out =
+          interp_run
+            {|int main(void) {
+                int total = 0;
+                for (int i = 1; i <= 10; i++)
+                  if (i % 2 == 0) total += i;
+                printf("%d\n", total);
+                return 0;
+              }|}
+        in
+        check string_ "sum of evens" "30\n" out);
+    Alcotest.test_case "pointers and malloc" `Quick (fun () ->
+        let _, out =
+          interp_run
+            {|int main(void) {
+                double *p = malloc(4 * sizeof(double));
+                for (int i = 0; i < 4; i++) p[i] = i * 1.5;
+                double *q = p + 2;
+                printf("%g %g\n", q[0], *q + q[1]);
+                return 0;
+              }|}
+        in
+        check string_ "pointer arithmetic" "3 7.5\n" out);
+    Alcotest.test_case "functions, recursion, coercions" `Quick (fun () ->
+        let _, out =
+          interp_run
+            {|int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+              double half(int x) { return x / 2.0; }
+              int main(void) {
+                printf("%d %g\n", fib(10), half(7));
+                return 0;
+              }|}
+        in
+        check string_ "fib and coercion" "55 3.5\n" out);
+    Alcotest.test_case "local arrays, while, compound assign" `Quick
+      (fun () ->
+        let _, out =
+          interp_run
+            {|int main(void) {
+                double acc[4];
+                int i = 0;
+                while (i < 4) { acc[i] = i * i; i++; }
+                double sum = 0.0;
+                for (int j = 0; j < 4; j++) sum += acc[j];
+                printf("%.1f\n", sum);
+                return 0;
+              }|}
+        in
+        check string_ "sum of squares" "14.0\n" out);
+    Alcotest.test_case "builtins" `Quick (fun () ->
+        let _, out =
+          interp_run
+            {|int main(void) {
+                printf("%g %g %g %d\n", sqrt(16.0), fabs(0.0 - 2.5), fmax(1.0, 3.0), abs(0 - 7));
+                return 0;
+              }|}
+        in
+        check string_ "math builtins" "4 2.5 3 7\n" out);
+    Alcotest.test_case "exit code from main" `Quick (fun () ->
+        let code, _ = interp_run "int main(void) { return 42; }" in
+        check int_ "code" 42 code);
+    Alcotest.test_case "runtime errors reported" `Quick (fun () ->
+        List.iter
+          (fun src ->
+            match Runnable.run_serial (parse src) with
+            | Ok _ -> Alcotest.failf "expected runtime error in %s" src
+            | Error _ -> ())
+          [
+            "int main(void) { int x = 1 / 0; return x; }";
+            "int main(void) { double *p = malloc(8); return (int)p[5]; }";
+            "int main(void) { return missing(); }";
+            "int main(void) { while (1) { } return 0; }";
+          ]);
+    Alcotest.test_case "pointer difference and comparisons" `Quick
+      (fun () ->
+        let _, out =
+          interp_run
+            {|int main(void) {
+                double *p = malloc(10 * sizeof(double));
+                double *q = p + 7;
+                printf("%d %d %d\n", (int)(q - p), p < q ? 1 : 0, q == q);
+                return 0;
+              }|}
+        in
+        check string_ "diff" "7 1 1\n" out);
+    Alcotest.test_case "do-while and comma" `Quick (fun () ->
+        let _, out =
+          interp_run
+            {|int main(void) {
+                int i = 0, total = 0;
+                do { total += i; i++; } while (i < 5);
+                printf("%d\n", total);
+                return 0;
+              }|}
+        in
+        check string_ "sum" "10\n" out);
+    Alcotest.test_case "global variables and #define constants" `Quick
+      (fun () ->
+        let _, out =
+          interp_run
+            {|#define SCALE 3
+int counter = 10;
+int bump(void) { counter += SCALE; return counter; }
+int main(void) {
+  bump();
+  bump();
+  printf("%d\n", counter);
+  return 0;
+}|}
+        in
+        check string_ "16" "16\n" out);
+    Alcotest.test_case "printf width and precision" `Quick (fun () ->
+        let _, out =
+          interp_run
+            {|int main(void) {
+                printf("[%5d] [%-4d] [%8.3f] [%e]\n", 42, 7, 3.14159, 1234.5);
+                return 0;
+              }|}
+        in
+        check string_ "formatted" "[   42] [7   ] [   3.142] [1.234500e+03]\n"
+          out);
+    Alcotest.test_case "pre/post increment on array cells" `Quick (fun () ->
+        let _, out =
+          interp_run
+            {|int main(void) {
+                double a[3];
+                a[0] = 5.0;
+                double x = a[0]++;
+                double y = ++a[0];
+                printf("%g %g %g\n", x, y, a[0]);
+                return 0;
+              }|}
+        in
+        check string_ "values" "5 7 7\n" out);
+    Alcotest.test_case "bitwise and shifts" `Quick (fun () ->
+        let _, out =
+          interp_run
+            {|int main(void) {
+                int x = 12;
+                printf("%d %d %d %d %d\n", x & 10, x | 3, x ^ 5, x << 2, x >> 1);
+                return 0;
+              }|}
+        in
+        check string_ "bits" "8 15 9 48 6\n" out);
+    Alcotest.test_case "casts truncate and extend" `Quick (fun () ->
+        let _, out =
+          interp_run
+            {|int main(void) {
+                double d = 7.9;
+                int i = (int)d;
+                double back = (double)i / 2;
+                printf("%d %g\n", i, back);
+                return 0;
+              }|}
+        in
+        check string_ "cast" "7 3.5\n" out);
+    Alcotest.test_case "serial vecadd program output" `Quick (fun () ->
+        (* sum_{i<64} 3i = 3 * 64*63/2 = 6048 *)
+        let _, out = interp_run vecadd_program in
+        check string_ "sum" "sum=6048\n" out);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Codegen                                                             *)
+
+let translate platform src =
+  let repo = Repository.create () in
+  match Codegen.translate ~repo ~platform (parse src) with
+  | Ok out -> out
+  | Error msgs -> Alcotest.failf "translate: %s" (String.concat "; " msgs)
+
+let codegen_tests =
+  [
+    Alcotest.test_case "generated source re-parses" `Quick (fun () ->
+        let out = translate gpus dgemm_program in
+        match Minic.Parser.parse out.gen_source with
+        | Ok _ -> ()
+        | Error e ->
+            Alcotest.failf "generated source does not parse: %s\n%s"
+              (Minic.Parser.error_to_string e) out.gen_source);
+    Alcotest.test_case "execute sites become runtime calls" `Quick (fun () ->
+        let out = translate gpus dgemm_program in
+        check bool_ "submit" true (contains out.gen_source "cascabel_submit");
+        check bool_ "register distributed" true
+          (contains out.gen_source "cascabel_register_distributed");
+        check bool_ "wait" true (contains out.gen_source "cascabel_wait_all");
+        check bool_ "group in submit" true
+          (contains out.gen_source "\"executionset01\"");
+        check bool_ "init names platform" true
+          (contains out.gen_source "cascabel_init(\"xeon-2gpu\")");
+        check bool_ "shutdown" true
+          (contains out.gen_source "cascabel_shutdown()");
+        check bool_ "no pragmas left" false
+          (contains out.gen_source "#pragma cascabel"));
+    Alcotest.test_case "pruned variants dropped from output" `Quick
+      (fun () ->
+        let out = translate smp dgemm_program in
+        check bool_ "fallback kept" true
+          (contains out.gen_source "dgemm_kernel(");
+        check bool_ "gpu variant dropped" false
+          (contains out.gen_source "dgemm_kernel_ocl"));
+    Alcotest.test_case "kept variants registered in main" `Quick (fun () ->
+        let out = translate gpus dgemm_program in
+        check bool_ "gpu variant registered" true
+          (contains out.gen_source
+             "cascabel_register_variant(\"Idgemm\", \"dgemm_ocl\", \"gpu\")"));
+    Alcotest.test_case "repository variants can come from other files"
+      `Quick (fun () ->
+        (* A variant registered separately (the shared repository) is
+           included in the output even though this unit never defined
+           it. *)
+        let repo = Repository.create () in
+        let library_unit =
+          parse
+            {|#pragma cascabel task : Cuda : Idgemm : dgemm_cublas : (A: read, B: read, C: readwrite)
+void dgemm_cublas_kernel(double *A, double *B, double *C, int m, int n) { }
+|}
+        in
+        let _ = Repository.register_unit repo library_unit in
+        let input =
+          parse
+            {|#pragma cascabel task : x86 : Idgemm : dgemm_seq : (A: read, B: read, C: readwrite)
+void dgemm_kernel(double *A, double *B, double *C, int m, int n) { }
+int main(void) {
+  double *A = malloc(8);
+  #pragma cascabel execute Idgemm : executionset01
+  dgemm_kernel(A, A, A, 1, 1);
+  return 0;
+}
+|}
+        in
+        match Codegen.translate ~repo ~platform:gpus input with
+        | Error msgs -> Alcotest.fail (String.concat "; " msgs)
+        | Ok out ->
+            check bool_ "library variant included" true
+              (contains out.gen_source "dgemm_cublas_kernel"));
+    Alcotest.test_case "makefile derives platform compilers" `Quick
+      (fun () ->
+        let out_gpu = translate gpus dgemm_program in
+        check bool_ "nvcc on gpu platform" true
+          (contains out_gpu.makefile "nvcc");
+        let out_smp = translate smp dgemm_program in
+        check bool_ "no nvcc on smp" false (contains out_smp.makefile "nvcc");
+        check bool_ "gcc everywhere" true (contains out_smp.makefile "gcc"));
+    Alcotest.test_case "unknown group collected as error" `Quick (fun () ->
+        let repo = Repository.create () in
+        let bad =
+          parse
+            {|#pragma cascabel task : x86 : I : v : (A: read)
+void f(double *A) { }
+int main(void) {
+  double *A = malloc(8);
+  #pragma cascabel execute I : gondwana
+  f(A);
+  return 0;
+}
+|}
+        in
+        match Codegen.translate ~repo ~platform:smp bad with
+        | Ok _ -> Alcotest.fail "expected group error"
+        | Error msgs ->
+            check bool_ "names group" true
+              (List.exists (fun m -> contains m "gondwana") msgs));
+    Alcotest.test_case "sites are reported" `Quick (fun () ->
+        let out = translate gpus dgemm_program in
+        match out.sites with
+        | [ site ] ->
+            check string_ "interface" "Idgemm" site.x_interface;
+            check string_ "group" "executionset01" site.x_group;
+            check int_ "dists" 2 (List.length site.x_dists)
+        | _ -> Alcotest.fail "expected one site");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Mapping (paper §IV-B)                                               *)
+
+let mapping_tests =
+  [
+    Alcotest.test_case "heterogeneous group maps each PU to its variant"
+      `Quick (fun () ->
+        let repo = Repository.create () in
+        let _ = Repository.register_unit repo (parse dgemm_program) in
+        let sel =
+          Result.get_ok (Preselect.select_interface repo gpus "Idgemm")
+        in
+        match Mapping.map_site sel gpus ~group:"executionset01" with
+        | Error e -> Alcotest.fail e
+        | Ok m ->
+            check int_ "three PUs mapped" 3 (List.length m.m_assignments);
+            check int_ "none unmapped" 0 (List.length m.m_unmapped);
+            let variant_of id =
+              (List.find
+                 (fun a -> a.Mapping.a_pu.Pdl_model.Machine.pu_id = id)
+                 m.m_assignments)
+                .Mapping.a_variant
+                .Repository.v_name
+            in
+            check string_ "cpu pool runs fallback" "dgemm_seq"
+              (variant_of "cpu-cores");
+            check string_ "gpu0 runs ocl" "dgemm_ocl" (variant_of "gpu0");
+            check string_ "gpu1 runs ocl" "dgemm_ocl" (variant_of "gpu1"));
+    Alcotest.test_case "transfer paths derived from interconnects" `Quick
+      (fun () ->
+        let repo = Repository.create () in
+        let _ = Repository.register_unit repo (parse dgemm_program) in
+        let sel =
+          Result.get_ok (Preselect.select_interface repo gpus "Idgemm")
+        in
+        let m =
+          Result.get_ok (Mapping.map_site sel gpus ~group:"gpus")
+        in
+        List.iter
+          (fun a ->
+            check
+              (Alcotest.list string_)
+              ("path to " ^ a.Mapping.a_pu.Pdl_model.Machine.pu_id)
+              [ "host"; a.Mapping.a_pu.Pdl_model.Machine.pu_id ]
+              a.Mapping.a_path)
+          m.m_assignments);
+    Alcotest.test_case "cpu-only selection leaves gpus unmapped" `Quick
+      (fun () ->
+        (* On the smp platform only the fallback is kept; map it onto
+           the 2gpu platform's full group and the gpus are unmapped. *)
+        let repo = Repository.create () in
+        let _ = Repository.register_unit repo (parse dgemm_program) in
+        let sel_smp =
+          Result.get_ok (Preselect.select_interface repo smp "Idgemm")
+        in
+        let m =
+          Result.get_ok (Mapping.map_site sel_smp gpus ~group:"executionset01")
+        in
+        check int_ "cpu mapped" 1 (List.length m.m_assignments);
+        check int_ "gpus unmapped" 2 (List.length m.m_unmapped));
+    Alcotest.test_case "unknown group is an error" `Quick (fun () ->
+        let repo = Repository.create () in
+        let _ = Repository.register_unit repo (parse dgemm_program) in
+        let sel =
+          Result.get_ok (Preselect.select_interface repo gpus "Idgemm")
+        in
+        match Mapping.map_site sel gpus ~group:"atlantis" with
+        | Ok _ -> Alcotest.fail "expected error"
+        | Error e -> check bool_ "names group" true (contains e "atlantis"));
+    Alcotest.test_case "report mentions every assignment" `Quick (fun () ->
+        let repo = Repository.create () in
+        let _ = Repository.register_unit repo (parse dgemm_program) in
+        let sel =
+          Result.get_ok (Preselect.select_interface repo gpus "Idgemm")
+        in
+        let m =
+          Result.get_ok (Mapping.map_site sel gpus ~group:"executionset01")
+        in
+        let r = Mapping.report [ m ] in
+        check bool_ "gpu0" true (contains r "gpu0");
+        check bool_ "data path" true (contains r "data path");
+        check bool_ "quantity" true (contains r "x8"));
+    Alcotest.test_case "codegen output carries the mappings" `Quick
+      (fun () ->
+        let out = translate gpus dgemm_program in
+        match out.mappings with
+        | [ m ] ->
+            check string_ "interface" "Idgemm" m.Mapping.m_interface;
+            check int_ "assignments" 3 (List.length m.Mapping.m_assignments)
+        | _ -> Alcotest.fail "expected one mapping");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: translated execution vs serial                          *)
+
+let run_translated ?policy ?blocks platform src =
+  let repo = Repository.create () in
+  match Runnable.run ?policy ?blocks ~repo ~platform (parse src) with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "run: %s" e
+
+let e2e_tests =
+  [
+    Alcotest.test_case "vecadd: translated output equals serial" `Quick
+      (fun () ->
+        let _, serial_out = interp_run vecadd_program in
+        let r = run_translated gpus vecadd_program in
+        check string_ "same stdout" serial_out r.stdout;
+        check int_ "exit code" 0 r.exit_code;
+        check bool_ "decomposed into blocks" true (r.tasks_submitted > 1));
+    Alcotest.test_case "dgemm: translated output equals serial on smp"
+      `Quick (fun () ->
+        let _, serial_out = interp_run dgemm_program in
+        let r = run_translated smp dgemm_program in
+        check string_ "same stdout" serial_out r.stdout;
+        check int_ "8 blocks (one per cpu worker)" 8 r.tasks_submitted);
+    Alcotest.test_case "dgemm: translated output equals serial on 2gpu"
+      `Quick (fun () ->
+        let _, serial_out = interp_run dgemm_program in
+        let r = run_translated gpus dgemm_program in
+        check string_ "same stdout" serial_out r.stdout);
+    Alcotest.test_case "every policy preserves semantics" `Quick (fun () ->
+        let _, serial_out = interp_run dgemm_program in
+        List.iter
+          (fun policy ->
+            let r = run_translated ~policy gpus dgemm_program in
+            check string_
+              (Taskrt.Engine.policy_to_string policy)
+              serial_out r.stdout)
+          Taskrt.Engine.[ Eager; Heft; Locality_ws; Random_place ]);
+    Alcotest.test_case "blocks override controls decomposition" `Quick
+      (fun () ->
+        let r = run_translated ~blocks:4 smp dgemm_program in
+        check int_ "4 tasks" 4 r.tasks_submitted;
+        check
+          (Alcotest.list (Alcotest.pair string_ int_))
+          "per site" [ ("Idgemm", 4) ] r.per_site_blocks);
+    Alcotest.test_case "gpu workers actually execute dgemm blocks" `Quick
+      (fun () ->
+        let r = run_translated ~policy:Taskrt.Engine.Eager gpus dgemm_program in
+        let gpu_tasks =
+          Array.fold_left
+            (fun acc ws ->
+              if ws.Taskrt.Engine.ws_worker.Taskrt.Machine_config.w_arch = "gpu"
+              then acc + ws.Taskrt.Engine.tasks_run
+              else acc)
+            0 r.stats.worker_stats
+        in
+        check bool_ "gpus participated" true (gpu_tasks > 0));
+    Alcotest.test_case "serial code sees task results (acquire)" `Quick
+      (fun () ->
+        (* The final checksum loop reads C after the execute; the
+           drain-on-access hook must have flushed the tasks. This is
+           implicitly covered by equality with serial output, but
+           check the explicit value too: sum over C of A*B. *)
+        let _, out = interp_run dgemm_program in
+        check bool_ "checksum printed" true (contains out "checksum=");
+        let r = run_translated gpus dgemm_program in
+        check string_ "translated checksum equal" out r.stdout);
+    Alcotest.test_case "chained executes keep sequential consistency"
+      `Quick (fun () ->
+        let program =
+          {|#define N 32
+#pragma cascabel task : x86 : Iscale : scale01 : (A: readwrite)
+void scale(double *A, int n)
+{
+  for (int i = 0; i < n; i++)
+    A[i] = A[i] * 2.0;
+}
+
+int main(void)
+{
+  double *A = malloc(N * sizeof(double));
+  for (int i = 0; i < N; i++) A[i] = 1.0;
+  #pragma cascabel execute Iscale : executionset01 (A:BLOCK:n)
+  scale(A, N);
+  #pragma cascabel execute Iscale : executionset01 (A:BLOCK:n)
+  scale(A, N);
+  double sum = 0.0;
+  for (int i = 0; i < N; i++) sum += A[i];
+  printf("%g\n", sum);
+  return 0;
+}
+|}
+        in
+        let _, serial_out = interp_run program in
+        check string_ "serial is 128" "128\n" serial_out;
+        let r = run_translated smp program in
+        check string_ "translated matches" serial_out r.stdout);
+    Alcotest.test_case "group restriction to gpus only" `Quick (fun () ->
+        let program =
+          {|#define N 16
+#pragma cascabel task : x86 : Iv : v_cpu : (A: readwrite)
+void addone(double *A, int n)
+{
+  for (int i = 0; i < n; i++) A[i] += 1.0;
+}
+
+#pragma cascabel task : Cuda : Iv : v_gpu : (A: readwrite)
+void addone_gpu(double *A, int n)
+{
+  for (int i = 0; i < n; i++) A[i] += 1.0;
+}
+
+int main(void)
+{
+  double *A = malloc(N * sizeof(double));
+  #pragma cascabel execute Iv : gpus (A:BLOCK:n)
+  addone(A, N);
+  printf("%g\n", A[0] + A[N - 1]);
+  return 0;
+}
+|}
+        in
+        let r = run_translated ~policy:Taskrt.Engine.Eager gpus program in
+        check string_ "result" "2\n" r.stdout;
+        Array.iter
+          (fun ws ->
+            if ws.Taskrt.Engine.ws_worker.Taskrt.Machine_config.w_arch = "cpu"
+            then
+              check int_ "cpu idle" 0 ws.Taskrt.Engine.tasks_run)
+          r.stats.worker_stats);
+    Alcotest.test_case "execute on cpu-only group with gpu-only variant fails"
+      `Quick (fun () ->
+        let program =
+          {|#pragma cascabel task : Cuda : Iv : v_gpu : (A: readwrite)
+void addone(double *A, int n) { A[0] += 1.0; }
+int main(void) {
+  double *A = malloc(8);
+  #pragma cascabel execute Iv : cpus (A:BLOCK:n)
+  addone(A, 1);
+  return 0;
+}
+|}
+        in
+        let repo = Repository.create () in
+        match Runnable.run ~repo ~platform:gpus (parse program) with
+        | Ok _ -> Alcotest.fail "expected failure"
+        | Error e -> check bool_ "informative" true (String.length e > 0));
+    Alcotest.test_case "interior pointer rejected" `Quick (fun () ->
+        let program =
+          {|#define N 16
+#pragma cascabel task : x86 : Iv : v1 : (A: readwrite)
+void addone(double *A, int n)
+{
+  for (int i = 0; i < n; i++) A[i] += 1.0;
+}
+int main(void) {
+  double *A = malloc(N * sizeof(double));
+  #pragma cascabel execute Iv : executionset01 (A:BLOCK:n)
+  addone(A + 2, 4);
+  return 0;
+}
+|}
+        in
+        let repo = Repository.create () in
+        match Runnable.run ~repo ~platform:smp (parse program) with
+        | Ok _ -> Alcotest.fail "expected failure"
+        | Error e ->
+            check bool_ "mentions allocations" true (contains e "allocation"));
+    Alcotest.test_case "global dist size runs as one whole task" `Quick
+      (fun () ->
+        (* Size names the #define, not a parameter: decomposition is
+           impossible, so exactly one task runs — still correct. *)
+        let program =
+          {|#define N 16
+#pragma cascabel task : x86 : Iv : v1 : (A: readwrite)
+void addone(double *A, int n)
+{
+  for (int i = 0; i < n; i++) A[i] += 1.0;
+}
+int main(void) {
+  double *A = malloc(N * sizeof(double));
+  #pragma cascabel execute Iv : executionset01 (A:BLOCK:N)
+  addone(A, N);
+  printf("%g\n", A[0] + A[15]);
+  return 0;
+}
+|}
+        in
+        let r = run_translated smp program in
+        check int_ "one task" 1 r.tasks_submitted;
+        check string_ "correct" "2\n" r.stdout);
+    Alcotest.test_case "buffer reshaped between executes" `Quick (fun () ->
+        (* The same allocation is used as a 16-row matrix first and a
+           4-row matrix second; the runtime must drain and re-register
+           between shapes. *)
+        let program =
+          {|#define N 16
+#pragma cascabel task : x86 : Iv : v1 : (A: readwrite)
+void addone(double *A, int n)
+{
+  for (int i = 0; i < n; i++) A[i] += 1.0;
+}
+int main(void) {
+  double *A = malloc(N * sizeof(double));
+  #pragma cascabel execute Iv : executionset01 (A:BLOCK:n)
+  addone(A, N);
+  #pragma cascabel execute Iv : executionset01 (A:BLOCK:n)
+  addone(A, 4);
+  double sum = 0.0;
+  for (int i = 0; i < N; i++) sum += A[i];
+  printf("%g\n", sum);
+  return 0;
+}
+|}
+        in
+        let _, serial_out = interp_run program in
+        check string_ "serial 20" "20\n" serial_out;
+        let r = run_translated smp program in
+        check string_ "translated matches" serial_out r.stdout);
+    Alcotest.test_case "two independent buffers pipeline without draining"
+      `Quick (fun () ->
+        (* Executes on disjoint data should not force a drain between
+           them; both complete and the final reads see both. *)
+        let program =
+          {|#define N 8
+#pragma cascabel task : x86 : Iv : v1 : (A: readwrite)
+void addone(double *A, int n)
+{
+  for (int i = 0; i < n; i++) A[i] += 1.0;
+}
+int main(void) {
+  double *A = malloc(N * sizeof(double));
+  double *B = malloc(N * sizeof(double));
+  #pragma cascabel execute Iv : executionset01 (A:BLOCK:n)
+  addone(A, N);
+  #pragma cascabel execute Iv : executionset01 (A:BLOCK:n)
+  addone(B, N);
+  printf("%g %g\n", A[0], B[0]);
+  return 0;
+}
+|}
+        in
+        let r = run_translated smp program in
+        check string_ "both updated" "1 1\n" r.stdout);
+    Alcotest.test_case "paper flow: same program, two PDLs, no edits"
+      `Quick (fun () ->
+        (* The Figure 5 set-up in miniature: one input program,
+           translated for two different descriptors. *)
+        let _, serial_out = interp_run dgemm_program in
+        let r_smp = run_translated ~policy:Taskrt.Engine.Heft smp dgemm_program in
+        let r_gpu = run_translated ~policy:Taskrt.Engine.Heft gpus dgemm_program in
+        check string_ "smp correct" serial_out r_smp.stdout;
+        check string_ "gpu correct" serial_out r_gpu.stdout;
+        (* No speed claim at this tiny size — PCIe transfers dominate
+           (the size-sweep bench measures the crossover). Both runs
+           must simply have progressed in virtual time. *)
+        check bool_ "both advanced time" true
+          (r_gpu.stats.makespan > 0.0 && r_smp.stats.makespan > 0.0));
+  ]
+
+(* Property: translated vecadd equals serial for random sizes and
+   block counts. *)
+let vecadd_src n =
+  Printf.sprintf
+    {|#define N %d
+
+#pragma cascabel task : x86 : Ivecadd : vecadd01 : (A: readwrite, B: read)
+void vectoradd(double *A, double *B, int n)
+{
+  for (int i = 0; i < n; i++)
+    A[i] = A[i] + B[i];
+}
+
+int main(void)
+{
+  double *A = malloc(N * sizeof(double));
+  double *B = malloc(N * sizeof(double));
+  for (int i = 0; i < N; i++) {
+    A[i] = i * 0.5;
+    B[i] = i;
+  }
+  #pragma cascabel execute Ivecadd : executionset01 (A:BLOCK:n, B:BLOCK:n)
+  vectoradd(A, B, N);
+  double sum = 0.0;
+  for (int i = 0; i < N; i++)
+    sum += A[i];
+  printf("%%.4f\n", sum);
+  return 0;
+}
+|}
+    n
+
+let translated_equals_serial =
+  QCheck.Test.make ~name:"translated vecadd equals serial interpretation"
+    ~count:25
+    QCheck.(pair (int_range 1 50) (int_range 1 12))
+    (fun (n, blocks) ->
+      let src = vecadd_src n in
+      let unit_ = Result.get_ok (Minic.Parser.parse src) in
+      let serial = Result.get_ok (Runnable.run_serial unit_) in
+      let repo = Repository.create () in
+      match Runnable.run ~blocks ~repo ~platform:gpus unit_ with
+      | Ok r -> r.stdout = snd serial && r.exit_code = fst serial
+      | Error e -> QCheck.Test.fail_reportf "run failed: %s" e)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "cascabel"
+    [
+      ("targets", targets_tests);
+      ("repository", repo_tests);
+      ("interp", interp_tests);
+      ("codegen", codegen_tests);
+      ("mapping", mapping_tests);
+      ("e2e", e2e_tests);
+      ("properties", qt [ translated_equals_serial ]);
+    ]

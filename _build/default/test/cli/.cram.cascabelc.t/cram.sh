@@ -1,0 +1,26 @@
+  $ alias cascabelc=../../bin/cascabelc.exe
+  $ alias pdl_tool=../../bin/pdl_tool.exe
+  $ cp ../../examples/programs/dgemm.c dgemm.c
+  $ cascabelc run dgemm.c --serial
+  $ cascabelc report dgemm.c --zoo xeon-x5550-smp
+  $ cascabelc report dgemm.c --zoo xeon-2gpu
+  $ cascabelc translate dgemm.c --zoo xeon-x5550-smp | grep -c dgemm_cublas
+  $ cascabelc translate dgemm.c --zoo xeon-2gpu | grep -c dgemm_cublas
+  $ cascabelc translate dgemm.c --zoo xeon-2gpu | grep cascabel_submit
+  $ cascabelc translate dgemm.c --zoo xeon-2gpu --makefile -o /dev/null | grep -c nvcc
+  $ cascabelc translate dgemm.c --zoo xeon-x5550-smp --makefile -o /dev/null | grep -c nvcc
+  $ cascabelc run dgemm.c --zoo xeon-x5550-smp --policy eager
+  $ cascabelc run dgemm.c --zoo xeon-2gpu --policy heft
+  $ cat > badgroup.c <<'EOF'
+  > #pragma cascabel task : x86 : I : v : (A: readwrite)
+  > void f(double *A, int n) { A[0] = 1.0; }
+  > int main(void) {
+  >   double *A = malloc(8);
+  >   #pragma cascabel execute I : gondwana
+  >   f(A, 1);
+  >   return 0;
+  > }
+  > EOF
+  $ cascabelc translate badgroup.c --zoo xeon-2gpu
+  $ pdl_tool render --zoo xeon-2gpu > machine.pdl
+  $ cascabelc run dgemm.c --pdl machine.pdl

@@ -1,0 +1,17 @@
+  $ alias pdl_tool=../../bin/pdl_tool.exe
+  $ pdl_tool zoo
+  $ pdl_tool validate --zoo cell-qs20
+  $ pdl_tool render --zoo xeon-single > single.pdl
+  $ pdl_tool validate single.pdl
+  $ pdl_tool query --zoo xeon-2gpu "//Worker"
+  $ pdl_tool query --zoo xeon-2gpu "//Worker[@id='gpu1']"
+  $ pdl_tool groups --zoo xeon-2gpu
+  $ pdl_tool match --zoo xeon-2gpu "Master[Worker{ARCHITECTURE=gpu}@dev]"
+  $ pdl_tool match --zoo xeon-x5550-smp "Master[Worker{ARCHITECTURE=gpu}]"
+  $ pdl_tool view --zoo cell-qs20 flatten | grep -c "<Hybrid"
+  $ pdl_tool view --zoo cell-qs20 flatten | grep -c "<Worker"
+  $ pdl_tool probe --gpus 1 | grep -m1 DEVICE_NAME
+  $ pdl_tool probe --gpus 1 --hwloc
+  $ pdl_tool render --zoo xeon-single > a.pdl
+  $ pdl_tool diff a.pdl a.pdl
+  $ pdl_tool validate --zoo no-such-platform

@@ -1,0 +1,86 @@
+The cascabelc CLI: translation, pre-selection report, serial and
+translated execution of the case-study program.
+
+  $ alias cascabelc=../../bin/cascabelc.exe
+  $ alias pdl_tool=../../bin/pdl_tool.exe
+  $ cp ../../examples/programs/dgemm.c dgemm.c
+
+The serial baseline interprets the untranslated program:
+
+  $ cascabelc run dgemm.c --serial
+  checksum=408625.500
+
+Pre-selection against two descriptors:
+
+  $ cascabelc report dgemm.c --zoo xeon-x5550-smp
+  interface Idgemm:
+    dgemm_blas           kept (target x86, specificity 1) [chosen]
+    dgemm_cublas         pruned (no target pattern matches)
+  2 variants: 1 kept, 1 pruned
+  
+  task Idgemm -> group executionset01:
+    cpu-cores    x8   runs dgemm_blas        (data path host -> cpu-cores)
+
+  $ cascabelc report dgemm.c --zoo xeon-2gpu
+  interface Idgemm:
+    dgemm_blas           kept (target x86, specificity 1)
+    dgemm_cublas         kept (target Cuda, specificity 3) [chosen]
+  2 variants: 2 kept, 0 pruned
+  
+  task Idgemm -> group executionset01:
+    cpu-cores    x8   runs dgemm_blas        (data path host -> cpu-cores)
+    gpu0         x1   runs dgemm_cublas      (data path host -> gpu0)
+    gpu1         x1   runs dgemm_cublas      (data path host -> gpu1)
+
+Translation emits runtime calls and keeps only suitable variants; the
+GPU variant is dropped for the CPU-only target:
+
+  $ cascabelc translate dgemm.c --zoo xeon-x5550-smp | grep -c dgemm_cublas
+  0
+  [1]
+
+  $ cascabelc translate dgemm.c --zoo xeon-2gpu | grep -c dgemm_cublas
+  2
+
+  $ cascabelc translate dgemm.c --zoo xeon-2gpu | grep cascabel_submit
+      cascabel_submit("Idgemm", "executionset01", __cascabel_h1, __cascabel_h2, __cascabel_h3, N, N);
+
+The compilation plan follows the PDL (nvcc only where a GPU exists):
+
+  $ cascabelc translate dgemm.c --zoo xeon-2gpu --makefile -o /dev/null | grep -c nvcc
+  1
+
+  $ cascabelc translate dgemm.c --zoo xeon-x5550-smp --makefile -o /dev/null | grep -c nvcc
+  0
+  [1]
+
+Executing the translated program on simulated machines gives the same
+output as the serial run:
+
+  $ cascabelc run dgemm.c --zoo xeon-x5550-smp --policy eager
+  checksum=408625.500
+
+  $ cascabelc run dgemm.c --zoo xeon-2gpu --policy heft
+  checksum=408625.500
+
+Unknown execution groups are compile errors:
+
+  $ cat > badgroup.c <<'EOF'
+  > #pragma cascabel task : x86 : I : v : (A: readwrite)
+  > void f(double *A, int n) { A[0] = 1.0; }
+  > int main(void) {
+  >   double *A = malloc(8);
+  >   #pragma cascabel execute I : gondwana
+  >   f(A, 1);
+  >   return 0;
+  > }
+  > EOF
+  $ cascabelc translate badgroup.c --zoo xeon-2gpu
+  execution group "gondwana" is not a LogicGroupAttribute of platform "xeon-2gpu" (available: cpus, executionset01, gpus)
+  [1]
+
+A file-based PDL descriptor works like a zoo platform:
+
+  $ pdl_tool render --zoo xeon-2gpu > machine.pdl
+  $ cascabelc run dgemm.c --pdl machine.pdl
+  checksum=408625.500

@@ -1,0 +1,93 @@
+The pdl_tool CLI: zoo listing, validation, queries, pattern matching,
+views, probing, diffing.
+
+  $ alias pdl_tool=../../bin/pdl_tool.exe
+
+List the predefined platforms:
+
+  $ pdl_tool zoo
+  xeon-single        2 PUs, 2 units, groups: cpus, executionset01
+  xeon-x5550-smp     2 PUs, 9 units, groups: cpus, executionset01
+  xeon-2gpu          4 PUs, 11 units, groups: cpus, executionset01, gpus
+  cell-qs20          3 PUs, 10 units, groups: simd, executionset01
+  laptop-igpu        3 PUs, 4 units, groups: cpus, executionset01, gpus
+  opencl-quad-gpu    6 PUs, 13 units, groups: cpus, executionset01, gpus
+  dual-host          6 PUs, 12 units, groups: cpus, executionset01, gpus
+
+Validate a zoo platform:
+
+  $ pdl_tool validate --zoo cell-qs20
+  valid: 3 PUs (10 physical units), depth 3
+
+Render one, save it, and validate the file round trip:
+
+  $ pdl_tool render --zoo xeon-single > single.pdl
+  $ pdl_tool validate single.pdl
+  valid: 2 PUs (2 physical units), depth 2
+
+Path queries select processing units:
+
+  $ pdl_tool query --zoo xeon-2gpu "//Worker"
+  Worker cpu-cores (x86_64)
+  Worker gpu0 (gpu)
+  Worker gpu1 (gpu)
+
+  $ pdl_tool query --zoo xeon-2gpu "//Worker[@id='gpu1']"
+  Worker gpu1 (gpu)
+
+Logic groups (the execute annotation's execution sets):
+
+  $ pdl_tool groups --zoo xeon-2gpu
+  cpus: cpu-cores
+  executionset01: cpu-cores, gpu0, gpu1
+  gpus: gpu0, gpu1
+
+Platform patterns with bindings:
+
+  $ pdl_tool match --zoo xeon-2gpu "Master[Worker{ARCHITECTURE=gpu}@dev]"
+  match at host (dev=gpu0)
+
+  $ pdl_tool match --zoo xeon-x5550-smp "Master[Worker{ARCHITECTURE=gpu}]"
+  no match
+  [1]
+
+Logical views transform descriptors; flattening the Cell blade gives
+the host-device view:
+
+  $ pdl_tool view --zoo cell-qs20 flatten | grep -c "<Hybrid"
+  0
+  [1]
+
+  $ pdl_tool view --zoo cell-qs20 flatten | grep -c "<Worker"
+  2
+
+Probing generates a PDL descriptor (OpenCL-style properties, unfixed):
+
+  $ pdl_tool probe --gpus 1 | grep -m1 DEVICE_NAME
+            <ocl:name>DEVICE_NAME</ocl:name>
+
+  $ pdl_tool probe --gpus 1 --hwloc
+  Machine (probed-host)
+    Package P#0 (Intel Xeon X5550, L3 8192kB)
+      Core C#0 (2660 MHz, 2 threads)
+      Core C#1 (2660 MHz, 2 threads)
+      Core C#2 (2660 MHz, 2 threads)
+      Core C#3 (2660 MHz, 2 threads)
+    Package P#1 (Intel Xeon X5550, L3 8192kB)
+      Core C#4 (2660 MHz, 2 threads)
+      Core C#5 (2660 MHz, 2 threads)
+      Core C#6 (2660 MHz, 2 threads)
+      Core C#7 (2660 MHz, 2 threads)
+    CoProc (PCIe) "GeForce GTX 480" (15 CUs, 1572864 kB global)
+
+Diff two descriptors:
+
+  $ pdl_tool render --zoo xeon-single > a.pdl
+  $ pdl_tool diff a.pdl a.pdl
+  platforms are equivalent
+
+Errors are reported with non-zero exit:
+
+  $ pdl_tool validate --zoo no-such-platform
+  unknown zoo platform "no-such-platform" (available: xeon-single, xeon-x5550-smp, xeon-2gpu, cell-qs20, laptop-igpu, opencl-quad-gpu, dual-host)
+  [1]

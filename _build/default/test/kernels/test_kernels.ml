@@ -1,0 +1,188 @@
+(* Tests for the dense-matrix and BLAS kernels. *)
+
+open Kernels
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let float_ tol = Alcotest.float tol
+
+let matrix_tests =
+  [
+    Alcotest.test_case "create zero-fills" `Quick (fun () ->
+        let m = Matrix.create 3 4 in
+        check (float_ 0.0) "sum" 0.0 (Matrix.checksum m);
+        check (Alcotest.pair int_ int_) "dims" (3, 4) (Matrix.dims m));
+    Alcotest.test_case "init / get / set" `Quick (fun () ->
+        let m = Matrix.init 2 3 (fun i j -> float_of_int ((10 * i) + j)) in
+        check (float_ 0.0) "get" 12.0 (Matrix.get m 1 2);
+        Matrix.set m 1 2 99.0;
+        check (float_ 0.0) "set" 99.0 (Matrix.get m 1 2));
+    Alcotest.test_case "identity multiplies to itself" `Quick (fun () ->
+        let i3 = Matrix.identity 3 in
+        let c = Matrix.create 3 3 in
+        Blas.dgemm_naive i3 i3 c;
+        check bool_ "I*I = I" true (Matrix.approx_equal i3 c));
+    Alcotest.test_case "random is deterministic per seed" `Quick (fun () ->
+        let a = Matrix.random ~seed:7 5 5 and b = Matrix.random ~seed:7 5 5 in
+        check (float_ 0.0) "same" 0.0 (Matrix.max_abs_diff a b);
+        let c = Matrix.random ~seed:8 5 5 in
+        check bool_ "different seed differs" true
+          (Matrix.max_abs_diff a c > 0.0));
+    Alcotest.test_case "random entries bounded" `Quick (fun () ->
+        let a = Matrix.random ~seed:3 20 20 in
+        check bool_ "in [-1,1)" true
+          (Array.for_all (fun x -> x >= -1.0 && x < 1.0) a.data));
+    Alcotest.test_case "sub_block / set_block round trip" `Quick (fun () ->
+        let m = Matrix.random ~seed:1 8 8 in
+        let b = Matrix.sub_block m ~row:2 ~col:4 ~rows:3 ~cols:2 in
+        check (float_ 0.0) "corner" (Matrix.get m 2 4) (Matrix.get b 0 0);
+        let m2 = Matrix.copy m in
+        Matrix.set_block m2 ~row:2 ~col:4 b;
+        check (float_ 0.0) "unchanged" 0.0 (Matrix.max_abs_diff m m2));
+    Alcotest.test_case "sub_block bounds checked" `Quick (fun () ->
+        let m = Matrix.create 4 4 in
+        match Matrix.sub_block m ~row:2 ~col:2 ~rows:3 ~cols:1 with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "frobenius of known matrix" `Quick (fun () ->
+        let m = Matrix.init 2 2 (fun _ _ -> 2.0) in
+        check (float_ 1e-12) "sqrt(16)" 4.0 (Matrix.frobenius m));
+    Alcotest.test_case "approx_equal scales with magnitude" `Quick (fun () ->
+        let a = Matrix.init 2 2 (fun _ _ -> 1e12) in
+        let b = Matrix.init 2 2 (fun _ _ -> 1e12 +. 1e-3) in
+        check bool_ "relative comparison" true (Matrix.approx_equal a b));
+  ]
+
+let blas_tests =
+  [
+    Alcotest.test_case "dgemm_naive on a known product" `Quick (fun () ->
+        (* [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50] *)
+        let a = Matrix.init 2 2 (fun i j -> float_of_int ((2 * i) + j + 1)) in
+        let b = Matrix.init 2 2 (fun i j -> float_of_int ((2 * i) + j + 5)) in
+        let c = Matrix.create 2 2 in
+        Blas.dgemm_naive a b c;
+        check (float_ 1e-12) "c00" 19.0 (Matrix.get c 0 0);
+        check (float_ 1e-12) "c01" 22.0 (Matrix.get c 0 1);
+        check (float_ 1e-12) "c10" 43.0 (Matrix.get c 1 0);
+        check (float_ 1e-12) "c11" 50.0 (Matrix.get c 1 1));
+    Alcotest.test_case "alpha and beta respected" `Quick (fun () ->
+        let a = Matrix.identity 2 in
+        let b = Matrix.identity 2 in
+        let c = Matrix.init 2 2 (fun _ _ -> 1.0) in
+        Blas.dgemm ~alpha:2.0 ~beta:3.0 a b c;
+        (* c = 2*I + 3*ones *)
+        check (float_ 1e-12) "diag" 5.0 (Matrix.get c 0 0);
+        check (float_ 1e-12) "off" 3.0 (Matrix.get c 0 1));
+    Alcotest.test_case "blocked agrees with naive (square)" `Quick (fun () ->
+        let a = Matrix.random ~seed:1 33 33 in
+        let b = Matrix.random ~seed:2 33 33 in
+        let c1 = Matrix.create 33 33 and c2 = Matrix.create 33 33 in
+        Blas.dgemm_naive a b c1;
+        Blas.dgemm ~block:8 a b c2;
+        check bool_ "equal" true (Matrix.approx_equal ~tol:1e-12 c1 c2));
+    Alcotest.test_case "blocked agrees with naive (rectangular)" `Quick
+      (fun () ->
+        let a = Matrix.random ~seed:3 17 29 in
+        let b = Matrix.random ~seed:4 29 23 in
+        let c1 = Matrix.create 17 23 and c2 = Matrix.create 17 23 in
+        Blas.dgemm_naive a b c1;
+        Blas.dgemm ~block:7 a b c2;
+        check bool_ "equal" true (Matrix.approx_equal ~tol:1e-12 c1 c2));
+    Alcotest.test_case "dgemm rejects shape mismatches" `Quick (fun () ->
+        let a = Matrix.create 2 3 and b = Matrix.create 2 3 in
+        let c = Matrix.create 2 3 in
+        match Blas.dgemm a b c with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "dgemv" `Quick (fun () ->
+        let a = Matrix.init 2 3 (fun i j -> float_of_int ((3 * i) + j + 1)) in
+        let x = [| 1.0; 2.0; 3.0 |] in
+        let y = [| 100.0; 100.0 |] in
+        Blas.dgemv ~alpha:1.0 ~beta:0.0 a x y;
+        check (float_ 1e-12) "y0" 14.0 y.(0);
+        check (float_ 1e-12) "y1" 32.0 y.(1));
+    Alcotest.test_case "daxpy / ddot / dscal / dnrm2" `Quick (fun () ->
+        let x = [| 1.0; 2.0; 3.0 |] and y = [| 10.0; 20.0; 30.0 |] in
+        Blas.daxpy 2.0 x y;
+        check (float_ 1e-12) "daxpy" 12.0 y.(0);
+        check (float_ 1e-12) "ddot" (12.0 +. 48.0 +. 108.0) (Blas.ddot x y);
+        Blas.dscal 0.5 y;
+        check (float_ 1e-12) "dscal" 6.0 y.(0);
+        check (float_ 1e-12) "dnrm2" 5.0 (Blas.dnrm2 [| 3.0; 4.0 |]));
+    Alcotest.test_case "vector_add is the vecadd task" `Quick (fun () ->
+        let a = [| 1.0; 2.0 |] and b = [| 3.0; 4.0 |] in
+        Blas.vector_add a b;
+        check (float_ 1e-12) "a0" 4.0 a.(0);
+        check (float_ 1e-12) "a1" 6.0 a.(1);
+        check (float_ 1e-12) "b untouched" 3.0 b.(0));
+    Alcotest.test_case "flops_dgemm" `Quick (fun () ->
+        check (float_ 0.0) "2mnk" 1_000_000.0 (Blas.flops_dgemm 100 100 50));
+  ]
+
+(* Properties: distributivity of tiled computation — computing C by
+   tiles equals computing C in one piece.  This is the invariant the
+   runtime's data partitioning relies on. *)
+let tiled_equals_whole =
+  QCheck.Test.make ~name:"tile-parallel dgemm equals whole dgemm" ~count:50
+    QCheck.(triple (int_range 1 5) (int_range 1 5) (int_range 1 24))
+    (fun (ti, tj, n) ->
+      let tile_rows = ((n - 1) / ti) + 1 and tile_cols = ((n - 1) / tj) + 1 in
+      let a = Matrix.random ~seed:n n n and b = Matrix.random ~seed:(n + 1) n n in
+      let whole = Matrix.create n n in
+      Blas.dgemm a b whole;
+      let tiled = Matrix.create n n in
+      let row = ref 0 in
+      while !row < n do
+        let rows = min tile_rows (n - !row) in
+        let col = ref 0 in
+        while !col < n do
+          let cols = min tile_cols (n - !col) in
+          let a_strip = Matrix.sub_block a ~row:!row ~col:0 ~rows ~cols:n in
+          let b_strip = Matrix.sub_block b ~row:0 ~col:!col ~rows:n ~cols in
+          let c_tile = Matrix.create rows cols in
+          Blas.dgemm a_strip b_strip c_tile;
+          Matrix.set_block tiled ~row:!row ~col:!col c_tile;
+          col := !col + cols
+        done;
+        row := !row + rows
+      done;
+      Matrix.approx_equal ~tol:1e-12 whole tiled)
+
+let blocked_matches_naive =
+  QCheck.Test.make ~name:"blocked dgemm = naive dgemm for random shapes"
+    ~count:50
+    QCheck.(
+      quad (int_range 1 20) (int_range 1 20) (int_range 1 20) (int_range 1 9))
+    (fun (m, k, n, block) ->
+      let a = Matrix.random ~seed:m m k and b = Matrix.random ~seed:n k n in
+      let c1 = Matrix.init m n (fun i j -> float_of_int (i - j)) in
+      let c2 = Matrix.copy c1 in
+      Blas.dgemm_naive ~alpha:1.5 ~beta:0.5 a b c1;
+      Blas.dgemm ~alpha:1.5 ~beta:0.5 ~block a b c2;
+      Matrix.approx_equal ~tol:1e-12 c1 c2)
+
+let daxpy_linear =
+  QCheck.Test.make ~name:"daxpy is linear" ~count:100
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 20) (float_range (-10.) 10.)) (float_range (-4.) 4.))
+    (fun (xs, alpha) ->
+      let x = Array.of_list xs in
+      let y = Array.make (Array.length x) 1.0 in
+      let y2 = Array.copy y in
+      Blas.daxpy alpha x y;
+      Blas.daxpy (2.0 *. alpha) x y2;
+      (* y2 - y = alpha * x *)
+      Array.for_all2
+        (fun d xi -> Float.abs (d -. (alpha *. xi)) <= 1e-9)
+        (Array.map2 ( -. ) y2 y)
+        x)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "kernels"
+    [
+      ("matrix", matrix_tests);
+      ("blas", blas_tests);
+      ( "properties",
+        qt [ tiled_equals_whole; blocked_matches_naive; daxpy_linear ] );
+    ]

@@ -1,0 +1,513 @@
+(* Tests for the mini-C frontend: lexer, pragma annotations, parser,
+   printer round trips. *)
+
+open Minic
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+let string_ = Alcotest.string
+
+(* The paper's task definition/execution listings, verbatim layout. *)
+let paper_task_listing =
+  {|// Task definition
+#pragma cascabel task : x86
+    : Ivecadd
+    : vecadd01
+    : (A: readwrite,
+       B : read)
+void vectoradd(double *A, double *B) { }
+|}
+
+let paper_execute_listing =
+  {|void caller(double *A, double *B)
+{
+  // Task execution
+  #pragma cascabel execute Ivecadd
+      : executionset01
+      (A:BLOCK:N,
+       B:BLOCK:N)
+  vectoradd(A, B);
+}
+|}
+
+let lexer_tests =
+  [
+    Alcotest.test_case "tokens of a simple declaration" `Quick (fun () ->
+        let toks = List.map fst (Lexer.tokenize "int x = 42;") in
+        check int_ "count (incl EOF)" 6 (List.length toks);
+        check bool_ "keyword" true (List.mem (Token.Keyword "int") toks);
+        check bool_ "ident" true (List.mem (Token.Ident "x") toks);
+        check bool_ "int lit" true (List.mem (Token.Int_lit "42") toks));
+    Alcotest.test_case "comments are skipped" `Quick (fun () ->
+        let toks = Lexer.tokenize "a /* mid */ b // end\n c" in
+        let idents =
+          List.filter_map
+            (function Token.Ident s, _ -> Some s | _ -> None)
+            toks
+        in
+        check (Alcotest.list string_) "three idents" [ "a"; "b"; "c" ] idents);
+    Alcotest.test_case "numbers keep their lexical form" `Quick (fun () ->
+        let toks = List.map fst (Lexer.tokenize "0x1F 1.5e-3 10L 2.5f .5") in
+        check bool_ "hex" true (List.mem (Token.Int_lit "0x1F") toks);
+        check bool_ "sci" true (List.mem (Token.Float_lit "1.5e-3") toks);
+        check bool_ "suffix" true (List.mem (Token.Int_lit "10L") toks);
+        check bool_ "float suffix" true (List.mem (Token.Float_lit "2.5f") toks);
+        check bool_ "leading dot" true (List.mem (Token.Float_lit ".5") toks));
+    Alcotest.test_case "strings and chars with escapes" `Quick (fun () ->
+        let toks = List.map fst (Lexer.tokenize {|"a\"b" '\n'|}) in
+        check bool_ "string" true (List.mem (Token.String_lit {|a\"b|}) toks);
+        check bool_ "char" true (List.mem (Token.Char_lit {|\n|}) toks));
+    Alcotest.test_case "multi-char operators win" `Quick (fun () ->
+        let toks = List.map fst (Lexer.tokenize "a->b <<= c && d++") in
+        check bool_ "arrow" true (List.mem (Token.Punct "->") toks);
+        check bool_ "shl assign" true (List.mem (Token.Punct "<<=") toks);
+        check bool_ "and" true (List.mem (Token.Punct "&&") toks);
+        check bool_ "inc" true (List.mem (Token.Punct "++") toks));
+    Alcotest.test_case "pragma folding of paper-style continuations" `Quick
+      (fun () ->
+        let toks = Lexer.tokenize paper_task_listing in
+        let pragmas =
+          List.filter_map
+            (function Token.Pragma s, _ -> Some s | _ -> None)
+            toks
+        in
+        check int_ "one pragma" 1 (List.length pragmas);
+        let body = List.hd pragmas in
+        check bool_ "folds targets" true
+          (String.length body > 20
+          && String.sub body 0 8 = "cascabel"));
+    Alcotest.test_case "include and define kept verbatim" `Quick (fun () ->
+        let toks = List.map fst (Lexer.tokenize "#include <stdio.h>\n#define N 8192\nint x;") in
+        check bool_ "include" true
+          (List.mem (Token.Hash_line "#include <stdio.h>") toks);
+        check bool_ "define" true
+          (List.mem (Token.Hash_line "#define N 8192") toks));
+    Alcotest.test_case "lex errors carry positions" `Quick (fun () ->
+        match Lexer.tokenize "int a;\n\"unterminated" with
+        | _ -> Alcotest.fail "expected error"
+        | exception Lexer.Error e -> check int_ "line" 2 e.line);
+  ]
+
+let annot_tests =
+  [
+    Alcotest.test_case "paper task annotation parses" `Quick (fun () ->
+        let body =
+          "cascabel task : x86 : Ivecadd : vecadd01 : (A: readwrite, B : read)"
+        in
+        match Annot.parse body with
+        | Ast.Task_pragma t ->
+            check (Alcotest.list string_) "targets" [ "x86" ] t.ta_targets;
+            check string_ "interface" "Ivecadd" t.ta_interface;
+            check string_ "name" "vecadd01" t.ta_name;
+            check int_ "params" 2 (List.length t.ta_params);
+            let a = List.hd t.ta_params in
+            check string_ "A" "A" a.ps_param;
+            check bool_ "rw" true (a.ps_mode = Ast.Readwrite)
+        | _ -> Alcotest.fail "expected task pragma");
+    Alcotest.test_case "multiple targets" `Quick (fun () ->
+        match
+          Annot.parse
+            "cascabel task : OpenCL, Cuda, CellSDK : Idgemm : dgemm_gpu : (C: readwrite)"
+        with
+        | Ast.Task_pragma t ->
+            check (Alcotest.list string_) "targets"
+              [ "OpenCL"; "Cuda"; "CellSDK" ] t.ta_targets
+        | _ -> Alcotest.fail "expected task pragma");
+    Alcotest.test_case "paper execute annotation parses" `Quick (fun () ->
+        match
+          Annot.parse
+            "cascabel execute Ivecadd : executionset01 (A:BLOCK:N, B:BLOCK:N)"
+        with
+        | Ast.Execute_pragma e ->
+            check string_ "interface" "Ivecadd" e.ea_interface;
+            check string_ "group" "executionset01" e.ea_group;
+            check int_ "dists" 2 (List.length e.ea_dists);
+            let a = List.hd e.ea_dists in
+            check bool_ "block" true (a.ds_kind = Ast.Block_dist);
+            check (Alcotest.option string_) "size" (Some "N") a.ds_size
+        | _ -> Alcotest.fail "expected execute pragma");
+    Alcotest.test_case "execute without distributions" `Quick (fun () ->
+        match Annot.parse "cascabel execute Idgemm : gpus" with
+        | Ast.Execute_pragma e ->
+            check string_ "group" "gpus" e.ea_group;
+            check int_ "no dists" 0 (List.length e.ea_dists)
+        | _ -> Alcotest.fail "expected execute pragma");
+    Alcotest.test_case "cyclic and blockcyclic distributions" `Quick
+      (fun () ->
+        match
+          Annot.parse "cascabel execute I : g (A:CYCLIC, B:BLOCKCYCLIC:64)"
+        with
+        | Ast.Execute_pragma e ->
+            check bool_ "cyclic" true
+              ((List.hd e.ea_dists).ds_kind = Ast.Cyclic_dist);
+            check bool_ "blockcyclic" true
+              ((List.nth e.ea_dists 1).ds_kind = Ast.Block_cyclic_dist)
+        | _ -> Alcotest.fail "expected execute pragma");
+    Alcotest.test_case "malformed annotations rejected" `Quick (fun () ->
+        List.iter
+          (fun bad ->
+            match Annot.parse bad with
+            | exception Annot.Error _ -> ()
+            | _ -> Alcotest.failf "expected Error for %S" bad)
+          [
+            "cascabel task : x86 : I";
+            "cascabel task : : I : n : (A: read)";
+            "cascabel task : x86 : I : n : (A: sideways)";
+            "cascabel execute : g";
+            "cascabel execute I : g (A:DIAGONAL)";
+            "cascabel frobnicate : x";
+          ]);
+    Alcotest.test_case "annotation round trips" `Quick (fun () ->
+        let bodies =
+          [
+            "cascabel task : x86 : Ivecadd : vecadd01 : (A: readwrite, B: read)";
+            "cascabel execute Ivecadd : executionset01 (A:BLOCK:N, B:BLOCK:N)";
+          ]
+        in
+        List.iter
+          (fun body ->
+            let p = Annot.parse body in
+            let p2 = Annot.parse (Annot.to_string p) in
+            check bool_ body true (Ast.equal_pragma p p2))
+          bodies);
+  ]
+
+let parse_ok src =
+  match Parser.parse src with
+  | Ok u -> u
+  | Error e -> Alcotest.failf "parse failed: %s" (Parser.error_to_string e)
+
+let parser_tests =
+  [
+    Alcotest.test_case "paper task listing parses and attaches" `Quick
+      (fun () ->
+        let u = parse_ok paper_task_listing in
+        match Parser.tasks u with
+        | [ f ] ->
+            check string_ "function" "vectoradd" f.f_name;
+            let t = Option.get f.f_task in
+            check string_ "interface" "Ivecadd" t.ta_interface;
+            check int_ "two params" 2 (List.length f.f_params);
+            check bool_ "param type" true
+              (Ast.equal_ctype (List.hd f.f_params).p_type
+                 (Ast.Pointer Ast.Double))
+        | _ -> Alcotest.fail "expected one task");
+    Alcotest.test_case "paper execute listing parses and attaches" `Quick
+      (fun () ->
+        let u = parse_ok paper_execute_listing in
+        match Parser.executes u with
+        | [ (e, stmt) ] ->
+            check string_ "group" "executionset01" e.ea_group;
+            (match stmt with
+            | Ast.Expr_stmt (Some (Ast.Call (Ast.Ident "vectoradd", args))) ->
+                check int_ "two args" 2 (List.length args)
+            | _ -> Alcotest.fail "expected the call statement")
+        | _ -> Alcotest.fail "expected one execute");
+    Alcotest.test_case "full serial dgemm program parses" `Quick (fun () ->
+        let src =
+          {|#include <stdio.h>
+#define N 8192
+
+#pragma cascabel task : x86 : Idgemm : dgemm_blas : (A: read, B: read, C: readwrite)
+void dgemm(double *A, double *B, double *C, int n)
+{
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      double acc = 0.0;
+      for (int k = 0; k < n; k++)
+        acc += A[i * n + k] * B[k * n + j];
+      C[i * n + j] += acc;
+    }
+  }
+}
+
+int main(void)
+{
+  double *A = malloc(N * N * sizeof(double));
+  double *B = malloc(N * N * sizeof(double));
+  double *C = malloc(N * N * sizeof(double));
+  #pragma cascabel execute Idgemm : executionset01 (A:BLOCK:N, B:BLOCK:N, C:BLOCK:N)
+  dgemm(A, B, C, N);
+  return 0;
+}
+|}
+        in
+        let u = parse_ok src in
+        check int_ "tops" 4 (List.length u);
+        check int_ "one task" 1 (List.length (Parser.tasks u));
+        check int_ "one execute" 1 (List.length (Parser.executes u)));
+    Alcotest.test_case "expression precedence" `Quick (fun () ->
+        let e = Result.get_ok (Parser.parse_expr "1 + 2 * 3 - 4") in
+        check bool_ "((1 + (2*3)) - 4)" true
+          (Ast.equal_expr e
+             Ast.(
+               Binary
+                 ( Sub,
+                   Binary (Add, Int_lit "1", Binary (Mul, Int_lit "2", Int_lit "3")),
+                   Int_lit "4" ))));
+    Alcotest.test_case "assignment is right-associative" `Quick (fun () ->
+        let e = Result.get_ok (Parser.parse_expr "a = b = 1") in
+        check bool_ "a = (b = 1)" true
+          (Ast.equal_expr e
+             Ast.(
+               Assign (None, Ident "a", Assign (None, Ident "b", Int_lit "1")))));
+    Alcotest.test_case "compound assignment" `Quick (fun () ->
+        let e = Result.get_ok (Parser.parse_expr "x += 2") in
+        check bool_ "x += 2" true
+          (Ast.equal_expr e Ast.(Assign (Some "+", Ident "x", Int_lit "2"))));
+    Alcotest.test_case "postfix chains" `Quick (fun () ->
+        let e = Result.get_ok (Parser.parse_expr "a.b->c[0](x)++") in
+        match e with
+        | Ast.Post_inc (Ast.Call (Ast.Index (Ast.Arrow (Ast.Member _, "c"), _), _)) ->
+            ()
+        | _ -> Alcotest.fail "unexpected postfix shape");
+    Alcotest.test_case "casts and sizeof" `Quick (fun () ->
+        let e = Result.get_ok (Parser.parse_expr "(double*)p + sizeof(int)") in
+        match e with
+        | Ast.Binary (Ast.Add, Ast.Cast (Ast.Pointer Ast.Double, _), Ast.Sizeof_type Ast.Int)
+          ->
+            ()
+        | _ -> Alcotest.fail "unexpected cast shape");
+    Alcotest.test_case "ternary" `Quick (fun () ->
+        let e = Result.get_ok (Parser.parse_expr "a ? b : c ? d : e") in
+        match e with
+        | Ast.Ternary (Ast.Ident "a", Ast.Ident "b", Ast.Ternary _) -> ()
+        | _ -> Alcotest.fail "ternary should nest right");
+    Alcotest.test_case "typedef names become types" `Quick (fun () ->
+        let u = parse_ok "typedef double real;\nreal f(real x) { return x; }" in
+        match u with
+        | [ Ast.Typedef ("real", Ast.Double); Ast.Func f ] ->
+            check bool_ "return type" true
+              (Ast.equal_ctype f.f_return (Ast.Named "real"))
+        | _ -> Alcotest.fail "unexpected unit shape");
+    Alcotest.test_case "multi-dimensional arrays" `Quick (fun () ->
+        let u = parse_ok "double grid[4][8];" in
+        match u with
+        | [ Ast.Global [ d ] ] -> (
+            match d.d_type with
+            | Ast.Array (Ast.Array (Ast.Double, Some (Ast.Int_lit "8")), Some (Ast.Int_lit "4"))
+              ->
+                ()
+            | _ -> Alcotest.fail "array nesting wrong")
+        | _ -> Alcotest.fail "unexpected unit shape");
+    Alcotest.test_case "do-while and control flow" `Quick (fun () ->
+        let u =
+          parse_ok
+            {|void f(int n) {
+                do { n--; } while (n > 0);
+                while (n < 10) { if (n == 5) break; else continue; }
+              }|}
+        in
+        check int_ "parsed" 1 (List.length u));
+    Alcotest.test_case "parse errors carry positions" `Quick (fun () ->
+        match Parser.parse "int f() {\n  return 1 +;\n}" with
+        | Ok _ -> Alcotest.fail "expected error"
+        | Error e -> check int_ "line" 2 e.line);
+    Alcotest.test_case "task pragma must precede a definition" `Quick
+      (fun () ->
+        match
+          Parser.parse "#pragma cascabel task : x86 : I : n : (A: read)\nint x;"
+        with
+        | Ok _ -> Alcotest.fail "expected error"
+        | Error _ -> ());
+    Alcotest.test_case "foreign pragmas are ignored" `Quick (fun () ->
+        let u = parse_ok "#pragma omp parallel\nvoid f(void) { }" in
+        check int_ "function kept" 1 (List.length u));
+  ]
+
+let more_parser_tests =
+  [
+    Alcotest.test_case "globals with initializers and lists" `Quick
+      (fun () ->
+        let u = parse_ok "int a = 1, b = 2;\ndouble pi = 3.14;" in
+        match u with
+        | [ Ast.Global [ da; db ]; Ast.Global [ dpi ] ] ->
+            check string_ "a" "a" da.d_name;
+            check string_ "b" "b" db.d_name;
+            check bool_ "pi init" true (dpi.d_init <> None)
+        | _ -> Alcotest.fail "unexpected shape");
+    Alcotest.test_case "prototypes parse without bodies" `Quick (fun () ->
+        let u = parse_ok "double f(double *x, int n);\nint g(void);" in
+        check int_ "two prototypes" 2 (List.length u);
+        match u with
+        | [ Ast.Func f; Ast.Func g ] ->
+            check bool_ "no body f" true (f.f_body = None);
+            check bool_ "no body g" true (g.f_body = None);
+            check int_ "g has no params" 0 (List.length g.f_params)
+        | _ -> Alcotest.fail "unexpected shape");
+    Alcotest.test_case "qualifiers are accepted and dropped" `Quick
+      (fun () ->
+        let u = parse_ok "static const int limit = 10;\nextern double f(const double *p);" in
+        check int_ "both parse" 2 (List.length u));
+    Alcotest.test_case "unsigned and long combinations" `Quick (fun () ->
+        let u =
+          parse_ok "unsigned int a;\nlong long b;\nunsigned char c;\nshort d;"
+        in
+        match u with
+        | [ Ast.Global [ a ]; Ast.Global [ b ]; Ast.Global [ c ]; Ast.Global [ d ] ]
+          ->
+            check bool_ "unsigned int" true
+              (Ast.equal_ctype a.d_type (Ast.Unsigned Ast.Int));
+            check bool_ "long long" true (Ast.equal_ctype b.d_type Ast.Long);
+            check bool_ "unsigned char" true
+              (Ast.equal_ctype c.d_type (Ast.Unsigned Ast.Char));
+            check bool_ "short" true (Ast.equal_ctype d.d_type Ast.Short)
+        | _ -> Alcotest.fail "unexpected shape");
+    Alcotest.test_case "struct references as opaque types" `Quick (fun () ->
+        let u = parse_ok "struct point *origin;\nvoid f(struct point *p) { }" in
+        match u with
+        | [ Ast.Global [ g ]; Ast.Func _ ] ->
+            check bool_ "pointer to struct" true
+              (Ast.equal_ctype g.d_type (Ast.Pointer (Ast.Struct_ref "point")))
+        | _ -> Alcotest.fail "unexpected shape");
+    Alcotest.test_case "array parameters" `Quick (fun () ->
+        let u = parse_ok "void f(double row[], double grid[4][4]) { }" in
+        match u with
+        | [ Ast.Func f ] ->
+            check int_ "two params" 2 (List.length f.f_params)
+        | _ -> Alcotest.fail "unexpected shape");
+    Alcotest.test_case "nested control flow round trips" `Quick (fun () ->
+        let src =
+          "int f(int n)\n{\n  int acc = 0;\n  for (int i = 0; i < n; i++)\n          \    if (i % 2 == 0)\n      acc += i;\n    else\n      acc -= 1;\n          \  while (acc > 100)\n    acc /= 2;\n  return acc;\n}\n"
+        in
+        let u = parse_ok src in
+        let printed = Minic.Printer.unit_to_string u in
+        let u2 = parse_ok printed in
+        check bool_ "stable" true (Ast.equal_unit_ u u2));
+    Alcotest.test_case "dangling else binds to nearest if" `Quick (fun () ->
+        let u =
+          parse_ok "void f(int a, int b) { if (a) if (b) g(); else h(); }"
+        in
+        match u with
+        | [ Ast.Func { f_body = Some [ Ast.If (_, Ast.If (_, _, Some _), None) ]; _ } ]
+          ->
+            ()
+        | _ -> Alcotest.fail "else bound to the wrong if");
+  ]
+
+let printer_tests =
+  [
+    Alcotest.test_case "simple function round trips" `Quick (fun () ->
+        let src = "int add(int a, int b)\n{\n  return a + b;\n}\n" in
+        let u = parse_ok src in
+        check string_ "stable print" src (Printer.unit_to_string u));
+    Alcotest.test_case "precedence needs no spurious parens" `Quick (fun () ->
+        let e = Result.get_ok (Parser.parse_expr "a + b * c") in
+        check string_ "flat" "a + b * c" (Printer.expr_to_string e);
+        let e = Result.get_ok (Parser.parse_expr "(a + b) * c") in
+        check string_ "needed parens kept" "(a + b) * c"
+          (Printer.expr_to_string e));
+    Alcotest.test_case "declaration with arrays" `Quick (fun () ->
+        check string_ "2d" "double grid[4][8]"
+          (Printer.declaration_to_string
+             (Ast.Array
+                (Ast.Array (Ast.Double, Some (Ast.Int_lit "8")),
+                 Some (Ast.Int_lit "4")))
+             "grid"));
+    Alcotest.test_case "task pragma reprinted above function" `Quick
+      (fun () ->
+        let u = parse_ok paper_task_listing in
+        let printed = Printer.unit_to_string u in
+        check bool_ "has pragma" true
+          (String.length printed > 0
+          && String.sub printed 0 7 = "#pragma"));
+  ]
+
+(* Round-trip property over generated programs. *)
+let gen_program =
+  let open QCheck.Gen in
+  let ident = oneofl [ "a"; "b"; "n"; "x"; "acc" ] in
+  let rec expr depth =
+    if depth = 0 then
+      oneof
+        [
+          map (fun i -> Ast.Int_lit (string_of_int i)) (int_range 0 99);
+          map (fun v -> Ast.Ident v) ident;
+        ]
+    else
+      frequency
+        [
+          (2, expr 0);
+          ( 3,
+            map3
+              (fun op a b -> Ast.Binary (op, a, b))
+              (oneofl Ast.[ Add; Sub; Mul; Div; Lt; Eq; And; Or; Shl ])
+              (expr (depth - 1)) (expr (depth - 1)) );
+          (1, map2 (fun a b -> Ast.Index (a, b)) (map (fun v -> Ast.Ident v) ident) (expr (depth - 1)));
+          (1, map2 (fun a b -> Ast.Call (Ast.Ident "f", [ a; b ])) (expr (depth - 1)) (expr (depth - 1)));
+          (1, map (fun a -> Ast.Unary (Ast.Neg, a)) (expr (depth - 1)));
+          ( 1,
+            map3
+              (fun c t f -> Ast.Ternary (c, t, f))
+              (expr (depth - 1)) (expr (depth - 1)) (expr (depth - 1)) );
+        ]
+  in
+  let rec stmt depth =
+    if depth = 0 then
+      oneof
+        [
+          map (fun e -> Ast.Expr_stmt (Some e)) (expr 2);
+          map (fun e -> Ast.Return (Some e)) (expr 1);
+          return Ast.Break;
+        ]
+    else
+      frequency
+        [
+          (3, stmt 0);
+          ( 2,
+            map2
+              (fun c body -> Ast.If (c, body, None))
+              (expr 1)
+              (map (fun ss -> Ast.Block ss) (list_size (int_range 1 3) (stmt (depth - 1)))) );
+          (1, map2 (fun c body -> Ast.While (c, Ast.Block [ body ])) (expr 1) (stmt (depth - 1)));
+          ( 1,
+            map
+              (fun d -> Ast.Decl_stmt [ d ])
+              (map2
+                 (fun n e -> Ast.{ d_name = n; d_type = Ast.Int; d_init = Some e })
+                 ident (expr 1)) );
+        ]
+  in
+  map
+    (fun stmts ->
+      [
+        Ast.Func
+          {
+            f_name = "generated";
+            f_return = Ast.Int;
+            f_params =
+              [ { p_name = "a"; p_type = Ast.Pointer Ast.Double };
+                { p_name = "n"; p_type = Ast.Int } ];
+            f_body = Some stmts;
+            f_task = None;
+          };
+      ])
+    (list_size (int_range 1 6) (stmt 2))
+
+let roundtrip_prop =
+  QCheck.Test.make ~name:"print/parse round trip" ~count:200
+    (QCheck.make ~print:Printer.unit_to_string gen_program)
+    (fun u ->
+      let printed = Printer.unit_to_string u in
+      match Parser.parse printed with
+      | Error e ->
+          QCheck.Test.fail_reportf "reparse failed: %s\n%s"
+            (Parser.error_to_string e) printed
+      | Ok u2 ->
+          if Ast.equal_unit_ u u2 then true
+          else
+            QCheck.Test.fail_reportf "AST mismatch:\n%s\n---\n%s" printed
+              (Printer.unit_to_string u2))
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "minic"
+    [
+      ("lexer", lexer_tests);
+      ("annot", annot_tests);
+      ("parser", parser_tests);
+      ("parser-more", more_parser_tests);
+      ("printer", printer_tests);
+      ("properties", qt [ roundtrip_prop ]);
+    ]

@@ -1,0 +1,334 @@
+(* Tests for the hierarchical machine model and its validator. *)
+
+open Pdl_model
+open Machine
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+let string_ = Alcotest.string
+
+(* The paper's Listing 1 system: one x86 Master controlling one GPU
+   Worker over rDMA. *)
+let listing1 =
+  platform ~name:"gpgpu"
+    [
+      pu Master "0"
+        ~props:[ property "ARCHITECTURE" "x86" ]
+        ~children:[ pu Worker "1" ~props:[ property "ARCHITECTURE" "gpu" ] ]
+        ~interconnects:
+          [ interconnect ~type_:"rDMA" ~from:"0" ~to_:"1" () ];
+    ]
+
+(* A deeper system in the spirit of Cell B.E.: Master -> Hybrid (PPE)
+   -> 8 Workers (SPEs). *)
+let cell_like =
+  platform ~name:"cell"
+    [
+      pu Master "host"
+        ~children:
+          [
+            pu Hybrid "ppe"
+              ~props:[ property "ARCHITECTURE" "ppc64" ]
+              ~groups:[ "control" ]
+              ~children:
+                [
+                  pu Worker "spe" ~quantity:8
+                    ~props:[ property "ARCHITECTURE" "spe" ]
+                    ~groups:[ "simd" ]
+                    ~memory:[ memory_region ~props:[ property "SIZE" "256" ] "ls" ];
+                ]
+              ~interconnects:
+                [ interconnect ~type_:"EIB" ~from:"ppe" ~to_:"spe" () ];
+          ]
+        ~interconnects:[ interconnect ~type_:"XDR" ~from:"host" ~to_:"ppe" () ];
+    ]
+
+let machine_tests =
+  [
+    Alcotest.test_case "find_pu locates nested PUs" `Quick (fun () ->
+        check bool_ "worker found" true (find_pu cell_like "spe" <> None);
+        check bool_ "missing id" true (find_pu cell_like "nope" = None));
+    Alcotest.test_case "parent_of" `Quick (fun () ->
+        check (Alcotest.option string_) "spe parent" (Some "ppe")
+          (Option.map (fun p -> p.pu_id) (parent_of cell_like "spe"));
+        check bool_ "master has no parent" true
+          (parent_of cell_like "host" = None));
+    Alcotest.test_case "path_to" `Quick (fun () ->
+        check (Alcotest.list string_) "control chain"
+          [ "host"; "ppe"; "spe" ]
+          (List.map (fun p -> p.pu_id) (path_to cell_like "spe"));
+        check (Alcotest.list string_) "unknown id" []
+          (List.map (fun p -> p.pu_id) (path_to cell_like "nope")));
+    Alcotest.test_case "depth and counts" `Quick (fun () ->
+        check int_ "depth" 3 (depth cell_like);
+        check int_ "pu nodes" 3 (pu_count cell_like);
+        check int_ "physical units" 10 (unit_count cell_like);
+        check int_ "listing1 units" 2 (unit_count listing1));
+    Alcotest.test_case "unit_count multiplies nested quantities" `Quick
+      (fun () ->
+        let pf =
+          platform ~name:"q"
+            [
+              pu Master "m"
+                ~children:
+                  [
+                    pu Hybrid "h" ~quantity:2
+                      ~children:[ pu Worker "w" ~quantity:3 ];
+                  ];
+            ]
+        in
+        (* m + 2*(h + 3 w) = 1 + 2*4 = 9 *)
+        check int_ "nested" 9 (unit_count pf));
+    Alcotest.test_case "class selectors" `Quick (fun () ->
+        check int_ "masters" 1 (List.length (masters cell_like));
+        check int_ "hybrids" 1 (List.length (hybrids cell_like));
+        check int_ "workers" 1 (List.length (workers cell_like)));
+    Alcotest.test_case "groups" `Quick (fun () ->
+        check (Alcotest.list string_) "names" [ "control"; "simd" ]
+          (groups cell_like);
+        check int_ "members" 1 (List.length (group_members cell_like "simd")));
+    Alcotest.test_case "property accessors" `Quick (fun () ->
+        let spe = Option.get (find_pu cell_like "spe") in
+        check (Alcotest.option string_) "arch" (Some "spe")
+          (pu_property spe "ARCHITECTURE");
+        let mr = List.hd spe.pu_memory in
+        check (Alcotest.option int_) "mr size" (Some 256)
+          (property_int mr.mr_descriptor "SIZE"));
+    Alcotest.test_case "set_property replaces by name" `Quick (fun () ->
+        let d = descriptor [ property "A" "1"; property "B" "2" ] in
+        let d = set_property d (property "A" "9") in
+        check (Alcotest.option string_) "replaced" (Some "9")
+          (property_value d "A");
+        check int_ "no duplicates" 2 (List.length d.d_properties);
+        let d = set_property d (property "C" "3") in
+        check int_ "appended" 3 (List.length d.d_properties));
+    Alcotest.test_case "unfixed_properties" `Quick (fun () ->
+        let d =
+          descriptor
+            [ property ~fixed:false "X" ""; property ~fixed:true "Y" "1" ]
+        in
+        check int_ "one unfixed" 1 (List.length (unfixed_properties d)));
+    Alcotest.test_case "interconnects collected across levels" `Quick
+      (fun () ->
+        check int_ "two ics" 2 (List.length (all_interconnects cell_like));
+        check int_ "ppe endpoint" 2
+          (List.length (connections_of cell_like "ppe")));
+    Alcotest.test_case "routes finds transfer paths" `Quick (fun () ->
+        let paths = routes cell_like "host" "spe" in
+        check
+          (Alcotest.list (Alcotest.list string_))
+          "host->ppe->spe"
+          [ [ "host"; "ppe"; "spe" ] ]
+          paths;
+        check
+          (Alcotest.list (Alcotest.list string_))
+          "self route" [ [ "host" ] ] (routes cell_like "host" "host");
+        check bool_ "no route to unknown" true
+          (routes cell_like "host" "nope" = []));
+    Alcotest.test_case "routes explores alternatives" `Quick (fun () ->
+        let pf =
+          platform ~name:"tri"
+            [
+              pu Master "a"
+                ~children:[ pu Worker "b"; pu Worker "c" ]
+                ~interconnects:
+                  [
+                    interconnect ~type_:"x" ~from:"a" ~to_:"b" ();
+                    interconnect ~type_:"x" ~from:"b" ~to_:"c" ();
+                    interconnect ~type_:"x" ~from:"a" ~to_:"c" ();
+                  ];
+            ]
+        in
+        check int_ "two simple paths" 2 (List.length (routes pf "a" "c")));
+    Alcotest.test_case "fold visits in pre-order" `Quick (fun () ->
+        let order =
+          List.rev (fold (fun acc pu -> pu.pu_id :: acc) [] cell_like)
+        in
+        check (Alcotest.list string_) "pre-order" [ "host"; "ppe"; "spe" ]
+          order);
+  ]
+
+let valid pf = Validate.check pf = []
+
+let violation_names pf =
+  List.map Validate.violation_to_string (Validate.check pf)
+
+let has_violation pf fragment =
+  List.exists
+    (fun msg ->
+      let nh = String.length msg and nn = String.length fragment in
+      let rec go i =
+        i + nn <= nh && (String.sub msg i nn = fragment || go (i + 1))
+      in
+      go 0)
+    (violation_names pf)
+
+let validate_tests =
+  [
+    Alcotest.test_case "well-formed platforms pass" `Quick (fun () ->
+        check bool_ "listing1" true (valid listing1);
+        check bool_ "cell" true (valid cell_like));
+    Alcotest.test_case "master below top rejected" `Quick (fun () ->
+        let pf =
+          platform ~name:"bad"
+            [ pu Master "0" ~children:[ pu Master "1" ] ]
+        in
+        check bool_ "reported" true (has_violation pf "top level"));
+    Alcotest.test_case "worker with children rejected" `Quick (fun () ->
+        let pf =
+          platform ~name:"bad"
+            [ pu Master "0" ~children:[ pu Worker "1" ~children:[ pu Worker "2" ] ] ]
+        in
+        check bool_ "reported" true (has_violation pf "leaves"));
+    Alcotest.test_case "childless hybrid rejected" `Quick (fun () ->
+        let pf = platform ~name:"bad" [ pu Master "0" ~children:[ pu Hybrid "1" ] ] in
+        check bool_ "reported" true (has_violation pf "no controlled PUs"));
+    Alcotest.test_case "uncontrolled worker root rejected" `Quick (fun () ->
+        let pf = platform ~name:"bad" [ pu Worker "w" ] in
+        check bool_ "reported" true (has_violation pf "not controlled"));
+    Alcotest.test_case "duplicate ids rejected" `Quick (fun () ->
+        let pf =
+          platform ~name:"bad"
+            [ pu Master "0" ~children:[ pu Worker "1"; pu Worker "1" ] ]
+        in
+        check bool_ "reported" true (has_violation pf "duplicate"));
+    Alcotest.test_case "bad quantity rejected" `Quick (fun () ->
+        let pf =
+          platform ~name:"bad"
+            [ pu Master "0" ~children:[ pu Worker "1" ~quantity:0 ] ]
+        in
+        check bool_ "reported" true (has_violation pf "quantity"));
+    Alcotest.test_case "dangling interconnect rejected" `Quick (fun () ->
+        let pf =
+          platform ~name:"bad"
+            [
+              pu Master "0"
+                ~children:[ pu Worker "1" ]
+                ~interconnects:
+                  [ interconnect ~type_:"x" ~from:"0" ~to_:"99" () ];
+            ]
+        in
+        check bool_ "reported" true (has_violation pf "unknown PU"));
+    Alcotest.test_case "self interconnect rejected" `Quick (fun () ->
+        let pf =
+          platform ~name:"bad"
+            [
+              pu Master "0"
+                ~children:[ pu Worker "1" ]
+                ~interconnects:[ interconnect ~type_:"x" ~from:"0" ~to_:"0" () ];
+            ]
+        in
+        check bool_ "reported" true (has_violation pf "loops"));
+    Alcotest.test_case "empty platform rejected" `Quick (fun () ->
+        check bool_ "reported" true
+          (has_violation (platform ~name:"empty" []) "no Master"));
+    Alcotest.test_case "empty group name rejected" `Quick (fun () ->
+        let pf =
+          platform ~name:"bad" [ pu Master "0" ~groups:[ "  " ] ]
+        in
+        check bool_ "reported" true (has_violation pf "group"));
+    Alcotest.test_case "empty property name rejected" `Quick (fun () ->
+        let pf =
+          platform ~name:"bad" [ pu Master "0" ~props:[ property "" "x" ] ]
+        in
+        check bool_ "reported" true (has_violation pf "property"));
+    Alcotest.test_case "check_exn raises with all messages" `Quick (fun () ->
+        let pf = platform ~name:"bad" [ pu Worker "w" ~quantity:0 ] in
+        match Validate.check_exn pf with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument msg ->
+            check bool_ "mentions quantity" true
+              (let nn = "quantity" in
+               let rec go i =
+                 i + String.length nn <= String.length msg
+                 && (String.sub msg i (String.length nn) = nn || go (i + 1))
+               in
+               go 0));
+    Alcotest.test_case "multi-master systems are legal" `Quick (fun () ->
+        let pf =
+          platform ~name:"dual"
+            [
+              pu Master "0" ~children:[ pu Worker "w0" ];
+              pu Master "1" ~children:[ pu Worker "w1" ];
+            ]
+        in
+        check bool_ "valid" true (valid pf));
+  ]
+
+(* Random platform generator (always well-formed by construction) and
+   properties over it. *)
+let gen_platform =
+  let open QCheck.Gen in
+  let fresh =
+    let counter = ref 0 in
+    fun prefix ->
+      incr counter;
+      Printf.sprintf "%s%d" prefix !counter
+  in
+  let gen_props =
+    list_size (int_range 0 3)
+      (map2
+         (fun k v -> property k v)
+         (oneofl [ "ARCHITECTURE"; "FREQ"; "CORES"; "MEM" ])
+         (oneofl [ "x86"; "gpu"; "1000"; "8" ]))
+  in
+  let gen_worker =
+    map2
+      (fun q props -> pu Worker (fresh "w") ~quantity:(q + 1) ~props)
+      (int_range 0 3) gen_props
+  in
+  let gen_hybrid =
+    map2
+      (fun ws props -> pu Hybrid (fresh "h") ~props ~children:ws)
+      (list_size (int_range 1 3) gen_worker)
+      gen_props
+  in
+  let gen_master =
+    map2
+      (fun children props -> pu Master (fresh "m") ~props ~children)
+      (list_size (int_range 0 3)
+         (frequency [ (3, gen_worker); (1, gen_hybrid) ]))
+      gen_props
+  in
+  map
+    (fun masters -> platform ~name:"random" masters)
+    (list_size (int_range 1 2) gen_master)
+
+let arbitrary_platform =
+  QCheck.make ~print:(fun pf -> show_platform pf) gen_platform
+
+let generated_platforms_valid =
+  QCheck.Test.make ~name:"generated platforms are well-formed" ~count:200
+    arbitrary_platform (fun pf -> Validate.check pf = [])
+
+let unit_count_at_least_nodes =
+  QCheck.Test.make ~name:"unit_count >= pu_count" ~count:200
+    arbitrary_platform (fun pf -> unit_count pf >= pu_count pf)
+
+let path_to_consistent =
+  QCheck.Test.make ~name:"path_to ends at the target and starts at a master"
+    ~count:200 arbitrary_platform (fun pf ->
+      List.for_all
+        (fun target ->
+          match path_to pf target.pu_id with
+          | [] -> false
+          | path ->
+              let first = List.hd path and last = List.nth path (List.length path - 1) in
+              first.pu_class = Master && last.pu_id = target.pu_id)
+        (all_pus pf))
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "pdl_model"
+    [
+      ("machine", machine_tests);
+      ("validate", validate_tests);
+      ( "properties",
+        qt
+          [
+            generated_platforms_valid;
+            unit_count_at_least_nodes;
+            path_to_consistent;
+          ] );
+    ]

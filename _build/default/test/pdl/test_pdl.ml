@@ -1,0 +1,773 @@
+(* Tests for the PDL library: schema, codec (against the paper's
+   listings), query API, patterns, diff/merge, views. *)
+
+open Pdl_model.Machine
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+let string_ = Alcotest.string
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Listing 1 of the paper, verbatim modulo whitespace. *)
+let listing1_text =
+  {|<Master id="0" quantity="1">
+  <PUDescriptor>
+    <Property fixed="true">
+      <name>ARCHITECTURE</name>
+      <value>x86</value>
+    </Property>
+  </PUDescriptor>
+  <Worker quantity="1" id="1">
+    <PUDescriptor>
+      <Property fixed="true">
+        <name>ARCHITECTURE</name>
+        <value>gpu</value>
+      </Property>
+    </PUDescriptor>
+  </Worker>
+  <Interconnect type="rDMA" from="0" to="1" scheme=""/>
+</Master>|}
+
+(* Listing 2: concrete OpenCL properties for the GPU worker, with
+   subschema typing and prefixed children. *)
+let listing2_properties =
+  {|<PUDescriptor xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"
+      xmlns:ocl="urn:pdl:ocl">
+  <Property fixed="false" xsi:type="ocl:oclDevicePropertyType">
+    <ocl:name>DEVICE_NAME</ocl:name>
+    <ocl:value>GeForce GTX 480</ocl:value>
+  </Property>
+  <Property fixed="false" xsi:type="ocl:oclDevicePropertyType">
+    <ocl:name>MAX_COMPUTE_UNITS</ocl:name>
+    <ocl:value>15</ocl:value>
+  </Property>
+  <Property fixed="false" xsi:type="ocl:oclDevicePropertyType">
+    <ocl:name>MAX_WORK_ITEM_DIMENSIONS</ocl:name>
+    <ocl:value>3</ocl:value>
+  </Property>
+  <Property fixed="false" xsi:type="ocl:oclDevicePropertyType">
+    <ocl:name>GLOBAL_MEM_SIZE</ocl:name>
+    <ocl:value unit="kB">1572864</ocl:value>
+  </Property>
+  <Property fixed="false" xsi:type="ocl:oclDevicePropertyType">
+    <ocl:name>LOCAL_MEM_SIZE</ocl:name>
+    <ocl:value unit="kB">48</ocl:value>
+  </Property>
+</PUDescriptor>|}
+
+let parse_xml s = Pdl_xml.Decode.element_of_string_exn s
+
+let listing1 =
+  match Pdl.Codec.of_string listing1_text with
+  | Ok pf -> pf
+  | Error e -> failwith e
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+
+let schema_tests =
+  [
+    Alcotest.test_case "listing 1 validates against the core schema" `Quick
+      (fun () ->
+        check (Alcotest.list string_) "no errors" []
+          (List.map Pdl_xml.Schema.error_to_string
+             (Pdl.Pdl_schema.validate (parse_xml listing1_text))));
+    Alcotest.test_case "listing 2 fragment validates as PUDescriptor" `Quick
+      (fun () ->
+        let errs =
+          Pdl_xml.Schema.validate_against Pdl.Pdl_schema.default_registry
+            ~type_name:"PUDescriptorType"
+            (parse_xml listing2_properties)
+        in
+        check (Alcotest.list string_) "no errors" []
+          (List.map Pdl_xml.Schema.error_to_string errs));
+    Alcotest.test_case "missing id is a schema error" `Quick (fun () ->
+        let errs = Pdl.Pdl_schema.validate (parse_xml "<Master/>") in
+        check bool_ "id required" true
+          (List.exists
+             (fun (e : Pdl_xml.Schema.error) -> contains e.message "id")
+             errs));
+    Alcotest.test_case "platform root with multiple masters" `Quick (fun () ->
+        let doc =
+          parse_xml
+            {|<Platform name="dual">
+                <Master id="0"/><Master id="1"/>
+              </Platform>|}
+        in
+        check int_ "valid" 0 (List.length (Pdl.Pdl_schema.validate doc)));
+    Alcotest.test_case "foreign elements rejected" `Quick (fun () ->
+        let doc = parse_xml {|<Master id="0"><Gizmo/></Master>|} in
+        check bool_ "rejected" true (Pdl.Pdl_schema.validate doc <> []));
+    Alcotest.test_case "bad quantity rejected by schema" `Quick (fun () ->
+        let doc = parse_xml {|<Master id="0" quantity="0"/>|} in
+        check bool_ "rejected" true (Pdl.Pdl_schema.validate doc <> []));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+
+let codec_tests =
+  [
+    Alcotest.test_case "listing 1 decodes to the expected model" `Quick
+      (fun () ->
+        check int_ "one master" 1 (List.length listing1.pf_masters);
+        let master = List.hd listing1.pf_masters in
+        check string_ "master id" "0" master.pu_id;
+        check (Alcotest.option string_) "master arch" (Some "x86")
+          (pu_property master "ARCHITECTURE");
+        let worker = List.hd master.pu_children in
+        check bool_ "worker class" true (worker.pu_class = Worker);
+        check (Alcotest.option string_) "worker arch" (Some "gpu")
+          (pu_property worker "ARCHITECTURE");
+        match master.pu_interconnects with
+        | [ ic ] ->
+            check string_ "ic type" "rDMA" ic.ic_type;
+            check string_ "from" "0" ic.ic_from;
+            check string_ "to" "1" ic.ic_to
+        | _ -> Alcotest.fail "expected one interconnect");
+    Alcotest.test_case "round trip listing 1" `Quick (fun () ->
+        let text = Pdl.Codec.to_string listing1 in
+        match Pdl.Codec.of_string text with
+        | Ok pf2 -> check bool_ "equivalent" true (Pdl.Diff.equivalent listing1 pf2)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "bare master root chosen automatically" `Quick
+      (fun () ->
+        let text = Pdl.Codec.to_string listing1 in
+        check bool_ "root is Master" true (contains text "<Master id=\"0\""));
+    Alcotest.test_case "named platforms use a Platform root" `Quick (fun () ->
+        let pf = { listing1 with pf_name = "gpgpu-box" } in
+        let text = Pdl.Codec.to_string pf in
+        check bool_ "root is Platform" true
+          (contains text "<Platform name=\"gpgpu-box\">"));
+    Alcotest.test_case "typed properties keep unit / schema / fixity" `Quick
+      (fun () ->
+        let doc =
+          Printf.sprintf
+            {|<Master id="0"><Worker id="1">%s</Worker></Master>|}
+            listing2_properties
+        in
+        match Pdl.Codec.of_string doc with
+        | Error e -> Alcotest.fail e
+        | Ok pf ->
+            let w = Option.get (find_pu pf "1") in
+            let mem =
+              Option.get (find_property w.pu_descriptor "GLOBAL_MEM_SIZE")
+            in
+            check string_ "value" "1572864" mem.p_value;
+            check (Alcotest.option string_) "unit" (Some "kB") mem.p_unit;
+            check bool_ "unfixed" false mem.p_fixed;
+            check (Alcotest.option string_) "subschema"
+              (Some "ocl:oclDevicePropertyType") mem.p_schema;
+            check int_ "all five properties" 5
+              (List.length w.pu_descriptor.d_properties));
+    Alcotest.test_case "typed properties re-encode with prefix" `Quick
+      (fun () ->
+        let pf =
+          platform ~name:""
+            [
+              pu Master "0"
+                ~props:
+                  [
+                    property ~fixed:false ~schema:"ocl:oclDevicePropertyType"
+                      ~unit_:"kB" "GLOBAL_MEM_SIZE" "1572864";
+                  ];
+            ]
+        in
+        let text = Pdl.Codec.to_string pf in
+        check bool_ "prefixed name" true (contains text "<ocl:name>");
+        check bool_ "unit attr" true (contains text "unit=\"kB\"");
+        check bool_ "xsi type" true
+          (contains text "xsi:type=\"ocl:oclDevicePropertyType\""));
+    Alcotest.test_case "missing required attr is a codec error" `Quick
+      (fun () ->
+        match Pdl.Codec.of_string "<Master><Worker id=\"1\"/></Master>" with
+        | Ok _ -> Alcotest.fail "expected error"
+        | Error e -> check bool_ "mentions id" true (contains e "id"));
+    Alcotest.test_case "load_string runs the whole pipeline" `Quick (fun () ->
+        (match Pdl.Codec.load_string listing1_text with
+        | Ok _ -> ()
+        | Error msgs -> Alcotest.fail (String.concat "; " msgs));
+        (* Schema-invalid: unknown element *)
+        (match Pdl.Codec.load_string {|<Master id="0"><Gizmo/></Master>|} with
+        | Ok _ -> Alcotest.fail "schema violation accepted"
+        | Error _ -> ());
+        (* Model-invalid: duplicate ids (schema cannot see this) *)
+        match
+          Pdl.Codec.load_string
+            {|<Master id="0"><Worker id="1"/><Worker id="1"/></Master>|}
+        with
+        | Ok _ -> Alcotest.fail "duplicate id accepted"
+        | Error msgs ->
+            check bool_ "duplicate reported" true
+              (List.exists (fun m -> contains m "duplicate") msgs));
+    Alcotest.test_case "memory regions round trip" `Quick (fun () ->
+        let pf =
+          platform ~name:"mem"
+            [
+              pu Master "0"
+                ~memory:
+                  [
+                    memory_region
+                      ~props:[ property ~unit_:"MB" "SIZE" "1024" ]
+                      "ram0";
+                  ]
+                ~children:[ pu Worker "1" ];
+            ]
+        in
+        let text = Pdl.Codec.to_string pf in
+        match Pdl.Codec.of_string text with
+        | Error e -> Alcotest.fail e
+        | Ok pf2 ->
+            let m = List.hd pf2.pf_masters in
+            check int_ "one region" 1 (List.length m.pu_memory);
+            let mr = List.hd m.pu_memory in
+            check string_ "id" "ram0" mr.mr_id;
+            check (Alcotest.option string_) "size" (Some "1024")
+              (property_value mr.mr_descriptor "SIZE"));
+    Alcotest.test_case "logic groups round trip" `Quick (fun () ->
+        let pf =
+          platform ~name:""
+            [
+              pu Master "0"
+                ~children:
+                  [ pu Worker "1" ~groups:[ "executionset01"; "gpus" ] ];
+            ]
+        in
+        match Pdl.Codec.of_string (Pdl.Codec.to_string pf) with
+        | Error e -> Alcotest.fail e
+        | Ok pf2 ->
+            let w = Option.get (find_pu pf2 "1") in
+            check (Alcotest.list string_) "groups"
+              [ "executionset01"; "gpus" ] w.pu_groups);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Query                                                               *)
+
+let gpu_server =
+  (* Dual-socket Xeon + 2 GPUs, as in the paper's experiment. *)
+  platform ~name:"xeon-2gpu"
+    [
+      pu Master "cpu"
+        ~props:
+          [
+            property "ARCHITECTURE" "x86_64";
+            property "CORES" "8";
+            property "FREQ_MHZ" "2660";
+          ]
+        ~children:
+          [
+            pu Worker "gtx480"
+              ~props:
+                [
+                  property "ARCHITECTURE" "gpu";
+                  property "DEVICE_NAME" "GeForce GTX 480";
+                  property "MAX_COMPUTE_UNITS" "15";
+                ]
+              ~groups:[ "executionset01"; "gpus" ];
+            pu Worker "gtx285"
+              ~props:
+                [
+                  property "ARCHITECTURE" "gpu";
+                  property "DEVICE_NAME" "GeForce GTX 285";
+                  property "MAX_COMPUTE_UNITS" "30";
+                ]
+              ~groups:[ "executionset01"; "gpus" ];
+          ]
+        ~interconnects:
+          [
+            interconnect ~type_:"PCIe" ~from:"cpu" ~to_:"gtx480" ();
+            interconnect ~type_:"PCIe" ~from:"cpu" ~to_:"gtx285" ();
+          ];
+    ]
+
+let query_tests =
+  let open Pdl.Query in
+  [
+    Alcotest.test_case "class and property predicates" `Quick (fun () ->
+        check int_ "gpu workers" 2
+          (count ~where:(is_worker &&& architecture_is "GPU") gpu_server);
+        check int_ "x86 masters" 1
+          (count ~where:(is_master &&& architecture_is "x86_64") gpu_server);
+        check int_ "nothing is hybrid" 0 (count ~where:is_hybrid gpu_server));
+    Alcotest.test_case "property_at_least" `Quick (fun () ->
+        check int_ "CU >= 20" 1
+          (count ~where:(property_at_least "MAX_COMPUTE_UNITS" 20) gpu_server));
+    Alcotest.test_case "group predicate" `Quick (fun () ->
+        check int_ "executionset01" 2
+          (count ~where:(in_group "executionset01") gpu_server);
+        check int_ "combined" 1
+          (count
+             ~where:(in_group "gpus" &&& property_is "DEVICE_NAME" "GeForce GTX 480")
+             gpu_server));
+    Alcotest.test_case "boolean combinators" `Quick (fun () ->
+        check int_ "negation" 1
+          (count ~where:(not_ (architecture_is "gpu")) gpu_server);
+        check int_ "disjunction" 3
+          (count ~where:(is_master ||| is_worker) gpu_server));
+    Alcotest.test_case "architectures" `Quick (fun () ->
+        check (Alcotest.list string_) "distinct" [ "x86_64"; "gpu" ]
+          (architectures gpu_server));
+    Alcotest.test_case "property_values" `Quick (fun () ->
+        check
+          (Alcotest.list (Alcotest.pair string_ string_))
+          "device names"
+          [ ("gtx480", "GeForce GTX 480"); ("gtx285", "GeForce GTX 285") ]
+          (property_values gpu_server "DEVICE_NAME"));
+    Alcotest.test_case "workers_of and controllers_of" `Quick (fun () ->
+        check int_ "workers under cpu" 2
+          (List.length (workers_of gpu_server "cpu"));
+        check (Alcotest.list string_) "controllers of gtx480" [ "cpu" ]
+          (List.map (fun p -> p.pu_id) (controllers_of gpu_server "gtx480")));
+    Alcotest.test_case "reachable over interconnects" `Quick (fun () ->
+        check (Alcotest.list string_) "from cpu" [ "gtx480"; "gtx285" ]
+          (reachable gpu_server ~from:"cpu");
+        check (Alcotest.list string_) "from gtx480" [ "cpu"; "gtx285" ]
+          (reachable gpu_server ~from:"gtx480"));
+    Alcotest.test_case "path-expression select" `Quick (fun () ->
+        (match select gpu_server "//Worker[@id='gtx285']" with
+        | Ok [ pu ] -> check string_ "id" "gtx285" pu.pu_id
+        | Ok _ -> Alcotest.fail "expected exactly one result"
+        | Error e -> Alcotest.fail e);
+        (match select gpu_server "//Worker" with
+        | Ok pus -> check int_ "two" 2 (List.length pus)
+        | Error e -> Alcotest.fail e);
+        match select gpu_server "//Property" with
+        | Ok _ -> Alcotest.fail "non-PU selection must error"
+        | Error _ -> ());
+    Alcotest.test_case "select rejects malformed paths" `Quick (fun () ->
+        match select gpu_server "//[" with
+        | Ok _ -> Alcotest.fail "expected error"
+        | Error _ -> ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pattern                                                             *)
+
+let pattern_tests =
+  let open Pdl.Pattern in
+  [
+    Alcotest.test_case "parse and print round trip" `Quick (fun () ->
+        let srcs =
+          [
+            "Master";
+            "*";
+            "Master{ARCHITECTURE=x86}";
+            "Master[Worker]";
+            "Master{ARCHITECTURE=x86}[Worker{ARCHITECTURE=gpu}@gpu]";
+            "Master[Worker{#gpus},Worker{quantity>=2}]";
+            "Hybrid{CORES>=8}[Worker]@h";
+          ]
+        in
+        List.iter (fun s -> check string_ s s (to_string (parse s))) srcs);
+    Alcotest.test_case "parse errors" `Quick (fun () ->
+        List.iter
+          (fun bad ->
+            match parse bad with
+            | exception Parse_error _ -> ()
+            | _ -> Alcotest.failf "expected Parse_error for %S" bad)
+          [ ""; "Gizmo"; "Master{"; "Master["; "Master{x=}"; "Master]"; "Master{quantity>=x}" ]);
+    Alcotest.test_case "simple class match" `Quick (fun () ->
+        check bool_ "master matches" true
+          (matches (parse "Master") gpu_server);
+        check bool_ "hybrid absent" false
+          (matches (parse "Hybrid") gpu_server));
+    Alcotest.test_case "the paper's CPU+GPU pattern matches" `Quick (fun () ->
+        let pat = parse "Master[Worker{ARCHITECTURE=gpu}]" in
+        check bool_ "matches" true (matches pat gpu_server));
+    Alcotest.test_case "embedding requires distinct children" `Quick
+      (fun () ->
+        let two_gpus = parse "Master[Worker{ARCHITECTURE=gpu},Worker{ARCHITECTURE=gpu}]" in
+        let three_gpus =
+          parse
+            "Master[Worker{ARCHITECTURE=gpu},Worker{ARCHITECTURE=gpu},Worker{ARCHITECTURE=gpu}]"
+        in
+        check bool_ "two fit" true (matches two_gpus gpu_server);
+        check bool_ "three do not" false (matches three_gpus gpu_server));
+    Alcotest.test_case "quantity constraint" `Quick (fun () ->
+        let pf =
+          platform ~name:""
+            [ pu Master "0" ~children:[ pu Worker "1" ~quantity:8 ] ]
+        in
+        check bool_ "8 >= 4" true (matches (parse "Master[Worker{quantity>=4}]") pf);
+        check bool_ "8 < 16" false
+          (matches (parse "Master[Worker{quantity>=16}]") pf));
+    Alcotest.test_case "integer property constraint" `Quick (fun () ->
+        check bool_ "CORES>=8" true
+          (matches (parse "Master{CORES>=8}") gpu_server);
+        check bool_ "CORES>=16" false
+          (matches (parse "Master{CORES>=16}") gpu_server));
+    Alcotest.test_case "group constraint" `Quick (fun () ->
+        check bool_ "#gpus" true
+          (matches (parse "Worker{#gpus}") gpu_server);
+        check bool_ "#nope" false (matches (parse "Worker{#nope}") gpu_server));
+    Alcotest.test_case "bindings returned by label" `Quick (fun () ->
+        let pat =
+          parse "Master@host[Worker{DEVICE_NAME=GeForce}@dev]"
+        in
+        (* DEVICE_NAME values contain spaces; word syntax cannot
+           express them, so this must not match... *)
+        check bool_ "no match on partial value" false (matches pat gpu_server);
+        let pat = parse "Master@host[Worker{MAX_COMPUTE_UNITS>=30}@dev]" in
+        match find_matches pat gpu_server with
+        | [ (root, binding) ] ->
+            check string_ "root" "cpu" root.pu_id;
+            check (Alcotest.option string_) "host binding" (Some "cpu")
+              (Option.map (fun p -> p.pu_id) (List.assoc_opt "host" binding));
+            check (Alcotest.option string_) "dev binding" (Some "gtx285")
+              (Option.map (fun p -> p.pu_id) (List.assoc_opt "dev" binding))
+        | other -> Alcotest.failf "expected one match, got %d" (List.length other));
+    Alcotest.test_case "deep matching finds inner nodes" `Quick (fun () ->
+        let cell =
+          platform ~name:""
+            [
+              pu Master "m"
+                ~children:
+                  [
+                    pu Hybrid "h"
+                      ~children:[ pu Worker "w" ~props:[ property "ARCHITECTURE" "spe" ] ];
+                  ];
+            ]
+        in
+        check bool_ "hybrid pattern found below master" true
+          (matches (parse "Hybrid[Worker{ARCHITECTURE=spe}]") cell));
+    Alcotest.test_case "specificity ranks patterns" `Quick (fun () ->
+        let a = parse "Master" in
+        let b = parse "Master{ARCHITECTURE=x86}[Worker{ARCHITECTURE=gpu}]" in
+        check bool_ "more constrained is more specific" true
+          (specificity b > specificity a));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Diff / instantiate                                                  *)
+
+let diff_tests =
+  let open Pdl.Diff in
+  [
+    Alcotest.test_case "identical platforms have no diff" `Quick (fun () ->
+        check bool_ "equivalent" true (equivalent gpu_server gpu_server));
+    Alcotest.test_case "added and removed PUs" `Quick (fun () ->
+        let smaller = Pdl.View.apply_exn (Pdl.View.drop_pu "gtx285") gpu_server in
+        let changes = diff gpu_server smaller in
+        check bool_ "removed" true
+          (List.exists (function Pu_removed "gtx285" -> true | _ -> false) changes);
+        let changes_back = diff smaller gpu_server in
+        check bool_ "added" true
+          (List.exists (function Pu_added "gtx285" -> true | _ -> false) changes_back));
+    Alcotest.test_case "property changes reported" `Quick (fun () ->
+        let changed =
+          {
+            gpu_server with
+            pf_masters =
+              List.map
+                (fun m ->
+                  {
+                    m with
+                    pu_descriptor =
+                      set_property m.pu_descriptor (property "CORES" "16");
+                  })
+                gpu_server.pf_masters;
+          }
+        in
+        let changes = diff gpu_server changed in
+        check bool_ "cores changed" true
+          (List.exists
+             (function
+               | Property_changed { name = "CORES"; from_ = "8"; to_ = "16"; _ } ->
+                   true
+               | _ -> false)
+             changes));
+    Alcotest.test_case "instantiate fills only unfixed properties" `Quick
+      (fun () ->
+        let pf =
+          platform ~name:""
+            [
+              pu Master "0"
+                ~props:
+                  [
+                    property ~fixed:false "MAX_COMPUTE_UNITS" "";
+                    property ~fixed:true "ARCHITECTURE" "gpu";
+                  ];
+            ]
+        in
+        let pf2 =
+          instantiate
+            ~values:
+              [
+                ("0", "MAX_COMPUTE_UNITS", "15");
+                ("0", "ARCHITECTURE", "OVERWRITTEN");
+              ]
+            pf
+        in
+        let m = List.hd pf2.pf_masters in
+        check (Alcotest.option string_) "filled" (Some "15")
+          (pu_property m "MAX_COMPUTE_UNITS");
+        check (Alcotest.option string_) "fixed untouched" (Some "gpu")
+          (pu_property m "ARCHITECTURE"));
+    Alcotest.test_case "missing_values lists empty unfixed props" `Quick
+      (fun () ->
+        let pf =
+          platform ~name:""
+            [
+              pu Master "0"
+                ~props:
+                  [
+                    property ~fixed:false "A" "";
+                    property ~fixed:false "B" "set";
+                    property ~fixed:true "C" "";
+                  ];
+            ]
+        in
+        check
+          (Alcotest.list (Alcotest.pair string_ string_))
+          "only A" [ ("0", "A") ] (missing_values pf));
+    Alcotest.test_case "overlay copies probe values" `Quick (fun () ->
+        let base =
+          platform ~name:""
+            [ pu Master "0" ~props:[ property ~fixed:false "FREQ" "" ] ]
+        in
+        let probe =
+          platform ~name:""
+            [ pu Master "0" ~props:[ property "FREQ" "2660" ] ]
+        in
+        let merged = overlay ~base ~probe in
+        check (Alcotest.option string_) "freq" (Some "2660")
+          (pu_property (List.hd merged.pf_masters) "FREQ"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* View                                                                *)
+
+let cell_like =
+  platform ~name:"cell"
+    [
+      pu Master "host"
+        ~children:
+          [
+            pu Hybrid "ppe"
+              ~props:[ property "ARCHITECTURE" "ppc64" ]
+              ~children:
+                [
+                  pu Worker "spe0" ~groups:[ "simd" ];
+                  pu Worker "spe1" ~groups:[ "simd" ];
+                ];
+            pu Worker "mic" ~props:[ property "ARCHITECTURE" "mic" ];
+          ];
+    ]
+
+let view_tests =
+  let open Pdl.View in
+  [
+    Alcotest.test_case "identity view" `Quick (fun () ->
+        match apply identity gpu_server with
+        | Ok pf -> check bool_ "same" true (Pdl.Diff.equivalent gpu_server pf)
+        | Error e -> Alcotest.fail (String.concat ";" e));
+    Alcotest.test_case "flatten collapses hybrids" `Quick (fun () ->
+        let flat = apply_exn flatten cell_like in
+        let m = List.hd flat.pf_masters in
+        check bool_ "no hybrids" true
+          (List.for_all (fun c -> c.pu_class = Worker) m.pu_children);
+        (* ppe has a descriptor, so it is preserved as a worker. *)
+        check (Alcotest.list string_) "children"
+          [ "ppe"; "spe0"; "spe1"; "mic" ]
+          (List.map (fun c -> c.pu_id) m.pu_children));
+    Alcotest.test_case "flatten drops descriptor-less hybrids" `Quick
+      (fun () ->
+        let pf =
+          platform ~name:""
+            [
+              pu Master "m"
+                ~children:[ pu Hybrid "h" ~children:[ pu Worker "w" ] ];
+            ]
+        in
+        let flat = apply_exn flatten pf in
+        check (Alcotest.list string_) "only worker survives" [ "w" ]
+          (List.map
+             (fun c -> c.pu_id)
+             (List.hd flat.pf_masters).pu_children));
+    Alcotest.test_case "restrict_to_group keeps ancestors" `Quick (fun () ->
+        let v = restrict_to_group "simd" in
+        let simd = apply_exn v cell_like in
+        check (Alcotest.list string_) "pus"
+          [ "host"; "ppe"; "spe0"; "spe1" ]
+          (List.map (fun p -> p.pu_id) (all_pus simd)));
+    Alcotest.test_case "restrict to unknown group is invalid" `Quick
+      (fun () ->
+        match apply (restrict_to_group "nope") cell_like with
+        | Ok _ -> Alcotest.fail "empty platform accepted"
+        | Error msgs ->
+            check bool_ "mentions view" true
+              (List.exists (fun m -> contains m "restrict:nope") msgs));
+    Alcotest.test_case "promote_hybrids wraps loose workers" `Quick
+      (fun () ->
+        let promoted = apply_exn promote_hybrids cell_like in
+        let m = List.hd promoted.pf_masters in
+        check bool_ "all children hybrid" true
+          (List.for_all (fun c -> c.pu_class = Hybrid) m.pu_children);
+        check bool_ "mic preserved under wrapper" true
+          (find_pu promoted "mic" <> None));
+    Alcotest.test_case "regroup and ungroup" `Quick (fun () ->
+        let grouped =
+          apply_exn
+            (regroup ~group:"accel" ~where:(Pdl.Query.architecture_is "gpu"))
+            gpu_server
+        in
+        check int_ "both gpus grouped" 2
+          (List.length (group_members grouped "accel"));
+        let cleared = apply_exn (ungroup "accel") grouped in
+        check int_ "cleared" 0 (List.length (group_members cleared "accel")));
+    Alcotest.test_case "compose chains views" `Quick (fun () ->
+        let v =
+          compose "flat-simd" [ flatten; rename "flat" ]
+        in
+        let out = apply_exn v cell_like in
+        check string_ "renamed" "flat" out.pf_name;
+        check bool_ "flattened" true
+          (List.for_all
+             (fun c -> c.pu_class = Worker)
+             (List.hd out.pf_masters).pu_children));
+    Alcotest.test_case "multiple views coexist for one system" `Quick
+      (fun () ->
+        (* The paper's point: same hardware, different logical views. *)
+        let flat = apply_exn flatten cell_like in
+        let hier = apply_exn promote_hybrids cell_like in
+        check bool_ "different structures" false
+          (Pdl.Diff.equivalent flat hier);
+        check bool_ "both valid" true
+          (Pdl_model.Validate.is_valid flat
+          && Pdl_model.Validate.is_valid hier));
+  ]
+
+(* Codec round-trip property over random valid platforms. *)
+let gen_platform =
+  let open QCheck.Gen in
+  let counter = ref 0 in
+  let fresh prefix =
+    incr counter;
+    Printf.sprintf "%s%d" prefix !counter
+  in
+  let gen_props =
+    list_size (int_range 0 3)
+      (map2
+         (fun (k, schema) v ->
+           property ?schema k v)
+         (oneofl
+            [
+              ("ARCHITECTURE", None);
+              ("FREQ", None);
+              ("DEVICE_NAME", Some "ocl:oclDevicePropertyType");
+            ])
+         (oneofl [ "x86"; "gpu"; "GeForce GTX 480"; "15" ]))
+  in
+  let gen_worker =
+    map3
+      (fun q props gs -> pu Worker (fresh "w") ~quantity:(q + 1) ~props ~groups:gs)
+      (int_range 0 3) gen_props
+      (list_size (int_range 0 2) (oneofl [ "g1"; "g2" ]))
+  in
+  let gen_hybrid =
+    map2
+      (fun ws props -> pu Hybrid (fresh "h") ~props ~children:ws)
+      (list_size (int_range 1 3) gen_worker)
+      gen_props
+  in
+  let gen_master =
+    map2
+      (fun children props -> pu Master (fresh "m") ~props ~children)
+      (list_size (int_range 0 3)
+         (frequency [ (3, gen_worker); (1, gen_hybrid) ]))
+      gen_props
+  in
+  map
+    (fun masters -> platform ~name:"random" masters)
+    (list_size (int_range 1 2) gen_master)
+
+let codec_roundtrip_prop =
+  QCheck.Test.make ~name:"codec round trip preserves platforms" ~count:100
+    (QCheck.make ~print:Pdl.Codec.to_string gen_platform)
+    (fun pf ->
+      match Pdl.Codec.of_string (Pdl.Codec.to_string pf) with
+      | Ok pf2 -> Pdl.Diff.equivalent pf pf2
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let generated_validate_prop =
+  QCheck.Test.make ~name:"generated platforms pass the full pipeline"
+    ~count:100
+    (QCheck.make ~print:Pdl.Codec.to_string gen_platform)
+    (fun pf ->
+      match Pdl.Codec.load_string (Pdl.Codec.to_string pf) with
+      | Ok _ -> true
+      | Error msgs -> QCheck.Test.fail_reportf "%s" (String.concat "; " msgs))
+
+(* Pattern print/parse round trip over generated patterns. *)
+let gen_pattern =
+  let open QCheck.Gen in
+  let constr =
+    oneof
+      [
+        map2 (fun n v -> Pdl.Pattern.Prop_eq (n, v))
+          (oneofl [ "ARCHITECTURE"; "ROLE"; "FREQ" ])
+          (oneofl [ "x86"; "gpu"; "spe"; "2660" ]);
+        map2 (fun n b -> Pdl.Pattern.Prop_at_least (n, b))
+          (oneofl [ "CORES"; "MAX_COMPUTE_UNITS" ])
+          (int_range 1 64);
+        map (fun n -> Pdl.Pattern.Prop_exists n) (oneofl [ "CACHE_KB"; "SOCKETS" ]);
+        map (fun g -> Pdl.Pattern.In_group g) (oneofl [ "gpus"; "cpus" ]);
+        map (fun q -> Pdl.Pattern.Quantity_at_least q) (int_range 1 16);
+      ]
+  in
+  let rec pat depth =
+    let children =
+      if depth = 0 then return []
+      else list_size (int_range 0 2) (pat (depth - 1))
+    in
+    map3
+      (fun cls constraints (children, label) ->
+        Pdl.Pattern.make ?cls ~constraints ~children ?label ())
+      (oneofl
+         [ None; Some Pdl_model.Machine.Master; Some Pdl_model.Machine.Hybrid;
+           Some Pdl_model.Machine.Worker ])
+      (list_size (int_range 0 3) constr)
+      (pair children (oneofl [ None; Some "dev"; Some "host" ]))
+  in
+  pat 2
+
+let pattern_roundtrip_prop =
+  QCheck.Test.make ~name:"pattern print/parse round trip" ~count:200
+    (QCheck.make ~print:Pdl.Pattern.to_string gen_pattern)
+    (fun p ->
+      let p2 = Pdl.Pattern.parse (Pdl.Pattern.to_string p) in
+      Pdl.Pattern.to_string p = Pdl.Pattern.to_string p2)
+
+(* Views preserve well-formedness on generated platforms. *)
+let views_preserve_validity =
+  QCheck.Test.make ~name:"flatten/promote keep platforms well-formed"
+    ~count:100
+    (QCheck.make ~print:Pdl.Codec.to_string gen_platform)
+    (fun pf ->
+      let flat = Pdl.View.apply Pdl.View.flatten pf in
+      let promoted = Pdl.View.apply Pdl.View.promote_hybrids pf in
+      Result.is_ok flat && Result.is_ok promoted)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "pdl"
+    [
+      ("schema", schema_tests);
+      ("codec", codec_tests);
+      ("query", query_tests);
+      ("pattern", pattern_tests);
+      ("diff", diff_tests);
+      ("view", view_tests);
+      ( "properties",
+        qt
+          [
+            codec_roundtrip_prop; generated_validate_prop;
+            pattern_roundtrip_prop; views_preserve_validity;
+          ] );
+    ]

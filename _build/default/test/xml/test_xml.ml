@@ -1,0 +1,788 @@
+(* Tests for the XML substrate: Loc, Dom, Decode, Encode, Ns, Path,
+   Schema. *)
+
+open Pdl_xml
+
+let check = Alcotest.check
+let string_ = Alcotest.string
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+(* Substring test used to assert on error messages. *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let parse s = Decode.element_of_string_exn s
+let parse_doc s = Decode.doc_of_string_exn s
+
+let expect_parse_error name input =
+  Alcotest.test_case name `Quick (fun () ->
+      match Decode.element_of_string input with
+      | Ok _ -> Alcotest.failf "expected a parse error for %S" input
+      | Error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Loc                                                                 *)
+
+let loc_tests =
+  [
+    Alcotest.test_case "advance tracks lines and columns" `Quick (fun () ->
+        let p = Loc.start in
+        let p = Loc.advance p 'a' in
+        check int_ "col" 2 p.col;
+        check int_ "line" 1 p.line;
+        let p = Loc.advance p '\n' in
+        check int_ "line after newline" 2 p.line;
+        check int_ "col after newline" 1 p.col;
+        check int_ "offset" 2 p.offset);
+    Alcotest.test_case "merge covers both spans" `Quick (fun () ->
+        let p1 = Loc.start in
+        let p2 = Loc.advance p1 'x' in
+        let p3 = Loc.advance p2 'y' in
+        let s = Loc.merge (Loc.span p2 p3) (Loc.span p1 p2) in
+        check int_ "start" p1.offset s.start_pos.offset;
+        check int_ "end" p3.offset s.end_pos.offset);
+    Alcotest.test_case "merge ignores dummy" `Quick (fun () ->
+        let s = Loc.span Loc.start (Loc.advance Loc.start 'a') in
+        let m = Loc.merge Loc.dummy s in
+        check bool_ "not dummy" false (Loc.is_dummy m));
+    Alcotest.test_case "to_string mentions line" `Quick (fun () ->
+        let s = Loc.span Loc.start Loc.start in
+        check bool_ "has line" true
+          (String.length (Loc.to_string s) > 0
+          && String.sub (Loc.to_string s) 0 4 = "line"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Decode                                                              *)
+
+let decode_tests =
+  [
+    Alcotest.test_case "simple element" `Quick (fun () ->
+        let el = parse "<a/>" in
+        check string_ "name" "a" el.name.local;
+        check int_ "children" 0 (List.length el.children));
+    Alcotest.test_case "attributes" `Quick (fun () ->
+        let el = parse {|<a x="1" y='two'/>|} in
+        check string_ "x" "1" (Dom.attr_exn el "x");
+        check string_ "y" "two" (Dom.attr_exn el "y"));
+    Alcotest.test_case "nested elements preserve order" `Quick (fun () ->
+        let el = parse "<a><b/><c/><b/></a>" in
+        let names =
+          List.map (fun (e : Dom.element) -> e.name.local) (Dom.child_elements el)
+        in
+        check (Alcotest.list string_) "order" [ "b"; "c"; "b" ] names);
+    Alcotest.test_case "text content" `Quick (fun () ->
+        let el = parse "<a>hello <b>brave</b> world</a>" in
+        check string_ "all text" "hello brave world" (Dom.text_content el);
+        check string_ "own text" "hello  world" (Dom.own_text el));
+    Alcotest.test_case "entities expand" `Quick (fun () ->
+        let el = parse "<a>&lt;&amp;&gt;&quot;&apos;</a>" in
+        check string_ "expanded" "<&>\"'" (Dom.text_content el));
+    Alcotest.test_case "character references" `Quick (fun () ->
+        let el = parse "<a>&#65;&#x42;</a>" in
+        check string_ "AB" "AB" (Dom.text_content el));
+    Alcotest.test_case "utf-8 char reference" `Quick (fun () ->
+        let el = parse "<a>&#xE9;</a>" in
+        check string_ "e acute" "\xc3\xa9" (Dom.text_content el));
+    Alcotest.test_case "entities in attributes" `Quick (fun () ->
+        let el = parse {|<a v="&lt;x&gt; &amp; &quot;y&quot;"/>|} in
+        check string_ "value" {|<x> & "y"|} (Dom.attr_exn el "v"));
+    Alcotest.test_case "cdata" `Quick (fun () ->
+        let el = parse "<a><![CDATA[<not> &parsed;]]></a>" in
+        check string_ "cdata" "<not> &parsed;" (Dom.text_content el));
+    Alcotest.test_case "comments are kept as nodes" `Quick (fun () ->
+        let el = parse "<a><!-- note --><b/></a>" in
+        let comments =
+          List.filter (function Dom.Comment _ -> true | _ -> false) el.children
+        in
+        check int_ "one comment" 1 (List.length comments));
+    Alcotest.test_case "processing instruction" `Quick (fun () ->
+        let el = parse "<a><?php echo 1 ?></a>" in
+        match el.children with
+        | [ Dom.Pi (target, content, _) ] ->
+            check string_ "target" "php" target;
+            check string_ "content" "echo 1" content
+        | _ -> Alcotest.fail "expected a single PI node");
+    Alcotest.test_case "xml declaration" `Quick (fun () ->
+        let doc = parse_doc {|<?xml version="1.1" encoding="UTF-8"?><r/>|} in
+        check string_ "version" "1.1" doc.version;
+        check (Alcotest.option string_) "encoding" (Some "UTF-8") doc.encoding);
+    Alcotest.test_case "doctype is skipped" `Quick (fun () ->
+        let doc = parse_doc "<!DOCTYPE html [ <!ENTITY x \"y\"> ]><r/>" in
+        check string_ "root" "r" doc.root.name.local);
+    Alcotest.test_case "prefixed names split" `Quick (fun () ->
+        let el = parse "<ocl:name xsi:type=\"t\">x</ocl:name>" in
+        check string_ "prefix" "ocl" el.name.prefix;
+        check string_ "local" "name" el.name.local);
+    Alcotest.test_case "whitespace in tags tolerated" `Quick (fun () ->
+        let el = parse "<a  x = \"1\" ></a >" in
+        check string_ "x" "1" (Dom.attr_exn el "x"));
+    Alcotest.test_case "error location is precise" `Quick (fun () ->
+        match Decode.element_of_string "<a>\n  <b>\n</a>" with
+        | Ok _ -> Alcotest.fail "expected mismatch error"
+        | Error e -> check int_ "line" 3 e.at.start_pos.line);
+    expect_parse_error "mismatched tags" "<a></b>";
+    expect_parse_error "unterminated element" "<a><b></b>";
+    expect_parse_error "unterminated comment" "<a><!-- x</a>";
+    expect_parse_error "bare ampersand" "<a>x & y</a>";
+    expect_parse_error "unknown entity" "<a>&nope;</a>";
+    expect_parse_error "lt in attribute" {|<a v="<"/>|};
+    expect_parse_error "trailing garbage" "<a/>junk";
+    expect_parse_error "two roots" "<a/><b/>";
+    expect_parse_error "empty input" "";
+    expect_parse_error "huge char reference" "<a>&#x110000;</a>";
+    Alcotest.test_case "unescape helper" `Quick (fun () ->
+        check string_ "mixed" "a<b&c"
+          (Decode.unescape "a&lt;b&amp;c");
+        check string_ "malformed left verbatim" "a&nope;b"
+          (Decode.unescape "a&nope;b");
+        check string_ "lone ampersand" "a&b" (Decode.unescape "a&b"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Encode + round trip                                                 *)
+
+let encode_tests =
+  [
+    Alcotest.test_case "self-closing empty element" `Quick (fun () ->
+        check string_ "form" "<a x=\"1\"/>"
+          (Encode.element_to_string ~config:Encode.compact
+             (Dom.elem ~attrs:[ ("x", "1") ] "a" [])));
+    Alcotest.test_case "escapes in text and attrs" `Quick (fun () ->
+        let el = Dom.elem ~attrs:[ ("v", "a\"b&c") ] "a" [ Dom.text "<&>" ] in
+        let s = Encode.element_to_string ~config:Encode.compact el in
+        check string_ "escaped" "<a v=\"a&quot;b&amp;c\">&lt;&amp;&gt;</a>" s);
+    Alcotest.test_case "indented output" `Quick (fun () ->
+        let el = Dom.elem "a" [ Dom.e "b" [ Dom.text "t" ] ] in
+        check string_ "pretty" "<a>\n  <b>t</b>\n</a>"
+          (Encode.element_to_string el));
+    Alcotest.test_case "doc declaration" `Quick (fun () ->
+        let doc = Dom.doc (Dom.elem "r" []) in
+        let s = Encode.doc_to_string ~config:Encode.compact doc in
+        check bool_ "has decl" true
+          (String.length s >= 5 && String.sub s 0 5 = "<?xml"));
+    Alcotest.test_case "no-self-close config" `Quick (fun () ->
+        let cfg = { Encode.compact with self_close = false } in
+        check string_ "explicit close" "<a></a>"
+          (Encode.element_to_string ~config:cfg (Dom.elem "a" [])));
+    Alcotest.test_case "cdata and PI survive encoding" `Quick (fun () ->
+        let el =
+          Dom.elem "a"
+            [ Dom.Cdata ("<raw>&", Loc.dummy); Dom.Pi ("target", "body", Loc.dummy) ]
+        in
+        let s = Encode.element_to_string ~config:Encode.compact el in
+        check string_ "verbatim" "<a><![CDATA[<raw>&]]><?target body?></a>" s;
+        match Decode.element_of_string s with
+        | Ok el2 -> check bool_ "round trip" true (Dom.equal_element el el2)
+        | Error e -> Alcotest.fail (Decode.error_to_string e));
+    Alcotest.test_case "doc without declaration" `Quick (fun () ->
+        let cfg = { Encode.compact with declaration = false } in
+        check string_ "bare" "<r/>"
+          (Encode.doc_to_string ~config:cfg (Dom.doc (Dom.elem "r" []))));
+    Alcotest.test_case "listing1-shaped round trip" `Quick (fun () ->
+        let input =
+          {|<Master id="0" quantity="1">
+  <PUDescriptor>
+    <Property fixed="true">
+      <name>ARCHITECTURE</name>
+      <value>x86</value>
+    </Property>
+  </PUDescriptor>
+  <Worker quantity="1" id="1">
+    <PUDescriptor>
+      <Property fixed="true">
+        <name>ARCHITECTURE</name>
+        <value>gpu</value>
+      </Property>
+    </PUDescriptor>
+  </Worker>
+  <Interconnect type="rDMA" from="0" to="1" scheme=""/>
+</Master>|}
+        in
+        let el = parse input in
+        let reparsed = parse (Encode.element_to_string el) in
+        check bool_ "equal" true (Dom.equal_element el reparsed));
+  ]
+
+(* Random tree generator for the round-trip property. *)
+let gen_dom =
+  let open QCheck.Gen in
+  let name = oneofl [ "a"; "b"; "Master"; "Worker"; "ocl:name"; "x-y.z" ] in
+  let text_char =
+    frequency
+      [ (20, char_range 'a' 'z'); (3, oneofl [ '<'; '&'; '>'; '"'; '\''; ' ' ]) ]
+  in
+  let text = string_size ~gen:text_char (int_range 1 12) in
+  let attrs =
+    list_size (int_range 0 3)
+      (map2 (fun k v -> (k, v)) (oneofl [ "id"; "type"; "fixed"; "q" ]) text)
+  in
+  (* Attribute keys must be distinct within one element. *)
+  let dedup_attrs l =
+    List.fold_left
+      (fun acc (k, v) -> if List.mem_assoc k acc then acc else (k, v) :: acc)
+      [] l
+  in
+  let rec elem depth =
+    let children =
+      if depth = 0 then return []
+      else
+        list_size (int_range 0 3)
+          (frequency
+             [
+               (2, map (fun s -> Dom.text s) text);
+               (3, map (fun e -> Dom.Element e) (elem (depth - 1)));
+             ])
+    in
+    map3
+      (fun n a c ->
+        let n = Dom.name_of_string n in
+        Dom.
+          {
+            name = n;
+            attrs =
+              List.map
+                (fun (k, v) ->
+                  {
+                    attr_name = Dom.name_of_string k;
+                    attr_value = v;
+                    attr_span = Loc.dummy;
+                  })
+                (dedup_attrs a);
+            children = c;
+            span = Loc.dummy;
+          })
+      name attrs children
+  in
+  elem 3
+
+let arbitrary_dom = QCheck.make ~print:(Encode.element_to_string ~config:Encode.compact) gen_dom
+
+let roundtrip_prop =
+  QCheck.Test.make ~name:"encode/decode round trip" ~count:300 arbitrary_dom
+    (fun el ->
+      let s = Encode.element_to_string ~config:Encode.compact el in
+      match Decode.element_of_string s with
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s" (Decode.error_to_string e)
+      | Ok el' -> Dom.equal_element el el')
+
+let pretty_roundtrip_prop =
+  QCheck.Test.make ~name:"pretty-printed round trip (structure)" ~count:300
+    arbitrary_dom (fun el ->
+      (* Pretty printing may normalize whitespace-only text; compare
+         after stripping layout on both sides. *)
+      let s = Encode.element_to_string el in
+      match Decode.element_of_string s with
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s" (Decode.error_to_string e)
+      | Ok el' ->
+          Dom.equal_element (Dom.strip_layout el) (Dom.strip_layout el'))
+
+let unescape_escape_prop =
+  QCheck.Test.make ~name:"unescape inverts escape_text" ~count:500
+    QCheck.(string_gen QCheck.Gen.printable)
+    (fun s -> Decode.unescape (Encode.escape_text s) = s)
+
+(* ------------------------------------------------------------------ *)
+(* Ns                                                                  *)
+
+let ns_tests =
+  [
+    Alcotest.test_case "declarations and lookup" `Quick (fun () ->
+        let el =
+          parse
+            {|<r xmlns="urn:default" xmlns:ocl="urn:ocl"><ocl:p/><q/></r>|}
+        in
+        let sc = Ns.extend Ns.root_scope el in
+        check (Alcotest.option string_) "default" (Some "urn:default")
+          (Ns.lookup sc "");
+        check (Alcotest.option string_) "ocl" (Some "urn:ocl")
+          (Ns.lookup sc "ocl"));
+    Alcotest.test_case "resolve element and attribute names" `Quick (fun () ->
+        let sc = Ns.of_bindings [ ("", "urn:d"); ("p", "urn:p") ] in
+        (match Ns.resolve_name sc (Dom.name_of_string "x") with
+        | Ok n -> check string_ "default applies" "urn:d" n.uri
+        | Error e -> Alcotest.fail e);
+        (match Ns.resolve_attr_name sc (Dom.name_of_string "x") with
+        | Ok n -> check string_ "no default for attrs" "" n.uri
+        | Error e -> Alcotest.fail e);
+        match Ns.resolve_name sc (Dom.name_of_string "nope:x") with
+        | Ok _ -> Alcotest.fail "undeclared prefix should fail"
+        | Error _ -> ());
+    Alcotest.test_case "nested scopes shadow" `Quick (fun () ->
+        let el =
+          parse {|<r xmlns:a="urn:1"><c xmlns:a="urn:2"><a:x/></c></r>|}
+        in
+        let uris =
+          Ns.fold Ns.root_scope el ~init:[] ~f:(fun acc sc e ->
+              if e.Dom.name.local = "x" then
+                match Ns.resolve_name sc e.Dom.name with
+                | Ok n -> n.uri :: acc
+                | Error _ -> acc
+              else acc)
+        in
+        check (Alcotest.list string_) "inner wins" [ "urn:2" ] uris);
+    Alcotest.test_case "xsi:type resolution" `Quick (fun () ->
+        let el =
+          parse
+            {|<p xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"
+                xmlns:ocl="urn:ocl" xsi:type="ocl:oclDevicePropertyType"/>|}
+        in
+        match Ns.xsi_type Ns.root_scope el with
+        | Ok (Some n) ->
+            check string_ "uri" "urn:ocl" n.uri;
+            check string_ "local" "oclDevicePropertyType" n.xlocal
+        | Ok None -> Alcotest.fail "xsi:type not found"
+        | Error e -> Alcotest.fail e);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Path                                                                *)
+
+let sample_tree =
+  parse
+    {|<Master id="0">
+        <Worker id="1">
+          <PUDescriptor>
+            <Property fixed="true"><name>ARCH</name><value>gpu</value></Property>
+            <Property fixed="false"><name>MEM</name><value>1024</value></Property>
+          </PUDescriptor>
+        </Worker>
+        <Worker id="2">
+          <PUDescriptor>
+            <Property fixed="true"><name>ARCH</name><value>cpu</value></Property>
+          </PUDescriptor>
+        </Worker>
+        <Interconnect type="PCIe" from="0" to="1"/>
+      </Master>|}
+
+let path_tests =
+  [
+    Alcotest.test_case "child steps" `Quick (fun () ->
+        let els = Path.query "/Master/Worker" sample_tree in
+        check int_ "two workers" 2 (List.length els));
+    Alcotest.test_case "attribute predicate" `Quick (fun () ->
+        let els = Path.query "/Master/Worker[@id='2']" sample_tree in
+        check int_ "one" 1 (List.length els);
+        check (Alcotest.option string_) "id" (Some "2")
+          (Dom.attr (List.hd els) "id"));
+    Alcotest.test_case "descendant axis" `Quick (fun () ->
+        let els = Path.query "//Property" sample_tree in
+        check int_ "three properties" 3 (List.length els));
+    Alcotest.test_case "child-text predicate" `Quick (fun () ->
+        let els = Path.query "//Property[name='ARCH']" sample_tree in
+        check int_ "two ARCH" 2 (List.length els));
+    Alcotest.test_case "values of attribute step" `Quick (fun () ->
+        let vs = Path.query_values "/Master/Worker/@id" sample_tree in
+        check (Alcotest.list string_) "ids" [ "1"; "2" ] vs);
+    Alcotest.test_case "text values" `Quick (fun () ->
+        let vs =
+          Path.query_values "//Property[name='ARCH']/value/text()" sample_tree
+        in
+        check (Alcotest.list string_) "arch" [ "gpu"; "cpu" ] vs);
+    Alcotest.test_case "positional predicate" `Quick (fun () ->
+        let els = Path.query "/Master/Worker[2]" sample_tree in
+        check (Alcotest.option string_) "second worker" (Some "2")
+          (Dom.attr (List.hd els) "id");
+        check int_ "exactly one" 1 (List.length els));
+    Alcotest.test_case "star test" `Quick (fun () ->
+        let els = Path.query "/Master/*" sample_tree in
+        check int_ "all children" 3 (List.length els));
+    Alcotest.test_case "rooted path tests root name" `Quick (fun () ->
+        check int_ "no match under wrong root" 0
+          (List.length (Path.query "/Nope/Worker" sample_tree)));
+    Alcotest.test_case "relative path starts at children" `Quick (fun () ->
+        let els = Path.query "Worker" sample_tree in
+        check int_ "two workers" 2 (List.length els));
+    Alcotest.test_case "query_one" `Quick (fun () ->
+        check bool_ "some" true
+          (Path.query_one "//Interconnect[@type='PCIe']" sample_tree <> None));
+    Alcotest.test_case "round trip to_string/parse" `Quick (fun () ->
+        let p = "/Master/Worker[@id='1']//Property[name='ARCH']" in
+        check string_ "printed" p Path.(to_string (parse p)));
+    Alcotest.test_case "descendant chain //a//b" `Quick (fun () ->
+        let t = parse "<r><a><x><b i='1'/></x></a><b i='2'/></r>" in
+        let hits = Path.query "//a//b" t in
+        check int_ "only nested b" 1 (List.length hits);
+        check (Alcotest.option string_) "the right one" (Some "1")
+          (Dom.attr (List.hd hits) "i"));
+    Alcotest.test_case "attribute test mid-path" `Quick (fun () ->
+        let t = parse "<r><a id='1'><c/></a><a><c/></a></r>" in
+        check int_ "only under attributed a" 1
+          (List.length (Path.query "/r/a[@id='1']/c" t)));
+    Alcotest.test_case "descendant attribute selection" `Quick (fun () ->
+        let t = parse "<r><a id='1'/><b><c id='2'/></b></r>" in
+        check (Alcotest.list string_) "all ids" [ "1"; "2" ]
+          (Path.query_values "//@id" t));
+    Alcotest.test_case "parse errors raise" `Quick (fun () ->
+        List.iter
+          (fun bad ->
+            match Path.parse bad with
+            | exception Path.Parse_error _ -> ()
+            | _ -> Alcotest.failf "expected Parse_error for %S" bad)
+          [ ""; "/"; "a["; "a[@x]"; "a[@x='y'"; "a/" ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+
+let property_schema =
+  Schema.make ~id:"test-core"
+    ~types:
+      [
+        Schema.complex "PropertyType"
+          ~attrs:[ Schema.attr "fixed" Schema.S_bool ]
+          ~content:
+            [
+              Schema.el "name" "string";
+              Schema.el "value" "string";
+            ];
+        Schema.complex "oclPropertyType" ~base:"PropertyType"
+          ~attrs:[ Schema.attr "unit" Schema.S_string ];
+        Schema.complex "PUDescriptorType"
+          ~content:[ Schema.el ~occ:Schema.many "Property" "PropertyType" ];
+        Schema.complex "WorkerType"
+          ~attrs:
+            [
+              Schema.attr ~required:true "id" Schema.S_string;
+              Schema.attr "quantity"
+                (Schema.S_int { min = Some 1; max = None });
+            ]
+          ~content:
+            [ Schema.el ~occ:Schema.optional "PUDescriptor" "PUDescriptorType" ];
+        Schema.complex "MasterType"
+          ~attrs:[ Schema.attr ~required:true "id" Schema.S_string ]
+          ~content:
+            [
+              Schema.el ~occ:Schema.optional "PUDescriptor" "PUDescriptorType";
+              Schema.el ~occ:Schema.many "Worker" "WorkerType";
+            ];
+      ]
+    ~roots:[ ("Master", "MasterType") ]
+    ()
+
+let reg = Schema.registry property_schema
+
+let valid_doc =
+  parse
+    {|<Master id="0">
+        <PUDescriptor>
+          <Property fixed="true"><name>ARCH</name><value>x86</value></Property>
+        </PUDescriptor>
+        <Worker id="1" quantity="2"/>
+        <Worker id="2"/>
+      </Master>|}
+
+let errors_of el = Schema.validate reg el
+
+let schema_tests =
+  [
+    Alcotest.test_case "valid document passes" `Quick (fun () ->
+        check (Alcotest.list string_) "no errors" []
+          (List.map Schema.error_to_string (errors_of valid_doc)));
+    Alcotest.test_case "unknown root fails" `Quick (fun () ->
+        check bool_ "errors" true (errors_of (parse "<Nope/>") <> []));
+    Alcotest.test_case "missing required attribute" `Quick (fun () ->
+        let errs = errors_of (parse "<Master/>") in
+        check bool_ "mentions id" true
+          (List.exists
+             (fun (e : Schema.error) ->
+               contains e.message "id")
+             errs));
+    Alcotest.test_case "bad attribute type" `Quick (fun () ->
+        let errs =
+          errors_of
+            (parse
+               {|<Master id="0"><Worker id="1" quantity="zero"/></Master>|})
+        in
+        check bool_ "integer error" true
+          (List.exists
+             (fun (e : Schema.error) ->
+               contains e.message "integer")
+             errs));
+    Alcotest.test_case "attribute range" `Quick (fun () ->
+        let errs =
+          errors_of
+            (parse {|<Master id="0"><Worker id="1" quantity="0"/></Master>|})
+        in
+        check bool_ "range error" true (errs <> []));
+    Alcotest.test_case "undeclared attribute rejected" `Quick (fun () ->
+        let errs = errors_of (parse {|<Master id="0" bogus="1"/>|}) in
+        check bool_ "bogus reported" true
+          (List.exists
+             (fun (e : Schema.error) ->
+               contains e.message "bogus")
+             errs));
+    Alcotest.test_case "content model order enforced" `Quick (fun () ->
+        let errs =
+          errors_of
+            (parse
+               {|<Master id="0"><Worker id="1"/><PUDescriptor/></Master>|})
+        in
+        check bool_ "order error" true (errs <> []));
+    Alcotest.test_case "missing child of sequence" `Quick (fun () ->
+        let errs =
+          errors_of
+            (parse
+               {|<Master id="0"><PUDescriptor>
+                   <Property fixed="true"><name>A</name></Property>
+                 </PUDescriptor></Master>|})
+        in
+        check bool_ "value missing" true (errs <> []));
+    Alcotest.test_case "unexpected text in element-only content" `Quick
+      (fun () ->
+        let errs = errors_of (parse {|<Master id="0">junk</Master>|}) in
+        check bool_ "text rejected" true (errs <> []));
+    Alcotest.test_case "error paths are informative" `Quick (fun () ->
+        let errs =
+          errors_of
+            (parse
+               {|<Master id="0"><Worker id="1" quantity="x"/></Master>|})
+        in
+        match errs with
+        | e :: _ ->
+            check bool_ "path names Worker" true
+              (contains e.path "Worker")
+        | [] -> Alcotest.fail "expected errors");
+    Alcotest.test_case "xsi:type downcast accepted" `Quick (fun () ->
+        let doc =
+          parse
+            {|<Master id="0"><PUDescriptor>
+                <Property xsi:type="ocl:oclPropertyType" fixed="false" unit="kB">
+                  <name>MEM</name><value>1024</value>
+                </Property>
+              </PUDescriptor></Master>|}
+        in
+        check (Alcotest.list string_) "no errors" []
+          (List.map Schema.error_to_string (errors_of doc)));
+    Alcotest.test_case "xsi:type must derive from declared type" `Quick
+      (fun () ->
+        let doc =
+          parse
+            {|<Master id="0"><PUDescriptor>
+                <Property xsi:type="WorkerType" fixed="true">
+                  <name>A</name><value>B</value>
+                </Property>
+              </PUDescriptor></Master>|}
+        in
+        check bool_ "rejected" true (errors_of doc <> []));
+    Alcotest.test_case "xsi:type attributes only valid on derived type"
+      `Quick (fun () ->
+        (* 'unit' belongs to the derived type; without the downcast it
+           must be rejected. *)
+        let doc =
+          parse
+            {|<Master id="0"><PUDescriptor>
+                <Property fixed="false" unit="kB">
+                  <name>MEM</name><value>1</value>
+                </Property>
+              </PUDescriptor></Master>|}
+        in
+        check bool_ "rejected" true (errors_of doc <> []));
+    Alcotest.test_case "derives_from is reflexive and transitive" `Quick
+      (fun () ->
+        check bool_ "reflexive" true
+          (Schema.derives_from reg "PropertyType" "PropertyType");
+        check bool_ "direct" true
+          (Schema.derives_from reg "oclPropertyType" "PropertyType");
+        check bool_ "not reversed" false
+          (Schema.derives_from reg "PropertyType" "oclPropertyType"));
+    Alcotest.test_case "registry rejects duplicate ids" `Quick (fun () ->
+        match Schema.add_subschema reg property_schema with
+        | Ok _ -> Alcotest.fail "duplicate id accepted"
+        | Error _ -> ());
+    Alcotest.test_case "registry rejects type clashes" `Quick (fun () ->
+        let clash =
+          Schema.make ~id:"other"
+            ~types:[ Schema.complex "PropertyType" ]
+            ~roots:[] ()
+        in
+        match Schema.add_subschema reg clash with
+        | Ok _ -> Alcotest.fail "type clash accepted"
+        | Error _ -> ());
+    Alcotest.test_case "subschema types usable after merge" `Quick (fun () ->
+        let sub =
+          Schema.make ~id:"ext"
+            ~types:
+              [
+                Schema.complex "cudaPropertyType" ~base:"PropertyType"
+                  ~attrs:[ Schema.attr "sm" Schema.S_string ];
+              ]
+            ~roots:[] ()
+        in
+        let reg2 =
+          match Schema.add_subschema reg sub with
+          | Ok r -> r
+          | Error e -> Alcotest.fail e
+        in
+        let doc =
+          parse
+            {|<Master id="0"><PUDescriptor>
+                <Property xsi:type="cudaPropertyType" sm="sm_20">
+                  <name>CC</name><value>2.0</value>
+                </Property>
+              </PUDescriptor></Master>|}
+        in
+        check (Alcotest.list string_) "valid with subschema" []
+          (List.map Schema.error_to_string (Schema.validate reg2 doc)));
+    Alcotest.test_case "check rejects unknown type references" `Quick
+      (fun () ->
+        let bad =
+          Schema.make ~id:"bad"
+            ~types:[ Schema.complex "T" ~content:[ Schema.el "x" "Missing" ] ]
+            ~roots:[] ()
+        in
+        match Schema.check reg bad with
+        | Ok _ -> Alcotest.fail "unknown reference accepted"
+        | Error _ -> ());
+    Alcotest.test_case "check rejects extension cycles" `Quick (fun () ->
+        let bad =
+          Schema.make ~id:"cyc"
+            ~types:
+              [
+                Schema.complex "A" ~base:"B";
+                Schema.complex "B" ~base:"A";
+              ]
+            ~roots:[] ()
+        in
+        match Schema.check reg bad with
+        | Ok _ -> Alcotest.fail "cycle accepted"
+        | Error _ -> ());
+    Alcotest.test_case "simple values" `Quick (fun () ->
+        let ok ty v = check bool_ (v ^ " ok") true (Schema.check_simple ty v = Ok ()) in
+        let bad ty v =
+          check bool_ (v ^ " bad") true (Schema.check_simple ty v <> Ok ())
+        in
+        ok Schema.S_bool "true";
+        ok Schema.S_bool "0";
+        bad Schema.S_bool "yes";
+        ok (Schema.S_int { min = Some 0; max = Some 10 }) "10";
+        bad (Schema.S_int { min = Some 0; max = Some 10 }) "11";
+        bad (Schema.S_int { min = None; max = None }) "x";
+        ok Schema.S_decimal "3.25";
+        bad Schema.S_decimal "pi";
+        ok (Schema.S_enum [ "cpu"; "gpu" ]) "gpu";
+        bad (Schema.S_enum [ "cpu"; "gpu" ]) "fpga";
+        ok (Schema.S_pattern "[a-z]+") "abc";
+        bad (Schema.S_pattern "[a-z]+") "abc1");
+    Alcotest.test_case "choice content model" `Quick (fun () ->
+        let s =
+          Schema.make ~id:"choice"
+            ~types:
+              [
+                Schema.complex "T"
+                  ~content:
+                    [
+                      Schema.P_choice
+                        ( [ Schema.el "a" "string"; Schema.el "b" "string" ],
+                          Schema.at_least_one );
+                    ];
+              ]
+            ~roots:[ ("t", "T") ] ()
+        in
+        let r = Schema.registry s in
+        check int_ "a b a valid" 0
+          (List.length (Schema.validate r (parse "<t><a>1</a><b>2</b><a>3</a></t>")));
+        check bool_ "empty invalid" true
+          (Schema.validate r (parse "<t/>") <> []);
+        check bool_ "other element invalid" true
+          (Schema.validate r (parse "<t><c>1</c></t>") <> []));
+    Alcotest.test_case "wildcard content skips validation" `Quick (fun () ->
+        let s =
+          Schema.make ~id:"any"
+            ~types:[ Schema.complex "T" ~content:[ Schema.P_any Schema.many ] ]
+            ~roots:[ ("t", "T") ] ()
+        in
+        let r = Schema.registry s in
+        check int_ "anything allowed" 0
+          (List.length
+             (Schema.validate r (parse "<t><x foo=\"1\"><y/></x></t>"))));
+    Alcotest.test_case "schema XML form round trips" `Quick (fun () ->
+        let xml = Schema.to_xml property_schema in
+        match Schema.of_xml xml with
+        | Error e -> Alcotest.fail e
+        | Ok s2 ->
+            check string_ "id" property_schema.id s2.id;
+            check int_ "same number of types"
+              (List.length property_schema.types)
+              (List.length s2.types);
+            (* The reloaded schema must validate the same documents. *)
+            let r2 = Schema.registry s2 in
+            check int_ "valid doc still valid" 0
+              (List.length (Schema.validate r2 valid_doc)));
+    Alcotest.test_case "schema from XML text" `Quick (fun () ->
+        let src =
+          {|<schema id="mini" version="2.0">
+              <simpleType name="arch">
+                <enumeration value="cpu"/><enumeration value="gpu"/>
+              </simpleType>
+              <complexType name="PU">
+                <sequence>
+                  <element name="arch" type="arch"/>
+                </sequence>
+                <attribute name="id" type="int" use="required"/>
+              </complexType>
+              <element name="pu" type="PU"/>
+            </schema>|}
+        in
+        match Schema.of_string src with
+        | Error e -> Alcotest.fail e
+        | Ok s ->
+            check string_ "version" "2.0" s.version;
+            let r = Schema.registry s in
+            check int_ "valid" 0
+              (List.length
+                 (Schema.validate r (parse {|<pu id="3"><arch>gpu</arch></pu>|})));
+            check bool_ "enum enforced" true
+              (Schema.validate r (parse {|<pu id="3"><arch>dsp</arch></pu>|})
+              <> []);
+            check bool_ "int enforced" true
+              (Schema.validate r (parse {|<pu id="x"><arch>cpu</arch></pu>|})
+              <> []));
+  ]
+
+(* Occurrence-bound property: a sequence of n <a/> children validates
+   against a{min,max} iff min <= n <= max. *)
+let occurs_prop =
+  QCheck.Test.make ~name:"occurrence bounds are exact" ~count:200
+    QCheck.(triple (int_range 0 5) (int_range 0 5) (int_range 0 8))
+    (fun (min_occurs, extra, n) ->
+      let max_occurs = min_occurs + extra in
+      let s =
+        Schema.make ~id:"occ"
+          ~types:
+            [
+              Schema.complex "T"
+                ~content:
+                  [
+                    Schema.P_elem
+                      {
+                        el_name = "a";
+                        el_type = "string";
+                        occ = { min_occurs; max_occurs = Some max_occurs };
+                      };
+                  ];
+            ]
+          ~roots:[ ("t", "T") ] ()
+      in
+      let r = Schema.registry s in
+      let children = List.init n (fun _ -> Dom.e "a" []) in
+      let doc = Dom.elem "t" children in
+      let valid = Schema.validate r doc = [] in
+      valid = (n >= min_occurs && n <= max_occurs))
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "pdl_xml"
+    [
+      ("loc", loc_tests);
+      ("decode", decode_tests);
+      ("encode", encode_tests);
+      ( "properties",
+        qt [ roundtrip_prop; pretty_roundtrip_prop; unescape_escape_prop; occurs_prop ] );
+      ("ns", ns_tests);
+      ("path", path_tests);
+      ("schema", schema_tests);
+    ]
