@@ -247,6 +247,242 @@ let chol () =
      still help on the TRSM/SYRK/GEMM bulk."
 
 (* ------------------------------------------------------------------ *)
+(* ENG: engine scheduling hot paths (real wall-clock, not virtual)     *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* [n] independent tiny tasks through Eager's shared ready-queue: the
+   pool fills while all workers are busy, so every completion kick
+   re-scans it. *)
+let eng_wide n =
+  let cfg = cfg_of "xeon-2gpu" in
+  let rt = Engine.create ~policy:Engine.Eager ~execute_kernels:false cfg in
+  let cl = Taskrt.Codelet.noop ~name:"tiny" ~flops:1e6 ~archs:[ "cpu"; "gpu" ] in
+  for _ = 1 to n do
+    let h = Taskrt.Data.register_virtual ~rows:1 ~cols:8 () in
+    Engine.submit rt cl [ (h, Taskrt.Codelet.RW) ]
+  done;
+  Engine.wait_all rt
+
+(* [n] tasks whose input lives on gpu0's node: locality placement
+   parks them all on one queue; the nine other workers drain it
+   entirely through the steal path. *)
+let eng_steal n =
+  let cfg = cfg_of "xeon-2gpu" in
+  let gpu0_node =
+    (Array.to_list cfg.MC.workers
+    |> List.find (fun w -> w.MC.w_name = "gpu0"))
+      .MC.w_node
+  in
+  let rt = Engine.create ~policy:Engine.Locality_ws ~execute_kernels:false cfg in
+  let cl = Taskrt.Codelet.noop ~name:"tiny" ~flops:1e6 ~archs:[ "cpu"; "gpu" ] in
+  let hot = Taskrt.Data.register_virtual ~rows:1000 ~cols:1000 () in
+  Taskrt.Data.write_at hot gpu0_node;
+  for _ = 1 to n do
+    let h = Taskrt.Data.register_virtual ~rows:1 ~cols:8 () in
+    Engine.submit rt cl [ (hot, Taskrt.Codelet.R); (h, Taskrt.Codelet.RW) ]
+  done;
+  Engine.wait_all rt
+
+(* [n]-task dependency chain: one ready task at a time. *)
+let eng_chain n =
+  let cfg = cfg_of "xeon-2gpu" in
+  let rt = Engine.create ~policy:Engine.Eager ~execute_kernels:false cfg in
+  let cl = Taskrt.Codelet.noop ~name:"tiny" ~flops:1e6 ~archs:[ "cpu"; "gpu" ] in
+  let h = Taskrt.Data.register_virtual ~rows:1 ~cols:8 () in
+  for _ = 1 to n do
+    Engine.submit rt cl [ (h, Taskrt.Codelet.RW) ]
+  done;
+  Engine.wait_all rt
+
+let eng () =
+  header "ENG  engine scheduling micro-bench (10k tasks, real seconds)";
+  Printf.printf "%-28s %10s %12s %12s\n" "workload" "tasks" "wall [s]"
+    "tasks/ms";
+  List.iter
+    (fun (name, n, f) ->
+      let stats, dt = wall (fun () -> f n) in
+      Printf.printf "%-28s %10d %12.3f %12.1f\n" name stats.Engine.tasks dt
+        (float_of_int n /. (dt *. 1e3)))
+    [
+      ("wide/eager-pool", 10_000, eng_wide);
+      ("steal/locality-ws", 10_000, eng_steal);
+      ("chain/eager", 10_000, eng_chain);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* PAR: real multicore kernel scaling (domain pool, wall-clock)        *)
+
+module DP = Kernels.Domain_pool
+module Blas = Kernels.Blas
+module Lapack = Kernels.Lapack
+module Matrix = Kernels.Matrix
+
+type par_row = {
+  pr_kernel : string;
+  pr_n : int;
+  pr_domains : int;
+  pr_seq_s : float;
+  pr_wall_s : float;
+  pr_gflops : float;
+  pr_max_abs_diff : float;
+}
+
+let par_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"experiment\": \"par\",\n";
+  Printf.fprintf oc "  \"recommended_domains\": %d,\n"
+    (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"kernel\": %S, \"n\": %d, \"domains\": %d, \"seq_s\": %.6f, \
+         \"wall_s\": %.6f, \"gflops\": %.3f, \"speedup\": %.3f, \
+         \"max_abs_diff\": %g}%s\n"
+        r.pr_kernel r.pr_n r.pr_domains r.pr_seq_s r.pr_wall_s r.pr_gflops
+        (r.pr_seq_s /. r.pr_wall_s)
+        r.pr_max_abs_diff
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+(* One kernel at one size: sequential reference, then one pooled run
+   per domain count, verifying the pooled result is bit-identical. *)
+let par_kernel ~kernel ~n ~domains ~flops ~seq ~pooled =
+  let reference, seq_s = wall seq in
+  let seq_gflops = flops /. seq_s /. 1e9 in
+  Printf.printf "%-10s %6d %9s %12.3f %12.1f %9s %14s\n" kernel n "seq" seq_s
+    seq_gflops "" "";
+  List.map
+    (fun d ->
+      (* Pool spawn/join stays outside the timed region: we are
+         measuring kernel scaling, not domain startup. *)
+      let result, wall_s =
+        DP.with_pool ~num_domains:d (fun pool ->
+            wall (fun () -> pooled pool))
+      in
+      let diff = Matrix.max_abs_diff reference result in
+      Printf.printf "%-10s %6d %9d %12.3f %12.1f %8.2fx %14g\n" kernel n d
+        wall_s (flops /. wall_s /. 1e9) (seq_s /. wall_s) diff;
+      {
+        pr_kernel = kernel;
+        pr_n = n;
+        pr_domains = d;
+        pr_seq_s = seq_s;
+        pr_wall_s = wall_s;
+        pr_gflops = flops /. wall_s /. 1e9;
+        pr_max_abs_diff = diff;
+      })
+    domains
+
+let par ?(sizes = [ 256; 512; 1024; 2048 ]) ?(domains = [ 1; 2; 4 ]) () =
+  header
+    "PAR  real multicore kernels: sequential vs domain pool (wall seconds)";
+  Printf.printf "host: OCaml runtime recommends %d domain(s)\n\n"
+    (Domain.recommended_domain_count ());
+  Printf.printf "%-10s %6s %9s %12s %12s %9s %14s\n" "kernel" "n" "domains"
+    "wall [s]" "GFLOP/s" "speedup" "max|diff|";
+  let rows =
+    List.concat_map
+      (fun n ->
+        let a = Matrix.random ~seed:1 n n and b = Matrix.random ~seed:2 n n in
+        let dgemm_rows =
+          par_kernel ~kernel:"dgemm" ~n ~domains
+            ~flops:(Blas.flops_dgemm n n n)
+            ~seq:(fun () ->
+              let c = Matrix.create n n in
+              Blas.dgemm a b c;
+              c)
+            ~pooled:(fun pool ->
+              let c = Matrix.create n n in
+              Blas.dgemm ~pool a b c;
+              c)
+        in
+        let spd = Lapack.random_spd ~seed:3 n in
+        let chol_rows =
+          par_kernel ~kernel:"cholesky" ~n ~domains ~flops:(Lapack.flops_potrf n)
+            ~seq:(fun () ->
+              let m = Matrix.copy spd in
+              Lapack.dpotrf m;
+              m)
+            ~pooled:(fun pool ->
+              let m = Matrix.copy spd in
+              Lapack.dpotrf ~pool m;
+              m)
+        in
+        dgemm_rows @ chol_rows)
+      sizes
+  in
+  let bad = List.filter (fun r -> r.pr_max_abs_diff <> 0.0) rows in
+  Printf.printf "\npooled == sequential bit-for-bit: %s\n"
+    (if bad = [] then "yes (all rows)"
+     else Printf.sprintf "NO (%d rows differ)" (List.length bad));
+  par_json "BENCH_par.json" rows;
+  print_endline "wrote BENCH_par.json";
+  if bad <> [] then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* SMOKE: tiny deterministic end-to-end pass for the cram test         *)
+
+let smoke () =
+  let check name ok =
+    Printf.printf "%-52s %s\n" name (if ok then "ok" else "FAIL");
+    if not ok then exit 1
+  in
+  (* The pool machinery itself. *)
+  DP.with_pool ~num_domains:4 (fun pool ->
+      let n = 10_000 in
+      let hits = Array.make n 0 in
+      DP.parallel_for pool ~lo:0 ~hi:n (fun i -> hits.(i) <- hits.(i) + 1);
+      check "domain_pool: every index visited exactly once"
+        (Array.for_all (fun h -> h = 1) hits);
+      (* Real kernels, pooled vs sequential, bit-identical. *)
+      let m = 96 in
+      let a = Matrix.random ~seed:1 m m and b = Matrix.random ~seed:2 m m in
+      let c_seq = Matrix.create m m and c_par = Matrix.create m m in
+      Blas.dgemm a b c_seq;
+      Blas.dgemm ~pool a b c_par;
+      check "dgemm: pooled == sequential (bitwise)"
+        (Matrix.max_abs_diff c_seq c_par = 0.0);
+      let c_naive = Matrix.create m m in
+      Blas.dgemm_naive a b c_naive;
+      check "dgemm: blocked ~= naive" (Matrix.approx_equal c_seq c_naive);
+      let spd = Lapack.random_spd ~seed:3 m in
+      let l_seq = Matrix.copy spd and l_par = Matrix.copy spd in
+      Lapack.dpotrf l_seq;
+      Lapack.dpotrf ~pool l_par;
+      check "cholesky: pooled == sequential (bitwise)"
+        (Matrix.max_abs_diff l_seq l_par = 0.0);
+      check "cholesky: residual small"
+        (Lapack.cholesky_residual ~a:spd ~l:l_seq < 1e-6);
+      (* Every scheduling policy end-to-end with pooled kernels. *)
+      let cfg = cfg_of "xeon-2gpu" in
+      let expect = Matrix.create m m in
+      Blas.dgemm a b expect;
+      List.iter
+        (fun policy ->
+          let r = TD.run ~policy ~tiles:2 ~pool cfg ~a ~b in
+          check
+            (Printf.sprintf "sched %s: tiled dgemm correct (%d tasks)"
+               (Engine.policy_to_string policy)
+               r.TD.stats.Engine.tasks)
+            (r.TD.stats.Engine.tasks = 4
+            && Matrix.approx_equal (Option.get r.TD.c) expect))
+        [ Engine.Eager; Engine.Heft; Engine.Locality_ws; Engine.Random_place ];
+      let chol =
+        Taskrt.Tiled_cholesky.run ~policy:Engine.Heft ~tiles:2 ~pool cfg spd
+      in
+      check "sched heft: tiled cholesky residual small"
+        (Lapack.cholesky_residual ~a:spd ~l:(Option.get chol.Taskrt.Tiled_cholesky.l)
+        < 1e-6));
+  print_endline "smoke: all checks passed"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 
 let micro () =
@@ -320,13 +556,27 @@ int main(void) { return 0; }
 let all =
   [
     ("fig5", fig5); ("sweep", sweep); ("sched", sched); ("tile", tile);
-    ("presel", presel); ("chol", chol); ("micro", micro);
+    ("presel", presel); ("chol", chol); ("eng", eng);
+    ("par", fun () -> par ()); ("smoke", smoke); ("micro", micro);
   ]
 
+let parse_ints what s =
+  String.split_on_char ',' s
+  |> List.map (fun x ->
+         match int_of_string_opt (String.trim x) with
+         | Some v when v > 0 -> v
+         | _ ->
+             Printf.eprintf "bad %s list %S (want e.g. 256,512)\n" what s;
+             exit 1)
+
 let () =
-  match Sys.argv with
-  | [| _ |] -> List.iter (fun (_, f) -> f ()) all
-  | [| _; name |] -> (
+  match Array.to_list Sys.argv with
+  | [ _ ] -> List.iter (fun (_, f) -> f ()) all
+  | [ _; "par"; sizes ] -> par ~sizes:(parse_ints "size" sizes) ()
+  | [ _; "par"; sizes; domains ] ->
+      par ~sizes:(parse_ints "size" sizes)
+        ~domains:(parse_ints "domain" domains) ()
+  | [ _; name ] -> (
       match List.assoc_opt name all with
       | Some f -> f ()
       | None ->
@@ -334,5 +584,7 @@ let () =
             (String.concat ", " (List.map fst all));
           exit 1)
   | _ ->
-      prerr_endline "usage: main.exe [fig5|sweep|sched|tile|presel|chol|micro]";
+      prerr_endline
+        "usage: main.exe \
+         [fig5|sweep|sched|tile|presel|chol|eng|par [sizes [domains]]|smoke|micro]";
       exit 1

@@ -135,7 +135,7 @@ let codelet_for ctx (sel : Preselect.selection) ~interface ~handles_spec
       (fun arch v acc ->
         {
           Codelet.impl_arch = arch;
-          run = (fun handles -> run_variant ctx v handles_spec handles);
+          run = (fun ?pool:_ handles -> run_variant ctx v handles_spec handles);
         }
         :: acc)
       by_arch []

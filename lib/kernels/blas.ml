@@ -18,22 +18,18 @@ let dgemm_naive ?(alpha = 1.0) ?(beta = 1.0) (a : Matrix.t) (b : Matrix.t)
     done
   done
 
-(* Blocked ikj DGEMM.  The j-inner loop walks both B and C rows
-   contiguously, which is what makes this "optimized" relative to the
-   naive version; blocking bounds the working set to ~3 blocks. *)
-let dgemm ?(alpha = 1.0) ?(beta = 1.0) ?(block = 64) (a : Matrix.t)
-    (b : Matrix.t) (c : Matrix.t) =
-  shape_check a b c;
-  if block < 1 then invalid_arg "dgemm: block must be positive";
-  let m = a.rows and k = a.cols and n = b.cols in
-  let ad = a.data and bd = b.data and cd = c.data in
+(* One row panel [row_lo, row_hi) of the blocked ikj DGEMM.  The
+   arithmetic touching a given row of C depends only on the (ll, jj)
+   block walk, which is identical whatever panel the row lands in —
+   that is what keeps pooled and sequential runs bit-identical. *)
+let dgemm_panel ~alpha ~beta ~block ~k ~n ad bd cd ~row_lo ~row_hi =
   if beta <> 1.0 then
-    for i = 0 to (m * n) - 1 do
+    for i = row_lo * n to (row_hi * n) - 1 do
       Array.unsafe_set cd i (beta *. Array.unsafe_get cd i)
     done;
-  let ii = ref 0 in
-  while !ii < m do
-    let i_hi = min (!ii + block) m in
+  let ii = ref row_lo in
+  while !ii < row_hi do
+    let i_hi = min (!ii + block) row_hi in
     let ll = ref 0 in
     while !ll < k do
       let l_hi = min (!ll + block) k in
@@ -61,32 +57,87 @@ let dgemm ?(alpha = 1.0) ?(beta = 1.0) ?(block = 64) (a : Matrix.t)
     ii := i_hi
   done
 
-let dgemv ?(alpha = 1.0) ?(beta = 1.0) (a : Matrix.t) x y =
+(* Blocked ikj DGEMM.  The j-inner loop walks both B and C rows
+   contiguously, which is what makes this "optimized" relative to the
+   naive version; blocking bounds the working set to ~3 blocks.  With
+   [pool], row panels of [block] rows are factored out across the
+   pool's domains; each panel owns its rows of C outright, so the
+   result is bit-identical to the sequential run. *)
+let dgemm ?(alpha = 1.0) ?(beta = 1.0) ?(block = 64) ?pool (a : Matrix.t)
+    (b : Matrix.t) (c : Matrix.t) =
+  shape_check a b c;
+  if block < 1 then invalid_arg "dgemm: block must be positive";
+  let m = a.rows and k = a.cols and n = b.cols in
+  let ad = a.data and bd = b.data and cd = c.data in
+  let panel row_lo row_hi =
+    dgemm_panel ~alpha ~beta ~block ~k ~n ad bd cd ~row_lo ~row_hi
+  in
+  match pool with
+  | Some pool when m > block && Domain_pool.num_domains pool > 1 ->
+      let npanels = (m + block - 1) / block in
+      Domain_pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:npanels (fun p ->
+          panel (p * block) (min m ((p + 1) * block)))
+  | _ -> panel 0 m
+
+let dgemv ?(alpha = 1.0) ?(beta = 1.0) ?pool (a : Matrix.t) x y =
   if Array.length x <> a.cols || Array.length y <> a.rows then
     invalid_arg "dgemv: shape mismatch";
-  for i = 0 to a.rows - 1 do
+  let row i =
     let acc = ref 0.0 in
-    let row = i * a.cols in
+    let base = i * a.cols in
     for j = 0 to a.cols - 1 do
-      acc := !acc +. (Array.unsafe_get a.data (row + j) *. Array.unsafe_get x j)
+      acc := !acc +. (Array.unsafe_get a.data (base + j) *. Array.unsafe_get x j)
     done;
     y.(i) <- (alpha *. !acc) +. (beta *. y.(i))
-  done
+  in
+  match pool with
+  | Some pool when a.rows * a.cols >= 65_536 && Domain_pool.num_domains pool > 1
+    ->
+      Domain_pool.parallel_for pool ~lo:0 ~hi:a.rows row
+  | _ ->
+      for i = 0 to a.rows - 1 do
+        row i
+      done
 
-let daxpy alpha x y =
+let daxpy ?pool alpha x y =
   if Array.length x <> Array.length y then invalid_arg "daxpy: length mismatch";
-  for i = 0 to Array.length x - 1 do
-    Array.unsafe_set y i
-      (Array.unsafe_get y i +. (alpha *. Array.unsafe_get x i))
-  done
+  let n = Array.length x in
+  let span lo hi =
+    for i = lo to hi - 1 do
+      Array.unsafe_set y i
+        (Array.unsafe_get y i +. (alpha *. Array.unsafe_get x i))
+    done
+  in
+  match pool with
+  | Some pool when n >= 65_536 && Domain_pool.num_domains pool > 1 ->
+      let chunk = 16_384 in
+      let nchunks = (n + chunk - 1) / chunk in
+      Domain_pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:nchunks (fun c ->
+          span (c * chunk) (min n ((c + 1) * chunk)))
+  | _ -> span 0 n
 
-let ddot x y =
+(* Pooled ddot reduces fixed 16k-element chunk partials in chunk
+   order, so the result is deterministic for every domain count — but
+   may differ from the sequential sum by rounding. *)
+let ddot ?pool x y =
   if Array.length x <> Array.length y then invalid_arg "ddot: length mismatch";
-  let acc = ref 0.0 in
-  for i = 0 to Array.length x - 1 do
-    acc := !acc +. (Array.unsafe_get x i *. Array.unsafe_get y i)
-  done;
-  !acc
+  let n = Array.length x in
+  let span lo hi =
+    let acc = ref 0.0 in
+    for i = lo to hi - 1 do
+      acc := !acc +. (Array.unsafe_get x i *. Array.unsafe_get y i)
+    done;
+    !acc
+  in
+  match pool with
+  | Some pool when n >= 65_536 && Domain_pool.num_domains pool > 1 ->
+      let chunk = 16_384 in
+      let nchunks = (n + chunk - 1) / chunk in
+      let partial = Array.make nchunks 0.0 in
+      Domain_pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:nchunks (fun c ->
+          partial.(c) <- span (c * chunk) (min n ((c + 1) * chunk)));
+      Array.fold_left ( +. ) 0.0 partial
+  | _ -> span 0 n
 
 let dscal alpha x =
   for i = 0 to Array.length x - 1 do
@@ -94,6 +145,6 @@ let dscal alpha x =
   done
 
 let dnrm2 x = sqrt (ddot x x)
-let vector_add a b = daxpy 1.0 b a
+let vector_add ?pool a b = daxpy ?pool 1.0 b a
 
 let flops_dgemm m n k = 2.0 *. float_of_int m *. float_of_int n *. float_of_int k

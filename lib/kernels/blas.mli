@@ -6,6 +6,12 @@
     and the generated programs run the same kernel per tile on CPU
     workers and (simulated) GPU workers.
 
+    Every hot kernel takes an optional [?pool]: a {!Domain_pool.t}
+    over which independent row panels (or index ranges) are shared.
+    Unless noted otherwise, pooled runs are {e bit-identical} to
+    sequential ones — parallelism only ever splits work whose
+    per-element summation order does not change.
+
     Conventions follow BLAS: [dgemm ~alpha a b ~beta c] computes
     [c := alpha * a*b + beta * c] in place. *)
 
@@ -14,23 +20,32 @@ val dgemm_naive :
 (** Triple loop, reference implementation. *)
 
 val dgemm :
-  ?alpha:float -> ?beta:float -> ?block:int -> Matrix.t -> Matrix.t ->
-  Matrix.t -> unit
+  ?alpha:float -> ?beta:float -> ?block:int -> ?pool:Domain_pool.t ->
+  Matrix.t -> Matrix.t -> Matrix.t -> unit
 (** Cache-blocked (default block 64) with an ikj inner order. Bitwise
-    results may differ from {!dgemm_naive} only by rounding. *)
+    results may differ from {!dgemm_naive} only by rounding.  With
+    [pool], row panels of [block] rows run in parallel; results are
+    bit-identical to the sequential run. *)
 
-val dgemv : ?alpha:float -> ?beta:float -> Matrix.t -> float array ->
-  float array -> unit
-(** [y := alpha*A*x + beta*y]. *)
+val dgemv :
+  ?alpha:float -> ?beta:float -> ?pool:Domain_pool.t -> Matrix.t ->
+  float array -> float array -> unit
+(** [y := alpha*A*x + beta*y].  Pooled over rows for large matrices
+    (>= 64k elements); bit-identical to sequential. *)
 
-val daxpy : float -> float array -> float array -> unit
-(** [y := a*x + y]. *)
+val daxpy : ?pool:Domain_pool.t -> float -> float array -> float array -> unit
+(** [y := a*x + y].  Pooled over index ranges for large vectors
+    (>= 64k elements); bit-identical to sequential. *)
 
-val ddot : float array -> float array -> float
+val ddot : ?pool:Domain_pool.t -> float array -> float array -> float
+(** Pooled runs reduce fixed-size chunk partials in chunk order:
+    deterministic for every domain count, but the rounding may differ
+    from the sequential left-to-right sum. *)
+
 val dscal : float -> float array -> unit
 val dnrm2 : float array -> float
 
-val vector_add : float array -> float array -> unit
+val vector_add : ?pool:Domain_pool.t -> float array -> float array -> unit
 (** [a := a + b] — the paper's vecadd task example. *)
 
 val flops_dgemm : int -> int -> int -> float

@@ -1,0 +1,166 @@
+(* A fixed set of OCaml 5 domains sharing chunked index-range work.
+
+   One pool amortizes domain spawning across every kernel call: the
+   workers park on a condition variable between jobs, wake when a new
+   generation is published, and race the caller for chunks through a
+   mutex-guarded cursor.  Chunks are coarse (a row panel each), so the
+   cursor is not a bottleneck; what matters is that the caller itself
+   participates, making [num_domains = 1] (or a pool that is shut
+   down, or a nested call) a plain sequential loop with no
+   synchronization at all. *)
+
+type job = { body : int -> unit; nchunks : int }
+
+type t = {
+  num_domains : int;
+  mutex : Mutex.t;
+  work_cv : Condition.t;  (* signaled when a new job (or stop) appears *)
+  done_cv : Condition.t;  (* signaled when the last chunk completes *)
+  mutable gen : int;  (* job generation, bumped per submission *)
+  mutable job : job option;
+  mutable next : int;  (* next unclaimed chunk of the current job *)
+  mutable unfinished : int;  (* chunks not yet completed *)
+  mutable error : exn option;  (* first exception raised by a chunk *)
+  mutable stopped : bool;
+  mutable workers : unit Domain.t array;
+  active : bool Atomic.t;  (* a parallel_for is in flight *)
+}
+
+(* Runs chunks of the current job until none are left.  Expects
+   [t.mutex] held; returns with it held. *)
+let run_chunks t =
+  let continue = ref true in
+  while !continue do
+    match t.job with
+    | None -> continue := false
+    | Some job ->
+        if t.next >= job.nchunks then continue := false
+        else begin
+          let c = t.next in
+          t.next <- t.next + 1;
+          Mutex.unlock t.mutex;
+          let failure = (try job.body c; None with e -> Some e) in
+          Mutex.lock t.mutex;
+          (match failure with
+          | None -> ()
+          | Some e ->
+              if t.error = None then t.error <- Some e;
+              (* Abandon the unclaimed remainder of a failing job. *)
+              t.unfinished <- t.unfinished - (job.nchunks - t.next);
+              t.next <- job.nchunks);
+          t.unfinished <- t.unfinished - 1;
+          if t.unfinished = 0 then Condition.broadcast t.done_cv
+        end
+  done
+
+let rec worker_loop t last_gen =
+  Mutex.lock t.mutex;
+  while (not t.stopped) && t.gen = last_gen do
+    Condition.wait t.work_cv t.mutex
+  done;
+  if t.stopped then Mutex.unlock t.mutex
+  else begin
+    let gen = t.gen in
+    run_chunks t;
+    Mutex.unlock t.mutex;
+    worker_loop t gen
+  end
+
+let create ?num_domains () =
+  let n =
+    match num_domains with
+    | Some n when n >= 1 -> n
+    | Some n ->
+        invalid_arg
+          (Printf.sprintf "Domain_pool.create: num_domains %d < 1" n)
+    | None -> Domain.recommended_domain_count ()
+  in
+  let t =
+    {
+      num_domains = n;
+      mutex = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      gen = 0;
+      job = None;
+      next = 0;
+      unfinished = 0;
+      error = None;
+      stopped = false;
+      workers = [||];
+      active = Atomic.make false;
+    }
+  in
+  if n > 1 then
+    t.workers <- Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let num_domains t = t.num_domains
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.stopped then Mutex.unlock t.mutex
+  else begin
+    t.stopped <- true;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?num_domains f =
+  let t = create ?num_domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Publish a job, help run it, wait for stragglers. *)
+let run_job t ~nchunks body =
+  Mutex.lock t.mutex;
+  t.gen <- t.gen + 1;
+  t.job <- Some { body; nchunks };
+  t.next <- 0;
+  t.unfinished <- nchunks;
+  t.error <- None;
+  Condition.broadcast t.work_cv;
+  run_chunks t;
+  while t.unfinished > 0 do
+    Condition.wait t.done_cv t.mutex
+  done;
+  t.job <- None;
+  let failure = t.error in
+  t.error <- None;
+  Mutex.unlock t.mutex;
+  match failure with Some e -> raise e | None -> ()
+
+let sequential_for lo hi f =
+  for i = lo to hi - 1 do
+    f i
+  done
+
+let parallel_for ?chunk t ~lo ~hi f =
+  let n = hi - lo in
+  (match chunk with
+  | Some c when c < 1 ->
+      invalid_arg (Printf.sprintf "Domain_pool.parallel_for: chunk %d < 1" c)
+  | _ -> ());
+  if n <= 0 then ()
+  else if t.num_domains = 1 || t.stopped || n = 1 then sequential_for lo hi f
+  else if not (Atomic.compare_and_set t.active false true) then
+    (* Nested or concurrent use: the pool is already working for
+       someone; run this request inline rather than deadlock. *)
+    sequential_for lo hi f
+  else
+    Fun.protect ~finally:(fun () -> Atomic.set t.active false) @@ fun () ->
+    let chunk =
+      match chunk with
+      | Some c -> c
+      | None -> max 1 (n / (4 * t.num_domains))
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    if nchunks <= 1 then sequential_for lo hi f
+    else
+      run_job t ~nchunks (fun c ->
+          let clo = lo + (c * chunk) in
+          let chi = min hi (clo + chunk) in
+          for i = clo to chi - 1 do
+            f i
+          done)

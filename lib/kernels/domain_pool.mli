@@ -1,0 +1,49 @@
+(** A reusable work-sharing pool of OCaml 5 domains.
+
+    The paper's case study is about extracting real DGEMM throughput
+    from a many-core platform; this pool is the execution substrate
+    that makes the "smp" rows of the benchmarks {e measured} rather
+    than simulated.  A pool spawns its worker domains once and reuses
+    them across every {!parallel_for} call, so per-kernel overhead is
+    one mutex round-trip instead of a domain spawn.
+
+    Intended use: create one pool per process sized to the machine
+    (see {!create}), hand it to the kernels ([Blas.dgemm ~pool]) or to
+    the runtime ([Engine.create ~pool]), and {!shutdown} it at exit.
+
+    The pool is safe against nested or concurrent [parallel_for]
+    calls: whoever finds the pool busy simply runs its loop inline on
+    the calling domain. *)
+
+type t
+
+val create : ?num_domains:int -> unit -> t
+(** [create ~num_domains ()] spawns [num_domains - 1] worker domains
+    (the caller of {!parallel_for} is the remaining one).
+    [num_domains] defaults to [Domain.recommended_domain_count ()];
+    with [num_domains = 1] no domain is spawned and every
+    [parallel_for] degrades to a plain sequential loop.
+    @raise Invalid_argument when [num_domains < 1]. *)
+
+val num_domains : t -> int
+(** Parallelism degree, including the calling domain. *)
+
+val parallel_for :
+  ?chunk:int -> t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi f] runs [f i] for every [lo <= i < hi],
+    distributing contiguous index chunks over the pool's domains and
+    returning when all of them completed.  [chunk] is the number of
+    consecutive indices handed out at a time (default: about four
+    chunks per domain).  Chunk {e assignment} to domains is
+    nondeterministic; anything [f] writes must therefore be disjoint
+    per index.  If any [f] raises, remaining chunks are abandoned and
+    the first exception is re-raised on the caller.
+    @raise Invalid_argument when [chunk < 1]. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; after shutdown the pool is
+    still usable, but sequentially. *)
+
+val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] creates a pool, applies [f], and shuts the pool down
+    whether or not [f] raises. *)

@@ -4,9 +4,22 @@ let square_check name (m : Matrix.t) =
   if m.rows <> m.cols then
     invalid_arg (Printf.sprintf "%s: matrix is %dx%d, not square" name m.rows m.cols)
 
+(* Row-range parallelism helper: each index owns its output rows, so
+   pooled runs stay bit-identical to sequential ones.  [min_rows]
+   keeps small trailing panels sequential. *)
+let maybe_parallel ?pool ~min_rows ~lo ~hi f =
+  match pool with
+  | Some pool when hi - lo >= min_rows && Domain_pool.num_domains pool > 1 ->
+      Domain_pool.parallel_for pool ~lo ~hi f
+  | _ ->
+      for i = lo to hi - 1 do
+        f i
+      done
+
 (* Unblocked right-looking Cholesky; tiles are small enough that
-   blocking inside the tile buys nothing. *)
-let dpotrf (a : Matrix.t) =
+   blocking inside the tile buys nothing.  The panel update below the
+   pivot (independent rows) is the only parallel part. *)
+let dpotrf ?pool (a : Matrix.t) =
   square_check "dpotrf" a;
   let n = a.rows in
   for k = 0 to n - 1 do
@@ -19,13 +32,12 @@ let dpotrf (a : Matrix.t) =
     if !pivot <= 0.0 then raise (Not_positive_definite k);
     let lkk = sqrt !pivot in
     Matrix.set a k k lkk;
-    for i = k + 1 to n - 1 do
-      let acc = ref (Matrix.get a i k) in
-      for l = 0 to k - 1 do
-        acc := !acc -. (Matrix.get a i l *. Matrix.get a k l)
-      done;
-      Matrix.set a i k (!acc /. lkk)
-    done
+    maybe_parallel ?pool ~min_rows:64 ~lo:(k + 1) ~hi:n (fun i ->
+        let acc = ref (Matrix.get a i k) in
+        for l = 0 to k - 1 do
+          acc := !acc -. (Matrix.get a i l *. Matrix.get a k l)
+        done;
+        Matrix.set a i k (!acc /. lkk))
   done;
   (* zero the strict upper triangle so the result is exactly L *)
   for i = 0 to n - 1 do
@@ -34,51 +46,55 @@ let dpotrf (a : Matrix.t) =
     done
   done
 
-let dtrsm_rlt ~(l : Matrix.t) (b : Matrix.t) =
+let dtrsm_rlt ?pool ~(l : Matrix.t) (b : Matrix.t) =
   square_check "dtrsm_rlt" l;
   if b.cols <> l.rows then invalid_arg "dtrsm_rlt: shape mismatch";
   let n = l.rows in
   (* Solve X * L^T = B row by row: for each row r of B,
-     x_j = (b_j - sum_{k<j} x_k * L_{j,k}) / L_{j,j}. *)
-  for r = 0 to b.rows - 1 do
-    for j = 0 to n - 1 do
-      let acc = ref (Matrix.get b r j) in
-      for k = 0 to j - 1 do
-        acc := !acc -. (Matrix.get b r k *. Matrix.get l j k)
-      done;
-      Matrix.set b r j (!acc /. Matrix.get l j j)
-    done
-  done
+     x_j = (b_j - sum_{k<j} x_k * L_{j,k}) / L_{j,j}.  Rows are
+     independent of each other. *)
+  maybe_parallel ?pool ~min_rows:32 ~lo:0 ~hi:b.rows (fun r ->
+      for j = 0 to n - 1 do
+        let acc = ref (Matrix.get b r j) in
+        for k = 0 to j - 1 do
+          acc := !acc -. (Matrix.get b r k *. Matrix.get l j k)
+        done;
+        Matrix.set b r j (!acc /. Matrix.get l j j)
+      done)
 
-let dsyrk_ln ~(a : Matrix.t) (c : Matrix.t) =
+let dsyrk_ln ?pool ~(a : Matrix.t) (c : Matrix.t) =
   square_check "dsyrk_ln" c;
   if a.rows <> c.rows then invalid_arg "dsyrk_ln: shape mismatch";
   let n = c.rows and k = a.cols in
+  (* Two passes so pooled rows never write outside their own row: the
+     lower triangle first, then the mirror (row i writes (j, i) for
+     j < i read from the already-final lower triangle). *)
+  maybe_parallel ?pool ~min_rows:32 ~lo:0 ~hi:n (fun i ->
+      for j = 0 to i do
+        let acc = ref 0.0 in
+        for l = 0 to k - 1 do
+          acc := !acc +. (Matrix.get a i l *. Matrix.get a j l)
+        done;
+        Matrix.set c i j (Matrix.get c i j -. !acc)
+      done);
   for i = 0 to n - 1 do
-    for j = 0 to i do
-      let acc = ref 0.0 in
-      for l = 0 to k - 1 do
-        acc := !acc +. (Matrix.get a i l *. Matrix.get a j l)
-      done;
-      let v = Matrix.get c i j -. !acc in
-      Matrix.set c i j v;
-      if i <> j then Matrix.set c j i v
+    for j = 0 to i - 1 do
+      Matrix.set c j i (Matrix.get c i j)
     done
   done
 
-let dgemm_nt ~(a : Matrix.t) ~(b : Matrix.t) (c : Matrix.t) =
+let dgemm_nt ?pool ~(a : Matrix.t) ~(b : Matrix.t) (c : Matrix.t) =
   if a.cols <> b.cols || c.rows <> a.rows || c.cols <> b.rows then
     invalid_arg "dgemm_nt: shape mismatch";
   let k = a.cols in
-  for i = 0 to c.rows - 1 do
-    for j = 0 to c.cols - 1 do
-      let acc = ref 0.0 in
-      for l = 0 to k - 1 do
-        acc := !acc +. (Matrix.get a i l *. Matrix.get b j l)
-      done;
-      Matrix.set c i j (Matrix.get c i j -. !acc)
-    done
-  done
+  maybe_parallel ?pool ~min_rows:32 ~lo:0 ~hi:c.rows (fun i ->
+      for j = 0 to c.cols - 1 do
+        let acc = ref 0.0 in
+        for l = 0 to k - 1 do
+          acc := !acc +. (Matrix.get a i l *. Matrix.get b j l)
+        done;
+        Matrix.set c i j (Matrix.get c i j -. !acc)
+      done)
 
 let random_spd ?(seed = 17) n =
   let m = Matrix.random ~seed n n in

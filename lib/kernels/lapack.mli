@@ -8,22 +8,27 @@
 exception Not_positive_definite of int
 (** Raised by {!dpotrf} with the failing pivot index. *)
 
-val dpotrf : Matrix.t -> unit
+val dpotrf : ?pool:Domain_pool.t -> Matrix.t -> unit
 (** In-place lower-triangular Cholesky of a square matrix:
     [A = L * L^T], [L] stored in the lower triangle (the strict upper
-    triangle is zeroed). *)
+    triangle is zeroed).  With [pool], the panel update below each
+    pivot runs in parallel (independent rows; bit-identical to the
+    sequential run). *)
 
-val dtrsm_rlt : l:Matrix.t -> Matrix.t -> unit
+val dtrsm_rlt : ?pool:Domain_pool.t -> l:Matrix.t -> Matrix.t -> unit
 (** [dtrsm_rlt ~l b] solves [X * l^T = b] in place ([b := X]) with
-    [l] lower triangular — the panel update of tiled Cholesky. *)
+    [l] lower triangular — the panel update of tiled Cholesky.  Rows
+    of [b] are independent; pooled runs are bit-identical. *)
 
-val dsyrk_ln : a:Matrix.t -> Matrix.t -> unit
+val dsyrk_ln : ?pool:Domain_pool.t -> a:Matrix.t -> Matrix.t -> unit
 (** [dsyrk_ln ~a c] performs the symmetric rank-k update
     [c := c - a * a^T] on the lower triangle of [c] (the upper
-    triangle is mirrored to keep the tile symmetric). *)
+    triangle is mirrored to keep the tile symmetric).  Pooled runs
+    are bit-identical. *)
 
-val dgemm_nt : a:Matrix.t -> b:Matrix.t -> Matrix.t -> unit
-(** [dgemm_nt ~a ~b c] computes [c := c - a * b^T]. *)
+val dgemm_nt : ?pool:Domain_pool.t -> a:Matrix.t -> b:Matrix.t -> Matrix.t -> unit
+(** [dgemm_nt ~a ~b c] computes [c := c - a * b^T].  Pooled runs are
+    bit-identical. *)
 
 val random_spd : ?seed:int -> int -> Matrix.t
 (** A well-conditioned symmetric positive-definite matrix:

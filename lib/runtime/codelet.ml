@@ -5,7 +5,10 @@ type access = R | W | RW
 
 let access_to_string = function R -> "R" | W -> "W" | RW -> "RW"
 
-type impl = { impl_arch : string; run : Data.handle list -> unit }
+type impl = {
+  impl_arch : string;
+  run : ?pool:Kernels.Domain_pool.t -> Data.handle list -> unit;
+}
 
 type t = {
   cl_name : string;
@@ -34,13 +37,13 @@ let gpu_impl run = { impl_arch = "gpu"; run }
 let impl_for cl arch = List.find_opt (fun i -> i.impl_arch = arch) cl.impls
 let supports cl arch = impl_for cl arch <> None
 
-let dgemm_run handles =
+let dgemm_run ?pool handles =
   match handles with
   | [ ha; hb; hc ] ->
       let a = Data.read_matrix ha
       and b = Data.read_matrix hb
       and c = Data.read_matrix hc in
-      Blas.dgemm a b c;
+      Blas.dgemm ?pool a b c;
       Data.write_matrix hc c
   | _ -> invalid_arg "dgemm codelet expects handles [a; b; c]"
 
@@ -63,24 +66,19 @@ let vector_add =
           let r, c = Data.dims h in
           float_of_int (r * c)
       | [] -> 0.0)
-    [
-      cpu_impl (fun handles ->
-          match handles with
-          | [ ha; hb ] ->
-              let a = Data.read_matrix ha and b = Data.read_matrix hb in
-              Blas.vector_add a.Matrix.data b.Matrix.data;
-              Data.write_matrix ha a
-          | _ -> invalid_arg "vector_add codelet expects handles [a; b]");
-      gpu_impl (fun handles ->
-          match handles with
-          | [ ha; hb ] ->
-              let a = Data.read_matrix ha and b = Data.read_matrix hb in
-              Blas.vector_add a.Matrix.data b.Matrix.data;
-              Data.write_matrix ha a
-          | _ -> invalid_arg "vector_add codelet expects handles [a; b]");
-    ]
+    (let run ?pool handles =
+       match handles with
+       | [ ha; hb ] ->
+           let a = Data.read_matrix ha and b = Data.read_matrix hb in
+           Blas.vector_add ?pool a.Matrix.data b.Matrix.data;
+           Data.write_matrix ha a
+       | _ -> invalid_arg "vector_add codelet expects handles [a; b]"
+     in
+     [ cpu_impl run; gpu_impl run ])
 
 let noop ~name ~flops ~archs =
   create ~name
     ~flops:(fun _ -> flops)
-    (List.map (fun impl_arch -> { impl_arch; run = ignore }) archs)
+    (List.map
+       (fun impl_arch -> { impl_arch; run = (fun ?pool:_ _ -> ()) })
+       archs)

@@ -16,8 +16,10 @@ val access_to_string : access -> string
 
 type impl = {
   impl_arch : string;
-  run : Data.handle list -> unit;
-      (** functional execution on the handles, in buffer order *)
+  run : ?pool:Kernels.Domain_pool.t -> Data.handle list -> unit;
+      (** functional execution on the handles, in buffer order; the
+          engine passes its {!Kernels.Domain_pool.t} (if any) so
+          multi-core implementations spread across real domains *)
 }
 
 type t = {
@@ -33,8 +35,8 @@ val create :
     element of the first handle). The implementation list must be
     non-empty with distinct architectures. *)
 
-val cpu_impl : (Data.handle list -> unit) -> impl
-val gpu_impl : (Data.handle list -> unit) -> impl
+val cpu_impl : (?pool:Kernels.Domain_pool.t -> Data.handle list -> unit) -> impl
+val gpu_impl : (?pool:Kernels.Domain_pool.t -> Data.handle list -> unit) -> impl
 val impl_for : t -> string -> impl option
 val supports : t -> string -> bool
 

@@ -1,0 +1,115 @@
+(* Growable ring-buffer deque.  The scheduler's worker queues need
+   cheap operations at both ends: dispatch appends, the owner pops
+   from the front, thieves pop from the back — all O(1) — and the
+   eligibility scans (take_first / steal) stop at the first hit
+   instead of rotating the whole queue. *)
+
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int;  (* index of the front element *)
+  mutable len : int;
+}
+
+let create ?(capacity = 8) () =
+  { buf = Array.make (max 1 capacity) None; head = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.buf in
+  let bigger = Array.make (2 * cap) None in
+  for i = 0 to t.len - 1 do
+    bigger.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- bigger;
+  t.head <- 0
+
+let push_back t x =
+  if t.len = Array.length t.buf then grow t;
+  t.buf.((t.head + t.len) mod Array.length t.buf) <- Some x;
+  t.len <- t.len + 1
+
+let push_front t x =
+  if t.len = Array.length t.buf then grow t;
+  let cap = Array.length t.buf in
+  t.head <- (t.head + cap - 1) mod cap;
+  t.buf.(t.head) <- Some x;
+  t.len <- t.len + 1
+
+let pop_front t =
+  if t.len = 0 then None
+  else begin
+    let x = t.buf.(t.head) in
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.len <- t.len - 1;
+    x
+  end
+
+let pop_back t =
+  if t.len = 0 then None
+  else begin
+    let i = (t.head + t.len - 1) mod Array.length t.buf in
+    let x = t.buf.(i) in
+    t.buf.(i) <- None;
+    t.len <- t.len - 1;
+    x
+  end
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0
+
+let iter f t =
+  let cap = Array.length t.buf in
+  for i = 0 to t.len - 1 do
+    match t.buf.((t.head + i) mod cap) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
+
+let of_list xs =
+  let t = create ~capacity:(max 8 (List.length xs)) () in
+  List.iter (push_back t) xs;
+  t
+
+(* Remove and return the frontmost element satisfying [f]; elements
+   in front of it are put back in their original order.  O(position
+   of the hit), O(1) when the front element qualifies. *)
+let take_first t ~f =
+  let rec scan skipped =
+    match pop_front t with
+    | None ->
+        List.iter (push_front t) skipped;
+        None
+    | Some x when f x ->
+        List.iter (push_front t) skipped;
+        Some x
+    | Some x -> scan (x :: skipped)
+  in
+  scan []
+
+(* Remove and return the rearmost (most recently pushed_back) element
+   satisfying [f]; everything behind it is put back in order.  O(1)
+   when the rear element qualifies — the work-stealing fast path. *)
+let steal t ~f =
+  let rec scan skipped =
+    match pop_back t with
+    | None ->
+        List.iter (push_back t) skipped;
+        None
+    | Some x when f x ->
+        List.iter (push_back t) skipped;
+        Some x
+    | Some x -> scan (x :: skipped)
+  in
+  scan []

@@ -1,0 +1,35 @@
+(** Growable ring-buffer deque backing the scheduler queues.
+
+    The engine's hot paths need O(1) pushes and pops at both ends
+    (dispatch appends, the owning worker consumes from the front,
+    thieves take from the back) plus predicate-guided removal that
+    stops at the first hit instead of rotating the whole queue. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push_front : 'a t -> 'a -> unit
+val push_back : 'a t -> 'a -> unit
+
+val pop_front : 'a t -> 'a option
+val pop_back : 'a t -> 'a option
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+(** Front to back. *)
+
+val of_list : 'a list -> 'a t
+(** Head of the list becomes the front. *)
+
+val take_first : 'a t -> f:('a -> bool) -> 'a option
+(** Remove and return the frontmost element satisfying [f], keeping
+    every other element in order.  O(1) when the front qualifies. *)
+
+val steal : 'a t -> f:('a -> bool) -> 'a option
+(** Remove and return the rearmost (most recently [push_back]ed)
+    element satisfying [f], keeping every other element in order.
+    O(1) when the rear qualifies — the work-stealing fast path. *)

@@ -27,13 +27,15 @@ type task = {
 
 type worker_state = {
   w : Machine_config.worker;
-  queue : task Queue.t;  (** per-worker queue (heft / ws / random) *)
+  queue : task Deque.t;  (** per-worker deque (heft / ws / random) *)
   mutable idle : bool;
   mutable online : bool;  (** dynamic resources: offline workers take no tasks *)
   mutable gflops : float;  (** current throughput (DVFS may change it) *)
   mutable free_estimate : float;  (** HEFT bookkeeping *)
   mutable busy_s : float;
   mutable tasks_run : int;
+  mutable online_s : float;  (** accumulated online time (closed spans) *)
+  mutable online_since : float;  (** start of the current online span *)
 }
 
 type trace_event = {
@@ -52,9 +54,11 @@ type t = {
   pol : policy;
   execute_kernels : bool;
   overhead_s : float;
+  domain_pool : Kernels.Domain_pool.t option;
+      (** real multicore substrate handed to kernel implementations *)
   workers : worker_state array;
   link_resources : (int, Sim.resource * Machine_config.link) Hashtbl.t;
-  pool : task Queue.t;  (** Eager's shared ready-queue *)
+  pool : task Deque.t;  (** Eager's shared ready-queue *)
   last_writer : (int, task) Hashtbl.t;
   readers : (int, task list) Hashtbl.t;
   mutable next_task : int;
@@ -69,7 +73,7 @@ let policy t = t.pol
 let machine t = t.cfg
 
 let create ?(policy = Eager) ?(execute_kernels = true)
-    ?(dispatch_overhead_us = 20.0) ?(seed = 1) cfg =
+    ?(dispatch_overhead_us = 20.0) ?(seed = 1) ?pool cfg =
   let link_resources = Hashtbl.create 8 in
   List.iter
     (fun (l : Machine_config.link) ->
@@ -81,22 +85,25 @@ let create ?(policy = Eager) ?(execute_kernels = true)
     pol = policy;
     execute_kernels;
     overhead_s = dispatch_overhead_us *. 1e-6;
+    domain_pool = pool;
     workers =
       Array.map
         (fun w ->
           {
             w;
-            queue = Queue.create ();
+            queue = Deque.create ();
             idle = true;
             online = true;
             gflops = w.Machine_config.w_gflops;
             free_estimate = 0.0;
             busy_s = 0.0;
             tasks_run = 0;
+            online_s = 0.0;
+            online_since = 0.0;
           })
         cfg.Machine_config.workers;
     link_resources;
-    pool = Queue.create ();
+    pool = Deque.create ();
     last_writer = Hashtbl.create 64;
     readers = Hashtbl.create 64;
     next_task = 0;
@@ -212,7 +219,7 @@ let rec worker_kick t ws =
 
 and next_task_for t ws =
   (* Own queue first; then the shared pool (eager); then steal. *)
-  match Queue.take_opt ws.queue with
+  match Deque.pop_front ws.queue with
   | Some task -> Some task
   | None -> (
       match take_from_pool t ws with
@@ -220,48 +227,27 @@ and next_task_for t ws =
       | None -> if t.pol = Locality_ws then steal t ws else None)
 
 and take_from_pool t ws =
-  (* The pool may hold tasks this worker cannot run; scan it once,
-     preserving order of the rest. *)
-  let n = Queue.length t.pool in
-  let found = ref None in
-  for _ = 1 to n do
-    let task = Queue.pop t.pool in
-    if !found = None && worker_eligible t ws task then found := Some task
-    else Queue.push task t.pool
-  done;
-  !found
+  (* The pool may hold tasks this worker cannot run; take the oldest
+     eligible one.  The deque stops at the first hit (O(1) on
+     homogeneous machines) instead of rotating the whole queue. *)
+  Deque.take_first t.pool ~f:(fun task -> worker_eligible t ws task)
 
 and steal t ws =
   (* Steal from the rear of the longest eligible queue. *)
   let victim = ref None in
   Array.iter
     (fun other ->
-      if other != ws && Queue.length other.queue > 0 then
+      if other != ws && Deque.length other.queue > 0 then
         match !victim with
-        | Some v when Queue.length v.queue >= Queue.length other.queue -> ()
+        | Some v when Deque.length v.queue >= Deque.length other.queue -> ()
         | _ -> victim := Some other)
     t.workers;
   match !victim with
   | None -> None
   | Some v ->
-      (* Take the most recently enqueued eligible task. *)
-      let items = List.rev (Queue.fold (fun acc x -> x :: acc) [] v.queue) in
-      let rec split_last_eligible seen = function
-        | [] -> None
-        | x :: rest -> (
-            match split_last_eligible (x :: seen) rest with
-            | Some _ as hit -> hit
-            | None ->
-                if worker_eligible t ws x then
-                  Some (x, List.rev_append seen rest)
-                else None)
-      in
-      (match split_last_eligible [] items with
-      | None -> None
-      | Some (task, rest) ->
-          Queue.clear v.queue;
-          List.iter (fun x -> Queue.push x v.queue) rest;
-          Some task)
+      (* The most recently enqueued eligible task; the victim's queue
+         order is untouched otherwise. *)
+      Deque.steal v.queue ~f:(fun task -> worker_eligible t ws task)
 
 and start_task t ws task =
   ws.idle <- false;
@@ -281,7 +267,8 @@ and complete_task t ws task ~dispatched ~compute_start ~bytes_in =
      in dependency order (the sim completes tasks in time order). *)
   if t.execute_kernels then begin
     match Codelet.impl_for task.codelet ws.w.Machine_config.w_arch with
-    | Some impl -> impl.Codelet.run (List.map fst task.buffers)
+    | Some impl ->
+        impl.Codelet.run ?pool:t.domain_pool (List.map fst task.buffers)
     | None -> assert false (* eligibility checked at placement *)
   end;
   (* Coherence: writes leave this node with the only valid copy. *)
@@ -320,7 +307,7 @@ and complete_task t ws task ~dispatched ~compute_start ~bytes_in =
 and dispatch t task =
   match t.pol with
   | Eager ->
-      Queue.push task t.pool;
+      Deque.push_back t.pool task;
       (* Wake one idle eligible worker. *)
       let woken = ref false in
       Array.iter
@@ -343,10 +330,10 @@ and dispatch t task =
           | _ -> best := Some (ws, eft))
         (eligible_workers t task);
       (match !best with
-      | None -> Queue.push task t.pool (* every candidate is offline *)
+      | None -> Deque.push_back t.pool task (* every candidate is offline *)
       | Some (ws, eft) ->
           ws.free_estimate <- eft;
-          Queue.push task ws.queue;
+          Deque.push_back ws.queue task;
           worker_kick t ws)
   | Locality_ws ->
       (* Place where most input bytes already live; break ties by
@@ -361,24 +348,24 @@ and dispatch t task =
       let best = ref None in
       List.iter
         (fun ws ->
-          let s = score ws and q = Queue.length ws.queue in
+          let s = score ws and q = Deque.length ws.queue in
           match !best with
           | Some (_, bs, bq) when bs > s || (bs = s && bq <= q) -> ()
           | _ -> best := Some (ws, s, q))
         (eligible_workers t task);
       (match !best with
-      | None -> Queue.push task t.pool
+      | None -> Deque.push_back t.pool task
       | Some (ws, _, _) ->
-          Queue.push task ws.queue;
+          Deque.push_back ws.queue task;
           worker_kick t ws;
           (* An idle thief may pick it up immediately. *)
           Array.iter (fun other -> worker_kick t other) t.workers)
   | Random_place -> (
       match eligible_workers t task with
-      | [] -> Queue.push task t.pool
+      | [] -> Deque.push_back t.pool task
       | candidates ->
           let ws = List.nth candidates (next_random t (List.length candidates)) in
-          Queue.push task ws.queue;
+          Deque.push_back ws.queue task;
           worker_kick t ws)
 
 (* --- submission ------------------------------------------------------ *)
@@ -466,10 +453,11 @@ let set_offline t ~worker =
   let ws = find_worker t worker in
   if ws.online then begin
     ws.online <- false;
+    ws.online_s <- ws.online_s +. (Sim.now t.sim -. ws.online_since);
     ws.free_estimate <- 0.0;
     (* Redistribute its queued tasks through the active policy. *)
-    let orphans = List.rev (Queue.fold (fun acc x -> x :: acc) [] ws.queue) in
-    Queue.clear ws.queue;
+    let orphans = Deque.to_list ws.queue in
+    Deque.clear ws.queue;
     List.iter (dispatch t) orphans
   end
 
@@ -477,6 +465,7 @@ let set_online t ~worker =
   let ws = find_worker t worker in
   if not ws.online then begin
     ws.online <- true;
+    ws.online_since <- Sim.now t.sim;
     (* Reconsider parked work. *)
     worker_kick t ws
   end
@@ -485,7 +474,14 @@ let is_online t ~worker = (find_worker t worker).online
 
 let set_gflops t ~worker gflops =
   if gflops <= 0.0 then invalid_arg "Engine.set_gflops: non-positive rate";
-  (find_worker t worker).gflops <- gflops
+  let ws = find_worker t worker in
+  (* Keep the HEFT availability estimate consistent with the new
+     rate: work still in flight finishes proportionally sooner (or
+     later) than priced at the old speed. *)
+  let now = Sim.now t.sim in
+  if ws.free_estimate > now then
+    ws.free_estimate <- now +. ((ws.free_estimate -. now) *. ws.gflops /. gflops);
+  ws.gflops <- gflops
 
 let at t ~time f = Sim.schedule_at t.sim ~time (fun () -> f ())
 
@@ -494,6 +490,7 @@ let at t ~time f = Sim.schedule_at t.sim ~time (fun () -> f ())
 type worker_stat = {
   ws_worker : Machine_config.worker;
   busy_s : float;
+  online_s : float;
   tasks_run : int;
 }
 
@@ -516,17 +513,33 @@ let wait_all t =
     tasks = t.total_tasks;
     bytes_transferred = t.bytes_transferred;
     worker_stats =
-      Array.map
-        (fun ws ->
-          { ws_worker = ws.w; busy_s = ws.busy_s; tasks_run = ws.tasks_run })
-        t.workers;
+      (let now = Sim.now t.sim in
+       Array.map
+         (fun ws ->
+           {
+             ws_worker = ws.w;
+             busy_s = ws.busy_s;
+             online_s =
+               (ws.online_s
+               +. if ws.online then now -. ws.online_since else 0.0);
+             tasks_run = ws.tasks_run;
+           })
+         t.workers);
     sim_events = Sim.events_processed t.sim;
   }
 
 let trace t = List.rev t.events
 
 let utilization stats =
-  if stats.makespan <= 0.0 || Array.length stats.worker_stats = 0 then 0.0
+  (* Average only over workers that were ever online: counting
+     permanently-offline units dilutes the figure with capacity the
+     schedule never had. *)
+  let ever_online =
+    Array.fold_left
+      (fun acc ws -> if ws.online_s > 0.0 then acc + 1 else acc)
+      0 stats.worker_stats
+  in
+  if stats.makespan <= 0.0 || ever_online = 0 then 0.0
   else
     Array.fold_left (fun acc ws -> acc +. ws.busy_s) 0.0 stats.worker_stats
-    /. (stats.makespan *. float_of_int (Array.length stats.worker_stats))
+    /. (stats.makespan *. float_of_int ever_online)

@@ -41,12 +41,15 @@ val create :
   ?execute_kernels:bool ->
   ?dispatch_overhead_us:float ->
   ?seed:int ->
+  ?pool:Kernels.Domain_pool.t ->
   Machine_config.t ->
   t
 (** [execute_kernels] (default [true]) runs codelet implementations
     for real as tasks complete; switch it off for model-only runs at
     sizes too large to compute. [dispatch_overhead_us] (default 20)
-    is charged per task. *)
+    is charged per task. [pool] is handed to every codelet
+    implementation the engine runs, so multi-core kernels spread
+    across real OCaml domains. *)
 
 val machine : t -> Machine_config.t
 val policy : t -> policy
@@ -64,6 +67,7 @@ val submit :
 type worker_stat = {
   ws_worker : Machine_config.worker;
   busy_s : float;  (** compute + transfer time attributed *)
+  online_s : float;  (** virtual seconds the worker was online *)
   tasks_run : int;
 }
 
@@ -100,7 +104,9 @@ val is_online : t -> worker:string -> bool
 
 val set_gflops : t -> worker:string -> float -> unit
 (** Change a worker's modeled throughput (a DVFS event). Affects
-    tasks dispatched from now on. *)
+    tasks dispatched from now on; the HEFT availability estimate of
+    in-flight work is rescaled so placement decisions see the new
+    speed immediately. *)
 
 val at : t -> time:float -> (unit -> unit) -> unit
 (** Schedule a reconfiguration at a virtual time (before or between
@@ -121,4 +127,6 @@ val trace : t -> trace_event list
 (** Completed-task records in completion order. *)
 
 val utilization : stats -> float
-(** Mean busy fraction across workers, in [0, 1]. *)
+(** Mean busy fraction in [0, 1], averaged over the workers that
+    were ever online during the run — a unit that stayed offline
+    throughout does not dilute the figure. *)

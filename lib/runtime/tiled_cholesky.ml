@@ -25,9 +25,9 @@ let potrf_cl =
     (* POTRF stays on the CPU, as in StarPU's Cholesky: tiny kernel,
        poor GPU fit. *)
     [
-      Codelet.cpu_impl (fun handles ->
+      Codelet.cpu_impl (fun ?pool handles ->
           match handles with
-          | [ h ] -> with_matrix h Lapack.dpotrf
+          | [ h ] -> with_matrix h (Lapack.dpotrf ?pool)
           | _ -> invalid_arg "potrf expects [a]");
     ]
 
@@ -38,11 +38,11 @@ let trsm_cl =
       | [ l; b ] ->
           Lapack.flops_trsm (fst (Data.dims b)) (fst (Data.dims l))
       | _ -> 0.0)
-    (let run handles =
+    (let run ?pool handles =
        match handles with
        | [ hl; hb ] ->
            let l = Data.read_matrix hl in
-           with_matrix hb (fun b -> Lapack.dtrsm_rlt ~l b)
+           with_matrix hb (fun b -> Lapack.dtrsm_rlt ?pool ~l b)
        | _ -> invalid_arg "trsm expects [l; b]"
      in
      [ Codelet.cpu_impl run; Codelet.gpu_impl run ])
@@ -53,11 +53,11 @@ let syrk_cl =
       match handles with
       | [ a; c ] -> Lapack.flops_syrk (fst (Data.dims c)) (snd (Data.dims a))
       | _ -> 0.0)
-    (let run handles =
+    (let run ?pool handles =
        match handles with
        | [ ha; hc ] ->
            let a = Data.read_matrix ha in
-           with_matrix hc (fun c -> Lapack.dsyrk_ln ~a c)
+           with_matrix hc (fun c -> Lapack.dsyrk_ln ?pool ~a c)
        | _ -> invalid_arg "syrk expects [a; c]"
      in
      [ Codelet.cpu_impl run; Codelet.gpu_impl run ])
@@ -69,11 +69,11 @@ let gemm_cl =
       | [ a; b; _ ] ->
           2.0 *. Lapack.flops_syrk (fst (Data.dims a)) (snd (Data.dims b))
       | _ -> 0.0)
-    (let run handles =
+    (let run ?pool handles =
        match handles with
        | [ ha; hb; hc ] ->
            let a = Data.read_matrix ha and b = Data.read_matrix hb in
-           with_matrix hc (fun c -> Lapack.dgemm_nt ~a ~b c)
+           with_matrix hc (fun c -> Lapack.dgemm_nt ?pool ~a ~b c)
        | _ -> invalid_arg "gemm_nt expects [a; b; c]"
      in
      [ Codelet.cpu_impl run; Codelet.gpu_impl run ])
@@ -136,10 +136,10 @@ let finish rt ~n ~ha ~materialize =
        else 0.0);
   }
 
-let run ?policy ?(tiles = 4) ?(configure = ignore) cfg (a : Matrix.t) =
+let run ?policy ?(tiles = 4) ?(configure = ignore) ?pool cfg (a : Matrix.t) =
   if a.rows <> a.cols then invalid_arg "Tiled_cholesky.run: not square";
   if tiles < 1 || tiles > a.rows then invalid_arg "Tiled_cholesky.run: bad tiles";
-  let rt = Engine.create ?policy cfg in
+  let rt = Engine.create ?policy ?pool cfg in
   let ha = Data.register_matrix ~name:"A" (Matrix.copy a) in
   let grid = Data.partition_tiles ha ~rows:tiles ~cols:tiles in
   submit_graph rt cfg tiles grid;

@@ -20,6 +20,7 @@ val run :
   ?policy:Engine.policy ->
   ?tiles:int ->
   ?configure:(Engine.t -> unit) ->
+  ?pool:Kernels.Domain_pool.t ->
   Machine_config.t ->
   Kernels.Matrix.t ->
   result
@@ -27,7 +28,8 @@ val run :
     is factored). Kernels execute for real; the result satisfies
     [l * l^T ~ a]. [configure] runs on the engine after submission
     and before execution — the place to schedule dynamic-resource
-    events ({!Engine.at}).
+    events ({!Engine.at}). [pool] is forwarded to {!Engine.create}
+    so the tile kernels run on real domains.
     @raise Kernels.Lapack.Not_positive_definite as the kernels do. *)
 
 val run_model :

@@ -51,11 +51,11 @@ let finish ~flops ~hc ~materialize rt =
        else 0.0);
   }
 
-let run ?policy ?(tiles = 4) ?group cfg ~(a : Matrix.t) ~(b : Matrix.t) =
+let run ?policy ?(tiles = 4) ?group ?pool cfg ~(a : Matrix.t) ~(b : Matrix.t) =
   if a.cols <> b.rows then invalid_arg "Tiled_dgemm.run: shape mismatch";
   if tiles < 1 || tiles > a.rows || tiles > b.cols then
     invalid_arg "Tiled_dgemm.run: bad tile count";
-  let rt = Engine.create ?policy cfg in
+  let rt = Engine.create ?policy ?pool cfg in
   let codelet = dgemm_codelet cfg in
   let ha = Data.register_matrix ~name:"A" (Matrix.copy a) in
   let hb = Data.register_matrix ~name:"B" (Matrix.copy b) in

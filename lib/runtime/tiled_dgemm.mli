@@ -25,11 +25,14 @@ val run :
   ?policy:Engine.policy ->
   ?tiles:int ->
   ?group:string ->
+  ?pool:Kernels.Domain_pool.t ->
   Machine_config.t ->
   a:Kernels.Matrix.t ->
   b:Kernels.Matrix.t ->
   result
-(** @raise Invalid_argument on shape mismatch or [tiles] exceeding
+(** [pool] is forwarded to {!Engine.create} so the per-tile dgemm
+    kernels run on real domains.
+    @raise Invalid_argument on shape mismatch or [tiles] exceeding
     the matrix dimensions. *)
 
 val run_model :

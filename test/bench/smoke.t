@@ -1,0 +1,24 @@
+The benchmark harness's smoke mode: a tiny deterministic pass that
+exercises the domain pool, the pooled BLAS/LAPACK kernels, and every
+scheduling policy end-to-end (real kernel execution through the
+engine). Anything nondeterministic (wall-clock times) is deliberately
+not printed.
+
+  $ ../../bench/main.exe smoke
+  domain_pool: every index visited exactly once        ok
+  dgemm: pooled == sequential (bitwise)                ok
+  dgemm: blocked ~= naive                              ok
+  cholesky: pooled == sequential (bitwise)             ok
+  cholesky: residual small                             ok
+  sched eager: tiled dgemm correct (4 tasks)           ok
+  sched heft: tiled dgemm correct (4 tasks)            ok
+  sched ws: tiled dgemm correct (4 tasks)              ok
+  sched random: tiled dgemm correct (4 tasks)          ok
+  sched heft: tiled cholesky residual small            ok
+  smoke: all checks passed
+
+Unknown experiment names fail cleanly:
+
+  $ ../../bench/main.exe no-such-experiment
+  unknown experiment "no-such-experiment" (known: fig5, sweep, sched, tile, presel, chol, eng, par, smoke, micro)
+  [1]

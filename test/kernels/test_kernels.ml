@@ -177,12 +177,193 @@ let daxpy_linear =
         (Array.map2 ( -. ) y2 y)
         x)
 
+(* ------------------------------------------------------------------ *)
+(* Domain pool and pooled kernels                                      *)
+
+let domain_pool_tests =
+  [
+    Alcotest.test_case "every index visited exactly once" `Quick (fun () ->
+        Domain_pool.with_pool ~num_domains:4 (fun pool ->
+            let n = 10_000 in
+            let hits = Array.make n 0 in
+            Domain_pool.parallel_for pool ~lo:0 ~hi:n (fun i ->
+                hits.(i) <- hits.(i) + 1);
+            check bool_ "all once" true (Array.for_all (fun h -> h = 1) hits)));
+    Alcotest.test_case "num_domains accessor; < 1 rejected" `Quick (fun () ->
+        Domain_pool.with_pool ~num_domains:3 (fun pool ->
+            check int_ "three" 3 (Domain_pool.num_domains pool));
+        match Domain_pool.create ~num_domains:0 () with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "num_domains = 1 is a sequential loop" `Quick (fun () ->
+        Domain_pool.with_pool ~num_domains:1 (fun pool ->
+            let sum = ref 0 in
+            (* Safe unsynchronized: everything runs on this domain. *)
+            Domain_pool.parallel_for pool ~lo:0 ~hi:100 (fun i ->
+                sum := !sum + i);
+            check int_ "gauss" 4950 !sum));
+    Alcotest.test_case "empty and tiny ranges" `Quick (fun () ->
+        Domain_pool.with_pool ~num_domains:2 (fun pool ->
+            let calls = Atomic.make 0 in
+            Domain_pool.parallel_for pool ~lo:5 ~hi:5 (fun _ ->
+                Atomic.incr calls);
+            check int_ "empty range" 0 (Atomic.get calls);
+            Domain_pool.parallel_for pool ~lo:2 ~hi:3 (fun i ->
+                check int_ "index" 2 i;
+                Atomic.incr calls);
+            check int_ "one call" 1 (Atomic.get calls)));
+    Alcotest.test_case "reusable across many calls" `Quick (fun () ->
+        Domain_pool.with_pool ~num_domains:3 (fun pool ->
+            let n = 512 in
+            let acc = Array.make n 0 in
+            for _ = 1 to 50 do
+              Domain_pool.parallel_for pool ~lo:0 ~hi:n (fun i ->
+                  acc.(i) <- acc.(i) + 1)
+            done;
+            check bool_ "50 everywhere" true
+              (Array.for_all (fun v -> v = 50) acc)));
+    Alcotest.test_case "exception propagates, pool survives" `Quick (fun () ->
+        Domain_pool.with_pool ~num_domains:3 (fun pool ->
+            (match
+               Domain_pool.parallel_for pool ~lo:0 ~hi:1_000 (fun i ->
+                   if i = 500 then failwith "boom")
+             with
+            | () -> Alcotest.fail "expected Failure"
+            | exception Failure m -> check Alcotest.string "msg" "boom" m);
+            let hits = Array.make 100 0 in
+            Domain_pool.parallel_for pool ~lo:0 ~hi:100 (fun i ->
+                hits.(i) <- 1);
+            check bool_ "usable after failure" true
+              (Array.for_all (fun h -> h = 1) hits)));
+    Alcotest.test_case "nested parallel_for runs inline" `Quick (fun () ->
+        Domain_pool.with_pool ~num_domains:2 (fun pool ->
+            let outer = 8 and inner = 64 in
+            let hits = Array.make (outer * inner) 0 in
+            Domain_pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:outer (fun o ->
+                Domain_pool.parallel_for pool ~lo:0 ~hi:inner (fun i ->
+                    hits.((o * inner) + i) <- hits.((o * inner) + i) + 1));
+            check bool_ "all once" true (Array.for_all (fun h -> h = 1) hits)));
+    Alcotest.test_case "shutdown idempotent; sequential afterwards" `Quick
+      (fun () ->
+        let pool = Domain_pool.create ~num_domains:3 () in
+        Domain_pool.shutdown pool;
+        Domain_pool.shutdown pool;
+        let sum = ref 0 in
+        Domain_pool.parallel_for pool ~lo:0 ~hi:10 (fun i -> sum := !sum + i);
+        check int_ "still works" 45 !sum);
+    Alcotest.test_case "chunk < 1 rejected" `Quick (fun () ->
+        Domain_pool.with_pool ~num_domains:2 (fun pool ->
+            match Domain_pool.parallel_for ~chunk:0 pool ~lo:0 ~hi:4 ignore with
+            | _ -> Alcotest.fail "expected Invalid_argument"
+            | exception Invalid_argument _ -> ()));
+    Alcotest.test_case "pooled dgemm bit-identical to sequential" `Quick
+      (fun () ->
+        Domain_pool.with_pool ~num_domains:3 (fun pool ->
+            List.iter
+              (fun n ->
+                let a = Matrix.random ~seed:n n n
+                and b = Matrix.random ~seed:(n + 1) n n in
+                let c_seq = Matrix.init n n (fun i j -> float_of_int (i + j)) in
+                let c_par = Matrix.copy c_seq in
+                Blas.dgemm ~alpha:1.5 ~beta:0.5 a b c_seq;
+                Blas.dgemm ~alpha:1.5 ~beta:0.5 ~pool a b c_par;
+                check (float_ 0.0)
+                  (Printf.sprintf "n=%d identical" n)
+                  0.0
+                  (Matrix.max_abs_diff c_seq c_par))
+              [ 65; 96; 200 ]));
+    Alcotest.test_case "pooled dgemv/daxpy bit-identical on large inputs"
+      `Quick (fun () ->
+        Domain_pool.with_pool ~num_domains:4 (fun pool ->
+            let a = Matrix.random ~seed:5 300 300 in
+            let x = Array.init 300 (fun i -> sin (float_of_int i)) in
+            let y_seq = Array.init 300 (fun i -> cos (float_of_int i)) in
+            let y_par = Array.copy y_seq in
+            Blas.dgemv ~alpha:1.1 ~beta:0.7 a x y_seq;
+            Blas.dgemv ~alpha:1.1 ~beta:0.7 ~pool a x y_par;
+            check bool_ "dgemv identical" true (y_seq = y_par);
+            let n = 70_000 in
+            let x = Array.init n (fun i -> sin (float_of_int i)) in
+            let y_seq = Array.init n (fun i -> cos (float_of_int i)) in
+            let y_par = Array.copy y_seq in
+            Blas.daxpy 1.5 x y_seq;
+            Blas.daxpy ~pool 1.5 x y_par;
+            check bool_ "daxpy identical" true (y_seq = y_par)));
+    Alcotest.test_case "pooled ddot deterministic across domain counts" `Quick
+      (fun () ->
+        let n = 100_000 in
+        let x = Array.init n (fun i -> sin (float_of_int i)) in
+        let y = Array.init n (fun i -> cos (float_of_int (2 * i))) in
+        let seq = Blas.ddot x y in
+        let d2 =
+          Domain_pool.with_pool ~num_domains:2 (fun pool -> Blas.ddot ~pool x y)
+        in
+        let d4 =
+          Domain_pool.with_pool ~num_domains:4 (fun pool -> Blas.ddot ~pool x y)
+        in
+        check (float_ 0.0) "same partials whatever the domain count" d2 d4;
+        check bool_ "close to sequential" true
+          (Float.abs (seq -. d2) <= 1e-9 *. Float.max 1.0 (Float.abs seq)));
+    Alcotest.test_case "pooled lapack kernels bit-identical" `Quick (fun () ->
+        Domain_pool.with_pool ~num_domains:3 (fun pool ->
+            let n = 96 in
+            let spd = Lapack.random_spd ~seed:7 n in
+            let l_seq = Matrix.copy spd and l_par = Matrix.copy spd in
+            Lapack.dpotrf l_seq;
+            Lapack.dpotrf ~pool l_par;
+            check (float_ 0.0) "dpotrf" 0.0 (Matrix.max_abs_diff l_seq l_par);
+            let b_seq = Matrix.random ~seed:8 n n in
+            let b_par = Matrix.copy b_seq in
+            Lapack.dtrsm_rlt ~l:l_seq b_seq;
+            Lapack.dtrsm_rlt ~pool ~l:l_seq b_par;
+            check (float_ 0.0) "dtrsm_rlt" 0.0 (Matrix.max_abs_diff b_seq b_par);
+            let a = Matrix.random ~seed:9 n n in
+            let c_seq = Matrix.copy spd and c_par = Matrix.copy spd in
+            Lapack.dsyrk_ln ~a c_seq;
+            Lapack.dsyrk_ln ~pool ~a c_par;
+            check (float_ 0.0) "dsyrk_ln" 0.0 (Matrix.max_abs_diff c_seq c_par);
+            let b = Matrix.random ~seed:10 n n in
+            let g_seq = Matrix.copy spd and g_par = Matrix.copy spd in
+            Lapack.dgemm_nt ~a ~b g_seq;
+            Lapack.dgemm_nt ~pool ~a ~b g_par;
+            check (float_ 0.0) "dgemm_nt" 0.0 (Matrix.max_abs_diff g_seq g_par)));
+  ]
+
+(* One shared pool for the property below: spawning domains per
+   sample would dominate the run time. *)
+let property_pool = Domain_pool.create ~num_domains:4 ()
+
+let pooled_dgemm_matches_sequential =
+  QCheck.Test.make ~name:"pooled dgemm = sequential dgemm bit-for-bit"
+    ~count:40
+    QCheck.(
+      quad (int_range 1 80) (int_range 1 40) (int_range 1 40) (int_range 1 9))
+    (fun (m, k, n, block) ->
+      let a = Matrix.random ~seed:m m k and b = Matrix.random ~seed:n k n in
+      let c1 = Matrix.init m n (fun i j -> float_of_int (i - j)) in
+      let c2 = Matrix.copy c1 in
+      Blas.dgemm ~alpha:1.5 ~beta:0.5 ~block a b c1;
+      Blas.dgemm ~alpha:1.5 ~beta:0.5 ~block ~pool:property_pool a b c2;
+      Matrix.max_abs_diff c1 c2 = 0.0)
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
-  Alcotest.run "kernels"
-    [
-      ("matrix", matrix_tests);
-      ("blas", blas_tests);
-      ( "properties",
-        qt [ tiled_equals_whole; blocked_matches_naive; daxpy_linear ] );
-    ]
+  let result =
+    try
+      Alcotest.run ~and_exit:false "kernels"
+        [
+          ("matrix", matrix_tests);
+          ("blas", blas_tests);
+          ("domain_pool", domain_pool_tests);
+          ( "properties",
+            qt
+              [
+                tiled_equals_whole; blocked_matches_naive; daxpy_linear;
+                pooled_dgemm_matches_sequential;
+              ] );
+        ];
+      None
+    with e -> Some e
+  in
+  Domain_pool.shutdown property_pool;
+  match result with Some e -> raise e | None -> ()

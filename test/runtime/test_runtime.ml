@@ -1007,6 +1007,223 @@ let tiled_correct =
       in
       Matrix.approx_equal expected (Option.get r.c))
 
+(* ------------------------------------------------------------------ *)
+(* Deque (the scheduler's worker-queue backbone)                       *)
+
+let deque_tests =
+  [
+    Alcotest.test_case "pushes and pops at both ends" `Quick (fun () ->
+        let d = Deque.create () in
+        List.iter (Deque.push_back d) [ 1; 2; 3; 4; 5 ];
+        check int_ "length" 5 (Deque.length d);
+        check (Alcotest.option int_) "front" (Some 1) (Deque.pop_front d);
+        Deque.push_front d 0;
+        check (Alcotest.option int_) "back" (Some 5) (Deque.pop_back d);
+        check (Alcotest.list int_) "rest" [ 0; 2; 3; 4 ] (Deque.to_list d));
+    Alcotest.test_case "grows through wraparound" `Quick (fun () ->
+        let d = Deque.create ~capacity:2 () in
+        for i = 1 to 20 do
+          Deque.push_back d i;
+          (* Rotate so head moves around the ring. *)
+          if i mod 3 = 0 then
+            match Deque.pop_front d with
+            | Some x -> Deque.push_back d x
+            | None -> assert false
+        done;
+        check int_ "all kept" 20 (Deque.length d);
+        check int_ "sum preserved" 210 (Deque.fold ( + ) 0 d));
+    Alcotest.test_case "take_first removes frontmost match only" `Quick
+      (fun () ->
+        let d = Deque.of_list [ 1; 2; 3; 4; 5 ] in
+        let even x = x mod 2 = 0 in
+        check (Alcotest.option int_) "first even" (Some 2)
+          (Deque.take_first d ~f:even);
+        check (Alcotest.list int_) "order preserved" [ 1; 3; 4; 5 ]
+          (Deque.to_list d);
+        check (Alcotest.option int_) "no match" None
+          (Deque.take_first d ~f:(fun x -> x > 10));
+        check (Alcotest.list int_) "untouched on miss" [ 1; 3; 4; 5 ]
+          (Deque.to_list d));
+    Alcotest.test_case "steal removes most recently enqueued match" `Quick
+      (fun () ->
+        let d = Deque.of_list [ 1; 2; 3; 4; 5 ] in
+        let even x = x mod 2 = 0 in
+        check (Alcotest.option int_) "rearmost even" (Some 4)
+          (Deque.steal d ~f:even);
+        check (Alcotest.list int_) "victim order preserved" [ 1; 2; 3; 5 ]
+          (Deque.to_list d);
+        check (Alcotest.option int_) "no match" None
+          (Deque.steal d ~f:(fun x -> x > 10));
+        check (Alcotest.list int_) "untouched on miss" [ 1; 2; 3; 5 ]
+          (Deque.to_list d));
+    Alcotest.test_case "clear empties" `Quick (fun () ->
+        let d = Deque.of_list [ 1; 2; 3 ] in
+        Deque.clear d;
+        check bool_ "empty" true (Deque.is_empty d);
+        check (Alcotest.option int_) "nothing" None (Deque.pop_front d));
+  ]
+
+(* List-model reference for take_first / steal. *)
+let rec remove_first f = function
+  | [] -> (None, [])
+  | y :: tl ->
+      if f y then (Some y, tl)
+      else
+        let r, rest = remove_first f tl in
+        (r, y :: rest)
+
+let deque_take_first_model =
+  QCheck.Test.make ~name:"deque take_first = first match of the list model"
+    ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let even x = x mod 2 = 0 in
+      let d = Deque.of_list xs in
+      let got = Deque.take_first d ~f:even in
+      let expect, rest = remove_first even xs in
+      got = expect && Deque.to_list d = rest)
+
+let deque_steal_model =
+  QCheck.Test.make ~name:"deque steal = last match of the list model"
+    ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let even x = x mod 2 = 0 in
+      let d = Deque.of_list xs in
+      let got = Deque.steal d ~f:even in
+      let expect, rest_rev = remove_first even (List.rev xs) in
+      got = expect && Deque.to_list d = List.rev rest_rev)
+
+(* The sim heap must pop (time, insertion-seq) lexicographically:
+   equal-time events keep submission order. *)
+let sim_time_seq_order =
+  QCheck.Test.make ~name:"sim pops events in (time, insertion) order"
+    ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 60) (int_range 0 5))
+    (fun delays ->
+      let sim = Sim.create () in
+      let fired = ref [] in
+      List.iteri
+        (fun i d ->
+          let t = float_of_int d in
+          Sim.schedule sim ~delay:t (fun () -> fired := (t, i) :: !fired))
+        delays;
+      Sim.run sim;
+      let expected =
+        List.mapi (fun i d -> (float_of_int d, i)) delays
+        |> List.stable_sort (fun (t1, _) (t2, _) -> compare t1 t2)
+      in
+      List.rev !fired = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool through the engine; ever-online utilization; DVFS HEFT  *)
+
+(* A bare two-worker machine with controllable throughputs; [w0]
+   carries a logic group so tasks can be pinned to it. *)
+let two_worker_cfg ~g0 ~g1 =
+  Machine_config.of_platform_exn
+    Pdl_model.Machine.(
+      platform ~name:"duo"
+        [
+          pu Master "m"
+            ~children:
+              [
+                pu Worker "w0" ~groups:[ "pin0" ]
+                  ~props:[ property "DGEMM_THROUGHPUT" (string_of_float g0) ];
+                pu Worker "w1"
+                  ~props:[ property "DGEMM_THROUGHPUT" (string_of_float g1) ];
+              ];
+        ])
+
+let pool_engine_tests =
+  [
+    Alcotest.test_case "engine runs kernels on the domain pool" `Quick
+      (fun () ->
+        Kernels.Domain_pool.with_pool ~num_domains:3 (fun pool ->
+            let n = 96 in
+            let a = Matrix.random ~seed:1 n n and b = Matrix.random ~seed:2 n n in
+            let expected = Matrix.create n n in
+            Kernels.Blas.dgemm a b expected;
+            let rt = Engine.create ~pool (smp_cfg ()) in
+            let ha = Data.register_matrix (Matrix.copy a) in
+            let hb = Data.register_matrix (Matrix.copy b) in
+            let hc = Data.register_matrix (Matrix.create n n) in
+            Engine.submit rt Codelet.dgemm
+              [ (ha, Codelet.R); (hb, Codelet.R); (hc, Codelet.RW) ];
+            let _ = Engine.wait_all rt in
+            (* Pooled execution is bit-identical to the sequential
+               kernel, so exact equality is the right check. *)
+            check (float_ 0.0) "bitwise equal" 0.0
+              (Matrix.max_abs_diff expected (Data.read_matrix hc))));
+    Alcotest.test_case "utilization averages over ever-online workers" `Quick
+      (fun () ->
+        let rt =
+          Engine.create ~policy:Engine.Eager (two_worker_cfg ~g0:1.0 ~g1:1.0)
+        in
+        (* w1 goes down before anything runs: it must not dilute the
+           utilization average. *)
+        Engine.set_offline rt ~worker:"w1";
+        let cl = Codelet.noop ~name:"unit" ~flops:1e9 ~archs:[ "cpu" ] in
+        for _ = 1 to 3 do
+          let h = Data.register_matrix (Matrix.create 1 1) in
+          Engine.submit rt cl [ (h, Codelet.RW) ]
+        done;
+        let stats = Engine.wait_all rt in
+        let by_name n =
+          Array.to_list stats.worker_stats
+          |> List.find (fun ws ->
+                 ws.Engine.ws_worker.Machine_config.w_name = n)
+        in
+        check (float_ 0.0) "w1 never online" 0.0 (by_name "w1").Engine.online_s;
+        check bool_ "w0 online the whole run" true
+          ((by_name "w0").Engine.online_s >= stats.makespan -. 1e-9);
+        check (float_ 0.05) "utilization ~1 despite the dead worker" 1.0
+          (Engine.utilization stats));
+    Alcotest.test_case "set_gflops refreshes the HEFT availability estimate"
+      `Quick (fun () ->
+        (* w0 is 10x slower, gets a 10s task pinned to it, then clocks
+           up 100x at t=0.5. A task submitted at t=0.6 must be placed
+           on w0 (free at ~0.6 under the refreshed estimate, ~10 under
+           the stale one, vs ~1.6 on w1). *)
+        let rt =
+          Engine.create ~policy:Engine.Heft (two_worker_cfg ~g0:0.1 ~g1:1.0)
+        in
+        let slow = Codelet.noop ~name:"slow" ~flops:1e9 ~archs:[ "cpu" ] in
+        let probe = Codelet.noop ~name:"probe" ~flops:1e9 ~archs:[ "cpu" ] in
+        let h = Data.register_matrix (Matrix.create 1 1) in
+        Engine.submit ~group:"pin0" rt slow [ (h, Codelet.R) ];
+        Engine.at rt ~time:0.5 (fun () -> Engine.set_gflops rt ~worker:"w0" 10.0);
+        Engine.at rt ~time:0.6 (fun () ->
+            let h2 = Data.register_matrix (Matrix.create 1 1) in
+            Engine.submit rt probe [ (h2, Codelet.RW) ]);
+        let _ = Engine.wait_all rt in
+        let probe_ev =
+          List.find (fun ev -> ev.Engine.tr_codelet = "probe") (Engine.trace rt)
+        in
+        check string_ "placed on the clocked-up worker" "w0"
+          probe_ev.Engine.tr_worker);
+    Alcotest.test_case "stale estimate would have picked w1 (control)" `Quick
+      (fun () ->
+        (* Same scenario without the DVFS event: w0 stays slow, so the
+           probe goes to w1 — confirming the previous test really
+           exercises the estimate refresh. *)
+        let rt =
+          Engine.create ~policy:Engine.Heft (two_worker_cfg ~g0:0.1 ~g1:1.0)
+        in
+        let slow = Codelet.noop ~name:"slow" ~flops:1e9 ~archs:[ "cpu" ] in
+        let probe = Codelet.noop ~name:"probe" ~flops:1e9 ~archs:[ "cpu" ] in
+        let h = Data.register_matrix (Matrix.create 1 1) in
+        Engine.submit ~group:"pin0" rt slow [ (h, Codelet.R) ];
+        Engine.at rt ~time:0.6 (fun () ->
+            let h2 = Data.register_matrix (Matrix.create 1 1) in
+            Engine.submit rt probe [ (h2, Codelet.RW) ]);
+        let _ = Engine.wait_all rt in
+        let probe_ev =
+          List.find (fun ev -> ev.Engine.tr_codelet = "probe") (Engine.trace rt)
+        in
+        check string_ "slow worker avoided" "w1" probe_ev.Engine.tr_worker);
+  ]
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "taskrt"
@@ -1015,6 +1232,8 @@ let () =
       ("data", data_tests);
       ("machine_config", config_tests);
       ("engine", engine_tests);
+      ("deque", deque_tests);
+      ("pool_engine", pool_engine_tests);
       ("tiled_dgemm", dgemm_tests);
       ("tiled_cholesky", cholesky_tests);
       ("dynamic", dynamic_tests);
@@ -1025,7 +1244,8 @@ let () =
         qt
           [
             deterministic_sim; tiled_correct; group_invariant; busy_bounded;
-            work_conservation;
+            work_conservation; sim_time_seq_order; deque_take_first_model;
+            deque_steal_model;
           ]
       );
     ]
