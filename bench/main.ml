@@ -12,6 +12,10 @@
      tile    ABL-TILE  — tile-count sensitivity
      presel  ABL-PRESEL— static pre-selection pruning across the zoo
      chol    ABL-CHOL  — tiled Cholesky (dependency-rich DAG)
+     eng     engine scheduling hot paths (real wall-clock)
+     par     real multicore kernels vs the domain pool (BENCH_par.json)
+     kern    DGEMM kernel variants naive/blocked/packed (BENCH_kern.json)
+     smoke   deterministic end-to-end pass for the cram test
      micro   Bechamel microbenchmarks of the toolchain itself *)
 
 module MC = Taskrt.Machine_config
@@ -351,10 +355,24 @@ let par_json path rows =
   Printf.fprintf oc "  ]\n}\n";
   close_out oc
 
+(* Best-of-[reps] timing: a single run can swing by 25% on a shared
+   container (page faults, first-touch of packing buffers), which is
+   noise the 1.2x cholesky regression guard below must not trip on. *)
+let wall_min ~reps f =
+  let best = ref infinity and result = ref None in
+  for _ = 1 to reps do
+    let r, dt = wall f in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let par_reps = 3
+
 (* One kernel at one size: sequential reference, then one pooled run
    per domain count, verifying the pooled result is bit-identical. *)
 let par_kernel ~kernel ~n ~domains ~flops ~seq ~pooled =
-  let reference, seq_s = wall seq in
+  let reference, seq_s = wall_min ~reps:par_reps seq in
   let seq_gflops = flops /. seq_s /. 1e9 in
   Printf.printf "%-10s %6d %9s %12.3f %12.1f %9s %14s\n" kernel n "seq" seq_s
     seq_gflops "" "";
@@ -364,7 +382,7 @@ let par_kernel ~kernel ~n ~domains ~flops ~seq ~pooled =
          measuring kernel scaling, not domain startup. *)
       let result, wall_s =
         DP.with_pool ~num_domains:d (fun pool ->
-            wall (fun () -> pooled pool))
+            wall_min ~reps:par_reps (fun () -> pooled pool))
       in
       let diff = Matrix.max_abs_diff reference result in
       Printf.printf "%-10s %6d %9d %12.3f %12.1f %8.2fx %14g\n" kernel n d
@@ -391,29 +409,40 @@ let par ?(sizes = [ 256; 512; 1024; 2048 ]) ?(domains = [ 1; 2; 4 ]) () =
     List.concat_map
       (fun n ->
         let a = Matrix.random ~seed:1 n n and b = Matrix.random ~seed:2 n n in
+        (* Output buffers are preallocated and reused across reps: a
+           fresh 32 MB bigarray per run drags major-GC barriers into
+           the timed region (every collection stops the world across
+           all domains, parked pool workers included), and we are
+           measuring kernel scaling, not allocator pacing. *)
+        let c_seq = Matrix.create n n and c_par = Matrix.create n n in
+        let zero dst = Bigarray.Array1.fill dst.Matrix.data 0.0 in
         let dgemm_rows =
           par_kernel ~kernel:"dgemm" ~n ~domains
             ~flops:(Blas.flops_dgemm n n n)
             ~seq:(fun () ->
-              let c = Matrix.create n n in
-              Blas.dgemm a b c;
-              c)
+              (* beta defaults to 1.0: reused buffers must be re-zeroed
+                 or reps accumulate. *)
+              zero c_seq;
+              Blas.dgemm a b c_seq;
+              c_seq)
             ~pooled:(fun pool ->
-              let c = Matrix.create n n in
-              Blas.dgemm ~pool a b c;
-              c)
+              zero c_par;
+              Blas.dgemm ~pool a b c_par;
+              c_par)
         in
         let spd = Lapack.random_spd ~seed:3 n in
+        let m_seq = Matrix.create n n and m_par = Matrix.create n n in
+        let reset dst = Bigarray.Array1.blit spd.Matrix.data dst.Matrix.data in
         let chol_rows =
           par_kernel ~kernel:"cholesky" ~n ~domains ~flops:(Lapack.flops_potrf n)
             ~seq:(fun () ->
-              let m = Matrix.copy spd in
-              Lapack.dpotrf m;
-              m)
+              reset m_seq;
+              Lapack.dpotrf m_seq;
+              m_seq)
             ~pooled:(fun pool ->
-              let m = Matrix.copy spd in
-              Lapack.dpotrf ~pool m;
-              m)
+              reset m_par;
+              Lapack.dpotrf ~pool m_par;
+              m_par)
         in
         dgemm_rows @ chol_rows)
       sizes
@@ -422,9 +451,143 @@ let par ?(sizes = [ 256; 512; 1024; 2048 ]) ?(domains = [ 1; 2; 4 ]) () =
   Printf.printf "\npooled == sequential bit-for-bit: %s\n"
     (if bad = [] then "yes (all rows)"
      else Printf.sprintf "NO (%d rows differ)" (List.length bad));
+  (* Regression guard: the work- and oversubscription-gated Lapack
+     panel updates must keep pooled Cholesky from ever losing badly to
+     sequential again (the seed showed 0.19x at n=2048 with 4 domains
+     on one core). *)
+  let slow_chol =
+    List.filter
+      (fun r -> r.pr_kernel = "cholesky" && r.pr_wall_s > 1.2 *. r.pr_seq_s)
+      rows
+  in
+  Printf.printf "pooled cholesky never > 1.2x slower than sequential: %s\n"
+    (if slow_chol = [] then "yes (all rows)"
+     else Printf.sprintf "NO (%d rows slower)" (List.length slow_chol));
   par_json "BENCH_par.json" rows;
   print_endline "wrote BENCH_par.json";
-  if bad <> [] then exit 1
+  if bad <> [] || slow_chol <> [] then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* KERN: DGEMM kernel variants (naive / blocked / packed)              *)
+
+type kern_row = {
+  kn_variant : string;
+  kn_n : int;
+  kn_wall_s : float;
+  kn_gflops : float;
+}
+
+let kern_json path rows ratios =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"experiment\": \"kern\",\n";
+  Printf.fprintf oc "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"variant\": %S, \"n\": %d, \"wall_s\": %.6f, \"gflops\": \
+         %.3f}%s\n"
+        r.kn_variant r.kn_n r.kn_wall_s r.kn_gflops
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n  \"packed_over_blocked\": [\n";
+  List.iteri
+    (fun i (n, ratio) ->
+      Printf.fprintf oc "    {\"n\": %d, \"ratio\": %.2f}%s\n" n ratio
+        (if i = List.length ratios - 1 then "" else ","))
+    ratios;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+(* Single-domain throughput of the three DGEMM variants.  The naive
+   kernel is only run up to n = 512 (a 2048-cubed naive run costs a
+   minute and teaches nothing new). *)
+let kern ?(sizes = [ 256; 512; 1024; 2048 ]) () =
+  header "KERN  DGEMM kernel variants, single domain (wall seconds)";
+  Printf.printf "%-8s %10s %12s %12s %18s\n" "n" "variant" "wall [s]"
+    "GFLOP/s" "packed/blocked";
+  let mismatches = ref 0 in
+  let rows, ratios =
+    List.fold_left
+      (fun (rows, ratios) n ->
+        let a = Matrix.random ~seed:1 n n and b = Matrix.random ~seed:2 n n in
+        let flops = Blas.flops_dgemm n n n in
+        let time variant f =
+          let c = Matrix.create n n in
+          let (), dt = wall (fun () -> f a b c) in
+          let row =
+            {
+              kn_variant = variant;
+              kn_n = n;
+              kn_wall_s = dt;
+              kn_gflops = flops /. dt /. 1e9;
+            }
+          in
+          Printf.printf "%-8d %10s %12.3f %12.2f\n" n variant dt row.kn_gflops;
+          (row, c)
+        in
+        let naive_rows =
+          if n <= 512 then
+            [ fst (time "naive" (fun a b c -> Blas.dgemm_naive a b c)) ]
+          else []
+        in
+        let blocked, c_blocked =
+          time "blocked" (fun a b c -> Blas.dgemm_blocked a b c)
+        in
+        let packed, c_packed =
+          time "packed" (fun a b c -> Blas.dgemm_packed a b c)
+        in
+        if not (Matrix.approx_equal c_blocked c_packed) then begin
+          Printf.printf "n=%d: packed result DIVERGES from blocked\n" n;
+          incr mismatches
+        end;
+        let ratio = packed.kn_gflops /. blocked.kn_gflops in
+        Printf.printf "%-8s %10s %12s %12s %17.1fx\n" "" "" "" "" ratio;
+        (rows @ naive_rows @ [ blocked; packed ], ratios @ [ (n, ratio) ]))
+      ([], []) sizes
+  in
+  Printf.printf "\npacked ~= blocked everywhere (approx_equal): %s\n"
+    (if !mismatches = 0 then "yes" else "NO");
+  kern_json "BENCH_kern.json" rows ratios;
+  print_endline "wrote BENCH_kern.json";
+  if !mismatches > 0 then exit 1
+
+(* Deterministic sub-second coverage of the packed kernel for the cram
+   test: correctness across micro-tile edge shapes and the pooled
+   bitwise-identity contract — no wall-clock output. *)
+let kern_smoke () =
+  let check name ok =
+    Printf.printf "%-52s %s\n" name (if ok then "ok" else "FAIL");
+    if not ok then exit 1
+  in
+  List.iter
+    (fun (m, k, n) ->
+      let a = Matrix.random ~seed:1 m k and b = Matrix.random ~seed:2 k n in
+      let c1 = Matrix.random ~seed:3 m n in
+      let c2 = Matrix.copy c1 and c3 = Matrix.copy c1 in
+      Blas.dgemm_naive ~alpha:1.5 ~beta:(-0.5) a b c1;
+      Blas.dgemm_packed ~alpha:1.5 ~beta:(-0.5) a b c2;
+      Blas.dgemm_blocked ~alpha:1.5 ~beta:(-0.5) a b c3;
+      check
+        (Printf.sprintf "kern: packed ~= naive (%dx%dx%d)" m k n)
+        (Matrix.approx_equal c1 c2);
+      check
+        (Printf.sprintf "kern: blocked ~= naive (%dx%dx%d)" m k n)
+        (Matrix.approx_equal c1 c3))
+    [ (1, 1, 1); (3, 5, 2); (7, 3, 9); (96, 64, 32); (130, 257, 139) ];
+  List.iter
+    (fun d ->
+      DP.with_pool ~num_domains:d (fun pool ->
+          let m = 300 in
+          (* several MC row panels, so the pool genuinely splits *)
+          let a = Matrix.random ~seed:4 m m and b = Matrix.random ~seed:5 m m in
+          let c1 = Matrix.create m m and c2 = Matrix.create m m in
+          Blas.dgemm_packed a b c1;
+          Blas.dgemm_packed ~pool a b c2;
+          check
+            (Printf.sprintf "kern: packed pooled == sequential (%d domains)" d)
+            (Matrix.max_abs_diff c1 c2 = 0.0)))
+    [ 1; 2; 4 ];
+  print_endline "kern: all checks passed"
 
 (* ------------------------------------------------------------------ *)
 (* SMOKE: tiny deterministic end-to-end pass for the cram test         *)
@@ -451,7 +614,10 @@ let smoke () =
         (Matrix.max_abs_diff c_seq c_par = 0.0);
       let c_naive = Matrix.create m m in
       Blas.dgemm_naive a b c_naive;
-      check "dgemm: blocked ~= naive" (Matrix.approx_equal c_seq c_naive);
+      check "dgemm: packed ~= naive" (Matrix.approx_equal c_seq c_naive);
+      let c_blocked = Matrix.create m m in
+      Blas.dgemm_blocked a b c_blocked;
+      check "dgemm: blocked ~= naive" (Matrix.approx_equal c_blocked c_naive);
       let spd = Lapack.random_spd ~seed:3 m in
       let l_seq = Matrix.copy spd and l_par = Matrix.copy spd in
       Lapack.dpotrf l_seq;
@@ -520,7 +686,11 @@ int main(void) { return 0; }
       Test.make ~name:"dgemm_128_blocked"
         (Staged.stage (fun () ->
              let c = Kernels.Matrix.create 128 128 in
-             Kernels.Blas.dgemm a128 b128 c));
+             Kernels.Blas.dgemm_blocked a128 b128 c));
+      Test.make ~name:"dgemm_128_packed"
+        (Staged.stage (fun () ->
+             let c = Kernels.Matrix.create 128 128 in
+             Kernels.Blas.dgemm_packed a128 b128 c));
       Test.make ~name:"sim_fig5_model"
         (Staged.stage (fun () ->
              ignore
@@ -557,7 +727,8 @@ let all =
   [
     ("fig5", fig5); ("sweep", sweep); ("sched", sched); ("tile", tile);
     ("presel", presel); ("chol", chol); ("eng", eng);
-    ("par", fun () -> par ()); ("smoke", smoke); ("micro", micro);
+    ("par", fun () -> par ()); ("kern", fun () -> kern ()); ("smoke", smoke);
+    ("micro", micro);
   ]
 
 let parse_ints what s =
@@ -576,6 +747,8 @@ let () =
   | [ _; "par"; sizes; domains ] ->
       par ~sizes:(parse_ints "size" sizes)
         ~domains:(parse_ints "domain" domains) ()
+  | [ _; "kern"; "smoke" ] -> kern_smoke ()
+  | [ _; "kern"; sizes ] -> kern ~sizes:(parse_ints "size" sizes) ()
   | [ _; name ] -> (
       match List.assoc_opt name all with
       | Some f -> f ()
@@ -586,5 +759,6 @@ let () =
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [fig5|sweep|sched|tile|presel|chol|eng|par [sizes [domains]]|smoke|micro]";
+         [fig5|sweep|sched|tile|presel|chol|eng|par [sizes [domains]]|kern \
+         [sizes|smoke]|smoke|micro]";
       exit 1

@@ -1,6 +1,6 @@
 open Minic.Ast
 
-type buf = { data : float array; off : int; len : int; tag : int }
+type buf = { data : Kernels.Matrix.buf; off : int; len : int; tag : int }
 
 type value = VInt of int | VFloat of float | VBuf of buf | VStr of string | VUnit
 
@@ -42,9 +42,10 @@ let tick t =
 let alloc t n =
   if n < 0 then fail "negative allocation size";
   t.next_tag <- t.next_tag + 1;
-  { data = Array.make n 0.0; off = 0; len = n; tag = t.next_tag }
+  { data = Kernels.Matrix.create_buf n; off = 0; len = n; tag = t.next_tag }
 
-let buf_of_array data = { data; off = 0; len = Array.length data; tag = 0 }
+let buf_of_bigarray data =
+  { data; off = 0; len = Bigarray.Array1.dim data; tag = 0 }
 
 (* --- environments --------------------------------------------------- *)
 
@@ -101,16 +102,16 @@ let shift_buf b n =
 let buf_get t b i =
   t.hooks.on_buffer_access b;
   let idx = b.off + i in
-  if i < 0 || i >= b.len || idx >= Array.length b.data then
+  if i < 0 || i >= b.len || idx >= Bigarray.Array1.dim b.data then
     fail "buffer read out of bounds (index %d of %d)" i b.len;
-  b.data.(idx)
+  b.data.{idx}
 
 let buf_set t b i v =
   t.hooks.on_buffer_access b;
   let idx = b.off + i in
-  if i < 0 || i >= b.len || idx >= Array.length b.data then
+  if i < 0 || i >= b.len || idx >= Bigarray.Array1.dim b.data then
     fail "buffer write out of bounds (index %d of %d)" i b.len;
-  b.data.(idx) <- v
+  b.data.{idx} <- v
 
 (* --- printf ----------------------------------------------------------- *)
 

@@ -21,7 +21,7 @@
     buffer accesses from serial code (to flush pending tasks). *)
 
 type buf = {
-  data : float array;
+  data : Kernels.Matrix.buf;
   off : int;
   len : int;  (** visible elements from [off] *)
   tag : int;  (** allocation identity, stable across pointer shifts *)
@@ -72,5 +72,7 @@ val global_int : t -> string -> int option
 val alloc : t -> int -> buf
 (** Allocate a fresh zeroed buffer of [n] doubles (embedder use). *)
 
-val buf_of_array : float array -> buf
-(** Wrap an existing array (shared, not copied). *)
+val buf_of_bigarray : Kernels.Matrix.buf -> buf
+(** Wrap existing storage (shared, not copied) — this aliasing is how
+    the runtime's data handles and interpreter buffers see each
+    other's writes. *)

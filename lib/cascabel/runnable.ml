@@ -54,7 +54,7 @@ let drain ctx =
    whole allocation is required: Cascabel registers what the program
    malloc'ed, not interior pointers. *)
 let tracked_for ctx (b : Interp.buf) ~rows =
-  if b.off <> 0 || b.len <> Array.length b.data then
+  if b.off <> 0 || b.len <> Bigarray.Array1.dim b.data then
     abort
       "execute arguments must be whole allocations (got an interior pointer)";
   (match Hashtbl.find_opt ctx.handles b.tag with
@@ -91,7 +91,9 @@ let run_variant ctx (v : Repository.variant) handles_spec handles =
         match (kind, handle_opt) with
         | `Pointer, Some h ->
             let m = Data.read_matrix h in
-            (pname, Interp.VBuf (Interp.buf_of_array m.Matrix.data), Some (h, m))
+            ( pname,
+              Interp.VBuf (Interp.buf_of_bigarray m.Matrix.data),
+              Some (h, m) )
         | `Scalar v, None -> (pname, v, None)
         | _ -> assert false)
       handles_spec

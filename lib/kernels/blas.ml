@@ -1,3 +1,5 @@
+module BA1 = Bigarray.Array1
+
 let shape_check (a : Matrix.t) (b : Matrix.t) (c : Matrix.t) =
   if a.cols <> b.rows || c.rows <> a.rows || c.cols <> b.cols then
     invalid_arg
@@ -22,10 +24,11 @@ let dgemm_naive ?(alpha = 1.0) ?(beta = 1.0) (a : Matrix.t) (b : Matrix.t)
    arithmetic touching a given row of C depends only on the (ll, jj)
    block walk, which is identical whatever panel the row lands in —
    that is what keeps pooled and sequential runs bit-identical. *)
-let dgemm_panel ~alpha ~beta ~block ~k ~n ad bd cd ~row_lo ~row_hi =
+let dgemm_blocked_panel ~alpha ~beta ~block ~k ~n (ad : Matrix.buf)
+    (bd : Matrix.buf) (cd : Matrix.buf) ~row_lo ~row_hi =
   if beta <> 1.0 then
     for i = row_lo * n to (row_hi * n) - 1 do
-      Array.unsafe_set cd i (beta *. Array.unsafe_get cd i)
+      BA1.unsafe_set cd i (beta *. BA1.unsafe_get cd i)
     done;
   let ii = ref row_lo in
   while !ii < row_hi do
@@ -39,13 +42,13 @@ let dgemm_panel ~alpha ~beta ~block ~k ~n ad bd cd ~row_lo ~row_hi =
         for i = !ii to i_hi - 1 do
           let a_row = i * k and c_row = i * n in
           for l = !ll to l_hi - 1 do
-            let av = alpha *. Array.unsafe_get ad (a_row + l) in
+            let av = alpha *. BA1.unsafe_get ad (a_row + l) in
             if av <> 0.0 then begin
               let b_row = l * n in
               for j = !jj to j_hi - 1 do
-                Array.unsafe_set cd (c_row + j)
-                  (Array.unsafe_get cd (c_row + j)
-                  +. (av *. Array.unsafe_get bd (b_row + j)))
+                BA1.unsafe_set cd (c_row + j)
+                  (BA1.unsafe_get cd (c_row + j)
+                  +. (av *. BA1.unsafe_get bd (b_row + j)))
               done
             end
           done
@@ -57,20 +60,19 @@ let dgemm_panel ~alpha ~beta ~block ~k ~n ad bd cd ~row_lo ~row_hi =
     ii := i_hi
   done
 
-(* Blocked ikj DGEMM.  The j-inner loop walks both B and C rows
-   contiguously, which is what makes this "optimized" relative to the
-   naive version; blocking bounds the working set to ~3 blocks.  With
+(* Blocked ikj DGEMM (no packing, no register blocking) — kept as the
+   mid-tier variant between [dgemm_naive] and [dgemm_packed].  With
    [pool], row panels of [block] rows are factored out across the
    pool's domains; each panel owns its rows of C outright, so the
    result is bit-identical to the sequential run. *)
-let dgemm ?(alpha = 1.0) ?(beta = 1.0) ?(block = 64) ?pool (a : Matrix.t)
-    (b : Matrix.t) (c : Matrix.t) =
+let dgemm_blocked ?(alpha = 1.0) ?(beta = 1.0) ?(block = 64) ?pool
+    (a : Matrix.t) (b : Matrix.t) (c : Matrix.t) =
   shape_check a b c;
   if block < 1 then invalid_arg "dgemm: block must be positive";
   let m = a.rows and k = a.cols and n = b.cols in
   let ad = a.data and bd = b.data and cd = c.data in
   let panel row_lo row_hi =
-    dgemm_panel ~alpha ~beta ~block ~k ~n ad bd cd ~row_lo ~row_hi
+    dgemm_blocked_panel ~alpha ~beta ~block ~k ~n ad bd cd ~row_lo ~row_hi
   in
   match pool with
   | Some pool when m > block && Domain_pool.num_domains pool > 1 ->
@@ -79,6 +81,21 @@ let dgemm ?(alpha = 1.0) ?(beta = 1.0) ?(block = 64) ?pool (a : Matrix.t)
           panel (p * block) (min m ((p + 1) * block)))
   | _ -> panel 0 m
 
+(* Packed, cache-blocked DGEMM — the fast path (see Gemm_kernel). *)
+let dgemm_packed ?(alpha = 1.0) ?(beta = 1.0) ?pool (a : Matrix.t)
+    (b : Matrix.t) (c : Matrix.t) =
+  shape_check a b c;
+  Gemm_kernel.gemm ?pool ~trans_b:false ~m:a.rows ~n:b.cols ~k:a.cols ~alpha
+    ~beta ~a:a.data ~aoff:0 ~lda:a.cols ~b:b.data ~boff:0 ~ldb:b.cols
+    ~c:c.data ~coff:0 ~ldc:c.cols ()
+
+(* Dispatch: an explicit [?block] selects the blocked ikj variant
+   (legacy callers and ablation); otherwise the packed kernel runs. *)
+let dgemm ?(alpha = 1.0) ?(beta = 1.0) ?block ?pool a b c =
+  match block with
+  | Some block -> dgemm_blocked ~alpha ~beta ~block ?pool a b c
+  | None -> dgemm_packed ~alpha ~beta ?pool a b c
+
 let dgemv ?(alpha = 1.0) ?(beta = 1.0) ?pool (a : Matrix.t) x y =
   if Array.length x <> a.cols || Array.length y <> a.rows then
     invalid_arg "dgemv: shape mismatch";
@@ -86,7 +103,7 @@ let dgemv ?(alpha = 1.0) ?(beta = 1.0) ?pool (a : Matrix.t) x y =
     let acc = ref 0.0 in
     let base = i * a.cols in
     for j = 0 to a.cols - 1 do
-      acc := !acc +. (Array.unsafe_get a.data (base + j) *. Array.unsafe_get x j)
+      acc := !acc +. (BA1.unsafe_get a.data (base + j) *. Array.unsafe_get x j)
     done;
     y.(i) <- (alpha *. !acc) +. (beta *. y.(i))
   in
@@ -146,5 +163,25 @@ let dscal alpha x =
 
 let dnrm2 x = sqrt (ddot x x)
 let vector_add ?pool a b = daxpy ?pool 1.0 b a
+
+(* [a := a + b] elementwise over whole matrices; same pooled chunking
+   (and bitwise-identity argument) as daxpy, on Bigarray storage. *)
+let matrix_add ?pool (a : Matrix.t) (b : Matrix.t) =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "matrix_add: shape mismatch";
+  let n = a.rows * a.cols in
+  let ad = a.data and bd = b.data in
+  let span lo hi =
+    for i = lo to hi - 1 do
+      BA1.unsafe_set ad i (BA1.unsafe_get ad i +. BA1.unsafe_get bd i)
+    done
+  in
+  match pool with
+  | Some pool when n >= 65_536 && Domain_pool.num_domains pool > 1 ->
+      let chunk = 16_384 in
+      let nchunks = (n + chunk - 1) / chunk in
+      Domain_pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:nchunks (fun c ->
+          span (c * chunk) (min n ((c + 1) * chunk)))
+  | _ -> span 0 n
 
 let flops_dgemm m n k = 2.0 *. float_of_int m *. float_of_int n *. float_of_int k

@@ -2,9 +2,21 @@
 
     These are the task implementation variants of the case study: the
     serial input program calls {!dgemm} ("a highly optimized BLAS
-    library" in the paper — here the blocked OCaml implementation),
-    and the generated programs run the same kernel per tile on CPU
-    workers and (simulated) GPU workers.
+    library" in the paper — here the packed, cache-blocked
+    {!Gemm_kernel}), and the generated programs run the same kernel
+    per tile on CPU workers and (simulated) GPU workers.
+
+    Three DGEMM variants coexist:
+    - {!dgemm_naive} — triple loop, the accuracy reference;
+    - {!dgemm_blocked} — cache-blocked ikj over raw storage, no
+      packing (the previous default, kept for ablation);
+    - {!dgemm_packed} — BLIS-style packed panels + register-blocked
+      micro-kernel ({!Gemm_kernel}), the fast path.
+
+    Accuracy contract: blocked and packed each match the naive kernel
+    up to summation-order rounding ({!Matrix.approx_equal}); within
+    any single variant, pooled and sequential runs are bit-for-bit
+    identical.
 
     Every hot kernel takes an optional [?pool]: a {!Domain_pool.t}
     over which independent row panels (or index ranges) are shared.
@@ -19,13 +31,45 @@ val dgemm_naive :
   ?alpha:float -> ?beta:float -> Matrix.t -> Matrix.t -> Matrix.t -> unit
 (** Triple loop, reference implementation. *)
 
-val dgemm :
-  ?alpha:float -> ?beta:float -> ?block:int -> ?pool:Domain_pool.t ->
-  Matrix.t -> Matrix.t -> Matrix.t -> unit
-(** Cache-blocked (default block 64) with an ikj inner order. Bitwise
-    results may differ from {!dgemm_naive} only by rounding.  With
+val dgemm_blocked :
+  ?alpha:float ->
+  ?beta:float ->
+  ?block:int ->
+  ?pool:Domain_pool.t ->
+  Matrix.t ->
+  Matrix.t ->
+  Matrix.t ->
+  unit
+(** Cache-blocked (default block 64) with an ikj inner order, directly
+    on the row-major storage — no packing or register blocking.  With
     [pool], row panels of [block] rows run in parallel; results are
     bit-identical to the sequential run. *)
+
+val dgemm_packed :
+  ?alpha:float ->
+  ?beta:float ->
+  ?pool:Domain_pool.t ->
+  Matrix.t ->
+  Matrix.t ->
+  Matrix.t ->
+  unit
+(** BLIS-style packed, cache-blocked DGEMM ({!Gemm_kernel}): MC/KC/NC
+    blocking, contiguous per-domain packing buffers, register-blocked
+    micro-kernel.  With [pool], MC row panels run in parallel;
+    bit-identical to the sequential packed run. *)
+
+val dgemm :
+  ?alpha:float ->
+  ?beta:float ->
+  ?block:int ->
+  ?pool:Domain_pool.t ->
+  Matrix.t ->
+  Matrix.t ->
+  Matrix.t ->
+  unit
+(** The default DGEMM entry point: {!dgemm_packed} unless an explicit
+    [?block] is given, which selects {!dgemm_blocked} with that block
+    size. *)
 
 val dgemv :
   ?alpha:float -> ?beta:float -> ?pool:Domain_pool.t -> Matrix.t ->
@@ -47,6 +91,10 @@ val dnrm2 : float array -> float
 
 val vector_add : ?pool:Domain_pool.t -> float array -> float array -> unit
 (** [a := a + b] — the paper's vecadd task example. *)
+
+val matrix_add : ?pool:Domain_pool.t -> Matrix.t -> Matrix.t -> unit
+(** [a := a + b] elementwise on matrix storage; pooled chunking as
+    {!daxpy}, bit-identical to sequential. *)
 
 val flops_dgemm : int -> int -> int -> float
 (** FLOP count of [m x k] times [k x n]: [2*m*n*k]. *)

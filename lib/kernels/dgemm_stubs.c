@@ -1,0 +1,74 @@
+/* Macro-kernel for the BLIS-style packed DGEMM (Gemm_kernel).
+ *
+ * Operates on panels already packed by the OCaml driver:
+ *   ap: mc x kc, micro-panels of MR rows,    ap[ir*kc + l*MR + i]
+ *   bp: kc x nc, micro-panels of NR columns, bp[jr*kc + l*NR + j]
+ * Both are zero-padded to full MR/NR tiles, so the micro-kernel
+ * always runs the full register tile and edge handling is confined
+ * to the write-out of C.
+ *
+ * The micro-kernel is a rank-1-update loop over an MR x NR
+ * accumulator kept in registers; with MR=4, NR=8 the accumulator is
+ * 8 ymm registers, leaving room for the broadcast A element and the
+ * two B vector loads (compiled with -O3 -mavx2 -mfma).
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/bigarray.h>
+
+#define MR 4
+#define NR 8
+
+static void micro_kernel(long kc, const double *restrict ap,
+                         const double *restrict bp, double *restrict acc)
+{
+  for (long l = 0; l < kc; l++) {
+    const double *a = ap + l * MR;
+    const double *b = bp + l * NR;
+    for (int i = 0; i < MR; i++) {
+      double ai = a[i];
+      for (int j = 0; j < NR; j++)
+        acc[i * NR + j] += ai * b[j];
+    }
+  }
+}
+
+static void dgemm_macro(long mc, long nc, long kc, double alpha, double beta,
+                        const double *restrict ap, const double *restrict bp,
+                        double *c, long ldc)
+{
+  double acc[MR * NR];
+  for (long jr = 0; jr < nc; jr += NR) {
+    long nrr = nc - jr < NR ? nc - jr : NR;
+    const double *bpp = bp + jr * kc;
+    for (long ir = 0; ir < mc; ir += MR) {
+      long mrr = mc - ir < MR ? mc - ir : MR;
+      for (int x = 0; x < MR * NR; x++)
+        acc[x] = 0.0;
+      micro_kernel(kc, ap + ir * kc, bpp, acc);
+      double *cb = c + ir * ldc + jr;
+      for (long i = 0; i < mrr; i++)
+        for (long j = 0; j < nrr; j++)
+          cb[i * ldc + j] = alpha * acc[i * NR + j] + beta * cb[i * ldc + j];
+    }
+  }
+}
+
+CAMLprim value cas_dgemm_macro(value vmc, value vnc, value vkc, value valpha,
+                               value vbeta, value vap, value vbp, value vc,
+                               value vcoff, value vldc)
+{
+  dgemm_macro(Long_val(vmc), Long_val(vnc), Long_val(vkc), Double_val(valpha),
+              Double_val(vbeta), (const double *)Caml_ba_data_val(vap),
+              (const double *)Caml_ba_data_val(vbp),
+              (double *)Caml_ba_data_val(vc) + Long_val(vcoff),
+              Long_val(vldc));
+  return Val_unit;
+}
+
+CAMLprim value cas_dgemm_macro_bytecode(value *argv, int argn)
+{
+  (void)argn;
+  return cas_dgemm_macro(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                         argv[6], argv[7], argv[8], argv[9]);
+}

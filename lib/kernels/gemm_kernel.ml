@@ -1,0 +1,181 @@
+(* BLIS-style packed, cache-blocked DGEMM.
+
+   Three-level blocking: row panels of MC rows of C are split over KC
+   slices of the reduction dimension; for each (MC, KC) block the A
+   panel is packed once into a contiguous buffer of MR-row
+   micro-panels, and each NC-wide slice of B is packed into NR-column
+   micro-panels.  The C micro-kernel (dgemm_stubs.c) then runs a
+   register-blocked MR x NR rank-1-update loop over the packed data.
+
+   Packing buffers live in domain-local storage and are grown on
+   demand, so the hot path performs no allocation after warm-up and
+   pooled workers never share buffers.
+
+   Determinism: with ?pool the unit of distribution is the MC row
+   panel.  Every arithmetic operation contributing to a row of C —
+   the KC slice walk, the packed layouts, the micro-kernel loop —
+   depends only on the row's coordinates, never on which domain runs
+   the panel, so pooled and sequential runs are bit-for-bit
+   identical. *)
+
+module BA1 = Bigarray.Array1
+
+let mr = 4
+let nr = 8
+let mc = 128
+let kc = 256
+let nc = 1024
+
+(* Minimum 2mnk flops before a pool is worth one parallel_for. *)
+let par_flop_threshold = 1e6
+
+external macro_kernel :
+  int ->
+  int ->
+  int ->
+  float ->
+  float ->
+  Matrix.buf ->
+  Matrix.buf ->
+  Matrix.buf ->
+  int ->
+  int ->
+  unit = "cas_dgemm_macro_bytecode" "cas_dgemm_macro"
+[@@noalloc]
+
+type bufs = { mutable ap : Matrix.buf; mutable bp : Matrix.buf }
+
+let dls : bufs Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { ap = Matrix.alloc_buf 0; bp = Matrix.alloc_buf 0 })
+
+(* Packing overwrites every slot it will read (padding included), so
+   grown buffers need not be zeroed. *)
+let get_bufs ~ap_len ~bp_len =
+  let b = Domain.DLS.get dls in
+  if BA1.dim b.ap < ap_len then b.ap <- Matrix.alloc_buf ap_len;
+  if BA1.dim b.bp < bp_len then b.bp <- Matrix.alloc_buf bp_len;
+  b
+
+(* Pack rows [ic, ic+mcc) x cols [pc, pc+kcc) of a into MR-row
+   micro-panels: ap.{ir*kcc + l*mr + i} = a[ic+ir+i][pc+l], rows
+   beyond mcc zero-padded to the next multiple of MR. *)
+let pack_a ~(a : Matrix.buf) ~aoff ~lda ~ic ~pc ~mcc ~kcc ~(ap : Matrix.buf) =
+  let mpad = (mcc + mr - 1) / mr * mr in
+  let ir = ref 0 in
+  while !ir < mpad do
+    let base = !ir * kcc in
+    for i = 0 to mr - 1 do
+      if !ir + i < mcc then begin
+        let src = aoff + ((ic + !ir + i) * lda) + pc in
+        for l = 0 to kcc - 1 do
+          BA1.unsafe_set ap (base + (l * mr) + i) (BA1.unsafe_get a (src + l))
+        done
+      end
+      else
+        for l = 0 to kcc - 1 do
+          BA1.unsafe_set ap (base + (l * mr) + i) 0.0
+        done
+    done;
+    ir := !ir + mr
+  done
+
+(* Pack rows [pc, pc+kcc) x cols [jc, jc+ncc) of b into NR-column
+   micro-panels: bp.{jr*kcc + l*nr + j} = b[pc+l][jc+jr+j], columns
+   beyond ncc zero-padded to the next multiple of NR. *)
+let pack_b ~(b : Matrix.buf) ~boff ~ldb ~pc ~jc ~kcc ~ncc ~(bp : Matrix.buf) =
+  let npad = (ncc + nr - 1) / nr * nr in
+  let jr = ref 0 in
+  while !jr < npad do
+    let base = !jr * kcc in
+    let jrem = ncc - !jr in
+    for l = 0 to kcc - 1 do
+      let src = boff + ((pc + l) * ldb) + jc + !jr in
+      let dst = base + (l * nr) in
+      for j = 0 to nr - 1 do
+        BA1.unsafe_set bp (dst + j)
+          (if j < jrem then BA1.unsafe_get b (src + j) else 0.0)
+      done
+    done;
+    jr := !jr + nr
+  done
+
+(* Same, reading b transposed: the logical (pc+l, jc+j) element is
+   b[jc+j][pc+l], i.e. micro-panel columns are contiguous rows of b. *)
+let pack_b_trans ~(b : Matrix.buf) ~boff ~ldb ~pc ~jc ~kcc ~ncc
+    ~(bp : Matrix.buf) =
+  let npad = (ncc + nr - 1) / nr * nr in
+  let jr = ref 0 in
+  while !jr < npad do
+    let base = !jr * kcc in
+    for j = 0 to nr - 1 do
+      if !jr + j < ncc then begin
+        let src = boff + ((jc + !jr + j) * ldb) + pc in
+        for l = 0 to kcc - 1 do
+          BA1.unsafe_set bp (base + (l * nr) + j) (BA1.unsafe_get b (src + l))
+        done
+      end
+      else
+        for l = 0 to kcc - 1 do
+          BA1.unsafe_set bp (base + (l * nr) + j) 0.0
+        done
+    done;
+    jr := !jr + nr
+  done
+
+(* c[i][j] := beta * c[i][j] for the m x n block at coff. *)
+let scale_c ~m ~n ~beta ~(c : Matrix.buf) ~coff ~ldc =
+  if beta <> 1.0 then
+    for i = 0 to m - 1 do
+      let row = coff + (i * ldc) in
+      for j = 0 to n - 1 do
+        BA1.unsafe_set c (row + j) (beta *. BA1.unsafe_get c (row + j))
+      done
+    done
+
+let gemm ?pool ~trans_b ~m ~n ~k ~alpha ~beta ~(a : Matrix.buf) ~aoff ~lda
+    ~(b : Matrix.buf) ~boff ~ldb ~(c : Matrix.buf) ~coff ~ldc () =
+  if m <= 0 || n <= 0 then ()
+  else if k <= 0 || alpha = 0.0 then scale_c ~m ~n ~beta ~c ~coff ~ldc
+  else begin
+    let pack = if trans_b then pack_b_trans else pack_b in
+    let kc_used = min k kc in
+    let nc_used = min n nc in
+    let ap_len = mc * kc_used in
+    let bp_len = kc_used * ((nc_used + nr - 1) / nr * nr) in
+    let panel p =
+      let bufs = get_bufs ~ap_len ~bp_len in
+      let ic = p * mc in
+      let mcc = min mc (m - ic) in
+      let pc = ref 0 in
+      while !pc < k do
+        let kcc = min kc (k - !pc) in
+        pack_a ~a ~aoff ~lda ~ic ~pc:!pc ~mcc ~kcc ~ap:bufs.ap;
+        (* beta applies on the first KC slice only; later slices
+           accumulate. *)
+        let beta' = if !pc = 0 then beta else 1.0 in
+        let jc = ref 0 in
+        while !jc < n do
+          let ncc = min nc (n - !jc) in
+          pack ~b ~boff ~ldb ~pc:!pc ~jc:!jc ~kcc ~ncc ~bp:bufs.bp;
+          macro_kernel mcc ncc kcc alpha beta' bufs.ap bufs.bp c
+            (coff + (ic * ldc) + !jc)
+            ldc;
+          jc := !jc + ncc
+        done;
+        pc := !pc + kcc
+      done
+    in
+    let npanels = (m + mc - 1) / mc in
+    match pool with
+    | Some pool
+      when npanels > 1
+           && Domain_pool.num_domains pool > 1
+           && 2.0 *. float_of_int m *. float_of_int n *. float_of_int k
+              >= par_flop_threshold ->
+        Domain_pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:npanels panel
+    | _ ->
+        for p = 0 to npanels - 1 do
+          panel p
+        done
+  end

@@ -1,0 +1,63 @@
+(** BLIS-style packed, cache-blocked DGEMM on raw {!Matrix.buf} views.
+
+    [gemm] computes [C := alpha * A * op(B) + beta * C] where [op] is
+    the identity or (with [trans_b]) transposition, on row-major
+    sub-views described by a (buffer, offset, leading dimension)
+    triple each.  It is the single compute engine behind
+    {!Blas.dgemm_packed}, {!Blas.dgemm}, and the blocked {!Lapack}
+    factorizations.
+
+    Blocking: C row panels of {!mc} rows x reduction slices of {!kc} x
+    B column slices of {!nc}; within a block, A is packed into
+    {!mr}-row micro-panels and B into {!nr}-column micro-panels
+    (zero-padded to full tiles), and a register-blocked C micro-kernel
+    does the arithmetic.  Packing buffers are per-domain and reused
+    across calls — no allocation on the hot path after warm-up.
+
+    With [?pool], MC row panels are distributed over the pool.  Each
+    domain owns its C rows and every row's summation order is
+    independent of the panel-to-domain assignment, so pooled and
+    sequential runs are bit-for-bit identical. *)
+
+val mr : int
+(** Micro-tile rows (register blocking). *)
+
+val nr : int
+(** Micro-tile columns (register blocking). *)
+
+val mc : int
+(** Cache-block rows of C (A-panel height, L2-resident). *)
+
+val kc : int
+(** Cache-block reduction depth (packed panel width, L1/L2). *)
+
+val nc : int
+(** Cache-block columns of C (B-panel width, L3-resident). *)
+
+val gemm :
+  ?pool:Domain_pool.t ->
+  trans_b:bool ->
+  m:int ->
+  n:int ->
+  k:int ->
+  alpha:float ->
+  beta:float ->
+  a:Matrix.buf ->
+  aoff:int ->
+  lda:int ->
+  b:Matrix.buf ->
+  boff:int ->
+  ldb:int ->
+  c:Matrix.buf ->
+  coff:int ->
+  ldc:int ->
+  unit ->
+  unit
+(** [gemm ~trans_b ~m ~n ~k ~alpha ~beta ~a ~aoff ~lda ~b ~boff ~ldb
+    ~c ~coff ~ldc ()]: A is [m x k] at [a.{aoff + i*lda + l}], B is
+    [k x n] at [b.{boff + l*ldb + j}] (or, with [trans_b], [n x k]
+    read transposed at [b.{boff + j*ldb + l}]), C is [m x n] at
+    [c.{coff + i*ldc + j}].  [k <= 0] or [alpha = 0.] degenerates to
+    scaling C by [beta].  The A/B/C views may alias the same buffer as
+    long as the C region is disjoint from the A and B regions (A/B
+    panels are packed before any write to C within a block). *)

@@ -4,124 +4,210 @@ let square_check name (m : Matrix.t) =
   if m.rows <> m.cols then
     invalid_arg (Printf.sprintf "%s: matrix is %dx%d, not square" name m.rows m.cols)
 
+(* Panel width of the blocked factorizations and block-row height of
+   trailing updates (matches Gemm_kernel.mc). *)
+let nb = 64
+let bmc = 128
+
+(* A pool only pays off past this many flops: below it, one
+   parallel_for wakeup costs more than the loop body (the 0.19x pooled
+   Cholesky of BENCH_par.json was exactly this overhead, paid once per
+   pivot column). *)
+let par_work_threshold = 2e6
+
+(* An oversubscribed pool (more domains than the runtime recommends
+   for this host) turns every barrier into context switches; the
+   factorizations here synchronize twice per panel step, so on such a
+   pool they run sequentially instead. *)
+let recommended_domains = lazy (Domain.recommended_domain_count ())
+
 (* Row-range parallelism helper: each index owns its output rows, so
    pooled runs stay bit-identical to sequential ones.  [min_rows]
-   keeps small trailing panels sequential. *)
-let maybe_parallel ?pool ~min_rows ~lo ~hi f =
+   keeps small trailing panels sequential and [work] (estimated flops)
+   gates out loops too cheap to amortize a parallel_for. *)
+let maybe_parallel ?pool ~work ~min_rows ~lo ~hi f =
   match pool with
-  | Some pool when hi - lo >= min_rows && Domain_pool.num_domains pool > 1 ->
+  | Some pool
+    when hi - lo >= min_rows
+         && work >= par_work_threshold
+         && Domain_pool.num_domains pool > 1
+         && Domain_pool.num_domains pool <= Lazy.force recommended_domains ->
       Domain_pool.parallel_for pool ~lo ~hi f
   | _ ->
       for i = lo to hi - 1 do
         f i
       done
 
-(* Unblocked right-looking Cholesky; tiles are small enough that
-   blocking inside the tile buys nothing.  The panel update below the
-   pivot (independent rows) is the only parallel part. *)
+(* Blocked right-looking Cholesky.  Per NB-wide step: factor the
+   diagonal block unblocked, solve the panel below it, then apply the
+   trailing update through the packed GEMM (dgemm_nt on block rows).
+   The trailing GEMM writes full block rows up to each block's
+   diagonal, overshooting into the strict upper triangle of the
+   diagonal block; those entries are never read (all reads stay at
+   column <= row) and are zeroed at the end.  Parallel units — panel
+   rows and trailing block rows — own their output rows outright, so
+   pooled runs are bit-identical to sequential ones. *)
 let dpotrf ?pool (a : Matrix.t) =
   square_check "dpotrf" a;
   let n = a.rows in
-  for k = 0 to n - 1 do
-    let akk = Matrix.get a k k in
-    let pivot = ref akk in
-    for l = 0 to k - 1 do
-      let v = Matrix.get a k l in
-      pivot := !pivot -. (v *. v)
-    done;
-    if !pivot <= 0.0 then raise (Not_positive_definite k);
-    let lkk = sqrt !pivot in
-    Matrix.set a k k lkk;
-    maybe_parallel ?pool ~min_rows:64 ~lo:(k + 1) ~hi:n (fun i ->
-        let acc = ref (Matrix.get a i k) in
-        for l = 0 to k - 1 do
-          acc := !acc -. (Matrix.get a i l *. Matrix.get a k l)
+  (* Direct bigarray indexing throughout: cross-module [Matrix.get]
+     calls box every float they return, and the resulting minor-GC
+     traffic is pure overhead here (each collection stops the world
+     across every domain, including parked pool workers). *)
+  let ad : Matrix.buf = a.data in
+  let k0 = ref 0 in
+  while !k0 < n do
+    let k1 = min (!k0 + nb) n in
+    let w = k1 - !k0 in
+    (* diagonal block: unblocked, left-looking within the block (the
+       trailing updates of earlier steps already applied history). *)
+    for kk = !k0 to k1 - 1 do
+      let pivot = ref ad.{(kk * n) + kk} in
+      for l = !k0 to kk - 1 do
+        let v = ad.{(kk * n) + l} in
+        pivot := !pivot -. (v *. v)
+      done;
+      if !pivot <= 0.0 then raise (Not_positive_definite kk);
+      let lkk = sqrt !pivot in
+      ad.{(kk * n) + kk} <- lkk;
+      for i = kk + 1 to k1 - 1 do
+        let acc = ref ad.{(i * n) + kk} in
+        for l = !k0 to kk - 1 do
+          acc := !acc -. (ad.{(i * n) + l} *. ad.{(kk * n) + l})
         done;
-        Matrix.set a i k (!acc /. lkk))
+        ad.{(i * n) + kk} <- !acc /. lkk
+      done
+    done;
+    if k1 < n then begin
+      (* panel solve: rows [k1, n) of columns [k0, k1) against the
+         diagonal block's transpose; rows are independent. *)
+      let solve_work = float_of_int (n - k1) *. float_of_int (w * w) in
+      let kb = !k0 in
+      maybe_parallel ?pool ~work:solve_work ~min_rows:32 ~lo:k1 ~hi:n (fun r ->
+          for j = kb to k1 - 1 do
+            let acc = ref ad.{(r * n) + j} in
+            for t = kb to j - 1 do
+              acc := !acc -. (ad.{(r * n) + t} *. ad.{(j * n) + t})
+            done;
+            ad.{(r * n) + j} <- !acc /. ad.{(j * n) + j}
+          done);
+      (* trailing update: for each block row, the lower-triangle part
+         of A[k1:, k1:] -= P * P^T with P the solved panel. *)
+      let trailing = n - k1 in
+      let nblocks = (trailing + bmc - 1) / bmc in
+      let update_work =
+        2.0 *. float_of_int trailing *. float_of_int trailing *. float_of_int w
+      in
+      maybe_parallel ?pool ~work:update_work ~min_rows:2 ~lo:0 ~hi:nblocks
+        (fun bi ->
+          let r0 = k1 + (bi * bmc) in
+          let r_hi = min n (r0 + bmc) in
+          Gemm_kernel.gemm ~trans_b:true ~m:(r_hi - r0) ~n:(r_hi - k1) ~k:w
+            ~alpha:(-1.0) ~beta:1.0 ~a:ad
+            ~aoff:((r0 * n) + kb)
+            ~lda:n ~b:ad
+            ~boff:((k1 * n) + kb)
+            ~ldb:n ~c:ad
+            ~coff:((r0 * n) + k1)
+            ~ldc:n ())
+    end;
+    k0 := k1
   done;
   (* zero the strict upper triangle so the result is exactly L *)
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
-      Matrix.set a i j 0.0
+      ad.{(i * n) + j} <- 0.0
     done
   done
 
+(* Blocked solve of X * L^T = B: per NB column block, one packed GEMM
+   applies the already-solved columns, then a small per-row triangular
+   solve finishes the block.  Rows of B are independent throughout. *)
 let dtrsm_rlt ?pool ~(l : Matrix.t) (b : Matrix.t) =
   square_check "dtrsm_rlt" l;
   if b.cols <> l.rows then invalid_arg "dtrsm_rlt: shape mismatch";
-  let n = l.rows in
-  (* Solve X * L^T = B row by row: for each row r of B,
-     x_j = (b_j - sum_{k<j} x_k * L_{j,k}) / L_{j,j}.  Rows are
-     independent of each other. *)
-  maybe_parallel ?pool ~min_rows:32 ~lo:0 ~hi:b.rows (fun r ->
-      for j = 0 to n - 1 do
-        let acc = ref (Matrix.get b r j) in
-        for k = 0 to j - 1 do
-          acc := !acc -. (Matrix.get b r k *. Matrix.get l j k)
-        done;
-        Matrix.set b r j (!acc /. Matrix.get l j j)
-      done)
+  let n = l.rows and m = b.rows in
+  let j0 = ref 0 in
+  while !j0 < n do
+    let j1 = min (!j0 + nb) n in
+    let w = j1 - !j0 in
+    if !j0 > 0 then
+      (* B[:, j0:j1] -= X[:, 0:j0] * L[j0:j1, 0:j0]^T; the A and C
+         views alias b.data on disjoint column ranges. *)
+      Gemm_kernel.gemm ?pool ~trans_b:true ~m ~n:w ~k:!j0 ~alpha:(-1.0)
+        ~beta:1.0 ~a:b.data ~aoff:0 ~lda:n ~b:l.data
+        ~boff:(!j0 * n)
+        ~ldb:n ~c:b.data ~coff:!j0 ~ldc:n ();
+    let jb = !j0 in
+    let bd : Matrix.buf = b.data and ld : Matrix.buf = l.data in
+    let solve_work = float_of_int m *. float_of_int (w * w) in
+    maybe_parallel ?pool ~work:solve_work ~min_rows:32 ~lo:0 ~hi:m (fun r ->
+        for j = jb to j1 - 1 do
+          let acc = ref bd.{(r * n) + j} in
+          for t = jb to j - 1 do
+            acc := !acc -. (bd.{(r * n) + t} *. ld.{(j * n) + t})
+          done;
+          bd.{(r * n) + j} <- !acc /. ld.{(j * n) + j}
+        done);
+    j0 := j1
+  done
 
+(* Rank-k update on block rows: each block row bi computes its
+   lower-triangle columns [0, r_hi) through the packed GEMM (with the
+   same harmless diagonal-block overshoot as dpotrf, overwritten by
+   the mirror pass).  Block rows own their output rows: pooled runs
+   are bit-identical. *)
 let dsyrk_ln ?pool ~(a : Matrix.t) (c : Matrix.t) =
   square_check "dsyrk_ln" c;
   if a.rows <> c.rows then invalid_arg "dsyrk_ln: shape mismatch";
   let n = c.rows and k = a.cols in
-  (* Two passes so pooled rows never write outside their own row: the
-     lower triangle first, then the mirror (row i writes (j, i) for
-     j < i read from the already-final lower triangle). *)
-  maybe_parallel ?pool ~min_rows:32 ~lo:0 ~hi:n (fun i ->
-      for j = 0 to i do
-        let acc = ref 0.0 in
-        for l = 0 to k - 1 do
-          acc := !acc +. (Matrix.get a i l *. Matrix.get a j l)
-        done;
-        Matrix.set c i j (Matrix.get c i j -. !acc)
-      done);
+  let nblocks = (n + bmc - 1) / bmc in
+  let work = float_of_int n *. float_of_int n *. float_of_int k in
+  maybe_parallel ?pool ~work ~min_rows:2 ~lo:0 ~hi:nblocks (fun bi ->
+      let r0 = bi * bmc in
+      let r_hi = min n (r0 + bmc) in
+      Gemm_kernel.gemm ~trans_b:true ~m:(r_hi - r0) ~n:r_hi ~k ~alpha:(-1.0)
+        ~beta:1.0 ~a:a.data ~aoff:(r0 * k) ~lda:k ~b:a.data ~boff:0 ~ldb:k
+        ~c:c.data ~coff:(r0 * c.cols) ~ldc:c.cols ());
+  let cd : Matrix.buf = c.data in
   for i = 0 to n - 1 do
     for j = 0 to i - 1 do
-      Matrix.set c j i (Matrix.get c i j)
+      cd.{(j * n) + i} <- cd.{(i * n) + j}
     done
   done
 
 let dgemm_nt ?pool ~(a : Matrix.t) ~(b : Matrix.t) (c : Matrix.t) =
   if a.cols <> b.cols || c.rows <> a.rows || c.cols <> b.rows then
     invalid_arg "dgemm_nt: shape mismatch";
-  let k = a.cols in
-  maybe_parallel ?pool ~min_rows:32 ~lo:0 ~hi:c.rows (fun i ->
-      for j = 0 to c.cols - 1 do
-        let acc = ref 0.0 in
-        for l = 0 to k - 1 do
-          acc := !acc +. (Matrix.get a i l *. Matrix.get b j l)
-        done;
-        Matrix.set c i j (Matrix.get c i j -. !acc)
-      done)
+  Gemm_kernel.gemm ?pool ~trans_b:true ~m:c.rows ~n:c.cols ~k:a.cols
+    ~alpha:(-1.0) ~beta:1.0 ~a:a.data ~aoff:0 ~lda:a.cols ~b:b.data ~boff:0
+    ~ldb:b.cols ~c:c.data ~coff:0 ~ldc:c.cols ()
 
 let random_spd ?(seed = 17) n =
   let m = Matrix.random ~seed n n in
   let a = Matrix.create n n in
-  (* a = m * m^T + n*I *)
+  (* a = m * m^T + n*I, through the packed kernel (the naive triple
+     loop took a minute at n = 2048 just to set up a benchmark). *)
+  Gemm_kernel.gemm ~trans_b:true ~m:n ~n ~k:n ~alpha:1.0 ~beta:0.0 ~a:m.data
+    ~aoff:0 ~lda:n ~b:m.data ~boff:0 ~ldb:n ~c:a.data ~coff:0 ~ldc:n ();
+  let ad : Matrix.buf = a.data in
   for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      let acc = ref 0.0 in
-      for k = 0 to n - 1 do
-        acc := !acc +. (Matrix.get m i k *. Matrix.get m j k)
-      done;
-      Matrix.set a i j (!acc +. if i = j then float_of_int n else 0.0)
-    done
+    ad.{(i * n) + i} <- ad.{(i * n) + i} +. float_of_int n
   done;
   a
 
 let cholesky_residual ~(a : Matrix.t) ~(l : Matrix.t) =
   square_check "cholesky_residual" a;
   let n = a.rows in
+  let ad : Matrix.buf = a.data and ld : Matrix.buf = l.data in
   let worst = ref 0.0 in
   for i = 0 to n - 1 do
     for j = 0 to i do
       let acc = ref 0.0 in
       for k = 0 to min i j do
-        acc := !acc +. (Matrix.get l i k *. Matrix.get l j k)
+        acc := !acc +. (ld.{(i * n) + k} *. ld.{(j * n) + k})
       done;
-      let d = Float.abs (!acc -. Matrix.get a i j) in
+      let d = Float.abs (!acc -. ad.{(i * n) + j}) in
       if d > !worst then worst := d
     done
   done;

@@ -11,24 +11,30 @@ exception Not_positive_definite of int
 val dpotrf : ?pool:Domain_pool.t -> Matrix.t -> unit
 (** In-place lower-triangular Cholesky of a square matrix:
     [A = L * L^T], [L] stored in the lower triangle (the strict upper
-    triangle is zeroed).  With [pool], the panel update below each
-    pivot runs in parallel (independent rows; bit-identical to the
-    sequential run). *)
+    triangle is zeroed).  Blocked right-looking algorithm: unblocked
+    diagonal-block factor, panel solve, trailing update through the
+    packed {!Gemm_kernel}.  With [pool], panel rows and trailing block
+    rows run in parallel, gated behind a minimum-work threshold so
+    small panels never pay parallel_for overhead; pooled runs are
+    bit-identical to sequential ones. *)
 
 val dtrsm_rlt : ?pool:Domain_pool.t -> l:Matrix.t -> Matrix.t -> unit
 (** [dtrsm_rlt ~l b] solves [X * l^T = b] in place ([b := X]) with
-    [l] lower triangular — the panel update of tiled Cholesky.  Rows
-    of [b] are independent; pooled runs are bit-identical. *)
+    [l] lower triangular — the panel update of tiled Cholesky.
+    Blocked: packed-GEMM updates between small per-row triangular
+    solves.  Rows of [b] are independent; pooled runs are
+    bit-identical (same work gating as {!dpotrf}). *)
 
 val dsyrk_ln : ?pool:Domain_pool.t -> a:Matrix.t -> Matrix.t -> unit
 (** [dsyrk_ln ~a c] performs the symmetric rank-k update
     [c := c - a * a^T] on the lower triangle of [c] (the upper
-    triangle is mirrored to keep the tile symmetric).  Pooled runs
-    are bit-identical. *)
+    triangle is mirrored to keep the tile symmetric), through the
+    packed {!Gemm_kernel} on block rows.  Pooled runs are
+    bit-identical. *)
 
 val dgemm_nt : ?pool:Domain_pool.t -> a:Matrix.t -> b:Matrix.t -> Matrix.t -> unit
-(** [dgemm_nt ~a ~b c] computes [c := c - a * b^T].  Pooled runs are
-    bit-identical. *)
+(** [dgemm_nt ~a ~b c] computes [c := c - a * b^T] through the packed
+    {!Gemm_kernel}.  Pooled runs are bit-identical. *)
 
 val random_spd : ?seed:int -> int -> Matrix.t
 (** A well-conditioned symmetric positive-definite matrix:

@@ -1,14 +1,24 @@
-type t = { rows : int; cols : int; data : float array }
+module BA1 = Bigarray.Array1
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) BA1.t
+type t = { rows : int; cols : int; data : buf }
+
+let alloc_buf n : buf = BA1.create Bigarray.float64 Bigarray.c_layout n
+
+let create_buf n =
+  let b = alloc_buf n in
+  BA1.fill b 0.0;
+  b
 
 let create rows cols =
   if rows < 0 || cols < 0 then invalid_arg "Matrix.create: negative dimension";
-  { rows; cols; data = Array.make (rows * cols) 0.0 }
+  { rows; cols; data = create_buf (rows * cols) }
 
 let init rows cols f =
   let m = create rows cols in
   for i = 0 to rows - 1 do
     for j = 0 to cols - 1 do
-      m.data.((i * cols) + j) <- f i j
+      BA1.unsafe_set m.data ((i * cols) + j) (f i j)
     done
   done;
   m
@@ -27,39 +37,67 @@ let random ?(seed = 42) rows cols =
   in
   init rows cols (fun _ _ -> next ())
 
-let get m i j = m.data.((i * m.cols) + j)
-let set m i j v = m.data.((i * m.cols) + j) <- v
-let copy m = { m with data = Array.copy m.data }
+let get m i j = m.data.{(i * m.cols) + j}
+let set m i j v = m.data.{(i * m.cols) + j} <- v
+
+let copy m =
+  let c = { m with data = alloc_buf (m.rows * m.cols) } in
+  BA1.blit m.data c.data;
+  c
+
 let dims m = (m.rows, m.cols)
+
+let of_array ~rows ~cols a =
+  if rows < 0 || cols < 0 then
+    invalid_arg "Matrix.of_array: negative dimension";
+  if Array.length a <> rows * cols then
+    invalid_arg "Matrix.of_array: length mismatch";
+  let m = { rows; cols; data = alloc_buf (rows * cols) } in
+  for i = 0 to (rows * cols) - 1 do
+    BA1.unsafe_set m.data i (Array.unsafe_get a i)
+  done;
+  m
+
+let to_array m =
+  Array.init (m.rows * m.cols) (fun i -> BA1.unsafe_get m.data i)
 
 let sub_block m ~row ~col ~rows ~cols =
   if row < 0 || col < 0 || row + rows > m.rows || col + cols > m.cols then
     invalid_arg "Matrix.sub_block: out of bounds";
-  init rows cols (fun i j -> get m (row + i) (col + j))
+  let b = { rows; cols; data = alloc_buf (rows * cols) } in
+  (* one memcpy per row instead of element-wise get/set *)
+  for i = 0 to rows - 1 do
+    BA1.blit
+      (BA1.sub m.data (((row + i) * m.cols) + col) cols)
+      (BA1.sub b.data (i * cols) cols)
+  done;
+  b
 
 let set_block m ~row ~col b =
   if row < 0 || col < 0 || row + b.rows > m.rows || col + b.cols > m.cols then
     invalid_arg "Matrix.set_block: out of bounds";
   for i = 0 to b.rows - 1 do
-    for j = 0 to b.cols - 1 do
-      set m (row + i) (col + j) (get b i j)
-    done
+    BA1.blit
+      (BA1.sub b.data (i * b.cols) b.cols)
+      (BA1.sub m.data (((row + i) * m.cols) + col) b.cols)
   done
 
 let frobenius m =
   let acc = ref 0.0 in
-  Array.iter (fun x -> acc := !acc +. (x *. x)) m.data;
+  for i = 0 to BA1.dim m.data - 1 do
+    let x = BA1.unsafe_get m.data i in
+    acc := !acc +. (x *. x)
+  done;
   sqrt !acc
 
 let max_abs_diff a b =
   if a.rows <> b.rows || a.cols <> b.cols then
     invalid_arg "Matrix.max_abs_diff: shape mismatch";
   let worst = ref 0.0 in
-  Array.iteri
-    (fun i x ->
-      let d = Float.abs (x -. b.data.(i)) in
-      if d > !worst then worst := d)
-    a.data;
+  for i = 0 to BA1.dim a.data - 1 do
+    let d = Float.abs (BA1.unsafe_get a.data i -. BA1.unsafe_get b.data i) in
+    if d > !worst then worst := d
+  done;
   !worst
 
 let approx_equal ?(tol = 1e-9) a b =
@@ -68,7 +106,9 @@ let approx_equal ?(tol = 1e-9) a b =
 
 let checksum m =
   let acc = ref 0.0 in
-  Array.iter (fun x -> acc := !acc +. x) m.data;
+  for i = 0 to BA1.dim m.data - 1 do
+    acc := !acc +. BA1.unsafe_get m.data i
+  done;
   !acc
 
 let pp ppf m =

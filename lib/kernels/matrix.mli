@@ -1,10 +1,20 @@
 (** Dense row-major double-precision matrices.
 
-    The storage is a plain [float array] (unboxed in OCaml), indexed
-    as [a.(i * cols + j)]. All kernels in {!Blas} operate on this
-    representation. *)
+    Storage is a C-layout float64 {!Bigarray.Array1.t}: unboxed,
+    contiguous, GC-stable, and sharable with C micro-kernels without
+    copying. Indexing is [a.{i * cols + j}]. All kernels in {!Blas}
+    and {!Gemm_kernel} operate on this representation. *)
 
-type t = { rows : int; cols : int; data : float array }
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Raw row-major storage. *)
+
+type t = { rows : int; cols : int; data : buf }
+
+val alloc_buf : int -> buf
+(** Uninitialised buffer of [n] floats (callers must overwrite). *)
+
+val create_buf : int -> buf
+(** Zero-filled buffer of [n] floats. *)
 
 val create : int -> int -> t
 (** Zero-filled [rows x cols] matrix. *)
@@ -22,13 +32,23 @@ val set : t -> int -> int -> float -> unit
 val copy : t -> t
 val dims : t -> int * int
 
+val of_array : rows:int -> cols:int -> float array -> t
+(** Copy a row-major [float array] into a fresh matrix; raises
+    [Invalid_argument] unless [Array.length a = rows * cols]. *)
+
+val to_array : t -> float array
+(** Copy the contents out as a row-major [float array];
+    [of_array ~rows ~cols (to_array m)] round-trips exactly. *)
+
 val sub_block : t -> row:int -> col:int -> rows:int -> cols:int -> t
-(** Copy of a block; used by tiled algorithms and tests. *)
+(** Copy of a block (one blit per row); used by tiled algorithms and
+    tests. *)
 
 val set_block : t -> row:int -> col:int -> t -> unit
-(** Paste a block back. *)
+(** Paste a block back (one blit per row). *)
 
 val frobenius : t -> float
+
 val max_abs_diff : t -> t -> float
 (** [max |a_ij - b_ij|]; raises [Invalid_argument] on shape
     mismatch. *)

@@ -70,7 +70,7 @@ let vector_add =
        match handles with
        | [ ha; hb ] ->
            let a = Data.read_matrix ha and b = Data.read_matrix hb in
-           Blas.vector_add ?pool a.Matrix.data b.Matrix.data;
+           Blas.matrix_add ?pool a b;
            Data.write_matrix ha a
        | _ -> invalid_arg "vector_add codelet expects handles [a; b]"
      in

@@ -11,7 +11,7 @@ type handle = {
   h_name : string;
   rows : int;
   cols : int;
-  buffer : float array option;  (** physical storage, row-major *)
+  buffer : Matrix.buf option;  (** physical storage, row-major *)
   buffer_cols : int;  (** stride of [buffer] (parent width for children) *)
   buffer_off : int;  (** offset of (0,0) within [buffer] *)
   parent : (handle * region) option;
@@ -42,7 +42,7 @@ let register_matrix ?name (m : Matrix.t) =
   }
 
 let register_vector ?name v =
-  register_matrix ?name { Matrix.rows = 1; cols = Array.length v; data = v }
+  register_matrix ?name (Matrix.of_array ~rows:1 ~cols:(Array.length v) v)
 
 let register_virtual ?name ~rows ~cols () =
   let h_id = fresh () in
@@ -151,8 +151,15 @@ let read_matrix h =
       invalid_arg
         (Printf.sprintf "Data.read_matrix: handle %S is virtual" h.h_name)
   | Some buf ->
-      Matrix.init h.rows h.cols (fun i j ->
-          buf.(h.buffer_off + (i * h.buffer_cols) + j))
+      let m = Matrix.create h.rows h.cols in
+      for i = 0 to h.rows - 1 do
+        Bigarray.Array1.blit
+          (Bigarray.Array1.sub buf
+             (h.buffer_off + (i * h.buffer_cols))
+             h.cols)
+          (Bigarray.Array1.sub m.data (i * h.cols) h.cols)
+      done;
+      m
 
 let write_matrix h (m : Matrix.t) =
   if m.rows <> h.rows || m.cols <> h.cols then
@@ -163,7 +170,9 @@ let write_matrix h (m : Matrix.t) =
         (Printf.sprintf "Data.write_matrix: handle %S is virtual" h.h_name)
   | Some buf ->
       for i = 0 to h.rows - 1 do
-        for j = 0 to h.cols - 1 do
-          buf.(h.buffer_off + (i * h.buffer_cols) + j) <- Matrix.get m i j
-        done
+        Bigarray.Array1.blit
+          (Bigarray.Array1.sub m.data (i * m.cols) m.cols)
+          (Bigarray.Array1.sub buf
+             (h.buffer_off + (i * h.buffer_cols))
+             m.cols)
       done

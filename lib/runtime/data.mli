@@ -28,7 +28,9 @@ val register_matrix : ?name:string -> Kernels.Matrix.t -> handle
     Valid initially in {!main_memory} only. *)
 
 val register_vector : ?name:string -> float array -> handle
-(** A [1 x n] handle sharing the caller's array. *)
+(** A [1 x n] handle holding a copy of the caller's array (the
+    physical storage is a Bigarray; read results back with
+    {!read_matrix}). *)
 
 val register_virtual : ?name:string -> rows:int -> cols:int -> unit -> handle
 (** A handle with shape but no buffer, for model-only runs at sizes

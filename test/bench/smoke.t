@@ -7,6 +7,7 @@ not printed.
   $ ../../bench/main.exe smoke
   domain_pool: every index visited exactly once        ok
   dgemm: pooled == sequential (bitwise)                ok
+  dgemm: packed ~= naive                               ok
   dgemm: blocked ~= naive                              ok
   cholesky: pooled == sequential (bitwise)             ok
   cholesky: residual small                             ok
@@ -17,8 +18,28 @@ not printed.
   sched heft: tiled cholesky residual small            ok
   smoke: all checks passed
 
+The kern experiment's deterministic mode: the packed DGEMM against
+the naive reference across micro-tile edge shapes, and the pooled
+bitwise-identity contract at 1/2/4 domains.
+
+  $ ../../bench/main.exe kern smoke
+  kern: packed ~= naive (1x1x1)                        ok
+  kern: blocked ~= naive (1x1x1)                       ok
+  kern: packed ~= naive (3x5x2)                        ok
+  kern: blocked ~= naive (3x5x2)                       ok
+  kern: packed ~= naive (7x3x9)                        ok
+  kern: blocked ~= naive (7x3x9)                       ok
+  kern: packed ~= naive (96x64x32)                     ok
+  kern: blocked ~= naive (96x64x32)                    ok
+  kern: packed ~= naive (130x257x139)                  ok
+  kern: blocked ~= naive (130x257x139)                 ok
+  kern: packed pooled == sequential (1 domains)        ok
+  kern: packed pooled == sequential (2 domains)        ok
+  kern: packed pooled == sequential (4 domains)        ok
+  kern: all checks passed
+
 Unknown experiment names fail cleanly:
 
   $ ../../bench/main.exe no-such-experiment
-  unknown experiment "no-such-experiment" (known: fig5, sweep, sched, tile, presel, chol, eng, par, smoke, micro)
+  unknown experiment "no-such-experiment" (known: fig5, sweep, sched, tile, presel, chol, eng, par, kern, smoke, micro)
   [1]

@@ -32,7 +32,7 @@ let matrix_tests =
     Alcotest.test_case "random entries bounded" `Quick (fun () ->
         let a = Matrix.random ~seed:3 20 20 in
         check bool_ "in [-1,1)" true
-          (Array.for_all (fun x -> x >= -1.0 && x < 1.0) a.data));
+          (Array.for_all (fun x -> x >= -1.0 && x < 1.0) (Matrix.to_array a)));
     Alcotest.test_case "sub_block / set_block round trip" `Quick (fun () ->
         let m = Matrix.random ~seed:1 8 8 in
         let b = Matrix.sub_block m ~row:2 ~col:4 ~rows:3 ~cols:2 in
@@ -43,6 +43,22 @@ let matrix_tests =
     Alcotest.test_case "sub_block bounds checked" `Quick (fun () ->
         let m = Matrix.create 4 4 in
         match Matrix.sub_block m ~row:2 ~col:2 ~rows:3 ~cols:1 with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "of_array / to_array round trip" `Quick (fun () ->
+        let src = Array.init 12 (fun i -> float_of_int i *. 0.25) in
+        let m = Matrix.of_array ~rows:3 ~cols:4 src in
+        check (Alcotest.pair int_ int_) "dims" (3, 4) (Matrix.dims m);
+        check (float_ 0.0) "get" src.(7) (Matrix.get m 1 3);
+        src.(0) <- 999.0;
+        check (float_ 0.0) "of_array copies" 0.0 (Matrix.get m 0 0);
+        let back = Matrix.to_array m in
+        check bool_ "round trip" true
+          (Array.for_all2 ( = ) back
+             (Array.init 12 (fun i -> float_of_int i *. 0.25)));
+        back.(1) <- 999.0;
+        check (float_ 0.0) "to_array copies" 0.25 (Matrix.get m 0 1);
+        match Matrix.of_array ~rows:2 ~cols:5 src with
         | _ -> Alcotest.fail "expected Invalid_argument"
         | exception Invalid_argument _ -> ());
     Alcotest.test_case "frobenius of known matrix" `Quick (fun () ->
@@ -329,6 +345,49 @@ let domain_pool_tests =
             check (float_ 0.0) "dgemm_nt" 0.0 (Matrix.max_abs_diff g_seq g_par)));
   ]
 
+(* The packed kernel against the naive reference across random shapes
+   and scalars, including dimensions below the micro-tile (mr = 4,
+   nr = 8) that exercise the zero-padded packing edges. *)
+let packed_matches_naive =
+  QCheck.Test.make ~name:"packed dgemm = naive dgemm for random shapes"
+    ~count:60
+    QCheck.(
+      pair
+        (triple (int_range 1 40) (int_range 1 40) (int_range 1 40))
+        (pair (float_range (-2.) 2.) (float_range (-2.) 2.)))
+    (fun ((m, k, n), (alpha, beta)) ->
+      let a = Matrix.random ~seed:(m + k) m k
+      and b = Matrix.random ~seed:(n + 1) k n in
+      let c1 = Matrix.init m n (fun i j -> float_of_int (i - j) *. 0.5) in
+      let c2 = Matrix.copy c1 in
+      Blas.dgemm_naive ~alpha ~beta a b c1;
+      Blas.dgemm_packed ~alpha ~beta a b c2;
+      Matrix.approx_equal ~tol:1e-12 c1 c2)
+
+let packed_pooled_bitwise_tests =
+  [
+    Alcotest.test_case "pooled packed bit-identical at 1/2/4 domains" `Quick
+      (fun () ->
+        (* m spans several MC panels so the parallel path really runs;
+           the result must not depend on the domain count at all. *)
+        let m = 300 and k = 64 and n = 48 in
+        let a = Matrix.random ~seed:11 m k
+        and b = Matrix.random ~seed:12 k n in
+        let c_seq = Matrix.init m n (fun i j -> float_of_int (i + j)) in
+        let c_ref = Matrix.copy c_seq in
+        Blas.dgemm_packed ~alpha:1.25 ~beta:(-0.5) a b c_ref;
+        List.iter
+          (fun num_domains ->
+            Domain_pool.with_pool ~num_domains (fun pool ->
+                let c = Matrix.copy c_seq in
+                Blas.dgemm_packed ~alpha:1.25 ~beta:(-0.5) ~pool a b c;
+                check (float_ 0.0)
+                  (Printf.sprintf "%d domains identical" num_domains)
+                  0.0
+                  (Matrix.max_abs_diff c_ref c)))
+          [ 1; 2; 4 ]);
+  ]
+
 (* One shared pool for the property below: spawning domains per
    sample would dominate the run time. *)
 let property_pool = Domain_pool.create ~num_domains:4 ()
@@ -355,10 +414,12 @@ let () =
           ("matrix", matrix_tests);
           ("blas", blas_tests);
           ("domain_pool", domain_pool_tests);
+          ("packed_pooled", packed_pooled_bitwise_tests);
           ( "properties",
             qt
               [
-                tiled_equals_whole; blocked_matches_naive; daxpy_linear;
+                tiled_equals_whole; blocked_matches_naive;
+                packed_matches_naive; daxpy_linear;
                 pooled_dgemm_matches_sequential;
               ] );
         ];
