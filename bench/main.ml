@@ -335,11 +335,12 @@ type par_row = {
   pr_max_abs_diff : float;
 }
 
-let par_json path rows =
+let par_json path rows ~overhead_pct =
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"experiment\": \"par\",\n";
   Printf.fprintf oc "  \"recommended_domains\": %d,\n"
     (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"telemetry_overhead_pct\": %.2f,\n" overhead_pct;
   Printf.fprintf oc "  \"rows\": [\n";
   List.iteri
     (fun i r ->
@@ -368,6 +369,36 @@ let wall_min ~reps f =
   (Option.get !result, !best)
 
 let par_reps = 3
+
+(* Wall-clock cost of the telemetry probes themselves: best-of-3
+   packed DGEMM with telemetry off vs on.  Recorded in the BENCH json
+   so probe-placement regressions show up in the artifacts; [kern]
+   additionally guards the figure at 3%. *)
+let telemetry_overhead_pct ?(n = 1024) () =
+  let was_on = Obs.Config.on () in
+  let a = Matrix.random ~seed:11 n n and b = Matrix.random ~seed:12 n n in
+  let c = Matrix.create n n in
+  let run () =
+    Bigarray.Array1.fill c.Matrix.data 0.0;
+    Blas.dgemm_packed a b c
+  in
+  let once enabled =
+    Obs.Config.set_enabled enabled;
+    let t0 = Unix.gettimeofday () in
+    run ();
+    Unix.gettimeofday () -. t0
+  in
+  (* Interleave off/on pairs so slow drift of the shared host (other
+     tenants, thermal) hits both sides equally; the min over rounds
+     then compares the best quiet window of each. *)
+  ignore (once false);
+  let off = ref infinity and on_ = ref infinity in
+  for _ = 1 to 5 do
+    off := Float.min !off (once false);
+    on_ := Float.min !on_ (once true)
+  done;
+  Obs.Config.set_enabled was_on;
+  100.0 *. (!on_ -. !off) /. !off
 
 (* One kernel at one size: sequential reference, then one pooled run
    per domain count, verifying the pooled result is bit-identical. *)
@@ -463,7 +494,10 @@ let par ?(sizes = [ 256; 512; 1024; 2048 ]) ?(domains = [ 1; 2; 4 ]) () =
   Printf.printf "pooled cholesky never > 1.2x slower than sequential: %s\n"
     (if slow_chol = [] then "yes (all rows)"
      else Printf.sprintf "NO (%d rows slower)" (List.length slow_chol));
-  par_json "BENCH_par.json" rows;
+  let overhead_pct = telemetry_overhead_pct () in
+  Printf.printf "telemetry overhead (packed dgemm 1024, on vs off): %+.2f%%\n"
+    overhead_pct;
+  par_json "BENCH_par.json" rows ~overhead_pct;
   print_endline "wrote BENCH_par.json";
   if bad <> [] || slow_chol <> [] then exit 1
 
@@ -477,9 +511,10 @@ type kern_row = {
   kn_gflops : float;
 }
 
-let kern_json path rows ratios =
+let kern_json path rows ratios ~overhead_pct =
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"experiment\": \"kern\",\n";
+  Printf.fprintf oc "  \"telemetry_overhead_pct\": %.2f,\n" overhead_pct;
   Printf.fprintf oc "  \"rows\": [\n";
   List.iteri
     (fun i r ->
@@ -547,9 +582,25 @@ let kern ?(sizes = [ 256; 512; 1024; 2048 ]) () =
   in
   Printf.printf "\npacked ~= blocked everywhere (approx_equal): %s\n"
     (if !mismatches = 0 then "yes" else "NO");
-  kern_json "BENCH_kern.json" rows ratios;
+  (* With telemetry on (--trace), also push the packed kernel through
+     a 4-domain pool so the trace shows distinct per-domain lanes next
+     to the single-domain variant runs. *)
+  if Obs.Config.on () then
+    DP.with_pool ~num_domains:4 (fun pool ->
+        let n = 512 in
+        let a = Matrix.random ~seed:7 n n and b = Matrix.random ~seed:8 n n in
+        let c = Matrix.create n n in
+        Blas.dgemm ~pool a b c);
+  let overhead_pct = telemetry_overhead_pct () in
+  Printf.printf "telemetry overhead (packed dgemm 1024, on vs off): %+.2f%%\n"
+    overhead_pct;
+  let overhead_bad = overhead_pct > 3.0 in
+  if overhead_bad then
+    Printf.printf "telemetry overhead guard (<= 3%%): NO (%.2f%%)\n"
+      overhead_pct;
+  kern_json "BENCH_kern.json" rows ratios ~overhead_pct;
   print_endline "wrote BENCH_kern.json";
-  if !mismatches > 0 then exit 1
+  if !mismatches > 0 || overhead_bad then exit 1
 
 (* Deterministic sub-second coverage of the packed kernel for the cram
    test: correctness across micro-tile edge shapes and the pooled
@@ -649,6 +700,126 @@ let smoke () =
   print_endline "smoke: all checks passed"
 
 (* ------------------------------------------------------------------ *)
+(* OBS: wall-clock telemetry demo and its deterministic smoke mode     *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let has_sub s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* Shared workload: pooled packed kernels (per-domain trace lanes,
+   pack/micro-kernel phases) plus a simulated engine run with real
+   kernels (exec spans tagged with the mapped PU and LogicGroup). *)
+let obs_workload () =
+  DP.with_pool ~num_domains:4 (fun pool ->
+      let n = 300 in
+      let a = Matrix.random ~seed:1 n n and b = Matrix.random ~seed:2 n n in
+      let c = Matrix.create n n in
+      Blas.dgemm ~pool a b c;
+      let spd = Lapack.random_spd ~seed:3 128 in
+      let l = Matrix.copy spd in
+      Lapack.dpotrf ~pool l);
+  let m = 96 in
+  let a = Matrix.random ~seed:4 m m and b = Matrix.random ~seed:5 m m in
+  ignore (TD.run ~policy:Engine.Heft ~tiles:2 (cfg_of "xeon-2gpu") ~a ~b)
+
+let obs_exp () =
+  header "OBS  wall-clock telemetry: spans, counters, latency quantiles";
+  let was_on = Obs.Config.on () in
+  Obs.Config.set_enabled true;
+  Obs.Export.reset_all ();
+  obs_workload ();
+  print_string (Obs.Export.summary ());
+  print_endline
+    "\n(re-run with --trace obs.json for the Perfetto timeline, --metrics \
+     for the Prometheus exposition)";
+  Obs.Config.set_enabled was_on
+
+let obs_smoke () =
+  let check name ok =
+    Printf.printf "%-52s %s\n" name (if ok then "ok" else "FAIL");
+    if not ok then exit 1
+  in
+  (* Disabled telemetry must record nothing. *)
+  Obs.Config.set_enabled false;
+  Obs.Export.reset_all ();
+  let m = 96 in
+  let a = Matrix.random ~seed:1 m m and b = Matrix.random ~seed:2 m m in
+  let c = Matrix.create m m in
+  Blas.dgemm a b c;
+  check "obs: disabled probes record nothing"
+    (Obs.Span.events () = []
+    && List.for_all (fun cnt -> Obs.Counter.value cnt = 0) (Obs.Counter.all ()));
+  Obs.Config.set_enabled true;
+  Obs.Export.reset_all ();
+  obs_workload ();
+  let events = Obs.Span.events () in
+  let has name =
+    List.exists (fun (e : Obs.Span.event) -> e.ev_name = name) events
+  in
+  check "obs: gemm pack/micro-kernel spans recorded"
+    (has "pack_a" && has "pack_b" && has "micro_kernel");
+  check "obs: cholesky panel/trailing spans recorded"
+    (has "panel_factor" && has "trailing_update");
+  check "obs: pool chunk spans recorded" (has "chunk");
+  check "obs: distinct per-domain lanes (>= 2)"
+    (List.length (Obs.Span.domains ()) >= 2);
+  let exec_args =
+    List.filter_map
+      (fun (e : Obs.Span.event) ->
+        if has_sub e.ev_name "exec:" then Some e.ev_args else None)
+      events
+  in
+  check "obs: engine exec spans tagged with PU and group"
+    (exec_args <> []
+    && List.for_all
+         (fun args -> has_sub args "pu=" && has_sub args "group=")
+         exec_args);
+  check "obs: pool chunk counter counted"
+    (List.exists
+       (fun cnt ->
+         Obs.Counter.name cnt = "pool_chunks" && Obs.Counter.value cnt > 0)
+       (Obs.Counter.all ()));
+  check "obs: per-codelet latency quantiles ordered"
+    (let hs =
+       List.filter (fun h -> Obs.Histogram.count h > 0) (Obs.Histogram.all ())
+     in
+     hs <> []
+     && List.for_all
+          (fun h ->
+            let p50 = Obs.Histogram.percentile h 50.0
+            and p95 = Obs.Histogram.percentile h 95.0
+            and p99 = Obs.Histogram.percentile h 99.0 in
+            p50 <= p95 && p95 <= p99
+            && p99 <= Obs.Histogram.max_value h +. 1e-12)
+          hs);
+  Obs.Export.write_chrome "obs_trace.json";
+  (match Obs.Json.parse (read_file "obs_trace.json") with
+  | Error e ->
+      Printf.printf "obs_trace.json: %s\n" e;
+      check "obs: trace file parses as JSON" false
+  | Ok doc ->
+      check "obs: trace file parses as JSON" true;
+      let evs =
+        Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.to_list
+      in
+      check "obs: traceEvents is a non-empty array"
+        (match evs with Some (_ :: _) -> true | _ -> false));
+  let prom = Obs.Export.prometheus () in
+  check "obs: prometheus exposition non-empty"
+    (String.length prom > 0 && has_sub prom "# TYPE");
+  check "obs: summary mentions span rings"
+    (has_sub (Obs.Export.summary ()) "span rings");
+  Obs.Config.set_enabled false;
+  print_endline "obs: all checks passed"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 
 let micro () =
@@ -727,8 +898,8 @@ let all =
   [
     ("fig5", fig5); ("sweep", sweep); ("sched", sched); ("tile", tile);
     ("presel", presel); ("chol", chol); ("eng", eng);
-    ("par", fun () -> par ()); ("kern", fun () -> kern ()); ("smoke", smoke);
-    ("micro", micro);
+    ("par", fun () -> par ()); ("kern", fun () -> kern ()); ("obs", obs_exp);
+    ("smoke", smoke); ("micro", micro);
   ]
 
 let parse_ints what s =
@@ -741,7 +912,23 @@ let parse_ints what s =
              exit 1)
 
 let () =
-  match Array.to_list Sys.argv with
+  (* --trace FILE / --metrics apply to any experiment: strip them
+     from argv before dispatch, enable telemetry for the run, and
+     emit the requested sinks afterwards. *)
+  let trace_out = ref None and metrics = ref false in
+  let rec strip = function
+    | [] -> []
+    | "--trace" :: path :: rest ->
+        trace_out := Some path;
+        strip rest
+    | "--metrics" :: rest ->
+        metrics := true;
+        strip rest
+    | a :: rest -> a :: strip rest
+  in
+  let args = strip (Array.to_list Sys.argv) in
+  if !trace_out <> None || !metrics then Obs.Config.set_enabled true;
+  (match args with
   | [ _ ] -> List.iter (fun (_, f) -> f ()) all
   | [ _; "par"; sizes ] -> par ~sizes:(parse_ints "size" sizes) ()
   | [ _; "par"; sizes; domains ] ->
@@ -749,6 +936,7 @@ let () =
         ~domains:(parse_ints "domain" domains) ()
   | [ _; "kern"; "smoke" ] -> kern_smoke ()
   | [ _; "kern"; sizes ] -> kern ~sizes:(parse_ints "size" sizes) ()
+  | [ _; "obs"; "smoke" ] -> obs_smoke ()
   | [ _; name ] -> (
       match List.assoc_opt name all with
       | Some f -> f ()
@@ -758,7 +946,13 @@ let () =
           exit 1)
   | _ ->
       prerr_endline
-        "usage: main.exe \
+        "usage: main.exe [--trace FILE] [--metrics] \
          [fig5|sweep|sched|tile|presel|chol|eng|par [sizes [domains]]|kern \
-         [sizes|smoke]|smoke|micro]";
-      exit 1
+         [sizes|smoke]|obs [smoke]|smoke|micro]";
+      exit 1);
+  Option.iter
+    (fun path ->
+      Obs.Export.write_chrome path;
+      Printf.eprintf "wrote telemetry trace %s\n" path)
+    !trace_out;
+  if !metrics then print_string (Obs.Export.prometheus ())

@@ -194,10 +194,24 @@ let run_cmd =
       value
       & opt (some string) None
       & info [ "trace" ] ~docv:"FILE"
-          ~doc:"Write a Chrome trace (chrome://tracing) of the run.")
+          ~doc:
+            "Write a Chrome/Perfetto trace of the run: the virtual \
+             timeline plus wall-clock telemetry spans.")
   in
-  let run input pdl zoo repo_files serial policy blocks stats_flag trace_out =
+  let metrics_flag =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print Prometheus-style telemetry counters and latency \
+             quantiles to stderr after the run.")
+  in
+  let run input pdl zoo repo_files serial policy blocks stats_flag trace_out
+      metrics =
     let unit_ = or_die (parse_source input) in
+    (* Telemetry costs one branch per probe when off; turn it on only
+       when a sink was requested. *)
+    if trace_out <> None || metrics then Obs.Config.set_enabled true;
     if serial then begin
       match Cascabel.Runnable.run_serial unit_ with
       | Ok (code, out) ->
@@ -236,6 +250,7 @@ let run_cmd =
                   ws.Taskrt.Engine.tasks_run ws.Taskrt.Engine.busy_s)
               r.stats.worker_stats
           end;
+          if metrics then prerr_string (Obs.Export.prometheus ());
           r.exit_code
       | Error e ->
           prerr_endline e;
@@ -249,7 +264,7 @@ let run_cmd =
           descriptor.")
     Term.(
       const run $ input_arg $ pdl_arg $ zoo_arg $ repo_arg $ serial $ policy
-      $ blocks $ stats_flag $ trace_arg)
+      $ blocks $ stats_flag $ trace_arg $ metrics_flag)
 
 let () =
   let info =

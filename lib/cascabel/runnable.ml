@@ -42,7 +42,9 @@ type ctx = {
 
 let drain ctx =
   if ctx.dirty then begin
+    let sp = Obs.Span.start () in
     ignore (Engine.wait_all ctx.engine);
+    Obs.Span.record ~cat:"cascabel" ~name:"drain" sp;
     Hashtbl.iter
       (fun _ tr ->
         if Data.is_partitioned tr.tr_handle then Data.unpartition tr.tr_handle)
@@ -109,7 +111,11 @@ let run_variant ctx (v : Repository.variant) handles_spec handles =
          handles_spec)
   in
   let argv = List.map (fun (_, v, _) -> v) param_values in
+  (* The variant span nests inside the engine's [exec:*] span (same
+     domain): the trace shows interpreter time within each task. *)
+  let sp = Obs.Span.start () in
   let _ = Interp.call_function ctx.interp v.v_func argv in
+  Obs.Span.record ~cat:"cascabel" ~name:("variant:" ^ v.v_func.f_name) sp;
   (* write back written buffers *)
   List.iter
     (fun (pname, value, hm) ->
@@ -325,6 +331,10 @@ let on_execute ctx (annot : exec_annot) (f : func) argv =
      with Invalid_argument msg -> abort "%s" msg);
     ctx.submitted <- ctx.submitted + 1
   done;
+  if Obs.Config.on () then
+    Obs.Span.instant ~cat:"cascabel" ~name:"execute"
+      ~args:(Printf.sprintf "%s group=%s blocks=%d" interface group blocks)
+      ();
   ctx.dirty <- true;
   ctx.site_blocks <- ctx.site_blocks @ [ (interface, blocks) ];
   Some Interp.VUnit
@@ -378,7 +388,10 @@ let run ?policy ?blocks ?fuel ?trace ~repo ~platform unit_ =
           | stats ->
               Option.iter
                 (fun path ->
-                  Taskrt.Trace_export.write_chrome path (Engine.trace engine))
+                  (* One file, two processes: virtual timeline (pid 0)
+                     plus any wall-clock telemetry spans (pid 1). *)
+                  Taskrt.Trace_export.write_chrome_combined path
+                    (Engine.trace engine))
                 trace;
               Ok
                 {

@@ -11,6 +11,19 @@
 
 type job = { body : int -> unit; nchunks : int }
 
+(* Telemetry (all no-ops while Obs.Config is off): chunk/park spans
+   land in the executing domain's ring, giving the trace one lane per
+   pool worker. *)
+let c_jobs = Obs.Counter.make ~help:"parallel_for jobs published" "pool_jobs"
+
+let c_chunks =
+  Obs.Counter.make ~help:"pool chunks executed (all domains)" "pool_chunks"
+
+let c_inline =
+  Obs.Counter.make
+    ~help:"parallel_for calls that ran sequentially (gating/nesting)"
+    "pool_sequential_falls"
+
 type t = {
   num_domains : int;
   mutex : Mutex.t;
@@ -39,7 +52,10 @@ let run_chunks t =
           let c = t.next in
           t.next <- t.next + 1;
           Mutex.unlock t.mutex;
+          let sp = Obs.Span.start () in
           let failure = (try job.body c; None with e -> Some e) in
+          Obs.Span.record ~cat:"pool" ~name:"chunk" sp;
+          Obs.Counter.incr c_chunks;
           Mutex.lock t.mutex;
           (match failure with
           | None -> ()
@@ -55,9 +71,14 @@ let run_chunks t =
 
 let rec worker_loop t last_gen =
   Mutex.lock t.mutex;
+  let sp = Obs.Span.start () in
   while (not t.stopped) && t.gen = last_gen do
     Condition.wait t.work_cv t.mutex
   done;
+  (* One "park" span per sleep, closed on wake-up (including the
+     final stop wake-up), so every worker domain owns a trace lane
+     even when the caller raced it to all the chunks. *)
+  Obs.Span.record ~cat:"pool" ~name:"park" sp;
   if t.stopped then Mutex.unlock t.mutex
   else begin
     let gen = t.gen in
@@ -143,11 +164,16 @@ let parallel_for ?chunk t ~lo ~hi f =
       invalid_arg (Printf.sprintf "Domain_pool.parallel_for: chunk %d < 1" c)
   | _ -> ());
   if n <= 0 then ()
-  else if t.num_domains = 1 || t.stopped || n = 1 then sequential_for lo hi f
-  else if not (Atomic.compare_and_set t.active false true) then
+  else if t.num_domains = 1 || t.stopped || n = 1 then begin
+    Obs.Counter.incr c_inline;
+    sequential_for lo hi f
+  end
+  else if not (Atomic.compare_and_set t.active false true) then begin
     (* Nested or concurrent use: the pool is already working for
        someone; run this request inline rather than deadlock. *)
+    Obs.Counter.incr c_inline;
     sequential_for lo hi f
+  end
   else
     Fun.protect ~finally:(fun () -> Atomic.set t.active false) @@ fun () ->
     let chunk =
@@ -156,11 +182,18 @@ let parallel_for ?chunk t ~lo ~hi f =
       | None -> max 1 (n / (4 * t.num_domains))
     in
     let nchunks = (n + chunk - 1) / chunk in
-    if nchunks <= 1 then sequential_for lo hi f
-    else
+    if nchunks <= 1 then begin
+      Obs.Counter.incr c_inline;
+      sequential_for lo hi f
+    end
+    else begin
+      let sp = Obs.Span.start () in
       run_job t ~nchunks (fun c ->
           let clo = lo + (c * chunk) in
           let chi = min hi (clo + chunk) in
           for i = clo to chi - 1 do
             f i
-          done)
+          done);
+      Obs.Span.record ~cat:"pool" ~name:"parallel_for" sp;
+      Obs.Counter.incr c_jobs
+    end

@@ -49,12 +49,27 @@ let dls : bufs Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
       { ap = Matrix.alloc_buf 0; bp = Matrix.alloc_buf 0 })
 
+(* Telemetry (no-ops while Obs.Config is off).  Spans cover the
+   pack-A / pack-B / micro-kernel phases per (MC, KC, NC) block —
+   coarse enough that the probes never show up in profiles. *)
+let c_pack_alloc =
+  Obs.Counter.make ~help:"pack-buffer growth allocations" "gemm_pack_alloc"
+
+let c_pack_reuse =
+  Obs.Counter.make ~help:"pack-buffer reuses (warm hit)" "gemm_pack_reuse"
+
+let c_bytes_packed =
+  Obs.Counter.make ~help:"bytes blitted into packing buffers"
+    "gemm_bytes_packed"
+
 (* Packing overwrites every slot it will read (padding included), so
    grown buffers need not be zeroed. *)
 let get_bufs ~ap_len ~bp_len =
   let b = Domain.DLS.get dls in
+  let grew = BA1.dim b.ap < ap_len || BA1.dim b.bp < bp_len in
   if BA1.dim b.ap < ap_len then b.ap <- Matrix.alloc_buf ap_len;
   if BA1.dim b.bp < bp_len then b.bp <- Matrix.alloc_buf bp_len;
+  Obs.Counter.incr (if grew then c_pack_alloc else c_pack_reuse);
   b
 
 (* Pack rows [ic, ic+mcc) x cols [pc, pc+kcc) of a into MR-row
@@ -150,17 +165,25 @@ let gemm ?pool ~trans_b ~m ~n ~k ~alpha ~beta ~(a : Matrix.buf) ~aoff ~lda
       let pc = ref 0 in
       while !pc < k do
         let kcc = min kc (k - !pc) in
+        let sp = Obs.Span.start () in
         pack_a ~a ~aoff ~lda ~ic ~pc:!pc ~mcc ~kcc ~ap:bufs.ap;
+        Obs.Span.record ~cat:"gemm" ~name:"pack_a" sp;
+        Obs.Counter.add c_bytes_packed (8 * mcc * kcc);
         (* beta applies on the first KC slice only; later slices
            accumulate. *)
         let beta' = if !pc = 0 then beta else 1.0 in
         let jc = ref 0 in
         while !jc < n do
           let ncc = min nc (n - !jc) in
+          let sp = Obs.Span.start () in
           pack ~b ~boff ~ldb ~pc:!pc ~jc:!jc ~kcc ~ncc ~bp:bufs.bp;
+          Obs.Span.record ~cat:"gemm" ~name:"pack_b" sp;
+          Obs.Counter.add c_bytes_packed (8 * kcc * ncc);
+          let sp = Obs.Span.start () in
           macro_kernel mcc ncc kcc alpha beta' bufs.ap bufs.bp c
             (coff + (ic * ldc) + !jc)
             ldc;
+          Obs.Span.record ~cat:"gemm" ~name:"micro_kernel" sp;
           jc := !jc + ncc
         done;
         pc := !pc + kcc

@@ -61,6 +61,7 @@ let dpotrf ?pool (a : Matrix.t) =
     let w = k1 - !k0 in
     (* diagonal block: unblocked, left-looking within the block (the
        trailing updates of earlier steps already applied history). *)
+    let sp = Obs.Span.start () in
     for kk = !k0 to k1 - 1 do
       let pivot = ref ad.{(kk * n) + kk} in
       for l = !k0 to kk - 1 do
@@ -78,7 +79,8 @@ let dpotrf ?pool (a : Matrix.t) =
         ad.{(i * n) + kk} <- !acc /. lkk
       done
     done;
-    if k1 < n then begin
+    if k1 >= n then Obs.Span.record ~cat:"chol" ~name:"panel_factor" sp
+    else begin
       (* panel solve: rows [k1, n) of columns [k0, k1) against the
          diagonal block's transpose; rows are independent. *)
       let solve_work = float_of_int (n - k1) *. float_of_int (w * w) in
@@ -91,6 +93,12 @@ let dpotrf ?pool (a : Matrix.t) =
             done;
             ad.{(r * n) + j} <- !acc /. ad.{(j * n) + j}
           done);
+      (* The span boundary between "panel_factor" (diagonal block +
+         panel solve) and "trailing_update" (blocked GEMM) mirrors the
+         classic right-looking split, so a trace shows at a glance
+         where each step's time goes. *)
+      Obs.Span.record ~cat:"chol" ~name:"panel_factor" sp;
+      let sp = Obs.Span.start () in
       (* trailing update: for each block row, the lower-triangle part
          of A[k1:, k1:] -= P * P^T with P the solved panel. *)
       let trailing = n - k1 in
@@ -109,7 +117,8 @@ let dpotrf ?pool (a : Matrix.t) =
             ~boff:((k1 * n) + kb)
             ~ldb:n ~c:ad
             ~coff:((r0 * n) + k1)
-            ~ldc:n ())
+            ~ldc:n ());
+      Obs.Span.record ~cat:"chol" ~name:"trailing_update" sp
     end;
     k0 := k1
   done;

@@ -1,0 +1,4 @@
+external now_ns : unit -> int = "cas_obs_now_ns" [@@noalloc]
+
+let to_s ns = float_of_int ns /. 1e9
+let to_us ns = float_of_int ns /. 1e3

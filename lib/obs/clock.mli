@@ -1,0 +1,12 @@
+(** Monotonic wall clock (CLOCK_MONOTONIC), allocation-free. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an arbitrary fixed epoch.  Monotonic: never
+    goes backwards, unaffected by NTP steps.  An immediate int — the
+    call performs no allocation. *)
+
+val to_s : int -> float
+(** Nanoseconds to seconds. *)
+
+val to_us : int -> float
+(** Nanoseconds to microseconds. *)

@@ -1,0 +1,10 @@
+(* The global telemetry switch.  Every probe in the tree reads it
+   first, so disabled telemetry costs one atomic load and one branch
+   per probe site.  An [Atomic.t] (not a plain ref) because probes
+   fire from pool worker domains: a plain ref written by the main
+   domain has no publication guarantee toward workers spawned
+   earlier. *)
+
+let enabled = Atomic.make false
+let set_enabled b = Atomic.set enabled b
+let on () = Atomic.get enabled

@@ -1,0 +1,11 @@
+(** Global telemetry enable/disable.
+
+    Probes ({!Counter.incr}, {!Span.start}, ...) check this switch
+    first: disabled telemetry costs one atomic load and one branch
+    per probe site, and records nothing. *)
+
+val set_enabled : bool -> unit
+(** Turn telemetry collection on or off, process-wide. *)
+
+val on : unit -> bool
+(** Is telemetry currently enabled? *)

@@ -1,0 +1,39 @@
+(* Named monotonic counters.  Cells are atomics so pool worker
+   domains can bump them concurrently; counter sites are coarse
+   (per task, per job, per pack-buffer growth), so contention on the
+   shared cache line is not a concern.  Creation registers the
+   counter in a global registry read by the sinks (Export); creation
+   happens at module initialization of the instrumented libraries,
+   never on a hot path. *)
+
+type t = { name : string; help : string; cell : int Atomic.t }
+
+let registry_mutex = Mutex.create ()
+let registry : t list ref = ref []
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let make ?(help = "") name =
+  with_registry (fun () ->
+      match List.find_opt (fun c -> c.name = name) !registry with
+      | Some c -> c
+      | None ->
+          let c = { name; help; cell = Atomic.make 0 } in
+          registry := c :: !registry;
+          c)
+
+let name t = t.name
+let help t = t.help
+let incr t = if Config.on () then Atomic.incr t.cell
+let add t n = if Config.on () then ignore (Atomic.fetch_and_add t.cell n)
+let value t = Atomic.get t.cell
+
+let all () =
+  with_registry (fun () ->
+      List.sort (fun a b -> compare a.name b.name) !registry)
+
+let reset_all () =
+  with_registry (fun () ->
+      List.iter (fun c -> Atomic.set c.cell 0) !registry)

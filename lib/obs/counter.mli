@@ -1,0 +1,30 @@
+(** Named monotonic counters (tasks executed, steals, pack-buffer
+    reuses, bytes blitted, ...).
+
+    Cells are atomic, so probes may fire concurrently from any
+    domain.  [incr]/[add] are gated on {!Config.on}: when telemetry
+    is disabled they cost one load and one branch. *)
+
+type t
+
+val make : ?help:string -> string -> t
+(** Create (or return the existing) counter registered under [name].
+    Intended to be called at module-initialization time. *)
+
+val name : t -> string
+val help : t -> string
+
+val incr : t -> unit
+(** Add 1 (no-op while telemetry is disabled). *)
+
+val add : t -> int -> unit
+(** Add [n] (no-op while telemetry is disabled). *)
+
+val value : t -> int
+
+val all : unit -> t list
+(** Every registered counter, sorted by name. *)
+
+val reset_all : unit -> unit
+(** Zero every registered counter (deterministic tests, benchmark
+    harness resets). *)

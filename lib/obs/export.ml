@@ -1,0 +1,180 @@
+(* Sinks: Chrome/Perfetto trace-event JSON, Prometheus-style text
+   exposition, and a human-readable summary.
+
+   The Chrome output uses the same trace-event schema as
+   Taskrt.Trace_export (the simulated engine's virtual timeline), so
+   both open in the same viewer; wall-clock telemetry claims pid 1,
+   leaving pid 0 for the virtual timeline when the two are merged
+   into one file. *)
+
+let wall_pid = 1
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* The wall-clock events as comma-separated trace-event objects
+   (no enclosing brackets), or "" when nothing was recorded.
+   Timestamps are microseconds relative to the earliest recorded
+   span, so the numbers stay small in the viewer. *)
+let chrome_body ?(pid = wall_pid) () =
+  let events = Span.events () in
+  if events = [] then ""
+  else begin
+    let base =
+      List.fold_left (fun acc (e : Span.event) -> min acc e.ev_t0) max_int
+        events
+    in
+    let us ns = float_of_int (ns - base) /. 1e3 in
+    let buf = Buffer.create 4096 in
+    let first = ref true in
+    let emit fmt =
+      Printf.ksprintf
+        (fun s ->
+          if !first then first := false else Buffer.add_char buf ',';
+          Buffer.add_string buf s)
+        fmt
+    in
+    emit
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\
+       \"args\":{\"name\":\"wall clock (telemetry)\"}}"
+      pid;
+    List.iter
+      (fun dom ->
+        emit
+          "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\
+           \"args\":{\"name\":\"domain %d\"}}"
+          pid dom dom)
+      (Span.domains ());
+    List.iter
+      (fun (e : Span.event) ->
+        let args =
+          if e.ev_args = "" then ""
+          else Printf.sprintf ",\"args\":{\"detail\":\"%s\"}"
+              (json_escape e.ev_args)
+        in
+        if e.ev_t1 > e.ev_t0 then
+          emit
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\
+             \"dur\":%.3f,\"pid\":%d,\"tid\":%d%s}"
+            (json_escape e.ev_name) (json_escape e.ev_cat) (us e.ev_t0)
+            (float_of_int (e.ev_t1 - e.ev_t0) /. 1e3)
+            pid e.ev_dom args
+        else
+          emit
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\
+             \"s\":\"t\",\"pid\":%d,\"tid\":%d%s}"
+            (json_escape e.ev_name) (json_escape e.ev_cat) (us e.ev_t0)
+            pid e.ev_dom args)
+      events;
+    Buffer.contents buf
+  end
+
+let to_chrome_json () =
+  "{\"traceEvents\":[" ^ chrome_body () ^ "]}"
+
+let write_chrome path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_chrome_json ()))
+
+(* --- Prometheus-style exposition ----------------------------------- *)
+
+let metric_name s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    s
+
+let prometheus () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun c ->
+      let n = "obs_" ^ metric_name (Counter.name c) ^ "_total" in
+      if Counter.help c <> "" then
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" n (Counter.help c));
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" n (Counter.value c)))
+    (Counter.all ());
+  List.iter
+    (fun h ->
+      let n = "obs_" ^ metric_name (Histogram.name h) ^ "_seconds" in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" n);
+      List.iter
+        (fun q ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s{quantile=\"%g\"} %.9f\n" n (q /. 100.0)
+               (Histogram.percentile h q)))
+        [ 50.0; 95.0; 99.0 ];
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum %.9f\n" n (Histogram.sum h));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count %d\n" n (Histogram.count h)))
+    (Histogram.all ());
+  Buffer.contents buf
+
+(* --- human-readable summary ---------------------------------------- *)
+
+let summary () =
+  let buf = Buffer.create 1024 in
+  let counters = Counter.all () in
+  if counters <> [] then begin
+    Buffer.add_string buf "== counters ==\n";
+    List.iter
+      (fun c ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-28s %12d\n" (Counter.name c) (Counter.value c)))
+      counters
+  end;
+  let hists = List.filter (fun h -> Histogram.count h > 0) (Histogram.all ()) in
+  if hists <> [] then begin
+    Buffer.add_string buf "== latency histograms ==\n";
+    Buffer.add_string buf
+      (Printf.sprintf "%-28s %8s %10s %10s %10s %10s %10s\n" "histogram"
+         "count" "mean [ms]" "p50 [ms]" "p95 [ms]" "p99 [ms]" "max [ms]");
+    List.iter
+      (fun h ->
+        let ms f = 1e3 *. f in
+        Buffer.add_string buf
+          (Printf.sprintf "%-28s %8d %10.4f %10.4f %10.4f %10.4f %10.4f\n"
+             (Histogram.name h) (Histogram.count h)
+             (ms (Histogram.mean h))
+             (ms (Histogram.percentile h 50.0))
+             (ms (Histogram.percentile h 95.0))
+             (ms (Histogram.percentile h 99.0))
+             (ms (Histogram.max_value h))))
+      hists
+  end;
+  let rings = Span.ring_stats () in
+  if rings <> [] then begin
+    Buffer.add_string buf "== span rings ==\n";
+    List.iter
+      (fun (dom, pushed, cap) ->
+        Buffer.add_string buf
+          (Printf.sprintf "domain %-4d %8d spans recorded, capacity %d%s\n"
+             dom pushed cap
+             (if pushed > cap then
+                Printf.sprintf " (%d oldest overwritten)" (pushed - cap)
+              else "")))
+      rings
+  end;
+  Buffer.contents buf
+
+let reset_all () =
+  Counter.reset_all ();
+  Histogram.reset_all ();
+  Span.clear ()

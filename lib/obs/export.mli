@@ -1,0 +1,35 @@
+(** Telemetry sinks: Chrome/Perfetto trace JSON, Prometheus-style
+    exposition, human-readable summary. *)
+
+val wall_pid : int
+(** The pid wall-clock telemetry claims in trace files (1); the
+    simulated engine's virtual timeline uses pid 0, so a merged file
+    shows both as separate processes in the viewer. *)
+
+val chrome_body : ?pid:int -> unit -> string
+(** The recorded spans as comma-separated Chrome trace-event objects
+    (no brackets): per-domain [thread_name] metadata plus one ["X"]
+    (complete) event per span and ["i"] (instant) markers.  [""]
+    when nothing was recorded.  Used by
+    {!Taskrt.Trace_export} to merge wall and virtual timelines into
+    one file. *)
+
+val to_chrome_json : unit -> string
+(** A complete [{"traceEvents": [...]}] document of the wall-clock
+    spans — open in Perfetto ({{:https://ui.perfetto.dev}ui.perfetto.dev})
+    or [chrome://tracing]. *)
+
+val write_chrome : string -> unit
+
+val prometheus : unit -> string
+(** Text exposition: every registered counter as
+    [obs_<name>_total] and every registered histogram as a summary
+    with p50/p95/p99 quantiles, [_sum] and [_count]. *)
+
+val summary : unit -> string
+(** Human-readable tables: counters, latency histograms
+    (count/mean/p50/p95/p99/max), and per-domain ring occupancy. *)
+
+val reset_all : unit -> unit
+(** Zero counters and histograms and drop recorded spans — a fresh
+    measurement window. *)

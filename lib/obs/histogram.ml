@@ -1,0 +1,126 @@
+(* Log-bucketed latency histograms.
+
+   Values (seconds) land in geometric buckets, [sub_per_octave]
+   buckets per power of two, spanning ~1 ns to ~10^10 s; quantile
+   estimates are therefore exact to within one bucket width
+   (2^(1/8) ~ 9% relative error), which is plenty for p50/p95/p99
+   reporting.  Exact count, sum, min, and max are kept alongside.
+
+   A histogram is single-writer: the engine observes per-codelet
+   latencies from its own (single) thread, and per-domain stats are
+   kept in per-domain instances and merged at read time.  No atomics
+   on the observe path. *)
+
+type t = {
+  h_name : string;
+  counts : int array;
+  mutable total : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let buckets = 256
+let sub_per_octave = 4.0
+
+(* Bucket 128 holds values around 1.0 s; each step is a factor of
+   2^(1/4). *)
+let mid = 128
+
+let create ?(name = "") () =
+  {
+    h_name = name;
+    counts = Array.make buckets 0;
+    total = 0;
+    sum = 0.0;
+    vmin = infinity;
+    vmax = neg_infinity;
+  }
+
+let name t = t.h_name
+let count t = t.total
+let sum t = t.sum
+
+let bucket_of v =
+  if v <= 0.0 then 0
+  else
+    let i = mid + int_of_float (Float.round (sub_per_octave *. Float.log2 v)) in
+    if i < 0 then 0 else if i >= buckets then buckets - 1 else i
+
+(* Representative value of a bucket (its geometric center). *)
+let value_of i = Float.pow 2.0 (float_of_int (i - mid) /. sub_per_octave)
+
+let observe t v =
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+let min_value t = if t.total = 0 then 0.0 else t.vmin
+let max_value t = if t.total = 0 then 0.0 else t.vmax
+
+let percentile t q =
+  if t.total = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q /. 100.0 *. float_of_int t.total)) in
+      if r < 1 then 1 else if r > t.total then t.total else r
+    in
+    let acc = ref 0 and result = ref t.vmax in
+    (try
+       for i = 0 to buckets - 1 do
+         acc := !acc + t.counts.(i);
+         if !acc >= rank then begin
+           (* Clamp the bucket representative into the exact observed
+              range so tiny histograms report sane values. *)
+           result := Float.min t.vmax (Float.max t.vmin (value_of i));
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let merge ~into src =
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+  into.total <- into.total + src.total;
+  into.sum <- into.sum +. src.sum;
+  if src.vmin < into.vmin then into.vmin <- src.vmin;
+  if src.vmax > into.vmax then into.vmax <- src.vmax
+
+let reset t =
+  Array.fill t.counts 0 buckets 0;
+  t.total <- 0;
+  t.sum <- 0.0;
+  t.vmin <- infinity;
+  t.vmax <- neg_infinity
+
+(* --- named registry (the sinks iterate it) ------------------------- *)
+
+let registry_mutex = Mutex.create ()
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let get_or_make name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some h -> h
+      | None ->
+          let h = create ~name () in
+          Hashtbl.replace registry name h;
+          h)
+
+let observe_named name v =
+  if Config.on () then observe (get_or_make name) v
+
+let all () =
+  with_registry (fun () ->
+      Hashtbl.fold (fun _ h acc -> h :: acc) registry []
+      |> List.sort (fun a b -> compare a.h_name b.h_name))
+
+let reset_all () = with_registry (fun () -> Hashtbl.iter (fun _ h -> reset h) registry)

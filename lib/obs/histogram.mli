@@ -1,0 +1,49 @@
+(** Log-bucketed latency histograms with p50/p95/p99 estimates.
+
+    Geometric buckets, four per power of two: quantiles are exact to
+    within one bucket (~9% relative error), count/sum/min/max are
+    exact.  Instances are single-writer (no atomics on the observe
+    path); use one per domain and {!merge} at read time when several
+    domains observe concurrently. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+(** A fresh, unregistered histogram (e.g. for one-shot aggregation
+    in {!Taskrt.Trace_export.summary}). *)
+
+val observe : t -> float -> unit
+(** Record a value in seconds (always records — gate on
+    {!Config.on} at the call site for hot paths). *)
+
+val name : t -> string
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t q] for [q] in [0, 100]: the bucket-resolution
+    estimate of the q-th percentile, clamped into the observed
+    [min, max] range.  0 when empty. *)
+
+val merge : into:t -> t -> unit
+
+val reset : t -> unit
+
+(** {1 Named registry}
+
+    Histograms the sinks ({!Export}) report: per-codelet execution
+    latency and friends. *)
+
+val get_or_make : string -> t
+(** The registered histogram under [name], creating it on first use. *)
+
+val observe_named : string -> float -> unit
+(** [observe] on [get_or_make name], gated on {!Config.on}. *)
+
+val all : unit -> t list
+(** Every registered histogram, sorted by name. *)
+
+val reset_all : unit -> unit

@@ -1,0 +1,22 @@
+(** Minimal JSON parser for validating the emitted trace files
+    (tests, [bench obs smoke]) without a third-party dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete document (rejects trailing input).
+    Handles the escapes JSON allows, including [\uXXXX] (decoded to
+    UTF-8). *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] otherwise. *)
+
+val to_list : t -> t list option
+val to_string : t -> string option
+val to_number : t -> float option

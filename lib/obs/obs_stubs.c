@@ -1,0 +1,17 @@
+/* Monotonic clock for the telemetry layer (Obs.Clock).
+ *
+ * Returns nanoseconds since an arbitrary epoch as an OCaml immediate
+ * int (63 bits on 64-bit hosts: good for ~292 years of uptime), so
+ * the hot path performs no allocation at all.
+ */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value cas_obs_now_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,125 @@
+(* Wall-clock spans in per-domain ring buffers.
+
+   Each domain owns one ring (via Domain.DLS), so recording is
+   single-writer and lock-free: a push is five array stores and a
+   cursor bump, with no allocation — names, categories, and argument
+   strings are stored by reference, and timestamps are immediate
+   ints.  When the ring is full the oldest entries are overwritten.
+
+   The registry of rings is mutex-protected, but it is touched only
+   when a domain records its first span (DLS initialization) and by
+   the sinks; never on the recording path. *)
+
+type event = {
+  ev_dom : int;  (** id of the recording domain (one trace lane each) *)
+  ev_name : string;
+  ev_cat : string;
+  ev_args : string;  (** free-form [k=v] tags; [""] when none *)
+  ev_t0 : int;  (** span start, Clock.now_ns *)
+  ev_t1 : int;  (** span end; [= ev_t0] for instant events *)
+}
+
+type ring = {
+  r_dom : int;
+  names : string array;
+  cats : string array;
+  args : string array;
+  t0s : int array;
+  t1s : int array;
+  mutable head : int;  (** total events ever pushed to this ring *)
+}
+
+let default_capacity = ref 8192
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+let set_ring_capacity n =
+  if n < 2 then invalid_arg "Obs.Span.set_ring_capacity: capacity < 2";
+  default_capacity := next_pow2 n 2
+
+let ring_capacity () = !default_capacity
+
+let registry_mutex = Mutex.create ()
+let rings : ring list ref = ref []
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let make_ring () =
+  let cap = !default_capacity in
+  let r =
+    {
+      r_dom = (Domain.self () :> int);
+      names = Array.make cap "";
+      cats = Array.make cap "";
+      args = Array.make cap "";
+      t0s = Array.make cap 0;
+      t1s = Array.make cap 0;
+      head = 0;
+    }
+  in
+  with_registry (fun () -> rings := r :: !rings);
+  r
+
+let dls : ring Domain.DLS.key = Domain.DLS.new_key make_ring
+
+let start () = if Config.on () then Clock.now_ns () else 0
+
+let record_interval ~cat ~name ?(args = "") t0 t1 =
+  if t0 <> 0 && Config.on () then begin
+    let r = Domain.DLS.get dls in
+    let i = r.head land (Array.length r.names - 1) in
+    r.names.(i) <- name;
+    r.cats.(i) <- cat;
+    r.args.(i) <- args;
+    r.t0s.(i) <- t0;
+    r.t1s.(i) <- t1;
+    r.head <- r.head + 1
+  end
+
+let record ~cat ~name ?(args = "") t0 =
+  if t0 <> 0 && Config.on () then
+    record_interval ~cat ~name ~args t0 (Clock.now_ns ())
+
+let instant ~cat ~name ?(args = "") () =
+  if Config.on () then begin
+    let t = Clock.now_ns () in
+    record_interval ~cat ~name ~args t t
+  end
+
+(* Oldest-first snapshot of one ring. *)
+let ring_events r =
+  let cap = Array.length r.names in
+  let head = r.head in
+  let n = min head cap in
+  let first = if head <= cap then 0 else head land (cap - 1) in
+  List.init n (fun k ->
+      let i = (first + k) land (cap - 1) in
+      {
+        ev_dom = r.r_dom;
+        ev_name = r.names.(i);
+        ev_cat = r.cats.(i);
+        ev_args = r.args.(i);
+        ev_t0 = r.t0s.(i);
+        ev_t1 = r.t1s.(i);
+      })
+
+let snapshot_rings () =
+  with_registry (fun () ->
+      List.sort (fun a b -> compare a.r_dom b.r_dom) !rings)
+
+let events () = List.concat_map ring_events (snapshot_rings ())
+
+let ring_stats () =
+  List.map
+    (fun r -> (r.r_dom, r.head, Array.length r.names))
+    (snapshot_rings ())
+
+let domains () =
+  List.filter_map
+    (fun r -> if r.head > 0 then Some r.r_dom else None)
+    (snapshot_rings ())
+
+let clear () =
+  with_registry (fun () -> List.iter (fun r -> r.head <- 0) !rings)

@@ -1,0 +1,64 @@
+(** Wall-clock spans in per-domain, lock-free ring buffers.
+
+    Recording is allocation-free and safe from inside
+    {!Kernels.Domain_pool} workers: each domain owns its ring
+    (single writer), and a full ring overwrites its oldest entries.
+    The typical probe is
+
+    {[
+      let sp = Obs.Span.start () in
+      (* ... the measured phase ... *)
+      Obs.Span.record ~cat:"gemm" ~name:"pack_a" sp
+    ]}
+
+    which costs one atomic load and one branch when telemetry is
+    disabled ({!start} returns [0] and {!record} drops it). *)
+
+type event = {
+  ev_dom : int;  (** id of the recording domain (one trace lane each) *)
+  ev_name : string;
+  ev_cat : string;
+  ev_args : string;  (** free-form [k=v] tags; [""] when none *)
+  ev_t0 : int;  (** span start, {!Clock.now_ns} *)
+  ev_t1 : int;  (** span end; [= ev_t0] for instant events *)
+}
+
+val start : unit -> int
+(** The current monotonic time, or [0] when telemetry is disabled. *)
+
+val record : cat:string -> name:string -> ?args:string -> int -> unit
+(** [record ~cat ~name t0] closes the span opened at [t0] (a
+    {!start} result) at the current time and pushes it to the
+    calling domain's ring.  No-op when [t0 = 0] or telemetry is
+    off. *)
+
+val record_interval :
+  cat:string -> name:string -> ?args:string -> int -> int -> unit
+(** [record_interval ~cat ~name t0 t1] pushes an explicit interval
+    (the caller measured [t1] itself, e.g. to also feed a
+    histogram). *)
+
+val instant : cat:string -> name:string -> ?args:string -> unit -> unit
+(** A zero-duration marker event (scheduler submit/dispatch/steal). *)
+
+val events : unit -> event list
+(** Snapshot of every ring, oldest-first within each domain, domains
+    in id order.  Intended for quiescent reads (after pool shutdown /
+    between runs); a concurrent writer can at worst hand over a
+    half-updated slot, never tear a word. *)
+
+val domains : unit -> int list
+(** Ids of domains that have recorded at least one span. *)
+
+val ring_stats : unit -> (int * int * int) list
+(** Per ring: (domain id, events ever pushed, capacity).  Pushed
+    beyond capacity means the oldest were overwritten. *)
+
+val set_ring_capacity : int -> unit
+(** Capacity (rounded up to a power of two) for rings created {e
+    after} this call; existing rings keep theirs.  Default 8192. *)
+
+val ring_capacity : unit -> int
+
+val clear : unit -> unit
+(** Drop all recorded events (rings stay registered). *)

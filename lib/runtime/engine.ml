@@ -13,6 +13,25 @@ let policy_of_string = function
   | "random" -> Some Random_place
   | _ -> None
 
+(* Telemetry (no-ops while Obs.Config is off).  The engine runs on a
+   single domain, so its spans share one trace lane; kernel-execution
+   spans carry the mapped PU and LogicGroup from the PDL descriptor
+   plus the virtual timestamp as args, tying the wall-clock timeline
+   back to the simulated one. *)
+let c_submit = Obs.Counter.make ~help:"tasks submitted" "eng_submitted"
+
+let c_ready =
+  Obs.Counter.make ~help:"tasks whose dependencies cleared" "eng_ready"
+
+let c_dispatch =
+  Obs.Counter.make ~help:"dispatch decisions taken" "eng_dispatched"
+
+let c_steal = Obs.Counter.make ~help:"successful work steals" "eng_steals"
+
+let c_exec =
+  Obs.Counter.make ~help:"kernel implementations run on the host"
+    "eng_kernels_run"
+
 type task_state = Pending | Ready | Running | Finished
 
 type task = {
@@ -244,10 +263,21 @@ and steal t ws =
     t.workers;
   match !victim with
   | None -> None
-  | Some v ->
+  | Some v -> (
       (* The most recently enqueued eligible task; the victim's queue
          order is untouched otherwise. *)
-      Deque.steal v.queue ~f:(fun task -> worker_eligible t ws task)
+      match Deque.steal v.queue ~f:(fun task -> worker_eligible t ws task) with
+      | Some task as stolen ->
+          Obs.Counter.incr c_steal;
+          if Obs.Config.on () then
+            Obs.Span.instant ~cat:"engine" ~name:"steal"
+              ~args:
+                (Printf.sprintf "t%d %s<-%s vt=%.6f" task.t_id
+                   ws.w.Machine_config.w_name v.w.Machine_config.w_name
+                   (Sim.now t.sim))
+              ();
+          stolen
+      | None -> None)
 
 and start_task t ws task =
   ws.idle <- false;
@@ -268,7 +298,23 @@ and complete_task t ws task ~dispatched ~compute_start ~bytes_in =
   if t.execute_kernels then begin
     match Codelet.impl_for task.codelet ws.w.Machine_config.w_arch with
     | Some impl ->
-        impl.Codelet.run ?pool:t.domain_pool (List.map fst task.buffers)
+        let sp = Obs.Span.start () in
+        impl.Codelet.run ?pool:t.domain_pool (List.map fst task.buffers);
+        if sp <> 0 then begin
+          let t1 = Obs.Clock.now_ns () in
+          Obs.Span.record_interval ~cat:"engine"
+            ~name:("exec:" ^ task.codelet.Codelet.cl_name)
+            ~args:
+              (Printf.sprintf "t%d pu=%s group=%s vt=%.6f" task.t_id
+                 ws.w.Machine_config.w_name
+                 (match task.t_group with Some g -> g | None -> "-")
+                 now)
+            sp t1;
+          Obs.Histogram.observe_named
+            ("exec_" ^ task.codelet.Codelet.cl_name)
+            (Obs.Clock.to_s (t1 - sp));
+          Obs.Counter.incr c_exec
+        end
     | None -> assert false (* eligibility checked at placement *)
   end;
   (* Coherence: writes leave this node with the only valid copy. *)
@@ -298,6 +344,7 @@ and complete_task t ws task ~dispatched ~compute_start ~bytes_in =
       dep.deps_remaining <- dep.deps_remaining - 1;
       if dep.deps_remaining = 0 && dep.state = Pending then begin
         dep.state <- Ready;
+        Obs.Counter.incr c_ready;
         dispatch t dep
       end)
     task.dependents;
@@ -305,6 +352,13 @@ and complete_task t ws task ~dispatched ~compute_start ~bytes_in =
   worker_kick t ws
 
 and dispatch t task =
+  Obs.Counter.incr c_dispatch;
+  if Obs.Config.on () then
+    Obs.Span.instant ~cat:"engine" ~name:"dispatch"
+      ~args:
+        (Printf.sprintf "t%d %s vt=%.6f" task.t_id (policy_to_string t.pol)
+           (Sim.now t.sim))
+      ();
   match t.pol with
   | Eager ->
       Deque.push_back t.pool task;
@@ -432,8 +486,16 @@ let submit ?group t codelet buffers =
     buffers;
   t.live_tasks <- t.live_tasks + 1;
   t.total_tasks <- t.total_tasks + 1;
+  Obs.Counter.incr c_submit;
+  if Obs.Config.on () then
+    Obs.Span.instant ~cat:"engine" ~name:"submit"
+      ~args:
+        (Printf.sprintf "t%d %s deps=%d" task.t_id codelet.Codelet.cl_name
+           task.deps_remaining)
+      ();
   if task.deps_remaining = 0 then begin
     task.state <- Ready;
+    Obs.Counter.incr c_ready;
     (* Defer dispatch into the simulation so submission order does
        not leak into virtual time. *)
     Sim.schedule t.sim ~delay:0.0 (fun () -> dispatch t task)

@@ -27,10 +27,13 @@ let lanes events =
 
 let us t = t *. 1e6
 
-let to_chrome_json events =
+(* The virtual-timeline events as comma-separated trace-event objects
+   (no enclosing brackets); pid 0 is the simulator, leaving
+   [Obs.Export.wall_pid] free for the wall-clock telemetry process
+   when both are merged into one file. *)
+let chrome_body events =
   let table = lanes events in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\"traceEvents\":[";
   let first = ref true in
   let emit fmt =
     Printf.ksprintf
@@ -39,6 +42,9 @@ let to_chrome_json events =
         Buffer.add_string buf s)
       fmt
   in
+  emit
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\
+     \"args\":{\"name\":\"virtual time (sim)\"}}";
   (* lane names *)
   Hashtbl.iter
     (fun worker tid ->
@@ -67,8 +73,36 @@ let to_chrome_json events =
         tid
         (json_escape e.tr_codelet))
     events;
-  Buffer.add_string buf "]}";
   Buffer.contents buf
+
+let to_chrome_json events = "{\"traceEvents\":[" ^ chrome_body events ^ "]}"
+
+let to_chrome_json_combined events =
+  let virt = chrome_body events in
+  let wall = Obs.Export.chrome_body () in
+  let sep = if virt <> "" && wall <> "" then "," else "" in
+  "{\"traceEvents\":[" ^ virt ^ sep ^ wall ^ "]}"
+
+(* RFC 4180: fields containing the separator, a double quote, or a
+   line break are quoted, with embedded quotes doubled.  Codelet and
+   worker names come from user-authored PDL files, so they can
+   contain anything. *)
+let csv_field s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
 
 let to_csv events =
   let buf = Buffer.create 1024 in
@@ -77,42 +111,52 @@ let to_csv events =
   List.iter
     (fun (e : Engine.trace_event) ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%.3f,%.3f,%.3f,%.0f\n" e.tr_task
-           e.tr_codelet e.tr_worker (us e.tr_start) (us e.tr_compute_start)
-           (us e.tr_end) e.tr_bytes_in))
+        (Printf.sprintf "%s,%s,%s,%.3f,%.3f,%.3f,%.0f\n" (csv_field e.tr_task)
+           (csv_field e.tr_codelet) (csv_field e.tr_worker) (us e.tr_start)
+           (us e.tr_compute_start) (us e.tr_end) e.tr_bytes_in))
     events;
   Buffer.contents buf
 
 let summary events =
-  let table : (string, int ref * float ref * float ref * float ref) Hashtbl.t =
+  let table :
+      (string, int ref * float ref * float ref * float ref * Obs.Histogram.t)
+      Hashtbl.t =
     Hashtbl.create 8
   in
   List.iter
     (fun (e : Engine.trace_event) ->
-      let count, compute, transfer, bytes =
+      let count, compute, transfer, bytes, hist =
         match Hashtbl.find_opt table e.tr_codelet with
         | Some entry -> entry
         | None ->
-            let entry = (ref 0, ref 0.0, ref 0.0, ref 0.0) in
+            let entry =
+              (ref 0, ref 0.0, ref 0.0, ref 0.0, Obs.Histogram.create ())
+            in
             Hashtbl.replace table e.tr_codelet entry;
             entry
       in
       incr count;
-      compute := !compute +. (e.tr_end -. e.tr_compute_start);
+      let dt = e.tr_end -. e.tr_compute_start in
+      compute := !compute +. dt;
+      Obs.Histogram.observe hist dt;
       transfer := !transfer +. (e.tr_compute_start -. e.tr_start);
       bytes := !bytes +. e.tr_bytes_in)
     events;
   let buf = Buffer.create 256 in
   Buffer.add_string buf
-    (Printf.sprintf "%-12s %8s %14s %14s %14s %12s\n" "codelet" "tasks"
-       "compute [s]" "mean [ms]" "transfer [s]" "bytes [MB]");
+    (Printf.sprintf "%-12s %8s %14s %14s %10s %10s %14s %12s\n" "codelet"
+       "tasks" "compute [s]" "mean [ms]" "p50 [ms]" "p95 [ms]" "transfer [s]"
+       "bytes [MB]");
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
   |> List.sort compare
-  |> List.iter (fun (codelet, (count, compute, transfer, bytes)) ->
+  |> List.iter (fun (codelet, (count, compute, transfer, bytes, hist)) ->
          Buffer.add_string buf
-           (Printf.sprintf "%-12s %8d %14.6f %14.3f %14.6f %12.2f\n" codelet
+           (Printf.sprintf
+              "%-12s %8d %14.6f %14.3f %10.3f %10.3f %14.6f %12.2f\n" codelet
               !count !compute
               (1e3 *. !compute /. float_of_int !count)
+              (1e3 *. Obs.Histogram.percentile hist 50.0)
+              (1e3 *. Obs.Histogram.percentile hist 95.0)
               !transfer (!bytes /. 1e6)));
   Buffer.contents buf
 
@@ -121,3 +165,9 @@ let write_chrome path events =
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (to_chrome_json events))
+
+let write_chrome_combined path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_chrome_json_combined events))

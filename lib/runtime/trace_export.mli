@@ -10,12 +10,22 @@ val to_chrome_json : Engine.trace_event list -> string
 (** Complete-event ("ph":"X") records, one lane per worker; transfer
     phases are emitted as separate events when a task moved bytes. *)
 
+val to_chrome_json_combined : Engine.trace_event list -> string
+(** The virtual timeline (pid 0) merged with the wall-clock telemetry
+    spans recorded by {!Obs} (pid {!Obs.Export.wall_pid}) in one
+    document, so Perfetto shows both processes side by side. *)
+
 val to_csv : Engine.trace_event list -> string
-(** Header: [task,codelet,worker,start_us,compute_start_us,end_us,bytes_in]. *)
+(** Header: [task,codelet,worker,start_us,compute_start_us,end_us,bytes_in].
+    Fields are RFC 4180-quoted, so codelet and worker names may
+    contain commas, quotes, and newlines. *)
 
 val summary : Engine.trace_event list -> string
-(** Per-codelet aggregate: count, total/mean compute seconds, total
-    transfer seconds, bytes moved. *)
+(** Per-codelet aggregate: count, total/mean compute seconds,
+    p50/p95 compute latency, total transfer seconds, bytes moved. *)
 
 val write_chrome : string -> Engine.trace_event list -> unit
 (** Write the JSON to a file. *)
+
+val write_chrome_combined : string -> Engine.trace_event list -> unit
+(** [write_chrome] for {!to_chrome_json_combined}. *)

@@ -1,0 +1,33 @@
+The telemetry subsystem's deterministic smoke mode: disabled probes
+record nothing; an enabled run through the pooled kernels and the
+engine records spans on multiple domain lanes, PU-tagged exec spans,
+counters, and ordered latency quantiles; the emitted Chrome trace
+round-trips through the JSON parser.
+
+  $ ../../bench/main.exe obs smoke
+  obs: disabled probes record nothing                  ok
+  obs: gemm pack/micro-kernel spans recorded           ok
+  obs: cholesky panel/trailing spans recorded          ok
+  obs: pool chunk spans recorded                       ok
+  obs: distinct per-domain lanes (>= 2)                ok
+  obs: engine exec spans tagged with PU and group      ok
+  obs: pool chunk counter counted                      ok
+  obs: per-codelet latency quantiles ordered           ok
+  obs: trace file parses as JSON                       ok
+  obs: traceEvents is a non-empty array                ok
+  obs: prometheus exposition non-empty                 ok
+  obs: summary mentions span rings                     ok
+  obs: all checks passed
+
+The smoke run left a valid, non-empty trace file behind:
+
+  $ head -c 16 obs_trace.json
+  {"traceEvents":[
+
+--metrics prints a non-empty Prometheus-style exposition (values are
+run-dependent, so only the schema lines are asserted):
+
+  $ ../../bench/main.exe obs smoke --metrics 2>/dev/null | grep -q '^# TYPE obs_' && echo has-types
+  has-types
+  $ ../../bench/main.exe obs smoke --metrics 2>/dev/null | grep -q 'obs_pool_chunks_total' && echo has-pool-counter
+  has-pool-counter

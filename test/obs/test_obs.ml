@@ -1,0 +1,311 @@
+(* Unit tests for the obs telemetry library: ring-buffer semantics
+   (overwrite, multi-domain), histogram quantiles, counter gating,
+   the JSON parser, and the Chrome trace round-trip. *)
+
+(* Small rings make overwrite behavior cheap to exercise.  Must run
+   before any span is recorded: a domain's ring is created with the
+   capacity in force at its first record. *)
+let () = Obs.Span.set_ring_capacity 128
+
+let fresh () =
+  Obs.Config.set_enabled true;
+  Obs.Export.reset_all ()
+
+(* --- spans / rings -------------------------------------------------- *)
+
+let test_disabled_records_nothing () =
+  fresh ();
+  Obs.Config.set_enabled false;
+  let sp = Obs.Span.start () in
+  Alcotest.(check int) "start returns 0 when off" 0 sp;
+  Obs.Span.record ~cat:"t" ~name:"x" sp;
+  Obs.Span.instant ~cat:"t" ~name:"y" ();
+  Alcotest.(check int) "no events" 0 (List.length (Obs.Span.events ()))
+
+let test_ring_overwrite () =
+  fresh ();
+  let cap = Obs.Span.ring_capacity () in
+  Alcotest.(check int) "test capacity" 128 cap;
+  for i = 1 to 200 do
+    Obs.Span.record_interval ~cat:"t"
+      ~name:(Printf.sprintf "s%d" i)
+      i (i + 1)
+  done;
+  let evs =
+    List.filter (fun (e : Obs.Span.event) -> e.ev_cat = "t") (Obs.Span.events ())
+  in
+  Alcotest.(check int) "keeps newest cap events" cap (List.length evs);
+  (match evs with
+  | e :: _ -> Alcotest.(check string) "oldest survivor" "s73" e.ev_name
+  | [] -> Alcotest.fail "no events");
+  (match List.rev evs with
+  | e :: _ -> Alcotest.(check string) "newest" "s200" e.ev_name
+  | [] -> Alcotest.fail "no events");
+  (match Obs.Span.ring_stats () with
+  | (_, pushed, c) :: _ ->
+      Alcotest.(check int) "pushed total" 200 pushed;
+      Alcotest.(check int) "ring capacity" 128 c
+  | [] -> Alcotest.fail "no rings")
+
+let test_span_nesting_wellformed () =
+  fresh ();
+  let outer = Obs.Span.start () in
+  let inner = Obs.Span.start () in
+  (* burn a few cycles so the intervals are non-degenerate *)
+  let acc = ref 0 in
+  for i = 1 to 10_000 do
+    acc := !acc + i
+  done;
+  ignore !acc;
+  Obs.Span.record ~cat:"n" ~name:"inner" inner;
+  Obs.Span.record ~cat:"n" ~name:"outer" outer;
+  let find name =
+    List.find (fun (e : Obs.Span.event) -> e.ev_name = name) (Obs.Span.events ())
+  in
+  let i = find "inner" and o = find "outer" in
+  Alcotest.(check bool) "inner within outer" true
+    (o.ev_t0 <= i.ev_t0 && i.ev_t1 <= o.ev_t1);
+  Alcotest.(check bool) "same domain lane" true (i.ev_dom = o.ev_dom)
+
+(* Four domains record into their own rings concurrently; after the
+   join each ring holds exactly min(n, capacity) untorn events in
+   push order. *)
+let test_concurrent_rings =
+  QCheck.Test.make ~count:10 ~name:"ring: 4 domains record without tearing"
+    QCheck.(int_range 1 500)
+    (fun n ->
+      Obs.Config.set_enabled true;
+      Obs.Span.clear ();
+      let doms =
+        List.init 4 (fun d ->
+            Domain.spawn (fun () ->
+                let name = "d" ^ string_of_int d in
+                for i = 1 to n do
+                  Obs.Span.record_interval ~cat:"c" ~name i (i + 1)
+                done;
+                (Domain.self () :> int)))
+      in
+      let ids = List.map Domain.join doms in
+      let events = Obs.Span.events () in
+      let cap = Obs.Span.ring_capacity () in
+      List.for_all
+        (fun id ->
+          let evs =
+            List.filter (fun (e : Obs.Span.event) -> e.ev_dom = id) events
+          in
+          List.length evs = min n cap
+          && List.for_all (fun (e : Obs.Span.event) -> e.ev_t1 = e.ev_t0 + 1) evs
+          && fst
+               (List.fold_left
+                  (fun (ok, prev) (e : Obs.Span.event) ->
+                    (ok && e.ev_t0 = prev + 1, e.ev_t0))
+                  (true, max 0 (n - cap))
+                  evs))
+        ids)
+
+(* --- counters ------------------------------------------------------- *)
+
+let test_counter_gating () =
+  fresh ();
+  let c = Obs.Counter.make "test_counter" in
+  Obs.Config.set_enabled false;
+  Obs.Counter.incr c;
+  Obs.Counter.add c 10;
+  Alcotest.(check int) "disabled: no counts" 0 (Obs.Counter.value c);
+  Obs.Config.set_enabled true;
+  Obs.Counter.incr c;
+  Obs.Counter.add c 4;
+  Alcotest.(check int) "enabled: counts" 5 (Obs.Counter.value c);
+  Alcotest.(check bool) "registered" true
+    (List.exists (fun c -> Obs.Counter.name c = "test_counter")
+       (Obs.Counter.all ()));
+  let again = Obs.Counter.make "test_counter" in
+  Obs.Counter.incr again;
+  Alcotest.(check int) "make is idempotent by name" 6 (Obs.Counter.value c);
+  Obs.Counter.reset_all ();
+  Alcotest.(check int) "reset" 0 (Obs.Counter.value c)
+
+(* --- histograms ----------------------------------------------------- *)
+
+let test_histogram_quantiles () =
+  let h = Obs.Histogram.create () in
+  for i = 1 to 1000 do
+    Obs.Histogram.observe h (float_of_int i /. 1000.0)
+  done;
+  Alcotest.(check int) "count" 1000 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-6)) "sum exact" 500.5 (Obs.Histogram.sum h);
+  Alcotest.(check (float 1e-12)) "min exact" 0.001 (Obs.Histogram.min_value h);
+  Alcotest.(check (float 1e-12)) "max exact" 1.0 (Obs.Histogram.max_value h);
+  let p50 = Obs.Histogram.percentile h 50.0
+  and p95 = Obs.Histogram.percentile h 95.0
+  and p99 = Obs.Histogram.percentile h 99.0 in
+  let close ~q est truth =
+    Alcotest.(check bool)
+      (Printf.sprintf "p%g within bucket error (got %g, want ~%g)" q est truth)
+      true
+      (Float.abs (est -. truth) /. truth < 0.12)
+  in
+  close ~q:50.0 p50 0.5;
+  close ~q:95.0 p95 0.95;
+  close ~q:99.0 p99 0.99;
+  Alcotest.(check bool) "quantiles ordered" true (p50 <= p95 && p95 <= p99)
+
+let test_histogram_single_value () =
+  let h = Obs.Histogram.create () in
+  Obs.Histogram.observe h 0.0371;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "p%g clamps to the single value" q)
+        0.0371
+        (Obs.Histogram.percentile h q))
+    [ 0.0; 50.0; 95.0; 99.0; 100.0 ]
+
+let test_histogram_merge () =
+  let h1 = Obs.Histogram.create () and h2 = Obs.Histogram.create () in
+  for i = 1 to 100 do
+    Obs.Histogram.observe h1 (float_of_int i /. 1000.0);
+    Obs.Histogram.observe h2 (float_of_int (i + 900) /. 1000.0)
+  done;
+  Obs.Histogram.merge ~into:h1 h2;
+  Alcotest.(check int) "merged count" 200 (Obs.Histogram.count h1);
+  Alcotest.(check (float 1e-12)) "merged min" 0.001 (Obs.Histogram.min_value h1);
+  Alcotest.(check (float 1e-12)) "merged max" 1.0 (Obs.Histogram.max_value h1)
+
+let test_histogram_named_gating () =
+  fresh ();
+  Obs.Config.set_enabled false;
+  Obs.Histogram.observe_named "test_hist" 0.5;
+  Obs.Config.set_enabled true;
+  Obs.Histogram.observe_named "test_hist" 0.25;
+  let h = Obs.Histogram.get_or_make "test_hist" in
+  Alcotest.(check int) "only the enabled observation" 1
+    (Obs.Histogram.count h)
+
+(* --- JSON parser ---------------------------------------------------- *)
+
+let test_json_values () =
+  let open Obs.Json in
+  (match parse "[1, 2.5, -3e2, \"x\", true, false, null]" with
+  | Ok (Arr [ Num 1.0; Num 2.5; Num -300.0; Str "x"; Bool true; Bool false;
+              Null ]) ->
+      ()
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e);
+  (match parse "{\"a\": {\"b\": [\"c\\u0041\\n\"]}}" with
+  | Ok doc -> (
+      match Option.bind (member "a" doc) (member "b") with
+      | Some (Arr [ Str s ]) -> Alcotest.(check string) "escapes" "cA\n" s
+      | _ -> Alcotest.fail "lookup failed")
+  | Error e -> Alcotest.fail e)
+
+let test_json_rejects () =
+  List.iter
+    (fun doc ->
+      match Obs.Json.parse doc with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" doc)
+      | Error _ -> ())
+    [ "{"; "[1,]"; "123abc"; "{\"a\":1} trailing"; "\"unterminated"; "" ]
+
+(* --- Chrome export round-trip --------------------------------------- *)
+
+let test_chrome_roundtrip () =
+  fresh ();
+  (* Synthetic nested intervals plus a name that needs escaping. *)
+  Obs.Span.record_interval ~cat:"t" ~name:"inner" ~args:"k=v" 2_000 3_000;
+  Obs.Span.record_interval ~cat:"t" ~name:"outer" 1_000 5_000;
+  Obs.Span.record_interval ~cat:"t" ~name:"we\"ird\\name\n" 6_000 7_000;
+  Obs.Span.record_interval ~cat:"t" ~name:"mark" 8_000 8_000;
+  let doc = Obs.Export.to_chrome_json () in
+  match Obs.Json.parse doc with
+  | Error e -> Alcotest.fail ("emitted trace does not parse: " ^ e)
+  | Ok json ->
+      let evs =
+        match Option.bind (Obs.Json.member "traceEvents" json) Obs.Json.to_list
+        with
+        | Some l -> l
+        | None -> Alcotest.fail "no traceEvents array"
+      in
+      let name e =
+        match Obs.Json.member "name" e with
+        | Some (Obs.Json.Str s) -> s
+        | _ -> ""
+      in
+      let ph e =
+        match Obs.Json.member "ph" e with
+        | Some (Obs.Json.Str s) -> s
+        | _ -> ""
+      in
+      let num k e =
+        match Option.bind (Obs.Json.member k e) Obs.Json.to_number with
+        | Some f -> f
+        | None -> Alcotest.fail ("missing number " ^ k)
+      in
+      Alcotest.(check bool) "escaped name round-trips" true
+        (List.exists (fun e -> name e = "we\"ird\\name\n") evs);
+      Alcotest.(check bool) "zero-duration span becomes an instant" true
+        (List.exists (fun e -> name e = "mark" && ph e = "i") evs);
+      let find n = List.find (fun e -> name e = n && ph e = "X") evs in
+      let inner = find "inner" and outer = find "outer" in
+      Alcotest.(check bool) "nesting preserved in the export" true
+        (num "ts" inner >= num "ts" outer
+        && num "ts" inner +. num "dur" inner
+           <= num "ts" outer +. num "dur" outer);
+      (match Option.bind (Obs.Json.member "args" inner) (Obs.Json.member "detail")
+       with
+      | Some (Obs.Json.Str s) -> Alcotest.(check string) "args kept" "k=v" s
+      | _ -> Alcotest.fail "inner args lost")
+
+let test_prometheus_exposition () =
+  fresh ();
+  let c = Obs.Counter.make "prom_counter" in
+  Obs.Counter.add c 7;
+  Obs.Histogram.observe_named "prom_hist" 0.125;
+  let text = Obs.Export.prometheus () in
+  let has sub =
+    let n = String.length sub and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter line" true
+    (has "# TYPE obs_prom_counter_total counter" && has "obs_prom_counter_total 7");
+  Alcotest.(check bool) "summary type" true
+    (has "# TYPE obs_prom_hist_seconds summary");
+  Alcotest.(check bool) "quantile labels" true
+    (has "obs_prom_hist_seconds{quantile=\"0.5\"}");
+  Alcotest.(check bool) "count line" true (has "obs_prom_hist_seconds_count 1")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_records_nothing;
+          Alcotest.test_case "ring overwrites oldest" `Quick
+            test_ring_overwrite;
+          Alcotest.test_case "nesting well-formed" `Quick
+            test_span_nesting_wellformed;
+          QCheck_alcotest.to_alcotest test_concurrent_rings;
+        ] );
+      ( "counters",
+        [ Alcotest.test_case "gating and registry" `Quick test_counter_gating ]
+      );
+      ( "histograms",
+        [
+          Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "single value" `Quick test_histogram_single_value;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "named gating" `Quick test_histogram_named_gating;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "values" `Quick test_json_values;
+          Alcotest.test_case "rejects" `Quick test_json_rejects;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome round-trip" `Quick test_chrome_roundtrip;
+          Alcotest.test_case "prometheus" `Quick test_prometheus_exposition;
+        ] );
+    ]

@@ -776,6 +776,94 @@ let trace_tests =
         in
         check bool_ "potrf row" true (contains s "potrf");
         check bool_ "trsm row" true (contains s "trsm"));
+    Alcotest.test_case "summary reports p50/p95 latency columns" `Quick
+      (fun () ->
+        let rt = Engine.create (smp_cfg ()) in
+        let cl = Codelet.noop ~name:"unit" ~flops:1e9 ~archs:[ "cpu" ] in
+        for _ = 1 to 8 do
+          let h = Data.register_matrix (Matrix.create 1 1) in
+          Engine.submit rt cl [ (h, Codelet.RW) ]
+        done;
+        let _ = Engine.wait_all rt in
+        let s = Trace_export.summary (Engine.trace rt) in
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+          in
+          go 0
+        in
+        check bool_ "p50 column" true (contains s "p50 [ms]");
+        check bool_ "p95 column" true (contains s "p95 [ms]"));
+    Alcotest.test_case "csv quotes fields per RFC 4180" `Quick (fun () ->
+        let rt = Engine.create (smp_cfg ()) in
+        let cl =
+          Codelet.noop ~name:"we,ird \"name\"" ~flops:1e9 ~archs:[ "cpu" ]
+        in
+        let h = Data.register_matrix (Matrix.create 1 1) in
+        Engine.submit rt cl [ (h, Codelet.RW) ];
+        let _ = Engine.wait_all rt in
+        let csv = Trace_export.to_csv (Engine.trace rt) in
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+          in
+          go 0
+        in
+        (* comma and quotes force quoting; internal quotes double *)
+        check bool_ "quoted field" true
+          (contains csv "\"we,ird \"\"name\"\"\"");
+        let lines =
+          List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)
+        in
+        (* the embedded comma must not create an extra column *)
+        List.iter
+          (fun line ->
+            let cols = ref 1 and in_quotes = ref false in
+            String.iter
+              (fun c ->
+                if c = '"' then in_quotes := not !in_quotes
+                else if c = ',' && not !in_quotes then incr cols)
+              line;
+            check int_ "7 columns" 7 !cols)
+          lines);
+    Alcotest.test_case "combined trace merges wall and virtual timelines"
+      `Quick (fun () ->
+        Obs.Config.set_enabled true;
+        Obs.Export.reset_all ();
+        Obs.Span.record_interval ~cat:"test" ~name:"wall_span" 1_000 2_000;
+        let rt = Engine.create (smp_cfg ()) in
+        let cl = Codelet.noop ~name:"unit" ~flops:1e9 ~archs:[ "cpu" ] in
+        let h = Data.register_matrix (Matrix.create 1 1) in
+        Engine.submit rt cl [ (h, Codelet.RW) ];
+        let _ = Engine.wait_all rt in
+        let json = Trace_export.to_chrome_json_combined (Engine.trace rt) in
+        Obs.Config.set_enabled false;
+        (match Obs.Json.parse json with
+        | Error e -> Alcotest.fail ("combined trace does not parse: " ^ e)
+        | Ok doc ->
+            let evs =
+              match
+                Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.to_list
+              with
+              | Some l -> l
+              | None -> Alcotest.fail "no traceEvents"
+            in
+            let pid e =
+              match Obs.Json.member "pid" e with
+              | Some (Obs.Json.Num f) -> int_of_float f
+              | _ -> -1
+            in
+            let name e =
+              match Obs.Json.member "name" e with
+              | Some (Obs.Json.Str s) -> s
+              | _ -> ""
+            in
+            check bool_ "virtual events on pid 0" true
+              (List.exists (fun e -> pid e = 0 && name e = "t0") evs);
+            check bool_ "wall span on pid 1" true
+              (List.exists (fun e -> pid e = 1 && name e = "wall_span") evs)));
   ]
 
 (* ------------------------------------------------------------------ *)
