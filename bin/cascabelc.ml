@@ -206,8 +206,19 @@ let run_cmd =
             "Print Prometheus-style telemetry counters and latency \
              quantiles to stderr after the run.")
   in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault schedule, e.g. \
+             'seed=7,transient=0.2,retries=5,crash=gpu0@0.01'. Keys: seed, \
+             transient, max-transient, retries, backoff, quarantine, \
+             readmit, crash=PU\\@T, slow=PU\\@TxF, recover=PU\\@T.")
+  in
   let run input pdl zoo repo_files serial policy blocks stats_flag trace_out
-      metrics =
+      metrics faults_spec =
     let unit_ = or_die (parse_source input) in
     (* Telemetry costs one branch per probe when off; turn it on only
        when a sink was requested. *)
@@ -231,9 +242,14 @@ let run_cmd =
             exit 1
       in
       let repo = build_repo repo_files in
+      let faults =
+        Option.map
+          (fun spec -> or_die (Taskrt.Fault.parse spec))
+          faults_spec
+      in
       match
-        Cascabel.Runnable.run ~policy ?blocks ?trace:trace_out ~repo ~platform
-          unit_
+        Cascabel.Runnable.run ~policy ?blocks ?trace:trace_out ?faults ~repo
+          ~platform unit_
       with
       | Ok r ->
           print_string r.stdout;
@@ -248,7 +264,18 @@ let run_cmd =
                 Printf.eprintf "#   %-12s %3d tasks, busy %.6fs\n"
                   ws.Taskrt.Engine.ws_worker.Taskrt.Machine_config.w_name
                   ws.Taskrt.Engine.tasks_run ws.Taskrt.Engine.busy_s)
-              r.stats.worker_stats
+              r.stats.worker_stats;
+            if faults <> None then begin
+              Printf.eprintf
+                "# faults: %d transient, %d retries, %d reassigned, %d \
+                 failovers, %d abandoned\n"
+                r.stats.failures_injected r.stats.retries r.stats.reassigned
+                r.stats.failovers r.stats.abandoned;
+              if r.stats.quarantined <> [] then
+                Printf.eprintf "# quarantined: %s\n"
+                  (String.concat ", " r.stats.quarantined);
+              List.iter (Printf.eprintf "# failover: %s\n") r.failover_log
+            end
           end;
           if metrics then prerr_string (Obs.Export.prometheus ());
           r.exit_code
@@ -264,7 +291,7 @@ let run_cmd =
           descriptor.")
     Term.(
       const run $ input_arg $ pdl_arg $ zoo_arg $ repo_arg $ serial $ policy
-      $ blocks $ stats_flag $ trace_arg $ metrics_flag)
+      $ blocks $ stats_flag $ trace_arg $ metrics_flag $ faults_arg)
 
 let () =
   let info =

@@ -11,6 +11,7 @@ type report = {
   stats : Engine.stats;
   tasks_submitted : int;
   per_site_blocks : (string * int) list;
+  failover_log : string list;
 }
 
 exception Abort of string
@@ -26,6 +27,15 @@ type tracked = {
   tr_cols : int;
 }
 
+(* What a failover needs to rebuild a task's codelet against a
+   degraded platform: the interface plus the parameter spec the
+   original submission used. *)
+type task_meta = {
+  mi_interface : string;
+  mi_handles_spec : (string * [ `Pointer | `Scalar of Interp.value ]) list;
+  mi_work : float;
+}
+
 type ctx = {
   engine : Engine.t;
   interp : Interp.t;
@@ -38,6 +48,8 @@ type ctx = {
   mutable submitted : int;
   mutable site_blocks : (string * int) list;
   selections : (string, Preselect.selection) Hashtbl.t;
+  task_meta : (int, task_meta) Hashtbl.t;  (** engine task id -> site info *)
+  mutable failover_log : string list;
 }
 
 let drain ctx =
@@ -149,6 +161,66 @@ let codelet_for ctx (sel : Preselect.selection) ~interface ~handles_spec
       by_arch []
   in
   Codelet.create ~name:interface ~flops:(fun _ -> work_elements) impls
+
+(* PDL-driven failover (the paper's multiple logical control-views,
+   exercised at runtime): when quarantines/crashes strand a task with
+   no eligible worker, derive a degraded platform view dropping every
+   fully-offline PU, re-run pre-selection for the task's interface
+   against it, and hand the engine a codelet built from the surviving
+   variants — with the group restriction lifted, since the original
+   LogicGroup may be exactly what died. *)
+let failover ctx (sd : Engine.stranded) =
+  match Hashtbl.find_opt ctx.task_meta sd.Engine.sd_id with
+  | None -> None
+  | Some meta -> (
+      (* PUs whose expanded workers are all offline. *)
+      let all_off = Hashtbl.create 8 in
+      Array.iter
+        (fun (w : Machine_config.worker) ->
+          let online = Engine.is_online ctx.engine ~worker:w.w_name in
+          let prev =
+            Option.value ~default:true (Hashtbl.find_opt all_off w.w_pu)
+          in
+          Hashtbl.replace all_off w.w_pu (prev && not online))
+        ctx.cfg.Machine_config.workers;
+      let dead_pus =
+        Hashtbl.fold (fun pu off acc -> if off then pu :: acc else acc) all_off []
+        |> List.sort compare
+      in
+      if dead_pus = [] then None
+      else
+        let view =
+          Pdl.View.compose "degraded" (List.map Pdl.View.drop_pu dead_pus)
+        in
+        match Pdl.View.apply view ctx.platform with
+        | Error _ -> None (* dropping the PUs breaks platform invariants *)
+        | Ok degraded -> (
+            match
+              Preselect.select_interface ctx.repo degraded meta.mi_interface
+            with
+            | Error _ -> None
+            | Ok sel -> (
+                match sel.Preselect.chosen with
+                | None -> None
+                | Some v ->
+                    let codelet =
+                      codelet_for ctx sel ~interface:meta.mi_interface
+                        ~handles_spec:meta.mi_handles_spec
+                        ~work_elements:meta.mi_work
+                    in
+                    let changes = Pdl.Diff.diff ctx.platform degraded in
+                    ctx.failover_log <-
+                      ctx.failover_log
+                      @ [
+                          Printf.sprintf
+                            "t%d %s: variant %s on degraded view without %s \
+                             (%d platform changes)"
+                            sd.Engine.sd_id meta.mi_interface
+                            v.Repository.v_name
+                            (String.concat ", " dead_pus)
+                            (List.length changes);
+                        ];
+                    Some (codelet, None))))
 
 (* Handle one execute-annotated call. *)
 let on_execute ctx (annot : exec_annot) (f : func) argv =
@@ -327,8 +399,16 @@ let on_execute ctx (annot : exec_annot) (f : func) argv =
     let codelet =
       codelet_for ctx sel ~interface ~handles_spec ~work_elements
     in
-    (try Engine.submit ~group ctx.engine codelet buffers
-     with Invalid_argument msg -> abort "%s" msg);
+    let task_id =
+      try Engine.submit_id ~group ctx.engine codelet buffers
+      with Invalid_argument msg -> abort "%s" msg
+    in
+    Hashtbl.replace ctx.task_meta task_id
+      {
+        mi_interface = interface;
+        mi_handles_spec = handles_spec;
+        mi_work = work_elements;
+      };
     ctx.submitted <- ctx.submitted + 1
   done;
   if Obs.Config.on () then
@@ -339,14 +419,14 @@ let on_execute ctx (annot : exec_annot) (f : func) argv =
   ctx.site_blocks <- ctx.site_blocks @ [ (interface, blocks) ];
   Some Interp.VUnit
 
-let run ?policy ?blocks ?fuel ?trace ~repo ~platform unit_ =
+let run ?policy ?blocks ?fuel ?trace ?faults ~repo ~platform unit_ =
   match Machine_config.of_platform platform with
   | Error e -> Error e
   | Ok cfg -> (
       (match Repository.register_unit repo unit_ with
       | Ok _ -> ()
       | Error _ -> ());
-      let engine = Engine.create ?policy cfg in
+      let engine = Engine.create ?policy ?faults cfg in
       let ctx_ref = ref None in
       let hooks =
         {
@@ -377,20 +457,26 @@ let run ?policy ?blocks ?fuel ?trace ~repo ~platform unit_ =
           submitted = 0;
           site_blocks = [];
           selections = Hashtbl.create 4;
+          task_meta = Hashtbl.create 16;
+          failover_log = [];
         }
       in
       ctx_ref := Some ctx;
+      Engine.on_stranded engine (fun sd -> failover ctx sd);
       match Interp.run_main interp with
       | Error msg -> Error msg
       | exception Abort msg -> Error msg
+      | exception Engine.Stuck stuck -> Error (Engine.stuck_to_string stuck)
       | Ok code -> (
           match Engine.wait_all engine with
           | stats ->
               Option.iter
                 (fun path ->
                   (* One file, two processes: virtual timeline (pid 0)
-                     plus any wall-clock telemetry spans (pid 1). *)
-                  Taskrt.Trace_export.write_chrome_combined path
+                     plus any wall-clock telemetry spans (pid 1), and
+                     the fault lane when anything went wrong. *)
+                  Taskrt.Trace_export.write_chrome_combined
+                    ~faults:(Engine.fault_log engine) path
                     (Engine.trace engine))
                 trace;
               Ok
@@ -400,8 +486,11 @@ let run ?policy ?blocks ?fuel ?trace ~repo ~platform unit_ =
                   stats;
                   tasks_submitted = ctx.submitted;
                   per_site_blocks = ctx.site_blocks;
+                  failover_log = ctx.failover_log;
                 }
-          | exception Failure msg -> Error msg))
+          | exception Failure msg -> Error msg
+          | exception Engine.Stuck stuck ->
+              Error (Engine.stuck_to_string stuck)))
 
 let run_serial ?fuel unit_ =
   let interp = Interp.create ?fuel unit_ in

@@ -29,6 +29,9 @@ type report = {
   tasks_submitted : int;
   per_site_blocks : (string * int) list;
       (** interface -> blocks per submission *)
+  failover_log : string list;
+      (** one line per PDL-driven failover: which task was re-targeted
+          to which variant under which degraded platform view *)
 }
 
 val run :
@@ -36,6 +39,7 @@ val run :
   ?blocks:int ->
   ?fuel:int ->
   ?trace:string ->
+  ?faults:Taskrt.Fault.t ->
   repo:Repository.t ->
   platform:Pdl_model.Machine.platform ->
   Minic.Ast.unit_ ->
@@ -45,7 +49,16 @@ val run :
     overrides the decomposition width (default: number of workers
     eligible for the site's execution group). The repository must
     already contain (or the unit must define) every referenced task.
-    Selection follows {!Preselect}. *)
+    Selection follows {!Preselect}.
+
+    [faults] injects a deterministic {!Taskrt.Fault} schedule. On top
+    of the engine's retry/quarantine machinery, [run] installs a
+    PDL-driven failover handler: when a task is stranded (e.g. its
+    execution group's PUs all crashed), a degraded platform view is
+    derived with {!Pdl.View.drop_pu} for every fully-offline PU,
+    pre-selection is re-run against it, and the surviving repository
+    variants take over — with the group restriction lifted. Each such
+    event is recorded in [failover_log]. *)
 
 val run_serial : ?fuel:int -> Minic.Ast.unit_ -> (int * string, string) result
 (** The untranslated baseline: interpret the program with execute

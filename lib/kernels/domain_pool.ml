@@ -33,7 +33,8 @@ type t = {
   mutable job : job option;
   mutable next : int;  (* next unclaimed chunk of the current job *)
   mutable unfinished : int;  (* chunks not yet completed *)
-  mutable error : exn option;  (* first exception raised by a chunk *)
+  mutable error : (exn * Printexc.raw_backtrace) option;
+      (* first exception raised by a chunk, with its backtrace *)
   mutable stopped : bool;
   mutable workers : unit Domain.t array;
   active : bool Atomic.t;  (* a parallel_for is in flight *)
@@ -53,14 +54,22 @@ let run_chunks t =
           t.next <- t.next + 1;
           Mutex.unlock t.mutex;
           let sp = Obs.Span.start () in
-          let failure = (try job.body c; None with e -> Some e) in
+          let failure =
+            try
+              job.body c;
+              None
+            with e ->
+              (* Capture the backtrace on the raising domain, before
+                 any further call disturbs it. *)
+              Some (e, Printexc.get_raw_backtrace ())
+          in
           Obs.Span.record ~cat:"pool" ~name:"chunk" sp;
           Obs.Counter.incr c_chunks;
           Mutex.lock t.mutex;
           (match failure with
           | None -> ()
-          | Some e ->
-              if t.error = None then t.error <- Some e;
+          | Some _ ->
+              if t.error = None then t.error <- failure;
               (* Abandon the unclaimed remainder of a failing job. *)
               t.unfinished <- t.unfinished - (job.nchunks - t.next);
               t.next <- job.nchunks);
@@ -150,7 +159,12 @@ let run_job t ~nchunks body =
   let failure = t.error in
   t.error <- None;
   Mutex.unlock t.mutex;
-  match failure with Some e -> raise e | None -> ()
+  (* The pool survives a failing job: workers are parked on the next
+     generation, state is reset, and the caller sees the first chunk
+     exception with the backtrace of the domain that raised it. *)
+  match failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
 
 let sequential_for lo hi f =
   for i = lo to hi - 1 do

@@ -36,8 +36,13 @@ val parallel_for :
     consecutive indices handed out at a time (default: about four
     chunks per domain).  Chunk {e assignment} to domains is
     nondeterministic; anything [f] writes must therefore be disjoint
-    per index.  If any [f] raises, remaining chunks are abandoned and
-    the first exception is re-raised on the caller.
+    per index.
+
+    Exception safety: if any [f] raises, unclaimed chunks are
+    abandoned, already-running chunks complete, and the first
+    exception is re-raised on the caller with the backtrace of the
+    domain that raised it.  The pool itself is not poisoned — worker
+    domains stay parked and the next [parallel_for] runs normally.
     @raise Invalid_argument when [chunk < 1]. *)
 
 val shutdown : t -> unit

@@ -32,17 +32,49 @@ let c_exec =
   Obs.Counter.make ~help:"kernel implementations run on the host"
     "eng_kernels_run"
 
-type task_state = Pending | Ready | Running | Finished
+let c_fault =
+  Obs.Counter.make ~help:"transient task failures injected"
+    "eng_faults_injected"
+
+let c_retry = Obs.Counter.make ~help:"task retries scheduled" "eng_retries"
+
+let c_quarantine =
+  Obs.Counter.make ~help:"workers quarantined after repeated failures"
+    "eng_quarantines"
+
+let c_failover =
+  Obs.Counter.make ~help:"stranded tasks re-targeted via failover"
+    "eng_failovers"
+
+type task_state = Pending | Ready | Running | Finished | Failed
+
+let task_state_to_string = function
+  | Pending -> "pending"
+  | Ready -> "ready"
+  | Running -> "running"
+  | Finished -> "finished"
+  | Failed -> "failed"
 
 type task = {
   t_id : int;
-  codelet : Codelet.t;
+  mutable codelet : Codelet.t;  (** mutable: failover swaps the variant set *)
   buffers : (Data.handle * Codelet.access) list;
-  t_group : string option;
+  mutable t_group : string option;  (** mutable: failover may lift it *)
   mutable deps_remaining : int;
   mutable dependents : task list;
   mutable state : task_state;
+  mutable attempt : int;  (** attempts started; stale completions compare it *)
+  mutable excluded : int list;  (** worker ids this task must avoid *)
+  mutable failovers : int;
+  mutable dispatched_once : bool;
 }
+
+type health = Healthy | Suspect | Quarantined
+
+let health_to_string = function
+  | Healthy -> "healthy"
+  | Suspect -> "suspect"
+  | Quarantined -> "quarantined"
 
 type worker_state = {
   w : Machine_config.worker;
@@ -55,6 +87,10 @@ type worker_state = {
   mutable tasks_run : int;
   mutable online_s : float;  (** accumulated online time (closed spans) *)
   mutable online_since : float;  (** start of the current online span *)
+  mutable health : health;
+  mutable failures : int;  (** transient failures attributed to this worker *)
+  mutable crashed : bool;  (** permanent: recover=PU@T is the only way back *)
+  mutable running : task option;
 }
 
 type trace_event = {
@@ -65,6 +101,23 @@ type trace_event = {
   tr_compute_start : float;
   tr_end : float;
   tr_bytes_in : float;
+}
+
+type fault_event = {
+  f_time : float;  (** virtual time *)
+  f_kind : string;
+      (** transient | retry | abandon | crash | reassign | suspect
+          | quarantine | readmit | slowdown | recover | failover *)
+  f_worker : string;  (** [""] when no worker is involved *)
+  f_task : int;  (** [-1] when no task is involved *)
+  f_detail : string;
+}
+
+type stranded = {
+  sd_id : int;
+  sd_codelet : Codelet.t;
+  sd_group : string option;
+  sd_attempt : int;
 }
 
 type t = {
@@ -80,58 +133,29 @@ type t = {
   pool : task Deque.t;  (** Eager's shared ready-queue *)
   last_writer : (int, task) Hashtbl.t;
   readers : (int, task list) Hashtbl.t;
+  task_index : (int, task) Hashtbl.t;  (** unfinished tasks by id *)
+  faults : Fault.t option;
+  retry_budget : int;
+  backoff_s : float;
+  quarantine_after : int;
+  readmit_after : float option;
+  mutable stranded_handler : (stranded -> (Codelet.t * string option) option) option;
   mutable next_task : int;
   mutable live_tasks : int;
   mutable total_tasks : int;
   mutable bytes_transferred : float;
+  mutable n_injected : int;
+  mutable n_retries : int;
+  mutable n_reassigned : int;
+  mutable n_failovers : int;
+  mutable n_abandoned : int;
+  mutable fault_events : fault_event list;
   mutable events : trace_event list;
   mutable rng : int;
 }
 
 let policy t = t.pol
 let machine t = t.cfg
-
-let create ?(policy = Eager) ?(execute_kernels = true)
-    ?(dispatch_overhead_us = 20.0) ?(seed = 1) ?pool cfg =
-  let link_resources = Hashtbl.create 8 in
-  List.iter
-    (fun (l : Machine_config.link) ->
-      Hashtbl.replace link_resources l.l_node (Sim.resource l.l_name, l))
-    cfg.Machine_config.links;
-  {
-    sim = Sim.create ();
-    cfg;
-    pol = policy;
-    execute_kernels;
-    overhead_s = dispatch_overhead_us *. 1e-6;
-    domain_pool = pool;
-    workers =
-      Array.map
-        (fun w ->
-          {
-            w;
-            queue = Deque.create ();
-            idle = true;
-            online = true;
-            gflops = w.Machine_config.w_gflops;
-            free_estimate = 0.0;
-            busy_s = 0.0;
-            tasks_run = 0;
-            online_s = 0.0;
-            online_since = 0.0;
-          })
-        cfg.Machine_config.workers;
-    link_resources;
-    pool = Deque.create ();
-    last_writer = Hashtbl.create 64;
-    readers = Hashtbl.create 64;
-    next_task = 0;
-    live_tasks = 0;
-    total_tasks = 0;
-    bytes_transferred = 0.0;
-    events = [];
-    rng = seed land 0x3FFFFFFF;
-  }
 
 let next_random t bound =
   (* xorshift-ish LCG; deterministic given the seed *)
@@ -142,6 +166,7 @@ let next_random t bound =
 
 let worker_eligible _t ws (task : task) =
   ws.online
+  && (not (List.mem ws.w.Machine_config.w_id task.excluded))
   && Codelet.supports task.codelet ws.w.Machine_config.w_arch
   &&
   match task.t_group with
@@ -161,6 +186,64 @@ let statically_eligible t task =
          match task.t_group with
          | None -> true
          | Some g -> List.mem g ws.w.Machine_config.w_groups)
+
+(* Retry-time variant of the above: is there any capable worker left
+   once exclusions and permanent crashes are respected?  (Temporarily
+   offline or quarantined-with-readmission workers count: they may
+   come back.) *)
+let has_unexcluded_candidate t (task : task) =
+  Array.exists
+    (fun ws ->
+      (not ws.crashed)
+      && (not (List.mem ws.w.Machine_config.w_id task.excluded))
+      && Codelet.supports task.codelet ws.w.Machine_config.w_arch
+      &&
+      match task.t_group with
+      | None -> true
+      | Some g -> List.mem g ws.w.Machine_config.w_groups)
+    t.workers
+
+(* --- fault bookkeeping ----------------------------------------------- *)
+
+let record_fault t ~kind ?(worker = "") ?(task = -1) detail =
+  t.fault_events <-
+    { f_time = Sim.now t.sim; f_kind = kind; f_worker = worker; f_task = task;
+      f_detail = detail }
+    :: t.fault_events;
+  if Obs.Config.on () then
+    Obs.Span.instant ~cat:"fault" ~name:kind
+      ~args:
+        (Printf.sprintf "%s%svt=%.6f%s%s"
+           (if worker = "" then "" else worker ^ " ")
+           (if task >= 0 then Printf.sprintf "t%d " task else "")
+           (Sim.now t.sim)
+           (if detail = "" then "" else " ")
+           detail)
+      ()
+
+let fault_roll t (task : task) ~attempt =
+  match t.faults with
+  | None -> false
+  | Some f ->
+      t.n_injected < f.Fault.max_transient
+      && Fault.roll f ~task:task.t_id ~attempt
+
+(* Exclude the failing worker from the task's next placement — unless
+   that would strand the task with no capable worker at all, in which
+   case the exclusion list is cleared and the task may retry anywhere
+   (the worker might only be transiently unlucky). *)
+let exclude_worker t (task : task) ws =
+  task.excluded <- ws.w.Machine_config.w_id :: task.excluded;
+  if not (has_unexcluded_candidate t task) then task.excluded <- []
+
+let apply_gflops t ws gflops =
+  (* Keep the HEFT availability estimate consistent with the new
+     rate: work still in flight finishes proportionally sooner (or
+     later) than priced at the old speed. *)
+  let now = Sim.now t.sim in
+  if ws.free_estimate > now then
+    ws.free_estimate <- now +. ((ws.free_estimate -. now) *. ws.gflops /. gflops);
+  ws.gflops <- gflops
 
 (* --- time modeling --------------------------------------------------- *)
 
@@ -282,77 +365,256 @@ and steal t ws =
 and start_task t ws task =
   ws.idle <- false;
   task.state <- Running;
+  task.attempt <- task.attempt + 1;
+  ws.running <- Some task;
+  let attempt = task.attempt in
   let dispatched = Sim.now t.sim in
   let after_overhead = dispatched +. t.overhead_s in
   let transfers_done, bytes_in = book_transfers t ws task ~at:after_overhead in
   let finish = transfers_done +. compute_time ws task in
   t.bytes_transferred <- t.bytes_transferred +. bytes_in;
   Sim.schedule_at t.sim ~time:finish (fun () ->
-      complete_task t ws task ~dispatched ~compute_start:transfers_done
+      complete_task t ws task ~attempt ~dispatched ~compute_start:transfers_done
         ~bytes_in)
 
-and complete_task t ws task ~dispatched ~compute_start ~bytes_in =
+and complete_task t ws task ~attempt ~dispatched ~compute_start ~bytes_in =
+  (* A crash mid-run bumps [task.attempt] when reassigning the task,
+     so the completion the dead worker had in flight arrives stale
+     and is dropped here. *)
+  if task.attempt <> attempt || task.state <> Running then ()
+  else if fault_roll t task ~attempt then fail_task t ws task ~attempt ~dispatched
+  else begin
+    let now = Sim.now t.sim in
+    ws.running <- None;
+    (* Functional execution happens at completion so that writes land
+       in dependency order (the sim completes tasks in time order). *)
+    if t.execute_kernels then begin
+      match Codelet.impl_for task.codelet ws.w.Machine_config.w_arch with
+      | Some impl ->
+          let sp = Obs.Span.start () in
+          impl.Codelet.run ?pool:t.domain_pool (List.map fst task.buffers);
+          if sp <> 0 then begin
+            let t1 = Obs.Clock.now_ns () in
+            Obs.Span.record_interval ~cat:"engine"
+              ~name:("exec:" ^ task.codelet.Codelet.cl_name)
+              ~args:
+                (Printf.sprintf "t%d pu=%s group=%s vt=%.6f" task.t_id
+                   ws.w.Machine_config.w_name
+                   (match task.t_group with Some g -> g | None -> "-")
+                   now)
+              sp t1;
+            Obs.Histogram.observe_named
+              ("exec_" ^ task.codelet.Codelet.cl_name)
+              (Obs.Clock.to_s (t1 - sp));
+            Obs.Counter.incr c_exec
+          end
+      | None -> assert false (* eligibility checked at placement *)
+    end;
+    (* Coherence: writes leave this node with the only valid copy. *)
+    List.iter
+      (fun (h, access) ->
+        match access with
+        | Codelet.R -> ()
+        | Codelet.W | Codelet.RW -> Data.write_at h ws.w.Machine_config.w_node)
+      task.buffers;
+    task.state <- Finished;
+    Hashtbl.remove t.task_index task.t_id;
+    ws.busy_s <- ws.busy_s +. (now -. dispatched);
+    ws.tasks_run <- ws.tasks_run + 1;
+    t.live_tasks <- t.live_tasks - 1;
+    t.events <-
+      {
+        tr_task = Printf.sprintf "t%d" task.t_id;
+        tr_codelet = task.codelet.Codelet.cl_name;
+        tr_worker = ws.w.Machine_config.w_name;
+        tr_start = dispatched;
+        tr_compute_start = compute_start;
+        tr_end = now;
+        tr_bytes_in = bytes_in;
+      }
+      :: t.events;
+    List.iter
+      (fun dep ->
+        dep.deps_remaining <- dep.deps_remaining - 1;
+        if dep.deps_remaining = 0 && dep.state = Pending then begin
+          dep.state <- Ready;
+          Obs.Counter.incr c_ready;
+          dispatch t dep
+        end)
+      task.dependents;
+    ws.idle <- true;
+    worker_kick t ws
+  end
+
+and fail_task t ws task ~attempt ~dispatched =
+  (* A transient fault: the attempt's kernel never ran, so no state
+     was corrupted; the time was still spent. *)
   let now = Sim.now t.sim in
-  (* Functional execution happens at completion so that writes land
-     in dependency order (the sim completes tasks in time order). *)
-  if t.execute_kernels then begin
-    match Codelet.impl_for task.codelet ws.w.Machine_config.w_arch with
-    | Some impl ->
-        let sp = Obs.Span.start () in
-        impl.Codelet.run ?pool:t.domain_pool (List.map fst task.buffers);
-        if sp <> 0 then begin
-          let t1 = Obs.Clock.now_ns () in
-          Obs.Span.record_interval ~cat:"engine"
-            ~name:("exec:" ^ task.codelet.Codelet.cl_name)
-            ~args:
-              (Printf.sprintf "t%d pu=%s group=%s vt=%.6f" task.t_id
-                 ws.w.Machine_config.w_name
-                 (match task.t_group with Some g -> g | None -> "-")
-                 now)
-            sp t1;
-          Obs.Histogram.observe_named
-            ("exec_" ^ task.codelet.Codelet.cl_name)
-            (Obs.Clock.to_s (t1 - sp));
-          Obs.Counter.incr c_exec
-        end
-    | None -> assert false (* eligibility checked at placement *)
-  end;
-  (* Coherence: writes leave this node with the only valid copy. *)
-  List.iter
-    (fun (h, access) ->
-      match access with
-      | Codelet.R -> ()
-      | Codelet.W | Codelet.RW -> Data.write_at h ws.w.Machine_config.w_node)
-    task.buffers;
-  task.state <- Finished;
-  ws.busy_s <- ws.busy_s +. (now -. dispatched);
-  ws.tasks_run <- ws.tasks_run + 1;
-  t.live_tasks <- t.live_tasks - 1;
-  t.events <-
-    {
-      tr_task = Printf.sprintf "t%d" task.t_id;
-      tr_codelet = task.codelet.Codelet.cl_name;
-      tr_worker = ws.w.Machine_config.w_name;
-      tr_start = dispatched;
-      tr_compute_start = compute_start;
-      tr_end = now;
-      tr_bytes_in = bytes_in;
-    }
-    :: t.events;
-  List.iter
-    (fun dep ->
-      dep.deps_remaining <- dep.deps_remaining - 1;
-      if dep.deps_remaining = 0 && dep.state = Pending then begin
-        dep.state <- Ready;
-        Obs.Counter.incr c_ready;
-        dispatch t dep
-      end)
-    task.dependents;
+  t.n_injected <- t.n_injected + 1;
+  Obs.Counter.incr c_fault;
+  task.state <- Failed;
+  ws.running <- None;
   ws.idle <- true;
-  worker_kick t ws
+  ws.busy_s <- ws.busy_s +. (now -. dispatched);
+  record_fault t ~kind:"transient" ~worker:ws.w.Machine_config.w_name
+    ~task:task.t_id
+    (Printf.sprintf "attempt=%d" attempt);
+  note_failure t ws;
+  if attempt <= t.retry_budget then begin
+    exclude_worker t task ws;
+    let backoff = t.backoff_s *. (2.0 ** float_of_int (attempt - 1)) in
+    t.n_retries <- t.n_retries + 1;
+    Obs.Counter.incr c_retry;
+    record_fault t ~kind:"retry" ~task:task.t_id
+      (Printf.sprintf "attempt=%d backoff=%g" attempt backoff);
+    Sim.schedule t.sim ~delay:backoff (fun () ->
+        (* The task may have been rescued by a failover meanwhile. *)
+        if task.state = Failed then begin
+          task.state <- Ready;
+          dispatch t task
+        end)
+  end
+  else begin
+    t.n_abandoned <- t.n_abandoned + 1;
+    record_fault t ~kind:"abandon" ~task:task.t_id
+      (Printf.sprintf "attempts=%d" attempt)
+  end;
+  if ws.online then worker_kick t ws
+
+and note_failure t ws =
+  ws.failures <- ws.failures + 1;
+  (match ws.health with
+  | Healthy ->
+      ws.health <- Suspect;
+      record_fault t ~kind:"suspect" ~worker:ws.w.Machine_config.w_name
+        (Printf.sprintf "failures=%d" ws.failures)
+  | Suspect | Quarantined -> ());
+  if
+    ws.health <> Quarantined
+    && t.quarantine_after > 0
+    && ws.failures >= t.quarantine_after
+  then quarantine t ws
+
+and quarantine t ws =
+  ws.health <- Quarantined;
+  Obs.Counter.incr c_quarantine;
+  record_fault t ~kind:"quarantine" ~worker:ws.w.Machine_config.w_name
+    (Printf.sprintf "failures=%d" ws.failures);
+  take_offline t ws;
+  rescue_pool t;
+  match t.readmit_after with
+  | Some d when not ws.crashed ->
+      Sim.schedule t.sim ~delay:d (fun () -> readmit t ws)
+  | _ -> ()
+
+and readmit t ws =
+  (* Second chance for a quarantined (not crashed) worker: back online
+     as Suspect with a clean failure count — one more failure streak
+     re-quarantines it. *)
+  if ws.health = Quarantined && (not ws.crashed) && not ws.online then begin
+    ws.health <- Suspect;
+    ws.failures <- 0;
+    ws.online <- true;
+    ws.online_since <- Sim.now t.sim;
+    record_fault t ~kind:"readmit" ~worker:ws.w.Machine_config.w_name "";
+    worker_kick t ws
+  end
+
+and crash_worker t ws =
+  if not ws.crashed then begin
+    ws.crashed <- true;
+    ws.health <- Quarantined;
+    Obs.Counter.incr c_quarantine;
+    record_fault t ~kind:"crash" ~worker:ws.w.Machine_config.w_name "";
+    take_offline t ws;
+    (match ws.running with
+    | Some task when task.state = Running ->
+        ws.running <- None;
+        ws.idle <- true;
+        (* Invalidate the in-flight completion and run it elsewhere. *)
+        task.attempt <- task.attempt + 1;
+        task.state <- Ready;
+        exclude_worker t task ws;
+        t.n_reassigned <- t.n_reassigned + 1;
+        record_fault t ~kind:"reassign" ~worker:ws.w.Machine_config.w_name
+          ~task:task.t_id "";
+        dispatch t task
+    | _ -> ());
+    rescue_pool t
+  end
+
+and recover_worker t ws =
+  if not ws.online then begin
+    ws.crashed <- false;
+    ws.health <- Suspect;
+    ws.failures <- 0;
+    ws.online <- true;
+    ws.online_since <- Sim.now t.sim;
+    record_fault t ~kind:"recover" ~worker:ws.w.Machine_config.w_name "";
+    worker_kick t ws
+  end
+
+and slowdown_worker t ws factor =
+  let gflops = ws.gflops *. factor in
+  record_fault t ~kind:"slowdown" ~worker:ws.w.Machine_config.w_name
+    (Printf.sprintf "factor=%g" factor);
+  apply_gflops t ws gflops
+
+and take_offline t ws =
+  if ws.online then begin
+    ws.online <- false;
+    ws.online_s <- ws.online_s +. (Sim.now t.sim -. ws.online_since);
+    ws.free_estimate <- 0.0;
+    (* Redistribute its queued tasks through the active policy. *)
+    let orphans = Deque.to_list ws.queue in
+    Deque.clear ws.queue;
+    List.iter (dispatch t) orphans
+  end
+
+and rescue_pool t =
+  (* After a PU loss, parked pool tasks may have lost their last
+     eligible worker; give each a failover chance. *)
+  if t.stranded_handler <> None then
+    List.iter
+      (fun task -> if eligible_workers t task = [] then strand t task)
+      (Deque.to_list t.pool)
+
+and strand t task =
+  (* No online eligible worker exists for this task.  Ask the failover
+     handler (Cascabel re-runs preselection against a degraded PDL
+     view) for a replacement codelet/group. *)
+  match t.stranded_handler with
+  | None -> ()
+  | Some handler ->
+      if task.failovers < 2 then begin
+        match
+          handler
+            {
+              sd_id = task.t_id;
+              sd_codelet = task.codelet;
+              sd_group = task.t_group;
+              sd_attempt = task.attempt;
+            }
+        with
+        | None -> ()
+        | Some (codelet, group) ->
+            task.failovers <- task.failovers + 1;
+            (* It may be parked in the shared pool; pull it out. *)
+            ignore (Deque.take_first t.pool ~f:(fun x -> x == task));
+            task.codelet <- codelet;
+            task.t_group <- group;
+            task.excluded <- [];
+            t.n_failovers <- t.n_failovers + 1;
+            Obs.Counter.incr c_failover;
+            record_fault t ~kind:"failover" ~task:task.t_id
+              (Printf.sprintf "codelet=%s group=%s" codelet.Codelet.cl_name
+                 (match group with Some g -> g | None -> "-"));
+            dispatch t task
+      end
 
 and dispatch t task =
   Obs.Counter.incr c_dispatch;
+  task.dispatched_once <- true;
   if Obs.Config.on () then
     Obs.Span.instant ~cat:"engine" ~name:"dispatch"
       ~args:
@@ -370,7 +632,11 @@ and dispatch t task =
             woken := true;
             worker_kick t ws
           end)
-        t.workers
+        t.workers;
+      if
+        (not !woken) && t.stranded_handler <> None
+        && eligible_workers t task = []
+      then strand t task
   | Heft ->
       let now = Sim.now t.sim in
       let best = ref None in
@@ -384,7 +650,10 @@ and dispatch t task =
           | _ -> best := Some (ws, eft))
         (eligible_workers t task);
       (match !best with
-      | None -> Deque.push_back t.pool task (* every candidate is offline *)
+      | None ->
+          (* Every candidate is offline. *)
+          Deque.push_back t.pool task;
+          strand t task
       | Some (ws, eft) ->
           ws.free_estimate <- eft;
           Deque.push_back ws.queue task;
@@ -408,7 +677,9 @@ and dispatch t task =
           | _ -> best := Some (ws, s, q))
         (eligible_workers t task);
       (match !best with
-      | None -> Deque.push_back t.pool task
+      | None ->
+          Deque.push_back t.pool task;
+          strand t task
       | Some (ws, _, _) ->
           Deque.push_back ws.queue task;
           worker_kick t ws;
@@ -416,11 +687,114 @@ and dispatch t task =
           Array.iter (fun other -> worker_kick t other) t.workers)
   | Random_place -> (
       match eligible_workers t task with
-      | [] -> Deque.push_back t.pool task
+      | [] ->
+          Deque.push_back t.pool task;
+          strand t task
       | candidates ->
           let ws = List.nth candidates (next_random t (List.length candidates)) in
           Deque.push_back ws.queue task;
           worker_kick t ws)
+
+(* --- construction ----------------------------------------------------- *)
+
+let workers_of_pu t pu =
+  Array.to_list t.workers
+  |> List.filter (fun ws ->
+         ws.w.Machine_config.w_pu = pu || ws.w.Machine_config.w_name = pu)
+
+let install_fault_events t (f : Fault.t) =
+  let pu_of = function
+    | Fault.Crash { pu; _ } | Fault.Slowdown { pu; _ } | Fault.Recover { pu; _ }
+      ->
+        pu
+  in
+  List.iter
+    (fun ev ->
+      if workers_of_pu t (pu_of ev) = [] then
+        invalid_arg
+          (Printf.sprintf "Engine.create: fault event names unknown PU %S"
+             (pu_of ev)))
+    f.Fault.events;
+  List.iter
+    (function
+      | Fault.Crash { pu; at } ->
+          Sim.schedule_at t.sim ~time:at (fun () ->
+              List.iter (fun ws -> crash_worker t ws) (workers_of_pu t pu))
+      | Fault.Slowdown { pu; at; factor } ->
+          Sim.schedule_at t.sim ~time:at (fun () ->
+              List.iter
+                (fun ws -> slowdown_worker t ws factor)
+                (workers_of_pu t pu))
+      | Fault.Recover { pu; at } ->
+          Sim.schedule_at t.sim ~time:at (fun () ->
+              List.iter (fun ws -> recover_worker t ws) (workers_of_pu t pu)))
+    f.Fault.events
+
+let create ?(policy = Eager) ?(execute_kernels = true)
+    ?(dispatch_overhead_us = 20.0) ?(seed = 1) ?pool ?faults cfg =
+  let link_resources = Hashtbl.create 8 in
+  List.iter
+    (fun (l : Machine_config.link) ->
+      Hashtbl.replace link_resources l.l_node (Sim.resource l.l_name, l))
+    cfg.Machine_config.links;
+  let fcfg = Option.value faults ~default:Fault.none in
+  let t =
+    {
+      sim = Sim.create ();
+      cfg;
+      pol = policy;
+      execute_kernels;
+      overhead_s = dispatch_overhead_us *. 1e-6;
+      domain_pool = pool;
+      workers =
+        Array.map
+          (fun w ->
+            {
+              w;
+              queue = Deque.create ();
+              idle = true;
+              online = true;
+              gflops = w.Machine_config.w_gflops;
+              free_estimate = 0.0;
+              busy_s = 0.0;
+              tasks_run = 0;
+              online_s = 0.0;
+              online_since = 0.0;
+              health = Healthy;
+              failures = 0;
+              crashed = false;
+              running = None;
+            })
+          cfg.Machine_config.workers;
+      link_resources;
+      pool = Deque.create ();
+      last_writer = Hashtbl.create 64;
+      readers = Hashtbl.create 64;
+      task_index = Hashtbl.create 64;
+      faults;
+      retry_budget = fcfg.Fault.retries;
+      backoff_s = fcfg.Fault.backoff_s;
+      quarantine_after = fcfg.Fault.quarantine_after;
+      readmit_after = fcfg.Fault.readmit_after;
+      stranded_handler = None;
+      next_task = 0;
+      live_tasks = 0;
+      total_tasks = 0;
+      bytes_transferred = 0.0;
+      n_injected = 0;
+      n_retries = 0;
+      n_reassigned = 0;
+      n_failovers = 0;
+      n_abandoned = 0;
+      fault_events = [];
+      events = [];
+      rng = seed land 0x3FFFFFFF;
+    }
+  in
+  Option.iter (install_fault_events t) faults;
+  t
+
+let on_stranded t handler = t.stranded_handler <- Some handler
 
 (* --- submission ------------------------------------------------------ *)
 
@@ -430,7 +804,7 @@ let add_dep task dep_on =
     task.deps_remaining <- task.deps_remaining + 1
   end
 
-let submit ?group t codelet buffers =
+let submit_id ?group t codelet buffers =
   List.iter
     (fun (h, _) ->
       if Data.is_partitioned h then
@@ -454,6 +828,10 @@ let submit ?group t codelet buffers =
       deps_remaining = 0;
       dependents = [];
       state = Pending;
+      attempt = 0;
+      excluded = [];
+      failovers = 0;
+      dispatched_once = false;
     }
   in
   t.next_task <- t.next_task + 1;
@@ -486,6 +864,7 @@ let submit ?group t codelet buffers =
     buffers;
   t.live_tasks <- t.live_tasks + 1;
   t.total_tasks <- t.total_tasks + 1;
+  Hashtbl.replace t.task_index task.t_id task;
   Obs.Counter.incr c_submit;
   if Obs.Config.on () then
     Obs.Span.instant ~cat:"engine" ~name:"submit"
@@ -497,9 +876,31 @@ let submit ?group t codelet buffers =
     task.state <- Ready;
     Obs.Counter.incr c_ready;
     (* Defer dispatch into the simulation so submission order does
-       not leak into virtual time. *)
-    Sim.schedule t.sim ~delay:0.0 (fun () -> dispatch t task)
-  end
+       not leak into virtual time.  The state check lets declare_dep
+       retract readiness between submission and the deferred hop. *)
+    Sim.schedule t.sim ~delay:0.0 (fun () ->
+        if task.state = Ready && not task.dispatched_once then dispatch t task)
+  end;
+  task.t_id
+
+let submit ?group t codelet buffers = ignore (submit_id ?group t codelet buffers)
+
+let declare_dep t ~task ~depends_on =
+  if task = depends_on then invalid_arg "Engine.declare_dep: self-dependency";
+  let find id =
+    match Hashtbl.find_opt t.task_index id with
+    | Some tk -> tk
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Engine.declare_dep: unknown or finished task %d" id)
+  in
+  let tk = find task in
+  let dep = find depends_on in
+  if tk.dispatched_once || tk.state = Running then
+    invalid_arg
+      (Printf.sprintf "Engine.declare_dep: task %d already dispatched" task);
+  add_dep tk dep;
+  if tk.state = Ready && tk.deps_remaining > 0 then tk.state <- Pending
 
 (* --- dynamic resources ------------------------------------------------ *)
 
@@ -511,17 +912,7 @@ let find_worker t name =
   | Some ws -> ws
   | None -> invalid_arg (Printf.sprintf "Engine: unknown worker %S" name)
 
-let set_offline t ~worker =
-  let ws = find_worker t worker in
-  if ws.online then begin
-    ws.online <- false;
-    ws.online_s <- ws.online_s +. (Sim.now t.sim -. ws.online_since);
-    ws.free_estimate <- 0.0;
-    (* Redistribute its queued tasks through the active policy. *)
-    let orphans = Deque.to_list ws.queue in
-    Deque.clear ws.queue;
-    List.iter (dispatch t) orphans
-  end
+let set_offline t ~worker = take_offline t (find_worker t worker)
 
 let set_online t ~worker =
   let ws = find_worker t worker in
@@ -534,18 +925,21 @@ let set_online t ~worker =
 
 let is_online t ~worker = (find_worker t worker).online
 
+let worker_health t ~worker = (find_worker t worker).health
+
+let quarantined_workers t =
+  Array.to_list t.workers
+  |> List.filter_map (fun ws ->
+         if ws.health = Quarantined then Some ws.w.Machine_config.w_name
+         else None)
+
 let set_gflops t ~worker gflops =
   if gflops <= 0.0 then invalid_arg "Engine.set_gflops: non-positive rate";
-  let ws = find_worker t worker in
-  (* Keep the HEFT availability estimate consistent with the new
-     rate: work still in flight finishes proportionally sooner (or
-     later) than priced at the old speed. *)
-  let now = Sim.now t.sim in
-  if ws.free_estimate > now then
-    ws.free_estimate <- now +. ((ws.free_estimate -. now) *. ws.gflops /. gflops);
-  ws.gflops <- gflops
+  apply_gflops t (find_worker t worker) gflops
 
 let at t ~time f = Sim.schedule_at t.sim ~time (fun () -> f ())
+
+let fault_log t = List.rev t.fault_events
 
 (* --- completion ------------------------------------------------------ *)
 
@@ -554,6 +948,7 @@ type worker_stat = {
   busy_s : float;
   online_s : float;
   tasks_run : int;
+  ws_health : health;
 }
 
 type stats = {
@@ -562,14 +957,65 @@ type stats = {
   bytes_transferred : float;
   worker_stats : worker_stat array;
   sim_events : int;
+  failures_injected : int;
+  retries : int;
+  reassigned : int;
+  failovers : int;
+  abandoned : int;
+  quarantined : string list;
 }
+
+type stuck_task = {
+  st_id : int;
+  st_codelet : string;
+  st_state : string;
+  st_unmet_deps : int list;
+}
+
+exception Stuck of stuck_task list
+
+let stuck_to_string stuck =
+  Printf.sprintf "Engine.wait_all: %d task(s) stuck: %s" (List.length stuck)
+    (String.concat "; "
+       (List.map
+          (fun st ->
+            Printf.sprintf "t%d(%s,%s%s)" st.st_id st.st_codelet st.st_state
+              (match st.st_unmet_deps with
+              | [] -> ""
+              | deps ->
+                  ",waiting on "
+                  ^ String.concat "+"
+                      (List.map (fun d -> "t" ^ string_of_int d) deps)))
+          stuck))
+
+let () =
+  Printexc.register_printer (function
+    | Stuck stuck -> Some (stuck_to_string stuck)
+    | _ -> None)
 
 let wait_all t =
   Sim.run t.sim;
-  if t.live_tasks <> 0 then
-    failwith
-      (Printf.sprintf
-         "Engine.wait_all: %d tasks stuck (circular dependency?)" t.live_tasks);
+  if t.live_tasks <> 0 then begin
+    let live = Hashtbl.fold (fun _ tk acc -> tk :: acc) t.task_index [] in
+    let live = List.sort (fun a b -> compare a.t_id b.t_id) live in
+    raise
+      (Stuck
+         (List.map
+            (fun tk ->
+              {
+                st_id = tk.t_id;
+                st_codelet = tk.codelet.Codelet.cl_name;
+                st_state = task_state_to_string tk.state;
+                st_unmet_deps =
+                  List.filter_map
+                    (fun dep ->
+                      if dep != tk && List.memq tk dep.dependents then
+                        Some dep.t_id
+                      else None)
+                    live;
+              })
+            live))
+  end;
   {
     makespan = Sim.now t.sim;
     tasks = t.total_tasks;
@@ -585,9 +1031,16 @@ let wait_all t =
                (ws.online_s
                +. if ws.online then now -. ws.online_since else 0.0);
              tasks_run = ws.tasks_run;
+             ws_health = ws.health;
            })
          t.workers);
     sim_events = Sim.events_processed t.sim;
+    failures_injected = t.n_injected;
+    retries = t.n_retries;
+    reassigned = t.n_reassigned;
+    failovers = t.n_failovers;
+    abandoned = t.n_abandoned;
+    quarantined = quarantined_workers t;
   }
 
 let trace t = List.rev t.events

@@ -42,6 +42,7 @@ val create :
   ?dispatch_overhead_us:float ->
   ?seed:int ->
   ?pool:Kernels.Domain_pool.t ->
+  ?faults:Fault.t ->
   Machine_config.t ->
   t
 (** [execute_kernels] (default [true]) runs codelet implementations
@@ -49,7 +50,12 @@ val create :
     sizes too large to compute. [dispatch_overhead_us] (default 20)
     is charged per task. [pool] is handed to every codelet
     implementation the engine runs, so multi-core kernels spread
-    across real OCaml domains. *)
+    across real OCaml domains. [faults] installs a deterministic
+    {!Fault} model: transient failures roll per attempt, and the
+    spec's timed crash/slowdown/recover events are scheduled into the
+    simulation.
+    @raise Invalid_argument when a fault event names a PU that
+    matches no worker. *)
 
 val machine : t -> Machine_config.t
 val policy : t -> policy
@@ -64,12 +70,38 @@ val submit :
     implementation, when a handle is partitioned, or when a virtual
     handle is submitted while [execute_kernels] is on. *)
 
+val submit_id :
+  ?group:string -> t -> Codelet.t -> (Data.handle * Codelet.access) list ->
+  int
+(** Like {!submit} but returns the task id — the key used by
+    {!declare_dep}, {!type-stranded} and {!type-fault_event}. Ids count up
+    from 0 in submission order. *)
+
+val declare_dep : t -> task:int -> depends_on:int -> unit
+(** Add an explicit (StarPU [task_declare_deps]-style) edge on top of
+    the implicit sequential-consistency ones: [task] will not start
+    before [depends_on] finished. Unlike implicit edges, explicit
+    ones can form cycles — {!wait_all} then reports the cycle via
+    {!Stuck}.
+    @raise Invalid_argument if either id is unknown/finished or
+    [task] was already dispatched. *)
+
 type worker_stat = {
   ws_worker : Machine_config.worker;
   busy_s : float;  (** compute + transfer time attributed *)
   online_s : float;  (** virtual seconds the worker was online *)
   tasks_run : int;
+  ws_health : health;  (** PU health at the end of the run *)
 }
+
+and health = Healthy | Suspect | Quarantined
+(** The PU health state machine: a transient failure marks a worker
+    [Suspect]; [quarantine_after] failures take it offline
+    ([Quarantined]); {!Fault.t}[.readmit_after] re-admits it as
+    [Suspect] with a clean slate. A crash quarantines immediately and
+    permanently (only a [recover] event brings it back). *)
+
+val health_to_string : health -> string
 
 type stats = {
   makespan : float;  (** virtual seconds from 0 to last completion *)
@@ -77,11 +109,35 @@ type stats = {
   bytes_transferred : float;
   worker_stats : worker_stat array;
   sim_events : int;
+  failures_injected : int;  (** transient failures rolled *)
+  retries : int;  (** retry attempts scheduled *)
+  reassigned : int;  (** in-flight tasks moved off a crashed PU *)
+  failovers : int;  (** stranded tasks re-targeted by the handler *)
+  abandoned : int;  (** tasks that ran out of retry budget *)
+  quarantined : string list;  (** workers quarantined at the end *)
 }
+
+type stuck_task = {
+  st_id : int;
+  st_codelet : string;
+  st_state : string;  (** pending | ready | failed | ... *)
+  st_unmet_deps : int list;  (** unfinished tasks it still waits on *)
+}
+
+exception Stuck of stuck_task list
+(** Raised by {!wait_all} when the simulation drained with tasks left
+    over: a dependency cycle ({!declare_dep}), every capable worker
+    offline, or a task abandoned after its retry budget. Carries one
+    entry per unfinished task, in id order. *)
+
+val stuck_to_string : stuck_task list -> string
+(** Human-readable rendering (also installed as the
+    [Printexc] printer for {!Stuck}). *)
 
 val wait_all : t -> stats
 (** Run the simulation until every submitted task completed. May be
-    called repeatedly; virtual time keeps advancing. *)
+    called repeatedly; virtual time keeps advancing.
+    @raise Stuck when tasks cannot make progress. *)
 
 (** {1 Dynamic resources}
 
@@ -92,7 +148,8 @@ val wait_all : t -> stats
     workers can go offline (hot-unplug, failure), come back, or change
     speed (DVFS/thermal throttling). Queued tasks of an offline worker
     are redistributed by the active policy; a running task always
-    completes. *)
+    completes — unless the worker {e crashes} (see {!Fault}), in which
+    case its in-flight task is reassigned. *)
 
 val set_offline : t -> worker:string -> unit
 (** Stop a worker (by {!Machine_config.worker} name) from accepting
@@ -101,6 +158,12 @@ val set_offline : t -> worker:string -> unit
 
 val set_online : t -> worker:string -> unit
 val is_online : t -> worker:string -> bool
+
+val worker_health : t -> worker:string -> health
+(** @raise Invalid_argument on unknown names. *)
+
+val quarantined_workers : t -> string list
+(** Names of currently quarantined workers, in machine order. *)
 
 val set_gflops : t -> worker:string -> float -> unit
 (** Change a worker's modeled throughput (a DVFS event). Affects
@@ -112,6 +175,47 @@ val at : t -> time:float -> (unit -> unit) -> unit
 (** Schedule a reconfiguration at a virtual time (before or between
     [wait_all] runs). Beware: if every worker a pending task could
     use goes offline, {!wait_all} reports the stuck tasks. *)
+
+(** {1 Fault tolerance}
+
+    With {!create}[ ?faults], tasks can fail transiently (the
+    attempt's kernel is never run, so no state is corrupted) and PUs
+    can crash mid-run. Failed tasks are retried with exponential
+    backoff in virtual time, excluding the worker that failed them
+    while another capable one exists; repeated failures drive the
+    {!health} state machine and quarantine the PU. When no eligible
+    worker remains for a task, the {!on_stranded} handler may supply
+    a replacement codelet/group — Cascabel uses this to re-run
+    preselection against a degraded PDL platform view so alternate
+    implementation variants take over. *)
+
+type stranded = {
+  sd_id : int;  (** task id (see {!submit_id}) *)
+  sd_codelet : Codelet.t;
+  sd_group : string option;
+  sd_attempt : int;
+}
+
+val on_stranded : t -> (stranded -> (Codelet.t * string option) option) -> unit
+(** Install the failover handler, called when a ready task has no
+    online eligible worker left. Returning [Some (codelet, group)]
+    re-targets the task (clearing its exclusions) and re-dispatches
+    it; [None] leaves it parked for {!set_online}/recovery. At most
+    two failovers are attempted per task. *)
+
+type fault_event = {
+  f_time : float;  (** virtual time *)
+  f_kind : string;
+      (** transient | retry | abandon | crash | reassign | suspect |
+          quarantine | readmit | slowdown | recover | failover *)
+  f_worker : string;  (** [""] when no worker is involved *)
+  f_task : int;  (** [-1] when no task is involved *)
+  f_detail : string;
+}
+
+val fault_log : t -> fault_event list
+(** Every fault-layer decision in virtual-time order; feeds the
+    dedicated "faults" lane of {!Trace_export}. *)
 
 type trace_event = {
   tr_task : string;

@@ -1,0 +1,149 @@
+type event =
+  | Crash of { pu : string; at : float }
+  | Slowdown of { pu : string; at : float; factor : float }
+  | Recover of { pu : string; at : float }
+
+type t = {
+  seed : int;
+  transient_rate : float;
+  max_transient : int;
+  retries : int;
+  backoff_s : float;
+  quarantine_after : int;
+  readmit_after : float option;
+  events : event list;
+}
+
+let none =
+  {
+    seed = 1;
+    transient_rate = 0.0;
+    max_transient = max_int;
+    retries = 3;
+    backoff_s = 1e-4;
+    quarantine_after = 3;
+    readmit_after = None;
+    events = [];
+  }
+
+(* --- transient rolls -------------------------------------------------- *)
+
+(* splitmix64: a full-period mixer whose outputs pass BigCrush; three
+   chained applications decorrelate seed, task and attempt so that
+   e.g. (seed, task+1) and (seed+1, task) never share a stream. *)
+let splitmix64 x =
+  let open Int64 in
+  let x = add x 0x9E3779B97F4A7C15L in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL in
+  logxor x (shift_right_logical x 31)
+
+let roll t ~task ~attempt =
+  t.transient_rate > 0.0
+  &&
+  let h = splitmix64 (Int64.of_int t.seed) in
+  let h = splitmix64 (Int64.logxor h (Int64.of_int task)) in
+  let h = splitmix64 (Int64.logxor h (Int64.of_int attempt)) in
+  (* Top 53 bits -> uniform float in [0, 1). *)
+  let u =
+    Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+  in
+  u < t.transient_rate
+
+(* --- spec grammar ----------------------------------------------------- *)
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let int_value key v =
+  match int_of_string_opt v with
+  | Some n when n >= 0 -> n
+  | _ -> fail "fault spec: %s expects a non-negative integer, got %S" key v
+
+let float_value key v =
+  match float_of_string_opt v with
+  | Some f when f >= 0.0 -> f
+  | _ -> fail "fault spec: %s expects a non-negative number, got %S" key v
+
+(* PU@T with T a float; the PU name may not contain '@'. *)
+let pu_at key v =
+  match String.index_opt v '@' with
+  | None -> fail "fault spec: %s expects PU@TIME, got %S" key v
+  | Some i ->
+      let pu = String.sub v 0 i in
+      let time = String.sub v (i + 1) (String.length v - i - 1) in
+      if pu = "" then fail "fault spec: %s has an empty PU name" key;
+      (pu, time)
+
+let parse_item t item =
+  match String.index_opt item '=' with
+  | None -> fail "fault spec: expected key=value, got %S" item
+  | Some i -> (
+      let key = String.sub item 0 i in
+      let v = String.sub item (i + 1) (String.length item - i - 1) in
+      match key with
+      | "seed" -> { t with seed = int_value key v }
+      | "transient" ->
+          let r = float_value key v in
+          if r > 1.0 then fail "fault spec: transient rate %g > 1" r;
+          { t with transient_rate = r }
+      | "max-transient" -> { t with max_transient = int_value key v }
+      | "retries" -> { t with retries = int_value key v }
+      | "backoff" -> { t with backoff_s = float_value key v }
+      | "quarantine" -> { t with quarantine_after = int_value key v }
+      | "readmit" -> { t with readmit_after = Some (float_value key v) }
+      | "crash" ->
+          let pu, time = pu_at key v in
+          { t with events = Crash { pu; at = float_value key time } :: t.events }
+      | "recover" ->
+          let pu, time = pu_at key v in
+          {
+            t with
+            events = Recover { pu; at = float_value key time } :: t.events;
+          }
+      | "slow" -> (
+          let pu, rest = pu_at key v in
+          (* TIMExFACTOR: floats contain no 'x'. *)
+          match String.index_opt rest 'x' with
+          | None -> fail "fault spec: slow expects PU@TIMExFACTOR, got %S" v
+          | Some i ->
+              let at = float_value key (String.sub rest 0 i) in
+              let factor =
+                float_value key
+                  (String.sub rest (i + 1) (String.length rest - i - 1))
+              in
+              if factor = 0.0 then fail "fault spec: slow factor must be > 0";
+              { t with events = Slowdown { pu; at; factor } :: t.events })
+      | _ -> fail "fault spec: unknown key %S" key)
+
+let parse s =
+  let s = String.trim s in
+  if s = "" || s = "none" then Ok none
+  else
+    match
+      List.fold_left parse_item none
+        (String.split_on_char ',' s |> List.map String.trim
+        |> List.filter (fun x -> x <> ""))
+    with
+    | t -> Ok { t with events = List.rev t.events }
+    | exception Failure msg -> Error msg
+
+let to_string t =
+  let items = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> items := s :: !items) fmt in
+  if t.seed <> none.seed then add "seed=%d" t.seed;
+  if t.transient_rate <> none.transient_rate then
+    add "transient=%g" t.transient_rate;
+  if t.max_transient <> none.max_transient then
+    add "max-transient=%d" t.max_transient;
+  if t.retries <> none.retries then add "retries=%d" t.retries;
+  if t.backoff_s <> none.backoff_s then add "backoff=%g" t.backoff_s;
+  if t.quarantine_after <> none.quarantine_after then
+    add "quarantine=%d" t.quarantine_after;
+  (match t.readmit_after with Some s -> add "readmit=%g" s | None -> ());
+  List.iter
+    (function
+      | Crash { pu; at } -> add "crash=%s@%g" pu at
+      | Slowdown { pu; at; factor } -> add "slow=%s@%gx%g" pu at factor
+      | Recover { pu; at } -> add "recover=%s@%g" pu at)
+    t.events;
+  match List.rev !items with [] -> "none" | items -> String.concat "," items

@@ -1,0 +1,71 @@
+(** Deterministic seeded fault model for the task engine.
+
+    The paper's platform descriptors promise adaptation to {e changing}
+    platform conditions; this module supplies the changes. A fault
+    configuration combines
+
+    - a {e transient} failure process: every task attempt rolls a
+      pseudo-random hash of [(seed, task id, attempt)] against
+      [transient_rate] — the attempt's kernel is dropped and the task
+      is retried with exponential backoff in virtual time;
+    - {e timed events}: permanent PU crashes, throughput slowdowns and
+      recoveries pinned to virtual times, so a scenario is replayable
+      bit-for-bit on any host.
+
+    Everything is pure and deterministic: the same spec produces the
+    same failures regardless of wall-clock, host or domain count. *)
+
+type event =
+  | Crash of { pu : string; at : float }
+      (** The PU's workers go offline at virtual time [at]; their
+          in-flight tasks are reassigned. *)
+  | Slowdown of { pu : string; at : float; factor : float }
+      (** Multiply the PU's modeled throughput by [factor] at [at]. *)
+  | Recover of { pu : string; at : float }
+      (** Bring a crashed or quarantined PU back online at [at]. *)
+
+type t = {
+  seed : int;  (** stream selector for transient rolls *)
+  transient_rate : float;  (** per-attempt failure probability in [0,1] *)
+  max_transient : int;  (** cap on injected transient failures *)
+  retries : int;  (** per-task retry budget *)
+  backoff_s : float;  (** base of the exponential backoff, virtual s *)
+  quarantine_after : int;  (** failures before a PU is quarantined; 0 = never *)
+  readmit_after : float option;
+      (** virtual seconds after which a quarantined (not crashed) PU is
+          re-admitted for another chance *)
+  events : event list;
+}
+
+val none : t
+(** No transient failures, no events; the defaults every other spec
+    starts from ([seed=1], [retries=3], [backoff=1e-4],
+    [quarantine_after=3], no readmission). *)
+
+val roll : t -> task:int -> attempt:int -> bool
+(** Does this attempt suffer a transient failure? Pure hash of
+    [(seed, task, attempt)]; the engine enforces [max_transient]. *)
+
+val parse : string -> (t, string) result
+(** Parse a fault spec: comma-separated [key=value] items.
+
+    {v
+    seed=N            transient-roll stream          (default 1)
+    transient=R       per-attempt failure rate       (default 0)
+    max-transient=N   cap on injected failures       (default unlimited)
+    retries=N         per-task retry budget          (default 3)
+    backoff=S         backoff base, virtual seconds  (default 1e-4)
+    quarantine=N      failures to quarantine a PU; 0 disables (default 3)
+    readmit=S         re-admit a quarantined PU after S virtual seconds
+    crash=PU@T        crash PU at virtual time T     (repeatable)
+    slow=PU@TxF       multiply PU throughput by F at time T
+    recover=PU@T      bring PU back at time T
+    v}
+
+    [""] and ["none"] parse to {!none}. PU names may be PDL PU ids
+    (matching every expanded worker, e.g. [cpu-cores]) or single
+    worker names (e.g. [gpu0]). *)
+
+val to_string : t -> string
+(** Render back to the {!parse} grammar (["none"] for {!none});
+    [parse (to_string t)] round-trips. *)

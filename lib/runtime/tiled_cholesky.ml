@@ -136,19 +136,20 @@ let finish rt ~n ~ha ~materialize =
        else 0.0);
   }
 
-let run ?policy ?(tiles = 4) ?(configure = ignore) ?pool cfg (a : Matrix.t) =
+let run ?policy ?(tiles = 4) ?(configure = ignore) ?pool ?faults cfg
+    (a : Matrix.t) =
   if a.rows <> a.cols then invalid_arg "Tiled_cholesky.run: not square";
   if tiles < 1 || tiles > a.rows then invalid_arg "Tiled_cholesky.run: bad tiles";
-  let rt = Engine.create ?policy ?pool cfg in
+  let rt = Engine.create ?policy ?pool ?faults cfg in
   let ha = Data.register_matrix ~name:"A" (Matrix.copy a) in
   let grid = Data.partition_tiles ha ~rows:tiles ~cols:tiles in
   submit_graph rt cfg tiles grid;
   configure rt;
   finish rt ~n:a.rows ~ha ~materialize:true
 
-let run_model ?policy ?(tiles = 8) ?(configure = ignore) cfg ~n =
+let run_model ?policy ?(tiles = 8) ?(configure = ignore) ?faults cfg ~n =
   if tiles < 1 || tiles > n then invalid_arg "Tiled_cholesky.run_model: bad tiles";
-  let rt = Engine.create ?policy ~execute_kernels:false cfg in
+  let rt = Engine.create ?policy ~execute_kernels:false ?faults cfg in
   let ha = Data.register_virtual ~name:"A" ~rows:n ~cols:n () in
   let grid = Data.partition_tiles ha ~rows:tiles ~cols:tiles in
   submit_graph rt cfg tiles grid;

@@ -21,6 +21,7 @@ val run :
   ?tiles:int ->
   ?configure:(Engine.t -> unit) ->
   ?pool:Kernels.Domain_pool.t ->
+  ?faults:Fault.t ->
   Machine_config.t ->
   Kernels.Matrix.t ->
   result
@@ -29,12 +30,13 @@ val run :
     [l * l^T ~ a]. [configure] runs on the engine after submission
     and before execution — the place to schedule dynamic-resource
     events ({!Engine.at}). [pool] is forwarded to {!Engine.create}
-    so the tile kernels run on real domains.
+    so the tile kernels run on real domains; [faults] injects a
+    deterministic failure schedule.
     @raise Kernels.Lapack.Not_positive_definite as the kernels do. *)
 
 val run_model :
   ?policy:Engine.policy -> ?tiles:int -> ?configure:(Engine.t -> unit) ->
-  Machine_config.t -> n:int -> result
+  ?faults:Fault.t -> Machine_config.t -> n:int -> result
 (** Timing model only (virtual handles, no kernel execution). *)
 
 val flops : int -> float

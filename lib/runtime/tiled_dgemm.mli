@@ -26,12 +26,16 @@ val run :
   ?tiles:int ->
   ?group:string ->
   ?pool:Kernels.Domain_pool.t ->
+  ?faults:Fault.t ->
   Machine_config.t ->
   a:Kernels.Matrix.t ->
   b:Kernels.Matrix.t ->
   result
 (** [pool] is forwarded to {!Engine.create} so the per-tile dgemm
-    kernels run on real domains.
+    kernels run on real domains; [faults] likewise (transient
+    failures drop the attempt's kernel, so the result stays
+    bit-identical to a fault-free run as long as every task
+    eventually completes).
     @raise Invalid_argument on shape mismatch or [tiles] exceeding
     the matrix dimensions. *)
 
@@ -40,6 +44,7 @@ val run_model :
   ?tiles:int ->
   ?group:string ->
   ?dispatch_overhead_us:float ->
+  ?faults:Fault.t ->
   Machine_config.t ->
   n:int ->
   result

@@ -31,7 +31,7 @@ let us t = t *. 1e6
    (no enclosing brackets); pid 0 is the simulator, leaving
    [Obs.Export.wall_pid] free for the wall-clock telemetry process
    when both are merged into one file. *)
-let chrome_body events =
+let chrome_body ?(faults = []) events =
   let table = lanes events in
   let buf = Buffer.create 1024 in
   let first = ref true in
@@ -73,12 +73,39 @@ let chrome_body events =
         tid
         (json_escape e.tr_codelet))
     events;
+  (* Fault-layer decisions land on their own lane as instant events,
+     after the worker lanes. *)
+  if faults <> [] then begin
+    let fault_tid = Hashtbl.length table in
+    emit
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\
+       \"args\":{\"name\":\"faults\"}}"
+      fault_tid;
+    List.iter
+      (fun (f : Engine.fault_event) ->
+        emit
+          "{\"name\":\"%s\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+           \"ts\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"detail\":\"%s\"}}"
+          (json_escape f.f_kind) (us f.f_time) fault_tid
+          (json_escape
+             (String.concat " "
+                (List.filter
+                   (fun s -> s <> "")
+                   [
+                     f.f_worker;
+                     (if f.f_task >= 0 then Printf.sprintf "t%d" f.f_task
+                      else "");
+                     f.f_detail;
+                   ]))))
+      faults
+  end;
   Buffer.contents buf
 
-let to_chrome_json events = "{\"traceEvents\":[" ^ chrome_body events ^ "]}"
+let to_chrome_json ?faults events =
+  "{\"traceEvents\":[" ^ chrome_body ?faults events ^ "]}"
 
-let to_chrome_json_combined events =
-  let virt = chrome_body events in
+let to_chrome_json_combined ?faults events =
+  let virt = chrome_body ?faults events in
   let wall = Obs.Export.chrome_body () in
   let sep = if virt <> "" && wall <> "" then "," else "" in
   "{\"traceEvents\":[" ^ virt ^ sep ^ wall ^ "]}"
@@ -160,14 +187,14 @@ let summary events =
               !transfer (!bytes /. 1e6)));
   Buffer.contents buf
 
-let write_chrome path events =
+let write_chrome ?faults path events =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_chrome_json events))
+    (fun () -> output_string oc (to_chrome_json ?faults events))
 
-let write_chrome_combined path events =
+let write_chrome_combined ?faults path events =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_chrome_json_combined events))
+    (fun () -> output_string oc (to_chrome_json_combined ?faults events))

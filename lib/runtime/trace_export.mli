@@ -6,11 +6,16 @@
     per-codelet text summary. Virtual times are exported in
     microseconds. *)
 
-val to_chrome_json : Engine.trace_event list -> string
+val to_chrome_json :
+  ?faults:Engine.fault_event list -> Engine.trace_event list -> string
 (** Complete-event ("ph":"X") records, one lane per worker; transfer
-    phases are emitted as separate events when a task moved bytes. *)
+    phases are emitted as separate events when a task moved bytes.
+    [faults] (see {!Engine.fault_log}) adds a dedicated "faults" lane
+    of instant events — crashes, retries, quarantines, failovers —
+    after the worker lanes. *)
 
-val to_chrome_json_combined : Engine.trace_event list -> string
+val to_chrome_json_combined :
+  ?faults:Engine.fault_event list -> Engine.trace_event list -> string
 (** The virtual timeline (pid 0) merged with the wall-clock telemetry
     spans recorded by {!Obs} (pid {!Obs.Export.wall_pid}) in one
     document, so Perfetto shows both processes side by side. *)
@@ -24,8 +29,10 @@ val summary : Engine.trace_event list -> string
 (** Per-codelet aggregate: count, total/mean compute seconds,
     p50/p95 compute latency, total transfer seconds, bytes moved. *)
 
-val write_chrome : string -> Engine.trace_event list -> unit
+val write_chrome :
+  ?faults:Engine.fault_event list -> string -> Engine.trace_event list -> unit
 (** Write the JSON to a file. *)
 
-val write_chrome_combined : string -> Engine.trace_event list -> unit
+val write_chrome_combined :
+  ?faults:Engine.fault_event list -> string -> Engine.trace_event list -> unit
 (** [write_chrome] for {!to_chrome_json_combined}. *)

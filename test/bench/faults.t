@@ -1,0 +1,33 @@
+The fault-tolerance subsystem's deterministic smoke mode: the spec
+grammar round-trips; transient failures retry to completion; a mid-run
+PU crash reassigns the in-flight task and quarantines the PU; a tiled
+DGEMM under crash + transients stays bit-identical to the clean run;
+an exhausted retry budget surfaces as a structured Stuck report; the
+zero-rate fault layer perturbs nothing; and crashing every GPU of a
+pinned execution group triggers the PDL-driven failover to the x86
+variant.  Everything runs in virtual time, so the output is exact.
+
+  $ ../../bench/main.exe faults smoke
+  faults: spec parses and round-trips                  ok
+  faults: transient retries complete the task          ok
+  faults: crash mid-run reassigns and completes        ok
+  faults: dgemm bit-identical under crash + transients ok
+  faults: exhausted budget reported stuck              ok
+  faults: zero-rate layer is bit-identical             ok
+  faults: gpu crash fails over to cpu variant          ok
+  faults: failover recorded in the report log          ok
+  faults: crashed gpus quarantined                     ok
+  faults: trace carries the fault lane                 ok
+  faults: all checks passed
+
+The failover run left a Chrome trace behind whose fault lane records
+the two crashes and the failovers:
+
+  $ head -c 16 faults_trace.json
+  {"traceEvents":[
+  $ grep -o '"name":"crash"' faults_trace.json | wc -l | tr -d ' '
+  2
+  $ grep -q '"name":"failover"' faults_trace.json && echo has-failover
+  has-failover
+  $ grep -q '"detail":"gpu0"' faults_trace.json && echo names-the-quarantined-pu
+  names-the-quarantined-pu

@@ -251,6 +251,41 @@ let domain_pool_tests =
                 hits.(i) <- 1);
             check bool_ "usable after failure" true
               (Array.for_all (fun h -> h = 1) hits)));
+    Alcotest.test_case "repeated failures never poison the pool" `Quick
+      (fun () ->
+        (* The failure path must leave the workers parked and the job
+           slot clean at every pool width, round after round. *)
+        List.iter
+          (fun num_domains ->
+            Domain_pool.with_pool ~num_domains (fun pool ->
+                for round = 1 to 3 do
+                  (match
+                     Domain_pool.parallel_for pool ~lo:0 ~hi:1_000 (fun i ->
+                         if i mod 97 = 0 then raise Exit)
+                   with
+                  | () -> Alcotest.fail "expected Exit"
+                  | exception Exit -> ());
+                  let n = 256 in
+                  let hits = Array.make n 0 in
+                  Domain_pool.parallel_for pool ~lo:0 ~hi:n (fun i ->
+                      hits.(i) <- hits.(i) + 1);
+                  check bool_
+                    (Printf.sprintf "domains=%d round %d clean" num_domains
+                       round)
+                    true
+                    (Array.for_all (fun h -> h = 1) hits)
+                done))
+          [ 1; 2; 4 ]);
+    Alcotest.test_case "exception identity and payload survive the domains"
+      `Quick (fun () ->
+        let exception Boom of int in
+        Domain_pool.with_pool ~num_domains:3 (fun pool ->
+            match
+              Domain_pool.parallel_for pool ~lo:0 ~hi:1_000 (fun i ->
+                  if i = 777 then raise (Boom i))
+            with
+            | () -> Alcotest.fail "expected Boom"
+            | exception Boom i -> check int_ "payload intact" 777 i));
     Alcotest.test_case "nested parallel_for runs inline" `Quick (fun () ->
         Domain_pool.with_pool ~num_domains:2 (fun pool ->
             let outer = 8 and inner = 64 in

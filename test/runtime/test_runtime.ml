@@ -648,15 +648,24 @@ let dynamic_tests =
         Engine.submit rt cl [ (h, Codelet.RW) ];
         match Engine.wait_all rt with
         | _ -> Alcotest.fail "expected stuck-task failure"
-        | exception Failure msg ->
-            check bool_ "mentions stuck" true
-              (let nn = "stuck" in
+        | exception Engine.Stuck [ st ] ->
+            check int_ "the one task" 0 st.Engine.st_id;
+            check string_ "its codelet" "g" st.Engine.st_codelet;
+            check string_ "ready but unplaceable" "ready" st.Engine.st_state;
+            check (Alcotest.list int_) "no unmet deps" [] st.Engine.st_unmet_deps;
+            check bool_ "printer mentions stuck" true
+              (let msg = Engine.stuck_to_string [ st ] in
+               let nn = "stuck" in
                let nh = String.length msg in
                let rec go i =
                  i + String.length nn <= nh
                  && (String.sub msg i (String.length nn) = nn || go (i + 1))
                in
-               go 0));
+               go 0)
+        | exception Engine.Stuck l ->
+            Alcotest.fail
+              (Printf.sprintf "expected exactly one stuck task, got %d"
+                 (List.length l)));
     Alcotest.test_case "DVFS throttling slows a worker down" `Quick
       (fun () ->
         let run gflops =
@@ -1312,6 +1321,321 @@ let pool_engine_tests =
         check string_ "slow worker avoided" "w1" probe_ev.Engine.tr_worker);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection, retry, quarantine, failover                        *)
+
+let total_run (stats : Engine.stats) =
+  Array.fold_left (fun acc ws -> acc + ws.Engine.tasks_run) 0 stats.worker_stats
+
+let by_name (stats : Engine.stats) n =
+  Array.to_list stats.worker_stats
+  |> List.find (fun ws -> ws.Engine.ws_worker.Machine_config.w_name = n)
+
+let faults_of spec =
+  match Fault.parse spec with
+  | Ok f -> f
+  | Error e -> Alcotest.fail ("bad fault spec in test: " ^ e)
+
+let fault_tests =
+  [
+    Alcotest.test_case "spec parses, round-trips, and rejects garbage" `Quick
+      (fun () ->
+        check bool_ "empty is none" true (Fault.parse "" = Ok Fault.none);
+        check bool_ "'none' is none" true (Fault.parse "none" = Ok Fault.none);
+        let spec =
+          "seed=7,transient=0.25,max-transient=9,retries=5,backoff=0.001,\
+           quarantine=2,readmit=0.5,crash=gpu0@1.5,slow=cpu-cores@2x0.5,\
+           recover=gpu0@3"
+        in
+        let f = faults_of spec in
+        check int_ "seed" 7 f.Fault.seed;
+        check (float_ 0.0) "rate" 0.25 f.Fault.transient_rate;
+        check int_ "events" 3 (List.length f.Fault.events);
+        check bool_ "round-trip" true
+          (Fault.parse (Fault.to_string f) = Ok f);
+        List.iter
+          (fun bad ->
+            match Fault.parse bad with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail ("accepted bad spec: " ^ bad))
+          [
+            "transient=2"; "bogus=1"; "crash=gpu0"; "slow=gpu0@1";
+            "retries=-1"; "seed="; "quarantine=x";
+          ]);
+    Alcotest.test_case "transient roll is a pure function of the triple" `Quick
+      (fun () ->
+        let f = { Fault.none with Fault.transient_rate = 0.5 } in
+        let r1 = Fault.roll f ~task:3 ~attempt:1 in
+        let r2 = Fault.roll f ~task:3 ~attempt:1 in
+        check bool_ "replayable" true (r1 = r2);
+        check bool_ "rate 0 never fires" false
+          (Fault.roll Fault.none ~task:3 ~attempt:1);
+        (* ~half of 1000 attempts should fail at rate 0.5 *)
+        let hits = ref 0 in
+        for task = 0 to 999 do
+          if Fault.roll f ~task ~attempt:1 then incr hits
+        done;
+        check bool_ "roughly the configured rate" true
+          (!hits > 400 && !hits < 600));
+    Alcotest.test_case "transient failures retry until success" `Quick
+      (fun () ->
+        let faults = faults_of "transient=1.0,max-transient=2,retries=5" in
+        let rt = Engine.create ~policy:Engine.Eager ~faults (smp_cfg ()) in
+        let cl = Codelet.noop ~name:"unit" ~flops:9.5e9 ~archs:[ "cpu" ] in
+        let h = Data.register_matrix (Matrix.create 1 1) in
+        Engine.submit rt cl [ (h, Codelet.RW) ];
+        let stats = Engine.wait_all rt in
+        check int_ "completed exactly once" 1 (total_run stats);
+        check int_ "two failures injected" 2 stats.failures_injected;
+        check int_ "two retries" 2 stats.retries;
+        check int_ "none abandoned" 0 stats.abandoned;
+        (* each attempt costs ~1s of virtual time *)
+        check bool_ "three attempts of work" true (stats.makespan > 2.9);
+        check bool_ "failing workers marked suspect" true
+          (Engine.worker_health rt ~worker:"cpu-cores#0" = Engine.Suspect);
+        let kinds =
+          List.map (fun ev -> ev.Engine.f_kind) (Engine.fault_log rt)
+        in
+        check (Alcotest.list string_) "log tells the story"
+          [ "transient"; "suspect"; "retry"; "transient"; "suspect"; "retry" ]
+          kinds);
+    Alcotest.test_case "exhausted retry budget reports the task stuck" `Quick
+      (fun () ->
+        let faults = faults_of "transient=1.0,retries=0" in
+        let rt = Engine.create ~faults (smp_cfg ()) in
+        let cl = Codelet.noop ~name:"doomed" ~flops:1e9 ~archs:[ "cpu" ] in
+        let h = Data.register_matrix (Matrix.create 1 1) in
+        Engine.submit rt cl [ (h, Codelet.RW) ];
+        match Engine.wait_all rt with
+        | _ -> Alcotest.fail "expected Stuck"
+        | exception Engine.Stuck [ st ] ->
+            check string_ "abandoned task surfaces" "failed"
+              st.Engine.st_state;
+            check string_ "by name" "doomed" st.Engine.st_codelet);
+    Alcotest.test_case "repeated failures quarantine the PU" `Quick (fun () ->
+        let faults =
+          faults_of "transient=1.0,max-transient=2,retries=5,quarantine=1"
+        in
+        let rt = Engine.create ~policy:Engine.Eager ~faults (smp_cfg ()) in
+        let cl = Codelet.noop ~name:"unit" ~flops:9.5e9 ~archs:[ "cpu" ] in
+        let h = Data.register_matrix (Matrix.create 1 1) in
+        Engine.submit rt cl [ (h, Codelet.RW) ];
+        let stats = Engine.wait_all rt in
+        check int_ "completed" 1 (total_run stats);
+        check (Alcotest.list string_) "both failing workers quarantined"
+          [ "cpu-cores#0"; "cpu-cores#1" ]
+          stats.quarantined;
+        check bool_ "offline for good" true
+          (not (Engine.is_online rt ~worker:"cpu-cores#0")));
+    Alcotest.test_case "readmission gives a quarantined PU another chance"
+      `Quick (fun () ->
+        let faults =
+          faults_of
+            "transient=1.0,max-transient=1,retries=5,quarantine=1,readmit=0.5"
+        in
+        let rt = Engine.create ~policy:Engine.Eager ~faults (smp_cfg ()) in
+        let cl = Codelet.noop ~name:"unit" ~flops:9.5e9 ~archs:[ "cpu" ] in
+        let h = Data.register_matrix (Matrix.create 1 1) in
+        Engine.submit rt cl [ (h, Codelet.RW) ];
+        let stats = Engine.wait_all rt in
+        check int_ "completed" 1 (total_run stats);
+        check (Alcotest.list string_) "nothing quarantined at the end" []
+          stats.quarantined;
+        check bool_ "readmitted worker is back online" true
+          (Engine.is_online rt ~worker:"cpu-cores#0");
+        check bool_ "but on probation" true
+          (Engine.worker_health rt ~worker:"cpu-cores#0" = Engine.Suspect));
+    Alcotest.test_case "crash mid-run reassigns the in-flight task" `Quick
+      (fun () ->
+        let faults = faults_of "crash=cpu-cores#0@0.5" in
+        let rt = Engine.create ~policy:Engine.Eager ~faults (smp_cfg ()) in
+        let cl = Codelet.noop ~name:"unit" ~flops:9.5e9 ~archs:[ "cpu" ] in
+        for _ = 1 to 8 do
+          let h = Data.register_matrix (Matrix.create 1 1) in
+          Engine.submit rt cl [ (h, Codelet.RW) ]
+        done;
+        let stats = Engine.wait_all rt in
+        check int_ "all 8 completed" 8 (total_run stats);
+        check int_ "one reassignment" 1 stats.reassigned;
+        check int_ "the crashed worker finished nothing" 0
+          (by_name stats "cpu-cores#0").Engine.tasks_run;
+        check bool_ "crashed worker quarantined" true
+          (List.mem "cpu-cores#0" stats.quarantined);
+        (* the victim restarts from scratch on a survivor once one
+           frees up at ~1s *)
+        check bool_ "lost work redone" true (stats.makespan > 1.9);
+        check bool_ "no runaway" true (stats.makespan < 2.2));
+    Alcotest.test_case "recover brings a crashed worker back" `Quick (fun () ->
+        let faults = faults_of "crash=w0@0.5,recover=w0@0.6" in
+        let rt =
+          Engine.create ~policy:Engine.Eager ~faults
+            (two_worker_cfg ~g0:1.0 ~g1:1.0)
+        in
+        let cl = Codelet.noop ~name:"unit" ~flops:1e9 ~archs:[ "cpu" ] in
+        for _ = 1 to 3 do
+          let h = Data.register_matrix (Matrix.create 1 1) in
+          Engine.submit rt cl [ (h, Codelet.RW) ]
+        done;
+        let stats = Engine.wait_all rt in
+        check int_ "all 3 completed" 3 (total_run stats);
+        check int_ "crash reassigned the running task" 1 stats.reassigned;
+        check bool_ "w0 rejoined and worked" true
+          ((by_name stats "w0").Engine.tasks_run >= 1);
+        check bool_ "back online" true (Engine.is_online rt ~worker:"w0"));
+    Alcotest.test_case "slowdown event halves effective throughput" `Quick
+      (fun () ->
+        let run faults =
+          let rt = Engine.create ~policy:Engine.Eager ?faults (smp_cfg ()) in
+          let cl = Codelet.noop ~name:"unit" ~flops:9.5e9 ~archs:[ "cpu" ] in
+          let h = Data.register_matrix (Matrix.create 1 1) in
+          Engine.submit rt cl [ (h, Codelet.RW) ];
+          (Engine.wait_all rt).makespan
+        in
+        let normal = run None in
+        let slowed = run (Some (faults_of "slow=cpu-cores@0x0.5")) in
+        check (float_ 0.05) "half speed, double time" (2.0 *. normal) slowed);
+    Alcotest.test_case "crashing every worker of a group strands, failover \
+                        rescues" `Quick (fun () ->
+        let faults = faults_of "crash=gpu0@0.001,crash=gpu1@0.002" in
+        let rt = Engine.create ~policy:Engine.Eager ~faults (gpu_cfg ()) in
+        let gpu_cl = Codelet.noop ~name:"g" ~flops:1e10 ~archs:[ "gpu" ] in
+        let cpu_cl = Codelet.noop ~name:"g_cpu" ~flops:1e10 ~archs:[ "cpu" ] in
+        let strands = ref 0 in
+        Engine.on_stranded rt (fun sd ->
+            incr strands;
+            check string_ "the gpu codelet was stranded" "g"
+              sd.Engine.sd_codelet.Codelet.cl_name;
+            Some (cpu_cl, None));
+        for _ = 1 to 3 do
+          let h = Data.register_matrix (Matrix.create 1 1) in
+          Engine.submit rt gpu_cl [ (h, Codelet.RW) ]
+        done;
+        let stats = Engine.wait_all rt in
+        check int_ "all 3 completed" 3 (total_run stats);
+        check int_ "all 3 failed over" 3 stats.failovers;
+        check int_ "handler saw each task" 3 !strands;
+        check int_ "gpu0 finished nothing" 0
+          (by_name stats "gpu0").Engine.tasks_run;
+        check int_ "gpu1 finished nothing" 0
+          (by_name stats "gpu1").Engine.tasks_run;
+        check bool_ "both gpus quarantined" true
+          (List.mem "gpu0" stats.quarantined
+          && List.mem "gpu1" stats.quarantined));
+    Alcotest.test_case "explicit dependency cycles are reported stuck" `Quick
+      (fun () ->
+        let rt = Engine.create ~policy:Engine.Eager (smp_cfg ()) in
+        let cl = Codelet.noop ~name:"unit" ~flops:1e9 ~archs:[ "cpu" ] in
+        let h0 = Data.register_matrix (Matrix.create 1 1) in
+        let h1 = Data.register_matrix (Matrix.create 1 1) in
+        let t0 = Engine.submit_id rt cl [ (h0, Codelet.RW) ] in
+        let t1 = Engine.submit_id rt cl [ (h1, Codelet.RW) ] in
+        Engine.declare_dep rt ~task:t0 ~depends_on:t1;
+        Engine.declare_dep rt ~task:t1 ~depends_on:t0;
+        (match Engine.declare_dep rt ~task:t0 ~depends_on:t0 with
+        | _ -> Alcotest.fail "self-dependency accepted"
+        | exception Invalid_argument _ -> ());
+        match Engine.wait_all rt with
+        | _ -> Alcotest.fail "expected Stuck"
+        | exception Engine.Stuck [ s0; s1 ] ->
+            check int_ "first of the cycle" t0 s0.Engine.st_id;
+            check int_ "second of the cycle" t1 s1.Engine.st_id;
+            check string_ "waiting" "pending" s0.Engine.st_state;
+            check (Alcotest.list int_) "t0 waits on t1" [ t1 ]
+              s0.Engine.st_unmet_deps;
+            check (Alcotest.list int_) "t1 waits on t0" [ t0 ]
+              s1.Engine.st_unmet_deps
+        | exception Engine.Stuck l ->
+            Alcotest.fail
+              (Printf.sprintf "expected the 2-cycle, got %d stuck tasks"
+                 (List.length l)));
+    Alcotest.test_case "explicit deps order execution when acyclic" `Quick
+      (fun () ->
+        let rt = Engine.create ~policy:Engine.Eager (smp_cfg ()) in
+        let cl = Codelet.noop ~name:"unit" ~flops:9.5e9 ~archs:[ "cpu" ] in
+        let h0 = Data.register_matrix (Matrix.create 1 1) in
+        let h1 = Data.register_matrix (Matrix.create 1 1) in
+        let t0 = Engine.submit_id rt cl [ (h0, Codelet.RW) ] in
+        let t1 = Engine.submit_id rt cl [ (h1, Codelet.RW) ] in
+        (* independent data, but t1 must wait for t0 anyway *)
+        Engine.declare_dep rt ~task:t1 ~depends_on:t0;
+        let stats = Engine.wait_all rt in
+        check int_ "both ran" 2 (total_run stats);
+        check bool_ "serialized, not parallel" true (stats.makespan > 1.9));
+    Alcotest.test_case "identical specs replay identical schedules" `Quick
+      (fun () ->
+        let run () =
+          let faults = faults_of "seed=3,transient=0.3,retries=10" in
+          let rt = Engine.create ~policy:Engine.Heft ~faults (smp_cfg ()) in
+          let cl = Codelet.noop ~name:"unit" ~flops:2e9 ~archs:[ "cpu" ] in
+          for _ = 1 to 12 do
+            let h = Data.register_matrix (Matrix.create 1 1) in
+            Engine.submit rt cl [ (h, Codelet.RW) ]
+          done;
+          let stats = Engine.wait_all rt in
+          ( stats.makespan,
+            stats.failures_injected,
+            List.map (fun ev -> (ev.Engine.f_kind, ev.Engine.f_time))
+              (Engine.fault_log rt) )
+        in
+        let m1, f1, log1 = run () and m2, f2, log2 = run () in
+        check (float_ 0.0) "bit-identical makespan" m1 m2;
+        check int_ "same failures" f1 f2;
+        check bool_ "same fault log" true (log1 = log2);
+        check bool_ "faults actually fired" true (f1 > 0));
+    Alcotest.test_case "a zero-rate fault layer changes nothing" `Quick
+      (fun () ->
+        let base = Tiled_dgemm.run_model ~tiles:4 (smp_cfg ()) ~n:256 in
+        let guarded =
+          Tiled_dgemm.run_model ~tiles:4 ~faults:Fault.none (smp_cfg ())
+            ~n:256
+        in
+        check (float_ 0.0) "bit-identical makespan" base.stats.makespan
+          guarded.stats.makespan;
+        check int_ "same event count" base.stats.sim_events
+          guarded.stats.sim_events);
+    Alcotest.test_case "faulty cholesky still factors correctly" `Quick
+      (fun () ->
+        let n = 32 in
+        let a = Kernels.Lapack.random_spd ~seed:11 n in
+        let faults = faults_of "seed=5,transient=0.3,retries=20,quarantine=0" in
+        let result =
+          Tiled_cholesky.run ~policy:Engine.Heft ~tiles:4 ~faults (gpu_cfg ())
+            a
+        in
+        check bool_ "injection happened" true
+          (result.stats.failures_injected > 0);
+        check bool_ "still correct" true
+          (Kernels.Lapack.cholesky_residual ~a ~l:(Option.get result.l)
+          < 1e-8));
+  ]
+
+(* For any bounded-rate transient schedule with a generous retry
+   budget, every task completes and the result is bit-identical to
+   the fault-free run (failed attempts never execute their kernel). *)
+let fault_free_equivalence =
+  let a = Matrix.random ~seed:21 48 48 and b = Matrix.random ~seed:22 48 48 in
+  let clean =
+    lazy
+      (let r = Tiled_dgemm.run ~tiles:3 (smp_cfg ()) ~a ~b in
+       Option.get r.c)
+  in
+  QCheck.Test.make ~name:"faulty runs are bit-identical to fault-free runs"
+    ~count:15
+    QCheck.(pair (int_range 1 10000) (int_range 0 30))
+    (fun (seed, rate_pct) ->
+      let faults =
+        {
+          Fault.none with
+          Fault.seed;
+          transient_rate = float_of_int rate_pct /. 100.0;
+          retries = 50;
+          quarantine_after = 0;
+        }
+      in
+      let faulty = Tiled_dgemm.run ~tiles:3 ~faults (smp_cfg ()) ~a ~b in
+      faulty.stats.abandoned = 0
+      && Matrix.max_abs_diff (Lazy.force clean) (Option.get faulty.c) = 0.0)
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "taskrt"
@@ -1325,6 +1649,7 @@ let () =
       ("tiled_dgemm", dgemm_tests);
       ("tiled_cholesky", cholesky_tests);
       ("dynamic", dynamic_tests);
+      ("faults", fault_tests);
       ("trace", trace_tests);
       ("timing", timing_tests);
       ("predict", predict_tests);
@@ -1333,7 +1658,7 @@ let () =
           [
             deterministic_sim; tiled_correct; group_invariant; busy_bounded;
             work_conservation; sim_time_seq_order; deque_take_first_model;
-            deque_steal_model;
+            deque_steal_model; fault_free_equivalence;
           ]
       );
     ]
