@@ -16,6 +16,7 @@
      par     real multicore kernels vs the domain pool (BENCH_par.json)
      kern    DGEMM kernel variants naive/blocked/packed (BENCH_kern.json)
      faults  fault injection: retry, quarantine, failover (BENCH_faults.json)
+     tune    calibrated cost models + GEMM autotuning (BENCH_tune.json)
      smoke   deterministic end-to-end pass for the cram test
      micro   Bechamel microbenchmarks of the toolchain itself *)
 
@@ -1155,6 +1156,223 @@ let faults_smoke () =
   print_endline "faults: all checks passed"
 
 (* ------------------------------------------------------------------ *)
+(* TUNE: measurement-driven cost models + GEMM block autotuning        *)
+
+module GT = Tune.Gemm_tune
+module GK = Kernels.Gemm_kernel
+
+(* A deliberately mis-declared platform: the descriptor still
+   advertises the GPUs' full DGEMM_THROUGHPUT, but the charged rate is
+   [tune_skew] times lower — the situation dmda-style calibration
+   exists for. *)
+let tune_skew = 4.0
+
+let tune_true_gflops cfg =
+  Array.to_list cfg.MC.workers
+  |> List.filter_map (fun (w : MC.worker) ->
+         if w.MC.w_arch = "gpu" then
+           Some (w.MC.w_name, w.MC.w_gflops /. tune_skew)
+         else None)
+
+(* Static HEFT trusts the (wrong) declared speeds; calibrated HEFT
+   schedules with the models learned from [passes] prior runs feeding
+   the store.  Everything is virtual time, so the comparison is exact
+   and deterministic. *)
+let tune_sched ~n ~tiles ~passes =
+  let platform = Option.get (Pdl_hwprobe.Zoo.find "xeon-2gpu") in
+  let cfg = MC.of_platform_exn platform in
+  let true_gflops = tune_true_gflops cfg in
+  let hash = Pdl.Codec.descriptor_hash platform in
+  let static =
+    (TD.run_model ~policy:Engine.Heft ~tiles ~true_gflops cfg ~n).TD.stats
+      .Engine.makespan
+  in
+  let store = Tune.Store.create ~pdl_hash:hash ~platform:"xeon-2gpu" () in
+  for _ = 1 to passes do
+    ignore
+      (TD.run_model ~policy:Engine.Heft ~tiles ~true_gflops ~tune:store cfg
+         ~n)
+  done;
+  let learned =
+    (TD.run_model ~policy:Engine.Heft ~tiles ~true_gflops ~tune:store cfg ~n)
+      .TD.stats.Engine.makespan
+  in
+  (static, learned, store)
+
+let tune_json path ~hash ~static_s ~learned_s ~improvement_pct ~samples
+    ~sched_ok (g : GT.result) =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"experiment\": \"tune\",\n";
+  Printf.fprintf oc "  \"pdl_hash\": %S,\n" hash;
+  Printf.fprintf oc
+    "  \"sched\": {\"platform\": \"xeon-2gpu\", \"skew\": %.1f, \
+     \"static_makespan_s\": %.6f, \"learned_makespan_s\": %.6f, \
+     \"improvement_pct\": %.1f, \"samples\": %d, \"guard_ok\": %b},\n"
+    tune_skew static_s learned_s improvement_pct samples sched_ok;
+  Printf.fprintf oc
+    "  \"gemm\": {\n    \"best\": %S,\n    \"best_gflops\": %.2f,\n    \
+     \"guard_ratio\": %.2f,\n    \"guard_ok\": %b,\n    \"sizes\": [\n"
+    (GT.blocking_to_string g.best)
+    g.best_gflops GT.guard_ratio g.guard_ok;
+  let pairs = List.combine g.baseline g.winner in
+  List.iteri
+    (fun i ((n, base_s), (_, win_s)) ->
+      Printf.fprintf oc
+        "      {\"n\": %d, \"baseline_s\": %.6f, \"winner_s\": %.6f, \
+         \"ratio\": %.3f}%s\n"
+        n base_s win_s (win_s /. base_s)
+        (if i = List.length pairs - 1 then "" else ","))
+    pairs;
+  Printf.fprintf oc "    ]\n  }\n}\n";
+  close_out oc
+
+let tune () =
+  header "TUNE  measurement-driven cost models (dmda) + GEMM autotuning";
+  (* (a) Scheduling: learned time models vs wrong declared speeds. *)
+  let n = 8192 and tiles = 8 and passes = 3 in
+  Printf.printf
+    "dgemm %d, %dx%d tiles on xeon-2gpu with GPUs actually %.0fx slower \
+     than declared\n\n"
+    n tiles tiles tune_skew;
+  let static_s, learned_s, store = tune_sched ~n ~tiles ~passes in
+  let improvement_pct = 100.0 *. (1.0 -. (learned_s /. static_s)) in
+  let sched_ok = learned_s <= static_s *. 0.95 in
+  Printf.printf "%-28s %12s\n" "scheduler" "makespan [s]";
+  Printf.printf "%-28s %12.3f\n" "heft/static (declared)" static_s;
+  Printf.printf "%-28s %12.3f\n" "heft/calibrated (learned)" learned_s;
+  Printf.printf "improvement %.1f%% (guard >= 5%%): %s   [%d samples]\n"
+    improvement_pct
+    (if sched_ok then "yes" else "NO")
+    (Tune.Store.total_samples store);
+  (* (b) GEMM blocking autotuning on the real packed kernel. *)
+  print_newline ();
+  let g : GT.result = GT.search () in
+  let sizes = GT.default_sizes in
+  Printf.printf "%-32s" "blocking (finalists)";
+  List.iter (fun n -> Printf.printf " %10s" (Printf.sprintf "n=%d [s]" n)) sizes;
+  print_newline ();
+  List.iter
+    (fun (t : GT.timing) ->
+      Printf.printf "%-32s" (GT.blocking_to_string t.t_blocking);
+      List.iter (fun (_, s) -> Printf.printf " %10.3f" s) t.t_secs;
+      print_newline ())
+    g.table;
+  Printf.printf
+    "\nwinner %s, %.1f GFLOP/s at n=%d; guard (<= %.2fx default per size): \
+     %s\n"
+    (GT.blocking_to_string g.best)
+    g.best_gflops
+    (List.fold_left max 0 sizes)
+    GT.guard_ratio
+    (if g.guard_ok then "yes" else "NO");
+  let hash = Tune.Store.pdl_hash store in
+  tune_json "BENCH_tune.json" ~hash ~static_s ~learned_s ~improvement_pct
+    ~samples:(Tune.Store.total_samples store) ~sched_ok g;
+  print_endline "wrote BENCH_tune.json";
+  if not (sched_ok && g.guard_ok) then exit 1
+
+(* Deterministic coverage of the whole calibration path for the cram
+   test: no wall-clock numbers in the output. *)
+let tune_smoke () =
+  let check name ok =
+    Printf.printf "%-52s %s\n" name (if ok then "ok" else "FAIL");
+    if not ok then exit 1
+  in
+  (* Learned models beat wrong declared speeds — virtual, exact. *)
+  let static_s, learned_s, store = tune_sched ~n:8192 ~tiles:8 ~passes:3 in
+  check "tune: calibrated heft beats static on skewed target"
+    (learned_s < static_s);
+  check "tune: improvement meets the 5% guard"
+    (learned_s <= static_s *. 0.95);
+  check "tune: store collected samples" (Tune.Store.total_samples store > 0);
+  (* Reruns of the same experiment are bit-identical. *)
+  let s2, l2, _ = tune_sched ~n:8192 ~tiles:8 ~passes:3 in
+  check "tune: cold rerun bit-identical (static, learned)"
+    (s2 = static_s && l2 = learned_s);
+  (* Persistence round-trip in a temp dir; corruption never crashes. *)
+  let dir = Filename.temp_file "tune_smoke" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Tune.Store.save ~dir store;
+  let loaded, warn =
+    Tune.Store.load ~dir
+      ~pdl_hash:(Tune.Store.pdl_hash store)
+      ~platform:(Tune.Store.platform store)
+      ()
+  in
+  check "tune: store round-trips without warning"
+    (warn = None
+    && Tune.Store.to_json_string loaded = Tune.Store.to_json_string store);
+  let store_path = Tune.Store.path ~dir store in
+  let oc = open_out store_path in
+  output_string oc "{ \"version\": 1, \"cells\": [ trunca";
+  close_out oc;
+  let cold, warn2 =
+    Tune.Store.load ~dir
+      ~pdl_hash:(Tune.Store.pdl_hash store)
+      ~platform:(Tune.Store.platform store)
+      ()
+  in
+  check "tune: corrupt store ignored with a warning"
+    (warn2 <> None && Tune.Store.total_samples cold = 0);
+  let alt_hash = "deadbeefdeadbeef" in
+  let alt = Filename.concat dir (Tune.Store.filename ~pdl_hash:alt_hash) in
+  let oc = open_out alt in
+  output_string oc (Tune.Store.to_json_string store);
+  close_out oc;
+  let cold2, warn3 =
+    Tune.Store.load ~dir ~pdl_hash:alt_hash ~platform:"other" ()
+  in
+  check "tune: hash-mismatched store ignored with a warning"
+    (warn3 <> None && Tune.Store.total_samples cold2 = 0);
+  Sys.remove store_path;
+  Sys.remove alt;
+  Unix.rmdir dir;
+  (* Warm-store execution is bit-identical to a cold run: placement
+     may differ, results must not. *)
+  (let a = Matrix.random ~seed:11 96 96 and b = Matrix.random ~seed:12 96 96 in
+   let cfg = cfg_of "xeon-2gpu" in
+   let cold_c =
+     Option.get (TD.run ~policy:Engine.Heft ~tiles:2 cfg ~a ~b).TD.c
+   in
+   let wstore = Tune.Store.create ~pdl_hash:"smoke" ~platform:"xeon-2gpu" () in
+   ignore (TD.run ~policy:Engine.Heft ~tiles:2 ~tune:wstore cfg ~a ~b);
+   let warm_c =
+     Option.get (TD.run ~policy:Engine.Heft ~tiles:2 ~tune:wstore cfg ~a ~b).TD.c
+   in
+   check "tune: warm-store dgemm bit-identical to cold"
+     (Matrix.max_abs_diff cold_c warm_c = 0.0));
+  (* The GEMM search machinery, pinned to one candidate so the
+     outcome is deterministic. *)
+  let g : GT.result =
+    GT.search ~sizes:[ 96 ] ~screen_size:96 ~reps:1
+      ~candidates:[ GK.default_blocking ] ()
+  in
+  check "tune: single-candidate search keeps the default"
+    (g.best = GK.default_blocking && g.guard_ok);
+  Tune.Store.set_gemm_config store
+    (GT.cfg_of_blocking ~gflops:g.best_gflops g.best);
+  check "tune: stored blocking applies" (GT.apply store);
+  check "tune: applied blocking is current"
+    (GK.current_blocking () = GK.default_blocking);
+  (* A non-default blocking and the portable micro-kernel still
+     compute the right answer through Blas.dgemm_packed. *)
+  (let a = Matrix.random ~seed:21 130 257
+   and b = Matrix.random ~seed:22 257 139 in
+   let c1 = Matrix.random ~seed:23 130 139 in
+   let c2 = Matrix.copy c1 and c3 = Matrix.copy c1 in
+   Blas.dgemm_naive ~alpha:1.5 ~beta:(-0.5) a b c1;
+   GK.set_blocking { GK.bmc = 96; bkc = 72; bnc = 120; bmicro = GK.Avx2 };
+   Blas.dgemm_packed ~alpha:1.5 ~beta:(-0.5) a b c2;
+   GK.set_blocking { GK.bmc = 96; bkc = 72; bnc = 120; bmicro = GK.Portable };
+   Blas.dgemm_packed ~alpha:1.5 ~beta:(-0.5) a b c3;
+   GK.reset_blocking ();
+   check "tune: odd blocking ~= naive (130x257x139)"
+     (Matrix.approx_equal c1 c2);
+   check "tune: portable micro-kernel ~= naive" (Matrix.approx_equal c1 c3));
+  print_endline "tune: all checks passed"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 
 let micro () =
@@ -1234,7 +1452,8 @@ let all =
     ("fig5", fig5); ("sweep", sweep); ("sched", sched); ("tile", tile);
     ("presel", presel); ("chol", chol); ("eng", eng);
     ("par", fun () -> par ()); ("kern", fun () -> kern ()); ("obs", obs_exp);
-    ("faults", faults_exp); ("smoke", smoke); ("micro", micro);
+    ("faults", faults_exp); ("tune", tune); ("smoke", smoke);
+    ("micro", micro);
   ]
 
 let parse_ints what s =
@@ -1273,6 +1492,7 @@ let () =
   | [ _; "kern"; sizes ] -> kern ~sizes:(parse_ints "size" sizes) ()
   | [ _; "obs"; "smoke" ] -> obs_smoke ()
   | [ _; "faults"; "smoke" ] -> faults_smoke ()
+  | [ _; "tune"; "smoke" ] -> tune_smoke ()
   | [ _; name ] -> (
       match List.assoc_opt name all with
       | Some f -> f ()
@@ -1284,7 +1504,7 @@ let () =
       prerr_endline
         "usage: main.exe [--trace FILE] [--metrics] \
          [fig5|sweep|sched|tile|presel|chol|eng|par [sizes [domains]]|kern \
-         [sizes|smoke]|obs [smoke]|faults [smoke]|smoke|micro]";
+         [sizes|smoke]|obs [smoke]|faults [smoke]|tune [smoke]|smoke|micro]";
       exit 1);
   Option.iter
     (fun path ->

@@ -217,8 +217,25 @@ let run_cmd =
              transient, max-transient, retries, backoff, quarantine, \
              readmit, crash=PU\\@T, slow=PU\\@TxF, recover=PU\\@T.")
   in
+  let tune_flag =
+    Arg.(
+      value & flag
+      & info [ "tune" ]
+          ~doc:
+            "Load the platform's calibration store \
+             (CALIB_<descriptor-hash>.json), schedule with its learned \
+             per-(codelet, PU, size) cost models where they have enough \
+             samples, feed observed task spans back, and save the store on \
+             exit.")
+  in
+  let tune_dir_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "tune-dir" ] ~docv:"DIR"
+          ~doc:"Directory holding the calibration store (default: cwd).")
+  in
   let run input pdl zoo repo_files serial policy blocks stats_flag trace_out
-      metrics faults_spec =
+      metrics faults_spec tune_flag tune_dir =
     let unit_ = or_die (parse_source input) in
     (* Telemetry costs one branch per probe when off; turn it on only
        when a sink was requested. *)
@@ -247,9 +264,24 @@ let run_cmd =
           (fun spec -> or_die (Taskrt.Fault.parse spec))
           faults_spec
       in
+      let tune =
+        if not tune_flag then None
+        else begin
+          let hash = Pdl.Codec.descriptor_hash platform in
+          let store, warning =
+            Tune.Store.load ~dir:tune_dir ~pdl_hash:hash
+              ~platform:platform.Pdl_model.Machine.pf_name ()
+          in
+          Option.iter (Printf.eprintf "# warning: %s\n") warning;
+          (* Tuned GEMM blocking rides in the same store; install it
+             so Blas.dgemm_packed picks it up transparently. *)
+          ignore (Tune.Gemm_tune.apply store);
+          Some (store, Tune.Store.total_samples store)
+        end
+      in
       match
-        Cascabel.Runnable.run ~policy ?blocks ?trace:trace_out ?faults ~repo
-          ~platform unit_
+        Cascabel.Runnable.run ~policy ?blocks ?trace:trace_out ?faults
+          ?tune:(Option.map fst tune) ~repo ~platform unit_
       with
       | Ok r ->
           print_string r.stdout;
@@ -275,8 +307,30 @@ let run_cmd =
                 Printf.eprintf "# quarantined: %s\n"
                   (String.concat ", " r.stats.quarantined);
               List.iter (Printf.eprintf "# failover: %s\n") r.failover_log
-            end
+            end;
+            match tune with
+            | Some (store, preloaded) ->
+                Printf.eprintf
+                  "# calibration: store %s, %d samples loaded, %d now\n"
+                  (Tune.Store.filename
+                     ~pdl_hash:(Tune.Store.pdl_hash store))
+                  preloaded
+                  (Tune.Store.total_samples store);
+                List.iter
+                  (fun (cs : Taskrt.Engine.cal_stat) ->
+                    Printf.eprintf
+                      "#   %-12s %d model hits, %d static fallbacks, %d \
+                       exploration picks\n"
+                      cs.Taskrt.Engine.cs_codelet
+                      cs.Taskrt.Engine.cs_model_hits
+                      cs.Taskrt.Engine.cs_static_fallbacks
+                      cs.Taskrt.Engine.cs_explorations)
+                  r.calibration
+            | None -> ()
           end;
+          Option.iter
+            (fun (store, _) -> Tune.Store.save ~dir:tune_dir store)
+            tune;
           if metrics then prerr_string (Obs.Export.prometheus ());
           r.exit_code
       | Error e ->
@@ -291,7 +345,8 @@ let run_cmd =
           descriptor.")
     Term.(
       const run $ input_arg $ pdl_arg $ zoo_arg $ repo_arg $ serial $ policy
-      $ blocks $ stats_flag $ trace_arg $ metrics_flag $ faults_arg)
+      $ blocks $ stats_flag $ trace_arg $ metrics_flag $ faults_arg
+      $ tune_flag $ tune_dir_arg)
 
 let () =
   let info =

@@ -82,6 +82,19 @@ let render_cmd =
     (Cmd.info "render" ~doc:"Pretty-print a platform as canonical PDL XML.")
     Term.(const run $ file_pos 0 "PDL file" $ zoo_arg)
 
+let hash_cmd =
+  let run file zoo =
+    let pf = or_die (load_or_zoo file zoo) in
+    print_endline (Pdl.Codec.descriptor_hash pf);
+    0
+  in
+  Cmd.v
+    (Cmd.info "hash"
+       ~doc:
+         "Print the canonical descriptor hash — the key under which \
+          calibration data (CALIB_<hash>.json) is stored.")
+    Term.(const run $ file_pos 0 "PDL file" $ zoo_arg)
+
 let query_cmd =
   let run file zoo path =
     let file, path = if zoo <> None then (None, file) else (file, path) in
@@ -285,6 +298,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            validate_cmd; render_cmd; query_cmd; groups_cmd; match_cmd;
-            diff_cmd; probe_cmd; view_cmd; zoo_cmd;
+            validate_cmd; render_cmd; hash_cmd; query_cmd; groups_cmd;
+            match_cmd; diff_cmd; probe_cmd; view_cmd; zoo_cmd;
           ]))

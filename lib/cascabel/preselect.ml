@@ -32,7 +32,7 @@ let judge platform (variant : Repository.variant) =
       { variant; matched = Some best;
         specificity = Pdl.Pattern.specificity best.Targets.pattern }
 
-let select_interface repo platform interface =
+let select_interface ?measured repo platform interface =
   match Repository.variants repo interface with
   | [] -> Error (Printf.sprintf "unknown task interface %S" interface)
   | variants ->
@@ -65,13 +65,34 @@ let select_interface repo platform interface =
                 | _ -> best)
               None verdicts
           in
-          Ok
-            {
-              sel_interface = interface;
-              verdicts;
-              kept;
-              chosen = Option.map (fun v -> v.variant) chosen;
-            }
+          let static_chosen = Option.map (fun v -> v.variant) chosen in
+          let chosen =
+            (* Measurement-driven override: when the calibration store
+               can price at least two kept variants, the predicted
+               fastest one wins over static specificity — pattern
+               matching decides what {e can} run, measurements decide
+               what {e should}. *)
+            match measured with
+            | None -> static_chosen
+            | Some score -> (
+                let scored =
+                  List.filter_map
+                    (fun v ->
+                      match score v with Some s -> Some (v, s) | None -> None)
+                    kept
+                in
+                match scored with
+                | [] | [ _ ] -> static_chosen
+                | first :: rest ->
+                    let best, _ =
+                      List.fold_left
+                        (fun (bv, bs) (v, s) ->
+                          if s < bs then (v, s) else (bv, bs))
+                        first rest
+                    in
+                    Some best)
+          in
+          Ok { sel_interface = interface; verdicts; kept; chosen }
 
 let select repo platform =
   let ( let* ) = Result.bind in

@@ -32,10 +32,18 @@ val select :
     must always compile for a Master PU), or when nothing matches. *)
 
 val select_interface :
+  ?measured:(Repository.variant -> float option) ->
   Repository.t ->
   Pdl_model.Machine.platform ->
   string ->
   (selection, string) result
+(** [measured] is the measurement-driven override: a predicted
+    execution time (seconds, lower is better) per kept variant,
+    typically derived from a calibration store.  When it can price at
+    least two kept variants, the predicted fastest becomes [chosen]
+    instead of the static specificity winner; with fewer than two
+    priced variants there is nothing to compare and the static choice
+    stands. *)
 
 type stats = { total : int; kept_count : int; pruned_count : int }
 

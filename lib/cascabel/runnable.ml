@@ -12,6 +12,7 @@ type report = {
   tasks_submitted : int;
   per_site_blocks : (string * int) list;
   failover_log : string list;
+  calibration : Engine.cal_stat list;
 }
 
 exception Abort of string
@@ -42,6 +43,7 @@ type ctx = {
   repo : Repository.t;
   platform : Pdl_model.Machine.platform;
   cfg : Machine_config.t;
+  tune : Tune.Store.t option;
   blocks_override : int option;
   handles : (int, tracked) Hashtbl.t;  (** interp buffer tag -> state *)
   mutable dirty : bool;  (** tasks submitted since the last drain *)
@@ -139,6 +141,33 @@ let run_variant ctx (v : Repository.variant) handles_spec handles =
       | _ -> ())
     param_values
 
+(* Measurement-driven preselection: price a variant as the fastest
+   learned estimate for (interface, PU) over the PUs whose arch class
+   the variant targets.  The store keys observations by codelet name —
+   the interface — so per-variant data exists exactly where variants
+   map to distinct architecture classes.  Priced at a fixed
+   representative size (1 Mflop): estimates scale near-linearly, so
+   the ordering is what matters. *)
+let preselect_flops = 1e6
+
+let measured_hook ctx interface =
+  Option.map
+    (fun store (v : Repository.variant) ->
+      let archs =
+        List.map (fun (t : Targets.t) -> t.Targets.arch_class) v.v_targets
+        |> List.sort_uniq compare
+      in
+      Array.to_list ctx.cfg.Machine_config.workers
+      |> List.filter_map (fun (w : Machine_config.worker) ->
+             if List.mem w.Machine_config.w_arch archs then
+               Tune.Store.estimate store ~codelet:interface
+                 ~pu:w.Machine_config.w_pu ~flops:preselect_flops
+             else None)
+      |> function
+      | [] -> None
+      | xs -> Some (List.fold_left Float.min infinity xs))
+    ctx.tune
+
 let codelet_for ctx (sel : Preselect.selection) ~interface ~handles_spec
     ~work_elements =
   (* arch class -> variant; later kept variants override (they are
@@ -196,7 +225,9 @@ let failover ctx (sd : Engine.stranded) =
         | Error _ -> None (* dropping the PUs breaks platform invariants *)
         | Ok degraded -> (
             match
-              Preselect.select_interface ctx.repo degraded meta.mi_interface
+              Preselect.select_interface
+                ?measured:(measured_hook ctx meta.mi_interface)
+                ctx.repo degraded meta.mi_interface
             with
             | Error _ -> None
             | Ok sel -> (
@@ -229,7 +260,11 @@ let on_execute ctx (annot : exec_annot) (f : func) argv =
     match Hashtbl.find_opt ctx.selections interface with
     | Some sel -> sel
     | None -> (
-        match Preselect.select_interface ctx.repo ctx.platform interface with
+        match
+          Preselect.select_interface
+            ?measured:(measured_hook ctx interface)
+            ctx.repo ctx.platform interface
+        with
         | Ok sel ->
             Hashtbl.replace ctx.selections interface sel;
             sel
@@ -419,14 +454,15 @@ let on_execute ctx (annot : exec_annot) (f : func) argv =
   ctx.site_blocks <- ctx.site_blocks @ [ (interface, blocks) ];
   Some Interp.VUnit
 
-let run ?policy ?blocks ?fuel ?trace ?faults ~repo ~platform unit_ =
+let run ?policy ?blocks ?fuel ?trace ?faults ?tune ?explore_eps ~repo
+    ~platform unit_ =
   match Machine_config.of_platform platform with
   | Error e -> Error e
   | Ok cfg -> (
       (match Repository.register_unit repo unit_ with
       | Ok _ -> ()
       | Error _ -> ());
-      let engine = Engine.create ?policy ?faults cfg in
+      let engine = Engine.create ?policy ?faults ?tune ?explore_eps cfg in
       let ctx_ref = ref None in
       let hooks =
         {
@@ -451,6 +487,7 @@ let run ?policy ?blocks ?fuel ?trace ?faults ~repo ~platform unit_ =
           repo;
           platform;
           cfg;
+          tune;
           blocks_override = blocks;
           handles = Hashtbl.create 8;
           dirty = false;
@@ -487,6 +524,7 @@ let run ?policy ?blocks ?fuel ?trace ?faults ~repo ~platform unit_ =
                   tasks_submitted = ctx.submitted;
                   per_site_blocks = ctx.site_blocks;
                   failover_log = ctx.failover_log;
+                  calibration = Engine.calibration engine;
                 }
           | exception Failure msg -> Error msg
           | exception Engine.Stuck stuck ->

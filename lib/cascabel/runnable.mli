@@ -32,6 +32,9 @@ type report = {
   failover_log : string list;
       (** one line per PDL-driven failover: which task was re-targeted
           to which variant under which degraded platform view *)
+  calibration : Taskrt.Engine.cal_stat list;
+      (** per-codelet estimate sources when a calibration store was
+          attached (model hits / static fallbacks / explorations) *)
 }
 
 val run :
@@ -40,6 +43,8 @@ val run :
   ?fuel:int ->
   ?trace:string ->
   ?faults:Taskrt.Fault.t ->
+  ?tune:Tune.Store.t ->
+  ?explore_eps:float ->
   repo:Repository.t ->
   platform:Pdl_model.Machine.platform ->
   Minic.Ast.unit_ ->
@@ -58,7 +63,13 @@ val run :
     derived with {!Pdl.View.drop_pu} for every fully-offline PU,
     pre-selection is re-run against it, and the surviving repository
     variants take over — with the group restriction lifted. Each such
-    event is recorded in [failover_log]. *)
+    event is recorded in [failover_log].
+
+    [tune] attaches a calibration store (see {!Taskrt.Engine.create}):
+    Heft placements consult the learned per-(codelet, PU, size-bucket)
+    models, every completed task feeds its measured span back, and
+    [explore_eps] controls the deterministic epsilon-greedy sampling
+    of cold variants. The caller persists the store afterwards. *)
 
 val run_serial : ?fuel:int -> Minic.Ast.unit_ -> (int * string, string) result
 (** The untranslated baseline: interpret the program with execute

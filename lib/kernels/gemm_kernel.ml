@@ -26,6 +26,31 @@ let mc = 128
 let kc = 256
 let nc = 1024
 
+type micro = Avx2 | Portable
+
+let micro_to_string = function Avx2 -> "avx2" | Portable -> "portable"
+
+let micro_of_string = function
+  | "avx2" -> Some Avx2
+  | "portable" -> Some Portable
+  | _ -> None
+
+type blocking = { bmc : int; bkc : int; bnc : int; bmicro : micro }
+
+let default_blocking = { bmc = mc; bkc = kc; bnc = nc; bmicro = Avx2 }
+
+(* Single-writer: the tuner (or CLI startup) sets this before any
+   compute; concurrent panel workers only read it. *)
+let blocking = ref default_blocking
+
+let set_blocking b =
+  if b.bmc <= 0 || b.bkc <= 0 || b.bnc <= 0 then
+    invalid_arg "Gemm_kernel.set_blocking: blocks must be positive";
+  blocking := b
+
+let current_blocking () = !blocking
+let reset_blocking () = blocking := default_blocking
+
 (* Minimum 2mnk flops before a pool is worth one parallel_for. *)
 let par_flop_threshold = 1e6
 
@@ -42,6 +67,46 @@ external macro_kernel :
   int ->
   unit = "cas_dgemm_macro_bytecode" "cas_dgemm_macro"
 [@@noalloc]
+
+(* Same loop structure and summation order as [dgemm_macro] in
+   dgemm_stubs.c, in plain OCaml — the autotuner's portable candidate
+   for hosts where the vectorized stub loses, and a reference
+   implementation for cross-checking it. *)
+let portable_macro mcc ncc kcc alpha beta (ap : Matrix.buf) (bp : Matrix.buf)
+    (c : Matrix.buf) coff ldc =
+  let acc = Array.make (mr * nr) 0.0 in
+  let jr = ref 0 in
+  while !jr < ncc do
+    let nrr = min nr (ncc - !jr) in
+    let bbase = !jr * kcc in
+    let ir = ref 0 in
+    while !ir < mcc do
+      let mrr = min mr (mcc - !ir) in
+      let abase = !ir * kcc in
+      Array.fill acc 0 (mr * nr) 0.0;
+      for l = 0 to kcc - 1 do
+        let ao = abase + (l * mr) and bo = bbase + (l * nr) in
+        for i = 0 to mr - 1 do
+          let ai = BA1.unsafe_get ap (ao + i) in
+          let row = i * nr in
+          for j = 0 to nr - 1 do
+            Array.unsafe_set acc (row + j)
+              (Array.unsafe_get acc (row + j)
+              +. (ai *. BA1.unsafe_get bp (bo + j)))
+          done
+        done
+      done;
+      for i = 0 to mrr - 1 do
+        let cb = coff + ((!ir + i) * ldc) + !jr in
+        for j = 0 to nrr - 1 do
+          BA1.unsafe_set c (cb + j)
+            ((alpha *. acc.((i * nr) + j)) +. (beta *. BA1.unsafe_get c (cb + j)))
+        done
+      done;
+      ir := !ir + mr
+    done;
+    jr := !jr + nr
+  done
 
 type bufs = { mutable ap : Matrix.buf; mutable bp : Matrix.buf }
 
@@ -153,10 +218,17 @@ let gemm ?pool ~trans_b ~m ~n ~k ~alpha ~beta ~(a : Matrix.buf) ~aoff ~lda
   if m <= 0 || n <= 0 then ()
   else if k <= 0 || alpha = 0.0 then scale_c ~m ~n ~beta ~c ~coff ~ldc
   else begin
+    (* Snapshot the active blocking once so a concurrent set_blocking
+       cannot tear a call; the module constants are shadowed on
+       purpose. *)
+    let { bmc = mc; bkc = kc; bnc = nc; bmicro } = !blocking in
+    let run_macro =
+      match bmicro with Avx2 -> macro_kernel | Portable -> portable_macro
+    in
     let pack = if trans_b then pack_b_trans else pack_b in
     let kc_used = min k kc in
     let nc_used = min n nc in
-    let ap_len = mc * kc_used in
+    let ap_len = (mc + mr - 1) / mr * mr * kc_used in
     let bp_len = kc_used * ((nc_used + nr - 1) / nr * nr) in
     let panel p =
       let bufs = get_bufs ~ap_len ~bp_len in
@@ -180,7 +252,7 @@ let gemm ?pool ~trans_b ~m ~n ~k ~alpha ~beta ~(a : Matrix.buf) ~aoff ~lda
           Obs.Span.record ~cat:"gemm" ~name:"pack_b" sp;
           Obs.Counter.add c_bytes_packed (8 * kcc * ncc);
           let sp = Obs.Span.start () in
-          macro_kernel mcc ncc kcc alpha beta' bufs.ap bufs.bp c
+          run_macro mcc ncc kcc alpha beta' bufs.ap bufs.bp c
             (coff + (ic * ldc) + !jc)
             ldc;
           Obs.Span.record ~cat:"gemm" ~name:"micro_kernel" sp;

@@ -26,13 +26,45 @@ val nr : int
 (** Micro-tile columns (register blocking). *)
 
 val mc : int
-(** Cache-block rows of C (A-panel height, L2-resident). *)
+(** Default cache-block rows of C (A-panel height, L2-resident). *)
 
 val kc : int
-(** Cache-block reduction depth (packed panel width, L1/L2). *)
+(** Default cache-block reduction depth (packed panel width, L1/L2). *)
 
 val nc : int
-(** Cache-block columns of C (B-panel width, L3-resident). *)
+(** Default cache-block columns of C (B-panel width, L3-resident). *)
+
+(** {1 Runtime-configurable blocking}
+
+    The MC/KC/NC cache blocks and the macro-kernel implementation are
+    a process-global parameter so the autotuner ([Tune.Gemm_tune],
+    [bench tune]) can install the measured winner for the host
+    platform before any compute runs.  Single-writer: set it at
+    startup; concurrent GEMM calls snapshot it once per call.
+
+    Note that changing [bkc] or [bmicro] changes floating-point
+    summation order/fusion, so results are bit-identical only across
+    runs using the {e same} blocking (and match the default to
+    ~1 ulp-per-accumulation otherwise). *)
+
+type micro =
+  | Avx2  (** the C macro-kernel from dgemm_stubs.c (-O3 -mavx2 -mfma) *)
+  | Portable  (** plain-OCaml macro-kernel with the same loop structure *)
+
+val micro_to_string : micro -> string
+val micro_of_string : string -> micro option
+
+type blocking = { bmc : int; bkc : int; bnc : int; bmicro : micro }
+
+val default_blocking : blocking
+(** [{bmc = mc; bkc = kc; bnc = nc; bmicro = Avx2}]. *)
+
+val set_blocking : blocking -> unit
+(** Install a blocking for all subsequent {!gemm} calls.
+    @raise Invalid_argument when a block size is not positive. *)
+
+val current_blocking : unit -> blocking
+val reset_blocking : unit -> unit
 
 val gemm :
   ?pool:Domain_pool.t ->

@@ -50,12 +50,29 @@ let bucket_of v =
 (* Representative value of a bucket (its geometric center). *)
 let value_of i = Float.pow 2.0 (float_of_int (i - mid) /. sub_per_octave)
 
+(* Half-open geometric bounds [lo, hi) consistent with [bucket_of]'s
+   round-to-nearest: bucket i covers values rounding to step i. *)
+let bucket_bounds i =
+  let edge x = Float.pow 2.0 ((x -. float_of_int mid) /. sub_per_octave) in
+  (edge (float_of_int i -. 0.5), edge (float_of_int i +. 0.5))
+
 let observe t v =
   t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
   t.total <- t.total + 1;
   t.sum <- t.sum +. v;
   if v < t.vmin then t.vmin <- v;
   if v > t.vmax then t.vmax <- v
+
+let bucket_count t i =
+  if i < 0 || i >= buckets then invalid_arg "Histogram.bucket_count"
+  else t.counts.(i)
+
+let nonzero_buckets t =
+  let acc = ref [] in
+  for i = buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (i, t.counts.(i)) :: !acc
+  done;
+  !acc
 
 let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
 let min_value t = if t.total = 0 then 0.0 else t.vmin

@@ -28,6 +28,27 @@ val percentile : t -> float -> float
     estimate of the q-th percentile, clamped into the observed
     [min, max] range.  0 when empty. *)
 
+(** {1 Bucket introspection}
+
+    The calibration feeder ({!Tune.Store}) serializes observed
+    distributions bucket by bucket, so the log-bucket scheme itself is
+    part of the public contract. *)
+
+val bucket_of : float -> int
+(** The bucket index a value lands in (clamped to the histogram
+    range). *)
+
+val bucket_bounds : int -> float * float
+(** Half-open geometric bounds [lo, hi) of a bucket index; inverse of
+    {!bucket_of} up to the clamped extremes. *)
+
+val bucket_count : t -> int -> int
+(** Samples recorded in one bucket.
+    @raise Invalid_argument out of range. *)
+
+val nonzero_buckets : t -> (int * int) list
+(** [(bucket index, count)] for every non-empty bucket, ascending. *)
+
 val merge : into:t -> t -> unit
 
 val reset : t -> unit

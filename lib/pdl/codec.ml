@@ -226,6 +226,18 @@ let of_string ?filename s =
 let to_string ?bare_master pf =
   Pdl_xml.Encode.doc_to_string (Dom.doc (platform_to_xml ?bare_master pf))
 
+(* FNV-1a over the canonical XML: stable across runs and processes
+   (unlike [Hashtbl.hash]), and cheap enough to compute at startup. *)
+let descriptor_hash pf =
+  let s = to_string pf in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
 let load_element el =
   match Pdl_schema.validate el with
   | _ :: _ as errs ->

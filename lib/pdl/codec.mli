@@ -34,6 +34,12 @@ val of_string : ?filename:string -> string -> (Pdl_model.Machine.platform, strin
 val to_string : ?bare_master:bool -> Pdl_model.Machine.platform -> string
 (** Pretty-printed XML document text. *)
 
+val descriptor_hash : Pdl_model.Machine.platform -> string
+(** FNV-1a 64-bit hash of the canonical {!to_string} rendering, as 16
+    lowercase hex digits. The key under which calibration data
+    ([CALIB_<hash>.json]) is stored, so measurements taken on one zoo
+    platform are never applied to another. *)
+
 val load_string :
   ?filename:string -> string -> (Pdl_model.Machine.platform, string list) result
 (** Full pipeline: parse, schema-validate against

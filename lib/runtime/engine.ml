@@ -76,12 +76,31 @@ let health_to_string = function
   | Suspect -> "suspect"
   | Quarantined -> "quarantined"
 
+(* Per-codelet counters for the dmda-style estimate source: how many
+   HEFT placements used a learned model, fell back to declared
+   gflops, or were epsilon-greedy exploration picks. *)
+type cal_counts = {
+  mutable cc_hits : int;
+  mutable cc_static : int;
+  mutable cc_explore : int;
+}
+
+type cal_stat = {
+  cs_codelet : string;
+  cs_model_hits : int;
+  cs_static_fallbacks : int;
+  cs_explorations : int;
+}
+
 type worker_state = {
   w : Machine_config.worker;
   queue : task Deque.t;  (** per-worker deque (heft / ws / random) *)
   mutable idle : bool;
   mutable online : bool;  (** dynamic resources: offline workers take no tasks *)
   mutable gflops : float;  (** current throughput (DVFS may change it) *)
+  mutable true_gflops : float;
+      (** throughput tasks are actually charged at; differs from
+          [gflops] when [?true_gflops] models a wrong descriptor *)
   mutable free_estimate : float;  (** HEFT bookkeeping *)
   mutable busy_s : float;
   mutable tasks_run : int;
@@ -135,6 +154,9 @@ type t = {
   readers : (int, task list) Hashtbl.t;
   task_index : (int, task) Hashtbl.t;  (** unfinished tasks by id *)
   faults : Fault.t option;
+  tune : Tune.Store.t option;  (** learned cost models (dmda-style) *)
+  explore_eps : float;  (** epsilon-greedy exploration rate under Heft *)
+  cal : (string, cal_counts) Hashtbl.t;  (** per-codelet estimate sources *)
   retry_budget : int;
   backoff_s : float;
   quarantine_after : int;
@@ -156,6 +178,20 @@ type t = {
 
 let policy t = t.pol
 let machine t = t.cfg
+let tune_store t = t.tune
+
+let calibration t =
+  Hashtbl.fold
+    (fun name c acc ->
+      {
+        cs_codelet = name;
+        cs_model_hits = c.cc_hits;
+        cs_static_fallbacks = c.cc_static;
+        cs_explorations = c.cc_explore;
+      }
+      :: acc)
+    t.cal []
+  |> List.sort (fun a b -> compare a.cs_codelet b.cs_codelet)
 
 let next_random t bound =
   (* xorshift-ish LCG; deterministic given the seed *)
@@ -243,13 +279,45 @@ let apply_gflops t ws gflops =
   let now = Sim.now t.sim in
   if ws.free_estimate > now then
     ws.free_estimate <- now +. ((ws.free_estimate -. now) *. ws.gflops /. gflops);
+  (* DVFS scales the real machine too: the charged speed keeps its
+     ratio to the declared one. *)
+  ws.true_gflops <- ws.true_gflops *. (gflops /. ws.gflops);
   ws.gflops <- gflops
 
 (* --- time modeling --------------------------------------------------- *)
 
-let compute_time ws (task : task) =
-  let flops = task.codelet.Codelet.flops (List.map fst task.buffers) in
-  flops /. (ws.gflops *. 1e9)
+let task_flops (task : task) =
+  task.codelet.Codelet.flops (List.map fst task.buffers)
+
+(* Time the task will actually take on this worker (what the
+   simulation charges). *)
+let compute_time ws (task : task) = task_flops task /. (ws.true_gflops *. 1e9)
+
+(* Time the scheduler believes the task takes: the learned
+   per-(codelet, PU, size-bucket) model when it has enough samples
+   (StarPU dmda), the declared-gflops estimate otherwise.  Returns the
+   estimate and whether the model answered. *)
+let estimated_time t ws (task : task) =
+  let flops = task_flops task in
+  let static () = flops /. (ws.gflops *. 1e9) in
+  match t.tune with
+  | None -> (static (), false)
+  | Some store -> (
+      match
+        Tune.Store.estimate store ~codelet:task.codelet.Codelet.cl_name
+          ~pu:ws.w.Machine_config.w_pu ~flops
+      with
+      | Some s -> (s, true)
+      | None -> (static (), false))
+
+let cal_counts_for t (task : task) =
+  let name = task.codelet.Codelet.cl_name in
+  match Hashtbl.find_opt t.cal name with
+  | Some c -> c
+  | None ->
+      let c = { cc_hits = 0; cc_static = 0; cc_explore = 0 } in
+      Hashtbl.replace t.cal name c;
+      c
 
 let link_time (l : Machine_config.link) bytes =
   (l.l_latency_us *. 1e-6) +. (bytes /. (l.l_bandwidth_mbps *. 1e6))
@@ -417,6 +485,14 @@ and complete_task t ws task ~attempt ~dispatched ~compute_start ~bytes_in =
         | Codelet.R -> ()
         | Codelet.W | Codelet.RW -> Data.write_at h ws.w.Machine_config.w_node)
       task.buffers;
+    (* Feed the calibration store with the charged compute span — the
+       dmda-style measurement loop closes here. *)
+    (match t.tune with
+    | Some store ->
+        Tune.Store.observe store ~codelet:task.codelet.Codelet.cl_name
+          ~pu:ws.w.Machine_config.w_pu ~flops:(task_flops task)
+          ~seconds:(now -. compute_start)
+    | None -> ());
     task.state <- Finished;
     Hashtbl.remove t.task_index task.t_id;
     ws.busy_s <- ws.busy_s +. (now -. dispatched);
@@ -639,17 +715,64 @@ and dispatch t task =
       then strand t task
   | Heft ->
       let now = Sim.now t.sim in
-      let best = ref None in
-      List.iter
-        (fun ws ->
-          let ready = Float.max now ws.free_estimate in
-          let data_ready = estimate_transfers t ws task ~at:ready in
-          let eft = data_ready +. compute_time ws task +. t.overhead_s in
-          match !best with
-          | Some (_, best_eft) when best_eft <= eft -> ()
-          | _ -> best := Some (ws, eft))
-        (eligible_workers t task);
-      (match !best with
+      let eligible = eligible_workers t task in
+      let eft_of ws =
+        let ready = Float.max now ws.free_estimate in
+        let data_ready = estimate_transfers t ws task ~at:ready in
+        let est, from_model = estimated_time t ws task in
+        (data_ready +. est +. t.overhead_s, from_model)
+      in
+      (* Epsilon-greedy: with probability [explore_eps], place on a
+         cold (codelet, PU) pairing — one whose size bucket has not
+         reached min_samples yet — so variants the model has never
+         seen still get measured and can take over. *)
+      let explored =
+        match t.tune with
+        | Some store
+          when t.explore_eps > 0.0 && eligible <> []
+               && next_random t 1_000_000
+                  < int_of_float (t.explore_eps *. 1e6) -> (
+            let flops = task_flops task in
+            let cold =
+              List.filter
+                (fun ws ->
+                  Tune.Store.samples store
+                    ~codelet:task.codelet.Codelet.cl_name
+                    ~pu:ws.w.Machine_config.w_pu ~flops
+                  < Tune.Store.min_samples)
+                eligible
+            in
+            match cold with
+            | [] -> None
+            | _ -> Some (List.nth cold (next_random t (List.length cold))))
+        | _ -> None
+      in
+      let best =
+        match explored with
+        | Some ws ->
+            let c = cal_counts_for t task in
+            c.cc_explore <- c.cc_explore + 1;
+            Some (ws, fst (eft_of ws))
+        | None ->
+            let best = ref None in
+            List.iter
+              (fun ws ->
+                let eft, from_model = eft_of ws in
+                match !best with
+                | Some (_, best_eft, _) when best_eft <= eft -> ()
+                | _ -> best := Some (ws, eft, from_model))
+              eligible;
+            Option.map
+              (fun (ws, eft, from_model) ->
+                if t.tune <> None then begin
+                  let c = cal_counts_for t task in
+                  if from_model then c.cc_hits <- c.cc_hits + 1
+                  else c.cc_static <- c.cc_static + 1
+                end;
+                (ws, eft))
+              !best
+      in
+      (match best with
       | None ->
           (* Every candidate is offline. *)
           Deque.push_back t.pool task;
@@ -731,7 +854,33 @@ let install_fault_events t (f : Fault.t) =
     f.Fault.events
 
 let create ?(policy = Eager) ?(execute_kernels = true)
-    ?(dispatch_overhead_us = 20.0) ?(seed = 1) ?pool ?faults cfg =
+    ?(dispatch_overhead_us = 20.0) ?(seed = 1) ?pool ?faults ?tune
+    ?(explore_eps = 0.05) ?(true_gflops = []) cfg =
+  List.iter
+    (fun (name, g) ->
+      if g <= 0.0 then
+        invalid_arg "Engine.create: non-positive true_gflops rate";
+      if
+        not
+          (Array.exists
+             (fun (w : Machine_config.worker) ->
+               w.Machine_config.w_name = name || w.Machine_config.w_pu = name)
+             cfg.Machine_config.workers)
+      then
+        invalid_arg
+          (Printf.sprintf "Engine.create: true_gflops names unknown PU %S"
+             name))
+    true_gflops;
+  let charged_rate (w : Machine_config.worker) =
+    match
+      List.find_opt
+        (fun (name, _) ->
+          w.Machine_config.w_name = name || w.Machine_config.w_pu = name)
+        true_gflops
+    with
+    | Some (_, g) -> g
+    | None -> w.Machine_config.w_gflops
+  in
   let link_resources = Hashtbl.create 8 in
   List.iter
     (fun (l : Machine_config.link) ->
@@ -755,6 +904,7 @@ let create ?(policy = Eager) ?(execute_kernels = true)
               idle = true;
               online = true;
               gflops = w.Machine_config.w_gflops;
+              true_gflops = charged_rate w;
               free_estimate = 0.0;
               busy_s = 0.0;
               tasks_run = 0;
@@ -772,6 +922,9 @@ let create ?(policy = Eager) ?(execute_kernels = true)
       readers = Hashtbl.create 64;
       task_index = Hashtbl.create 64;
       faults;
+      tune;
+      explore_eps;
+      cal = Hashtbl.create 8;
       retry_budget = fcfg.Fault.retries;
       backoff_s = fcfg.Fault.backoff_s;
       quarantine_after = fcfg.Fault.quarantine_after;

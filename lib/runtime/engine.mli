@@ -43,6 +43,9 @@ val create :
   ?seed:int ->
   ?pool:Kernels.Domain_pool.t ->
   ?faults:Fault.t ->
+  ?tune:Tune.Store.t ->
+  ?explore_eps:float ->
+  ?true_gflops:(string * float) list ->
   Machine_config.t ->
   t
 (** [execute_kernels] (default [true]) runs codelet implementations
@@ -54,11 +57,41 @@ val create :
     {!Fault} model: transient failures roll per attempt, and the
     spec's timed crash/slowdown/recover events are scheduled into the
     simulation.
-    @raise Invalid_argument when a fault event names a PU that
-    matches no worker. *)
+
+    [tune] attaches a calibration store (StarPU dmda style): {!Heft}
+    consults its learned per-(codelet, PU, size-bucket) model instead
+    of declared gflops wherever the model has enough samples, every
+    completed task feeds its measured compute span back, and with
+    probability [explore_eps] (default 0.05) a ready task is placed on
+    a cold (codelet, PU) pairing so unmeasured variants still get
+    sampled. Exploration draws come from the engine's seeded RNG, so
+    runs stay deterministic.
+
+    [true_gflops] overrides, per worker name or PDL PU id, the rate
+    tasks are {e charged} at — the declared [w_gflops] still drives
+    the static scheduling estimate. This models a descriptor whose
+    declared speeds are wrong (the calibration benchmarks' skewed
+    platform).
+    @raise Invalid_argument when a fault event or [true_gflops] entry
+    names a PU that matches no worker, or a rate is not positive. *)
 
 val machine : t -> Machine_config.t
 val policy : t -> policy
+
+val tune_store : t -> Tune.Store.t option
+(** The calibration store handed to {!create}, if any. *)
+
+type cal_stat = {
+  cs_codelet : string;
+  cs_model_hits : int;  (** Heft placements priced by the learned model *)
+  cs_static_fallbacks : int;  (** placements priced by declared gflops *)
+  cs_explorations : int;  (** epsilon-greedy cold-pairing picks *)
+}
+
+val calibration : t -> cal_stat list
+(** Per-codelet estimate-source counters, sorted by codelet name.
+    Empty unless the engine was created with [?tune] and ran under
+    {!Heft}. *)
 
 val submit :
   ?group:string -> t -> Codelet.t -> (Data.handle * Codelet.access) list ->

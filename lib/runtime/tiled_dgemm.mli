@@ -27,15 +27,17 @@ val run :
   ?group:string ->
   ?pool:Kernels.Domain_pool.t ->
   ?faults:Fault.t ->
+  ?tune:Tune.Store.t ->
+  ?true_gflops:(string * float) list ->
   Machine_config.t ->
   a:Kernels.Matrix.t ->
   b:Kernels.Matrix.t ->
   result
 (** [pool] is forwarded to {!Engine.create} so the per-tile dgemm
-    kernels run on real domains; [faults] likewise (transient
-    failures drop the attempt's kernel, so the result stays
-    bit-identical to a fault-free run as long as every task
-    eventually completes).
+    kernels run on real domains; [faults], [tune] and [true_gflops]
+    likewise (transient failures drop the attempt's kernel, so the
+    result stays bit-identical to a fault-free run as long as every
+    task eventually completes).
     @raise Invalid_argument on shape mismatch or [tiles] exceeding
     the matrix dimensions. *)
 
@@ -45,10 +47,14 @@ val run_model :
   ?group:string ->
   ?dispatch_overhead_us:float ->
   ?faults:Fault.t ->
+  ?tune:Tune.Store.t ->
+  ?true_gflops:(string * float) list ->
   Machine_config.t ->
   n:int ->
   result
-(** Square [n x n] DGEMM, timing model only. *)
+(** Square [n x n] DGEMM, timing model only.  [tune]/[true_gflops]
+    drive the calibration benchmarks: learned models on a platform
+    whose declared speeds are deliberately wrong. *)
 
 val speedup : baseline:result -> result -> float
 (** Ratio of makespans. *)

@@ -1,0 +1,21 @@
+The tune experiment's deterministic mode: calibrated HEFT beating a
+mis-declared platform in virtual time, store persistence (round-trip,
+corruption, hash mismatch), warm-store bit-identity, and the GEMM
+blocking search machinery pinned to a single candidate. Wall-clock
+timings are deliberately not printed.
+
+  $ ../../bench/main.exe tune smoke
+  tune: calibrated heft beats static on skewed target  ok
+  tune: improvement meets the 5% guard                 ok
+  tune: store collected samples                        ok
+  tune: cold rerun bit-identical (static, learned)     ok
+  tune: store round-trips without warning              ok
+  tune: corrupt store ignored with a warning           ok
+  tune: hash-mismatched store ignored with a warning   ok
+  tune: warm-store dgemm bit-identical to cold         ok
+  tune: single-candidate search keeps the default      ok
+  tune: stored blocking applies                        ok
+  tune: applied blocking is current                    ok
+  tune: odd blocking ~= naive (130x257x139)            ok
+  tune: portable micro-kernel ~= naive                 ok
+  tune: all checks passed

@@ -84,3 +84,31 @@ A file-based PDL descriptor works like a zoo platform:
   $ pdl_tool render --zoo xeon-2gpu > machine.pdl
   $ cascabelc run dgemm.c --pdl machine.pdl
   checksum=408625.500
+
+Calibration: --tune loads the platform's store (keyed by the
+descriptor hash), schedules with learned cost models once buckets
+have enough samples, and saves the observations on exit. The cold
+run can only fall back to declared speeds:
+
+  $ cascabelc run dgemm.c --zoo xeon-2gpu --tune --stats 2> cold.log
+  checksum=408625.500
+  $ grep -A1 calibration cold.log
+  # calibration: store CALIB_ba16572219382088.json, 0 samples loaded, 10 now
+  #   Idgemm       0 model hits, 10 static fallbacks, 0 exploration picks
+
+The warm run loads those samples, prices every task from the learned
+model, and the program output is bit-identical:
+
+  $ cascabelc run dgemm.c --zoo xeon-2gpu --tune --stats 2> warm.log
+  checksum=408625.500
+  $ grep -A1 calibration warm.log
+  # calibration: store CALIB_ba16572219382088.json, 10 samples loaded, 20 now
+  #   Idgemm       10 model hits, 0 static fallbacks, 0 exploration picks
+
+A corrupt store is ignored with a warning, never a crash:
+
+  $ echo "not json" > CALIB_ba16572219382088.json
+  $ cascabelc run dgemm.c --zoo xeon-2gpu --tune 2> corrupt.log
+  checksum=408625.500
+  $ grep warning corrupt.log
+  # warning: calibration store ./CALIB_ba16572219382088.json unreadable (at offset 0: invalid literal); starting cold

@@ -25,6 +25,20 @@ Render one, save it, and validate the file round trip:
   $ pdl_tool validate single.pdl
   valid: 2 PUs (2 physical units), depth 2
 
+The canonical descriptor hash keys per-platform calibration data
+(CALIB_<hash>.json); it is stable across renders and differs between
+platforms:
+
+  $ pdl_tool hash --zoo xeon-2gpu
+  ba16572219382088
+
+  $ pdl_tool render --zoo xeon-2gpu > two-gpu.pdl
+  $ pdl_tool hash two-gpu.pdl
+  ba16572219382088
+
+  $ pdl_tool hash --zoo xeon-x5550-smp
+  550c913d52427010
+
 Path queries select processing units:
 
   $ pdl_tool query --zoo xeon-2gpu "//Worker"

@@ -172,6 +172,34 @@ let test_histogram_merge () =
   Alcotest.(check (float 1e-12)) "merged min" 0.001 (Obs.Histogram.min_value h1);
   Alcotest.(check (float 1e-12)) "merged max" 1.0 (Obs.Histogram.max_value h1)
 
+let test_histogram_buckets () =
+  let h = Obs.Histogram.create () in
+  List.iter (Obs.Histogram.observe h) [ 0.001; 0.00102; 0.5; 0.5; 0.5 ];
+  (* bucket_bounds is the inverse of bucket_of: every observed value
+     falls inside its own bucket's range. *)
+  List.iter
+    (fun v ->
+      let i = Obs.Histogram.bucket_of v in
+      let lo, hi = Obs.Histogram.bucket_bounds i in
+      Alcotest.(check bool)
+        (Printf.sprintf "%g inside bucket %d [%g, %g)" v i lo hi)
+        true
+        (lo <= v && v < hi))
+    [ 0.001; 0.00102; 0.5 ];
+  (match Obs.Histogram.nonzero_buckets h with
+  | [ (i1, 2); (i2, 3) ] ->
+      Alcotest.(check bool) "ascending" true (i1 < i2);
+      Alcotest.(check int) "counts via bucket_count" 2
+        (Obs.Histogram.bucket_count h i1);
+      Alcotest.(check int) "counts via bucket_count" 3
+        (Obs.Histogram.bucket_count h i2)
+  | other ->
+      Alcotest.failf "expected two nonzero buckets, got %d"
+        (List.length other));
+  match Obs.Histogram.bucket_count h (-1) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
 let test_histogram_named_gating () =
   fresh ();
   Obs.Config.set_enabled false;
@@ -296,6 +324,8 @@ let () =
           Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
           Alcotest.test_case "single value" `Quick test_histogram_single_value;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "bucket introspection" `Quick
+            test_histogram_buckets;
           Alcotest.test_case "named gating" `Quick test_histogram_named_gating;
         ] );
       ( "json",
