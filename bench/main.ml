@@ -17,6 +17,7 @@
      kern    DGEMM kernel variants naive/blocked/packed (BENCH_kern.json)
      faults  fault injection: retry, quarantine, failover (BENCH_faults.json)
      tune    calibrated cost models + GEMM autotuning (BENCH_tune.json)
+     cc      native executor: interpreted vs pooled vs compiled (BENCH_cc.json)
      smoke   deterministic end-to-end pass for the cram test
      micro   Bechamel microbenchmarks of the toolchain itself *)
 
@@ -1373,6 +1374,390 @@ let tune_smoke () =
   print_endline "tune: all checks passed"
 
 (* ------------------------------------------------------------------ *)
+(* CC: the native executor — interpreted vs pooled kernels vs compiled *)
+
+(* The examples/ DGEMM driver, parameterized by size: one annotated
+   source, three executors.  The interpreted and compiled columns run
+   the exact same translated program through Runnable (only the
+   codelet body's executor differs); the pooled column is the
+   hand-built Tiled_dgemm task graph over the real packed kernels, as
+   an upper-reference for what a tuned library achieves. *)
+let cc_program ~n =
+  Printf.sprintf
+    {|#define N %d
+
+#pragma cascabel task : x86
+    : Idgemm
+    : dgemm_blas
+    : (A: read, B: read, C: readwrite)
+void dgemm(double *A, double *B, double *C, int m, int n)
+{
+  for (int i = 0; i < m; i++) {
+    for (int j = 0; j < n; j++) {
+      double acc = 0.0;
+      for (int k = 0; k < n; k++)
+        acc += A[i * n + k] * B[k * n + j];
+      C[i * n + j] += acc;
+    }
+  }
+}
+
+#pragma cascabel task : Cuda
+    : Idgemm
+    : dgemm_cublas
+    : (A: read, B: read, C: readwrite)
+void dgemm_cublas(double *A, double *B, double *C, int m, int n)
+{
+  for (int i = 0; i < m; i++) {
+    for (int j = 0; j < n; j++) {
+      double acc = 0.0;
+      for (int k = 0; k < n; k++)
+        acc += A[i * n + k] * B[k * n + j];
+      C[i * n + j] += acc;
+    }
+  }
+}
+
+int main(void)
+{
+  double *A = malloc(N * N * sizeof(double));
+  double *B = malloc(N * N * sizeof(double));
+  double *C = malloc(N * N * sizeof(double));
+  for (int i = 0; i < N * N; i++) {
+    A[i] = 1.0 + i %% 9;
+    B[i] = 0.5 * (i %% 11);
+    C[i] = 0.0;
+  }
+  #pragma cascabel execute Idgemm
+      : executionset01
+      (A:BLOCK:m, C:BLOCK:m)
+  dgemm(A, B, C, N, N);
+  double checksum = 0.0;
+  for (int i = 0; i < N * N; i++)
+    checksum += C[i];
+  printf("checksum=%%.3f\n", checksum);
+  return 0;
+}
+|}
+    n
+
+(* Parse, translate and lower the driver for xeon-2gpu. *)
+let cc_emitted ~n =
+  let platform = Option.get (Pdl_hwprobe.Zoo.find "xeon-2gpu") in
+  let repo = Cascabel.Repository.create () in
+  let unit_ =
+    match Minic.Parser.parse (cc_program ~n) with
+    | Ok u -> u
+    | Error e ->
+        prerr_endline (Minic.Parser.error_to_string e);
+        exit 1
+  in
+  let out =
+    match Cascabel.Codegen.translate ~repo ~platform unit_ with
+    | Ok o -> o
+    | Error msgs ->
+        List.iter prerr_endline msgs;
+        exit 1
+  in
+  match Cascabel.Emit_c.emit out with
+  | Ok em -> (repo, platform, unit_, em)
+  | Error e ->
+      prerr_endline ("emit-c: " ^ e);
+      exit 1
+
+let cc_run ?native ~repo ~platform unit_ =
+  wall (fun () ->
+      match
+        Cascabel.Runnable.run ~policy:Engine.Heft ~fuel:max_int ?native ~repo
+          ~platform unit_
+      with
+      | Ok r -> r
+      | Error e ->
+          prerr_endline e;
+          exit 1)
+
+(* The pooled-kernel reference: same fill as the driver, real packed
+   kernels through the tiled task graph on a 4-domain pool. *)
+let cc_pool_seconds ~n =
+  let a = Matrix.create n n and b = Matrix.create n n in
+  for i = 0 to (n * n) - 1 do
+    Bigarray.Array1.set a.Matrix.data i (1.0 +. float_of_int (i mod 9));
+    Bigarray.Array1.set b.Matrix.data i (0.5 *. float_of_int (i mod 11))
+  done;
+  let cfg = cfg_of "xeon-2gpu" in
+  DP.with_pool ~num_domains:4 (fun pool ->
+      snd
+        (wall (fun () ->
+             TD.run ~policy:Engine.Heft ~tiles:4 ~pool cfg ~a ~b)))
+
+type cc_row = {
+  cc_n : int;
+  cc_interp_s : float;
+  cc_pool_s : float;
+  cc_native_s : float;
+  cc_ratio : float;
+  cc_native_tasks : int;
+  cc_identical : bool;
+}
+
+let cc_guard_min = 5.0
+
+let cc_json path rows ~guard_n ~guard_ratio ~guard_ok =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"experiment\": \"cc\",\n";
+  Printf.fprintf oc "  \"platform\": \"xeon-2gpu\",\n";
+  Printf.fprintf oc
+    "  \"guard\": {\"n\": %d, \"min_ratio\": %.1f, \"ratio\": %.1f, \"ok\": \
+     %b},\n"
+    guard_n cc_guard_min guard_ratio guard_ok;
+  Printf.fprintf oc "  \"sizes\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"n\": %d, \"interpreted_s\": %.6f, \"pooled_s\": %.6f, \
+         \"compiled_s\": %.6f, \"ratio\": %.1f, \"native_tasks\": %d, \
+         \"bit_identical\": %b}%s\n"
+        r.cc_n r.cc_interp_s r.cc_pool_s r.cc_native_s r.cc_ratio
+        r.cc_native_tasks r.cc_identical
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let cc ?(sizes = [ 256; 512; 1024 ]) () =
+  header
+    "CC  native executor: interpreted vs pooled kernels vs compiled (wall \
+     seconds)";
+  (* Toolchain probe first — no cc on PATH is a graceful skip, the
+     same contract as cascabelc's exit code 3. *)
+  let _, _, _, em0 = cc_emitted ~n:32 in
+  match Cascabel.Native.build em0 with
+  | Cascabel.Native.No_toolchain msg ->
+      Printf.printf "no C toolchain (%s); skipping the CC experiment\n" msg
+  | Cascabel.Native.Compile_error msg ->
+      Printf.eprintf "native compile failed: %s\n" msg;
+      exit 1
+  | Cascabel.Native.Loaded probe ->
+      Cascabel.Native.close probe;
+      Printf.printf "%-8s %12s %12s %12s %9s %11s\n" "n" "interp [s]"
+        "pooled [s]" "compiled [s]" "ratio" "identical";
+      let rows =
+        List.map
+          (fun n ->
+            let repo, platform, unit_, em = cc_emitted ~n in
+            let native =
+              match Cascabel.Native.build em with
+              | Cascabel.Native.Loaded t -> t
+              | Cascabel.Native.No_toolchain msg
+              | Cascabel.Native.Compile_error msg ->
+                  prerr_endline ("native build failed: " ^ msg);
+                  exit 1
+            in
+            let ri, interp_s = cc_run ~repo ~platform unit_ in
+            let rn, native_s = cc_run ~native ~repo ~platform unit_ in
+            Cascabel.Native.close native;
+            let pool_s = cc_pool_seconds ~n in
+            let identical =
+              ri.Cascabel.Runnable.stdout = rn.Cascabel.Runnable.stdout
+              && rn.Cascabel.Runnable.native_fallbacks = 0
+            in
+            let ratio = interp_s /. native_s in
+            Printf.printf "%-8d %12.3f %12.3f %12.3f %8.1fx %11s\n" n interp_s
+              pool_s native_s ratio
+              (if identical then "yes" else "NO");
+            {
+              cc_n = n;
+              cc_interp_s = interp_s;
+              cc_pool_s = pool_s;
+              cc_native_s = native_s;
+              cc_ratio = ratio;
+              cc_native_tasks = rn.Cascabel.Runnable.native_tasks;
+              cc_identical = identical;
+            })
+          sizes
+      in
+      (* The headline guard: the compiled executor must beat the
+         interpreter by >= 5x on the largest size (>= 1024). *)
+      let guard_row =
+        List.fold_left (fun acc r -> if r.cc_n > acc.cc_n then r else acc)
+          (List.hd rows) rows
+      in
+      let all_identical = List.for_all (fun r -> r.cc_identical) rows in
+      let guard_ok =
+        guard_row.cc_ratio >= cc_guard_min
+        && guard_row.cc_n >= 1024 && all_identical
+      in
+      Printf.printf
+        "\ncompiled >= %.0fx interpreted at n=%d: %s (%.1fx); bit-identical \
+         stdout on every size: %s\n"
+        cc_guard_min guard_row.cc_n
+        (if guard_row.cc_ratio >= cc_guard_min then "yes" else "NO")
+        guard_row.cc_ratio
+        (if all_identical then "yes" else "NO");
+      cc_json "BENCH_cc.json" rows ~guard_n:guard_row.cc_n
+        ~guard_ratio:guard_row.cc_ratio ~guard_ok;
+      print_endline "wrote BENCH_cc.json";
+      if not guard_ok then exit 1
+
+(* A variant that calls a helper function is still emitted (with its
+   transitive closure) for the standalone build, but is not
+   native-dispatchable — the runnable must fall back per task. *)
+let cc_fallback_program =
+  {|#define N 64
+
+double twice(double x) { return 2.0 * x; }
+
+#pragma cascabel task : x86
+    : Iscale
+    : scale_cpu
+    : (A: readwrite)
+void scale(double *A, int n)
+{
+  for (int i = 0; i < n * n; i++)
+    A[i] = twice(A[i]);
+}
+
+int main(void)
+{
+  double *A = malloc(N * N * sizeof(double));
+  for (int i = 0; i < N * N; i++)
+    A[i] = 1.0 * i;
+  #pragma cascabel execute Iscale : executionset01 (A:BLOCK:n)
+  scale(A, N);
+  double sum = 0.0;
+  for (int i = 0; i < N * N; i++)
+    sum += A[i];
+  printf("sum=%.3f\n", sum);
+  return 0;
+}
+|}
+
+(* Deterministic coverage of the whole native path for the cram test:
+   emission invariants, the no-toolchain and compile-error outcomes,
+   and — disjunctively, so the output is byte-stable with or without a
+   real cc on PATH — compiled-vs-interpreted bit-identity and the
+   per-variant fallback. *)
+let cc_smoke () =
+  let check name ok =
+    Printf.printf "%-52s %s\n" name (if ok then "ok" else "FAIL");
+    if not ok then exit 1
+  in
+  let repo, platform, unit_, em = cc_emitted ~n:48 in
+  (* Emission invariants. *)
+  check "cc: both kept variants have wrappers"
+    (List.length em.Cascabel.Emit_c.all_wrappers = 2
+    && List.length em.Cascabel.Emit_c.native_variants = 2);
+  let source_of em f =
+    match
+      List.find_opt
+        (fun s -> s.Cascabel.Emit_c.file = f)
+        em.Cascabel.Emit_c.sources
+    with
+    | Some s -> s.Cascabel.Emit_c.contents
+    | None ->
+        Printf.printf "missing emitted source %s\n" f;
+        exit 1
+  in
+  let source f = source_of em f in
+  let count_sub hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let c = ref 0 in
+    for i = 0 to hl - nl do
+      if String.sub hay i nl = needle then incr c
+    done;
+    !c
+  in
+  let program_c = source "cascabel_out.c" in
+  let kernels_c = source (Cascabel.Emit_c.kernels_file em) in
+  check "cc: emitted program re-parses as mini-C"
+    (match Minic.Parser.parse program_c with Ok _ -> true | Error _ -> false);
+  check "cc: emitted kernels re-parse as mini-C"
+    (match Minic.Parser.parse kernels_c with Ok _ -> true | Error _ -> false);
+  check "cc: one packed submit per execute site"
+    (count_sub program_c "cascabel_submit(" = 1);
+  check "cc: every register_variant carries its wrapper"
+    (count_sub program_c "cascabel_register_variant(" = 2
+    && count_sub program_c ", cascabel_call_" = 2);
+  check "cc: makefile has the shared-object rule"
+    (count_sub (source "Makefile") "native:" = 1);
+  (* Toolchain-failure outcomes, forced via the cc override — these
+     never depend on the host toolchain. *)
+  check "cc: missing compiler reported as no-toolchain"
+    (match Cascabel.Native.build ~cc:"cascabel-no-such-cc" em with
+    | Cascabel.Native.No_toolchain _ -> true
+    | _ -> false);
+  check "cc: failing compiler reported as compile error"
+    (match Cascabel.Native.build ~cc:"false" em with
+    | Cascabel.Native.Compile_error _ -> true
+    | _ -> false);
+  (* The real-toolchain contracts, vacuously true when cc is absent so
+     the cram output stays byte-stable. *)
+  let toolchain = Cascabel.Native.build em in
+  (match toolchain with
+  | Cascabel.Native.Compile_error msg ->
+      Printf.printf "native compile failed: %s\n" msg;
+      exit 1
+  | _ -> ());
+  let loaded =
+    match toolchain with Cascabel.Native.Loaded t -> Some t | _ -> None
+  in
+  let ri, _ = cc_run ~repo ~platform unit_ in
+  let rn = Option.map (fun t -> fst (cc_run ~native:t ~repo ~platform unit_)) loaded in
+  check "cc: compiled stdout bit-identical to interpreter"
+    (match rn with
+    | None -> true
+    | Some rn -> rn.Cascabel.Runnable.stdout = ri.Cascabel.Runnable.stdout);
+  check "cc: every task ran native, zero fallbacks"
+    (match rn with
+    | None -> true
+    | Some rn ->
+        rn.Cascabel.Runnable.native_tasks > 0
+        && rn.Cascabel.Runnable.native_fallbacks = 0);
+  Option.iter Cascabel.Native.close loaded;
+  (* The fallback path: helper-calling variant interprets per task,
+     same answer. *)
+  let fb_unit =
+    match Minic.Parser.parse cc_fallback_program with
+    | Ok u -> u
+    | Error e ->
+        prerr_endline (Minic.Parser.error_to_string e);
+        exit 1
+  in
+  let fb_repo = Cascabel.Repository.create () in
+  let fb_em =
+    match Cascabel.Codegen.translate ~repo:fb_repo ~platform fb_unit with
+    | Error msgs ->
+        List.iter prerr_endline msgs;
+        exit 1
+    | Ok out -> (
+        match Cascabel.Emit_c.emit out with
+        | Ok em -> em
+        | Error e ->
+            prerr_endline e;
+            exit 1)
+  in
+  check "cc: helper-calling variant is not dispatchable"
+    (em.Cascabel.Emit_c.native_variants <> []
+    && fb_em.Cascabel.Emit_c.native_variants = []
+    && List.length fb_em.Cascabel.Emit_c.all_wrappers = 1);
+  check "cc: helper closure emitted into the kernels unit"
+    (count_sub (source_of fb_em (Cascabel.Emit_c.kernels_file fb_em)) "double twice(double x)"
+    >= 1);
+  (let fbi, _ = cc_run ~repo:fb_repo ~platform fb_unit in
+   match Cascabel.Native.build fb_em with
+   | Cascabel.Native.Loaded t ->
+       let fbn, _ = cc_run ~native:t ~repo:fb_repo ~platform fb_unit in
+       Cascabel.Native.close t;
+       check "cc: fallback run bit-identical, all tasks interpreted"
+         (fbn.Cascabel.Runnable.stdout = fbi.Cascabel.Runnable.stdout
+         && fbn.Cascabel.Runnable.native_tasks = 0
+         && fbn.Cascabel.Runnable.native_fallbacks > 0)
+   | _ ->
+       (* no toolchain: the contract is vacuous, keep the line. *)
+       check "cc: fallback run bit-identical, all tasks interpreted" true);
+  print_endline "cc: all checks passed"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 
 let micro () =
@@ -1452,8 +1837,8 @@ let all =
     ("fig5", fig5); ("sweep", sweep); ("sched", sched); ("tile", tile);
     ("presel", presel); ("chol", chol); ("eng", eng);
     ("par", fun () -> par ()); ("kern", fun () -> kern ()); ("obs", obs_exp);
-    ("faults", faults_exp); ("tune", tune); ("smoke", smoke);
-    ("micro", micro);
+    ("faults", faults_exp); ("tune", tune); ("cc", fun () -> cc ());
+    ("smoke", smoke); ("micro", micro);
   ]
 
 let parse_ints what s =
@@ -1493,6 +1878,8 @@ let () =
   | [ _; "obs"; "smoke" ] -> obs_smoke ()
   | [ _; "faults"; "smoke" ] -> faults_smoke ()
   | [ _; "tune"; "smoke" ] -> tune_smoke ()
+  | [ _; "cc"; "smoke" ] -> cc_smoke ()
+  | [ _; "cc"; sizes ] -> cc ~sizes:(parse_ints "size" sizes) ()
   | [ _; name ] -> (
       match List.assoc_opt name all with
       | Some f -> f ()
@@ -1504,7 +1891,8 @@ let () =
       prerr_endline
         "usage: main.exe [--trace FILE] [--metrics] \
          [fig5|sweep|sched|tile|presel|chol|eng|par [sizes [domains]]|kern \
-         [sizes|smoke]|obs [smoke]|faults [smoke]|tune [smoke]|smoke|micro]";
+         [sizes|smoke]|obs [smoke]|faults [smoke]|tune [smoke]|cc \
+         [sizes|smoke]|smoke|micro]";
       exit 1);
   Option.iter
     (fun path ->

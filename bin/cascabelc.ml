@@ -4,7 +4,13 @@
      cascabelc translate input.c --zoo xeon-2gpu --makefile
      cascabelc run input.c --zoo xeon-2gpu --policy heft
      cascabelc run input.c --serial                    # the untranslated baseline
-     cascabelc report input.c --zoo xeon-2gpu          # pre-selection report *)
+     cascabelc run input.c --zoo xeon-2gpu --native    # compiled kernels (dlopen)
+     cascabelc run input.c --zoo xeon-2gpu --emit-c out/   # dump C + Makefile
+     cascabelc report input.c --zoo xeon-2gpu          # pre-selection report
+
+   Exit codes for --native: 3 when no C toolchain is on PATH (a
+   graceful skip), 4 when the toolchain fails to compile or load the
+   generated kernels. *)
 
 open Cmdliner
 
@@ -234,8 +240,38 @@ let run_cmd =
       & info [ "tune-dir" ] ~docv:"DIR"
           ~doc:"Directory holding the calibration store (default: cwd).")
   in
+  let native_flag =
+    Arg.(
+      value & flag
+      & info [ "native" ]
+          ~doc:
+            "Emit real C for the kept task variants, compile them with the \
+             host toolchain into a shared object, and dispatch task bodies \
+             through the loaded symbols (interpreter fallback per variant). \
+             Exit code 3 means no toolchain was found; 4 means the compile \
+             or dlopen failed.")
+  in
+  let emit_c_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-c" ] ~docv:"DIR"
+          ~doc:
+            "Write the generated C sources (program, kernels, runtime API, \
+             serial runtime) and Makefile to DIR without executing \
+             anything.")
+  in
+  let cc_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cc" ] ~docv:"CMD"
+          ~doc:
+            "C compiler for --native (default: the compilation plan's host \
+             compiler, then cc).")
+  in
   let run input pdl zoo repo_files serial policy blocks stats_flag trace_out
-      metrics faults_spec tune_flag tune_dir =
+      metrics faults_spec tune_flag tune_dir native emit_c_dir cc =
     let unit_ = or_die (parse_source input) in
     (* Telemetry costs one branch per probe when off; turn it on only
        when a sink was requested. *)
@@ -259,6 +295,52 @@ let run_cmd =
             exit 1
       in
       let repo = build_repo repo_files in
+      (* The native backend and --emit-c both start from a full
+         translation of the program for the target platform. *)
+      let emitted =
+        if emit_c_dir = None && not native then None
+        else begin
+          match Cascabel.Codegen.translate ~repo ~platform unit_ with
+          | Error msgs ->
+              List.iter prerr_endline msgs;
+              exit 1
+          | Ok out -> (
+              match Cascabel.Emit_c.emit out with
+              | Error e ->
+                  prerr_endline ("emit-c: " ^ e);
+                  exit 1
+              | Ok em -> Some em)
+        end
+      in
+      match (emit_c_dir, emitted) with
+      | Some dir, Some em -> (
+          match Cascabel.Emit_c.write_dir em ~dir with
+          | Ok files ->
+              List.iter
+                (fun f -> Printf.printf "wrote %s\n" (Filename.concat dir f))
+                files;
+              0
+          | Error e ->
+              prerr_endline e;
+              1)
+      | _ ->
+      let native_lib =
+        match emitted with
+        | None -> None
+        | Some em -> (
+            match Cascabel.Native.build ?cc em with
+            | Cascabel.Native.Loaded t -> Some t
+            | Cascabel.Native.No_toolchain msg ->
+                Printf.eprintf "# native: %s; skipping\n" msg;
+                exit 3
+            | Cascabel.Native.Compile_error msg ->
+                Printf.eprintf "# native: %s\n" msg;
+                exit 4)
+      in
+      let finish code =
+        Option.iter Cascabel.Native.close native_lib;
+        code
+      in
       let faults =
         Option.map
           (fun spec -> or_die (Taskrt.Fault.parse spec))
@@ -281,7 +363,8 @@ let run_cmd =
       in
       match
         Cascabel.Runnable.run ~policy ?blocks ?trace:trace_out ?faults
-          ?tune:(Option.map fst tune) ~repo ~platform unit_
+          ?tune:(Option.map fst tune) ?native:native_lib ~repo ~platform
+          unit_
       with
       | Ok r ->
           print_string r.stdout;
@@ -297,6 +380,15 @@ let run_cmd =
                   ws.Taskrt.Engine.ws_worker.Taskrt.Machine_config.w_name
                   ws.Taskrt.Engine.tasks_run ws.Taskrt.Engine.busy_s)
               r.stats.worker_stats;
+            Option.iter
+              (fun nt ->
+                Printf.eprintf
+                  "# native: %d variants loaded from %s; %d tasks compiled, \
+                   %d interpreted fallbacks\n"
+                  (Cascabel.Native.native_count nt)
+                  (Filename.basename (Cascabel.Native.so_path nt))
+                  r.native_tasks r.native_fallbacks)
+              native_lib;
             if faults <> None then begin
               Printf.eprintf
                 "# faults: %d transient, %d retries, %d reassigned, %d \
@@ -332,10 +424,10 @@ let run_cmd =
             (fun (store, _) -> Tune.Store.save ~dir:tune_dir store)
             tune;
           if metrics then prerr_string (Obs.Export.prometheus ());
-          r.exit_code
+          finish r.exit_code
       | Error e ->
           prerr_endline e;
-          1
+          finish 1
     end
   in
   Cmd.v
@@ -346,7 +438,7 @@ let run_cmd =
     Term.(
       const run $ input_arg $ pdl_arg $ zoo_arg $ repo_arg $ serial $ policy
       $ blocks $ stats_flag $ trace_arg $ metrics_flag $ faults_arg
-      $ tune_flag $ tune_dir_arg)
+      $ tune_flag $ tune_dir_arg $ native_flag $ emit_c_arg $ cc_arg)
 
 let () =
   let info =

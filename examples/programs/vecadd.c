@@ -1,0 +1,57 @@
+/* A two-kernel pipeline: scaled vector addition followed by an
+   in-place scale. Exercises two interfaces, two execute sites, and a
+   scalar double parameter through the runtime ABI. */
+#define N 4096
+
+#pragma cascabel task : x86
+    : Iaxpy
+    : axpy_cpu
+    : (X: read, Y: readwrite)
+void axpy(double *X, double *Y, int n, double alpha)
+{
+  for (int i = 0; i < n; i++)
+    Y[i] = Y[i] + alpha * X[i];
+}
+
+#pragma cascabel task : Cuda
+    : Iaxpy
+    : axpy_cuda
+    : (X: read, Y: readwrite)
+void axpy_cuda(double *X, double *Y, int n, double alpha)
+{
+  for (int i = 0; i < n; i++)
+    Y[i] = Y[i] + alpha * X[i];
+}
+
+#pragma cascabel task : x86
+    : Iscale
+    : scale_cpu
+    : (Y: readwrite)
+void scale(double *Y, int n, double beta)
+{
+  for (int i = 0; i < n; i++)
+    Y[i] = beta * Y[i];
+}
+
+int main(void)
+{
+  double *X = malloc(N * sizeof(double));
+  double *Y = malloc(N * sizeof(double));
+  for (int i = 0; i < N; i++) {
+    X[i] = 0.25 * (i % 17);
+    Y[i] = 1.0 + i % 5;
+  }
+  #pragma cascabel execute Iaxpy
+      : executionset01
+      (X:BLOCK:n, Y:BLOCK:n)
+  axpy(X, Y, N, 1.5);
+  #pragma cascabel execute Iscale
+      : executionset01
+      (Y:BLOCK:n)
+  scale(Y, N, 0.5);
+  double checksum = 0.0;
+  for (int i = 0; i < N; i++)
+    checksum += Y[i];
+  printf("checksum=%.6f\n", checksum);
+  return 0;
+}

@@ -6,13 +6,48 @@ type step = {
   s_output : string;
 }
 
-type t = { steps : step list; link_command : string; executable : string }
+type shared_step = {
+  so_compiler : string;
+  so_flags : string list;
+  so_input : string;
+  so_output : string;
+}
+
+type t = {
+  steps : step list;
+  shared : shared_step;
+  link_command : string;
+  executable : string;
+}
 
 let compiler_for_arch = function
   | "cpu" -> ("gcc", [ "-O3"; "-fopenmp" ])
   | "gpu" -> ("nvcc", [ "-O3"; "-arch=sm_20" ])
   | "spe" -> ("spu-gcc", [ "-O3" ])
   | _ -> ("cc", [ "-O2" ])
+
+(* The host shared object the native backend dlopens. Only the
+   optimization level rides along from the host compile step:
+   [-ffp-contract=off] keeps strict IEEE evaluation order so the
+   compiled kernels stay bit-identical to the interpreter, and
+   [-shared -fPIC] make the artifact loadable. *)
+let shared_for ~program_name =
+  let compiler, flags = compiler_for_arch "cpu" in
+  let opt =
+    match
+      List.find_opt
+        (fun f -> String.length f >= 2 && String.sub f 0 2 = "-O")
+        flags
+    with
+    | Some o -> o
+    | None -> "-O2"
+  in
+  {
+    so_compiler = compiler;
+    so_flags = [ opt; "-shared"; "-fPIC"; "-ffp-contract=off" ];
+    so_input = program_name ^ "_kernels.c";
+    so_output = program_name ^ "_kernels.so";
+  }
 
 let derive ~program_name ~selections ~platform =
   let arches =
@@ -54,6 +89,7 @@ let derive ~program_name ~selections ~platform =
   let executable = program_name ^ ".exe" in
   {
     steps;
+    shared = shared_for ~program_name;
     link_command =
       Printf.sprintf "gcc -o %s %s -lcascabel_rt -lm" executable objects;
     executable;
@@ -78,4 +114,10 @@ let to_makefile t =
     (Printf.sprintf "%s: %s\n\t%s\n" t.executable
        (String.concat " " (List.map (fun s -> s.s_output) t.steps))
        t.link_command);
+  let sh = t.shared in
+  Buffer.add_string buf
+    (Printf.sprintf "\n# kernels shared object for the native backend\nnative: %s\n\n%s: %s\n\t%s %s -o %s %s\n"
+       sh.so_output sh.so_output sh.so_input sh.so_compiler
+       (String.concat " " sh.so_flags)
+       sh.so_output sh.so_input);
   Buffer.contents buf

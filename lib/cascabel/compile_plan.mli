@@ -19,8 +19,19 @@ type step = {
   s_output : string;  (** object file *)
 }
 
+type shared_step = {
+  so_compiler : string;
+  so_flags : string list;  (** optimization level from the host step
+      plus [-shared -fPIC -ffp-contract=off] (strict IEEE order, so
+      compiled kernels match the interpreter bit for bit) *)
+  so_input : string;  (** the kernels-only source *)
+  so_output : string;  (** the dlopen-able artifact *)
+}
+
 type t = {
   steps : step list;
+  shared : shared_step;
+      (** the host shared object the native backend builds *)
   link_command : string;
   executable : string;
 }

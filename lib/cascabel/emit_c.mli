@@ -1,0 +1,64 @@
+(** Native C emission (the backend behind [cascabelc run --native]).
+
+    Lowers a {!Codegen.output} — whose generated source still uses
+    the variadic mini-C runtime calls — to {e real, compilable C}:
+
+    - [cascabel_rt.h]: the exported runtime C API every generated
+      file compiles against;
+    - [cascabel_rt.c]: a minimal serial standalone runtime (variant
+      registry, immediate submit) so the emitted program also links
+      into a self-contained executable;
+    - [<prog>.c]: the full program, with every execute site lowered
+      to packed [void *argv\[\]] submissions and every
+      [cascabel_register_variant] call carrying its wrapper function
+      pointer;
+    - [<prog>_kernels.c]: the kept task variants plus one
+      fixed-ABI wrapper [void cascabel_call_<variant>(void **argv)]
+      per variant — the translation unit {!Native} compiles to the
+      shared object that {!Taskrt.Capi} dlopens;
+    - [Makefile]: buildable rules for both artifacts.
+
+    The emitted [.c] files stay inside the mini-C subset, so they
+    re-parse with {!Minic.Parser} — the emission tests lean on that.
+
+    A variant is {e native-dispatchable} only when its semantics under
+    C provably match the interpreter's value model: every parameter
+    is [double*], [int], [long] or [double], and the body only
+    touches parameters, locals, [#define] constants and pure math
+    builtins. Anything else (e.g. [printf], [rand_double], globals,
+    helper calls, [float] parameters) still compiles into the shared
+    object for standalone use, but the runnable falls back to the
+    interpreter for it. *)
+
+type source = { file : string; contents : string }
+
+type t = {
+  program_name : string;
+  program_unit : Minic.Ast.unit_;  (** lowered full program *)
+  kernels_unit : Minic.Ast.unit_;  (** variants + wrappers only *)
+  sources : source list;  (** header, runtime, program, kernels, Makefile *)
+  native_variants : (string * string) list;
+      (** dispatchable variant name -> wrapper symbol *)
+  all_wrappers : (string * string) list;
+      (** every kept variant name -> wrapper symbol *)
+  plan : Compile_plan.t;
+}
+
+val wrapper_symbol : string -> string
+(** [cascabel_call_<variant>], non-identifier characters mangled. *)
+
+val emit : ?program_name:string -> Codegen.output -> (t, string) result
+(** Lower a translation. [program_name] must match the one given to
+    {!Codegen.translate} (default ["cascabel_out"]). Fails when an
+    execute site's argument list cannot be matched against the
+    selected variant signature. *)
+
+val kernels_file : t -> string
+(** File name of the kernels translation unit ([plan.shared.so_input]). *)
+
+val header_file : string
+(** ["cascabel_rt.h"]. *)
+
+val write_dir : t -> dir:string -> (string list, string) result
+(** Write every source into [dir] (created if missing); returns the
+    file names written, in order. *)

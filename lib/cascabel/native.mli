@@ -1,0 +1,42 @@
+(** Driving the compilation plan through the host toolchain.
+
+    Takes an {!Emit_c} result, compiles the kernels translation unit
+    into the plan's shared object ([cc -O3 -shared -fPIC
+    -ffp-contract=off]), dlopens it via {!Taskrt.Capi}, and resolves
+    one wrapper symbol per native-dispatchable variant. {!Runnable}
+    then dispatches codelet implementations through these symbols and
+    falls back to the interpreter per variant when a symbol (or the
+    whole toolchain) is missing.
+
+    Telemetry: the compile and dlopen steps record [compile] and
+    [dlopen] spans under the [native] category. *)
+
+type t
+
+type outcome =
+  | Loaded of t
+  | No_toolchain of string
+      (** no usable C compiler on PATH — callers should skip
+          gracefully (exit code 3 in [cascabelc]) *)
+  | Compile_error of string
+      (** the toolchain exists but compilation or dlopen failed
+          (exit code 4 in [cascabelc]) *)
+
+val build : ?cc:string -> ?dir:string -> Emit_c.t -> outcome
+(** Compile and load the kernels shared object. [cc] overrides the
+    compiler (default: the plan's host compiler, then [cc]); [dir]
+    keeps the build artifacts in the given directory instead of a
+    temporary one that {!close} removes. *)
+
+val fn_for : t -> string -> Taskrt.Capi.fn option
+(** Loaded wrapper for a variant name; [None] means the caller must
+    interpret (unsupported variant, or symbol missing). *)
+
+val native_count : t -> int
+(** Number of variants with a loaded native wrapper. *)
+
+val dir : t -> string
+val so_path : t -> string
+
+val close : t -> unit
+(** dlclose and, for temporary build dirs, remove the artifacts. *)

@@ -2,8 +2,18 @@ module Engine = Taskrt.Engine
 module Data = Taskrt.Data
 module Codelet = Taskrt.Codelet
 module Machine_config = Taskrt.Machine_config
+module Capi = Taskrt.Capi
 module Matrix = Kernels.Matrix
 open Minic.Ast
+
+let c_native_exec =
+  Obs.Counter.make ~help:"tasks dispatched through loaded native kernels"
+    "native_exec"
+
+let c_native_fallbacks =
+  Obs.Counter.make
+    ~help:"tasks interpreted because no native symbol was available"
+    "native_fallbacks"
 
 type report = {
   exit_code : int;
@@ -13,6 +23,8 @@ type report = {
   per_site_blocks : (string * int) list;
   failover_log : string list;
   calibration : Engine.cal_stat list;
+  native_tasks : int;
+  native_fallbacks : int;
 }
 
 exception Abort of string
@@ -44,6 +56,9 @@ type ctx = {
   platform : Pdl_model.Machine.platform;
   cfg : Machine_config.t;
   tune : Tune.Store.t option;
+  native : Native.t option;
+  mutable native_tasks : int;
+  mutable native_fallbacks : int;
   blocks_override : int option;
   handles : (int, tracked) Hashtbl.t;  (** interp buffer tag -> state *)
   mutable dirty : bool;  (** tasks submitted since the last drain *)
@@ -141,6 +156,51 @@ let run_variant ctx (v : Repository.variant) handles_spec handles =
       | _ -> ())
     param_values
 
+(* The native codelet implementation: same data flow as
+   [run_variant], but the body runs as compiled machine code through
+   the variant's dlopened wrapper instead of the interpreter. The
+   matrices are read and written through the exact same
+   {!Data.read_matrix}/{!Data.write_matrix} path, so the two
+   executors see identical buffers — bit-identity then only depends
+   on the kernel arithmetic, which -ffp-contract=off pins to the
+   interpreter's strict IEEE evaluation order. *)
+let run_variant_native (v : Repository.variant) fn handles_spec handles =
+  let hs = ref handles in
+  let slots =
+    List.map
+      (fun (pname, kind) ->
+        match kind with
+        | `Pointer ->
+            let h = List.hd !hs in
+            hs := List.tl !hs;
+            (pname, `Buf (h, Data.read_matrix h))
+        | `Scalar value -> (pname, `Scalar value))
+      handles_spec
+  in
+  let args =
+    List.map
+      (fun (_, slot) ->
+        match slot with
+        | `Buf (_, (m : Matrix.t)) -> Capi.Buf m.Matrix.data
+        | `Scalar (Interp.VInt n) -> Capi.Int n
+        | `Scalar (Interp.VFloat x) -> Capi.Float x
+        | `Scalar _ -> abort "native task arguments must be numbers")
+      slots
+    |> Array.of_list
+  in
+  let sp = Obs.Span.start () in
+  Capi.call fn args;
+  Obs.Span.record ~cat:"native" ~name:"native_exec" ~args:v.v_func.f_name sp;
+  List.iter
+    (fun (pname, slot) ->
+      match slot with
+      | `Buf (h, m) -> (
+          match Repository.access_of v pname with
+          | Some (Write | Readwrite) -> Data.write_matrix h m
+          | _ -> ())
+      | `Scalar _ -> ())
+    slots
+
 (* Measurement-driven preselection: price a variant as the fastest
    learned estimate for (interface, PU) over the PUs whose arch class
    the variant targets.  The store keys observations by codelet name —
@@ -182,9 +242,25 @@ let codelet_for ctx (sel : Preselect.selection) ~interface ~handles_spec
   let impls =
     Hashtbl.fold
       (fun arch v acc ->
+        let native_fn =
+          Option.bind ctx.native (fun nt ->
+              Native.fn_for nt v.Repository.v_name)
+        in
         {
           Codelet.impl_arch = arch;
-          run = (fun ?pool:_ handles -> run_variant ctx v handles_spec handles);
+          run =
+            (fun ?pool:_ handles ->
+              match native_fn with
+              | Some fn ->
+                  ctx.native_tasks <- ctx.native_tasks + 1;
+                  Obs.Counter.incr c_native_exec;
+                  run_variant_native v fn handles_spec handles
+              | None ->
+                  if ctx.native <> None then begin
+                    ctx.native_fallbacks <- ctx.native_fallbacks + 1;
+                    Obs.Counter.incr c_native_fallbacks
+                  end;
+                  run_variant ctx v handles_spec handles);
         }
         :: acc)
       by_arch []
@@ -454,7 +530,7 @@ let on_execute ctx (annot : exec_annot) (f : func) argv =
   ctx.site_blocks <- ctx.site_blocks @ [ (interface, blocks) ];
   Some Interp.VUnit
 
-let run ?policy ?blocks ?fuel ?trace ?faults ?tune ?explore_eps ~repo
+let run ?policy ?blocks ?fuel ?trace ?faults ?tune ?explore_eps ?native ~repo
     ~platform unit_ =
   match Machine_config.of_platform platform with
   | Error e -> Error e
@@ -488,6 +564,9 @@ let run ?policy ?blocks ?fuel ?trace ?faults ?tune ?explore_eps ~repo
           platform;
           cfg;
           tune;
+          native;
+          native_tasks = 0;
+          native_fallbacks = 0;
           blocks_override = blocks;
           handles = Hashtbl.create 8;
           dirty = false;
@@ -525,6 +604,8 @@ let run ?policy ?blocks ?fuel ?trace ?faults ?tune ?explore_eps ~repo
                   per_site_blocks = ctx.site_blocks;
                   failover_log = ctx.failover_log;
                   calibration = Engine.calibration engine;
+                  native_tasks = ctx.native_tasks;
+                  native_fallbacks = ctx.native_fallbacks;
                 }
           | exception Failure msg -> Error msg
           | exception Engine.Stuck stuck ->

@@ -35,6 +35,12 @@ type report = {
   calibration : Taskrt.Engine.cal_stat list;
       (** per-codelet estimate sources when a calibration store was
           attached (model hits / static fallbacks / explorations) *)
+  native_tasks : int;
+      (** task executions dispatched through loaded native kernels *)
+  native_fallbacks : int;
+      (** task executions that fell back to the interpreter while a
+          native library was attached (unsupported variant or missing
+          symbol) *)
 }
 
 val run :
@@ -45,6 +51,7 @@ val run :
   ?faults:Taskrt.Fault.t ->
   ?tune:Tune.Store.t ->
   ?explore_eps:float ->
+  ?native:Native.t ->
   repo:Repository.t ->
   platform:Pdl_model.Machine.platform ->
   Minic.Ast.unit_ ->
@@ -69,7 +76,15 @@ val run :
     Heft placements consult the learned per-(codelet, PU, size-bucket)
     models, every completed task feeds its measured span back, and
     [explore_eps] controls the deterministic epsilon-greedy sampling
-    of cold variants. The caller persists the store afterwards. *)
+    of cold variants. The caller persists the store afterwards.
+
+    [native] attaches a loaded kernels library (see {!Native.build}):
+    task bodies whose variant has a resolved wrapper symbol run as
+    compiled machine code; every other variant falls back to the
+    interpreter, counted in [native_fallbacks] and in the
+    [native_fallbacks] telemetry counter. Scheduling, telemetry,
+    faults and calibration are unchanged — only the codelet body's
+    executor differs, and its outputs are bit-identical. *)
 
 val run_serial : ?fuel:int -> Minic.Ast.unit_ -> (int * string, string) result
 (** The untranslated baseline: interpret the program with execute

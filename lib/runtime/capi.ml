@@ -1,0 +1,21 @@
+type library = int64
+type fn = int64
+
+type arg = Buf of Kernels.Matrix.buf | Int of int | Float of float
+
+external capi_dlopen : string -> library = "caml_capi_dlopen"
+external capi_dlsym : library -> string -> fn = "caml_capi_dlsym"
+external capi_dlclose : library -> unit = "caml_capi_dlclose"
+external capi_call : fn -> arg array -> unit = "caml_capi_call"
+
+let load path =
+  match capi_dlopen path with
+  | h -> Ok h
+  | exception Failure msg -> Error msg
+
+let sym lib name =
+  let fn = capi_dlsym lib name in
+  if Int64.equal fn 0L then None else Some fn
+
+let call fn args = capi_call fn args
+let close lib = capi_dlclose lib

@@ -1,0 +1,39 @@
+(** Dynamic loading of generated kernel libraries (the native
+    backend's dispatch layer).
+
+    {!Cascabel.Emit_c} compiles every kept task variant into a shared
+    object exposing one wrapper per variant with the fixed ABI
+
+    {[ void cascabel_call_<variant>(void **argv); ]}
+
+    This module dlopens such an artifact and calls wrappers by
+    packing one [void*] slot per parameter: the Bigarray data pointer
+    for buffers, the address of a scratch [long]/[double] for
+    scalars. The generated wrapper casts the slots back to the
+    variant's real signature, so no foreign-function library is
+    needed.
+
+    Calls release the OCaml runtime lock — the kernel must only touch
+    the memory its arguments point to. *)
+
+type library
+type fn
+
+type arg =
+  | Buf of Kernels.Matrix.buf  (** passed as its data pointer *)
+  | Int of int  (** passed as [long*] scratch *)
+  | Float of float  (** passed as [double*] scratch *)
+
+val load : string -> (library, string) result
+(** [load path] dlopens a shared object ([RTLD_NOW | RTLD_LOCAL]). *)
+
+val sym : library -> string -> fn option
+(** Resolve a wrapper symbol; [None] when the library does not export
+    it (the caller falls back to the interpreter). *)
+
+val call : fn -> arg array -> unit
+(** Invoke a wrapper with packed arguments (at most 64).
+    @raise Invalid_argument on a null function or too many args. *)
+
+val close : library -> unit
+(** dlclose. Any [fn] from this library is invalid afterwards. *)

@@ -1,0 +1,102 @@
+/* Dynamic loading of generated kernel libraries.
+ *
+ * The native backend compiles task variants to a shared object whose
+ * entry points all share one fixed ABI:
+ *
+ *     void cascabel_call_<variant>(void **argv);
+ *
+ * so dispatch needs no libffi: the OCaml side packs one void* per
+ * parameter (Bigarray data pointer for buffers, the address of a
+ * scratch long/double for scalars) and the generated wrapper casts
+ * them back to the variant's real signature.
+ */
+
+#include <dlfcn.h>
+#include <string.h>
+
+#include <caml/alloc.h>
+#include <caml/bigarray.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/threads.h>
+
+#define CAPI_MAX_ARGS 64
+
+/* Matches Capi.arg: Buf (tag 0) | Int (tag 1) | Float (tag 2). */
+enum { CAPI_ARG_BUF = 0, CAPI_ARG_INT = 1, CAPI_ARG_FLOAT = 2 };
+
+CAMLprim value caml_capi_dlopen(value vpath)
+{
+  CAMLparam1(vpath);
+  CAMLlocal1(res);
+  void *h = dlopen(String_val(vpath), RTLD_NOW | RTLD_LOCAL);
+  if (h == NULL) {
+    const char *err = dlerror();
+    caml_failwith(err ? err : "dlopen failed");
+  }
+  res = caml_copy_int64((int64_t)(intnat)h);
+  CAMLreturn(res);
+}
+
+CAMLprim value caml_capi_dlsym(value vhandle, value vname)
+{
+  CAMLparam2(vhandle, vname);
+  CAMLlocal1(res);
+  void *h = (void *)(intnat)Int64_val(vhandle);
+  void *fn = dlsym(h, String_val(vname));
+  /* A missing symbol is an expected outcome (interpreter fallback),
+   * not an error: report it as the null function. */
+  res = caml_copy_int64((int64_t)(intnat)fn);
+  CAMLreturn(res);
+}
+
+CAMLprim value caml_capi_dlclose(value vhandle)
+{
+  CAMLparam1(vhandle);
+  void *h = (void *)(intnat)Int64_val(vhandle);
+  if (h != NULL) dlclose(h);
+  CAMLreturn(Val_unit);
+}
+
+CAMLprim value caml_capi_call(value vfn, value vargs)
+{
+  CAMLparam2(vfn, vargs);
+  void (*fn)(void **) = (void (*)(void **))(intnat)Int64_val(vfn);
+  int argc = Wosize_val(vargs);
+  void *argv[CAPI_MAX_ARGS];
+  long scratch_long[CAPI_MAX_ARGS];
+  double scratch_double[CAPI_MAX_ARGS];
+
+  if (fn == NULL) caml_invalid_argument("Capi.call: null function");
+  if (argc > CAPI_MAX_ARGS)
+    caml_invalid_argument("Capi.call: too many arguments");
+
+  for (int i = 0; i < argc; i++) {
+    value a = Field(vargs, i);
+    switch (Tag_val(a)) {
+    case CAPI_ARG_BUF:
+      argv[i] = Caml_ba_data_val(Field(a, 0));
+      break;
+    case CAPI_ARG_INT:
+      scratch_long[i] = Long_val(Field(a, 0));
+      argv[i] = &scratch_long[i];
+      break;
+    case CAPI_ARG_FLOAT:
+      scratch_double[i] = Double_val(Field(a, 0));
+      argv[i] = &scratch_double[i];
+      break;
+    default:
+      caml_invalid_argument("Capi.call: unknown argument tag");
+    }
+  }
+
+  /* Everything argv points at lives outside the OCaml heap (Bigarray
+   * data, C stack scratch), so the kernel may run without the
+   * runtime lock and other domains keep executing. */
+  caml_release_runtime_system();
+  fn(argv);
+  caml_acquire_runtime_system();
+
+  CAMLreturn(Val_unit);
+}

@@ -1,0 +1,23 @@
+The cc experiment's deterministic mode: emission invariants (wrappers,
+re-parse, packed submits), the no-toolchain and compile-error exit
+paths driven by fake compilers, and the native-vs-interpreted
+bit-identity plus fallback contracts. Checks that need a real C
+toolchain pass vacuously when none is installed, so this output is
+byte-stable either way. Wall-clock timings are deliberately not
+printed.
+
+  $ ../../bench/main.exe cc smoke
+  cc: both kept variants have wrappers                 ok
+  cc: emitted program re-parses as mini-C              ok
+  cc: emitted kernels re-parse as mini-C               ok
+  cc: one packed submit per execute site               ok
+  cc: every register_variant carries its wrapper       ok
+  cc: makefile has the shared-object rule              ok
+  cc: missing compiler reported as no-toolchain        ok
+  cc: failing compiler reported as compile error       ok
+  cc: compiled stdout bit-identical to interpreter     ok
+  cc: every task ran native, zero fallbacks            ok
+  cc: helper-calling variant is not dispatchable       ok
+  cc: helper closure emitted into the kernels unit     ok
+  cc: fallback run bit-identical, all tasks interpreted ok
+  cc: all checks passed

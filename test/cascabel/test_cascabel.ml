@@ -941,6 +941,175 @@ let translated_equals_serial =
       | Ok r -> r.stdout = snd serial && r.exit_code = fst serial
       | Error e -> QCheck.Test.fail_reportf "run failed: %s" e)
 
+(* Property: Emit_c output re-parses and keeps the structural
+   invariants — one wrapper function per kept variant in the kernels
+   unit, one packed submit per execute site in the program unit. *)
+let emit_src ~variants ~sites ~n =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "#define N %d\n" n);
+  for v = 1 to variants do
+    let target = if v mod 2 = 0 then "Cuda" else "x86" in
+    Buffer.add_string buf
+      (Printf.sprintf
+         {|
+#pragma cascabel task : %s : Iv : variant%02d : (A: readwrite, B: read)
+void vadd%d(double *A, double *B, int n)
+{
+  for (int i = 0; i < n; i++)
+    A[i] = A[i] + B[i] + %d.0;
+}
+|}
+         target v v v)
+  done;
+  Buffer.add_string buf
+    "\n\
+     int main(void)\n\
+     {\n\
+    \  double *A = malloc(N * sizeof(double));\n\
+    \  double *B = malloc(N * sizeof(double));\n\
+    \  for (int i = 0; i < N; i++) {\n\
+    \    A[i] = i * 0.5;\n\
+    \    B[i] = i;\n\
+    \  }\n";
+  for _ = 1 to sites do
+    Buffer.add_string buf
+      "  #pragma cascabel execute Iv : executionset01 (A:BLOCK:n, B:BLOCK:n)\n\
+      \  vadd1(A, B, N);\n"
+  done;
+  Buffer.add_string buf
+    "  double sum = 0.0;\n\
+    \  for (int i = 0; i < N; i++)\n\
+    \    sum += A[i];\n\
+    \  printf(\"%.4f\\n\", sum);\n\
+    \  return 0;\n\
+     }\n";
+  Buffer.contents buf
+
+let count_submits (unit_ : Minic.Ast.unit_) =
+  let open Minic.Ast in
+  let n = ref 0 in
+  let rec expr = function
+    | Call (Ident "cascabel_submit", args) ->
+        incr n;
+        List.iter expr args
+    | Call (f, args) ->
+        expr f;
+        List.iter expr args
+    | Index (a, b) | Binary (_, a, b) | Comma (a, b) | Assign (_, a, b) ->
+        expr a;
+        expr b
+    | Member (e, _)
+    | Arrow (e, _)
+    | Unary (_, e)
+    | Post_inc e
+    | Post_dec e
+    | Cast (_, e)
+    | Sizeof_expr e ->
+        expr e
+    | Ternary (a, b, c) ->
+        expr a;
+        expr b;
+        expr c
+    | Int_lit _ | Float_lit _ | Char_lit _ | String_lit _ | Ident _
+    | Sizeof_type _ ->
+        ()
+  in
+  let decl d = Option.iter expr d.d_init in
+  let rec stmt = function
+    | Expr_stmt e -> Option.iter expr e
+    | Decl_stmt ds -> List.iter decl ds
+    | Block ss -> List.iter stmt ss
+    | If (c, t, f) ->
+        expr c;
+        stmt t;
+        Option.iter stmt f
+    | While (c, b) | Do_while (b, c) ->
+        expr c;
+        stmt b
+    | For (init, cond, step, b) ->
+        (match init with
+        | Some (For_expr e) -> expr e
+        | Some (For_decl ds) -> List.iter decl ds
+        | None -> ());
+        Option.iter expr cond;
+        Option.iter expr step;
+        stmt b
+    | Return e -> Option.iter expr e
+    | Break | Continue -> ()
+    | Pragma_stmt (_, s) -> stmt s
+  in
+  List.iter
+    (function
+      | Func f -> Option.iter (List.iter stmt) f.f_body
+      | _ -> ())
+    unit_;
+  !n
+
+let emitted_c_invariants =
+  QCheck.Test.make
+    ~name:"emitted C re-parses: one wrapper per kept variant, one submit per \
+           site" ~count:30
+    QCheck.(triple (int_range 1 4) (int_range 1 4) (int_range 4 64))
+    (fun (variants, sites, n) ->
+      let src = emit_src ~variants ~sites ~n in
+      let unit_ = Result.get_ok (Minic.Parser.parse src) in
+      let repo = Repository.create () in
+      match Codegen.translate ~repo ~platform:gpus unit_ with
+      | Error es -> QCheck.Test.fail_reportf "translate: %s" (String.concat "; " es)
+      | Ok out -> (
+          match Emit_c.emit out with
+          | Error e -> QCheck.Test.fail_reportf "emit: %s" e
+          | Ok em ->
+              let kept =
+                List.concat_map
+                  (fun s -> List.map (fun v -> v.Repository.v_name) s.Preselect.kept)
+                  out.selections
+                |> List.sort_uniq compare
+              in
+              (* one wrapper per kept variant, each defined exactly
+                 once in the kernels unit *)
+              let wrapper_defs =
+                List.filter_map
+                  (function
+                    | Minic.Ast.Func f
+                      when String.length f.f_name >= 14
+                           && String.sub f.f_name 0 14 = "cascabel_call_" ->
+                        Some f.f_name
+                    | _ -> None)
+                  em.Emit_c.kernels_unit
+              in
+              let ok_wrappers =
+                List.length em.Emit_c.all_wrappers = List.length kept
+                && List.sort_uniq compare wrapper_defs = List.sort compare wrapper_defs
+                && List.length wrapper_defs = List.length kept
+              in
+              (* one packed submit per execute site *)
+              let ok_submits =
+                count_submits em.Emit_c.program_unit = List.length out.sites
+                && List.length out.sites = sites
+              in
+              (* both lowered units stay inside the mini-C subset *)
+              let reparses u =
+                match Minic.Parser.parse (Minic.Printer.unit_to_string u) with
+                | Ok _ -> true
+                | Error _ -> false
+              in
+              let ok_reparse =
+                reparses em.Emit_c.program_unit
+                && reparses em.Emit_c.kernels_unit
+              in
+              if not ok_wrappers then
+                QCheck.Test.fail_reportf
+                  "wrapper invariant: %d wrappers, %d kept, defs [%s]"
+                  (List.length em.Emit_c.all_wrappers)
+                  (List.length kept)
+                  (String.concat ", " wrapper_defs)
+              else if not ok_submits then
+                QCheck.Test.fail_reportf "submit invariant: %d submits, %d sites"
+                  (count_submits em.Emit_c.program_unit)
+                  (List.length out.sites)
+              else ok_reparse))
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "cascabel"
@@ -951,5 +1120,5 @@ let () =
       ("codegen", codegen_tests);
       ("mapping", mapping_tests);
       ("e2e", e2e_tests);
-      ("properties", qt [ translated_equals_serial ]);
+      ("properties", qt [ translated_equals_serial; emitted_c_invariants ]);
     ]

@@ -1,0 +1,53 @@
+The native backend's CLI surface: `--emit-c DIR` dumps the generated
+C sources and Makefile without executing, and the pdl_tool-style exit
+codes separate "no toolchain on PATH" (3, a graceful skip) from a
+compile or dlopen failure (4).
+
+  $ alias cascabelc=../../bin/cascabelc.exe
+  $ cp ../../examples/programs/dgemm.c dgemm.c
+
+Emission only — no compiler needed, nothing is executed:
+
+  $ cascabelc run dgemm.c --zoo xeon-2gpu --emit-c emitted
+  wrote emitted/cascabel_rt.h
+  wrote emitted/cascabel_rt.c
+  wrote emitted/cascabel_out.c
+  wrote emitted/cascabel_out_kernels.c
+  wrote emitted/Makefile
+
+The lowered program carries one wrapper-function pointer per kept
+variant, packs every execute site into a void*[] submission, and
+truncates distribution registrations to (data, kind) — sizes are
+advisory and may name callee-scope identifiers:
+
+  $ grep cascabel_register_variant emitted/cascabel_out.c
+    cascabel_register_variant("Idgemm", "dgemm_blas", "cpu", cascabel_call_dgemm_blas);
+    cascabel_register_variant("Idgemm", "dgemm_cublas", "gpu", cascabel_call_dgemm_cublas);
+
+  $ grep cascabel_submit emitted/cascabel_out.c
+        cascabel_submit("Idgemm", "executionset01", 5, __cascabel_argv1);
+
+  $ grep -c 'register_distributed(.*, "BLOCK")' emitted/cascabel_out.c
+  2
+
+The kernels unit defines one fixed-ABI wrapper per kept variant, and
+the Makefile gains the shared-object rule the engine dlopens:
+
+  $ grep -c '^void cascabel_call_' emitted/cascabel_out_kernels.c
+  2
+
+  $ grep '^native:' emitted/Makefile
+  native: cascabel_out_kernels.so
+
+A compiler that is not on PATH is a graceful skip (exit 3), the same
+contract bench cc uses before measuring:
+
+  $ cascabelc run dgemm.c --zoo xeon-2gpu --native --cc cascabel-no-such-cc
+  # native: no C toolchain on PATH (tried: cascabel-no-such-cc); skipping
+  [3]
+
+A compiler that exists but fails is a hard error (exit 4):
+
+  $ cascabelc run dgemm.c --zoo xeon-2gpu --native --cc false
+  # native: /usr/bin/false exited 1
+  [4]

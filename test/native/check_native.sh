@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Native-backend identity gate for `dune runtest`.
+#
+# For every example program, asserts that:
+#   1. `cascabelc run --native` produces bit-identical stdout (and the
+#      same exit code) as the interpreted translated run, and
+#   2. the standalone executable built from the `--emit-c` sources via
+#      the emitted Makefile prints exactly what the serial interpreter
+#      prints.
+#
+# A C toolchain is an optional dev dependency: when `cc` is not on
+# PATH the check is skipped (with a notice) rather than failed, the
+# same pattern as the ocamlformat gate, so the suite stays runnable in
+# minimal containers.
+set -u
+
+root="${1:-../..}"
+cascabelc="$root/bin/cascabelc.exe"
+
+if ! command -v cc >/dev/null 2>&1; then
+  echo "native: no C toolchain on PATH, skipping native identity check"
+  exit 0
+fi
+
+bad=0
+
+for prog in "$root"/examples/programs/*.c; do
+  name=$(basename "$prog")
+  interp=$("$cascabelc" run "$prog" --zoo xeon-2gpu 2>/dev/null)
+  rc_i=$?
+  native=$("$cascabelc" run "$prog" --zoo xeon-2gpu --native 2>/dev/null)
+  rc_n=$?
+  if [ "$rc_n" -eq 3 ]; then
+    # cc vanished between the probe above and the run; treat as skip.
+    echo "native: $name: toolchain unavailable at runtime, skipped"
+    continue
+  fi
+  if [ "$rc_i" -ne "$rc_n" ] || [ "$interp" != "$native" ]; then
+    echo "native: $name: compiled run differs from interpreter"
+    echo "  interp (rc=$rc_i): $interp"
+    echo "  native (rc=$rc_n): $native"
+    bad=1
+  else
+    echo "native: $name: compiled run bit-identical"
+  fi
+done
+
+# Standalone executables need make as well; skip quietly when absent.
+if command -v make >/dev/null 2>&1; then
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' EXIT
+  for prog in "$root"/examples/programs/*.c; do
+    name=$(basename "$prog" .c)
+    dir="$tmp/$name"
+    if ! "$cascabelc" run "$prog" --zoo xeon-2gpu --emit-c "$dir" >/dev/null; then
+      echo "native: $name: --emit-c failed"
+      bad=1
+      continue
+    fi
+    if ! make -s -C "$dir" all >/dev/null 2>&1; then
+      echo "native: $name: standalone build from emitted Makefile failed"
+      bad=1
+      continue
+    fi
+    serial=$("$cascabelc" run "$prog" --serial 2>/dev/null)
+    standalone=$("$dir/cascabel_out.exe")
+    if [ "$serial" != "$standalone" ]; then
+      echo "native: $name: standalone exe differs from serial interpreter"
+      echo "  serial:     $serial"
+      echo "  standalone: $standalone"
+      bad=1
+    else
+      echo "native: $name: standalone exe bit-identical"
+    fi
+  done
+else
+  echo "native: make not installed, skipping standalone-exe check"
+fi
+
+if [ "$bad" -ne 0 ]; then
+  echo "native: identity check failed"
+  exit 1
+fi
+echo "native: all programs bit-identical"
