@@ -1831,6 +1831,338 @@ int main(void) { return 0; }
     tests
 
 (* ------------------------------------------------------------------ *)
+(* SERVE: the multi-tenant task service (cascabeld)                    *)
+
+module SP = Serve.Protocol
+module SSvc = Serve.Service
+
+let serve_smoke () =
+  let check name ok =
+    Printf.printf "%-52s %s\n" name (if ok then "ok" else "FAIL");
+    if not ok then exit 1
+  in
+  let cfg = cfg_of "xeon-2gpu" in
+  let wnames (c : MC.t) =
+    Array.to_list c.MC.workers |> List.map (fun w -> w.MC.w_name)
+  in
+  (* PU sharding: a disjoint, complete cover of the machine. *)
+  let sh = Serve.Shard.split cfg ~shards:2 in
+  check "serve: shards cover every worker exactly once"
+    (List.sort compare (List.concat_map wnames (Array.to_list sh))
+    = List.sort compare (wnames cfg));
+  check "serve: shard count clamps to worker count"
+    (Array.length (Serve.Shard.split cfg ~shards:64)
+    = Array.length cfg.MC.workers);
+  (* Admission control: bounded queue, decreasing credit, OVERLOADED. *)
+  let clock = ref 0.0 in
+  let now () = !clock in
+  let svc = SSvc.create ~shards:2 ~queue_cap:3 ~now cfg in
+  let job seed = SP.Dgemm { n = 32; tiles = 2; seed } in
+  let credits =
+    List.map
+      (fun _ ->
+        match SSvc.submit svc ~tenant:"a" (job 7) with
+        | SP.Accepted { credit; _ } -> credit
+        | _ -> -1)
+      [ (); (); () ]
+  in
+  check "serve: admission hands out decreasing credit" (credits = [ 2; 1; 0 ]);
+  check "serve: full queue answers OVERLOADED"
+    (match SSvc.submit svc ~tenant:"a" (job 7) with
+    | SP.Overloaded { queue = 3; cap = 3; _ } -> true
+    | _ -> false);
+  (* Identical queued jobs coalesce onto one execution. *)
+  let dones = SSvc.run_until_idle svc in
+  let oks =
+    List.filter_map
+      (function
+        | SP.Done { status = SP.Jok { checksum; coalesced; _ }; _ } ->
+            Some (checksum, coalesced)
+        | _ -> None)
+      dones
+  in
+  check "serve: identical jobs coalesce onto one run"
+    (List.length oks = 3
+    && List.map snd oks = [ false; true; true ]
+    && List.sort_uniq compare (List.map fst oks) |> List.length = 1);
+  (* Deficit round robin: a flood cannot starve the other tenant.
+     Distinct flops per job, or coalescing would merge them. *)
+  let gjob i = SP.Graph { width = 2; depth = 2; task_flops = 1e6 +. float_of_int i } in
+  let svc = SSvc.create ~shards:1 ~queue_cap:16 ~now cfg in
+  for i = 1 to 6 do
+    ignore (SSvc.submit svc ~tenant:"a" (gjob i))
+  done;
+  for i = 7 to 8 do
+    ignore (SSvc.submit svc ~tenant:"b" (gjob i))
+  done;
+  let order =
+    List.filter_map
+      (function SP.Done { tenant; _ } -> Some tenant | _ -> None)
+      (SSvc.run_until_idle svc)
+  in
+  check "serve: equal weights alternate tenants"
+    (match order with
+    | "a" :: "b" :: "a" :: "b" :: rest ->
+        List.for_all (String.equal "a") rest
+    | _ -> false);
+  let svc = SSvc.create ~shards:1 ~queue_cap:16 ~now cfg in
+  SSvc.configure_tenant svc ~name:"b" ~weight:2.0 ();
+  for i = 1 to 6 do
+    ignore (SSvc.submit svc ~tenant:"a" (gjob i))
+  done;
+  for i = 7 to 8 do
+    ignore (SSvc.submit svc ~tenant:"b" (gjob i))
+  done;
+  let order =
+    List.filter_map
+      (function SP.Done { tenant; _ } -> Some tenant | _ -> None)
+      (SSvc.run_until_idle svc)
+  in
+  check "serve: a double-weight tenant finishes twice as often"
+    (List.filteri (fun i _ -> i < 3) order
+     |> List.filter (String.equal "b")
+     |> List.length = 2);
+  (* Deadlines: a job whose deadline passed while queued never runs. *)
+  let svc = SSvc.create ~shards:1 ~queue_cap:16 ~now cfg in
+  ignore (SSvc.submit svc ~tenant:"c" ~deadline_ms:10.0 (job 9));
+  clock := !clock +. 0.020;
+  check "serve: expired deadline completes as timeout"
+    (match SSvc.run_until_idle svc with
+    | [ SP.Done { status = SP.Jtimeout; _ } ] -> true
+    | _ -> false);
+  (* Per-tenant fault isolation: tenant a's crashes stay a's. *)
+  let crash =
+    { Fault.none with Fault.events = [ Fault.Crash { pu = "gpu0"; at = 1e-6 } ] }
+  in
+  let b_checksums ~with_a () =
+    let svc = SSvc.create ~shards:1 ~queue_cap:16 ~now cfg in
+    if with_a then SSvc.configure_tenant svc ~name:"a" ~faults:crash ();
+    for i = 1 to 3 do
+      if with_a then
+        ignore (SSvc.submit svc ~tenant:"a" (SP.Dgemm { n = 64; tiles = 4; seed = 100 + i }));
+      ignore (SSvc.submit svc ~tenant:"b" (SP.Dgemm { n = 64; tiles = 4; seed = 200 + i }))
+    done;
+    let sums =
+      List.filter_map
+        (function
+          | SP.Done { tenant = "b"; status = SP.Jok { checksum; _ }; _ } ->
+              Some checksum
+          | _ -> None)
+        (SSvc.run_until_idle svc)
+    in
+    (sums, SSvc.quarantined svc ~tenant:"a", SSvc.quarantined svc ~tenant:"b")
+  in
+  let contended, quar_a, quar_b = b_checksums ~with_a:true () in
+  let alone, _, _ = b_checksums ~with_a:false () in
+  check "serve: tenant b bit-identical under tenant a crashes"
+    (contended = alone && List.length contended = 3);
+  check "serve: the crash quarantines a PU for tenant a only"
+    (quar_a = [ "gpu0" ] && quar_b = []);
+  (* Graceful drain: budget 0 cancels, admission answers DRAINING. *)
+  let svc = SSvc.create ~shards:1 ~queue_cap:16 ~now cfg in
+  for i = 1 to 3 do
+    ignore (SSvc.submit svc ~tenant:"d" (gjob i))
+  done;
+  let dones, final = SSvc.drain svc ~budget_ms:0.0 () in
+  check "serve: zero-budget drain cancels queued jobs"
+    (List.for_all
+       (function SP.Done { status = SP.Jcancelled; _ } -> true | _ -> false)
+       dones
+    && final = SP.Drained { completed = 0; cancelled = 3 });
+  check "serve: draining service refuses new work"
+    (SSvc.submit svc ~tenant:"d" (gjob 9) = SP.Draining);
+  (* Wire protocol: encode/decode inverses, structured errors. *)
+  let reqs =
+    [
+      SP.Submit { tenant = "a"; job = job 3; deadline_ms = Some 12.5 };
+      SP.Submit
+        {
+          tenant = "b\"x";
+          job = SP.Graph { width = 3; depth = 2; task_flops = 0.1 +. 0.2 };
+          deadline_ms = None;
+        };
+      SP.Run; SP.Stats; SP.Drain { budget_ms = Some 0.0 }; SP.Ping;
+    ]
+  in
+  check "serve: requests round-trip through JSON"
+    (List.for_all
+       (fun r -> SP.request_of_string (SP.request_to_string r) = Ok r)
+       reqs);
+  let replies =
+    [
+      SP.Accepted { id = 7; credit = 3 };
+      SP.Overloaded { tenant = "a"; queue = 4; cap = 4; retry_ms = 200.0 };
+      SP.Done
+        {
+          id = 9;
+          tenant = "b";
+          latency_ms = 1.5;
+          status =
+            SP.Jok
+              {
+                makespan_s = 0.25;
+                checksum = "00ff";
+                tasks = 4;
+                coalesced = true;
+                shard = 1;
+              };
+        };
+      SP.Stats_reply
+        [
+          {
+            SP.tr_tenant = "a"; tr_submitted = 5; tr_completed = 4;
+            tr_rejected = 1; tr_timeouts = 0; tr_cancelled = 0; tr_failed = 0;
+            tr_coalesced = 2; tr_queue = 1; tr_cap = 8; tr_weight = 1.5;
+            tr_busy_vs = 0.75; tr_quarantined = [ "gpu0" ];
+          };
+        ];
+      SP.Error { code = SP.Version; reason = "nope" };
+    ]
+  in
+  check "serve: replies round-trip through JSON"
+    (List.for_all
+       (fun r -> SP.reply_of_string (SP.reply_to_string r) = Ok r)
+       replies);
+  let framed = SP.frame "{\"v\":1,\"op\":\"ping\"}" in
+  let buf = Bytes.of_string framed in
+  check "serve: framing round-trips"
+    (SP.deframe buf ~off:0 ~len:(Bytes.length buf)
+    = SP.Frame ("{\"v\":1,\"op\":\"ping\"}", Bytes.length buf));
+  check "serve: a truncated frame asks for more bytes"
+    (SP.deframe buf ~off:0 ~len:(Bytes.length buf - 1) = SP.Need
+    && SP.deframe buf ~off:0 ~len:2 = SP.Need);
+  check "serve: an absurd frame length is corrupt, not a hang"
+    (match
+       SP.deframe (Bytes.of_string "\xFF\xFF\xFF\xFF") ~off:0 ~len:4
+     with
+    | SP.Corrupt _ -> true
+    | _ -> false);
+  check "serve: garbage payload yields a structured parse error"
+    (match SP.request_of_string "{not json" with
+    | Error { SP.e_code = SP.Parse; _ } -> true
+    | _ -> false);
+  check "serve: a version mismatch is refused"
+    (match SP.request_of_string "{\"v\":99,\"op\":\"ping\"}" with
+    | Error { SP.e_code = SP.Version; _ } -> true
+    | _ -> false);
+  (* Engine re-entrancy: interleaving engines changes nothing. *)
+  let pair interleave =
+    let e0 = Engine.create ~policy:Engine.Heft sh.(0)
+    and e1 = Engine.create ~policy:Engine.Heft sh.(1) in
+    let a = Matrix.random ~seed:31 64 64 and b = Matrix.random ~seed:32 64 64 in
+    let go e = fst (TD.run_on ~tiles:4 e ~a ~b) in
+    let cs =
+      if interleave then
+        let c0 = go e0 in
+        let c1 = go e1 in
+        let c0' = go e0 in
+        let c1' = go e1 in
+        [ c0; c0'; c1; c1' ]
+      else
+        let c0 = go e0 in
+        let c0' = go e0 in
+        let c1 = go e1 in
+        let c1' = go e1 in
+        [ c0; c0'; c1; c1' ]
+    in
+    List.map Matrix.checksum cs
+  in
+  check "serve: interleaved engines match sequential runs (bitwise)"
+    (pair true = pair false);
+  print_endline "serve smoke: all checks passed"
+
+let percentile_exact sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (q /. 100.0 *. float_of_int n)) - 1 |> max 0))
+
+let serve_json path ~jobs ~base ~cont ~rejected ~throughput ~factor ~floor_ms
+    ~limit_ms ~ok =
+  let pcts a =
+    Printf.sprintf
+      "{\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}"
+      (percentile_exact a 50.0) (percentile_exact a 95.0)
+      (percentile_exact a 99.0)
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"experiment\": \"serve\",\n";
+  Printf.fprintf oc "  \"jobs_per_phase\": %d,\n" jobs;
+  Printf.fprintf oc "  \"baseline\": %s,\n" (pcts base);
+  Printf.fprintf oc "  \"contended\": %s,\n" (pcts cont);
+  Printf.fprintf oc "  \"rejected\": %d,\n" rejected;
+  Printf.fprintf oc "  \"throughput_jobs_per_s\": %.1f,\n" throughput;
+  Printf.fprintf oc
+    "  \"isolation_guard\": {\"factor\": %.1f, \"floor_ms\": %.1f, \
+     \"limit_ms\": %.3f, \"ok\": %b}\n"
+    factor floor_ms limit_ms ok;
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let serve_bench () =
+  header
+    "SERVE  multi-tenant task service: tenant-b latency with and without a \
+     flooding tenant (BENCH_serve.json)";
+  let cfg = cfg_of "xeon-2gpu" in
+  let job seed = SP.Dgemm { n = 48; tiles = 2; seed } in
+  let jobs = 40 in
+  (* Closed loop: submit one tenant-b job, dispatch, read its latency
+     from the Done reply.  The contended phase floods tenant a past
+     its queue cap before every b submission. *)
+  let phase ~flood =
+    let svc = SSvc.create ~shards:2 ~queue_cap:8 cfg in
+    let lat = ref [] and rejected = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to jobs do
+      if flood then
+        for j = 1 to 12 do
+          match SSvc.submit svc ~tenant:"a" (job ((1000 * i) + j)) with
+          | SP.Overloaded _ -> incr rejected
+          | _ -> ()
+        done;
+      ignore (SSvc.submit svc ~tenant:"b" (job i));
+      List.iter
+        (function
+          | SP.Done { tenant = "b"; latency_ms; _ } ->
+              lat := latency_ms :: !lat
+          | _ -> ())
+        (SSvc.run_until_idle svc)
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    let a = Array.of_list !lat in
+    Array.sort compare a;
+    (a, !rejected, float_of_int (SSvc.completed svc) /. wall)
+  in
+  let base, _, _ = phase ~flood:false in
+  let cont, rejected, throughput = phase ~flood:true in
+  let factor = 10.0 and floor_ms = 2.0 in
+  let base_p95 = percentile_exact base 95.0
+  and cont_p95 = percentile_exact cont 95.0 in
+  let limit_ms = factor *. Float.max base_p95 floor_ms in
+  let ok = cont_p95 <= limit_ms in
+  Printf.printf "%-12s %10s %10s %10s\n" "phase" "p50 [ms]" "p95 [ms]"
+    "p99 [ms]";
+  List.iter
+    (fun (name, a) ->
+      Printf.printf "%-12s %10.3f %10.3f %10.3f\n" name
+        (percentile_exact a 50.0) (percentile_exact a 95.0)
+        (percentile_exact a 99.0))
+    [ ("baseline", base); ("contended", cont) ];
+  Printf.printf
+    "flooding tenant rejected %d submissions; %.1f jobs/s under contention\n"
+    rejected throughput;
+  Printf.printf "isolation guard: contended p95 %.3f ms <= %.3f ms: %s\n"
+    cont_p95 limit_ms
+    (if ok then "ok" else "VIOLATED");
+  serve_json "BENCH_serve.json" ~jobs ~base ~cont ~rejected ~throughput
+    ~factor ~floor_ms ~limit_ms ~ok;
+  print_endline "wrote BENCH_serve.json";
+  if rejected = 0 then begin
+    print_endline "expected the flooding tenant to be rejected at least once";
+    exit 1
+  end;
+  if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -1838,7 +2170,7 @@ let all =
     ("presel", presel); ("chol", chol); ("eng", eng);
     ("par", fun () -> par ()); ("kern", fun () -> kern ()); ("obs", obs_exp);
     ("faults", faults_exp); ("tune", tune); ("cc", fun () -> cc ());
-    ("smoke", smoke); ("micro", micro);
+    ("serve", serve_bench); ("smoke", smoke); ("micro", micro);
   ]
 
 let parse_ints what s =
@@ -1879,6 +2211,7 @@ let () =
   | [ _; "faults"; "smoke" ] -> faults_smoke ()
   | [ _; "tune"; "smoke" ] -> tune_smoke ()
   | [ _; "cc"; "smoke" ] -> cc_smoke ()
+  | [ _; "serve"; "smoke" ] -> serve_smoke ()
   | [ _; "cc"; sizes ] -> cc ~sizes:(parse_ints "size" sizes) ()
   | [ _; name ] -> (
       match List.assoc_opt name all with

@@ -1,0 +1,342 @@
+(* cascabeld — the multi-tenant task service daemon.
+
+     cascabeld serve --zoo xeon-2gpu --socket /tmp/cascabel.sock
+     cascabeld serve --zoo xeon-2gpu --stdio          # deterministic text mode
+     cascabeld serve ... --faults a:'transient=0.5,quarantine=2' \
+                         --weight a:0.5 --cap a:4
+     cascabeld client --socket /tmp/cascabel.sock     # scripted JSON session
+
+   The daemon accepts JSON requests (see README "Task service"),
+   multiplexes them onto per-(tenant, PU shard) engines, and drains
+   gracefully on SIGTERM: admission stops, in-flight work finishes
+   within --budget-ms, and the calibration store, trace and metrics
+   are persisted.
+
+   Exit codes: 0 clean drain; 1 bad usage or I/O error; 3 this
+   platform cannot create Unix domain sockets (a graceful skip for
+   CI environments without them). *)
+
+open Cmdliner
+module P = Serve.Protocol
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+
+let load_platform path zoo =
+  match (path, zoo) with
+  | Some path, None -> (
+      match Pdl.Codec.load_file path with
+      | Ok pf -> Ok pf
+      | Error msgs -> Error (String.concat "\n" msgs))
+  | None, Some name -> (
+      match Pdl_hwprobe.Zoo.find name with
+      | Some pf -> Ok pf
+      | None ->
+          Error
+            (Printf.sprintf "unknown zoo platform %S (available: %s)" name
+               (String.concat ", " (List.map fst Pdl_hwprobe.Zoo.all))))
+  | _ -> Error "provide --pdl FILE or --zoo NAME"
+
+(* "tenant:value" pairs for --weight, --cap and --faults *)
+let split_tenant_opt what s =
+  match String.index_opt s ':' with
+  | Some i when i > 0 ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | _ ->
+      or_die
+        (Error (Printf.sprintf "--%s expects TENANT:VALUE, got %S" what s))
+
+let pdl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pdl" ] ~docv:"FILE" ~doc:"Target PDL descriptor file.")
+
+let zoo_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "zoo" ] ~docv:"NAME" ~doc:"Predefined target platform.")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket to bind.")
+
+let stdio_arg =
+  Arg.(
+    value & flag
+    & info [ "stdio" ]
+        ~doc:"Serve one JSON request per stdin line (deterministic test mode).")
+
+let shards_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "shards" ] ~docv:"N" ~doc:"PU shards (engines per tenant).")
+
+let policy_arg =
+  Arg.(
+    value & opt string "heft"
+    & info [ "policy" ] ~docv:"NAME"
+        ~doc:"Scheduling policy: eager, heft, locality-ws, random.")
+
+let queue_cap_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "queue-cap" ] ~docv:"N"
+        ~doc:"Default pending jobs per tenant before OVERLOADED.")
+
+let quantum_arg =
+  Arg.(
+    value & opt float 1e6
+    & info [ "quantum" ] ~docv:"FLOPS"
+        ~doc:"Deficit-round-robin credit per pass and unit weight.")
+
+let weight_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "weight" ] ~docv:"TENANT:W" ~doc:"Tenant fair-share weight.")
+
+let cap_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "cap" ] ~docv:"TENANT:N" ~doc:"Tenant queue capacity override.")
+
+let faults_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "faults" ] ~docv:"TENANT:SPEC"
+        ~doc:
+          "Fault model injected into one tenant's engines only (the \
+           Fault spec grammar, e.g. 'a:transient=0.3,quarantine=2').")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget-ms" ] ~docv:"MS"
+        ~doc:"Drain budget: wall-clock time to finish in-flight work.")
+
+let tune_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tune-dir" ] ~docv:"DIR"
+        ~doc:"Load/flush the calibration store (CALIB_<hash>.json) here.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a per-tenant Chrome trace on drain.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write a Prometheus metric dump on drain.")
+
+let sockets_unsupported = function
+  | Unix.EAFNOSUPPORT | Unix.EPROTONOSUPPORT | Unix.ENOSYS | Unix.EPERM
+  | Unix.EACCES ->
+      true
+  | _ -> false
+
+let serve pdl zoo socket stdio shards policy queue_cap quantum weights caps
+    faults budget_ms tune_dir trace_out metrics_out =
+  let platform = or_die (load_platform pdl zoo) in
+  let cfg = or_die (Taskrt.Machine_config.of_platform platform) in
+  let policy =
+    match Taskrt.Engine.policy_of_string policy with
+    | Some p -> p
+    | None -> or_die (Error (Printf.sprintf "unknown policy %S" policy))
+  in
+  if trace_out <> None || metrics_out <> None then
+    Obs.Config.set_enabled true;
+  let tune =
+    Option.map
+      (fun dir ->
+        let hash = Pdl.Codec.descriptor_hash platform in
+        let store, warning =
+          Tune.Store.load ~dir ~pdl_hash:hash
+            ~platform:platform.Pdl_model.Machine.pf_name ()
+        in
+        Option.iter (Printf.eprintf "# warning: %s\n%!") warning;
+        store)
+      tune_dir
+  in
+  let svc = Serve.Service.create ~policy ~shards ~queue_cap ~quantum ?tune cfg in
+  List.iter
+    (fun s ->
+      let name, w = split_tenant_opt "weight" s in
+      match float_of_string_opt w with
+      | Some w when w > 0.0 ->
+          Serve.Service.configure_tenant svc ~name ~weight:w ()
+      | _ -> or_die (Error (Printf.sprintf "--weight %s: bad weight" s)))
+    weights;
+  List.iter
+    (fun s ->
+      let name, c = split_tenant_opt "cap" s in
+      match int_of_string_opt c with
+      | Some c when c > 0 -> Serve.Service.configure_tenant svc ~name ~queue_cap:c ()
+      | _ -> or_die (Error (Printf.sprintf "--cap %s: bad capacity" s)))
+    caps;
+  List.iter
+    (fun s ->
+      let name, spec = split_tenant_opt "faults" s in
+      let f = or_die (Taskrt.Fault.parse spec) in
+      Serve.Service.configure_tenant svc ~name ~faults:f ())
+    faults;
+  let config =
+    {
+      Serve.Server.budget_ms;
+      tune;
+      tune_dir;
+      trace_out;
+      metrics_out;
+    }
+  in
+  match (socket, stdio) with
+  | Some path, false -> (
+      try
+        Serve.Server.run_socket ~config ~path svc;
+        0
+      with Unix.Unix_error (e, _, _) when sockets_unsupported e ->
+        Printf.eprintf
+          "# notice: Unix domain sockets unavailable here (%s); skipping\n"
+          (Unix.error_message e);
+        3)
+  | None, true ->
+      Serve.Server.run_stdio ~config svc;
+      0
+  | _ -> or_die (Error "provide exactly one of --socket PATH or --stdio")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the task service (binary socket or stdio text mode).")
+    Term.(
+      const serve $ pdl_arg $ zoo_arg $ socket_arg $ stdio_arg $ shards_arg
+      $ policy_arg $ queue_cap_arg $ quantum_arg $ weight_arg $ cap_arg
+      $ faults_arg $ budget_arg $ tune_dir_arg $ trace_arg $ metrics_arg)
+
+(* --- the scripted client ----------------------------------------------- *)
+
+let raw_arg =
+  Arg.(
+    value & flag
+    & info [ "raw" ]
+        ~doc:
+          "Send stdin lines as frame payloads verbatim (no client-side \
+           validation) — for protocol robustness tests.")
+
+(* One request per stdin line; every daemon frame is printed as a JSON
+   line.  Replies are read until the request's direct answer arrives
+   (asynchronous job-completion frames are printed along the way), so
+   a single-client session transcript is deterministic. *)
+let is_done = function P.Done _ -> true | _ -> false
+
+let pipeline_arg =
+  Arg.(
+    value & flag
+    & info [ "pipeline" ]
+        ~doc:
+          "Send every stdin line in one burst before reading replies — \
+           fills a tenant queue faster than the daemon drains it \
+           (overload tests).")
+
+let client socket raw pipeline =
+  let fd =
+    try Serve.Server.client_connect socket
+    with Unix.Unix_error (e, _, _) ->
+      if sockets_unsupported e then begin
+        Printf.eprintf
+          "# notice: Unix domain sockets unavailable here (%s); skipping\n"
+          (Unix.error_message e);
+        exit 3
+      end
+      else
+        or_die
+          (Error
+             (Printf.sprintf "cannot connect to %s: %s" socket
+                (Unix.error_message e)))
+  in
+  let print_reply r = print_endline (P.reply_to_string r) in
+  let rec read_until_direct () =
+    match Serve.Server.client_recv fd with
+    | exception End_of_file -> ()
+    | r ->
+        print_reply r;
+        if is_done r then read_until_direct ()
+  in
+  let payload_of line =
+    if raw then line
+    else
+      match P.request_of_string line with
+      | Ok req -> P.request_to_string req
+      | Error e ->
+          or_die (Error (Printf.sprintf "bad request line: %s" e.P.e_reason))
+  in
+  (if pipeline then begin
+     let lines = ref [] in
+     (try
+        while true do
+          let line = String.trim (input_line stdin) in
+          if line <> "" then lines := line :: !lines
+        done
+      with End_of_file -> ());
+     let payloads = List.rev_map payload_of !lines |> List.rev in
+     Serve.Server.client_send_blob fd
+       (String.concat "" (List.map P.frame payloads));
+     let expected = List.length payloads in
+     let direct = ref 0 in
+     (try
+        while !direct < expected do
+          let r = Serve.Server.client_recv fd in
+          print_reply r;
+          if not (is_done r) then incr direct
+        done
+      with End_of_file -> ())
+   end
+   else
+     try
+       let rec loop () =
+         match input_line stdin with
+         | exception End_of_file -> ()
+         | line when String.trim line = "" -> loop ()
+         | line ->
+             Serve.Server.client_send_raw fd (payload_of (String.trim line));
+             read_until_direct ();
+             flush stdout;
+             loop ()
+       in
+       loop ()
+     with End_of_file -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  flush stdout;
+  0
+
+let client_socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon socket to connect to.")
+
+let client_cmd =
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Scripted JSON session against a running daemon.")
+    Term.(const client $ client_socket_arg $ raw_arg $ pipeline_arg)
+
+let () =
+  let info =
+    Cmd.info "cascabeld" ~version:"1.0"
+      ~doc:"Multi-tenant task service over PDL-described machines."
+  in
+  exit (Cmd.eval' (Cmd.group info [ serve_cmd; client_cmd ]))

@@ -19,12 +19,13 @@ type handle = {
   mutable parts : handle array option;
 }
 
-let counter = ref 0
-let fresh_namespace () = counter := 0
-
-let fresh () =
-  incr counter;
-  !counter
+(* The id allocator is the only mutable state shared between engines;
+   an atomic keeps concurrent registrations (sharded engines, the task
+   service) race-free.  Ids only feed dependency hashtables keyed per
+   engine, so allocation order across engines never affects results. *)
+let counter = Atomic.make 0
+let fresh_namespace () = Atomic.set counter 0
+let fresh () = 1 + Atomic.fetch_and_add counter 1
 
 let register_matrix ?name (m : Matrix.t) =
   let h_id = fresh () in

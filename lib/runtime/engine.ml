@@ -178,6 +178,7 @@ type t = {
 
 let policy t = t.pol
 let machine t = t.cfg
+let now t = Sim.now t.sim
 let tune_store t = t.tune
 
 let calibration t =

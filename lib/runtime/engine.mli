@@ -27,7 +27,16 @@
       lives; idle workers steal from the rear of the longest queue
       (locality-aware work stealing).
     - {!Random_place}: uniformly random compatible worker — the
-      baseline ablation. *)
+      baseline ablation.
+
+    {b Re-entrancy.} An engine instance is self-contained: the RNG,
+    task tables, PU health/quarantine state and fault bookkeeping all
+    live in {!type-t}, so any number of engines (e.g. one per tenant and
+    PU shard in the task service) coexist without influencing each
+    other's schedules or results. The only cross-engine mutable state
+    is the {!Data} handle-id allocator (atomic, order-insensitive)
+    and the {!Obs} telemetry registries (cumulative counters only —
+    never read back by scheduling decisions). *)
 
 type policy = Eager | Heft | Locality_ws | Random_place
 
@@ -77,6 +86,11 @@ val create :
 
 val machine : t -> Machine_config.t
 val policy : t -> policy
+
+val now : t -> float
+(** Current virtual time. Starts at 0 and advances across repeated
+    {!wait_all} calls — long-lived engines (the task service) read it
+    before and after a job's tasks to attribute per-job makespan. *)
 
 val tune_store : t -> Tune.Store.t option
 (** The calibration store handed to {!create}, if any. *)

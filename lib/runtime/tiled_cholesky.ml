@@ -136,6 +136,23 @@ let finish rt ~n ~ha ~materialize =
        else 0.0);
   }
 
+let run_on ?(tiles = 4) rt (a : Matrix.t) =
+  if a.rows <> a.cols then invalid_arg "Tiled_cholesky.run_on: not square";
+  if tiles < 1 || tiles > a.rows then
+    invalid_arg "Tiled_cholesky.run_on: bad tiles";
+  let ha = Data.register_matrix ~name:"A" (Matrix.copy a) in
+  let grid = Data.partition_tiles ha ~rows:tiles ~cols:tiles in
+  submit_graph rt (Engine.machine rt) tiles grid;
+  let stats = Engine.wait_all rt in
+  Data.unpartition ha;
+  let m = Data.read_matrix ha in
+  for i = 0 to m.Matrix.rows - 1 do
+    for j = i + 1 to m.Matrix.cols - 1 do
+      Matrix.set m i j 0.0
+    done
+  done;
+  (m, stats)
+
 let run ?policy ?(tiles = 4) ?(configure = ignore) ?pool ?faults cfg
     (a : Matrix.t) =
   if a.rows <> a.cols then invalid_arg "Tiled_cholesky.run: not square";

@@ -34,6 +34,14 @@ val run :
     deterministic failure schedule.
     @raise Kernels.Lapack.Not_positive_definite as the kernels do. *)
 
+val run_on :
+  ?tiles:int -> Engine.t -> Kernels.Matrix.t -> Kernels.Matrix.t * Engine.stats
+(** Submit the factorization onto an {e existing} engine and wait for
+    it (the task service's entry point; see {!Tiled_dgemm.run_on}).
+    Returns the lower factor and the engine's cumulative stats.
+    @raise Engine.Stuck as {!Engine.wait_all} does.
+    @raise Kernels.Lapack.Not_positive_definite as the kernels do. *)
+
 val run_model :
   ?policy:Engine.policy -> ?tiles:int -> ?configure:(Engine.t -> unit) ->
   ?faults:Fault.t -> Machine_config.t -> n:int -> result

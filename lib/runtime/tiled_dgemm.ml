@@ -51,6 +51,19 @@ let finish ~flops ~hc ~materialize rt =
        else 0.0);
   }
 
+let run_on ?(tiles = 4) ?group rt ~(a : Matrix.t) ~(b : Matrix.t) =
+  if a.cols <> b.rows then invalid_arg "Tiled_dgemm.run_on: shape mismatch";
+  if tiles < 1 || tiles > a.rows || tiles > b.cols then
+    invalid_arg "Tiled_dgemm.run_on: bad tile count";
+  let codelet = dgemm_codelet (Engine.machine rt) in
+  let ha = Data.register_matrix ~name:"A" (Matrix.copy a) in
+  let hb = Data.register_matrix ~name:"B" (Matrix.copy b) in
+  let hc = Data.register_matrix ~name:"C" (Matrix.create a.rows b.cols) in
+  submit_graph rt ~codelet ~tiles ?group ~ha ~hb ~hc ();
+  let stats = Engine.wait_all rt in
+  Data.unpartition hc;
+  (Data.read_matrix hc, stats)
+
 let run ?policy ?(tiles = 4) ?group ?pool ?faults ?tune ?true_gflops cfg
     ~(a : Matrix.t) ~(b : Matrix.t) =
   if a.cols <> b.rows then invalid_arg "Tiled_dgemm.run: shape mismatch";

@@ -41,6 +41,21 @@ val run :
     @raise Invalid_argument on shape mismatch or [tiles] exceeding
     the matrix dimensions. *)
 
+val run_on :
+  ?tiles:int ->
+  ?group:string ->
+  Engine.t ->
+  a:Kernels.Matrix.t ->
+  b:Kernels.Matrix.t ->
+  Kernels.Matrix.t * Engine.stats
+(** Submit the same task graph onto an {e existing} engine and wait
+    for it: the task service's entry point, where one long-lived
+    engine per (tenant, PU shard) carries many jobs and virtual time
+    accumulates across them. Returns the product and the engine's
+    cumulative stats; read {!Engine.now} around the call for the
+    per-job makespan.
+    @raise Engine.Stuck as {!Engine.wait_all} does. *)
+
 val run_model :
   ?policy:Engine.policy ->
   ?tiles:int ->

@@ -30,79 +30,113 @@ let us t = t *. 1e6
 (* The virtual-timeline events as comma-separated trace-event objects
    (no enclosing brackets); pid 0 is the simulator, leaving
    [Obs.Export.wall_pid] free for the wall-clock telemetry process
-   when both are merged into one file. *)
-let chrome_body ?(faults = []) events =
+   when both are merged into one file.
+
+   [lane] tags every lane name (worker and fault lanes alike) — the
+   task service passes the tenant so a serve run's trace keeps each
+   tenant's activity on its own set of lanes — and [tid0] offsets the
+   thread ids so several tagged bodies can share the document. *)
+let chrome_lanes ~emit ?(lane = "") ?(tid0 = 0) ?(faults = []) events =
+  let lane_name w = if lane = "" then w else lane ^ "/" ^ w in
   let table = lanes events in
+  Hashtbl.iter
+    (fun worker tid ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\
+            \"args\":{\"name\":\"%s\"}}"
+           (tid0 + tid)
+           (json_escape (lane_name worker))))
+    table;
+  List.iter
+    (fun (e : Engine.trace_event) ->
+      let tid = tid0 + Hashtbl.find table e.tr_worker in
+      if e.tr_compute_start > e.tr_start then
+        emit
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"transfer\",\"ph\":\"X\",\"ts\":%.3f,\
+              \"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"bytes\":%.0f}}"
+             (json_escape (e.tr_task ^ ":in"))
+             (us e.tr_start)
+             (us (e.tr_compute_start -. e.tr_start))
+             tid e.tr_bytes_in);
+      emit
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":%.3f,\
+            \"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"codelet\":\"%s\"}}"
+           (json_escape e.tr_task)
+           (us e.tr_compute_start)
+           (us (e.tr_end -. e.tr_compute_start))
+           tid
+           (json_escape e.tr_codelet)))
+    events;
+  (* Fault-layer decisions land on their own lane as instant events,
+     after the worker lanes. *)
+  let fault_lanes = if faults = [] then 0 else 1 in
+  if faults <> [] then begin
+    let fault_tid = tid0 + Hashtbl.length table in
+    emit
+      (Printf.sprintf
+         "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\
+          \"args\":{\"name\":\"%s\"}}"
+         fault_tid
+         (json_escape (lane_name "faults")));
+    List.iter
+      (fun (f : Engine.fault_event) ->
+        emit
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+              \"ts\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"detail\":\"%s\"}}"
+             (json_escape f.f_kind) (us f.f_time) fault_tid
+             (json_escape
+                (String.concat " "
+                   (List.filter
+                      (fun s -> s <> "")
+                      [
+                        f.f_worker;
+                        (if f.f_task >= 0 then Printf.sprintf "t%d" f.f_task
+                         else "");
+                        f.f_detail;
+                      ])))))
+      faults
+  end;
+  tid0 + Hashtbl.length table + fault_lanes
+
+let with_emitter f =
   let buf = Buffer.create 1024 in
   let first = ref true in
-  let emit fmt =
-    Printf.ksprintf
-      (fun s ->
-        if !first then first := false else Buffer.add_char buf ',';
-        Buffer.add_string buf s)
-      fmt
+  let emit s =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf s
   in
   emit
     "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\
      \"args\":{\"name\":\"virtual time (sim)\"}}";
-  (* lane names *)
-  Hashtbl.iter
-    (fun worker tid ->
-      emit
-        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\
-         \"args\":{\"name\":\"%s\"}}"
-        tid (json_escape worker))
-    table;
-  List.iter
-    (fun (e : Engine.trace_event) ->
-      let tid = Hashtbl.find table e.tr_worker in
-      if e.tr_compute_start > e.tr_start then
-        emit
-          "{\"name\":\"%s\",\"cat\":\"transfer\",\"ph\":\"X\",\"ts\":%.3f,\
-           \"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"bytes\":%.0f}}"
-          (json_escape (e.tr_task ^ ":in"))
-          (us e.tr_start)
-          (us (e.tr_compute_start -. e.tr_start))
-          tid e.tr_bytes_in;
-      emit
-        "{\"name\":\"%s\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":%.3f,\
-         \"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"codelet\":\"%s\"}}"
-        (json_escape e.tr_task)
-        (us e.tr_compute_start)
-        (us (e.tr_end -. e.tr_compute_start))
-        tid
-        (json_escape e.tr_codelet))
-    events;
-  (* Fault-layer decisions land on their own lane as instant events,
-     after the worker lanes. *)
-  if faults <> [] then begin
-    let fault_tid = Hashtbl.length table in
-    emit
-      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\
-       \"args\":{\"name\":\"faults\"}}"
-      fault_tid;
-    List.iter
-      (fun (f : Engine.fault_event) ->
-        emit
-          "{\"name\":\"%s\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
-           \"ts\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"detail\":\"%s\"}}"
-          (json_escape f.f_kind) (us f.f_time) fault_tid
-          (json_escape
-             (String.concat " "
-                (List.filter
-                   (fun s -> s <> "")
-                   [
-                     f.f_worker;
-                     (if f.f_task >= 0 then Printf.sprintf "t%d" f.f_task
-                      else "");
-                     f.f_detail;
-                   ]))))
-      faults
-  end;
+  f emit;
   Buffer.contents buf
+
+let chrome_body ?faults events =
+  with_emitter (fun emit -> ignore (chrome_lanes ~emit ?faults events))
+
+let chrome_body_tenants tenants =
+  with_emitter (fun emit ->
+      ignore
+        (List.fold_left
+           (fun tid0 (tenant, events, faults) ->
+             chrome_lanes ~emit ~lane:tenant ~tid0 ~faults events)
+           0 tenants))
 
 let to_chrome_json ?faults events =
   "{\"traceEvents\":[" ^ chrome_body ?faults events ^ "]}"
+
+let to_chrome_json_tenants tenants =
+  "{\"traceEvents\":[" ^ chrome_body_tenants tenants ^ "]}"
+
+let to_chrome_json_tenants_combined tenants =
+  let virt = chrome_body_tenants tenants in
+  let wall = Obs.Export.chrome_body () in
+  let sep = if virt <> "" && wall <> "" then "," else "" in
+  "{\"traceEvents\":[" ^ virt ^ sep ^ wall ^ "]}"
 
 let to_chrome_json_combined ?faults events =
   let virt = chrome_body ?faults events in
@@ -198,3 +232,9 @@ let write_chrome_combined ?faults path events =
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (to_chrome_json_combined ?faults events))
+
+let write_chrome_tenants_combined path tenants =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_chrome_json_tenants_combined tenants))

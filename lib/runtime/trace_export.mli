@@ -20,6 +20,19 @@ val to_chrome_json_combined :
     spans recorded by {!Obs} (pid {!Obs.Export.wall_pid}) in one
     document, so Perfetto shows both processes side by side. *)
 
+val to_chrome_json_tenants :
+  (string * Engine.trace_event list * Engine.fault_event list) list -> string
+(** Several engines' timelines in one document, each tagged with a
+    lane prefix: the worker (and fault) lanes of entry
+    [(tenant, events, faults)] are named ["tenant/worker"] and get
+    their own thread ids, so a multi-tenant serve run's trace keeps
+    tenants visually separate in Perfetto. *)
+
+val to_chrome_json_tenants_combined :
+  (string * Engine.trace_event list * Engine.fault_event list) list -> string
+(** {!to_chrome_json_tenants} merged with the wall-clock telemetry
+    spans, like {!to_chrome_json_combined}. *)
+
 val to_csv : Engine.trace_event list -> string
 (** Header: [task,codelet,worker,start_us,compute_start_us,end_us,bytes_in].
     Fields are RFC 4180-quoted, so codelet and worker names may
@@ -36,3 +49,9 @@ val write_chrome :
 val write_chrome_combined :
   ?faults:Engine.fault_event list -> string -> Engine.trace_event list -> unit
 (** [write_chrome] for {!to_chrome_json_combined}. *)
+
+val write_chrome_tenants_combined :
+  string ->
+  (string * Engine.trace_event list * Engine.fault_event list) list ->
+  unit
+(** [write_chrome] for {!to_chrome_json_tenants_combined}. *)

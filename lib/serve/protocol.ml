@@ -1,0 +1,413 @@
+(* The cascabeld wire protocol.
+
+   Frames are length-prefixed on sockets (4-byte big-endian payload
+   length, then the payload) and newline-delimited in text mode
+   (stdio, the scripting client); the payload is one JSON object in
+   either case, always carrying the protocol version.  Decoding is
+   total: malformed input yields a structured [error] value, never an
+   exception, so a misbehaving client cannot take the daemon down. *)
+
+let version = 1
+let max_frame = 1 lsl 20
+
+type job =
+  | Dgemm of { n : int; tiles : int; seed : int }
+  | Cholesky of { n : int; tiles : int; seed : int }
+  | Graph of { width : int; depth : int; task_flops : float }
+
+type request =
+  | Submit of { tenant : string; job : job; deadline_ms : float option }
+  | Run
+  | Stats
+  | Drain of { budget_ms : float option }
+  | Ping
+
+type err_code = Parse | Version | Bad_request
+
+let err_code_to_string = function
+  | Parse -> "parse"
+  | Version -> "version"
+  | Bad_request -> "bad-request"
+
+let err_code_of_string = function
+  | "parse" -> Some Parse
+  | "version" -> Some Version
+  | "bad-request" -> Some Bad_request
+  | _ -> None
+
+type job_status =
+  | Jok of {
+      makespan_s : float;  (** virtual seconds this job occupied its shard *)
+      checksum : string;  (** hex digest of the result matrix *)
+      tasks : int;
+      coalesced : bool;  (** satisfied by another identical job's run *)
+      shard : int;
+    }
+  | Jfailed of string
+  | Jtimeout  (** deadline expired while queued; the job never ran *)
+  | Jcancelled  (** drain budget exhausted before the job could run *)
+
+type tenant_row = {
+  tr_tenant : string;
+  tr_submitted : int;
+  tr_completed : int;
+  tr_rejected : int;
+  tr_timeouts : int;
+  tr_cancelled : int;
+  tr_failed : int;
+  tr_coalesced : int;
+  tr_queue : int;
+  tr_cap : int;
+  tr_weight : float;
+  tr_busy_vs : float;  (** virtual seconds of shard time consumed *)
+  tr_quarantined : string list;  (** this tenant's view only *)
+}
+
+type reply =
+  | Accepted of { id : int; credit : int }
+  | Overloaded of { tenant : string; queue : int; cap : int; retry_ms : float }
+  | Draining
+  | Done of {
+      id : int;
+      tenant : string;
+      latency_ms : float;
+      status : job_status;
+    }
+  | Stats_reply of tenant_row list
+  | Idle of { completed : int }
+  | Drained of { completed : int; cancelled : int }
+  | Pong
+  | Error of { code : err_code; reason : string }
+
+(* --- JSON emission ---------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* 17 significant digits round-trip IEEE doubles exactly; the grammar
+   forbids non-finite values (JSON cannot carry them). *)
+let num f = Printf.sprintf "%.17g" f
+let str s = "\"" ^ json_escape s ^ "\""
+
+let job_to_json = function
+  | Dgemm { n; tiles; seed } ->
+      Printf.sprintf "{\"kind\":\"dgemm\",\"n\":%d,\"tiles\":%d,\"seed\":%d}" n
+        tiles seed
+  | Cholesky { n; tiles; seed } ->
+      Printf.sprintf "{\"kind\":\"cholesky\",\"n\":%d,\"tiles\":%d,\"seed\":%d}"
+        n tiles seed
+  | Graph { width; depth; task_flops } ->
+      Printf.sprintf "{\"kind\":\"graph\",\"width\":%d,\"depth\":%d,\"task_flops\":%s}"
+        width depth (num task_flops)
+
+let request_to_string = function
+  | Submit { tenant; job; deadline_ms } ->
+      Printf.sprintf "{\"v\":%d,\"op\":\"submit\",\"tenant\":%s,\"job\":%s%s}"
+        version (str tenant) (job_to_json job)
+        (match deadline_ms with
+        | None -> ""
+        | Some d -> Printf.sprintf ",\"deadline_ms\":%s" (num d))
+  | Run -> Printf.sprintf "{\"v\":%d,\"op\":\"run\"}" version
+  | Stats -> Printf.sprintf "{\"v\":%d,\"op\":\"stats\"}" version
+  | Drain { budget_ms } ->
+      Printf.sprintf "{\"v\":%d,\"op\":\"drain\"%s}" version
+        (match budget_ms with
+        | None -> ""
+        | Some b -> Printf.sprintf ",\"budget_ms\":%s" (num b))
+  | Ping -> Printf.sprintf "{\"v\":%d,\"op\":\"ping\"}" version
+
+let status_fields = function
+  | Jok { makespan_s; checksum; tasks; coalesced; shard } ->
+      Printf.sprintf
+        "\"status\":\"ok\",\"makespan_s\":%s,\"checksum\":%s,\"tasks\":%d,\
+         \"coalesced\":%b,\"shard\":%d"
+        (num makespan_s) (str checksum) tasks coalesced shard
+  | Jfailed reason -> Printf.sprintf "\"status\":\"failed\",\"reason\":%s" (str reason)
+  | Jtimeout -> "\"status\":\"timeout\""
+  | Jcancelled -> "\"status\":\"cancelled\""
+
+let tenant_row_to_json r =
+  Printf.sprintf
+    "{\"tenant\":%s,\"submitted\":%d,\"completed\":%d,\"rejected\":%d,\
+     \"timeouts\":%d,\"cancelled\":%d,\"failed\":%d,\"coalesced\":%d,\
+     \"queue\":%d,\"cap\":%d,\"weight\":%s,\"busy_vs\":%s,\"quarantined\":[%s]}"
+    (str r.tr_tenant) r.tr_submitted r.tr_completed r.tr_rejected r.tr_timeouts
+    r.tr_cancelled r.tr_failed r.tr_coalesced r.tr_queue r.tr_cap
+    (num r.tr_weight) (num r.tr_busy_vs)
+    (String.concat "," (List.map str r.tr_quarantined))
+
+let reply_to_string = function
+  | Accepted { id; credit } ->
+      Printf.sprintf "{\"v\":%d,\"re\":\"accepted\",\"id\":%d,\"credit\":%d}"
+        version id credit
+  | Overloaded { tenant; queue; cap; retry_ms } ->
+      Printf.sprintf
+        "{\"v\":%d,\"re\":\"overloaded\",\"tenant\":%s,\"queue\":%d,\
+         \"cap\":%d,\"retry_ms\":%s}"
+        version (str tenant) queue cap (num retry_ms)
+  | Draining -> Printf.sprintf "{\"v\":%d,\"re\":\"draining\"}" version
+  | Done { id; tenant; latency_ms; status } ->
+      Printf.sprintf
+        "{\"v\":%d,\"re\":\"done\",\"id\":%d,\"tenant\":%s,\
+         \"latency_ms\":%s,%s}"
+        version id (str tenant) (num latency_ms) (status_fields status)
+  | Stats_reply rows ->
+      Printf.sprintf "{\"v\":%d,\"re\":\"stats\",\"tenants\":[%s]}" version
+        (String.concat "," (List.map tenant_row_to_json rows))
+  | Idle { completed } ->
+      Printf.sprintf "{\"v\":%d,\"re\":\"idle\",\"completed\":%d}" version
+        completed
+  | Drained { completed; cancelled } ->
+      Printf.sprintf
+        "{\"v\":%d,\"re\":\"drained\",\"completed\":%d,\"cancelled\":%d}"
+        version completed cancelled
+  | Pong -> Printf.sprintf "{\"v\":%d,\"re\":\"pong\"}" version
+  | Error { code; reason } ->
+      Printf.sprintf "{\"v\":%d,\"re\":\"error\",\"code\":%s,\"reason\":%s}"
+        version
+        (str (err_code_to_string code))
+        (str reason)
+
+(* --- JSON decoding ---------------------------------------------------- *)
+
+module J = Obs.Json
+
+type error = { e_code : err_code; e_reason : string }
+
+let err code fmt =
+  Printf.ksprintf (fun s -> Stdlib.Error { e_code = code; e_reason = s }) fmt
+
+let mem k o = J.member k o
+let get_str k o = Option.bind (mem k o) J.to_string
+let get_num k o = Option.bind (mem k o) J.to_number
+
+let get_int k o =
+  match get_num k o with
+  | Some f when Float.is_integer f && Float.abs f <= 1e15 ->
+      Some (int_of_float f)
+  | _ -> None
+
+let check_version o k =
+  match get_int "v" o with
+  | None -> err Parse "missing protocol version field \"v\""
+  | Some v when v <> version ->
+      err Version "unsupported protocol version %d (this daemon speaks %d)" v
+        version
+  | Some _ -> k ()
+
+let job_of_json o =
+  match get_str "kind" o with
+  | Some "dgemm" | Some "cholesky" -> (
+      let kind = Option.get (get_str "kind" o) in
+      match (get_int "n" o, get_int "tiles" o, get_int "seed" o) with
+      | Some n, Some tiles, Some seed when n > 0 && tiles > 0 && tiles <= n ->
+          Ok
+            (if kind = "dgemm" then Dgemm { n; tiles; seed }
+             else Cholesky { n; tiles; seed })
+      | _ -> Error (Printf.sprintf "%s job needs positive n, tiles (<= n), seed" kind)
+      )
+  | Some "graph" -> (
+      match (get_int "width" o, get_int "depth" o, get_num "task_flops" o) with
+      | Some width, Some depth, Some task_flops
+        when width > 0 && depth > 0 && task_flops > 0.0
+             && Float.is_finite task_flops ->
+          Ok (Graph { width; depth; task_flops })
+      | _ -> Error "graph job needs positive width, depth, task_flops")
+  | Some k -> Error (Printf.sprintf "unknown job kind %S" k)
+  | None -> Error "job needs a \"kind\" field"
+
+let request_of_string s =
+  match J.parse s with
+  | Error e -> err Parse "payload is not valid JSON: %s" e
+  | Ok o ->
+      check_version o (fun () ->
+          match get_str "op" o with
+          | Some "submit" -> (
+              match (get_str "tenant" o, mem "job" o) with
+              | Some tenant, Some jo when tenant <> "" -> (
+                  match job_of_json jo with
+                  | Ok job ->
+                      let deadline_ms = get_num "deadline_ms" o in
+                      if
+                        match deadline_ms with
+                        | Some d -> not (Float.is_finite d) || d < 0.0
+                        | None -> false
+                      then err Bad_request "deadline_ms must be finite and >= 0"
+                      else Ok (Submit { tenant; job; deadline_ms })
+                  | Error e -> err Bad_request "%s" e)
+              | _ -> err Bad_request "submit needs a non-empty tenant and a job")
+          | Some "run" -> Ok Run
+          | Some "stats" -> Ok Stats
+          | Some "drain" -> (
+              match mem "budget_ms" o with
+              | None -> Ok (Drain { budget_ms = None })
+              | Some b -> (
+                  match J.to_number b with
+                  | Some f when Float.is_finite f && f >= 0.0 ->
+                      Ok (Drain { budget_ms = Some f })
+                  | _ -> err Bad_request "budget_ms must be finite and >= 0"))
+          | Some "ping" -> Ok Ping
+          | Some op -> err Bad_request "unknown op %S" op
+          | None -> err Bad_request "request needs an \"op\" field")
+
+let status_of_json o =
+  match get_str "status" o with
+  | Some "ok" -> (
+      match
+        ( get_num "makespan_s" o,
+          get_str "checksum" o,
+          get_int "tasks" o,
+          mem "coalesced" o,
+          get_int "shard" o )
+      with
+      | Some makespan_s, Some checksum, Some tasks, Some coalesced, Some shard
+        -> (
+          match coalesced with
+          | J.Bool coalesced ->
+              Ok (Jok { makespan_s; checksum; tasks; coalesced; shard })
+          | _ -> Error "coalesced must be a boolean")
+      | _ -> Error "ok status needs makespan_s, checksum, tasks, coalesced, shard"
+      )
+  | Some "failed" -> (
+      match get_str "reason" o with
+      | Some reason -> Ok (Jfailed reason)
+      | None -> Error "failed status needs a reason")
+  | Some "timeout" -> Ok Jtimeout
+  | Some "cancelled" -> Ok Jcancelled
+  | Some s -> Error (Printf.sprintf "unknown job status %S" s)
+  | None -> Error "done reply needs a status"
+
+let tenant_row_of_json o =
+  let istr = get_str and inum = get_num and iint = get_int in
+  match
+    ( istr "tenant" o,
+      ( iint "submitted" o, iint "completed" o, iint "rejected" o,
+        iint "timeouts" o, iint "cancelled" o, iint "failed" o,
+        iint "coalesced" o ),
+      (iint "queue" o, iint "cap" o, inum "weight" o, inum "busy_vs" o),
+      Option.bind (mem "quarantined" o) J.to_list )
+  with
+  | ( Some tr_tenant,
+      ( Some tr_submitted, Some tr_completed, Some tr_rejected,
+        Some tr_timeouts, Some tr_cancelled, Some tr_failed, Some tr_coalesced
+      ),
+      (Some tr_queue, Some tr_cap, Some tr_weight, Some tr_busy_vs),
+      Some quarantined )
+    when List.for_all (fun q -> J.to_string q <> None) quarantined ->
+      Ok
+        {
+          tr_tenant; tr_submitted; tr_completed; tr_rejected; tr_timeouts;
+          tr_cancelled; tr_failed; tr_coalesced; tr_queue; tr_cap; tr_weight;
+          tr_busy_vs;
+          tr_quarantined = List.filter_map J.to_string quarantined;
+        }
+  | _ -> Error "malformed tenant row"
+
+let reply_of_string s =
+  let fail fmt = Printf.ksprintf (fun m -> Stdlib.Error m) fmt in
+  match J.parse s with
+  | Error e -> fail "payload is not valid JSON: %s" e
+  | Ok o -> (
+      match get_int "v" o with
+      | None -> fail "missing protocol version field \"v\""
+      | Some v when v <> version -> fail "unsupported protocol version %d" v
+      | Some _ -> (
+          match get_str "re" o with
+          | Some "accepted" -> (
+              match (get_int "id" o, get_int "credit" o) with
+              | Some id, Some credit -> Ok (Accepted { id; credit })
+              | _ -> fail "accepted needs id and credit")
+          | Some "overloaded" -> (
+              match
+                ( get_str "tenant" o, get_int "queue" o, get_int "cap" o,
+                  get_num "retry_ms" o )
+              with
+              | Some tenant, Some queue, Some cap, Some retry_ms ->
+                  Ok (Overloaded { tenant; queue; cap; retry_ms })
+              | _ -> fail "overloaded needs tenant, queue, cap, retry_ms")
+          | Some "draining" -> Ok Draining
+          | Some "done" -> (
+              match
+                (get_int "id" o, get_str "tenant" o, get_num "latency_ms" o)
+              with
+              | Some id, Some tenant, Some latency_ms -> (
+                  match status_of_json o with
+                  | Ok status -> Ok (Done { id; tenant; latency_ms; status })
+                  | Error e -> Error e)
+              | _ -> fail "done needs id, tenant, latency_ms")
+          | Some "stats" -> (
+              match Option.bind (mem "tenants" o) J.to_list with
+              | None -> fail "stats needs a tenants array"
+              | Some rows ->
+                  let rec go acc = function
+                    | [] -> Ok (Stats_reply (List.rev acc))
+                    | r :: rest -> (
+                        match tenant_row_of_json r with
+                        | Ok row -> go (row :: acc) rest
+                        | Error e -> Error e)
+                  in
+                  go [] rows)
+          | Some "idle" -> (
+              match get_int "completed" o with
+              | Some completed -> Ok (Idle { completed })
+              | None -> fail "idle needs completed")
+          | Some "drained" -> (
+              match (get_int "completed" o, get_int "cancelled" o) with
+              | Some completed, Some cancelled ->
+                  Ok (Drained { completed; cancelled })
+              | _ -> fail "drained needs completed and cancelled")
+          | Some "pong" -> Ok Pong
+          | Some "error" -> (
+              match (get_str "code" o, get_str "reason" o) with
+              | Some code, Some reason -> (
+                  match err_code_of_string code with
+                  | Some code -> Ok (Error { code; reason })
+                  | None -> fail "unknown error code %S" code)
+              | _ -> fail "error needs code and reason")
+          | Some re -> fail "unknown reply kind %S" re
+          | None -> fail "reply needs a \"re\" field"))
+
+(* --- framing ----------------------------------------------------------- *)
+
+let frame payload =
+  let n = String.length payload in
+  if n > max_frame then
+    invalid_arg
+      (Printf.sprintf "Protocol.frame: payload of %d bytes exceeds max %d" n
+         max_frame);
+  let b = Bytes.create (4 + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xFF);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xFF);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xFF);
+  Bytes.set_uint8 b 3 (n land 0xFF);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.to_string b
+
+type deframe =
+  | Frame of string * int  (** payload and total bytes consumed *)
+  | Need  (** incomplete; feed more bytes *)
+  | Corrupt of string  (** unrecoverable framing error; close the peer *)
+
+let deframe b ~off ~len =
+  if len < 4 then Need
+  else begin
+    let u8 i = Char.code (Bytes.get b (off + i)) in
+    let n = (u8 0 lsl 24) lor (u8 1 lsl 16) lor (u8 2 lsl 8) lor u8 3 in
+    if n > max_frame then
+      Corrupt
+        (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" n
+           max_frame)
+    else if len < 4 + n then Need
+    else Frame (Bytes.sub_string b (off + 4) n, 4 + n)
+  end

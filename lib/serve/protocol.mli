@@ -1,0 +1,112 @@
+(** The cascabeld wire protocol: typed requests and replies, their
+    JSON codec, and the length-prefixed socket framing.
+
+    Two transports share the same JSON payloads:
+    - {b binary} (Unix socket): each message is a 4-byte big-endian
+      payload length followed by the payload, capped at {!max_frame};
+    - {b text} (stdio, cram tests): one JSON document per line.
+
+    Decoding never raises and never hangs on partial input: malformed
+    payloads become structured {!error} values the daemon echoes back,
+    and {!deframe} reports truncation ([Need]) separately from
+    corruption ([Corrupt]). *)
+
+val version : int
+(** Protocol version, currently [1]. Every message carries it as
+    field ["v"]; a mismatch yields a [Version] error, never a
+    best-effort parse. *)
+
+val max_frame : int
+(** Maximum payload bytes in a binary frame (1 MiB). *)
+
+type job =
+  | Dgemm of { n : int; tiles : int; seed : int }
+  | Cholesky of { n : int; tiles : int; seed : int }
+  | Graph of { width : int; depth : int; task_flops : float }
+      (** a synthetic [width x depth] task grid, for load generation *)
+
+type request =
+  | Submit of { tenant : string; job : job; deadline_ms : float option }
+  | Run  (** dispatch until all queues are empty (text mode's clock) *)
+  | Stats
+  | Drain of { budget_ms : float option }
+  | Ping
+
+type err_code =
+  | Parse  (** payload is not valid JSON *)
+  | Version  (** missing or unsupported ["v"] *)
+  | Bad_request  (** well-formed JSON, invalid request *)
+
+val err_code_to_string : err_code -> string
+val err_code_of_string : string -> err_code option
+
+type job_status =
+  | Jok of {
+      makespan_s : float;  (** virtual seconds this job occupied its shard *)
+      checksum : string;  (** hex digest of the result matrix *)
+      tasks : int;
+      coalesced : bool;  (** satisfied by another identical job's run *)
+      shard : int;
+    }
+  | Jfailed of string
+  | Jtimeout  (** deadline expired while queued; the job never ran *)
+  | Jcancelled  (** drain budget exhausted before the job could run *)
+
+type tenant_row = {
+  tr_tenant : string;
+  tr_submitted : int;
+  tr_completed : int;
+  tr_rejected : int;
+  tr_timeouts : int;
+  tr_cancelled : int;
+  tr_failed : int;
+  tr_coalesced : int;
+  tr_queue : int;
+  tr_cap : int;
+  tr_weight : float;
+  tr_busy_vs : float;  (** virtual seconds of shard time consumed *)
+  tr_quarantined : string list;  (** this tenant's view only *)
+}
+
+type reply =
+  | Accepted of { id : int; credit : int }
+      (** [credit] is the tenant's remaining queue capacity — the
+          backpressure signal a well-behaved client throttles on *)
+  | Overloaded of { tenant : string; queue : int; cap : int; retry_ms : float }
+  | Draining  (** submissions refused: the daemon is shutting down *)
+  | Done of {
+      id : int;
+      tenant : string;
+      latency_ms : float;
+      status : job_status;
+    }
+  | Stats_reply of tenant_row list
+  | Idle of { completed : int }  (** reply to [Run] *)
+  | Drained of { completed : int; cancelled : int }
+  | Pong
+  | Error of { code : err_code; reason : string }
+
+type error = { e_code : err_code; e_reason : string }
+
+val request_to_string : request -> string
+(** One-line JSON, no trailing newline. Floats are printed with 17
+    significant digits so decode is the exact inverse. *)
+
+val request_of_string : string -> (request, error) result
+
+val reply_to_string : reply -> string
+val reply_of_string : string -> (reply, string) result
+
+val frame : string -> string
+(** Prefix a payload with its 4-byte big-endian length.
+    @raise Invalid_argument beyond {!max_frame}. *)
+
+type deframe =
+  | Frame of string * int  (** payload and total bytes consumed *)
+  | Need  (** incomplete; feed more bytes *)
+  | Corrupt of string  (** unrecoverable framing error; close the peer *)
+
+val deframe : Bytes.t -> off:int -> len:int -> deframe
+(** Try to extract one frame from [len] buffered bytes at [off].
+    Never raises on garbage: an impossible length is [Corrupt], a
+    short buffer is [Need]. *)

@@ -1,0 +1,270 @@
+module P = Protocol
+
+type config = {
+  budget_ms : float option;
+  tune : Tune.Store.t option;
+  tune_dir : string option;
+  trace_out : string option;
+  metrics_out : string option;
+}
+
+let default_config =
+  {
+    budget_ms = None;
+    tune = None;
+    tune_dir = None;
+    trace_out = None;
+    metrics_out = None;
+  }
+
+(* Persist everything worth keeping across daemon restarts: the
+   calibration store (so the next run schedules with today's measured
+   costs), the per-tenant Perfetto trace, and the final metric dump. *)
+let flush_state config svc =
+  (match (config.tune, config.tune_dir) with
+  | Some store, Some dir -> Tune.Store.save ~dir store
+  | Some store, None -> Tune.Store.save store
+  | None, _ -> ());
+  Option.iter
+    (fun path ->
+      Taskrt.Trace_export.write_chrome_tenants_combined path
+        (Service.tenant_traces svc))
+    config.trace_out;
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc (Obs.Export.prometheus ());
+      close_out oc)
+    config.metrics_out
+
+(* --- text mode: one JSON document per line on stdin/stdout ------------- *)
+
+let run_stdio ?(config = default_config) svc =
+  let out r =
+    print_string (P.reply_to_string r);
+    print_newline ()
+  in
+  let drain () =
+    let dones, final = Service.drain svc ?budget_ms:config.budget_ms () in
+    List.iter out dones;
+    out final
+  in
+  let rec loop () =
+    match input_line stdin with
+    | exception End_of_file -> drain ()
+    | line when String.trim line = "" -> loop ()
+    | line -> (
+        match P.request_of_string (String.trim line) with
+        | Error e ->
+            out (P.Error { code = e.P.e_code; reason = e.P.e_reason });
+            loop ()
+        | Ok (P.Submit { tenant; job; deadline_ms }) ->
+            out (Service.submit svc ~tenant ?deadline_ms job);
+            loop ()
+        | Ok P.Run ->
+            List.iter out (Service.run_until_idle svc);
+            out (P.Idle { completed = Service.completed svc });
+            loop ()
+        | Ok P.Stats ->
+            out (P.Stats_reply (Service.stats svc));
+            loop ()
+        | Ok P.Ping ->
+            out P.Pong;
+            loop ()
+        | Ok (P.Drain { budget_ms }) ->
+            let dones, final = Service.drain svc ?budget_ms () in
+            List.iter out dones;
+            out final)
+  in
+  loop ();
+  flush stdout;
+  flush_state config svc
+
+(* --- socket mode ------------------------------------------------------- *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  mutable c_buf : Bytes.t;
+  mutable c_len : int;
+}
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n = Unix.write fd b off len in
+    write_all fd b (off + n) (len - n)
+  end
+
+type state = {
+  svc : Service.t;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  routes : (int, Unix.file_descr) Hashtbl.t;  (* job id -> submitter *)
+  mutable stop : bool;
+  mutable drained : bool;
+}
+
+let send st fd reply =
+  let payload = P.frame (P.reply_to_string reply) in
+  try write_all fd (Bytes.of_string payload) 0 (String.length payload)
+  with Unix.Unix_error _ ->
+    (* the peer went away; its connection is reaped on the next read *)
+    ignore st
+
+let close_conn st fd =
+  (match Hashtbl.find_opt st.conns fd with
+  | Some _ -> (try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  Hashtbl.remove st.conns fd
+
+(* Completion replies go back to whichever connection submitted the
+   job; a reply whose submitter disconnected is dropped. *)
+let route_done st r =
+  match r with
+  | P.Done { id; _ } -> (
+      match Hashtbl.find_opt st.routes id with
+      | Some fd ->
+          Hashtbl.remove st.routes id;
+          if Hashtbl.mem st.conns fd then send st fd r
+      | None -> ())
+  | _ -> ()
+
+let dispatch st =
+  if Service.has_work st.svc then
+    List.iter (route_done st) (Service.run_until_idle st.svc)
+
+let handle_payload config st fd payload =
+  match P.request_of_string payload with
+  | Error e -> send st fd (P.Error { code = e.P.e_code; reason = e.P.e_reason })
+  | Ok (P.Submit { tenant; job; deadline_ms }) ->
+      let reply = Service.submit st.svc ~tenant ?deadline_ms job in
+      (match reply with
+      | P.Accepted { id; _ } -> Hashtbl.replace st.routes id fd
+      | _ -> ());
+      send st fd reply
+  | Ok P.Run ->
+      dispatch st;
+      send st fd (P.Idle { completed = Service.completed st.svc })
+  | Ok P.Stats -> send st fd (P.Stats_reply (Service.stats st.svc))
+  | Ok P.Ping -> send st fd P.Pong
+  | Ok (P.Drain { budget_ms }) ->
+      let dones, final = Service.drain st.svc ?budget_ms () in
+      List.iter (route_done st) dones;
+      send st fd final;
+      st.drained <- true;
+      st.stop <- true;
+      ignore config
+
+let read_conn config st conn =
+  let tmp = Bytes.create 4096 in
+  match Unix.read conn.c_fd tmp 0 4096 with
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      close_conn st conn.c_fd
+  | 0 -> close_conn st conn.c_fd
+  | n ->
+      let need = conn.c_len + n in
+      if Bytes.length conn.c_buf < need then begin
+        let nb = Bytes.create (max need (2 * Bytes.length conn.c_buf)) in
+        Bytes.blit conn.c_buf 0 nb 0 conn.c_len;
+        conn.c_buf <- nb
+      end;
+      Bytes.blit tmp 0 conn.c_buf conn.c_len n;
+      conn.c_len <- need;
+      let rec frames () =
+        match P.deframe conn.c_buf ~off:0 ~len:conn.c_len with
+        | P.Need -> ()
+        | P.Corrupt reason ->
+            send st conn.c_fd (P.Error { code = P.Parse; reason });
+            close_conn st conn.c_fd
+        | P.Frame (payload, used) ->
+            Bytes.blit conn.c_buf used conn.c_buf 0 (conn.c_len - used);
+            conn.c_len <- conn.c_len - used;
+            handle_payload config st conn.c_fd payload;
+            if Hashtbl.mem st.conns conn.c_fd then frames ()
+      in
+      frames ()
+
+let run_socket ?(config = default_config) ~path svc =
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind srv (Unix.ADDR_UNIX path)
+   with e ->
+     Unix.close srv;
+     raise e);
+  Unix.listen srv 16;
+  let st =
+    { svc; conns = Hashtbl.create 8; routes = Hashtbl.create 64;
+      stop = false; drained = false }
+  in
+  let on_term = Sys.Signal_handle (fun _ -> st.stop <- true) in
+  let old_term = Sys.signal Sys.sigterm on_term in
+  let old_int = Sys.signal Sys.sigint on_term in
+  while not st.stop do
+    let fds =
+      srv :: Hashtbl.fold (fun fd _ acc -> fd :: acc) st.conns []
+    in
+    match Unix.select fds [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            if st.stop then ()
+            else if fd = srv then begin
+              let cfd, _ = Unix.accept srv in
+              Hashtbl.replace st.conns cfd
+                { c_fd = cfd; c_buf = Bytes.create 4096; c_len = 0 }
+            end
+            else
+              match Hashtbl.find_opt st.conns fd with
+              | Some conn -> read_conn config st conn
+              | None -> ())
+          ready;
+        if not st.stop then dispatch st
+  done;
+  (* graceful shutdown: stop admitting, finish or cancel in-flight
+     work within the budget, persist state, release the socket *)
+  if not st.drained then begin
+    let dones, _final = Service.drain svc ?budget_ms:config.budget_ms () in
+    List.iter (route_done st) dones
+  end;
+  flush_state config svc;
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
+    st.conns;
+  Hashtbl.reset st.conns;
+  Unix.close srv;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Sys.set_signal Sys.sigterm old_term;
+  Sys.set_signal Sys.sigint old_int
+
+(* --- a minimal blocking client (scripted sessions, tests, bench) ------- *)
+
+let rec read_exact fd b off len =
+  if len > 0 then begin
+    let n = Unix.read fd b off len in
+    if n = 0 then raise End_of_file;
+    read_exact fd b (off + n) (len - n)
+  end
+
+let client_connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let client_send_blob fd bytes =
+  write_all fd (Bytes.of_string bytes) 0 (String.length bytes)
+
+let client_send_raw fd payload = client_send_blob fd (P.frame payload)
+
+let client_send fd req = client_send_raw fd (P.request_to_string req)
+
+let client_recv fd =
+  let hdr = Bytes.create 4 in
+  read_exact fd hdr 0 4;
+  let u8 i = Char.code (Bytes.get hdr i) in
+  let n = (u8 0 lsl 24) lor (u8 1 lsl 16) lor (u8 2 lsl 8) lor u8 3 in
+  if n > P.max_frame then failwith "cascabeld client: oversized reply frame";
+  let body = Bytes.create n in
+  read_exact fd body 0 n;
+  match P.reply_of_string (Bytes.to_string body) with
+  | Ok r -> r
+  | Error e -> failwith ("cascabeld client: bad reply: " ^ e)

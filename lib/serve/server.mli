@@ -1,0 +1,62 @@
+(** The cascabeld daemon loop: transports over {!Service}.
+
+    Two modes share request handling:
+    - {!run_socket}: a [select]-driven loop on a Unix domain socket
+      speaking length-prefixed binary frames, with completion replies
+      routed back to the submitting connection;
+    - {!run_stdio}: one JSON document per line on stdin/stdout — the
+      deterministic mode the cram tests script.
+
+    Both drain gracefully: on SIGTERM/SIGINT (socket mode) or EOF
+    (text mode) the service stops admitting, finishes what the drain
+    budget allows, cancels the rest, and {!config} state — the
+    calibration store, the per-tenant Perfetto trace, the final
+    metric dump — is persisted before exit. *)
+
+type config = {
+  budget_ms : float option;  (** drain budget; [None] = finish everything *)
+  tune : Tune.Store.t option;  (** calibration store to flush on drain *)
+  tune_dir : string option;  (** directory for [CALIB_<hash>.json] *)
+  trace_out : string option;  (** per-tenant Chrome trace path *)
+  metrics_out : string option;  (** Prometheus text dump path *)
+}
+
+val default_config : config
+(** Everything off: unbounded drain, nothing persisted. *)
+
+val run_stdio : ?config:config -> Service.t -> unit
+(** Serve text mode until EOF or an explicit [drain] request, then
+    drain and persist. Replies (including [Done]s) are printed in
+    order on stdout. *)
+
+val run_socket : ?config:config -> path:string -> Service.t -> unit
+(** Bind [path], serve binary frames until SIGTERM/SIGINT or an
+    explicit [drain] request, then drain, persist, close every
+    connection and unlink the socket. Queued jobs are dispatched
+    after every input round, so a submit-only client just waits for
+    its [Done] frame. Installs signal handlers for the duration of
+    the call and restores the previous ones on return.
+    @raise Unix.Unix_error when the socket cannot be created or
+    bound (the CLI maps this to its "unsupported platform" exit). *)
+
+(** {1 Client helpers}
+
+    A minimal blocking client for scripted sessions ([cascabeld
+    client], the load generator, the daemon integration test). *)
+
+val client_connect : string -> Unix.file_descr
+val client_send : Unix.file_descr -> Protocol.request -> unit
+
+val client_send_raw : Unix.file_descr -> string -> unit
+(** Frame an arbitrary payload verbatim — robustness tests exercising
+    the daemon's handling of garbage requests. *)
+
+val client_send_blob : Unix.file_descr -> string -> unit
+(** Write pre-framed bytes in one burst. Several concatenated frames
+    sent this way reach the daemon in a single input round — how the
+    overload tests fill a queue faster than it drains. *)
+
+val client_recv : Unix.file_descr -> Protocol.reply
+(** Block for one reply frame.
+    @raise End_of_file when the daemon closed the connection.
+    @raise Failure on an unparseable or oversized reply. *)

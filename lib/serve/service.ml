@@ -1,0 +1,431 @@
+module P = Protocol
+module MC = Taskrt.Machine_config
+module Engine = Taskrt.Engine
+module Fault = Taskrt.Fault
+module Matrix = Kernels.Matrix
+module Lapack = Kernels.Lapack
+
+type pending = {
+  p_id : int;
+  p_job : P.job;
+  p_submitted : float;  (* wall-clock seconds from the injected clock *)
+  p_deadline_ms : float option;
+  p_cost : float;  (* flops estimate; the DRR currency *)
+}
+
+type tenant = {
+  t_name : string;
+  mutable t_weight : float;
+  mutable t_cap : int;
+  mutable t_faults : Fault.t option;
+  t_queue : pending Queue.t;
+  mutable t_deficit : float;
+  t_engines : Engine.t option array;  (* lazy, one per shard *)
+  mutable t_next_shard : int;
+  mutable t_submitted : int;
+  mutable t_completed : int;
+  mutable t_rejected : int;
+  mutable t_timeouts : int;
+  mutable t_cancelled : int;
+  mutable t_failed : int;
+  mutable t_coalesced : int;
+  mutable t_busy_vs : float;
+  c_submitted : Obs.Counter.t;
+  c_completed : Obs.Counter.t;
+  c_rejected : Obs.Counter.t;
+}
+
+type t = {
+  shard_cfgs : MC.t array;
+  policy : Engine.policy;
+  tune : Tune.Store.t option;
+  now : unit -> float;
+  quantum : float;
+  default_cap : int;
+  tenants : (string, tenant) Hashtbl.t;
+  mutable order : string list;  (* DRR visiting order = registration order *)
+  mutable draining : bool;
+  mutable next_id : int;
+  mutable total_completed : int;
+}
+
+let create ?(policy = Engine.Heft) ?(shards = 2) ?(queue_cap = 16)
+    ?(quantum = 1e6) ?tune ?(now = Unix.gettimeofday) cfg =
+  if queue_cap < 1 then invalid_arg "Service.create: queue_cap must be >= 1";
+  if quantum <= 0.0 then invalid_arg "Service.create: quantum must be > 0";
+  {
+    shard_cfgs = Shard.split cfg ~shards;
+    policy;
+    tune;
+    now;
+    quantum;
+    default_cap = queue_cap;
+    tenants = Hashtbl.create 8;
+    order = [];
+    draining = false;
+    next_id = 0;
+    total_completed = 0;
+  }
+
+let shard_configs t = t.shard_cfgs
+
+let tenant t name =
+  match Hashtbl.find_opt t.tenants name with
+  | Some ten -> ten
+  | None ->
+      let c suffix =
+        Obs.Counter.make
+          ~help:(Printf.sprintf "task service: %s jobs of tenant %s" suffix name)
+          (Printf.sprintf "serve_%s_%s" suffix name)
+      in
+      let ten =
+        {
+          t_name = name;
+          t_weight = 1.0;
+          t_cap = t.default_cap;
+          t_faults = None;
+          t_queue = Queue.create ();
+          t_deficit = 0.0;
+          t_engines = Array.make (Array.length t.shard_cfgs) None;
+          t_next_shard = 0;
+          t_submitted = 0;
+          t_completed = 0;
+          t_rejected = 0;
+          t_timeouts = 0;
+          t_cancelled = 0;
+          t_failed = 0;
+          t_coalesced = 0;
+          t_busy_vs = 0.0;
+          c_submitted = c "submitted";
+          c_completed = c "completed";
+          c_rejected = c "rejected";
+        }
+      in
+      Hashtbl.add t.tenants name ten;
+      t.order <- t.order @ [ name ];
+      ten
+
+let configure_tenant t ~name ?weight ?queue_cap ?faults () =
+  let ten = tenant t name in
+  Option.iter
+    (fun w ->
+      if w <= 0.0 then
+        invalid_arg "Service.configure_tenant: weight must be > 0";
+      ten.t_weight <- w)
+    weight;
+  Option.iter
+    (fun c ->
+      if c < 1 then
+        invalid_arg "Service.configure_tenant: queue_cap must be >= 1";
+      ten.t_cap <- c)
+    queue_cap;
+  match faults with None -> () | Some f -> ten.t_faults <- Some f
+
+(* --- job execution ----------------------------------------------------- *)
+
+let cube n = float_of_int n *. float_of_int n *. float_of_int n
+
+let job_cost = function
+  | P.Dgemm { n; _ } -> 2.0 *. cube n
+  | P.Cholesky { n; _ } -> cube n /. 3.0
+  | P.Graph { width; depth; task_flops } ->
+      float_of_int (width * depth) *. task_flops
+
+let job_tasks = function
+  | P.Dgemm { tiles; _ } -> tiles * tiles
+  | P.Cholesky { tiles = t; _ } -> t + (t * (t - 1)) + (t * (t - 1) * (t - 2) / 6)
+  | P.Graph { width; depth; _ } -> width * depth
+
+(* A tenant's fault model applies to each of its shard engines, but a
+   timed event naming a PU outside the shard would be rejected by
+   Engine.create — scope the event list down to the shard's workers. *)
+let faults_for_shard faults (cfg : MC.t) =
+  match faults with
+  | None -> None
+  | Some f ->
+      let names =
+        Array.to_list cfg.MC.workers |> List.map (fun w -> w.MC.w_name)
+      in
+      let keep = function
+        | Fault.Crash { pu; _ } | Fault.Slowdown { pu; _ }
+        | Fault.Recover { pu; _ } ->
+            List.mem pu names
+      in
+      Some { f with Fault.events = List.filter keep f.Fault.events }
+
+let engine_for t ten shard =
+  match ten.t_engines.(shard) with
+  | Some e -> e
+  | None ->
+      let cfg = t.shard_cfgs.(shard) in
+      let e =
+        Engine.create ~policy:t.policy
+          ?faults:(faults_for_shard ten.t_faults cfg)
+          ?tune:t.tune cfg
+      in
+      ten.t_engines.(shard) <- Some e;
+      e
+
+let hex f = Printf.sprintf "%016Lx" (Int64.bits_of_float f)
+
+let execute t ten job =
+  let shard = ten.t_next_shard in
+  ten.t_next_shard <- (shard + 1) mod Array.length t.shard_cfgs;
+  let e = engine_for t ten shard in
+  let t0 = Engine.now e in
+  let checksum =
+    match job with
+    | P.Dgemm { n; tiles; seed } ->
+        let a = Matrix.random ~seed n n
+        and b = Matrix.random ~seed:(seed + 1) n n in
+        let c, _ = Taskrt.Tiled_dgemm.run_on ~tiles e ~a ~b in
+        hex (Matrix.checksum c)
+    | P.Cholesky { n; tiles; seed } ->
+        let a = Lapack.random_spd ~seed n in
+        let l, _ = Taskrt.Tiled_cholesky.run_on ~tiles e a in
+        hex (Matrix.checksum l)
+    | P.Graph { width; depth; task_flops } ->
+        let archs =
+          Array.to_list t.shard_cfgs.(shard).MC.workers
+          |> List.map (fun w -> w.MC.w_arch)
+          |> List.sort_uniq compare
+        in
+        let cl = Taskrt.Codelet.noop ~name:"stage" ~flops:task_flops ~archs in
+        let prev = Array.make width (-1) in
+        for _d = 0 to depth - 1 do
+          for w = 0 to width - 1 do
+            let id = Engine.submit_id e cl [] in
+            if prev.(w) >= 0 then
+              Engine.declare_dep e ~task:id ~depends_on:prev.(w);
+            prev.(w) <- id
+          done
+        done;
+        ignore (Engine.wait_all e);
+        hex (float_of_int (width * depth) *. task_flops)
+  in
+  let makespan_s = Engine.now e -. t0 in
+  ten.t_busy_vs <- ten.t_busy_vs +. makespan_s;
+  P.Jok
+    { makespan_s; checksum; tasks = job_tasks job; coalesced = false; shard }
+
+let run_job t ten job =
+  try execute t ten job with
+  | Engine.Stuck st ->
+      (* the engine still holds unfinishable tasks; restart the shard
+         executor rather than poisoning every later job on it *)
+      let shard = (ten.t_next_shard + Array.length t.shard_cfgs - 1)
+                  mod Array.length t.shard_cfgs in
+      ten.t_engines.(shard) <- None;
+      P.Jfailed (Engine.stuck_to_string st)
+  | Lapack.Not_positive_definite i ->
+      P.Jfailed (Printf.sprintf "matrix not positive definite (minor %d)" i)
+  | Invalid_argument m -> P.Jfailed m
+
+(* --- admission --------------------------------------------------------- *)
+
+let submit t ~tenant:name ?deadline_ms job =
+  if t.draining then P.Draining
+  else begin
+    let ten = tenant t name in
+    let queue = Queue.length ten.t_queue in
+    if queue >= ten.t_cap then begin
+      ten.t_rejected <- ten.t_rejected + 1;
+      Obs.Counter.incr ten.c_rejected;
+      (* a deterministic hint: one queue-drain's worth of patience *)
+      P.Overloaded
+        {
+          tenant = name;
+          queue;
+          cap = ten.t_cap;
+          retry_ms = 50.0 *. float_of_int queue;
+        }
+    end
+    else begin
+      t.next_id <- t.next_id + 1;
+      let p =
+        {
+          p_id = t.next_id;
+          p_job = job;
+          p_submitted = t.now ();
+          p_deadline_ms = deadline_ms;
+          p_cost = job_cost job;
+        }
+      in
+      Queue.add p ten.t_queue;
+      ten.t_submitted <- ten.t_submitted + 1;
+      Obs.Counter.incr ten.c_submitted;
+      P.Accepted { id = p.p_id; credit = ten.t_cap - Queue.length ten.t_queue }
+    end
+  end
+
+(* --- dispatch: deficit round robin ------------------------------------- *)
+
+let latency_ms t p = (t.now () -. p.p_submitted) *. 1000.0
+
+let expired t p =
+  match p.p_deadline_ms with
+  | None -> false
+  | Some d -> latency_ms t p > d
+
+let finish t ten emit p status =
+  let lat = latency_ms t p in
+  (match status with
+  | P.Jok { coalesced; _ } ->
+      ten.t_completed <- ten.t_completed + 1;
+      if coalesced then ten.t_coalesced <- ten.t_coalesced + 1;
+      t.total_completed <- t.total_completed + 1;
+      Obs.Counter.incr ten.c_completed;
+      Obs.Histogram.observe_named
+        (Printf.sprintf "serve_latency_s_%s" ten.t_name)
+        (lat /. 1000.0)
+  | P.Jfailed _ ->
+      ten.t_failed <- ten.t_failed + 1;
+      t.total_completed <- t.total_completed + 1
+  | P.Jtimeout -> ten.t_timeouts <- ten.t_timeouts + 1
+  | P.Jcancelled -> ten.t_cancelled <- ten.t_cancelled + 1);
+  emit
+    (P.Done { id = p.p_id; tenant = ten.t_name; latency_ms = lat; status })
+
+(* Complete every queued job identical to [job] with the result it
+   just produced: same-tenant coalescing (a cross-tenant match would
+   leak one tenant's fault environment into another's results). *)
+let coalesce t ten emit job status =
+  match status with
+  | P.Jok { makespan_s; checksum; tasks; coalesced = _; shard } ->
+      let matched = ref [] and keep = Queue.create () in
+      Queue.iter
+        (fun p ->
+          if p.p_job = job then matched := p :: !matched else Queue.add p keep)
+        ten.t_queue;
+      Queue.clear ten.t_queue;
+      Queue.transfer keep ten.t_queue;
+      List.iter
+        (fun p ->
+          finish t ten emit p
+            (P.Jok { makespan_s; checksum; tasks; coalesced = true; shard }))
+        (List.rev !matched)
+  | _ -> ()
+
+(* One DRR pass: every tenant's deficit grows by [quantum * weight];
+   it runs queued jobs while the deficit covers their cost.  Returns
+   whether any job reached a terminal state this pass (the deficits
+   grow without bound, so repeated passes always make progress). *)
+let dispatch_round t emit =
+  let progressed = ref false in
+  List.iter
+    (fun name ->
+      let ten = Hashtbl.find t.tenants name in
+      if not (Queue.is_empty ten.t_queue) then begin
+        ten.t_deficit <- ten.t_deficit +. (t.quantum *. ten.t_weight);
+        let continue_ = ref true in
+        while !continue_ && not (Queue.is_empty ten.t_queue) do
+          let p = Queue.peek ten.t_queue in
+          if expired t p then begin
+            ignore (Queue.pop ten.t_queue);
+            finish t ten emit p P.Jtimeout;
+            progressed := true
+          end
+          else if p.p_cost <= ten.t_deficit then begin
+            ignore (Queue.pop ten.t_queue);
+            ten.t_deficit <- ten.t_deficit -. p.p_cost;
+            let status = run_job t ten p.p_job in
+            finish t ten emit p status;
+            coalesce t ten emit p.p_job status;
+            progressed := true
+          end
+          else continue_ := false
+        done;
+        if Queue.is_empty ten.t_queue then ten.t_deficit <- 0.0
+      end)
+    t.order;
+  !progressed
+
+let has_work t =
+  Hashtbl.fold (fun _ ten acc -> acc || not (Queue.is_empty ten.t_queue))
+    t.tenants false
+
+let run_until_idle t =
+  let out = ref [] in
+  let emit r = out := r :: !out in
+  while has_work t do
+    ignore (dispatch_round t emit)
+  done;
+  List.rev !out
+
+let completed t = t.total_completed
+let is_draining t = t.draining
+
+(* --- drain ------------------------------------------------------------- *)
+
+let drain t ?budget_ms () =
+  t.draining <- true;
+  let start = t.now () in
+  let before = t.total_completed in
+  let out = ref [] in
+  let emit r = out := r :: !out in
+  let within_budget () =
+    match budget_ms with
+    | None -> true
+    | Some b -> (t.now () -. start) *. 1000.0 < b
+  in
+  while has_work t && within_budget () do
+    ignore (dispatch_round t emit)
+  done;
+  let cancelled = ref 0 in
+  List.iter
+    (fun name ->
+      let ten = Hashtbl.find t.tenants name in
+      while not (Queue.is_empty ten.t_queue) do
+        let p = Queue.pop ten.t_queue in
+        incr cancelled;
+        finish t ten emit p P.Jcancelled
+      done)
+    t.order;
+  ( List.rev !out,
+    P.Drained
+      { completed = t.total_completed - before; cancelled = !cancelled } )
+
+(* --- introspection ----------------------------------------------------- *)
+
+let tenant_quarantined ten =
+  Array.to_list ten.t_engines
+  |> List.concat_map (function
+       | None -> []
+       | Some e -> Engine.quarantined_workers e)
+  |> List.sort_uniq compare
+
+let stats t =
+  List.map
+    (fun name ->
+      let ten = Hashtbl.find t.tenants name in
+      {
+        P.tr_tenant = name;
+        tr_submitted = ten.t_submitted;
+        tr_completed = ten.t_completed;
+        tr_rejected = ten.t_rejected;
+        tr_timeouts = ten.t_timeouts;
+        tr_cancelled = ten.t_cancelled;
+        tr_failed = ten.t_failed;
+        tr_coalesced = ten.t_coalesced;
+        tr_queue = Queue.length ten.t_queue;
+        tr_cap = ten.t_cap;
+        tr_weight = ten.t_weight;
+        tr_busy_vs = ten.t_busy_vs;
+        tr_quarantined = tenant_quarantined ten;
+      })
+    t.order
+
+let quarantined t ~tenant:name =
+  match Hashtbl.find_opt t.tenants name with
+  | None -> []
+  | Some ten -> tenant_quarantined ten
+
+let tenant_traces t =
+  List.map
+    (fun name ->
+      let ten = Hashtbl.find t.tenants name in
+      let engines = Array.to_list ten.t_engines |> List.filter_map Fun.id in
+      ( name,
+        List.concat_map Engine.trace engines,
+        List.concat_map Engine.fault_log engines ))
+    t.order

@@ -1,0 +1,92 @@
+(** The multi-tenant task service behind [cascabeld]: admission
+    control, fair dispatch, coalescing, deadlines and graceful drain,
+    multiplexing jobs onto per-(tenant, shard) {!Taskrt.Engine}
+    instances.
+
+    {b Isolation by construction.} Each tenant gets its own engines
+    over the PU shards ({!Shard.split}), carrying the tenant's own
+    {!Taskrt.Fault} model, retry budget, quarantine view and RNG — a
+    crashing, fault-injected tenant cannot perturb another tenant's
+    schedules or results, which stay bit-identical to an unloaded run.
+
+    {b Fairness.} Dispatch is deficit round robin: every pass grants
+    each backlogged tenant [quantum * weight] flops of credit; a job
+    runs once the tenant's deficit covers its flops estimate, so a
+    flood of cheap jobs from one tenant cannot starve another.
+
+    The module is single-threaded by design (the daemon's event loop
+    serializes calls); the wall clock is injectable for deterministic
+    tests. *)
+
+type t
+
+val create :
+  ?policy:Taskrt.Engine.policy ->
+  ?shards:int ->
+  ?queue_cap:int ->
+  ?quantum:float ->
+  ?tune:Tune.Store.t ->
+  ?now:(unit -> float) ->
+  Taskrt.Machine_config.t ->
+  t
+(** [shards] (default 2) sub-machines, [queue_cap] (default 16)
+    pending jobs per tenant before {!submit} answers [Overloaded],
+    [quantum] (default 1e6) flops of DRR credit per pass and unit
+    weight. [now] defaults to [Unix.gettimeofday]; tests inject a fake
+    clock. @raise Invalid_argument on a non-positive cap or quantum. *)
+
+val configure_tenant :
+  t ->
+  name:string ->
+  ?weight:float ->
+  ?queue_cap:int ->
+  ?faults:Taskrt.Fault.t ->
+  unit ->
+  unit
+(** Create or reconfigure a tenant. Unknown tenants are otherwise
+    auto-registered on first {!submit} with weight 1 and the service
+    default cap. [faults] applies to engines created {e after} the
+    call; timed events are scoped per shard to the workers it holds.
+    @raise Invalid_argument on non-positive weight or cap. *)
+
+val submit :
+  t -> tenant:string -> ?deadline_ms:float -> Protocol.job -> Protocol.reply
+(** [Accepted {id; credit}] (credit = remaining queue slots, the
+    backpressure signal), [Overloaded] with a retry hint when the
+    tenant's queue is full, or [Draining] after {!drain} began. *)
+
+val run_until_idle : t -> Protocol.reply list
+(** Dispatch DRR passes until every queue is empty; returns the
+    [Done] replies in completion order. Jobs whose deadline expired
+    while queued complete as [Jtimeout] without running; queued
+    duplicates of a job that just succeeded complete as coalesced
+    copies of its result (same tenant only). *)
+
+val drain : t -> ?budget_ms:float -> unit -> Protocol.reply list * Protocol.reply
+(** Stop admitting (subsequent {!submit}s answer [Draining]), keep
+    dispatching while the wall-clock budget lasts, then cancel
+    whatever is still queued. Returns the [Done] replies plus the
+    final [Drained] summary. [budget_ms = 0] cancels everything;
+    omitted means unbounded. *)
+
+val is_draining : t -> bool
+val has_work : t -> bool
+val completed : t -> int
+(** Jobs that reached a terminal [ok] or [failed] state. *)
+
+val stats : t -> Protocol.tenant_row list
+(** One row per tenant in registration order. *)
+
+val quarantined : t -> tenant:string -> string list
+(** The tenant's own quarantine view: workers its engines took
+    offline. Another tenant's crashes never appear here. *)
+
+val tenant_traces :
+  t ->
+  (string * Taskrt.Engine.trace_event list * Taskrt.Engine.fault_event list)
+  list
+(** Per-tenant execution and fault events across the tenant's
+    engines, for {!Taskrt.Trace_export.to_chrome_json_tenants}. *)
+
+val shard_configs : t -> Taskrt.Machine_config.t array
+(** The PU shards the service runs over (tests, logs). *)

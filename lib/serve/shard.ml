@@ -1,0 +1,42 @@
+module MC = Taskrt.Machine_config
+
+(* Round-robin the workers so each shard gets a cross-section of the
+   machine (a slice of the CPU cores plus, where available, a GPU)
+   rather than one shard hoarding all accelerators.  Worker ids are
+   reindexed per shard so each sub-config is a standalone machine. *)
+let split (cfg : MC.t) ~shards =
+  if shards < 1 then invalid_arg "Shard.split: shards must be >= 1";
+  let n_workers = Array.length cfg.MC.workers in
+  let shards = min shards n_workers in
+  let buckets = Array.make shards [] in
+  Array.iteri
+    (fun i w -> buckets.(i mod shards) <- w :: buckets.(i mod shards))
+    cfg.MC.workers;
+  Array.map
+    (fun ws ->
+      let workers =
+        List.rev ws
+        |> List.mapi (fun i (w : MC.worker) -> { w with MC.w_id = i })
+        |> Array.of_list
+      in
+      let nodes =
+        Array.to_list workers |> List.map (fun w -> w.MC.w_node)
+      in
+      let links =
+        List.filter (fun l -> List.mem l.MC.l_node nodes) cfg.MC.links
+      in
+      (* node ids are kept verbatim (they index the original memory
+         topology), so node_count must stay the original bound. *)
+      { cfg with MC.workers; links })
+    buckets
+
+let describe shard_cfgs =
+  String.concat ""
+    (Array.to_list
+       (Array.mapi
+          (fun i (cfg : MC.t) ->
+            Printf.sprintf "shard %d: %s\n" i
+              (String.concat ", "
+                 (Array.to_list cfg.MC.workers
+                 |> List.map (fun w -> w.MC.w_name))))
+          shard_cfgs))

@@ -1,0 +1,17 @@
+(** PU sharding: carve one {!Taskrt.Machine_config.t} into disjoint
+    sub-machines, one engine (and one discrete-event clock) each.
+
+    The service runs every (tenant, shard) pair on its own engine, so
+    a tenant's faults, retries and quarantine decisions cannot leak
+    into another tenant's schedule — isolation by construction rather
+    than by locking. *)
+
+val split : Taskrt.Machine_config.t -> shards:int -> Taskrt.Machine_config.t array
+(** Distribute workers round-robin over [min shards workers]
+    sub-configs. Workers are reindexed per shard; memory-node ids and
+    [node_count] are kept from the parent so link lookups still
+    resolve. Every worker of the parent appears in exactly one shard.
+    @raise Invalid_argument when [shards < 1]. *)
+
+val describe : Taskrt.Machine_config.t array -> string
+(** One line per shard listing its worker names (logs, tests). *)

@@ -1,0 +1,35 @@
+The task service's deterministic smoke mode: PU sharding covers the
+machine; admission control hands out credit and answers OVERLOADED at
+the cap; identical queued jobs coalesce onto one execution; deficit
+round robin keeps a flooding tenant from starving the other (and
+honors weights); expired deadlines complete as timeouts without
+running; a crash injected into tenant a's fault model quarantines the
+PU for tenant a only while tenant b's results stay bit-identical; a
+zero-budget drain cancels queued jobs and refuses new work; the wire
+protocol round-trips, rejects truncated/garbage/mismatched-version
+input with structured errors; and interleaving engine instances is
+bit-identical to running them sequentially.  Virtual time plus an
+injected wall clock make the output exact.
+
+  $ ../../bench/main.exe serve smoke
+  serve: shards cover every worker exactly once        ok
+  serve: shard count clamps to worker count            ok
+  serve: admission hands out decreasing credit         ok
+  serve: full queue answers OVERLOADED                 ok
+  serve: identical jobs coalesce onto one run          ok
+  serve: equal weights alternate tenants               ok
+  serve: a double-weight tenant finishes twice as often ok
+  serve: expired deadline completes as timeout         ok
+  serve: tenant b bit-identical under tenant a crashes ok
+  serve: the crash quarantines a PU for tenant a only  ok
+  serve: zero-budget drain cancels queued jobs         ok
+  serve: draining service refuses new work             ok
+  serve: requests round-trip through JSON              ok
+  serve: replies round-trip through JSON               ok
+  serve: framing round-trips                           ok
+  serve: a truncated frame asks for more bytes         ok
+  serve: an absurd frame length is corrupt, not a hang ok
+  serve: garbage payload yields a structured parse error ok
+  serve: a version mismatch is refused                 ok
+  serve: interleaved engines match sequential runs (bitwise) ok
+  serve smoke: all checks passed

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Daemon integration gate for `dune runtest`.
+#
+# Boots cascabeld on a Unix domain socket in a temp dir and drives it
+# with scripted client sessions:
+#   1. a sequential session — ping, one job per tenant, run, stats —
+#      asserting per-tenant fault isolation: tenant a's injected gpu0
+#      crash quarantines gpu0 in a's stats row only, and both
+#      tenants' jobs still complete;
+#   2. a raw-frame session sending garbage, which must draw a
+#      structured parse error rather than hang or kill the daemon;
+#   3. a pipelined burst that overflows tenant c's queue (cap 2) and
+#      must draw structured OVERLOADED replies;
+#   4. SIGTERM — the daemon must drain, persist CALIB_<hash>.json,
+#      unlink the socket and exit 0.
+#
+# Platforms without Unix domain sockets make the daemon exit 3; the
+# check is then skipped with a notice, the same pattern as the native
+# gate for a missing C toolchain.
+set -u
+
+root="${1:-../..}"
+daemon="$root/bin/cascabeld.exe"
+
+tmp=$(mktemp -d)
+pid=
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+sock="$tmp/cascabel.sock"
+mkdir -p "$tmp/calib"
+
+"$daemon" serve --zoo xeon-2gpu --socket "$sock" --shards 1 \
+  --tune-dir "$tmp/calib" --cap a:8 --cap c:2 \
+  --faults 'a:crash=gpu0@0.000001' --budget-ms 5000 \
+  2>"$tmp/daemon.err" &
+pid=$!
+
+for _ in $(seq 1 200); do
+  [ -S "$sock" ] && break
+  if ! kill -0 "$pid" 2>/dev/null; then
+    wait "$pid"
+    rc=$?
+    pid=
+    if [ "$rc" -eq 3 ]; then
+      echo "serve: no Unix domain sockets on this platform, skipping"
+      exit 0
+    fi
+    echo "serve: daemon died before binding (rc=$rc)"
+    cat "$tmp/daemon.err"
+    exit 1
+  fi
+  sleep 0.05
+done
+if [ ! -S "$sock" ]; then
+  echo "serve: socket never appeared"
+  exit 1
+fi
+
+bad=0
+check() { # check NAME TEXT PATTERN: PATTERN must match a line of TEXT
+  if printf '%s\n' "$2" | grep -q -- "$3"; then
+    echo "serve: $1"
+  else
+    echo "serve: $1 FAILED (no match for $3)"
+    printf '%s\n' "$2" | sed 's/^/  | /'
+    bad=1
+  fi
+}
+
+session1=$(timeout 60 "$daemon" client --socket "$sock" <<'EOF'
+{"v":1,"op":"ping"}
+{"v":1,"op":"submit","tenant":"a","job":{"kind":"dgemm","n":64,"tiles":4,"seed":1}}
+{"v":1,"op":"submit","tenant":"b","job":{"kind":"dgemm","n":64,"tiles":4,"seed":2}}
+{"v":1,"op":"run"}
+{"v":1,"op":"stats"}
+EOF
+)
+check "ping answered" "$session1" '"re":"pong"'
+check "submits admitted" "$session1" '"re":"accepted"'
+check "tenant a job ok despite faults" "$session1" \
+  '"re":"done".*"tenant":"a".*"status":"ok"'
+check "tenant b job ok" "$session1" \
+  '"re":"done".*"tenant":"b".*"status":"ok"'
+check "gpu0 quarantined for tenant a only" "$session1" \
+  '"tenant":"a".*"quarantined":\["gpu0"\].*"tenant":"b".*"quarantined":\[\]'
+
+session2=$(printf '{not json\n' |
+  timeout 60 "$daemon" client --socket "$sock" --raw)
+check "garbage draws a structured error" "$session2" \
+  '"re":"error","code":"parse"'
+
+session3=$(timeout 60 "$daemon" client --socket "$sock" --pipeline <<'EOF'
+{"v":1,"op":"submit","tenant":"c","job":{"kind":"dgemm","n":48,"tiles":2,"seed":1}}
+{"v":1,"op":"submit","tenant":"c","job":{"kind":"dgemm","n":48,"tiles":2,"seed":2}}
+{"v":1,"op":"submit","tenant":"c","job":{"kind":"dgemm","n":48,"tiles":2,"seed":3}}
+{"v":1,"op":"submit","tenant":"c","job":{"kind":"dgemm","n":48,"tiles":2,"seed":4}}
+{"v":1,"op":"submit","tenant":"c","job":{"kind":"dgemm","n":48,"tiles":2,"seed":5}}
+{"v":1,"op":"submit","tenant":"c","job":{"kind":"dgemm","n":48,"tiles":2,"seed":6}}
+EOF
+)
+check "burst overflows tenant c's queue" "$session3" \
+  '"re":"overloaded","tenant":"c"'
+
+kill -TERM "$pid"
+wait "$pid"
+rc=$?
+pid=
+if [ "$rc" -ne 0 ]; then
+  echo "serve: SIGTERM drain exited rc=$rc"
+  cat "$tmp/daemon.err"
+  bad=1
+else
+  echo "serve: SIGTERM drain exited cleanly"
+fi
+if [ -e "$sock" ]; then
+  echo "serve: socket not unlinked on drain"
+  bad=1
+else
+  echo "serve: socket unlinked on drain"
+fi
+if ls "$tmp"/calib/CALIB_*.json >/dev/null 2>&1; then
+  echo "serve: calibration store persisted"
+else
+  echo "serve: no CALIB_<hash>.json after drain"
+  ls "$tmp/calib" | sed 's/^/  | /'
+  bad=1
+fi
+
+exit $bad

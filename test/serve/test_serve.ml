@@ -1,0 +1,425 @@
+(* Tests for the task service: wire protocol totality and round-trips,
+   PU sharding invariants, engine re-entrancy under interleaving, and
+   the service's admission / fairness / deadline / drain semantics. *)
+
+module P = Serve.Protocol
+module Service = Serve.Service
+module MC = Taskrt.Machine_config
+module Engine = Taskrt.Engine
+module Fault = Taskrt.Fault
+module Matrix = Kernels.Matrix
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let cfg_of name = MC.of_platform_exn (Option.get (Pdl_hwprobe.Zoo.find name))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: generators                                                *)
+
+let gen_job =
+  QCheck.Gen.(
+    oneof
+      [
+        map3
+          (fun n tiles seed -> P.Dgemm { n; tiles = min tiles n; seed })
+          (int_range 1 512) (int_range 1 8) (int_range 0 1_000_000);
+        map3
+          (fun n tiles seed -> P.Cholesky { n; tiles = min tiles n; seed })
+          (int_range 1 512) (int_range 1 8) (int_range 0 1_000_000);
+        map3
+          (fun width depth task_flops -> P.Graph { width; depth; task_flops })
+          (int_range 1 16) (int_range 1 16)
+          (map (fun f -> Float.abs f +. 1e-3) pfloat);
+      ])
+
+(* Tenant names stress the JSON string escaper: quotes, backslashes,
+   newlines, control characters. *)
+let gen_tenant =
+  QCheck.Gen.(
+    map
+      (fun s -> if s = "" then "t" else s)
+      (string_size ~gen:(oneof [ printable; return '"'; return '\\'; return '\n' ])
+         (int_range 1 12)))
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        map3
+          (fun tenant job deadline_ms -> P.Submit { tenant; job; deadline_ms })
+          gen_tenant gen_job
+          (oneof [ return None; map (fun f -> Some (Float.abs f)) pfloat ]);
+        return P.Run;
+        return P.Stats;
+        map
+          (fun b -> P.Drain { budget_ms = Option.map Float.abs b })
+          (oneof [ return None; map Option.some pfloat ]);
+        return P.Ping;
+      ])
+
+let arb_request = QCheck.make ~print:P.request_to_string gen_request
+
+let request_roundtrip =
+  QCheck.Test.make ~name:"requests round-trip through the codec" ~count:500
+    arb_request (fun r -> P.request_of_string (P.request_to_string r) = Ok r)
+
+let gen_status =
+  QCheck.Gen.(
+    oneof
+      [
+        map3
+          (fun makespan_s checksum (tasks, coalesced, shard) ->
+            P.Jok { makespan_s; checksum; tasks; coalesced; shard })
+          (map Float.abs pfloat) (string_size ~gen:printable (int_range 0 20))
+          (triple (int_range 0 999) bool (int_range 0 7));
+        map (fun r -> P.Jfailed r) (string_size ~gen:printable (int_range 0 30));
+        return P.Jtimeout;
+        return P.Jcancelled;
+      ])
+
+let gen_reply =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun id credit -> P.Accepted { id; credit })
+          (int_range 0 100000) (int_range 0 64);
+        map3
+          (fun tenant (queue, cap) retry_ms ->
+            P.Overloaded { tenant; queue; cap; retry_ms })
+          gen_tenant
+          (pair (int_range 0 64) (int_range 1 64))
+          (map Float.abs pfloat);
+        return P.Draining;
+        map3
+          (fun id tenant (latency_ms, status) ->
+            P.Done { id; tenant; latency_ms; status })
+          (int_range 0 100000) gen_tenant
+          (pair (map Float.abs pfloat) gen_status);
+        map (fun completed -> P.Idle { completed }) (int_range 0 9999);
+        map2
+          (fun completed cancelled -> P.Drained { completed; cancelled })
+          (int_range 0 9999) (int_range 0 9999);
+        return P.Pong;
+        map2
+          (fun code reason -> P.Error { code; reason })
+          (oneofl [ P.Parse; P.Version; P.Bad_request ])
+          (string_size ~gen:printable (int_range 0 40));
+      ])
+
+let arb_reply = QCheck.make ~print:P.reply_to_string gen_reply
+
+let reply_roundtrip =
+  QCheck.Test.make ~name:"replies round-trip through the codec" ~count:500
+    arb_reply (fun r -> P.reply_of_string (P.reply_to_string r) = Ok r)
+
+(* Decoding is total: any byte soup yields Ok or a structured error,
+   never an exception. *)
+let decode_total =
+  QCheck.Test.make ~name:"decoding never raises on garbage" ~count:500
+    QCheck.(string_gen QCheck.Gen.(oneof [ char; printable ]))
+    (fun s ->
+      (match P.request_of_string s with Ok _ | Error _ -> true)
+      && match P.reply_of_string s with Ok _ | Error _ -> true)
+
+let framing_roundtrip =
+  QCheck.Test.make ~name:"framing round-trips and reports truncation"
+    ~count:200
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 300))
+    (fun payload ->
+      let f = P.frame payload in
+      let b = Bytes.of_string f in
+      P.deframe b ~off:0 ~len:(Bytes.length b)
+      = P.Frame (payload, Bytes.length b)
+      && (Bytes.length b = 4
+         || P.deframe b ~off:0 ~len:(Bytes.length b - 1) = P.Need))
+
+let protocol_tests =
+  [
+    Alcotest.test_case "version mismatch is a structured refusal" `Quick
+      (fun () ->
+        (match P.request_of_string "{\"v\":2,\"op\":\"ping\"}" with
+        | Error { P.e_code = P.Version; _ } -> ()
+        | _ -> Alcotest.fail "expected a version error");
+        match P.request_of_string "{\"op\":\"ping\"}" with
+        | Error { P.e_code = P.Parse; _ } -> ()
+        | _ -> Alcotest.fail "expected a parse error for the missing field");
+    Alcotest.test_case "unknown op and malformed jobs are bad requests"
+      `Quick (fun () ->
+        (match P.request_of_string "{\"v\":1,\"op\":\"launch\"}" with
+        | Error { P.e_code = P.Bad_request; _ } -> ()
+        | _ -> Alcotest.fail "expected bad-request for unknown op");
+        match
+          P.request_of_string
+            "{\"v\":1,\"op\":\"submit\",\"tenant\":\"a\",\"job\":{\"kind\":\"dgemm\",\"n\":-4,\"tiles\":2,\"seed\":1}}"
+        with
+        | Error { P.e_code = P.Bad_request; _ } -> ()
+        | _ -> Alcotest.fail "expected bad-request for negative n");
+    Alcotest.test_case "oversized frame length is corrupt" `Quick (fun () ->
+        match
+          P.deframe (Bytes.of_string "\x7f\xff\xff\xff....") ~off:0 ~len:8
+        with
+        | P.Corrupt _ -> ()
+        | _ -> Alcotest.fail "expected Corrupt");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Sharding                                                            *)
+
+let worker_names (c : MC.t) =
+  Array.to_list c.MC.workers |> List.map (fun w -> w.MC.w_name)
+
+let shard_partition =
+  QCheck.Test.make ~name:"shards partition the machine's workers" ~count:100
+    QCheck.(
+      pair (int_range 1 24)
+        (oneofl [ "xeon-2gpu"; "xeon-x5550-smp"; "cell-qs20"; "dual-host" ]))
+    (fun (shards, pf) ->
+      let cfg = cfg_of pf in
+      let parts = Serve.Shard.split cfg ~shards in
+      let all = List.concat_map worker_names (Array.to_list parts) in
+      List.sort compare all = List.sort compare (worker_names cfg)
+      && List.length (List.sort_uniq compare all) = List.length all
+      && Array.length parts = min shards (Array.length cfg.MC.workers)
+      && Array.for_all
+           (fun (p : MC.t) ->
+             Array.for_all
+               (fun (w : MC.worker) ->
+                 w.MC.w_node < p.MC.node_count
+                 && (w.MC.w_node = 0 || MC.link_for_node p w.MC.w_node <> None))
+               p.MC.workers)
+           parts)
+
+(* The acceptance property: two engines on disjoint PU shards,
+   submitted to in interleaved order, produce results bit-identical
+   to two engines run one after the other. *)
+let engine_interleave =
+  QCheck.Test.make
+    ~name:"interleaved shard engines are bit-identical to sequential runs"
+    ~count:25
+    QCheck.(pair (int_range 1 10000) (int_range 1 3))
+    (fun (seed, tiles) ->
+      let parts = Serve.Shard.split (cfg_of "xeon-2gpu") ~shards:2 in
+      let a = Matrix.random ~seed 32 32
+      and b = Matrix.random ~seed:(seed + 1) 32 32 in
+      let go e = Matrix.checksum (fst (Taskrt.Tiled_dgemm.run_on ~tiles e ~a ~b)) in
+      let interleaved =
+        let e0 = Engine.create ~policy:Engine.Heft parts.(0)
+        and e1 = Engine.create ~policy:Engine.Heft parts.(1) in
+        let c0 = go e0 in
+        let c1 = go e1 in
+        [ c0; go e0; c1; go e1 ]
+      in
+      let sequential =
+        let e0 = Engine.create ~policy:Engine.Heft parts.(0) in
+        let r0 = [ go e0; go e0 ] in
+        let e1 = Engine.create ~policy:Engine.Heft parts.(1) in
+        r0 @ [ go e1; go e1 ]
+      in
+      interleaved = sequential)
+
+(* ------------------------------------------------------------------ *)
+(* Service semantics                                                   *)
+
+let gjob i = P.Graph { width = 2; depth = 2; task_flops = 1e6 +. float_of_int i }
+
+let service_tests =
+  [
+    Alcotest.test_case "admission enforces the per-tenant cap" `Quick
+      (fun () ->
+        let svc =
+          Service.create ~shards:1 ~queue_cap:2 ~now:(fun () -> 0.0)
+            (cfg_of "xeon-2gpu")
+        in
+        let r1 = Service.submit svc ~tenant:"a" (gjob 1) in
+        let r2 = Service.submit svc ~tenant:"a" (gjob 2) in
+        let r3 = Service.submit svc ~tenant:"a" (gjob 3) in
+        check bool_ "first accepted"
+          (match r1 with P.Accepted { credit = 1; _ } -> true | _ -> false)
+          true;
+        check bool_ "second exhausts credit"
+          (match r2 with P.Accepted { credit = 0; _ } -> true | _ -> false)
+          true;
+        check bool_ "third overloaded"
+          (match r3 with
+          | P.Overloaded { queue = 2; cap = 2; _ } -> true
+          | _ -> false)
+          true;
+        (* the other tenant is unaffected by a's full queue *)
+        check bool_ "tenant b unaffected"
+          (match Service.submit svc ~tenant:"b" (gjob 4) with
+          | P.Accepted _ -> true
+          | _ -> false)
+          true);
+    Alcotest.test_case "deadlines expire while queued" `Quick (fun () ->
+        let clock = ref 0.0 in
+        let svc =
+          Service.create ~shards:1 ~now:(fun () -> !clock) (cfg_of "xeon-2gpu")
+        in
+        ignore (Service.submit svc ~tenant:"a" ~deadline_ms:5.0 (gjob 1));
+        ignore (Service.submit svc ~tenant:"a" (gjob 2));
+        clock := 0.010;
+        let statuses =
+          List.filter_map
+            (function P.Done { status; _ } -> Some status | _ -> None)
+            (Service.run_until_idle svc)
+        in
+        check int_ "both jobs reported" 2 (List.length statuses);
+        check bool_ "first timed out"
+          (match statuses with P.Jtimeout :: _ -> true | _ -> false)
+          true;
+        check bool_ "second ran"
+          (match statuses with [ _; P.Jok _ ] -> true | _ -> false)
+          true);
+    Alcotest.test_case "drain cancels beyond the budget and refuses work"
+      `Quick (fun () ->
+        let svc =
+          Service.create ~shards:1 ~now:(fun () -> 0.0) (cfg_of "xeon-2gpu")
+        in
+        for i = 1 to 4 do
+          ignore (Service.submit svc ~tenant:"a" (gjob i))
+        done;
+        let dones, final = Service.drain svc ~budget_ms:0.0 () in
+        check int_ "all four reported" 4 (List.length dones);
+        check bool_ "all cancelled"
+          (List.for_all
+             (function
+               | P.Done { status = P.Jcancelled; _ } -> true | _ -> false)
+             dones)
+          true;
+        check bool_ "summary counts them"
+          (final = P.Drained { completed = 0; cancelled = 4 })
+          true;
+        check bool_ "post-drain submit refused"
+          (Service.submit svc ~tenant:"a" (gjob 9) = P.Draining)
+          true;
+        check bool_ "service reports draining" (Service.is_draining svc) true);
+    Alcotest.test_case "per-tenant faults stay with their tenant" `Quick
+      (fun () ->
+        let crash =
+          {
+            Fault.none with
+            Fault.events = [ Fault.Crash { pu = "gpu0"; at = 1e-6 } ];
+          }
+        in
+        let svc =
+          Service.create ~shards:1 ~now:(fun () -> 0.0) (cfg_of "xeon-2gpu")
+        in
+        Service.configure_tenant svc ~name:"a" ~faults:crash ();
+        ignore
+          (Service.submit svc ~tenant:"a"
+             (P.Dgemm { n = 64; tiles = 4; seed = 1 }));
+        ignore
+          (Service.submit svc ~tenant:"b"
+             (P.Dgemm { n = 64; tiles = 4; seed = 2 }));
+        ignore (Service.run_until_idle svc);
+        check (Alcotest.list Alcotest.string) "a sees its quarantine"
+          [ "gpu0" ]
+          (Service.quarantined svc ~tenant:"a");
+        check (Alcotest.list Alcotest.string) "b sees a clean machine" []
+          (Service.quarantined svc ~tenant:"b"));
+    Alcotest.test_case "stats rows reflect the ledger" `Quick (fun () ->
+        let svc =
+          Service.create ~shards:1 ~queue_cap:2 ~now:(fun () -> 0.0)
+            (cfg_of "xeon-2gpu")
+        in
+        for i = 1 to 3 do
+          ignore (Service.submit svc ~tenant:"a" (gjob i))
+        done;
+        ignore (Service.run_until_idle svc);
+        match Service.stats svc with
+        | [ row ] ->
+            check int_ "submitted" 2 row.P.tr_submitted;
+            check int_ "rejected" 1 row.P.tr_rejected;
+            check int_ "completed" 2 row.P.tr_completed;
+            check int_ "queue empty" 0 row.P.tr_queue
+        | rows -> Alcotest.failf "expected one row, got %d" (List.length rows));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace export: each tenant gets its own set of lanes                 *)
+
+module J = Obs.Json
+
+let trace_tests =
+  [
+    Alcotest.test_case "tenant lanes are tagged and disjoint" `Quick
+      (fun () ->
+        let svc =
+          Service.create ~shards:1 ~now:(fun () -> 0.0) (cfg_of "xeon-2gpu")
+        in
+        ignore
+          (Service.submit svc ~tenant:"a"
+             (P.Dgemm { n = 64; tiles = 4; seed = 1 }));
+        ignore
+          (Service.submit svc ~tenant:"b"
+             (P.Dgemm { n = 64; tiles = 4; seed = 2 }));
+        ignore (Service.run_until_idle svc);
+        let doc =
+          Taskrt.Trace_export.to_chrome_json_tenants
+            (Service.tenant_traces svc)
+        in
+        let json =
+          match J.parse doc with
+          | Ok j -> j
+          | Error e -> Alcotest.failf "trace is not valid JSON: %s" e
+        in
+        let events =
+          Option.get (Option.bind (J.member "traceEvents" json) J.to_list)
+        in
+        (* (lane name, tid) for every thread_name metadata event *)
+        let lanes =
+          List.filter_map
+            (fun ev ->
+              match
+                ( Option.bind (J.member "name" ev) J.to_string,
+                  Option.bind (J.member "args" ev) (fun a ->
+                      Option.bind (J.member "name" a) J.to_string),
+                  Option.bind (J.member "tid" ev) J.to_number )
+              with
+              | Some "thread_name", Some lane, Some tid -> Some (lane, tid)
+              | _ -> None)
+            events
+        in
+        let prefixed p = List.filter (fun (l, _) -> String.length l > 2
+          && String.sub l 0 2 = p) lanes
+        in
+        let a_lanes = prefixed "a/" and b_lanes = prefixed "b/" in
+        check bool_ "tenant a has tagged lanes" true (a_lanes <> []);
+        check bool_ "tenant b has tagged lanes" true (b_lanes <> []);
+        let tids l = List.map snd l in
+        check bool_ "tenants never share a tid" true
+          (List.for_all (fun t -> not (List.mem t (tids b_lanes)))
+             (tids a_lanes));
+        (* every non-metadata event's tid belongs to some tagged lane *)
+        let tagged = tids lanes in
+        check bool_ "every event sits on a tagged lane" true
+          (List.for_all
+             (fun ev ->
+               match
+                 ( Option.bind (J.member "ph" ev) J.to_string,
+                   Option.bind (J.member "tid" ev) J.to_number )
+               with
+               | Some "M", _ | _, None -> true
+               | _, Some tid -> List.mem tid tagged)
+             events))
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "serve"
+    [
+      ("protocol", protocol_tests);
+      ("service", service_tests);
+      ("trace", trace_tests);
+      ( "properties",
+        qt
+          [
+            request_roundtrip; reply_roundtrip; decode_total;
+            framing_roundtrip; shard_partition; engine_interleave;
+          ]
+      );
+    ]
