@@ -251,7 +251,20 @@ let pipeline_arg =
            fills a tenant queue faster than the daemon drains it \
            (overload tests).")
 
-let client socket raw pipeline =
+let hangup_arg =
+  Arg.(
+    value & flag
+    & info [ "hangup" ]
+        ~doc:
+          "Send every stdin line in one burst, then disconnect without \
+           reading any reply — a misbehaving peer for daemon \
+           robustness tests (the daemon must survive the broken pipe).")
+
+let client socket raw pipeline hangup =
+  (* a daemon draining mid-session must surface as EOF / EPIPE, not
+     kill the client with SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let fd =
     try Serve.Server.client_connect socket
     with Unix.Unix_error (e, _, _) ->
@@ -283,7 +296,7 @@ let client socket raw pipeline =
       | Error e ->
           or_die (Error (Printf.sprintf "bad request line: %s" e.P.e_reason))
   in
-  (if pipeline then begin
+  (if pipeline || hangup then begin
      let lines = ref [] in
      (try
         while true do
@@ -291,18 +304,23 @@ let client socket raw pipeline =
           if line <> "" then lines := line :: !lines
         done
       with End_of_file -> ());
-     let payloads = List.rev_map payload_of !lines |> List.rev in
-     Serve.Server.client_send_blob fd
-       (String.concat "" (List.map P.frame payloads));
-     let expected = List.length payloads in
-     let direct = ref 0 in
+     (* !lines holds stdin in reverse order; rev_map restores it *)
+     let payloads = List.rev_map payload_of !lines in
      (try
-        while !direct < expected do
-          let r = Serve.Server.client_recv fd in
-          print_reply r;
-          if not (is_done r) then incr direct
-        done
-      with End_of_file -> ())
+        Serve.Server.client_send_blob fd
+          (String.concat "" (List.map P.frame payloads))
+      with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+     if not hangup then begin
+       let expected = List.length payloads in
+       let direct = ref 0 in
+       (try
+          while !direct < expected do
+            let r = Serve.Server.client_recv fd in
+            print_reply r;
+            if not (is_done r) then incr direct
+          done
+        with End_of_file -> ())
+     end
    end
    else
      try
@@ -311,7 +329,10 @@ let client socket raw pipeline =
          | exception End_of_file -> ()
          | line when String.trim line = "" -> loop ()
          | line ->
-             Serve.Server.client_send_raw fd (payload_of (String.trim line));
+             (try
+                Serve.Server.client_send_raw fd (payload_of (String.trim line))
+              with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+                raise End_of_file);
              read_until_direct ();
              flush stdout;
              loop ()
@@ -332,7 +353,8 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client"
        ~doc:"Scripted JSON session against a running daemon.")
-    Term.(const client $ client_socket_arg $ raw_arg $ pipeline_arg)
+    Term.(
+      const client $ client_socket_arg $ raw_arg $ pipeline_arg $ hangup_arg)
 
 let () =
   let info =

@@ -15,6 +15,58 @@ type job =
   | Cholesky of { n : int; tiles : int; seed : int }
   | Graph of { width : int; depth : int; task_flops : float }
 
+(* Admission caps.  The daemon materialises dense matrices and task
+   graphs in-process, so job parameters bound both its memory (an
+   uncapped n would OOM in Matrix.random) and its dispatch latency
+   (DRR credit accrues in quantum-sized steps, so cost / quantum
+   passes elapse before a job runs).  Requests beyond these caps are
+   refused at admission with a structured [bad-request]. *)
+
+let max_n = 2048
+let max_tiles = 64
+let max_graph_dim = 1024
+let max_graph_tasks = 65536
+let max_task_flops = 1e9
+let max_job_cost = 1e12
+
+let cube n = float_of_int n *. float_of_int n *. float_of_int n
+
+let job_cost = function
+  | Dgemm { n; _ } -> 2.0 *. cube n
+  | Cholesky { n; _ } -> cube n /. 3.0
+  | Graph { width; depth; task_flops } ->
+      float_of_int width *. float_of_int depth *. task_flops
+
+let validate_job job =
+  let reject fmt = Printf.ksprintf (fun m -> Stdlib.Error m) fmt in
+  let check_dense kind n tiles =
+    if n < 1 || n > max_n then reject "%s n must be in [1, %d]" kind max_n
+    else if tiles < 1 || tiles > n || tiles > max_tiles then
+      reject "%s tiles must be in [1, min n %d]" kind max_tiles
+    else Ok ()
+  in
+  let cost_ok () =
+    let c = job_cost job in
+    if c <= max_job_cost then Ok ()
+    else reject "job cost %.3g flops exceeds the %.3g cap" c max_job_cost
+  in
+  match job with
+  | Dgemm { n; tiles; _ } ->
+      Result.bind (check_dense "dgemm" n tiles) cost_ok
+  | Cholesky { n; tiles; _ } ->
+      Result.bind (check_dense "cholesky" n tiles) cost_ok
+  | Graph { width; depth; task_flops } ->
+      if width < 1 || width > max_graph_dim || depth < 1
+         || depth > max_graph_dim then
+        reject "graph width and depth must be in [1, %d]" max_graph_dim
+      else if width * depth > max_graph_tasks then
+        reject "graph width * depth must be <= %d tasks" max_graph_tasks
+      else if
+        not (Float.is_finite task_flops)
+        || task_flops <= 0.0 || task_flops > max_task_flops
+      then reject "graph task_flops must be in (0, %.3g]" max_task_flops
+      else cost_ok ()
+
 type request =
   | Submit of { tenant : string; job : job; deadline_ms : float option }
   | Run
@@ -207,25 +259,30 @@ let check_version o k =
   | Some _ -> k ()
 
 let job_of_json o =
-  match get_str "kind" o with
-  | Some "dgemm" | Some "cholesky" -> (
-      let kind = Option.get (get_str "kind" o) in
-      match (get_int "n" o, get_int "tiles" o, get_int "seed" o) with
-      | Some n, Some tiles, Some seed when n > 0 && tiles > 0 && tiles <= n ->
-          Ok
-            (if kind = "dgemm" then Dgemm { n; tiles; seed }
-             else Cholesky { n; tiles; seed })
-      | _ -> Error (Printf.sprintf "%s job needs positive n, tiles (<= n), seed" kind)
-      )
-  | Some "graph" -> (
-      match (get_int "width" o, get_int "depth" o, get_num "task_flops" o) with
-      | Some width, Some depth, Some task_flops
-        when width > 0 && depth > 0 && task_flops > 0.0
-             && Float.is_finite task_flops ->
-          Ok (Graph { width; depth; task_flops })
-      | _ -> Error "graph job needs positive width, depth, task_flops")
-  | Some k -> Error (Printf.sprintf "unknown job kind %S" k)
-  | None -> Error "job needs a \"kind\" field"
+  let structural =
+    match get_str "kind" o with
+    | Some ("dgemm" | "cholesky") -> (
+        let kind = Option.get (get_str "kind" o) in
+        match (get_int "n" o, get_int "tiles" o, get_int "seed" o) with
+        | Some n, Some tiles, Some seed ->
+            Ok
+              (if kind = "dgemm" then Dgemm { n; tiles; seed }
+               else Cholesky { n; tiles; seed })
+        | _ ->
+            Error (Printf.sprintf "%s job needs integer n, tiles, seed" kind))
+    | Some "graph" -> (
+        match (get_int "width" o, get_int "depth" o, get_num "task_flops" o)
+        with
+        | Some width, Some depth, Some task_flops ->
+            Ok (Graph { width; depth; task_flops })
+        | _ -> Error "graph job needs width, depth, task_flops")
+    | Some k -> Error (Printf.sprintf "unknown job kind %S" k)
+    | None -> Error "job needs a \"kind\" field"
+  in
+  Result.bind structural (fun job ->
+      match validate_job job with
+      | Ok () -> Ok job
+      | Error e -> Error e)
 
 let request_of_string s =
   match J.parse s with

@@ -25,6 +25,43 @@ type job =
   | Graph of { width : int; depth : int; task_flops : float }
       (** a synthetic [width x depth] task grid, for load generation *)
 
+(** {2 Admission caps}
+
+    The daemon materialises dense matrices and task graphs
+    in-process, so job parameters bound both its memory footprint and
+    its dispatch latency (DRR credit accrues in quantum-sized steps).
+    {!validate_job} enforces these caps; the codec applies it, and
+    {!Service.submit} re-applies it for direct API callers, so an
+    over-sized request draws a structured [bad-request] instead of
+    exhausting memory or wedging the dispatch loop. *)
+
+val max_n : int
+(** dense matrix order cap (dgemm, cholesky) *)
+
+val max_tiles : int
+(** tile-count cap per dimension (also bounded by [n]) *)
+
+val max_graph_dim : int
+(** graph width and depth cap *)
+
+val max_graph_tasks : int
+(** graph width * depth cap *)
+
+val max_task_flops : float
+(** per-task virtual flops cap *)
+
+val max_job_cost : float
+(** cap on {!job_cost}, the DRR scheduling currency *)
+
+val job_cost : job -> float
+(** Flops estimate: [2n^3] for dgemm, [n^3/3] for Cholesky,
+    [width * depth * task_flops] for a graph. *)
+
+val validate_job : job -> (unit, string) result
+(** [Ok ()] iff every parameter is positive and within the caps
+    above. The error string is human-readable and becomes the
+    [bad-request] reason. *)
+
 type request =
   | Submit of { tenant : string; job : job; deadline_ms : float option }
   | Run  (** dispatch until all queues are empty (text mode's clock) *)

@@ -84,9 +84,17 @@ let run_stdio ?(config = default_config) svc =
 
 type conn = {
   c_fd : Unix.file_descr;
-  mutable c_buf : Bytes.t;
+  mutable c_buf : Bytes.t;  (* inbound: partial frames *)
   mutable c_len : int;
+  mutable c_out : Bytes.t;  (* outbound: replies awaiting delivery *)
+  mutable c_out_off : int;
+  mutable c_out_len : int;
 }
+
+(* A client this far behind on reading its replies is wedged or
+   hostile; rather than buffer without bound (or block the event loop
+   on its socket), the daemon cuts it loose. *)
+let max_conn_out = 4 * P.max_frame
 
 let rec write_all fd b off len =
   if len > 0 then begin
@@ -102,18 +110,63 @@ type state = {
   mutable drained : bool;
 }
 
-let send st fd reply =
-  let payload = P.frame (P.reply_to_string reply) in
-  try write_all fd (Bytes.of_string payload) 0 (String.length payload)
-  with Unix.Unix_error _ ->
-    (* the peer went away; its connection is reaped on the next read *)
-    ignore st
-
 let close_conn st fd =
-  (match Hashtbl.find_opt st.conns fd with
-  | Some _ -> (try Unix.close fd with Unix.Unix_error _ -> ())
-  | None -> ());
-  Hashtbl.remove st.conns fd
+  if Hashtbl.mem st.conns fd then begin
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Hashtbl.remove st.conns fd;
+    (* drop the dead client's reply routes: the kernel recycles fd
+       numbers, and a stale route would deliver this tenant's Done
+       frames to whoever connects next *)
+    let stale =
+      Hashtbl.fold
+        (fun id dst acc -> if dst = fd then id :: acc else acc)
+        st.routes []
+    in
+    List.iter (Hashtbl.remove st.routes) stale
+  end
+
+(* Push buffered output to a non-blocking socket; false means the
+   peer is gone and the connection must be closed. A full kernel
+   buffer is not an error — the remainder waits for select's write
+   set. *)
+let rec flush_conn conn =
+  if conn.c_out_len = 0 then begin
+    conn.c_out_off <- 0;
+    true
+  end
+  else
+    match Unix.write conn.c_fd conn.c_out conn.c_out_off conn.c_out_len with
+    | n ->
+        conn.c_out_off <- conn.c_out_off + n;
+        conn.c_out_len <- conn.c_out_len - n;
+        flush_conn conn
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush_conn conn
+    | exception Unix.Unix_error _ -> false
+
+let send st fd reply =
+  match Hashtbl.find_opt st.conns fd with
+  | None -> ()
+  | Some conn ->
+      let payload = P.frame (P.reply_to_string reply) in
+      let len = String.length payload in
+      if conn.c_out_len + len > max_conn_out then close_conn st fd
+      else begin
+        let need = conn.c_out_len + len in
+        if Bytes.length conn.c_out - conn.c_out_off < need then begin
+          let nb =
+            Bytes.create (max need (2 * max 1 (Bytes.length conn.c_out)))
+          in
+          Bytes.blit conn.c_out conn.c_out_off nb 0 conn.c_out_len;
+          conn.c_out <- nb;
+          conn.c_out_off <- 0
+        end;
+        Bytes.blit_string payload 0 conn.c_out
+          (conn.c_out_off + conn.c_out_len) len;
+        conn.c_out_len <- need;
+        if not (flush_conn conn) then close_conn st fd
+      end
 
 (* Completion replies go back to whichever connection submitted the
    job; a reply whose submitter disconnected is dropped. *)
@@ -156,6 +209,7 @@ let handle_payload config st fd payload =
 let read_conn config st conn =
   let tmp = Bytes.create 4096 in
   match Unix.read conn.c_fd tmp 0 4096 with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
       close_conn st conn.c_fd
   | 0 -> close_conn st conn.c_fd
@@ -182,6 +236,34 @@ let read_conn config st conn =
       in
       frames ()
 
+(* After drain, lagging clients get a bounded window to take delivery
+   of their final frames (Done / Drained); whoever still is not
+   reading when it closes loses them, not the daemon. *)
+let final_flush st ~deadline =
+  let pending () =
+    Hashtbl.fold
+      (fun fd c acc -> if c.c_out_len > 0 then fd :: acc else acc)
+      st.conns []
+  in
+  let rec go () =
+    match pending () with
+    | [] -> ()
+    | fds when Unix.gettimeofday () < deadline -> (
+        match Unix.select [] fds [] 0.1 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | _, writable, _ ->
+            List.iter
+              (fun fd ->
+                match Hashtbl.find_opt st.conns fd with
+                | Some conn ->
+                    if not (flush_conn conn) then close_conn st fd
+                | None -> ())
+              writable;
+            go ())
+    | _ -> ()
+  in
+  go ()
+
 let run_socket ?(config = default_config) ~path svc =
   let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.bind srv (Unix.ADDR_UNIX path)
@@ -189,6 +271,13 @@ let run_socket ?(config = default_config) ~path svc =
      Unix.close srv;
      raise e);
   Unix.listen srv 16;
+  (* A peer that disconnects mid-reply must surface as EPIPE on the
+     write, not as a process-killing SIGPIPE (absent on platforms
+     without the signal, hence the try). *)
+  let old_pipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
   let st =
     { svc; conns = Hashtbl.create 8; routes = Hashtbl.create 64;
       stop = false; drained = false }
@@ -200,16 +289,36 @@ let run_socket ?(config = default_config) ~path svc =
     let fds =
       srv :: Hashtbl.fold (fun fd _ acc -> fd :: acc) st.conns []
     in
-    match Unix.select fds [] [] 0.25 with
+    let wfds =
+      Hashtbl.fold
+        (fun fd c acc -> if c.c_out_len > 0 then fd :: acc else acc)
+        st.conns []
+    in
+    match Unix.select fds wfds [] 0.25 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | ready, _, _ ->
+    | ready, writable, _ ->
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt st.conns fd with
+            | Some conn -> if not (flush_conn conn) then close_conn st fd
+            | None -> ())
+          writable;
         List.iter
           (fun fd ->
             if st.stop then ()
             else if fd = srv then begin
-              let cfd, _ = Unix.accept srv in
-              Hashtbl.replace st.conns cfd
-                { c_fd = cfd; c_buf = Bytes.create 4096; c_len = 0 }
+              match Unix.accept srv with
+              | exception
+                  Unix.Unix_error
+                    ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+                      | Unix.ECONNABORTED ),
+                      _, _ ) ->
+                  ()
+              | cfd, _ ->
+                  Unix.set_nonblock cfd;
+                  Hashtbl.replace st.conns cfd
+                    { c_fd = cfd; c_buf = Bytes.create 4096; c_len = 0;
+                      c_out = Bytes.create 4096; c_out_off = 0; c_out_len = 0 }
             end
             else
               match Hashtbl.find_opt st.conns fd with
@@ -224,6 +333,7 @@ let run_socket ?(config = default_config) ~path svc =
     let dones, _final = Service.drain svc ?budget_ms:config.budget_ms () in
     List.iter (route_done st) dones
   end;
+  final_flush st ~deadline:(Unix.gettimeofday () +. 2.0);
   flush_state config svc;
   Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
     st.conns;
@@ -231,7 +341,8 @@ let run_socket ?(config = default_config) ~path svc =
   Unix.close srv;
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   Sys.set_signal Sys.sigterm old_term;
-  Sys.set_signal Sys.sigint old_int
+  Sys.set_signal Sys.sigint old_int;
+  Option.iter (Sys.set_signal Sys.sigpipe) old_pipe
 
 (* --- a minimal blocking client (scripted sessions, tests, bench) ------- *)
 

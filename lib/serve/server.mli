@@ -34,8 +34,19 @@ val run_socket : ?config:config -> path:string -> Service.t -> unit
     explicit [drain] request, then drain, persist, close every
     connection and unlink the socket. Queued jobs are dispatched
     after every input round, so a submit-only client just waits for
-    its [Done] frame. Installs signal handlers for the duration of
-    the call and restores the previous ones on return.
+    its [Done] frame.
+
+    Tenant isolation holds at the transport too: SIGPIPE is ignored
+    for the duration of the call (a peer disconnecting mid-reply is
+    that peer's problem, not the daemon's), client sockets are
+    non-blocking, and replies queue in a bounded per-connection
+    buffer drained through [select]'s write set — a client that stops
+    reading is disconnected once its buffer fills rather than ever
+    wedging the event loop. Closing a connection also forgets its
+    pending reply routes, so a recycled fd number cannot receive
+    another client's frames. Installs signal handlers (TERM, INT,
+    PIPE) for the duration of the call and restores the previous
+    ones on return.
     @raise Unix.Unix_error when the socket cannot be created or
     bound (the CLI maps this to its "unsupported platform" exit). *)
 

@@ -123,14 +123,6 @@ let configure_tenant t ~name ?weight ?queue_cap ?faults () =
 
 (* --- job execution ----------------------------------------------------- *)
 
-let cube n = float_of_int n *. float_of_int n *. float_of_int n
-
-let job_cost = function
-  | P.Dgemm { n; _ } -> 2.0 *. cube n
-  | P.Cholesky { n; _ } -> cube n /. 3.0
-  | P.Graph { width; depth; task_flops } ->
-      float_of_int (width * depth) *. task_flops
-
 let job_tasks = function
   | P.Dgemm { tiles; _ } -> tiles * tiles
   | P.Cholesky { tiles = t; _ } -> t + (t * (t - 1)) + (t * (t - 1) * (t - 2) / 6)
@@ -208,55 +200,74 @@ let execute t ten job =
   P.Jok
     { makespan_s; checksum; tasks = job_tasks job; coalesced = false; shard }
 
+(* the engine may still hold unfinishable tasks or half-built state;
+   restart the shard executor rather than poisoning every later job
+   on it *)
+let reset_last_shard t ten =
+  let shard = (ten.t_next_shard + Array.length t.shard_cfgs - 1)
+              mod Array.length t.shard_cfgs in
+  ten.t_engines.(shard) <- None
+
 let run_job t ten job =
   try execute t ten job with
   | Engine.Stuck st ->
-      (* the engine still holds unfinishable tasks; restart the shard
-         executor rather than poisoning every later job on it *)
-      let shard = (ten.t_next_shard + Array.length t.shard_cfgs - 1)
-                  mod Array.length t.shard_cfgs in
-      ten.t_engines.(shard) <- None;
+      reset_last_shard t ten;
       P.Jfailed (Engine.stuck_to_string st)
+  | Out_of_memory ->
+      (* admission caps make this unlikely, but an allocation failure
+         must fail the one job, not the daemon *)
+      reset_last_shard t ten;
+      P.Jfailed "out of memory"
+  | Stack_overflow ->
+      reset_last_shard t ten;
+      P.Jfailed "stack overflow"
   | Lapack.Not_positive_definite i ->
       P.Jfailed (Printf.sprintf "matrix not positive definite (minor %d)" i)
   | Invalid_argument m -> P.Jfailed m
 
 (* --- admission --------------------------------------------------------- *)
 
+let admit t name ?deadline_ms job =
+  let ten = tenant t name in
+  let queue = Queue.length ten.t_queue in
+  if queue >= ten.t_cap then begin
+    ten.t_rejected <- ten.t_rejected + 1;
+    Obs.Counter.incr ten.c_rejected;
+    (* a deterministic hint: one queue-drain's worth of patience *)
+    P.Overloaded
+      {
+        tenant = name;
+        queue;
+        cap = ten.t_cap;
+        retry_ms = 50.0 *. float_of_int queue;
+      }
+  end
+  else begin
+    t.next_id <- t.next_id + 1;
+    let p =
+      {
+        p_id = t.next_id;
+        p_job = job;
+        p_submitted = t.now ();
+        p_deadline_ms = deadline_ms;
+        p_cost = P.job_cost job;
+      }
+    in
+    Queue.add p ten.t_queue;
+    ten.t_submitted <- ten.t_submitted + 1;
+    Obs.Counter.incr ten.c_submitted;
+    P.Accepted { id = p.p_id; credit = ten.t_cap - Queue.length ten.t_queue }
+  end
+
 let submit t ~tenant:name ?deadline_ms job =
   if t.draining then P.Draining
-  else begin
-    let ten = tenant t name in
-    let queue = Queue.length ten.t_queue in
-    if queue >= ten.t_cap then begin
-      ten.t_rejected <- ten.t_rejected + 1;
-      Obs.Counter.incr ten.c_rejected;
-      (* a deterministic hint: one queue-drain's worth of patience *)
-      P.Overloaded
-        {
-          tenant = name;
-          queue;
-          cap = ten.t_cap;
-          retry_ms = 50.0 *. float_of_int queue;
-        }
-    end
-    else begin
-      t.next_id <- t.next_id + 1;
-      let p =
-        {
-          p_id = t.next_id;
-          p_job = job;
-          p_submitted = t.now ();
-          p_deadline_ms = deadline_ms;
-          p_cost = job_cost job;
-        }
-      in
-      Queue.add p ten.t_queue;
-      ten.t_submitted <- ten.t_submitted + 1;
-      Obs.Counter.incr ten.c_submitted;
-      P.Accepted { id = p.p_id; credit = ten.t_cap - Queue.length ten.t_queue }
-    end
-  end
+  else
+    match P.validate_job job with
+    | Error reason ->
+        (* refuse before touching any queue: an unbounded job would
+           OOM the daemon or stall the DRR for every tenant *)
+        P.Error { code = P.Bad_request; reason }
+    | Ok () -> admit t name ?deadline_ms job
 
 (* --- dispatch: deficit round robin ------------------------------------- *)
 
@@ -308,8 +319,9 @@ let coalesce t ten emit job status =
 
 (* One DRR pass: every tenant's deficit grows by [quantum * weight];
    it runs queued jobs while the deficit covers their cost.  Returns
-   whether any job reached a terminal state this pass (the deficits
-   grow without bound, so repeated passes always make progress). *)
+   whether any job reached a terminal state this pass; a pass with no
+   progress means no head job is affordable yet, and the caller
+   fast-forwards the credit accrual instead of spinning. *)
 let dispatch_round t emit =
   let progressed = ref false in
   List.iter
@@ -344,11 +356,53 @@ let has_work t =
   Hashtbl.fold (fun _ ten acc -> acc || not (Queue.is_empty ten.t_queue))
     t.tenants false
 
+(* A pass that dispatched nothing means every backlogged tenant's
+   head job still out-costs its deficit.  Credit accrues one quantum
+   per pass, so waiting it out takes cost / quantum passes — and once
+   the gap exceeds the float ulp at the deficit's magnitude, adding a
+   quantum stops changing it at all and no number of passes helps.
+   Instead, grant every backlogged tenant the [k] whole passes of
+   credit after which the nearest head job becomes affordable: the
+   same deficits plain DRR would reach, in O(tenants) time, with a
+   direct top-up as the precision backstop. *)
+let fast_forward t =
+  let best = ref None in
+  List.iter
+    (fun name ->
+      let ten = Hashtbl.find t.tenants name in
+      match Queue.peek_opt ten.t_queue with
+      | None -> ()
+      | Some p ->
+          let rounds =
+            Float.max 1.0
+              (Float.ceil
+                 ((p.p_cost -. ten.t_deficit) /. (t.quantum *. ten.t_weight)))
+          in
+          (match !best with
+          | Some (r0, _) when r0 <= rounds -> ()
+          | _ -> best := Some (rounds, ten)))
+    t.order;
+  match !best with
+  | None -> ()
+  | Some (k, lead) ->
+      List.iter
+        (fun name ->
+          let ten = Hashtbl.find t.tenants name in
+          if not (Queue.is_empty ten.t_queue) then begin
+            let d = ten.t_deficit +. (k *. t.quantum *. ten.t_weight) in
+            if Float.is_finite d then ten.t_deficit <- d
+          end)
+        t.order;
+      (* progress guarantee even when the accrual rounds to nothing *)
+      (match Queue.peek_opt lead.t_queue with
+      | Some p when lead.t_deficit < p.p_cost -> lead.t_deficit <- p.p_cost
+      | _ -> ())
+
 let run_until_idle t =
   let out = ref [] in
   let emit r = out := r :: !out in
   while has_work t do
-    ignore (dispatch_round t emit)
+    if not (dispatch_round t emit) then fast_forward t
   done;
   List.rev !out
 
@@ -369,7 +423,7 @@ let drain t ?budget_ms () =
     | Some b -> (t.now () -. start) *. 1000.0 < b
   in
   while has_work t && within_budget () do
-    ignore (dispatch_round t emit)
+    if not (dispatch_round t emit) then fast_forward t
   done;
   let cancelled = ref 0 in
   List.iter

@@ -53,7 +53,10 @@ val submit :
   t -> tenant:string -> ?deadline_ms:float -> Protocol.job -> Protocol.reply
 (** [Accepted {id; credit}] (credit = remaining queue slots, the
     backpressure signal), [Overloaded] with a retry hint when the
-    tenant's queue is full, or [Draining] after {!drain} began. *)
+    tenant's queue is full, [Draining] after {!drain} began, or a
+    [bad-request] [Error] when the job violates the admission caps of
+    {!Protocol.validate_job} (an unbounded job would exhaust memory
+    or stall dispatch for every tenant). *)
 
 val run_until_idle : t -> Protocol.reply list
 (** Dispatch DRR passes until every queue is empty; returns the

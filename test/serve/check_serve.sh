@@ -100,6 +100,40 @@ EOF
 check "burst overflows tenant c's queue" "$session3" \
   '"re":"overloaded","tenant":"c"'
 
+# pipelined frames must reach the daemon in stdin order: the stats
+# request sent after d's submit has to observe that submit
+session4=$(timeout 60 "$daemon" client --socket "$sock" --pipeline <<'EOF'
+{"v":1,"op":"submit","tenant":"d","job":{"kind":"dgemm","n":32,"tiles":2,"seed":7}}
+{"v":1,"op":"stats"}
+EOF
+)
+check "pipelined requests keep their order" "$session4" \
+  '"re":"stats".*"tenant":"d"'
+
+# an in-protocol but over-cap job draws a structured refusal, and the
+# daemon survives to answer the next request (--raw: the client's own
+# validation would otherwise refuse the job before it is sent)
+session5=$(timeout 60 "$daemon" client --socket "$sock" --raw <<'EOF'
+{"v":1,"op":"submit","tenant":"e","job":{"kind":"dgemm","n":20000000,"tiles":2,"seed":1}}
+{"v":1,"op":"ping"}
+EOF
+)
+check "over-cap job refused as bad-request" "$session5" \
+  '"re":"error","code":"bad-request"'
+check "daemon alive after refusal" "$session5" '"re":"pong"'
+
+# a client that submits and hangs up before reading any reply: the
+# daemon's writes hit a broken pipe (SIGPIPE must be ignored, the
+# frames dropped) and service continues for everyone else
+timeout 60 "$daemon" client --socket "$sock" --hangup <<'EOF'
+{"v":1,"op":"submit","tenant":"f","job":{"kind":"dgemm","n":64,"tiles":4,"seed":11}}
+{"v":1,"op":"run"}
+EOF
+session6=$(printf '{"v":1,"op":"ping"}\n' |
+  timeout 60 "$daemon" client --socket "$sock")
+check "daemon survives a client hanging up mid-reply" "$session6" \
+  '"re":"pong"'
+
 kill -TERM "$pid"
 wait "$pid"
 rc=$?

@@ -30,7 +30,7 @@ let gen_job =
         map3
           (fun width depth task_flops -> P.Graph { width; depth; task_flops })
           (int_range 1 16) (int_range 1 16)
-          (map (fun f -> Float.abs f +. 1e-3) pfloat);
+          (float_range 1e-3 1e6);
       ])
 
 (* Tenant names stress the JSON string escaper: quotes, backslashes,
@@ -162,6 +162,39 @@ let protocol_tests =
         with
         | P.Corrupt _ -> ()
         | _ -> Alcotest.fail "expected Corrupt");
+    Alcotest.test_case "admission caps refuse oversized jobs" `Quick
+      (fun () ->
+        let bad fmt =
+          Printf.ksprintf
+            (fun payload ->
+              match P.request_of_string payload with
+              | Error { P.e_code = P.Bad_request; _ } -> ()
+              | Ok _ -> Alcotest.failf "accepted oversized job: %s" payload
+              | Error { P.e_reason; _ } ->
+                  Alcotest.failf "wrong error for %s: %s" payload e_reason)
+            fmt
+        in
+        (* an n that would OOM the daemon in Matrix.random *)
+        bad
+          "{\"v\":1,\"op\":\"submit\",\"tenant\":\"a\",\"job\":{\"kind\":\"dgemm\",\"n\":20000000,\"tiles\":2,\"seed\":1}}";
+        bad
+          "{\"v\":1,\"op\":\"submit\",\"tenant\":\"a\",\"job\":{\"kind\":\"cholesky\",\"n\":%d,\"tiles\":2,\"seed\":1}}"
+          (P.max_n + 1);
+        bad
+          "{\"v\":1,\"op\":\"submit\",\"tenant\":\"a\",\"job\":{\"kind\":\"dgemm\",\"n\":2048,\"tiles\":%d,\"seed\":1}}"
+          (P.max_tiles + 1);
+        (* parameters individually in range, cost over the cap *)
+        bad
+          "{\"v\":1,\"op\":\"submit\",\"tenant\":\"a\",\"job\":{\"kind\":\"graph\",\"width\":1024,\"depth\":64,\"task_flops\":1e9}}";
+        bad
+          "{\"v\":1,\"op\":\"submit\",\"tenant\":\"a\",\"job\":{\"kind\":\"graph\",\"width\":1024,\"depth\":1024,\"task_flops\":1.0}}";
+        (* a maximal in-cap job still parses *)
+        match
+          P.request_of_string
+            "{\"v\":1,\"op\":\"submit\",\"tenant\":\"a\",\"job\":{\"kind\":\"graph\",\"width\":64,\"depth\":64,\"task_flops\":1e6}}"
+        with
+        | Ok (P.Submit _) -> ()
+        | _ -> Alcotest.fail "in-cap job refused");
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -319,6 +352,49 @@ let service_tests =
           (Service.quarantined svc ~tenant:"a");
         check (Alcotest.list Alcotest.string) "b sees a clean machine" []
           (Service.quarantined svc ~tenant:"b"));
+    Alcotest.test_case "oversized direct submits draw bad-request" `Quick
+      (fun () ->
+        let svc =
+          Service.create ~shards:1 ~now:(fun () -> 0.0) (cfg_of "xeon-2gpu")
+        in
+        (match
+           Service.submit svc ~tenant:"a"
+             (P.Dgemm { n = 20_000_000; tiles = 2; seed = 1 })
+         with
+        | P.Error { code = P.Bad_request; _ } -> ()
+        | _ -> Alcotest.fail "huge dgemm admitted");
+        (match
+           Service.submit svc ~tenant:"a"
+             (P.Graph { width = 1024; depth = 1024; task_flops = 1.0 })
+         with
+        | P.Error { code = P.Bad_request; _ } -> ()
+        | _ -> Alcotest.fail "huge graph admitted");
+        (* the refusal never registers the tenant or consumes a slot *)
+        check int_ "no tenant rows" 0 (List.length (Service.stats svc)));
+    Alcotest.test_case "dispatch cost is independent of cost/quantum" `Quick
+      (fun () ->
+        (* cost 4e9 over quantum 1e-3 is ~4e12 accrual passes; the
+           fast-forward must dispatch this without spinning them (and
+           without the deficit saturating below the job cost) *)
+        let svc =
+          Service.create ~shards:1 ~quantum:1e-3 ~now:(fun () -> 0.0)
+            (cfg_of "xeon-2gpu")
+        in
+        ignore
+          (Service.submit svc ~tenant:"slow"
+             (P.Graph { width = 2; depth = 2; task_flops = 1e9 }));
+        ignore
+          (Service.submit svc ~tenant:"other"
+             (P.Graph { width = 2; depth = 2; task_flops = 1e3 }));
+        let statuses =
+          List.filter_map
+            (function P.Done { status; _ } -> Some status | _ -> None)
+            (Service.run_until_idle svc)
+        in
+        check int_ "both jobs reported" 2 (List.length statuses);
+        check bool_ "both ran"
+          (List.for_all (function P.Jok _ -> true | _ -> false) statuses)
+          true);
     Alcotest.test_case "stats rows reflect the ledger" `Quick (fun () ->
         let svc =
           Service.create ~shards:1 ~queue_cap:2 ~now:(fun () -> 0.0)
