@@ -1974,12 +1974,14 @@ let serve_smoke () =
   (* Wire protocol: encode/decode inverses, structured errors. *)
   let reqs =
     [
-      SP.Submit { tenant = "a"; job = job 3; deadline_ms = Some 12.5 };
+      SP.Submit
+        { tenant = "a"; job = job 3; deadline_ms = Some 12.5; trace = None };
       SP.Submit
         {
           tenant = "b\"x";
           job = SP.Graph { width = 3; depth = 2; task_flops = 0.1 +. 0.2 };
           deadline_ms = None;
+          trace = Some "00000000deadbeef-0000000000000001";
         };
       SP.Run; SP.Stats; SP.Drain { budget_ms = Some 0.0 }; SP.Ping;
     ]
@@ -1990,7 +1992,8 @@ let serve_smoke () =
        reqs);
   let replies =
     [
-      SP.Accepted { id = 7; credit = 3 };
+      SP.Accepted
+        { id = 7; credit = 3; trace = Some "00000000deadbeef-00000000000000aa" };
       SP.Overloaded { tenant = "a"; queue = 4; cap = 4; retry_ms = 200.0 };
       SP.Done
         {
@@ -2006,6 +2009,7 @@ let serve_smoke () =
                 coalesced = true;
                 shard = 1;
               };
+          trace = None;
         };
       SP.Stats_reply
         [
@@ -2014,6 +2018,8 @@ let serve_smoke () =
             tr_rejected = 1; tr_timeouts = 0; tr_cancelled = 0; tr_failed = 0;
             tr_coalesced = 2; tr_queue = 1; tr_cap = 8; tr_weight = 1.5;
             tr_busy_vs = 0.75; tr_quarantined = [ "gpu0" ];
+            tr_slo_ms = Some 25.0; tr_slo_good = 4; tr_slo_bad = 1;
+            tr_burn_rate = 20.0;
           };
         ];
       SP.Error { code = SP.Version; reason = "nope" };
@@ -2069,6 +2075,66 @@ let serve_smoke () =
   in
   check "serve: interleaved engines match sequential runs (bitwise)"
     (pair true = pair false);
+  (* Observability: request-scoped tracing, decision logs, SLO burn. *)
+  let contains s sub =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    n = 0 || go 0
+  in
+  Obs.Config.set_enabled true;
+  Obs.Export.reset_all ();
+  let svc = SSvc.create ~shards:1 ~queue_cap:16 ~now cfg in
+  let ctx = "00000000cab5f00d-0000000000000001" in
+  let acc_trace =
+    match SSvc.submit svc ~tenant:"t" ~trace:ctx (job 11) with
+    | SP.Accepted { trace; _ } -> trace
+    | _ -> None
+  in
+  let done_traces =
+    List.filter_map
+      (function SP.Done { trace; _ } -> trace | _ -> None)
+      (SSvc.run_until_idle svc)
+  in
+  check "serve: ACCEPTED and DONE echo the client trace id"
+    (acc_trace = Some ctx && done_traces = [ ctx ]);
+  check "serve: scheduler decisions name a PU and a source"
+    (Obs.Decision.count () > 0
+    && List.for_all
+         (fun (d : Obs.Decision.record) ->
+           d.Obs.Decision.d_pu <> ""
+           && List.mem_assoc d.Obs.Decision.d_pu d.Obs.Decision.d_estimates)
+         (Obs.Decision.records ()));
+  let jsonl = Obs.Decision.to_jsonl () in
+  check "serve: decision JSONL carries estimates and a source"
+    (String.length jsonl > 0
+    && contains jsonl "\"source\"" && contains jsonl "\"estimates\"");
+  let doc = Obs.Export.to_chrome_json () in
+  check "serve: wall trace passes the trace-event schema check"
+    (Obs.Trace_check.validate_string doc = Ok ());
+  check "serve: the traced job renders a connected flow chain"
+    (contains doc "\"ph\":\"s\"" && contains doc "\"ph\":\"f\"");
+  (* SLO window: one Ok finish, one expired deadline -> 50% bad. *)
+  let svc = SSvc.create ~shards:1 ~queue_cap:16 ~now cfg in
+  ignore (SSvc.submit svc ~tenant:"s" (job 12));
+  ignore (SSvc.run_until_idle svc);
+  ignore (SSvc.submit svc ~tenant:"s" ~deadline_ms:1.0 (job 13));
+  clock := !clock +. 0.010;
+  ignore (SSvc.run_until_idle svc);
+  let row = List.find (fun r -> r.SP.tr_tenant = "s") (SSvc.stats svc) in
+  check "serve: STATS carries the SLO window and burn rate"
+    (row.SP.tr_slo_good = 1 && row.SP.tr_slo_bad = 1
+    && row.SP.tr_burn_rate > 1.0);
+  check "serve: burn rate reaches the Prometheus exposition"
+    (contains (Obs.Export.prometheus ()) "obs_slo_burn_rate{slo=\"serve:s\"}");
+  check "serve: a pre-trace submit still decodes"
+    (match
+       SP.request_of_string
+         "{\"v\":1,\"op\":\"submit\",\"tenant\":\"a\",\"job\":{\"kind\":\"dgemm\",\"n\":32,\"tiles\":2,\"seed\":7}}"
+     with
+    | Ok (SP.Submit { trace = None; _ }) -> true
+    | _ -> false);
+  Obs.Export.reset_all ();
+  Obs.Config.set_enabled false;
   print_endline "serve smoke: all checks passed"
 
 let percentile_exact sorted q =
@@ -2077,7 +2143,7 @@ let percentile_exact sorted q =
   else sorted.(min (n - 1) (int_of_float (ceil (q /. 100.0 *. float_of_int n)) - 1 |> max 0))
 
 let serve_json path ~jobs ~base ~cont ~rejected ~throughput ~factor ~floor_ms
-    ~limit_ms ~ok =
+    ~limit_ms ~ok ~tracing_overhead_pct ~overhead_limit_pct ~overhead_ok =
   let pcts a =
     Printf.sprintf
       "{\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}"
@@ -2093,8 +2159,12 @@ let serve_json path ~jobs ~base ~cont ~rejected ~throughput ~factor ~floor_ms
   Printf.fprintf oc "  \"throughput_jobs_per_s\": %.1f,\n" throughput;
   Printf.fprintf oc
     "  \"isolation_guard\": {\"factor\": %.1f, \"floor_ms\": %.1f, \
-     \"limit_ms\": %.3f, \"ok\": %b}\n"
+     \"limit_ms\": %.3f, \"ok\": %b},\n"
     factor floor_ms limit_ms ok;
+  Printf.fprintf oc "  \"tracing_overhead_pct\": %.2f,\n" tracing_overhead_pct;
+  Printf.fprintf oc
+    "  \"tracing_guard\": {\"limit_pct\": %.1f, \"ok\": %b}\n"
+    overhead_limit_pct overhead_ok;
   Printf.fprintf oc "}\n";
   close_out oc
 
@@ -2134,6 +2204,41 @@ let serve_bench () =
   in
   let base, _, _ = phase ~flood:false in
   let cont, rejected, throughput = phase ~flood:true in
+  (* Tracing overhead: the same closed loop with telemetry off vs on
+     (spans, flow events, decision log, SLO windows).  Off and on runs
+     are measured back to back in pairs, so ambient machine noise is
+     correlated within a pair; the reported overhead is the best of
+     five pair ratios. *)
+  let traced_wall ~on =
+    Obs.Config.set_enabled on;
+    Obs.Export.reset_all ();
+    let svc = SSvc.create ~shards:2 ~queue_cap:8 cfg in
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to 15 do
+      ignore
+        (SSvc.submit svc ~tenant:"b"
+           ~trace:(Printf.sprintf "%016x-0000000000000001" i)
+           (SP.Dgemm { n = 256; tiles = 2; seed = i }));
+      ignore (SSvc.run_until_idle svc)
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    Obs.Export.reset_all ();
+    Obs.Config.set_enabled false;
+    wall
+  in
+  ignore (traced_wall ~on:false);
+  ignore (traced_wall ~on:true);
+  let best_ratio = ref infinity in
+  for _ = 1 to 5 do
+    let off = traced_wall ~on:false in
+    let on = traced_wall ~on:true in
+    best_ratio := Float.min !best_ratio (on /. off)
+  done;
+  let tracing_overhead_pct =
+    Float.max 0.0 (100.0 *. (!best_ratio -. 1.0))
+  in
+  let overhead_limit_pct = 3.0 in
+  let overhead_ok = tracing_overhead_pct <= overhead_limit_pct in
   let factor = 10.0 and floor_ms = 2.0 in
   let base_p95 = percentile_exact base 95.0
   and cont_p95 = percentile_exact cont 95.0 in
@@ -2153,14 +2258,18 @@ let serve_bench () =
   Printf.printf "isolation guard: contended p95 %.3f ms <= %.3f ms: %s\n"
     cont_p95 limit_ms
     (if ok then "ok" else "VIOLATED");
+  Printf.printf "tracing guard: overhead %.2f%% <= %.1f%%: %s\n"
+    tracing_overhead_pct overhead_limit_pct
+    (if overhead_ok then "ok" else "VIOLATED");
   serve_json "BENCH_serve.json" ~jobs ~base ~cont ~rejected ~throughput
-    ~factor ~floor_ms ~limit_ms ~ok;
+    ~factor ~floor_ms ~limit_ms ~ok ~tracing_overhead_pct ~overhead_limit_pct
+    ~overhead_ok;
   print_endline "wrote BENCH_serve.json";
   if rejected = 0 then begin
     print_endline "expected the flooding tenant to be rejected at least once";
     exit 1
   end;
-  if not ok then exit 1
+  if not ok || not overhead_ok then exit 1
 
 (* ------------------------------------------------------------------ *)
 

@@ -212,6 +212,18 @@ let run_cmd =
             "Print Prometheus-style telemetry counters and latency \
              quantiles to stderr after the run.")
   in
+  let decisions_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "decisions" ] ~docv:"FILE"
+          ~doc:
+            "Write the scheduler decision log as JSONL: one record per \
+             placement with the chosen PU, per-PU finish-time estimates, \
+             the estimate source (calibrated | static | exploration), and \
+             — once the task completes — queue wait and \
+             estimate-vs-actual relative error.")
+  in
   let faults_arg =
     Arg.(
       value
@@ -271,11 +283,13 @@ let run_cmd =
              compiler, then cc).")
   in
   let run input pdl zoo repo_files serial policy blocks stats_flag trace_out
-      metrics faults_spec tune_flag tune_dir native emit_c_dir cc =
+      metrics decisions_out faults_spec tune_flag tune_dir native emit_c_dir
+      cc =
     let unit_ = or_die (parse_source input) in
     (* Telemetry costs one branch per probe when off; turn it on only
        when a sink was requested. *)
-    if trace_out <> None || metrics then Obs.Config.set_enabled true;
+    if trace_out <> None || metrics || decisions_out <> None then
+      Obs.Config.set_enabled true;
     if serial then begin
       match Cascabel.Runnable.run_serial unit_ with
       | Ok (code, out) ->
@@ -424,6 +438,7 @@ let run_cmd =
             (fun (store, _) -> Tune.Store.save ~dir:tune_dir store)
             tune;
           if metrics then prerr_string (Obs.Export.prometheus ());
+          Option.iter (fun path -> Obs.Decision.write_jsonl path) decisions_out;
           finish r.exit_code
       | Error e ->
           prerr_endline e;
@@ -437,8 +452,9 @@ let run_cmd =
           descriptor.")
     Term.(
       const run $ input_arg $ pdl_arg $ zoo_arg $ repo_arg $ serial $ policy
-      $ blocks $ stats_flag $ trace_arg $ metrics_flag $ faults_arg
-      $ tune_flag $ tune_dir_arg $ native_flag $ emit_c_arg $ cc_arg)
+      $ blocks $ stats_flag $ trace_arg $ metrics_flag $ decisions_arg
+      $ faults_arg $ tune_flag $ tune_dir_arg $ native_flag $ emit_c_arg
+      $ cc_arg)
 
 let () =
   let info =

@@ -142,6 +142,26 @@ let metrics_arg =
     & info [ "metrics" ] ~docv:"FILE"
         ~doc:"Write a Prometheus metric dump on drain.")
 
+let decisions_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "decisions" ] ~docv:"FILE"
+        ~doc:
+          "Write the scheduler decision log (one JSONL record per \
+           placement: chosen PU, per-PU estimates, estimate source, \
+           queue wait, estimate-vs-actual error) on drain.")
+
+let slo_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slo-ms" ] ~docv:"MS"
+        ~doc:
+          "Default per-tenant latency target: a job counts SLO-good only \
+           when it finishes Ok within MS milliseconds. Burn rates show \
+           up in STATS replies and the Prometheus dump.")
+
 let sockets_unsupported = function
   | Unix.EAFNOSUPPORT | Unix.EPROTONOSUPPORT | Unix.ENOSYS | Unix.EPERM
   | Unix.EACCES ->
@@ -149,7 +169,7 @@ let sockets_unsupported = function
   | _ -> false
 
 let serve pdl zoo socket stdio shards policy queue_cap quantum weights caps
-    faults budget_ms tune_dir trace_out metrics_out =
+    faults budget_ms tune_dir trace_out metrics_out decisions_out slo_ms =
   let platform = or_die (load_platform pdl zoo) in
   let cfg = or_die (Taskrt.Machine_config.of_platform platform) in
   let policy =
@@ -157,7 +177,7 @@ let serve pdl zoo socket stdio shards policy queue_cap quantum weights caps
     | Some p -> p
     | None -> or_die (Error (Printf.sprintf "unknown policy %S" policy))
   in
-  if trace_out <> None || metrics_out <> None then
+  if trace_out <> None || metrics_out <> None || decisions_out <> None then
     Obs.Config.set_enabled true;
   let tune =
     Option.map
@@ -171,7 +191,9 @@ let serve pdl zoo socket stdio shards policy queue_cap quantum weights caps
         store)
       tune_dir
   in
-  let svc = Serve.Service.create ~policy ~shards ~queue_cap ~quantum ?tune cfg in
+  let svc =
+    Serve.Service.create ~policy ~shards ~queue_cap ~quantum ?tune ?slo_ms cfg
+  in
   List.iter
     (fun s ->
       let name, w = split_tenant_opt "weight" s in
@@ -200,6 +222,7 @@ let serve pdl zoo socket stdio shards policy queue_cap quantum weights caps
       tune_dir;
       trace_out;
       metrics_out;
+      decisions_out;
     }
   in
   match (socket, stdio) with
@@ -224,7 +247,8 @@ let serve_cmd =
     Term.(
       const serve $ pdl_arg $ zoo_arg $ socket_arg $ stdio_arg $ shards_arg
       $ policy_arg $ queue_cap_arg $ quantum_arg $ weight_arg $ cap_arg
-      $ faults_arg $ budget_arg $ tune_dir_arg $ trace_arg $ metrics_arg)
+      $ faults_arg $ budget_arg $ tune_dir_arg $ trace_arg $ metrics_arg
+      $ decisions_arg $ slo_ms_arg)
 
 (* --- the scripted client ----------------------------------------------- *)
 
@@ -260,7 +284,36 @@ let hangup_arg =
            reading any reply — a misbehaving peer for daemon \
            robustness tests (the daemon must survive the broken pipe).")
 
-let client socket raw pipeline hangup =
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Poll a running daemon once: send STATS, print one \
+           human-readable line per tenant (completion counts, queue \
+           depth, and the rolling SLO window with its burn rate), and \
+           exit. Ignores stdin.")
+
+let trace_ids_arg =
+  Arg.(
+    value & flag
+    & info [ "trace-ids" ]
+        ~doc:
+          "Mint a fresh trace context for every submit that does not \
+           already carry one, so ACCEPTED/DONE frames and the daemon's \
+           Perfetto trace correlate per request.")
+
+let print_stats_row (r : P.tenant_row) =
+  Printf.printf
+    "%s: completed=%d queue=%d/%d slo_ms=%s window_good=%d window_bad=%d \
+     burn_rate=%.2f\n"
+    r.P.tr_tenant r.P.tr_completed r.P.tr_queue r.P.tr_cap
+    (match r.P.tr_slo_ms with
+    | None -> "-"
+    | Some ms -> Printf.sprintf "%g" ms)
+    r.P.tr_slo_good r.P.tr_slo_bad r.P.tr_burn_rate
+
+let client socket raw pipeline hangup stats trace_ids =
   (* a daemon draining mid-session must surface as EOF / EPIPE, not
      kill the client with SIGPIPE *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -281,6 +334,17 @@ let client socket raw pipeline hangup =
                 (Unix.error_message e)))
   in
   let print_reply r = print_endline (P.reply_to_string r) in
+  if stats then begin
+    (try Serve.Server.client_send fd P.Stats
+     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+    (match Serve.Server.client_recv fd with
+    | exception End_of_file -> ()
+    | P.Stats_reply rows -> List.iter print_stats_row rows
+    | r -> print_reply r);
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    flush stdout;
+    exit 0
+  end;
   let rec read_until_direct () =
     match Serve.Server.client_recv fd with
     | exception End_of_file -> ()
@@ -288,11 +352,24 @@ let client socket raw pipeline hangup =
         print_reply r;
         if is_done r then read_until_direct ()
   in
+  let attach_trace = function
+    | P.Submit { tenant; job; deadline_ms; trace = None } ->
+        P.Submit
+          {
+            tenant;
+            job;
+            deadline_ms;
+            trace = Some (Obs.Trace_ctx.to_string (Obs.Trace_ctx.make ()));
+          }
+    | req -> req
+  in
   let payload_of line =
     if raw then line
     else
       match P.request_of_string line with
-      | Ok req -> P.request_to_string req
+      | Ok req ->
+          let req = if trace_ids then attach_trace req else req in
+          P.request_to_string req
       | Error e ->
           or_die (Error (Printf.sprintf "bad request line: %s" e.P.e_reason))
   in
@@ -354,7 +431,8 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:"Scripted JSON session against a running daemon.")
     Term.(
-      const client $ client_socket_arg $ raw_arg $ pipeline_arg $ hangup_arg)
+      const client $ client_socket_arg $ raw_arg $ pipeline_arg $ hangup_arg
+      $ stats_arg $ trace_ids_arg)
 
 let () =
   let info =

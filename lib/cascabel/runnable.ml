@@ -73,7 +73,8 @@ let drain ctx =
   if ctx.dirty then begin
     let sp = Obs.Span.start () in
     ignore (Engine.wait_all ctx.engine);
-    Obs.Span.record ~cat:"cascabel" ~name:"drain" sp;
+    Obs.Span.record ~cat:"cascabel" ~name:"drain"
+      ~flow:(Obs.Trace_ctx.current_flow ()) sp;
     Hashtbl.iter
       (fun _ tr ->
         if Data.is_partitioned tr.tr_handle then Data.unpartition tr.tr_handle)
@@ -144,7 +145,8 @@ let run_variant ctx (v : Repository.variant) handles_spec handles =
      domain): the trace shows interpreter time within each task. *)
   let sp = Obs.Span.start () in
   let _ = Interp.call_function ctx.interp v.v_func argv in
-  Obs.Span.record ~cat:"cascabel" ~name:("variant:" ^ v.v_func.f_name) sp;
+  Obs.Span.record ~cat:"cascabel" ~name:("variant:" ^ v.v_func.f_name)
+    ~flow:(Obs.Trace_ctx.current_flow ()) sp;
   (* write back written buffers *)
   List.iter
     (fun (pname, value, hm) ->
@@ -190,7 +192,8 @@ let run_variant_native (v : Repository.variant) fn handles_spec handles =
   in
   let sp = Obs.Span.start () in
   Capi.call fn args;
-  Obs.Span.record ~cat:"native" ~name:"native_exec" ~args:v.v_func.f_name sp;
+  Obs.Span.record ~cat:"native" ~name:"native_exec" ~args:v.v_func.f_name
+    ~flow:(Obs.Trace_ctx.current_flow ()) sp;
   List.iter
     (fun (pname, slot) ->
       match slot with
@@ -579,12 +582,25 @@ let run ?policy ?blocks ?fuel ?trace ?faults ?tune ?explore_eps ?native ~repo
       in
       ctx_ref := Some ctx;
       Engine.on_stranded engine (fun sd -> failover ctx sd);
-      match Interp.run_main interp with
+      (* One ambient trace context per run: standalone cascabelc runs
+         get a connected flow (drain/variant/native/exec spans) without
+         a serving daemon; under cascabeld the service installed the
+         job's context already and this scope is never reached. *)
+      let run_ctx =
+        match Obs.Trace_ctx.current () with
+        | Some c -> c
+        | None -> Obs.Trace_ctx.make ()
+      in
+      match Obs.Trace_ctx.with_current run_ctx (fun () ->
+                Interp.run_main interp) with
       | Error msg -> Error msg
       | exception Abort msg -> Error msg
       | exception Engine.Stuck stuck -> Error (Engine.stuck_to_string stuck)
       | Ok code -> (
-          match Engine.wait_all engine with
+          match
+            Obs.Trace_ctx.with_current run_ctx (fun () ->
+                Engine.wait_all engine)
+          with
           | stats ->
               Option.iter
                 (fun path ->

@@ -1,0 +1,71 @@
+(** Scheduler decision log: one ring-buffered record per HEFT
+    placement, naming the chosen PU, every eligible PU's
+    earliest-finish estimate, and the estimate's provenance
+    (calibrated | static | exploration).  Completion back-fills queue
+    wait and measured compute time, and the estimate-vs-actual
+    relative error feeds the [sched_est_rel_err] histogram.
+    Exported as JSONL by [cascabelc run --decisions] and on
+    [cascabeld] drain. *)
+
+type source = Calibrated | Static | Exploration
+
+val source_to_string : source -> string
+
+type record = {
+  d_seq : int;  (** monotonically increasing; doubles as the token *)
+  d_tag : string;  (** engine label, e.g. ["tenant-a/shard0"]; "" standalone *)
+  d_task : int;
+  d_codelet : string;
+  d_pu : string;  (** the chosen worker *)
+  d_source : source;
+  d_est_s : float;  (** predicted compute seconds on the chosen PU *)
+  d_eft_s : float;  (** chosen earliest finish time (virtual seconds) *)
+  d_estimates : (string * float) list;  (** per-PU earliest finish times *)
+  d_vt : float;  (** virtual time of the decision *)
+  mutable d_queue_wait_s : float;  (** dispatch - decision; nan until done *)
+  mutable d_actual_s : float;  (** measured compute seconds; nan until done *)
+}
+
+val record :
+  tag:string ->
+  task:int ->
+  codelet:string ->
+  pu:string ->
+  source:source ->
+  est_s:float ->
+  eft_s:float ->
+  estimates:(string * float) list ->
+  vt:float ->
+  int
+(** Push a placement record; returns the completion token (or [-1]
+    when telemetry is disabled — {!complete} ignores it). *)
+
+val complete : int -> dispatched:float -> actual_s:float -> unit
+(** Back-fill the record behind a {!record} token: queue wait
+    [dispatched - vt] and the measured compute seconds, observing the
+    relative error into [sched_est_rel_err].  Tokens already
+    overwritten by ring wraparound (or [-1]) are dropped silently. *)
+
+val records : unit -> record list
+(** Oldest-first snapshot of the surviving records. *)
+
+val count : unit -> int
+(** Decisions ever recorded (including overwritten ones). *)
+
+val dropped : unit -> int
+(** Records lost to overwrite-oldest. *)
+
+val rel_err_hist : string
+(** Name of the relative-error histogram ([sched_est_rel_err]). *)
+
+val to_jsonl : unit -> string
+(** One JSON object per line, oldest first.  Fields: [seq], [task],
+    [codelet], [pu], [source], [est_s], [eft_s], [vt], [estimates]
+    (object of per-PU EFTs), optional [tag], and — once completed —
+    [queue_wait_s], [actual_s], [rel_err]. *)
+
+val write_jsonl : string -> unit
+val set_capacity : int -> unit
+(** Resize (and clear) the ring; default 4096. *)
+
+val clear : unit -> unit

@@ -5,7 +5,9 @@
    Taskrt.Trace_export (the simulated engine's virtual timeline), so
    both open in the same viewer; wall-clock telemetry claims pid 1,
    leaving pid 0 for the virtual timeline when the two are merged
-   into one file. *)
+   into one file.  Spans tagged with a flow id (Trace_ctx) are
+   additionally linked by s/t/f flow events, so one request reads as
+   a connected arrow chain across lanes. *)
 
 let wall_pid = 1
 
@@ -77,6 +79,43 @@ let chrome_body ?(pid = wall_pid) () =
             (json_escape e.ev_name) (json_escape e.ev_cat) (us e.ev_t0)
             pid e.ev_dom args)
       events;
+    (* Flow events: for every flow id, an arrow chain visiting its
+       spans in start order — ph "s" on the first hop, "t" on middle
+       hops, "f" (with bp:"e" so it binds to the enclosing slice) on
+       the last.  Each flow event shares its slice's ts/pid/tid, which
+       is what binds it to that slice in the viewer.  A flow seen on a
+       single span draws no arrow, so it is skipped. *)
+    let by_flow : (int, Span.event list) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (e : Span.event) ->
+        if e.ev_flow <> 0 then
+          Hashtbl.replace by_flow e.ev_flow
+            (e :: Option.value ~default:[] (Hashtbl.find_opt by_flow e.ev_flow)))
+      events;
+    let flow_ids = Hashtbl.fold (fun id _ acc -> id :: acc) by_flow [] in
+    List.iter
+      (fun id ->
+        let group =
+          List.sort
+            (fun (a : Span.event) (b : Span.event) ->
+              compare (a.ev_t0, a.ev_t1, a.ev_dom) (b.ev_t0, b.ev_t1, b.ev_dom))
+            (Hashtbl.find by_flow id)
+        in
+        let last = List.length group - 1 in
+        if last >= 1 then
+          List.iteri
+            (fun k (e : Span.event) ->
+              let ph, bp =
+                if k = 0 then ("s", "")
+                else if k = last then ("f", ",\"bp\":\"e\"")
+                else ("t", "")
+              in
+              emit
+                "{\"name\":\"flow\",\"cat\":\"trace\",\"ph\":\"%s\",\
+                 \"id\":%d,\"ts\":%.3f,\"pid\":%d,\"tid\":%d%s}"
+                ph id (us e.ev_t0) pid e.ev_dom bp)
+            group)
+      (List.sort compare flow_ids);
     Buffer.contents buf
   end
 
@@ -99,32 +138,90 @@ let metric_name s =
       | _ -> '_')
     s
 
+(* Label-value escaping per the Prometheus text format: backslash,
+   double quote, and line feed must be escaped inside the quotes. *)
+let label_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let prometheus () =
   let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   List.iter
     (fun c ->
       let n = "obs_" ^ metric_name (Counter.name c) ^ "_total" in
-      if Counter.help c <> "" then
-        Buffer.add_string buf
-          (Printf.sprintf "# HELP %s %s\n" n (Counter.help c));
-      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
-      Buffer.add_string buf (Printf.sprintf "%s %d\n" n (Counter.value c)))
+      if Counter.help c <> "" then out "# HELP %s %s\n" n (Counter.help c);
+      out "# TYPE %s counter\n" n;
+      out "%s %d\n" n (Counter.value c))
     (Counter.all ());
   List.iter
     (fun h ->
       let n = "obs_" ^ metric_name (Histogram.name h) ^ "_seconds" in
-      Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" n);
+      out "# HELP %s log-bucketed latency distribution (seconds)\n" n;
+      out "# TYPE %s summary\n" n;
       List.iter
         (fun q ->
-          Buffer.add_string buf
-            (Printf.sprintf "%s{quantile=\"%g\"} %.9f\n" n (q /. 100.0)
-               (Histogram.percentile h q)))
+          out "%s{quantile=\"%g\"} %.9f\n" n (q /. 100.0)
+            (Histogram.percentile h q))
         [ 50.0; 95.0; 99.0 ];
-      Buffer.add_string buf
-        (Printf.sprintf "%s_sum %.9f\n" n (Histogram.sum h));
-      Buffer.add_string buf
-        (Printf.sprintf "%s_count %d\n" n (Histogram.count h)))
+      out "%s_sum %.9f\n" n (Histogram.sum h);
+      out "%s_count %d\n" n (Histogram.count h))
     (Histogram.all ());
+  let rings = Span.ring_stats () in
+  if rings <> [] then begin
+    out "# HELP obs_span_ring_dropped spans lost to ring overwrite-oldest\n";
+    out "# TYPE obs_span_ring_dropped gauge\n";
+    List.iter
+      (fun (dom, pushed, cap) ->
+        out "obs_span_ring_dropped{domain=\"%d\"} %d\n" dom
+          (max 0 (pushed - cap)))
+      rings
+  end;
+  let slos = Slo.all () in
+  if slos <> [] then begin
+    out "# HELP obs_slo_good_total events within the objective\n";
+    out "# TYPE obs_slo_good_total counter\n";
+    List.iter
+      (fun s ->
+        out "obs_slo_good_total{slo=\"%s\"} %d\n"
+          (label_escape (Slo.name s))
+          (fst (Slo.totals s)))
+      slos;
+    out "# HELP obs_slo_bad_total events violating the objective\n";
+    out "# TYPE obs_slo_bad_total counter\n";
+    List.iter
+      (fun s ->
+        out "obs_slo_bad_total{slo=\"%s\"} %d\n"
+          (label_escape (Slo.name s))
+          (snd (Slo.totals s)))
+      slos;
+    out "# HELP obs_slo_objective the availability objective\n";
+    out "# TYPE obs_slo_objective gauge\n";
+    List.iter
+      (fun s ->
+        out "obs_slo_objective{slo=\"%s\"} %g\n"
+          (label_escape (Slo.name s))
+          (Slo.objective s))
+      slos;
+    out
+      "# HELP obs_slo_burn_rate rolling-window error-budget burn rate \
+       (1.0 = burning exactly the budget)\n";
+    out "# TYPE obs_slo_burn_rate gauge\n";
+    List.iter
+      (fun s ->
+        out "obs_slo_burn_rate{slo=\"%s\"} %g\n"
+          (label_escape (Slo.name s))
+          (Slo.burn_rate s))
+      slos
+  end;
   Buffer.contents buf
 
 (* --- human-readable summary ---------------------------------------- *)
@@ -159,6 +256,27 @@ let summary () =
              (ms (Histogram.max_value h))))
       hists
   end;
+  let slos = List.filter (fun s -> Slo.totals s <> (0, 0)) (Slo.all ()) in
+  if slos <> [] then begin
+    Buffer.add_string buf "== slo ==\n";
+    Buffer.add_string buf
+      (Printf.sprintf "%-28s %9s %8s %8s %10s\n" "slo" "objective" "good"
+         "bad" "burn rate");
+    List.iter
+      (fun s ->
+        let good, bad = Slo.totals s in
+        Buffer.add_string buf
+          (Printf.sprintf "%-28s %9g %8d %8d %10.3f\n" (Slo.name s)
+             (Slo.objective s) good bad (Slo.burn_rate s)))
+      slos
+  end;
+  if Decision.count () > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "== scheduler decisions ==\n%d recorded, %d retained%s\n"
+         (Decision.count ())
+         (List.length (Decision.records ()))
+         (let d = Decision.dropped () in
+          if d > 0 then Printf.sprintf " (%d oldest overwritten)" d else ""));
   let rings = Span.ring_stats () in
   if rings <> [] then begin
     Buffer.add_string buf "== span rings ==\n";
@@ -170,11 +288,17 @@ let summary () =
              (if pushed > cap then
                 Printf.sprintf " (%d oldest overwritten)" (pushed - cap)
               else "")))
-      rings
+      rings;
+    let d = Span.dropped () in
+    if d > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "dropped spans: %d (see dropped_spans counter)\n" d)
   end;
   Buffer.contents buf
 
 let reset_all () =
   Counter.reset_all ();
   Histogram.reset_all ();
+  Slo.reset_all ();
+  Decision.clear ();
   Span.clear ()

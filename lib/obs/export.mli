@@ -9,10 +9,11 @@ val wall_pid : int
 val chrome_body : ?pid:int -> unit -> string
 (** The recorded spans as comma-separated Chrome trace-event objects
     (no brackets): per-domain [thread_name] metadata plus one ["X"]
-    (complete) event per span and ["i"] (instant) markers.  [""]
-    when nothing was recorded.  Used by
-    {!Taskrt.Trace_export} to merge wall and virtual timelines into
-    one file. *)
+    (complete) event per span and ["i"] (instant) markers, followed by
+    [s]/[t]/[f] flow events chaining every span that shares a non-zero
+    {!Span.event.ev_flow} (one request = one connected arrow chain).
+    [""] when nothing was recorded.  Used by {!Taskrt.Trace_export} to
+    merge wall and virtual timelines into one file. *)
 
 val to_chrome_json : unit -> string
 (** A complete [{"traceEvents": [...]}] document of the wall-clock
@@ -22,14 +23,24 @@ val to_chrome_json : unit -> string
 val write_chrome : string -> unit
 
 val prometheus : unit -> string
-(** Text exposition: every registered counter as
-    [obs_<name>_total] and every registered histogram as a summary
-    with p50/p95/p99 quantiles, [_sum] and [_count]. *)
+(** Text exposition with [# HELP]/[# TYPE] headers: every registered
+    counter as [obs_<name>_total], every registered histogram as a
+    summary with p50/p95/p99 quantiles, [_sum] and [_count], plus
+    per-domain span-ring losses ([obs_span_ring_dropped]) and the SLO
+    families ([obs_slo_good_total], [obs_slo_bad_total],
+    [obs_slo_objective], [obs_slo_burn_rate], labelled by SLO name).
+    Label values are escaped per the text-format spec (backslash,
+    double quote, newline). *)
+
+val label_escape : string -> string
+(** Prometheus label-value escaping: backslash, double quote, and
+    newline become two-character escape sequences. *)
 
 val summary : unit -> string
 (** Human-readable tables: counters, latency histograms
-    (count/mean/p50/p95/p99/max), and per-domain ring occupancy. *)
+    (count/mean/p50/p95/p99/max), SLO burn rates, scheduler-decision
+    counts, and per-domain ring occupancy (with overwrite losses). *)
 
 val reset_all : unit -> unit
-(** Zero counters and histograms and drop recorded spans — a fresh
-    measurement window. *)
+(** Zero counters, histograms, and SLO windows, clear the decision
+    log, and drop recorded spans — a fresh measurement window. *)

@@ -1,0 +1,132 @@
+(* Rolling-window SLO tracking.
+
+   An SLO instance classifies events as good or bad (the service
+   counts a job good when it finishes Ok within its tenant's latency
+   target) against an objective like 0.99, over a bucketed rolling
+   window.  The burn rate is the classic multi-window-alert quantity
+
+     burn = (bad / (good + bad)) / (1 - objective)
+
+   so 1.0 means "failing at exactly the rate the error budget
+   affords", and >1 means the budget is burning faster than it
+   accrues.
+
+   Time is supplied by the caller ([observe ~now]) so the serving
+   stack can drive SLOs off its own (injectable, testable) clock; the
+   window is W/60-second buckets stamped with their epoch, which
+   makes expiry free — a stale bucket is overwritten on first touch
+   and skipped by readers.
+
+   Unlike span recording this path is NOT gated on Config.on: the
+   STATS protocol frame must report burn rates even when tracing is
+   off, and one observe is two integer bumps. *)
+
+let n_buckets = 60
+
+type bucket = { mutable b_epoch : int; mutable b_good : int; mutable b_bad : int }
+
+type t = {
+  s_name : string;
+  s_objective : float;
+  s_window_s : float;
+  buckets : bucket array;
+  mutable total_good : int;
+  mutable total_bad : int;
+  mutable last_now : float;
+}
+
+let name t = t.s_name
+let objective t = t.s_objective
+let window_s t = t.s_window_s
+
+let registry_mutex = Mutex.create ()
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let get_or_make ?(objective = 0.99) ?(window_s = 300.0) name =
+  if objective <= 0.0 || objective >= 1.0 then
+    invalid_arg "Obs.Slo.get_or_make: objective must be in (0, 1)";
+  if window_s <= 0.0 then invalid_arg "Obs.Slo.get_or_make: window_s <= 0";
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some t -> t
+      | None ->
+          let t =
+            {
+              s_name = name;
+              s_objective = objective;
+              s_window_s = window_s;
+              buckets =
+                Array.init n_buckets (fun _ ->
+                    { b_epoch = -1; b_good = 0; b_bad = 0 });
+              total_good = 0;
+              total_bad = 0;
+              last_now = 0.0;
+            }
+          in
+          Hashtbl.add registry name t;
+          t)
+
+let bucket_width t = t.s_window_s /. float_of_int n_buckets
+
+let observe t ~now ~good =
+  let epoch = int_of_float (now /. bucket_width t) in
+  let b = t.buckets.(((epoch mod n_buckets) + n_buckets) mod n_buckets) in
+  if b.b_epoch <> epoch then begin
+    b.b_epoch <- epoch;
+    b.b_good <- 0;
+    b.b_bad <- 0
+  end;
+  if good then begin
+    b.b_good <- b.b_good + 1;
+    t.total_good <- t.total_good + 1
+  end
+  else begin
+    b.b_bad <- b.b_bad + 1;
+    t.total_bad <- t.total_bad + 1
+  end;
+  if now > t.last_now then t.last_now <- now
+
+let window_counts ?now t =
+  let now = match now with Some n -> n | None -> t.last_now in
+  let epoch = int_of_float (now /. bucket_width t) in
+  Array.fold_left
+    (fun (g, b) bk ->
+      if bk.b_epoch > epoch - n_buckets && bk.b_epoch <= epoch then
+        (g + bk.b_good, b + bk.b_bad)
+      else (g, b))
+    (0, 0) t.buckets
+
+let burn_rate ?now t =
+  let g, b = window_counts ?now t in
+  if g + b = 0 then 0.0
+  else
+    let bad_ratio = float_of_int b /. float_of_int (g + b) in
+    bad_ratio /. (1.0 -. t.s_objective)
+
+let totals t = (t.total_good, t.total_bad)
+
+let all () =
+  with_registry (fun () ->
+      Hashtbl.fold (fun _ t acc -> t :: acc) registry []
+      |> List.sort (fun a b -> compare a.s_name b.s_name))
+
+let reset_all () =
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ t ->
+          Array.iter
+            (fun b ->
+              b.b_epoch <- -1;
+              b.b_good <- 0;
+              b.b_bad <- 0)
+            t.buckets;
+          t.total_good <- 0;
+          t.total_bad <- 0;
+          t.last_now <- 0.0)
+        registry)
+
+let drop_all () = with_registry (fun () -> Hashtbl.reset registry)

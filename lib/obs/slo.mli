@@ -1,0 +1,48 @@
+(** Rolling-window SLO tracking: good/bad event counts per named
+    objective (one per serving tenant) and the derived burn rate
+
+    {[ burn = (bad / (good + bad)) / (1 - objective) ]}
+
+    over a bucketed rolling window — 1.0 means failing at exactly the
+    error-budget rate, >1 means the budget shrinks.  Callers supply
+    the clock ([~now], seconds on any monotonic scale), which keeps
+    the service's injectable test clock in charge.  Observation is
+    deliberately {e not} gated on {!Config.on}: the serving STATS
+    frame reports burn rates even when tracing is off. *)
+
+type t
+
+val get_or_make : ?objective:float -> ?window_s:float -> string -> t
+(** The registered SLO under [name], created on first use with the
+    given objective (default 0.99) and rolling window (default 300 s;
+    60 buckets).  Later calls return the existing instance and ignore
+    the optional parameters.
+    @raise Invalid_argument unless [0 < objective < 1] and
+    [window_s > 0]. *)
+
+val observe : t -> now:float -> good:bool -> unit
+(** Count one event at time [now] (seconds). *)
+
+val burn_rate : ?now:float -> t -> float
+(** Burn rate over the window ending at [now] (default: the latest
+    observed time).  0 when the window is empty. *)
+
+val window_counts : ?now:float -> t -> int * int
+(** (good, bad) within the rolling window ending at [now]. *)
+
+val totals : t -> int * int
+(** Cumulative (good, bad) since creation/reset. *)
+
+val name : t -> string
+val objective : t -> float
+val window_s : t -> float
+
+val all : unit -> t list
+(** Every registered SLO, sorted by name. *)
+
+val reset_all : unit -> unit
+(** Zero counts everywhere (instances stay registered). *)
+
+val drop_all : unit -> unit
+(** Forget every registered SLO (tests that re-create tenants with
+    different objectives). *)

@@ -1,10 +1,12 @@
 (* Wall-clock spans in per-domain ring buffers.
 
    Each domain owns one ring (via Domain.DLS), so recording is
-   single-writer and lock-free: a push is five array stores and a
+   single-writer and lock-free: a push is six array stores and a
    cursor bump, with no allocation — names, categories, and argument
    strings are stored by reference, and timestamps are immediate
-   ints.  When the ring is full the oldest entries are overwritten.
+   ints.  When the ring is full the oldest entries are overwritten,
+   and the [dropped_spans] counter records the loss so truncated
+   traces are visible in Prometheus and Export.summary.
 
    The registry of rings is mutex-protected, but it is touched only
    when a domain records its first span (DLS initialization) and by
@@ -17,6 +19,7 @@ type event = {
   ev_args : string;  (** free-form [k=v] tags; [""] when none *)
   ev_t0 : int;  (** span start, Clock.now_ns *)
   ev_t1 : int;  (** span end; [= ev_t0] for instant events *)
+  ev_flow : int;  (** Perfetto flow id linking causally-related spans; 0 = none *)
 }
 
 type ring = {
@@ -26,6 +29,7 @@ type ring = {
   args : string array;
   t0s : int array;
   t1s : int array;
+  flows : int array;
   mutable head : int;  (** total events ever pushed to this ring *)
 }
 
@@ -42,6 +46,9 @@ let ring_capacity () = !default_capacity
 let registry_mutex = Mutex.create ()
 let rings : ring list ref = ref []
 
+let dropped_counter =
+  Counter.make ~help:"span-ring slots overwritten before export" "dropped_spans"
+
 let with_registry f =
   Mutex.lock registry_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
@@ -56,6 +63,7 @@ let make_ring () =
       args = Array.make cap "";
       t0s = Array.make cap 0;
       t1s = Array.make cap 0;
+      flows = Array.make cap 0;
       head = 0;
     }
   in
@@ -66,26 +74,29 @@ let dls : ring Domain.DLS.key = Domain.DLS.new_key make_ring
 
 let start () = if Config.on () then Clock.now_ns () else 0
 
-let record_interval ~cat ~name ?(args = "") t0 t1 =
+let record_interval ~cat ~name ?(args = "") ?(flow = 0) t0 t1 =
   if t0 <> 0 && Config.on () then begin
     let r = Domain.DLS.get dls in
-    let i = r.head land (Array.length r.names - 1) in
+    let cap = Array.length r.names in
+    if r.head >= cap then Counter.incr dropped_counter;
+    let i = r.head land (cap - 1) in
     r.names.(i) <- name;
     r.cats.(i) <- cat;
     r.args.(i) <- args;
     r.t0s.(i) <- t0;
     r.t1s.(i) <- t1;
+    r.flows.(i) <- flow;
     r.head <- r.head + 1
   end
 
-let record ~cat ~name ?(args = "") t0 =
+let record ~cat ~name ?(args = "") ?(flow = 0) t0 =
   if t0 <> 0 && Config.on () then
-    record_interval ~cat ~name ~args t0 (Clock.now_ns ())
+    record_interval ~cat ~name ~args ~flow t0 (Clock.now_ns ())
 
-let instant ~cat ~name ?(args = "") () =
+let instant ~cat ~name ?(args = "") ?(flow = 0) () =
   if Config.on () then begin
     let t = Clock.now_ns () in
-    record_interval ~cat ~name ~args t t
+    record_interval ~cat ~name ~args ~flow t t
   end
 
 (* Oldest-first snapshot of one ring. *)
@@ -103,6 +114,7 @@ let ring_events r =
         ev_args = r.args.(i);
         ev_t0 = r.t0s.(i);
         ev_t1 = r.t1s.(i);
+        ev_flow = r.flows.(i);
       })
 
 let snapshot_rings () =
@@ -115,6 +127,11 @@ let ring_stats () =
   List.map
     (fun r -> (r.r_dom, r.head, Array.length r.names))
     (snapshot_rings ())
+
+let dropped () =
+  List.fold_left
+    (fun acc (_, pushed, cap) -> acc + max 0 (pushed - cap))
+    0 (ring_stats ())
 
 let domains () =
   List.filter_map

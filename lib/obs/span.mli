@@ -21,24 +21,29 @@ type event = {
   ev_args : string;  (** free-form [k=v] tags; [""] when none *)
   ev_t0 : int;  (** span start, {!Clock.now_ns} *)
   ev_t1 : int;  (** span end; [= ev_t0] for instant events *)
+  ev_flow : int;
+      (** Perfetto flow id linking causally-related spans across lanes
+          (usually {!Trace_ctx.flow_id} of the request being served);
+          [0] means the span belongs to no flow. *)
 }
 
 val start : unit -> int
 (** The current monotonic time, or [0] when telemetry is disabled. *)
 
-val record : cat:string -> name:string -> ?args:string -> int -> unit
+val record : cat:string -> name:string -> ?args:string -> ?flow:int -> int -> unit
 (** [record ~cat ~name t0] closes the span opened at [t0] (a
     {!start} result) at the current time and pushes it to the
     calling domain's ring.  No-op when [t0 = 0] or telemetry is
     off. *)
 
 val record_interval :
-  cat:string -> name:string -> ?args:string -> int -> int -> unit
+  cat:string -> name:string -> ?args:string -> ?flow:int -> int -> int -> unit
 (** [record_interval ~cat ~name t0 t1] pushes an explicit interval
     (the caller measured [t1] itself, e.g. to also feed a
     histogram). *)
 
-val instant : cat:string -> name:string -> ?args:string -> unit -> unit
+val instant :
+  cat:string -> name:string -> ?args:string -> ?flow:int -> unit -> unit
 (** A zero-duration marker event (scheduler submit/dispatch/steal). *)
 
 val events : unit -> event list
@@ -53,6 +58,12 @@ val domains : unit -> int list
 val ring_stats : unit -> (int * int * int) list
 (** Per ring: (domain id, events ever pushed, capacity).  Pushed
     beyond capacity means the oldest were overwritten. *)
+
+val dropped : unit -> int
+(** Spans currently lost to overwrite-oldest across all rings
+    ([max 0 (pushed - cap)] summed).  The cumulative loss since the
+    last counter reset is also kept in the [dropped_spans] counter,
+    bumped once per overwriting push. *)
 
 val set_ring_capacity : int -> unit
 (** Capacity (rounded up to a power of two) for rings created {e

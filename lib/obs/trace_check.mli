@@ -1,0 +1,11 @@
+(** Minimal trace-event schema checker: the runtest gate that
+    validates every Perfetto file the exporters emit.  Verifies the
+    document parses, [traceEvents] is an array, each event carries
+    the keys its phase requires ([name]/[ts]/[pid]/[tid], [dur] on
+    X), the phase is one of [B E X i s f t] (plus [M] metadata),
+    B/E events balance per thread, and every flow id on [s]/[t]/[f]
+    events has both a start and an end — no orphan arrows. *)
+
+val validate : Json.t -> (unit, string list) result
+val validate_string : string -> (unit, string list) result
+val validate_file : string -> (unit, string list) result

@@ -67,6 +67,9 @@ type task = {
   mutable excluded : int list;  (** worker ids this task must avoid *)
   mutable failovers : int;
   mutable dispatched_once : bool;
+  mutable d_token : int;
+      (** completion token of the latest Obs.Decision record for this
+          task; -1 when none (non-HEFT policy or telemetry off) *)
 }
 
 type health = Healthy | Suspect | Quarantined
@@ -143,6 +146,7 @@ type t = {
   sim : Sim.t;
   cfg : Machine_config.t;
   pol : policy;
+  label : string;  (** decision-log tag, e.g. "tenant/shard0"; "" standalone *)
   execute_kernels : bool;
   overhead_s : float;
   domain_pool : Kernels.Domain_pool.t option;
@@ -471,6 +475,7 @@ and complete_task t ws task ~attempt ~dispatched ~compute_start ~bytes_in =
                    ws.w.Machine_config.w_name
                    (match task.t_group with Some g -> g | None -> "-")
                    now)
+              ~flow:(Obs.Trace_ctx.current_flow ())
               sp t1;
             Obs.Histogram.observe_named
               ("exec_" ^ task.codelet.Codelet.cl_name)
@@ -494,6 +499,13 @@ and complete_task t ws task ~attempt ~dispatched ~compute_start ~bytes_in =
           ~pu:ws.w.Machine_config.w_pu ~flops:(task_flops task)
           ~seconds:(now -. compute_start)
     | None -> ());
+    (* Back-fill the placement decision with queue wait and the
+       measured (virtual) compute seconds. *)
+    if task.d_token >= 0 then begin
+      Obs.Decision.complete task.d_token ~dispatched
+        ~actual_s:(now -. compute_start);
+      task.d_token <- -1
+    end;
     task.state <- Finished;
     Hashtbl.remove t.task_index task.t_id;
     ws.busy_s <- ws.busy_s +. (now -. dispatched);
@@ -721,7 +733,34 @@ and dispatch t task =
         let ready = Float.max now ws.free_estimate in
         let data_ready = estimate_transfers t ws task ~at:ready in
         let est, from_model = estimated_time t ws task in
-        (data_ready +. est +. t.overhead_s, from_model)
+        (data_ready +. est +. t.overhead_s, est, from_model)
+      in
+      (* Decision log: the chosen PU, every candidate's EFT, and the
+         estimate's provenance; completion back-fills queue wait and
+         the measured time (Obs gates the whole probe).  When logging,
+         every candidate's EFT is memoized up front so the record
+         reuses the selection loop's numbers instead of recomputing
+         them; with telemetry off the memo is empty and [eft_cached]
+         is exactly the pre-telemetry [eft_of] path. *)
+      let obs_on = Obs.Config.on () in
+      let efts =
+        if obs_on then List.map (fun ws -> (ws, eft_of ws)) eligible else []
+      in
+      let eft_cached ws =
+        match List.assq_opt ws efts with Some v -> v | None -> eft_of ws
+      in
+      let log_decision ws ~eft ~est source =
+        if obs_on then
+          task.d_token <-
+            Obs.Decision.record ~tag:t.label ~task:task.t_id
+              ~codelet:task.codelet.Codelet.cl_name
+              ~pu:ws.w.Machine_config.w_name ~source ~est_s:est ~eft_s:eft
+              ~estimates:
+                (List.map
+                   (fun (ws', (eft', _, _)) ->
+                     (ws'.w.Machine_config.w_name, eft'))
+                   efts)
+              ~vt:now
       in
       (* Epsilon-greedy: with probability [explore_eps], place on a
          cold (codelet, PU) pairing — one whose size bucket has not
@@ -753,23 +792,28 @@ and dispatch t task =
         | Some ws ->
             let c = cal_counts_for t task in
             c.cc_explore <- c.cc_explore + 1;
-            Some (ws, fst (eft_of ws))
+            let eft, est, _ = eft_cached ws in
+            log_decision ws ~eft ~est Obs.Decision.Exploration;
+            Some (ws, eft)
         | None ->
             let best = ref None in
             List.iter
               (fun ws ->
-                let eft, from_model = eft_of ws in
+                let eft, est, from_model = eft_cached ws in
                 match !best with
-                | Some (_, best_eft, _) when best_eft <= eft -> ()
-                | _ -> best := Some (ws, eft, from_model))
+                | Some (_, best_eft, _, _) when best_eft <= eft -> ()
+                | _ -> best := Some (ws, eft, est, from_model))
               eligible;
             Option.map
-              (fun (ws, eft, from_model) ->
+              (fun (ws, eft, est, from_model) ->
                 if t.tune <> None then begin
                   let c = cal_counts_for t task in
                   if from_model then c.cc_hits <- c.cc_hits + 1
                   else c.cc_static <- c.cc_static + 1
                 end;
+                log_decision ws ~eft ~est
+                  (if from_model then Obs.Decision.Calibrated
+                   else Obs.Decision.Static);
                 (ws, eft))
               !best
       in
@@ -856,7 +900,7 @@ let install_fault_events t (f : Fault.t) =
 
 let create ?(policy = Eager) ?(execute_kernels = true)
     ?(dispatch_overhead_us = 20.0) ?(seed = 1) ?pool ?faults ?tune
-    ?(explore_eps = 0.05) ?(true_gflops = []) cfg =
+    ?(explore_eps = 0.05) ?(true_gflops = []) ?(label = "") cfg =
   List.iter
     (fun (name, g) ->
       if g <= 0.0 then
@@ -893,6 +937,7 @@ let create ?(policy = Eager) ?(execute_kernels = true)
       sim = Sim.create ();
       cfg;
       pol = policy;
+      label;
       execute_kernels;
       overhead_s = dispatch_overhead_us *. 1e-6;
       domain_pool = pool;
@@ -986,6 +1031,7 @@ let submit_id ?group t codelet buffers =
       excluded = [];
       failovers = 0;
       dispatched_once = false;
+      d_token = -1;
     }
   in
   t.next_task <- t.next_task + 1;

@@ -55,6 +55,7 @@ val create :
   ?tune:Tune.Store.t ->
   ?explore_eps:float ->
   ?true_gflops:(string * float) list ->
+  ?label:string ->
   Machine_config.t ->
   t
 (** [execute_kernels] (default [true]) runs codelet implementations
@@ -81,6 +82,9 @@ val create :
     the static scheduling estimate. This models a descriptor whose
     declared speeds are wrong (the calibration benchmarks' skewed
     platform).
+
+    [label] tags this engine's {!Obs.Decision} records (the serving
+    stack passes ["tenant/shardN"]); default [""].
     @raise Invalid_argument when a fault event or [true_gflops] entry
     names a PU that matches no worker, or a rate is not positive. *)
 

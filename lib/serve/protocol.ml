@@ -68,7 +68,15 @@ let validate_job job =
       else cost_ok ()
 
 type request =
-  | Submit of { tenant : string; job : job; deadline_ms : float option }
+  | Submit of {
+      tenant : string;
+      job : job;
+      deadline_ms : float option;
+      trace : string option;
+          (** client-supplied trace context, [Obs.Trace_ctx.to_string]
+              format; the daemon mints one when absent and echoes it in
+              ACCEPTED/DONE either way *)
+    }
   | Run
   | Stats
   | Drain of { budget_ms : float option }
@@ -113,10 +121,15 @@ type tenant_row = {
   tr_weight : float;
   tr_busy_vs : float;  (** virtual seconds of shard time consumed *)
   tr_quarantined : string list;  (** this tenant's view only *)
+  (* SLO block — absent in pre-trace frames, so decoding defaults them. *)
+  tr_slo_ms : float option;  (** latency target; [None] = deadline-only SLO *)
+  tr_slo_good : int;  (** rolling-window events within the objective *)
+  tr_slo_bad : int;  (** rolling-window events violating it *)
+  tr_burn_rate : float;  (** error-budget burn rate; 1.0 = at budget *)
 }
 
 type reply =
-  | Accepted of { id : int; credit : int }
+  | Accepted of { id : int; credit : int; trace : string option }
   | Overloaded of { tenant : string; queue : int; cap : int; retry_ms : float }
   | Draining
   | Done of {
@@ -124,6 +137,7 @@ type reply =
       tenant : string;
       latency_ms : float;
       status : job_status;
+      trace : string option;  (** echo of the job's trace context *)
     }
   | Stats_reply of tenant_row list
   | Idle of { completed : int }
@@ -163,13 +177,18 @@ let job_to_json = function
       Printf.sprintf "{\"kind\":\"graph\",\"width\":%d,\"depth\":%d,\"task_flops\":%s}"
         width depth (num task_flops)
 
+let opt_str_field name = function
+  | None -> ""
+  | Some s -> Printf.sprintf ",\"%s\":%s" name (str s)
+
 let request_to_string = function
-  | Submit { tenant; job; deadline_ms } ->
-      Printf.sprintf "{\"v\":%d,\"op\":\"submit\",\"tenant\":%s,\"job\":%s%s}"
+  | Submit { tenant; job; deadline_ms; trace } ->
+      Printf.sprintf "{\"v\":%d,\"op\":\"submit\",\"tenant\":%s,\"job\":%s%s%s}"
         version (str tenant) (job_to_json job)
         (match deadline_ms with
         | None -> ""
         | Some d -> Printf.sprintf ",\"deadline_ms\":%s" (num d))
+        (opt_str_field "trace" trace)
   | Run -> Printf.sprintf "{\"v\":%d,\"op\":\"run\"}" version
   | Stats -> Printf.sprintf "{\"v\":%d,\"op\":\"stats\"}" version
   | Drain { budget_ms } ->
@@ -193,27 +212,35 @@ let tenant_row_to_json r =
   Printf.sprintf
     "{\"tenant\":%s,\"submitted\":%d,\"completed\":%d,\"rejected\":%d,\
      \"timeouts\":%d,\"cancelled\":%d,\"failed\":%d,\"coalesced\":%d,\
-     \"queue\":%d,\"cap\":%d,\"weight\":%s,\"busy_vs\":%s,\"quarantined\":[%s]}"
+     \"queue\":%d,\"cap\":%d,\"weight\":%s,\"busy_vs\":%s,\"quarantined\":[%s]%s,\
+     \"slo_good\":%d,\"slo_bad\":%d,\"burn_rate\":%s}"
     (str r.tr_tenant) r.tr_submitted r.tr_completed r.tr_rejected r.tr_timeouts
     r.tr_cancelled r.tr_failed r.tr_coalesced r.tr_queue r.tr_cap
     (num r.tr_weight) (num r.tr_busy_vs)
     (String.concat "," (List.map str r.tr_quarantined))
+    (match r.tr_slo_ms with
+    | None -> ""
+    | Some m -> Printf.sprintf ",\"slo_ms\":%s" (num m))
+    r.tr_slo_good r.tr_slo_bad (num r.tr_burn_rate)
 
 let reply_to_string = function
-  | Accepted { id; credit } ->
-      Printf.sprintf "{\"v\":%d,\"re\":\"accepted\",\"id\":%d,\"credit\":%d}"
+  | Accepted { id; credit; trace } ->
+      Printf.sprintf "{\"v\":%d,\"re\":\"accepted\",\"id\":%d,\"credit\":%d%s}"
         version id credit
+        (opt_str_field "trace" trace)
   | Overloaded { tenant; queue; cap; retry_ms } ->
       Printf.sprintf
         "{\"v\":%d,\"re\":\"overloaded\",\"tenant\":%s,\"queue\":%d,\
          \"cap\":%d,\"retry_ms\":%s}"
         version (str tenant) queue cap (num retry_ms)
   | Draining -> Printf.sprintf "{\"v\":%d,\"re\":\"draining\"}" version
-  | Done { id; tenant; latency_ms; status } ->
+  | Done { id; tenant; latency_ms; status; trace } ->
       Printf.sprintf
         "{\"v\":%d,\"re\":\"done\",\"id\":%d,\"tenant\":%s,\
-         \"latency_ms\":%s,%s}"
-        version id (str tenant) (num latency_ms) (status_fields status)
+         \"latency_ms\":%s%s,%s}"
+        version id (str tenant) (num latency_ms)
+        (opt_str_field "trace" trace)
+        (status_fields status)
   | Stats_reply rows ->
       Printf.sprintf "{\"v\":%d,\"re\":\"stats\",\"tenants\":[%s]}" version
         (String.concat "," (List.map tenant_row_to_json rows))
@@ -301,7 +328,23 @@ let request_of_string s =
                         | Some d -> not (Float.is_finite d) || d < 0.0
                         | None -> false
                       then err Bad_request "deadline_ms must be finite and >= 0"
-                      else Ok (Submit { tenant; job; deadline_ms })
+                      else (
+                        (* Backward compat: a frame without "trace"
+                           (any pre-trace client) decodes to None. *)
+                        match mem "trace" o with
+                        | None -> Ok (Submit { tenant; job; deadline_ms; trace = None })
+                        | Some t -> (
+                            match Option.bind (J.to_string t)
+                                    Obs.Trace_ctx.of_string
+                            with
+                            | Some _ ->
+                                Ok (Submit
+                                      { tenant; job; deadline_ms;
+                                        trace = J.to_string t })
+                            | None ->
+                                err Bad_request
+                                  "trace must be 16 hex digits, optionally \
+                                   \"-\" and 16 more (trace id[-span id])"))
                   | Error e -> err Bad_request "%s" e)
               | _ -> err Bad_request "submit needs a non-empty tenant and a job")
           | Some "run" -> Ok Run
@@ -362,12 +405,18 @@ let tenant_row_of_json o =
       (Some tr_queue, Some tr_cap, Some tr_weight, Some tr_busy_vs),
       Some quarantined )
     when List.for_all (fun q -> J.to_string q <> None) quarantined ->
+      (* The SLO block is absent in pre-trace frames: default it so old
+         daemons' stats still decode. *)
       Ok
         {
           tr_tenant; tr_submitted; tr_completed; tr_rejected; tr_timeouts;
           tr_cancelled; tr_failed; tr_coalesced; tr_queue; tr_cap; tr_weight;
           tr_busy_vs;
           tr_quarantined = List.filter_map J.to_string quarantined;
+          tr_slo_ms = inum "slo_ms" o;
+          tr_slo_good = Option.value ~default:0 (iint "slo_good" o);
+          tr_slo_bad = Option.value ~default:0 (iint "slo_bad" o);
+          tr_burn_rate = Option.value ~default:0.0 (inum "burn_rate" o);
         }
   | _ -> Error "malformed tenant row"
 
@@ -383,7 +432,8 @@ let reply_of_string s =
           match get_str "re" o with
           | Some "accepted" -> (
               match (get_int "id" o, get_int "credit" o) with
-              | Some id, Some credit -> Ok (Accepted { id; credit })
+              | Some id, Some credit ->
+                  Ok (Accepted { id; credit; trace = get_str "trace" o })
               | _ -> fail "accepted needs id and credit")
           | Some "overloaded" -> (
               match
@@ -400,7 +450,9 @@ let reply_of_string s =
               with
               | Some id, Some tenant, Some latency_ms -> (
                   match status_of_json o with
-                  | Ok status -> Ok (Done { id; tenant; latency_ms; status })
+                  | Ok status ->
+                      Ok (Done { id; tenant; latency_ms; status;
+                                 trace = get_str "trace" o })
                   | Error e -> Error e)
               | _ -> fail "done needs id, tenant, latency_ms")
           | Some "stats" -> (

@@ -63,7 +63,18 @@ val validate_job : job -> (unit, string) result
     [bad-request] reason. *)
 
 type request =
-  | Submit of { tenant : string; job : job; deadline_ms : float option }
+  | Submit of {
+      tenant : string;
+      job : job;
+      deadline_ms : float option;
+      trace : string option;
+          (** client-supplied trace context in {!Obs.Trace_ctx.to_string}
+              format (16 hex digits, optionally ["-"] and 16 more); the
+              daemon mints one when absent and echoes it in
+              ACCEPTED/DONE either way.  An unparseable value is a
+              [bad-request]; an absent field (pre-trace clients) still
+              decodes. *)
+    }
   | Run  (** dispatch until all queues are empty (text mode's clock) *)
   | Stats
   | Drain of { budget_ms : float option }
@@ -103,12 +114,21 @@ type tenant_row = {
   tr_weight : float;
   tr_busy_vs : float;  (** virtual seconds of shard time consumed *)
   tr_quarantined : string list;  (** this tenant's view only *)
+  tr_slo_ms : float option;
+      (** latency target; [None] means the SLO counts deadline hits only *)
+  tr_slo_good : int;  (** rolling-window events within the objective *)
+  tr_slo_bad : int;  (** rolling-window events violating it *)
+  tr_burn_rate : float;
+      (** error-budget burn rate over the rolling window; 1.0 = burning
+          exactly the budget the objective affords.  The SLO block is
+          absent in pre-trace frames and defaults to zeros on decode. *)
 }
 
 type reply =
-  | Accepted of { id : int; credit : int }
+  | Accepted of { id : int; credit : int; trace : string option }
       (** [credit] is the tenant's remaining queue capacity — the
-          backpressure signal a well-behaved client throttles on *)
+          backpressure signal a well-behaved client throttles on;
+          [trace] echoes (or mints) the job's trace context *)
   | Overloaded of { tenant : string; queue : int; cap : int; retry_ms : float }
   | Draining  (** submissions refused: the daemon is shutting down *)
   | Done of {
@@ -116,6 +136,7 @@ type reply =
       tenant : string;
       latency_ms : float;
       status : job_status;
+      trace : string option;  (** echo of the job's trace context *)
     }
   | Stats_reply of tenant_row list
   | Idle of { completed : int }  (** reply to [Run] *)

@@ -6,6 +6,7 @@ type config = {
   tune_dir : string option;
   trace_out : string option;
   metrics_out : string option;
+  decisions_out : string option;
 }
 
 let default_config =
@@ -15,11 +16,13 @@ let default_config =
     tune_dir = None;
     trace_out = None;
     metrics_out = None;
+    decisions_out = None;
   }
 
 (* Persist everything worth keeping across daemon restarts: the
    calibration store (so the next run schedules with today's measured
-   costs), the per-tenant Perfetto trace, and the final metric dump. *)
+   costs), the per-tenant Perfetto trace, the scheduler decision log,
+   and the final metric dump. *)
 let flush_state config svc =
   (match (config.tune, config.tune_dir) with
   | Some store, Some dir -> Tune.Store.save ~dir store
@@ -30,6 +33,7 @@ let flush_state config svc =
       Taskrt.Trace_export.write_chrome_tenants_combined path
         (Service.tenant_traces svc))
     config.trace_out;
+  Option.iter (fun path -> Obs.Decision.write_jsonl path) config.decisions_out;
   Option.iter
     (fun path ->
       let oc = open_out path in
@@ -58,8 +62,8 @@ let run_stdio ?(config = default_config) svc =
         | Error e ->
             out (P.Error { code = e.P.e_code; reason = e.P.e_reason });
             loop ()
-        | Ok (P.Submit { tenant; job; deadline_ms }) ->
-            out (Service.submit svc ~tenant ?deadline_ms job);
+        | Ok (P.Submit { tenant; job; deadline_ms; trace }) ->
+            out (Service.submit svc ~tenant ?deadline_ms ?trace job);
             loop ()
         | Ok P.Run ->
             List.iter out (Service.run_until_idle svc);
@@ -187,8 +191,8 @@ let dispatch st =
 let handle_payload config st fd payload =
   match P.request_of_string payload with
   | Error e -> send st fd (P.Error { code = e.P.e_code; reason = e.P.e_reason })
-  | Ok (P.Submit { tenant; job; deadline_ms }) ->
-      let reply = Service.submit st.svc ~tenant ?deadline_ms job in
+  | Ok (P.Submit { tenant; job; deadline_ms; trace }) ->
+      let reply = Service.submit st.svc ~tenant ?deadline_ms ?trace job in
       (match reply with
       | P.Accepted { id; _ } -> Hashtbl.replace st.routes id fd
       | _ -> ());

@@ -19,6 +19,7 @@ type config = {
   tune_dir : string option;  (** directory for [CALIB_<hash>.json] *)
   trace_out : string option;  (** per-tenant Chrome trace path *)
   metrics_out : string option;  (** Prometheus text dump path *)
+  decisions_out : string option;  (** scheduler decision-log JSONL path *)
 }
 
 val default_config : config

@@ -11,6 +11,9 @@ type pending = {
   p_submitted : float;  (* wall-clock seconds from the injected clock *)
   p_deadline_ms : float option;
   p_cost : float;  (* flops estimate; the DRR currency *)
+  p_trace : Obs.Trace_ctx.t;  (* minted at admission unless supplied *)
+  p_trace_str : string;  (* echoed verbatim in ACCEPTED/DONE *)
+  p_admit_ns : int;  (* Span.start at admission; 0 when telemetry off *)
 }
 
 type tenant = {
@@ -30,6 +33,8 @@ type tenant = {
   mutable t_failed : int;
   mutable t_coalesced : int;
   mutable t_busy_vs : float;
+  mutable t_slo_ms : float option;  (* latency target; None = deadline-only *)
+  t_slo : Obs.Slo.t;
   c_submitted : Obs.Counter.t;
   c_completed : Obs.Counter.t;
   c_rejected : Obs.Counter.t;
@@ -42,6 +47,9 @@ type t = {
   now : unit -> float;
   quantum : float;
   default_cap : int;
+  default_slo_ms : float option;
+  slo_objective : float;
+  slo_window_s : float;
   tenants : (string, tenant) Hashtbl.t;
   mutable order : string list;  (* DRR visiting order = registration order *)
   mutable draining : bool;
@@ -50,9 +58,13 @@ type t = {
 }
 
 let create ?(policy = Engine.Heft) ?(shards = 2) ?(queue_cap = 16)
-    ?(quantum = 1e6) ?tune ?(now = Unix.gettimeofday) cfg =
+    ?(quantum = 1e6) ?tune ?(now = Unix.gettimeofday) ?slo_ms
+    ?(slo_objective = 0.99) ?(slo_window_s = 300.0) cfg =
   if queue_cap < 1 then invalid_arg "Service.create: queue_cap must be >= 1";
   if quantum <= 0.0 then invalid_arg "Service.create: quantum must be > 0";
+  (match slo_ms with
+  | Some m when m <= 0.0 -> invalid_arg "Service.create: slo_ms must be > 0"
+  | _ -> ());
   {
     shard_cfgs = Shard.split cfg ~shards;
     policy;
@@ -60,6 +72,9 @@ let create ?(policy = Engine.Heft) ?(shards = 2) ?(queue_cap = 16)
     now;
     quantum;
     default_cap = queue_cap;
+    default_slo_ms = slo_ms;
+    slo_objective;
+    slo_window_s;
     tenants = Hashtbl.create 8;
     order = [];
     draining = false;
@@ -96,6 +111,11 @@ let tenant t name =
           t_failed = 0;
           t_coalesced = 0;
           t_busy_vs = 0.0;
+          t_slo_ms = t.default_slo_ms;
+          t_slo =
+            Obs.Slo.get_or_make ~objective:t.slo_objective
+              ~window_s:t.slo_window_s
+              ("serve:" ^ name);
           c_submitted = c "submitted";
           c_completed = c "completed";
           c_rejected = c "rejected";
@@ -105,7 +125,7 @@ let tenant t name =
       t.order <- t.order @ [ name ];
       ten
 
-let configure_tenant t ~name ?weight ?queue_cap ?faults () =
+let configure_tenant t ~name ?weight ?queue_cap ?faults ?slo_ms () =
   let ten = tenant t name in
   Option.iter
     (fun w ->
@@ -119,6 +139,12 @@ let configure_tenant t ~name ?weight ?queue_cap ?faults () =
         invalid_arg "Service.configure_tenant: queue_cap must be >= 1";
       ten.t_cap <- c)
     queue_cap;
+  Option.iter
+    (fun m ->
+      if m <= 0.0 then
+        invalid_arg "Service.configure_tenant: slo_ms must be > 0";
+      ten.t_slo_ms <- Some m)
+    slo_ms;
   match faults with None -> () | Some f -> ten.t_faults <- Some f
 
 (* --- job execution ----------------------------------------------------- *)
@@ -153,7 +179,9 @@ let engine_for t ten shard =
       let e =
         Engine.create ~policy:t.policy
           ?faults:(faults_for_shard ten.t_faults cfg)
-          ?tune:t.tune cfg
+          ?tune:t.tune
+          ~label:(Printf.sprintf "%s/shard%d" ten.t_name shard)
+          cfg
       in
       ten.t_engines.(shard) <- Some e;
       e
@@ -227,7 +255,7 @@ let run_job t ten job =
 
 (* --- admission --------------------------------------------------------- *)
 
-let admit t name ?deadline_ms job =
+let admit t name ?deadline_ms ?trace job =
   let ten = tenant t name in
   let queue = Queue.length ten.t_queue in
   if queue >= ten.t_cap then begin
@@ -244,6 +272,17 @@ let admit t name ?deadline_ms job =
   end
   else begin
     t.next_id <- t.next_id + 1;
+    (* Adopt the client's trace context when it parses; mint a fresh
+       one otherwise so every job is traceable.  The echoed string is
+       the client's verbatim when supplied (correlation must survive
+       canonicalization differences). *)
+    let ctx, ctx_str =
+      match Option.bind trace Obs.Trace_ctx.of_string with
+      | Some c -> (c, Option.get trace)
+      | None ->
+          let c = Obs.Trace_ctx.make () in
+          (c, Obs.Trace_ctx.to_string c)
+    in
     let p =
       {
         p_id = t.next_id;
@@ -251,15 +290,23 @@ let admit t name ?deadline_ms job =
         p_submitted = t.now ();
         p_deadline_ms = deadline_ms;
         p_cost = P.job_cost job;
+        p_trace = ctx;
+        p_trace_str = ctx_str;
+        p_admit_ns = Obs.Span.start ();
       }
     in
     Queue.add p ten.t_queue;
     ten.t_submitted <- ten.t_submitted + 1;
     Obs.Counter.incr ten.c_submitted;
-    P.Accepted { id = p.p_id; credit = ten.t_cap - Queue.length ten.t_queue }
+    P.Accepted
+      {
+        id = p.p_id;
+        credit = ten.t_cap - Queue.length ten.t_queue;
+        trace = Some ctx_str;
+      }
   end
 
-let submit t ~tenant:name ?deadline_ms job =
+let submit t ~tenant:name ?deadline_ms ?trace job =
   if t.draining then P.Draining
   else
     match P.validate_job job with
@@ -267,7 +314,7 @@ let submit t ~tenant:name ?deadline_ms job =
         (* refuse before touching any queue: an unbounded job would
            OOM the daemon or stall the DRR for every tenant *)
         P.Error { code = P.Bad_request; reason }
-    | Ok () -> admit t name ?deadline_ms job
+    | Ok () -> admit t name ?deadline_ms ?trace job
 
 (* --- dispatch: deficit round robin ------------------------------------- *)
 
@@ -294,8 +341,20 @@ let finish t ten emit p status =
       t.total_completed <- t.total_completed + 1
   | P.Jtimeout -> ten.t_timeouts <- ten.t_timeouts + 1
   | P.Jcancelled -> ten.t_cancelled <- ten.t_cancelled + 1);
+  (* SLO: a job is good iff it finished Ok within the tenant's latency
+     target (no target = any Ok counts); failures, timeouts, and
+     drain cancellations all burn budget. *)
+  let good =
+    match status with
+    | P.Jok _ -> (
+        match ten.t_slo_ms with None -> true | Some target -> lat <= target)
+    | P.Jfailed _ | P.Jtimeout | P.Jcancelled -> false
+  in
+  Obs.Slo.observe ten.t_slo ~now:(t.now ()) ~good;
   emit
-    (P.Done { id = p.p_id; tenant = ten.t_name; latency_ms = lat; status })
+    (P.Done
+       { id = p.p_id; tenant = ten.t_name; latency_ms = lat; status;
+         trace = Some p.p_trace_str })
 
 (* Complete every queued job identical to [job] with the result it
    just produced: same-tenant coalescing (a cross-tenant match would
@@ -340,7 +399,21 @@ let dispatch_round t emit =
           else if p.p_cost <= ten.t_deficit then begin
             ignore (Queue.pop ten.t_queue);
             ten.t_deficit <- ten.t_deficit -. p.p_cost;
-            let status = run_job t ten p.p_job in
+            (* queue span: admission -> dispatch, on the job's flow *)
+            let flow = Obs.Trace_ctx.flow_id p.p_trace in
+            Obs.Span.record ~cat:"serve" ~name:("queue:" ^ ten.t_name)
+              ~args:(Printf.sprintf "id=%d trace=%s" p.p_id p.p_trace_str)
+              ~flow p.p_admit_ns;
+            (* run under the ambient context so engine/kernel spans
+               below pick up the same flow without plumbing *)
+            let sp = Obs.Span.start () in
+            let status =
+              Obs.Trace_ctx.with_current p.p_trace (fun () ->
+                  run_job t ten p.p_job)
+            in
+            Obs.Span.record ~cat:"serve" ~name:("job:" ^ ten.t_name)
+              ~args:(Printf.sprintf "id=%d trace=%s" p.p_id p.p_trace_str)
+              ~flow sp;
             finish t ten emit p status;
             coalesce t ten emit p.p_job status;
             progressed := true
@@ -449,6 +522,7 @@ let tenant_quarantined ten =
   |> List.sort_uniq compare
 
 let stats t =
+  let now = t.now () in
   List.map
     (fun name ->
       let ten = Hashtbl.find t.tenants name in
@@ -466,6 +540,10 @@ let stats t =
         tr_weight = ten.t_weight;
         tr_busy_vs = ten.t_busy_vs;
         tr_quarantined = tenant_quarantined ten;
+        tr_slo_ms = ten.t_slo_ms;
+        tr_slo_good = fst (Obs.Slo.window_counts ~now ten.t_slo);
+        tr_slo_bad = snd (Obs.Slo.window_counts ~now ten.t_slo);
+        tr_burn_rate = Obs.Slo.burn_rate ~now ten.t_slo;
       })
     t.order
 

@@ -27,13 +27,21 @@ val create :
   ?quantum:float ->
   ?tune:Tune.Store.t ->
   ?now:(unit -> float) ->
+  ?slo_ms:float ->
+  ?slo_objective:float ->
+  ?slo_window_s:float ->
   Taskrt.Machine_config.t ->
   t
 (** [shards] (default 2) sub-machines, [queue_cap] (default 16)
     pending jobs per tenant before {!submit} answers [Overloaded],
     [quantum] (default 1e6) flops of DRR credit per pass and unit
     weight. [now] defaults to [Unix.gettimeofday]; tests inject a fake
-    clock. @raise Invalid_argument on a non-positive cap or quantum. *)
+    clock.  [slo_ms] sets the default per-tenant latency target a job
+    must meet (in addition to finishing Ok) to count as SLO-good;
+    omitted means any Ok finish is good.  [slo_objective] (default
+    0.99) and [slo_window_s] (default 300) parameterize the rolling
+    {!Obs.Slo} window behind burn rates.
+    @raise Invalid_argument on a non-positive cap, quantum or target. *)
 
 val configure_tenant :
   t ->
@@ -41,22 +49,34 @@ val configure_tenant :
   ?weight:float ->
   ?queue_cap:int ->
   ?faults:Taskrt.Fault.t ->
+  ?slo_ms:float ->
   unit ->
   unit
 (** Create or reconfigure a tenant. Unknown tenants are otherwise
     auto-registered on first {!submit} with weight 1 and the service
     default cap. [faults] applies to engines created {e after} the
     call; timed events are scoped per shard to the workers it holds.
-    @raise Invalid_argument on non-positive weight or cap. *)
+    [slo_ms] overrides the service-default latency target.
+    @raise Invalid_argument on non-positive weight, cap or target. *)
 
 val submit :
-  t -> tenant:string -> ?deadline_ms:float -> Protocol.job -> Protocol.reply
-(** [Accepted {id; credit}] (credit = remaining queue slots, the
+  t ->
+  tenant:string ->
+  ?deadline_ms:float ->
+  ?trace:string ->
+  Protocol.job ->
+  Protocol.reply
+(** [Accepted {id; credit; trace}] (credit = remaining queue slots, the
     backpressure signal), [Overloaded] with a retry hint when the
     tenant's queue is full, [Draining] after {!drain} began, or a
     [bad-request] [Error] when the job violates the admission caps of
     {!Protocol.validate_job} (an unbounded job would exhaust memory
-    or stall dispatch for every tenant). *)
+    or stall dispatch for every tenant).  [trace] is the client's
+    trace context ({!Obs.Trace_ctx.to_string} format): if it parses it
+    is adopted and echoed verbatim in ACCEPTED and DONE; otherwise
+    (or when absent) the service mints a fresh context, so every
+    accepted job carries exactly one flow id through queue, engine,
+    and kernel spans. *)
 
 val run_until_idle : t -> Protocol.reply list
 (** Dispatch DRR passes until every queue is empty; returns the

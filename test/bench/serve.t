@@ -8,8 +8,14 @@ PU for tenant a only while tenant b's results stay bit-identical; a
 zero-budget drain cancels queued jobs and refuses new work; the wire
 protocol round-trips, rejects truncated/garbage/mismatched-version
 input with structured errors; and interleaving engine instances is
-bit-identical to running them sequentially.  Virtual time plus an
-injected wall clock make the output exact.
+bit-identical to running them sequentially.  The observability block
+checks request-scoped tracing end to end: a client trace id is echoed
+in ACCEPTED/DONE, scheduler decisions log the chosen PU with per-PU
+estimates and a source, the Perfetto export passes the trace-event
+schema check with a connected flow chain, the per-tenant SLO window
+and burn rate surface in STATS and Prometheus, and a pre-trace submit
+still decodes.  Virtual time plus an injected wall clock make the
+output exact.
 
   $ ../../bench/main.exe serve smoke
   serve: shards cover every worker exactly once        ok
@@ -32,4 +38,12 @@ injected wall clock make the output exact.
   serve: garbage payload yields a structured parse error ok
   serve: a version mismatch is refused                 ok
   serve: interleaved engines match sequential runs (bitwise) ok
+  serve: ACCEPTED and DONE echo the client trace id    ok
+  serve: scheduler decisions name a PU and a source    ok
+  serve: decision JSONL carries estimates and a source ok
+  serve: wall trace passes the trace-event schema check ok
+  serve: the traced job renders a connected flow chain ok
+  serve: STATS carries the SLO window and burn rate    ok
+  serve: burn rate reaches the Prometheus exposition   ok
+  serve: a pre-trace submit still decodes              ok
   serve smoke: all checks passed

@@ -284,17 +284,18 @@ let test_chrome_roundtrip () =
       | Some (Obs.Json.Str s) -> Alcotest.(check string) "args kept" "k=v" s
       | _ -> Alcotest.fail "inner args lost")
 
+let contains text sub =
+  let n = String.length sub and m = String.length text in
+  let rec go i = i + n <= m && (String.sub text i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
 let test_prometheus_exposition () =
   fresh ();
   let c = Obs.Counter.make "prom_counter" in
   Obs.Counter.add c 7;
   Obs.Histogram.observe_named "prom_hist" 0.125;
   let text = Obs.Export.prometheus () in
-  let has sub =
-    let n = String.length sub and m = String.length text in
-    let rec go i = i + n <= m && (String.sub text i n = sub || go (i + 1)) in
-    go 0
-  in
+  let has = contains text in
   Alcotest.(check bool) "counter line" true
     (has "# TYPE obs_prom_counter_total counter" && has "obs_prom_counter_total 7");
   Alcotest.(check bool) "summary type" true
@@ -302,6 +303,255 @@ let test_prometheus_exposition () =
   Alcotest.(check bool) "quantile labels" true
     (has "obs_prom_hist_seconds{quantile=\"0.5\"}");
   Alcotest.(check bool) "count line" true (has "obs_prom_hist_seconds_count 1")
+
+(* --- trace context -------------------------------------------------- *)
+
+let test_trace_ctx_codec () =
+  Obs.Trace_ctx.set_seed 0x5eedL;
+  let a = Obs.Trace_ctx.make () in
+  Obs.Trace_ctx.set_seed 0x5eedL;
+  let b = Obs.Trace_ctx.make () in
+  Alcotest.(check bool) "seeded generation is deterministic" true (a = b);
+  Alcotest.(check bool) "to_string/of_string round-trip" true
+    (Obs.Trace_ctx.of_string (Obs.Trace_ctx.to_string a) = Some a);
+  Alcotest.(check bool) "a bare trace id decodes with span 0" true
+    (match Obs.Trace_ctx.of_string "00000000deadbeef" with
+    | Some c ->
+        Obs.Trace_ctx.to_string c = "00000000deadbeef-0000000000000000"
+    | None -> false);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S rejected" s)
+        true
+        (Obs.Trace_ctx.of_string s = None))
+    [
+      ""; "xyz"; "0000000000000000"; "00000000deadbeef-";
+      "-0000000000000001"; "00000000deadbeef-00000000000000010";
+      "00000000deadbeef 0000000000000001";
+    ]
+
+let test_trace_ctx_ambient () =
+  let ctx = Option.get (Obs.Trace_ctx.of_string "00000000000000ff-01") in
+  Alcotest.(check int) "flow id folds the trace id" 255
+    (Obs.Trace_ctx.flow_id ctx);
+  Alcotest.(check int) "no ambient flow outside" 0
+    (Obs.Trace_ctx.current_flow ());
+  let seen =
+    Obs.Trace_ctx.with_current ctx (fun () -> Obs.Trace_ctx.current_flow ())
+  in
+  Alcotest.(check int) "ambient flow inside with_current" 255 seen;
+  Alcotest.(check int) "restored after" 0 (Obs.Trace_ctx.current_flow ())
+
+(* --- scheduler decision log ----------------------------------------- *)
+
+let test_decision_ring () =
+  fresh ();
+  Obs.Decision.set_capacity 8;
+  let tok =
+    Obs.Decision.record ~tag:"t/0" ~task:1 ~codelet:"gemm" ~pu:"gpu0"
+      ~source:Obs.Decision.Calibrated ~est_s:0.5 ~eft_s:0.75
+      ~estimates:[ ("gpu0", 0.75); ("cpu0", 2.0) ]
+      ~vt:1.0
+  in
+  Alcotest.(check bool) "token valid" true (tok >= 0);
+  Obs.Decision.complete tok ~dispatched:1.25 ~actual_s:1.0;
+  (match Obs.Decision.records () with
+  | [ r ] ->
+      Alcotest.(check string) "chosen pu" "gpu0" r.Obs.Decision.d_pu;
+      Alcotest.(check (float 1e-9)) "queue wait = dispatched - vt" 0.25
+        r.Obs.Decision.d_queue_wait_s;
+      Alcotest.(check (float 1e-9)) "actual back-filled" 1.0
+        r.Obs.Decision.d_actual_s
+  | rs -> Alcotest.failf "expected one record, got %d" (List.length rs));
+  let h = Obs.Histogram.get_or_make Obs.Decision.rel_err_hist in
+  Alcotest.(check int) "relative error observed" 1 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "rel err = |actual-est|/actual" 0.5
+    (Obs.Histogram.sum h);
+  (* wraparound: 20 more records into capacity 8 *)
+  for i = 1 to 20 do
+    ignore
+      (Obs.Decision.record ~tag:"" ~task:i ~codelet:"c" ~pu:"cpu0"
+         ~source:Obs.Decision.Static ~est_s:1.0 ~eft_s:1.0
+         ~estimates:[ ("cpu0", 1.0) ]
+         ~vt:0.0)
+  done;
+  Alcotest.(check int) "count includes overwritten" 21 (Obs.Decision.count ());
+  Alcotest.(check int) "dropped = count - capacity" 13
+    (Obs.Decision.dropped ());
+  Alcotest.(check int) "retained = capacity" 8
+    (List.length (Obs.Decision.records ()));
+  (* the first record's slot was overwritten: its token is now stale *)
+  Obs.Decision.complete tok ~dispatched:9.0 ~actual_s:9.0;
+  Alcotest.(check int) "stale completion dropped silently" 1
+    (Obs.Histogram.count h);
+  Obs.Decision.set_capacity 4096;
+  Obs.Config.set_enabled false;
+  let t2 =
+    Obs.Decision.record ~tag:"" ~task:0 ~codelet:"c" ~pu:"p"
+      ~source:Obs.Decision.Exploration ~est_s:1.0 ~eft_s:1.0 ~estimates:[]
+      ~vt:0.0
+  in
+  Alcotest.(check int) "disabled yields -1" (-1) t2;
+  Alcotest.(check int) "disabled records nothing" 0
+    (List.length (Obs.Decision.records ()))
+
+let test_decision_jsonl () =
+  fresh ();
+  let tok =
+    Obs.Decision.record ~tag:"a/shard0" ~task:7 ~codelet:"dgemm" ~pu:"gpu1"
+      ~source:Obs.Decision.Exploration ~est_s:0.25 ~eft_s:0.5
+      ~estimates:[ ("gpu1", 0.5); ("cpu0", 1.5) ]
+      ~vt:2.0
+  in
+  Obs.Decision.complete tok ~dispatched:2.5 ~actual_s:0.5;
+  let line = String.trim (Obs.Decision.to_jsonl ()) in
+  match Obs.Json.parse line with
+  | Error e -> Alcotest.fail ("jsonl line does not parse: " ^ e)
+  | Ok o ->
+      let str k = Option.bind (Obs.Json.member k o) Obs.Json.to_string in
+      let num k = Option.bind (Obs.Json.member k o) Obs.Json.to_number in
+      Alcotest.(check (option string)) "pu" (Some "gpu1") (str "pu");
+      Alcotest.(check (option string)) "source" (Some "exploration")
+        (str "source");
+      Alcotest.(check (option string)) "tag" (Some "a/shard0") (str "tag");
+      Alcotest.(check bool) "per-PU estimates kept" true
+        (match
+           Option.bind (Obs.Json.member "estimates" o)
+             (Obs.Json.member "cpu0")
+         with
+        | Some (Obs.Json.Num f) -> f = 1.5
+        | _ -> false);
+      Alcotest.(check bool) "queue wait" true (num "queue_wait_s" = Some 0.5);
+      Alcotest.(check bool) "rel err" true (num "rel_err" = Some 0.5)
+
+(* --- SLO windows ----------------------------------------------------- *)
+
+let test_slo_window () =
+  Obs.Slo.drop_all ();
+  let s = Obs.Slo.get_or_make ~objective:0.9 ~window_s:60.0 "api" in
+  for _ = 1 to 8 do
+    Obs.Slo.observe s ~now:10.0 ~good:true
+  done;
+  Obs.Slo.observe s ~now:10.0 ~good:false;
+  Obs.Slo.observe s ~now:10.0 ~good:false;
+  Alcotest.(check (pair int int)) "window counts" (8, 2)
+    (Obs.Slo.window_counts s);
+  (* a 20% bad fraction against a 10% error budget burns 2x *)
+  Alcotest.(check (float 1e-9)) "burn rate" 2.0 (Obs.Slo.burn_rate s);
+  Alcotest.(check (pair int int)) "events age out of the window" (0, 0)
+    (Obs.Slo.window_counts ~now:1000.0 s);
+  Alcotest.(check (float 1e-9)) "empty window burns nothing" 0.0
+    (Obs.Slo.burn_rate ~now:1000.0 s);
+  Alcotest.(check (pair int int)) "totals persist" (8, 2) (Obs.Slo.totals s);
+  Alcotest.(check bool) "registry is idempotent by name" true
+    (Obs.Slo.get_or_make "api" == s);
+  (match Obs.Slo.get_or_make ~objective:1.5 "bad-objective" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  (match Obs.Slo.get_or_make ~window_s:0.0 "bad-window" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  Obs.Slo.drop_all ()
+
+(* --- satellite guards: dropped spans, label escaping ----------------- *)
+
+let test_dropped_spans () =
+  fresh ();
+  let cap = Obs.Span.ring_capacity () in
+  for i = 1 to cap + 50 do
+    Obs.Span.record_interval ~cat:"d" ~name:"s" i (i + 1)
+  done;
+  Alcotest.(check int) "dropped counts overwrites" 50 (Obs.Span.dropped ());
+  Alcotest.(check bool) "per-domain gauge in prometheus" true
+    (contains (Obs.Export.prometheus ()) "obs_span_ring_dropped{domain=");
+  Alcotest.(check bool) "summary reports the loss" true
+    (contains (Obs.Export.summary ()) "dropped spans: 50")
+
+let test_label_escaping () =
+  fresh ();
+  Obs.Slo.drop_all ();
+  Alcotest.(check string) "label_escape covers \\ \" and newline"
+    "a\\\\b\\\"c\\nd"
+    (Obs.Export.label_escape "a\\b\"c\nd");
+  (* a hostile tenant name must neither break the exposition format
+     nor leak an unescaped quote *)
+  let hostile = "te\\na\"nt\nx" in
+  let s = Obs.Slo.get_or_make ("serve:" ^ hostile) in
+  Obs.Slo.observe s ~now:1.0 ~good:true;
+  let text = Obs.Export.prometheus () in
+  let esc = Obs.Export.label_escape ("serve:" ^ hostile) in
+  Alcotest.(check bool) "escaped label value emitted" true
+    (contains text (Printf.sprintf "obs_slo_good_total{slo=\"%s\"} 1" esc));
+  Alcotest.(check bool) "no raw newline inside a label" true
+    (not (contains text "te\\na\"nt\nx\"}"));
+  Alcotest.(check bool) "burn-rate family typed" true
+    (contains text "# TYPE obs_slo_burn_rate gauge"
+    && contains text "# HELP obs_slo_burn_rate");
+  Obs.Slo.drop_all ()
+
+(* --- trace-event schema checker -------------------------------------- *)
+
+let test_trace_check_gate () =
+  fresh ();
+  Obs.Span.record_interval ~cat:"t" ~name:"a" ~flow:7 1_000 2_000;
+  Obs.Span.record_interval ~cat:"t" ~name:"b" ~flow:7 3_000 4_000;
+  Obs.Span.instant ~cat:"t" ~name:"mark" ();
+  let doc = Obs.Export.to_chrome_json () in
+  (match Obs.Trace_check.validate_string doc with
+  | Ok () -> ()
+  | Error es ->
+      Alcotest.failf "exporter output rejected: %s" (String.concat "; " es));
+  Alcotest.(check bool) "flow events rendered" true
+    (contains doc "\"ph\":\"s\"" && contains doc "\"ph\":\"f\"");
+  List.iter
+    (fun bad ->
+      match Obs.Trace_check.validate_string bad with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "checker accepted %s" bad)
+    [
+      "not json";
+      "{\"traceEvents\": 3}";
+      (* X without dur *)
+      "[{\"ph\":\"X\",\"name\":\"x\",\"ts\":1,\"pid\":0,\"tid\":0}]";
+      (* unknown phase *)
+      "[{\"ph\":\"q\",\"name\":\"x\",\"ts\":1,\"pid\":0,\"tid\":0}]";
+      (* flow start with no finish: an orphan arrow *)
+      "[{\"ph\":\"s\",\"name\":\"f\",\"ts\":1,\"pid\":0,\"tid\":0,\"id\":1}]";
+      (* unbalanced B *)
+      "[{\"ph\":\"B\",\"name\":\"x\",\"ts\":1,\"pid\":0,\"tid\":0}]";
+      (* flow event without an id *)
+      "[{\"ph\":\"s\",\"name\":\"f\",\"ts\":1,\"pid\":0,\"tid\":0}]";
+    ];
+  Alcotest.(check bool) "balanced B/E with a matched flow passes" true
+    (Obs.Trace_check.validate_string
+       "[{\"ph\":\"B\",\"name\":\"x\",\"ts\":1,\"pid\":0,\"tid\":0},\
+        {\"ph\":\"E\",\"name\":\"x\",\"ts\":2,\"pid\":0,\"tid\":0},\
+        {\"ph\":\"s\",\"name\":\"f\",\"ts\":1,\"pid\":0,\"tid\":0,\"id\":4},\
+        {\"ph\":\"f\",\"name\":\"f\",\"ts\":2,\"pid\":0,\"tid\":0,\"id\":4,\
+        \"bp\":\"e\"}]"
+     = Ok ())
+
+(* Whatever spans are recorded — any timestamps, any flow ids — the
+   exporter's output must pass the schema gate: matched flow chains,
+   no orphan ids, every event carrying its phase's required keys. *)
+let test_export_always_validates =
+  QCheck.Test.make ~count:50
+    ~name:"chrome export always passes the schema gate"
+    QCheck.(
+      small_list (triple (int_range 0 10_000) (int_range 0 1_000) (int_range 0 5)))
+    (fun spans ->
+      Obs.Config.set_enabled true;
+      Obs.Span.clear ();
+      List.iter
+        (fun (t0, d, flow) ->
+          Obs.Span.record_interval ~cat:"p" ~name:"s" ~flow t0 (t0 + d))
+        spans;
+      let ok =
+        Obs.Trace_check.validate_string (Obs.Export.to_chrome_json ()) = Ok ()
+      in
+      Obs.Span.clear ();
+      ok)
 
 let () =
   Alcotest.run "obs"
@@ -337,5 +587,26 @@ let () =
         [
           Alcotest.test_case "chrome round-trip" `Quick test_chrome_roundtrip;
           Alcotest.test_case "prometheus" `Quick test_prometheus_exposition;
+          Alcotest.test_case "dropped spans surface everywhere" `Quick
+            test_dropped_spans;
+          Alcotest.test_case "label escaping" `Quick test_label_escaping;
+        ] );
+      ( "trace-ctx",
+        [
+          Alcotest.test_case "codec" `Quick test_trace_ctx_codec;
+          Alcotest.test_case "ambient flow" `Quick test_trace_ctx_ambient;
+        ] );
+      ( "decisions",
+        [
+          Alcotest.test_case "ring, wraparound, staleness" `Quick
+            test_decision_ring;
+          Alcotest.test_case "jsonl shape" `Quick test_decision_jsonl;
+        ] );
+      ( "slo",
+        [ Alcotest.test_case "window and burn rate" `Quick test_slo_window ] );
+      ( "trace-check",
+        [
+          Alcotest.test_case "schema gate" `Quick test_trace_check_gate;
+          QCheck_alcotest.to_alcotest test_export_always_validates;
         ] );
     ]

@@ -42,14 +42,32 @@ let gen_tenant =
       (string_size ~gen:(oneof [ printable; return '"'; return '\\'; return '\n' ])
          (int_range 1 12)))
 
+(* Trace contexts in the wire format: 16 hex digits, optionally "-"
+   and 16 more.  Absent with even odds so both codec paths run. *)
+let gen_trace =
+  QCheck.Gen.(
+    oneof
+      [
+        return None;
+        map2
+          (fun tid sid ->
+            Some (Printf.sprintf "%016x-%016x" (max 1 tid) sid))
+          (int_range 1 0xFFFFFF) (int_range 0 0xFFFFFF);
+        map (fun tid -> Some (Printf.sprintf "%016x" (max 1 tid)))
+          (int_range 1 0xFFFFFF);
+      ])
+
 let gen_request =
   QCheck.Gen.(
     oneof
       [
-        map3
-          (fun tenant job deadline_ms -> P.Submit { tenant; job; deadline_ms })
-          gen_tenant gen_job
-          (oneof [ return None; map (fun f -> Some (Float.abs f)) pfloat ]);
+        map2
+          (fun (tenant, job) (deadline_ms, trace) ->
+            P.Submit { tenant; job; deadline_ms; trace })
+          (pair gen_tenant gen_job)
+          (pair
+             (oneof [ return None; map (fun f -> Some (Float.abs f)) pfloat ])
+             gen_trace);
         return P.Run;
         return P.Stats;
         map
@@ -78,13 +96,34 @@ let gen_status =
         return P.Jcancelled;
       ])
 
+(* Stats rows with hostile tenant names and the SLO block both ways
+   (a latency target or deadline-only). *)
+let gen_tenant_row =
+  QCheck.Gen.(
+    map3
+      (fun tenant (slo_ms, good, bad) burn ->
+        {
+          P.tr_tenant = tenant; tr_submitted = good + bad; tr_completed = good;
+          tr_rejected = 0; tr_timeouts = 0; tr_cancelled = 0; tr_failed = bad;
+          tr_coalesced = 0; tr_queue = 0; tr_cap = 8; tr_weight = 1.0;
+          tr_busy_vs = 0.5; tr_quarantined = [];
+          tr_slo_ms = slo_ms; tr_slo_good = good; tr_slo_bad = bad;
+          tr_burn_rate = burn;
+        })
+      gen_tenant
+      (triple
+         (oneof
+            [ return None; map (fun f -> Some (1.0 +. Float.abs f)) pfloat ])
+         (int_range 0 999) (int_range 0 999))
+      (map Float.abs pfloat))
+
 let gen_reply =
   QCheck.Gen.(
     oneof
       [
-        map2
-          (fun id credit -> P.Accepted { id; credit })
-          (int_range 0 100000) (int_range 0 64);
+        map3
+          (fun id credit trace -> P.Accepted { id; credit; trace })
+          (int_range 0 100000) (int_range 0 64) gen_trace;
         map3
           (fun tenant (queue, cap) retry_ms ->
             P.Overloaded { tenant; queue; cap; retry_ms })
@@ -93,10 +132,13 @@ let gen_reply =
           (map Float.abs pfloat);
         return P.Draining;
         map3
-          (fun id tenant (latency_ms, status) ->
-            P.Done { id; tenant; latency_ms; status })
+          (fun id tenant (latency_ms, status, trace) ->
+            P.Done { id; tenant; latency_ms; status; trace })
           (int_range 0 100000) gen_tenant
-          (pair (map Float.abs pfloat) gen_status);
+          (triple (map Float.abs pfloat) gen_status gen_trace);
+        map
+          (fun rows -> P.Stats_reply rows)
+          (list_size (int_range 0 3) gen_tenant_row);
         map (fun completed -> P.Idle { completed }) (int_range 0 9999);
         map2
           (fun completed cancelled -> P.Drained { completed; cancelled })
@@ -195,6 +237,46 @@ let protocol_tests =
         with
         | Ok (P.Submit _) -> ()
         | _ -> Alcotest.fail "in-cap job refused");
+    Alcotest.test_case "pre-trace frames still decode" `Quick (fun () ->
+        (match
+           P.request_of_string
+             "{\"v\":1,\"op\":\"submit\",\"tenant\":\"a\",\"job\":{\"kind\":\"dgemm\",\"n\":32,\"tiles\":2,\"seed\":7}}"
+         with
+        | Ok (P.Submit { trace = None; _ }) -> ()
+        | _ -> Alcotest.fail "submit without a trace field refused");
+        (match
+           P.reply_of_string "{\"v\":1,\"re\":\"accepted\",\"id\":1,\"credit\":3}"
+         with
+        | Ok (P.Accepted { trace = None; _ }) -> ()
+        | _ -> Alcotest.fail "accepted without a trace field refused");
+        match
+          P.reply_of_string
+            "{\"v\":1,\"re\":\"stats\",\"tenants\":[{\"tenant\":\"a\",\
+             \"submitted\":1,\"completed\":1,\"rejected\":0,\"timeouts\":0,\
+             \"cancelled\":0,\"failed\":0,\"coalesced\":0,\"queue\":0,\
+             \"cap\":8,\"weight\":1,\"busy_vs\":0,\"quarantined\":[]}]}"
+        with
+        | Ok (P.Stats_reply [ row ]) ->
+            check bool_ "SLO block defaults on decode" true
+              (row.P.tr_slo_ms = None && row.P.tr_slo_good = 0
+              && row.P.tr_slo_bad = 0 && row.P.tr_burn_rate = 0.0)
+        | _ -> Alcotest.fail "stats row without an SLO block refused");
+    Alcotest.test_case "an unparseable trace is a bad request" `Quick
+      (fun () ->
+        let bad trace =
+          match
+            P.request_of_string
+              (Printf.sprintf
+                 "{\"v\":1,\"op\":\"submit\",\"tenant\":\"a\",\"job\":{\"kind\":\"dgemm\",\"n\":32,\"tiles\":2,\"seed\":7},\"trace\":%s}"
+                 trace)
+          with
+          | Error { P.e_code = P.Bad_request; _ } -> ()
+          | _ -> Alcotest.failf "trace %s admitted" trace
+        in
+        bad "\"xyz\"";
+        bad "\"0000000000000000\"";
+        bad "\"00000000deadbeef-\"";
+        bad "\"00000000deadbeef-00000000000000010\"");
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -411,6 +493,40 @@ let service_tests =
             check int_ "completed" 2 row.P.tr_completed;
             check int_ "queue empty" 0 row.P.tr_queue
         | rows -> Alcotest.failf "expected one row, got %d" (List.length rows));
+    Alcotest.test_case "SLO window and burn rate surface in stats" `Quick
+      (fun () ->
+        let clock = ref 0.0 in
+        let svc =
+          Service.create ~shards:1 ~now:(fun () -> !clock) (cfg_of "xeon-2gpu")
+        in
+        (* one Ok finish, one deadline expiry: a 50% bad window burns
+           the 1% error budget of the default 0.99 objective 50x over *)
+        ignore (Service.submit svc ~tenant:"slo-tenant" (gjob 1));
+        ignore (Service.run_until_idle svc);
+        ignore
+          (Service.submit svc ~tenant:"slo-tenant" ~deadline_ms:1.0 (gjob 2));
+        clock := !clock +. 0.010;
+        ignore (Service.run_until_idle svc);
+        (match Service.stats svc with
+        | [ row ] ->
+            check int_ "one good event" 1 row.P.tr_slo_good;
+            check int_ "one bad event" 1 row.P.tr_slo_bad;
+            check bool_ "burn rate over budget" true
+              (row.P.tr_burn_rate > 1.0);
+            check bool_ "no latency target by default"
+              (row.P.tr_slo_ms = None) true
+        | rows -> Alcotest.failf "expected one row, got %d" (List.length rows));
+        (* an unreachable latency target flips Ok finishes to bad; the
+           real wall clock makes any finite latency miss 1e-9 ms *)
+        let svc2 = Service.create ~shards:1 ~slo_ms:25.0 (cfg_of "xeon-2gpu") in
+        Service.configure_tenant svc2 ~name:"slo-tight" ~slo_ms:1e-9 ();
+        ignore (Service.submit svc2 ~tenant:"slo-tight" (gjob 3));
+        ignore (Service.run_until_idle svc2);
+        match Service.stats svc2 with
+        | [ row ] ->
+            check bool_ "target echoed" (row.P.tr_slo_ms = Some 1e-9) true;
+            check int_ "missed target counts bad" 1 row.P.tr_slo_bad
+        | rows -> Alcotest.failf "expected one row, got %d" (List.length rows));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -483,6 +599,81 @@ let trace_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Flow connectivity: a traced job's spans chain service -> kernel     *)
+
+(* An accepted job carrying a client trace must export as one
+   connected Perfetto flow: exactly one "s" and one "f" event, every
+   flow event carrying the trace's flow id, every flow event bound to
+   a recorded slice (same ts/pid/tid), and the bound slices spanning
+   the service queue and the engine's kernel execution — no orphan
+   arrows, no parallel chains. *)
+let flow_chain =
+  QCheck.Test.make
+    ~name:"a traced job exports one connected service->kernel flow chain"
+    ~count:15
+    QCheck.(pair (int_range 1 10000) (int_range 1 0xFFFF))
+    (fun (seed, tid) ->
+      Obs.Config.set_enabled true;
+      Obs.Export.reset_all ();
+      let svc =
+        Service.create ~shards:1 ~now:(fun () -> 0.0) (cfg_of "xeon-2gpu")
+      in
+      let trace = Printf.sprintf "%016x-0000000000000001" tid in
+      let echoed =
+        match
+          Service.submit svc ~tenant:"t" ~trace
+            (P.Dgemm { n = 48; tiles = 2; seed })
+        with
+        | P.Accepted { trace = Some t; _ } -> t = trace
+        | _ -> false
+      in
+      ignore (Service.run_until_idle svc);
+      let doc = Obs.Export.to_chrome_json () in
+      Obs.Export.reset_all ();
+      Obs.Config.set_enabled false;
+      let schema_ok = Obs.Trace_check.validate_string doc = Ok () in
+      let events =
+        match J.parse doc with
+        | Ok j ->
+            Option.value ~default:[]
+              (Option.bind (J.member "traceEvents" j) J.to_list)
+        | Error _ -> []
+      in
+      let ph ev = Option.bind (J.member "ph" ev) J.to_string in
+      let key ev =
+        ( Option.bind (J.member "ts" ev) J.to_number,
+          Option.bind (J.member "pid" ev) J.to_number,
+          Option.bind (J.member "tid" ev) J.to_number )
+      in
+      let flows =
+        List.filter
+          (fun ev ->
+            match ph ev with Some ("s" | "t" | "f") -> true | _ -> false)
+          events
+      in
+      let count p = List.length (List.filter (fun ev -> ph ev = Some p) flows) in
+      let ids = List.filter_map (fun ev -> J.to_number (Option.get (J.member "id" ev))) flows in
+      let slices = List.filter (fun ev -> ph ev = Some "X") events in
+      let slice_of ev = List.find_opt (fun x -> key x = key ev) slices in
+      let bound_names =
+        List.filter_map
+          (fun ev ->
+            Option.bind (slice_of ev) (fun x ->
+                Option.bind (J.member "name" x) J.to_string))
+          flows
+      in
+      let has_prefix p n =
+        String.length n >= String.length p
+        && String.sub n 0 (String.length p) = p
+      in
+      echoed && schema_ok && flows <> []
+      && count "s" = 1 && count "f" = 1
+      && List.for_all (fun i -> i = float_of_int tid) ids
+      && List.length bound_names = List.length flows
+      && List.exists (has_prefix "queue:") bound_names
+      && List.exists (has_prefix "exec:") bound_names)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
@@ -496,6 +687,7 @@ let () =
           [
             request_roundtrip; reply_roundtrip; decode_total;
             framing_roundtrip; shard_partition; engine_interleave;
+            flow_chain;
           ]
       );
     ]
