@@ -1975,12 +1975,14 @@ let serve_smoke () =
   let reqs =
     [
       SP.Submit
-        { tenant = "a"; job = job 3; deadline_ms = Some 12.5; trace = None };
+        { tenant = "a"; job = job 3; deadline_ms = Some 12.5; idem = None;
+          trace = None };
       SP.Submit
         {
           tenant = "b\"x";
           job = SP.Graph { width = 3; depth = 2; task_flops = 0.1 +. 0.2 };
           deadline_ms = None;
+          idem = Some "req-7.retry_1:a";
           trace = Some "00000000deadbeef-0000000000000001";
         };
       SP.Run; SP.Stats; SP.Drain { budget_ms = Some 0.0 }; SP.Ping;
@@ -2272,6 +2274,358 @@ let serve_bench () =
   if not ok || not overhead_ok then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* CHAOS: crash-durable serving.  A deterministic seeded harness
+   composes the engine's fault model (30 % transient PU failures)
+   with process chaos simulated at the journal boundary: the daemon
+   "dies" mid-burst by abandoning its entire in-memory state, keeping
+   only the write-ahead log — sometimes with a torn tail, exactly the
+   bytes a SIGKILL mid-write leaves — and a fresh incarnation
+   recovers, replays the unfinished jobs, and serves the client's
+   blanket resubmission of every idempotent request.  The real
+   SIGKILL-a-supervised-daemon path over a Unix socket lives in
+   test/serve/check_chaos.sh; this is its deterministic, socket-free
+   core plus the journaling-overhead guard. *)
+
+module SJ = Serve.Journal
+
+type chaos_tally = {
+  mutable ct_replayed : int;  (* jobs re-enqueued from the journal *)
+  mutable ct_deduped : int;  (* resubmissions answered from the dedup window *)
+  mutable ct_torn : int;  (* trials whose journal lost a tail *)
+}
+
+let chaos_faults seed =
+  {
+    Fault.none with
+    Fault.seed;
+    transient_rate = 0.3;
+    retries = 8;
+    quarantine_after = 0;
+  }
+
+(* One crash/replay trial.  Returns (exactly_once, bit_identical):
+   every key drew at least one DONE, every DONE for a key carries the
+   same checksum, and that checksum equals the fault-free reference
+   run's. *)
+let chaos_trial ~seed ~jobs tally =
+  let cfg = cfg_of "xeon-2gpu" in
+  let keys = List.init jobs (fun i -> Printf.sprintf "job-%d.%d" seed i) in
+  let job_of i = SP.Dgemm { n = 32; tiles = 2; seed = (1000 * seed) + i } in
+  (* Fault-free reference: same jobs, no journal, no faults, no crash. *)
+  let reference =
+    let svc = SSvc.create ~shards:2 ~queue_cap:(2 * jobs) cfg in
+    let ids =
+      List.mapi
+        (fun i k ->
+          match SSvc.submit svc ~tenant:"t" ~idem:k (job_of i) with
+          | SP.Accepted { id; _ } -> (id, k)
+          | _ -> (-1, k))
+        keys
+    in
+    List.filter_map
+      (function
+        | SP.Done { id; status = SP.Jok { checksum; _ }; _ } ->
+            Option.map (fun k -> (k, checksum)) (List.assoc_opt id ids)
+        | _ -> None)
+      (SSvc.run_until_idle svc)
+  in
+  let rng = Random.State.make [| 0xc4a05; seed |] in
+  let path = Filename.temp_file "chaos" ".journal" in
+  let key_of_id = Hashtbl.create 64 in
+  let observed = Hashtbl.create 64 in (* key -> checksum list *)
+  let note_done = function
+    | SP.Done { id; status = SP.Jok { checksum; _ }; _ } -> (
+        match Hashtbl.find_opt key_of_id id with
+        | Some k ->
+            let prev =
+              Option.value ~default:[] (Hashtbl.find_opt observed k)
+            in
+            Hashtbl.replace observed k (checksum :: prev)
+        | None -> ())
+    | _ -> ()
+  in
+  let submit_noting svc i k =
+    match SSvc.submit svc ~tenant:"t" ~idem:k (job_of i) with
+    | SP.Accepted { id; _ } ->
+        if Hashtbl.mem key_of_id id then
+          tally.ct_deduped <- tally.ct_deduped + 1
+        else Hashtbl.replace key_of_id id k
+    | _ -> ()
+  in
+  (* Incarnation 1: complete a seeded prefix, accept (journal, don't
+     run) a further slice, then die mid-burst. *)
+  let cut = 2 + Random.State.int rng (jobs - 2) in
+  let ran = 1 + Random.State.int rng (cut - 1) in
+  let j1 = SJ.open_append path in
+  let svc1 = SSvc.create ~shards:2 ~queue_cap:(2 * jobs) ~journal:j1 cfg in
+  SSvc.configure_tenant svc1 ~name:"t" ~faults:(chaos_faults seed) ();
+  List.iteri (fun i k -> if i < ran then submit_noting svc1 i k) keys;
+  List.iter note_done (SSvc.run_until_idle svc1);
+  List.iteri (fun i k -> if i >= ran && i < cut then submit_noting svc1 i k) keys;
+  (* SIGKILL: svc1 evaporates; only the journal bytes survive.  Close
+     stands in for the flush each Flush-durability append already
+     performed, then a coin-flip tears the tail — the mid-write chop a
+     real kill can leave. *)
+  SJ.close j1;
+  if Random.State.bool rng then begin
+    let sz = (Unix.stat path).Unix.st_size in
+    let chop = 1 + Random.State.int rng 24 in
+    if sz > chop then begin
+      Unix.truncate path (sz - chop);
+      tally.ct_torn <- tally.ct_torn + 1
+    end
+  end;
+  (* Incarnation 2: recover, replay, then the reconnected client
+     resubmits every request it cannot prove was acknowledged — all of
+     them — and submits the tail of the burst it never sent. *)
+  let plan = SJ.recover path in
+  tally.ct_replayed <- tally.ct_replayed + List.length plan.SJ.r_pending;
+  let j2 = SJ.open_append path in
+  let svc2 = SSvc.create ~shards:2 ~queue_cap:(2 * jobs) ~journal:j2 cfg in
+  SSvc.configure_tenant svc2 ~name:"t" ~faults:(chaos_faults seed) ();
+  SSvc.restore svc2 plan;
+  List.iteri
+    (fun i k ->
+      submit_noting svc2 i k;
+      List.iter note_done (SSvc.take_replays svc2))
+    keys;
+  List.iter note_done (SSvc.run_until_idle svc2);
+  SJ.close j2;
+  Sys.remove path;
+  let exactly_once =
+    List.for_all
+      (fun k ->
+        match Hashtbl.find_opt observed k with
+        | Some (c :: rest) -> List.for_all (String.equal c) rest
+        | _ -> false)
+      keys
+  in
+  let bit_identical =
+    List.for_all
+      (fun k ->
+        match (Hashtbl.find_opt observed k, List.assoc_opt k reference) with
+        | Some (c :: _), Some r -> c = r
+        | _ -> false)
+      keys
+  in
+  (exactly_once, bit_identical)
+
+(* Zero-chaos journaling overhead: the same closed loop with and
+   without a Flush-durability journal, measured back to back in pairs
+   (ambient noise is correlated within a pair); report the best of
+   five pair ratios, as the serve bench does for tracing. *)
+let chaos_overhead () =
+  let cfg = cfg_of "xeon-2gpu" in
+  let burst journal =
+    let svc =
+      match journal with
+      | None -> SSvc.create ~shards:2 ~queue_cap:64 cfg
+      | Some j -> SSvc.create ~shards:2 ~queue_cap:64 ~journal:j cfg
+    in
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to 15 do
+      ignore
+        (SSvc.submit svc ~tenant:"b"
+           ~idem:(Printf.sprintf "oh-%d" i)
+           (SP.Dgemm { n = 256; tiles = 2; seed = i }));
+      ignore (SSvc.run_until_idle svc)
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let journaled () =
+    let path = Filename.temp_file "chaos-oh" ".journal" in
+    let j = SJ.open_append path in
+    let w = burst (Some j) in
+    SJ.close j;
+    Sys.remove path;
+    w
+  in
+  ignore (burst None);
+  ignore (journaled ());
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let off = burst None in
+    let on = journaled () in
+    best := Float.min !best (on /. off)
+  done;
+  Float.max 0.0 (100.0 *. (!best -. 1.0))
+
+let chaos_json path ~trials ~jobs ~replayed ~deduped ~torn ~exactly_once
+    ~bit_identical ~overhead_pct ~overhead_limit_pct ~overhead_ok =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"experiment\": \"chaos\",\n";
+  Printf.fprintf oc "  \"trials\": %d,\n" trials;
+  Printf.fprintf oc "  \"jobs_per_trial\": %d,\n" jobs;
+  Printf.fprintf oc
+    "  \"fault_model\": \"transient=0.3,retries=8,quarantine=0 + seeded \
+     crash mid-burst + torn tails + blanket resubmission\",\n";
+  Printf.fprintf oc "  \"jobs_replayed_from_journal\": %d,\n" replayed;
+  Printf.fprintf oc "  \"resubmissions_deduped\": %d,\n" deduped;
+  Printf.fprintf oc "  \"torn_tails\": %d,\n" torn;
+  Printf.fprintf oc "  \"exactly_once_guard\": {\"ok\": %b},\n" exactly_once;
+  Printf.fprintf oc "  \"bit_identical_guard\": {\"ok\": %b},\n" bit_identical;
+  Printf.fprintf oc "  \"journal_overhead_pct\": %.2f,\n" overhead_pct;
+  Printf.fprintf oc
+    "  \"overhead_guard\": {\"limit_pct\": %.1f, \"ok\": %b}\n"
+    overhead_limit_pct overhead_ok;
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let chaos_bench () =
+  header
+    "CHAOS  crash-durable serving: seeded crash/replay under transient PU \
+     faults, idempotent resubmission, journaling overhead (BENCH_chaos.json)";
+  let trials = 5 and jobs = 24 in
+  let tally = { ct_replayed = 0; ct_deduped = 0; ct_torn = 0 } in
+  let results =
+    List.init trials (fun s -> chaos_trial ~seed:(s + 1) ~jobs tally)
+  in
+  let exactly_once = List.for_all fst results in
+  let bit_identical = List.for_all snd results in
+  Printf.printf
+    "%d trials x %d jobs: %d replayed from the journal, %d resubmissions \
+     deduped, %d torn tails\n"
+    trials jobs tally.ct_replayed tally.ct_deduped tally.ct_torn;
+  Printf.printf "exactly-once guard: every key drew one distinct DONE: %s\n"
+    (if exactly_once then "ok" else "VIOLATED");
+  Printf.printf "bit-identity guard: checksums match the fault-free run: %s\n"
+    (if bit_identical then "ok" else "VIOLATED");
+  let overhead_pct = chaos_overhead () in
+  let overhead_limit_pct = 2.0 in
+  let overhead_ok = overhead_pct <= overhead_limit_pct in
+  Printf.printf "journal overhead (zero chaos): %.2f%% <= %.1f%%: %s\n"
+    overhead_pct overhead_limit_pct
+    (if overhead_ok then "ok" else "VIOLATED");
+  chaos_json "BENCH_chaos.json" ~trials ~jobs ~replayed:tally.ct_replayed
+    ~deduped:tally.ct_deduped ~torn:tally.ct_torn ~exactly_once
+    ~bit_identical ~overhead_pct ~overhead_limit_pct ~overhead_ok;
+  print_endline "wrote BENCH_chaos.json";
+  if not (exactly_once && bit_identical && overhead_ok) then exit 1
+
+let chaos_smoke () =
+  let check name ok =
+    Printf.printf "%-52s %s\n" name (if ok then "ok" else "FAIL");
+    if not ok then exit 1
+  in
+  let cfg = cfg_of "xeon-2gpu" in
+  let job seed = SP.Dgemm { n = 32; tiles = 2; seed } in
+  (* Journal line codec: entries round-trip, bit flips are caught. *)
+  let acc =
+    {
+      SJ.a_id = 3;
+      a_tenant = "t";
+      a_job = job 1;
+      a_deadline_ms = Some 5.0;
+      a_idem = Some "k-1";
+      a_trace = Some "00000000cab5f00d-0000000000000003";
+    }
+  in
+  let done_reply =
+    SP.Done
+      {
+        id = 3;
+        tenant = "t";
+        latency_ms = 1.25;
+        status =
+          SP.Jok
+            {
+              makespan_s = 0.5; checksum = "ab12"; tasks = 4;
+              coalesced = false; shard = 0;
+            };
+        trace = None;
+      }
+  in
+  let entries =
+    [ SJ.Accept acc; SJ.Complete { c_idem = Some "k-1"; c_reply = done_reply } ]
+  in
+  check "chaos: journal entries survive the line codec"
+    (List.for_all
+       (fun e ->
+         let line = SJ.entry_to_line e in
+         SJ.entry_of_line (String.sub line 0 (String.length line - 1))
+         = Ok e)
+       entries);
+  check "chaos: a flipped journal byte is caught by the CRC"
+    (let line = SJ.entry_to_line (SJ.Accept acc) in
+     let b = Bytes.of_string (String.sub line 0 (String.length line - 1)) in
+     Bytes.set b 12 (Char.chr (Char.code (Bytes.get b 12) lxor 1));
+     match SJ.entry_of_line (Bytes.to_string b) with
+     | Error _ -> true
+     | Ok _ -> false);
+  (* Crash mid-burst: the accepted-but-unfinished job replays through
+     a fresh incarnation bit-identically; the completed one is served
+     from the dedup window, not re-run. *)
+  let path = Filename.temp_file "chaos-smoke" ".journal" in
+  let j1 = SJ.open_append path in
+  let clock = ref 0.0 in
+  let now () = !clock in
+  let svc1 = SSvc.create ~shards:1 ~queue_cap:8 ~now ~journal:j1 cfg in
+  ignore (SSvc.submit svc1 ~tenant:"t" ~idem:"done-key" (job 7));
+  let first_sum =
+    match SSvc.run_until_idle svc1 with
+    | [ SP.Done { status = SP.Jok { checksum; _ }; _ } ] -> checksum
+    | _ -> "?"
+  in
+  ignore (SSvc.submit svc1 ~tenant:"t" ~idem:"lost-key" (job 8));
+  SJ.close j1;
+  (* svc1 is never drained: this is the crash. *)
+  let plan = SJ.recover path in
+  check "chaos: recovery splits pending from completed"
+    (List.length plan.SJ.r_pending = 1
+    && List.length plan.SJ.r_completed = 1
+    && (List.hd plan.SJ.r_pending).SJ.a_idem = Some "lost-key"
+    && not plan.SJ.r_torn);
+  let j2 = SJ.open_append path in
+  let svc2 = SSvc.create ~shards:1 ~queue_cap:8 ~now ~journal:j2 cfg in
+  SSvc.restore svc2 plan;
+  let replay_sums =
+    List.filter_map
+      (function
+        | SP.Done { status = SP.Jok { checksum; _ }; _ } -> Some checksum
+        | _ -> None)
+      (SSvc.run_until_idle svc2)
+  in
+  let reference =
+    let svc = SSvc.create ~shards:1 ~queue_cap:8 ~now cfg in
+    ignore (SSvc.submit svc ~tenant:"t" (job 8));
+    List.filter_map
+      (function
+        | SP.Done { status = SP.Jok { checksum; _ }; _ } -> Some checksum
+        | _ -> None)
+      (SSvc.run_until_idle svc)
+  in
+  check "chaos: replay completes the lost job bit-identically"
+    (replay_sums = reference && List.length replay_sums = 1);
+  check "chaos: a completed job is never re-run after replay"
+    (SSvc.completed svc2 = 1);
+  let resub = SSvc.submit svc2 ~tenant:"t" ~idem:"done-key" (job 7) in
+  let replays = SSvc.take_replays svc2 in
+  check "chaos: resubmitting a finished key replays the cached DONE"
+    (match (resub, replays) with
+    | ( SP.Accepted _,
+        [ SP.Done { status = SP.Jok { checksum; _ }; _ } ] ) ->
+        checksum = first_sum && SSvc.completed svc2 = 1
+    | _ -> false);
+  SJ.close j2;
+  (* A torn tail — half the last record chopped, as a kill mid-write
+     leaves — replays to the longest valid prefix, never raises, and
+     the chopped job is recovered by the client's resubmission. *)
+  let sz = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (sz - 7);
+  let torn = SJ.recover path in
+  check "chaos: a torn tail yields the longest valid prefix"
+    (torn.SJ.r_torn && torn.SJ.r_entries >= 2);
+  Sys.remove path;
+  (* Chaos composition: 30 % transient PU faults on top of crash and
+     replay change nothing observable. *)
+  let trial = { ct_replayed = 0; ct_deduped = 0; ct_torn = 0 } in
+  let exactly_once, bit_identical = chaos_trial ~seed:42 ~jobs:12 trial in
+  check "chaos: crash + 30% transient faults keep exactly-once"
+    (exactly_once && trial.ct_replayed > 0);
+  check "chaos: chaotic checksums match the fault-free run" bit_identical;
+  print_endline "chaos smoke: all checks passed"
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -2279,7 +2633,8 @@ let all =
     ("presel", presel); ("chol", chol); ("eng", eng);
     ("par", fun () -> par ()); ("kern", fun () -> kern ()); ("obs", obs_exp);
     ("faults", faults_exp); ("tune", tune); ("cc", fun () -> cc ());
-    ("serve", serve_bench); ("smoke", smoke); ("micro", micro);
+    ("serve", serve_bench); ("chaos", chaos_bench); ("smoke", smoke);
+    ("micro", micro);
   ]
 
 let parse_ints what s =
@@ -2321,6 +2676,7 @@ let () =
   | [ _; "tune"; "smoke" ] -> tune_smoke ()
   | [ _; "cc"; "smoke" ] -> cc_smoke ()
   | [ _; "serve"; "smoke" ] -> serve_smoke ()
+  | [ _; "chaos"; "smoke" ] -> chaos_smoke ()
   | [ _; "cc"; sizes ] -> cc ~sizes:(parse_ints "size" sizes) ()
   | [ _; name ] -> (
       match List.assoc_opt name all with
@@ -2334,7 +2690,7 @@ let () =
         "usage: main.exe [--trace FILE] [--metrics] \
          [fig5|sweep|sched|tile|presel|chol|eng|par [sizes [domains]]|kern \
          [sizes|smoke]|obs [smoke]|faults [smoke]|tune [smoke]|cc \
-         [sizes|smoke]|smoke|micro]";
+         [sizes|smoke]|serve [smoke]|chaos [smoke]|smoke|micro]";
       exit 1);
   Option.iter
     (fun path ->

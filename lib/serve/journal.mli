@@ -1,0 +1,103 @@
+(** The cascabeld job journal: an append-only, CRC-framed JSONL
+    write-ahead log.
+
+    {2 On-disk format}
+
+    One record per line:
+
+    {v <crc32: 8 lowercase hex> <payload JSON>\n v}
+
+    The CRC-32 (IEEE 802.3 polynomial, as in zlib) covers exactly the
+    payload bytes.  Payloads embed the wire codec's own messages — an
+    accept record carries the SUBMIT JSON, a completion record the
+    DONE JSON — so replay validation {e is} protocol validation: a
+    hand-edited journal cannot smuggle an over-cap job past admission.
+
+    {2 Crash tolerance}
+
+    The only corruption an append-only log accumulates is a torn
+    tail.  {!replay} and {!recover} accept the longest valid prefix
+    and stop at the first framing, CRC or decode failure; they never
+    raise on arbitrary bytes, and a job whose completion record
+    survives in the prefix is never resurrected as pending. *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE) of a byte string, in [0, 0xFFFFFFFF]. *)
+
+type accepted = {
+  a_id : int;  (** daemon-assigned job id *)
+  a_tenant : string;
+  a_job : Protocol.job;
+  a_deadline_ms : float option;
+  a_idem : string option;
+  a_trace : string option;
+}
+
+type entry =
+  | Accept of accepted
+  | Complete of { c_idem : string option; c_reply : Protocol.reply }
+      (** [c_reply] is always [Protocol.Done _]; the decoder rejects
+          anything else. *)
+
+val entry_to_line : entry -> string
+(** The full journal line including the trailing newline. *)
+
+val entry_of_line : string -> (entry, string) result
+(** Inverse of {!entry_to_line} minus the newline.  Never raises;
+    framing, CRC and decode failures are [Error] with a reason. *)
+
+(** {2 Writer} *)
+
+type durability =
+  | Buffer  (** OS + stdlib buffering; fastest, loses the most on crash *)
+  | Flush  (** flush to the kernel after every record (default) *)
+  | Fsync  (** flush + [fsync] after every record; survives power loss *)
+
+val durability_of_string : string -> durability option
+val durability_to_string : durability -> string
+
+type t
+
+val open_append : ?durability:durability -> string -> t
+(** Open (creating if needed) for appending.  Defaults to {!Flush}.
+    An unterminated torn tail left by a crash mid-write is truncated
+    first — appending after it would glue the next record onto the
+    torn bytes and hide every later record from {!replay}.  Call
+    {!recover} {e before} this: recovery reads the torn tail's valid
+    prefix; this drops the rest.
+    @raise Sys_error if the path is not writable. *)
+
+val path : t -> string
+val appended : t -> int
+(** Records appended through this handle (excludes pre-existing ones). *)
+
+val append : t -> entry -> unit
+val sync : t -> unit
+val close : t -> unit
+
+(** {2 Replay} *)
+
+val replay : string -> entry list * bool
+(** All entries in the valid prefix, in append order, and whether the
+    file was torn (truncated tail, CRC mismatch, or any undecodable
+    record — everything after the first bad record is ignored).  A
+    missing file is [([], false)]: an empty journal is not a torn
+    one. *)
+
+type recovery = {
+  r_pending : accepted list;
+      (** accepted but not completed, in acceptance order — the jobs a
+          restarted daemon must re-run *)
+  r_completed : (string * string * Protocol.reply) list;
+      (** [(tenant, idem_key, done_reply)] for completed jobs that
+          carried an idempotency key — seeds the dedup window so a
+          client retrying across the restart gets the cached DONE *)
+  r_next_id : int;  (** highest job id seen; allocate from [r_next_id + 1] *)
+  r_entries : int;  (** valid records read *)
+  r_torn : bool;
+}
+
+val empty_recovery : recovery
+
+val recover : string -> recovery
+(** {!replay} folded into a restart plan.  Never raises. *)

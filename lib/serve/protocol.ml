@@ -67,11 +67,33 @@ let validate_job job =
       then reject "graph task_flops must be in (0, %.3g]" max_task_flops
       else cost_ok ()
 
+(* Idempotency keys.  A client that resubmits after a lost connection
+   or a daemon restart tags the SUBMIT with a key; the daemon's dedup
+   window then replays the original outcome instead of running the
+   job twice.  Keys are bounded and restricted to a tame alphabet so
+   a hostile key cannot bloat the journal or smuggle structure into
+   log lines; anything else is a structured [bad-request]. *)
+
+let max_idem_len = 64
+
+let valid_idem s =
+  let n = String.length s in
+  n >= 1 && n <= max_idem_len
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | ':' -> true
+         | _ -> false)
+       s
+
 type request =
   | Submit of {
       tenant : string;
       job : job;
       deadline_ms : float option;
+      idem : string option;
+          (** client-chosen idempotency key; a resubmission with the
+              same (tenant, key) replays the original outcome instead
+              of running the job again.  Absent = today's semantics. *)
       trace : string option;
           (** client-supplied trace context, [Obs.Trace_ctx.to_string]
               format; the daemon mints one when absent and echoes it in
@@ -165,6 +187,7 @@ let json_escape s =
    forbids non-finite values (JSON cannot carry them). *)
 let num f = Printf.sprintf "%.17g" f
 let str s = "\"" ^ json_escape s ^ "\""
+let json_string = str
 
 let job_to_json = function
   | Dgemm { n; tiles; seed } ->
@@ -182,12 +205,15 @@ let opt_str_field name = function
   | Some s -> Printf.sprintf ",\"%s\":%s" name (str s)
 
 let request_to_string = function
-  | Submit { tenant; job; deadline_ms; trace } ->
-      Printf.sprintf "{\"v\":%d,\"op\":\"submit\",\"tenant\":%s,\"job\":%s%s%s}"
+  | Submit { tenant; job; deadline_ms; idem; trace } ->
+      (* field order keeps a key-less, trace-less submit byte-identical
+         to what pre-durability clients emitted *)
+      Printf.sprintf "{\"v\":%d,\"op\":\"submit\",\"tenant\":%s,\"job\":%s%s%s%s}"
         version (str tenant) (job_to_json job)
         (match deadline_ms with
         | None -> ""
         | Some d -> Printf.sprintf ",\"deadline_ms\":%s" (num d))
+        (opt_str_field "idem" idem)
         (opt_str_field "trace" trace)
   | Run -> Printf.sprintf "{\"v\":%d,\"op\":\"run\"}" version
   | Stats -> Printf.sprintf "{\"v\":%d,\"op\":\"stats\"}" version
@@ -329,22 +355,44 @@ let request_of_string s =
                         | None -> false
                       then err Bad_request "deadline_ms must be finite and >= 0"
                       else (
-                        (* Backward compat: a frame without "trace"
-                           (any pre-trace client) decodes to None. *)
-                        match mem "trace" o with
-                        | None -> Ok (Submit { tenant; job; deadline_ms; trace = None })
-                        | Some t -> (
-                            match Option.bind (J.to_string t)
-                                    Obs.Trace_ctx.of_string
-                            with
-                            | Some _ ->
-                                Ok (Submit
-                                      { tenant; job; deadline_ms;
-                                        trace = J.to_string t })
+                        (* Backward compat: frames without "idem" or
+                           "trace" (any pre-durability client) decode
+                           to None; present-but-malformed values are
+                           structured refusals, never disconnects. *)
+                        let idem_checked =
+                          match mem "idem" o with
+                          | None -> Ok None
+                          | Some v -> (
+                              match J.to_string v with
+                              | Some k when valid_idem k -> Ok (Some k)
+                              | _ ->
+                                  Stdlib.Error
+                                    (Printf.sprintf
+                                       "idem must be 1-%d characters from \
+                                        [A-Za-z0-9._:-]"
+                                       max_idem_len))
+                        in
+                        match idem_checked with
+                        | Stdlib.Error reason -> err Bad_request "%s" reason
+                        | Ok idem -> (
+                            match mem "trace" o with
                             | None ->
-                                err Bad_request
-                                  "trace must be 16 hex digits, optionally \
-                                   \"-\" and 16 more (trace id[-span id])"))
+                                Ok
+                                  (Submit
+                                     { tenant; job; deadline_ms; idem;
+                                       trace = None })
+                            | Some t -> (
+                                match Option.bind (J.to_string t)
+                                        Obs.Trace_ctx.of_string
+                                with
+                                | Some _ ->
+                                    Ok (Submit
+                                          { tenant; job; deadline_ms; idem;
+                                            trace = J.to_string t })
+                                | None ->
+                                    err Bad_request
+                                      "trace must be 16 hex digits, optionally \
+                                       \"-\" and 16 more (trace id[-span id])")))
                   | Error e -> err Bad_request "%s" e)
               | _ -> err Bad_request "submit needs a non-empty tenant and a job")
           | Some "run" -> Ok Run

@@ -62,11 +62,28 @@ val validate_job : job -> (unit, string) result
     above. The error string is human-readable and becomes the
     [bad-request] reason. *)
 
+val max_idem_len : int
+(** Idempotency-key length cap (64). *)
+
+val valid_idem : string -> bool
+(** A key is 1..{!max_idem_len} characters from [A-Za-z0-9._:-]; the
+    codec refuses anything else as a [bad-request] so hostile keys
+    cannot bloat the journal or smuggle structure into log lines. *)
+
 type request =
   | Submit of {
       tenant : string;
       job : job;
       deadline_ms : float option;
+      idem : string option;
+          (** client-chosen idempotency key: a resubmission carrying
+              the same (tenant, key) — after a lost connection or a
+              daemon restart — replays the original outcome (the
+              cached DONE, or an ACCEPTED with the original id while
+              the job is still pending) instead of running the job
+              twice.  Absent (pre-durability clients) keeps today's
+              at-most-once-per-frame semantics; a present but
+              malformed key draws a [bad-request]. *)
       trace : string option;
           (** client-supplied trace context in {!Obs.Trace_ctx.to_string}
               format (16 hex digits, optionally ["-"] and 16 more); the
@@ -154,6 +171,11 @@ val request_of_string : string -> (request, error) result
 
 val reply_to_string : reply -> string
 val reply_of_string : string -> (reply, string) result
+
+val json_string : string -> string
+(** Quote and escape a string as a JSON literal — the same escaper
+    the codec uses, shared with the {!Journal} record format (which
+    embeds whole wire messages as string fields). *)
 
 val frame : string -> string
 (** Prefix a payload with its 4-byte big-endian length.

@@ -7,6 +7,9 @@ type config = {
   trace_out : string option;
   metrics_out : string option;
   decisions_out : string option;
+  journal : Journal.t option;
+  idle_timeout_s : float option;
+  read_deadline_s : float option;
 }
 
 let default_config =
@@ -17,7 +20,12 @@ let default_config =
     trace_out = None;
     metrics_out = None;
     decisions_out = None;
+    journal = None;
+    idle_timeout_s = None;
+    read_deadline_s = None;
   }
+
+type outcome = Completed | Aborted
 
 (* Persist everything worth keeping across daemon restarts: the
    calibration store (so the next run schedules with today's measured
@@ -39,7 +47,10 @@ let flush_state config svc =
       let oc = open_out path in
       output_string oc (Obs.Export.prometheus ());
       close_out oc)
-    config.metrics_out
+    config.metrics_out;
+  (* last: once the journal handle closes, the recorded accepts and
+     completions above are what a restart recovers from *)
+  Option.iter Journal.close config.journal
 
 (* --- text mode: one JSON document per line on stdin/stdout ------------- *)
 
@@ -62,8 +73,10 @@ let run_stdio ?(config = default_config) svc =
         | Error e ->
             out (P.Error { code = e.P.e_code; reason = e.P.e_reason });
             loop ()
-        | Ok (P.Submit { tenant; job; deadline_ms; trace }) ->
-            out (Service.submit svc ~tenant ?deadline_ms ?trace job);
+        | Ok (P.Submit { tenant; job; deadline_ms; idem; trace }) ->
+            out (Service.submit svc ~tenant ?deadline_ms ?idem ?trace job);
+            (* a dedup hit owes the retrier its cached DONE *)
+            List.iter out (Service.take_replays svc);
             loop ()
         | Ok P.Run ->
             List.iter out (Service.run_until_idle svc);
@@ -93,6 +106,9 @@ type conn = {
   mutable c_out : Bytes.t;  (* outbound: replies awaiting delivery *)
   mutable c_out_off : int;
   mutable c_out_len : int;
+  mutable c_last_active : float;  (* last byte read from the peer *)
+  mutable c_frame_start : float;  (* when the buffered partial frame began;
+                                     0.0 = no partial frame pending *)
 }
 
 (* A client this far behind on reading its replies is wedged or
@@ -112,6 +128,7 @@ type state = {
   routes : (int, Unix.file_descr) Hashtbl.t;  (* job id -> submitter *)
   mutable stop : bool;
   mutable drained : bool;
+  mutable crashed : bool;  (* fatal signal: skip drain, still persist *)
 }
 
 let close_conn st fd =
@@ -191,12 +208,17 @@ let dispatch st =
 let handle_payload config st fd payload =
   match P.request_of_string payload with
   | Error e -> send st fd (P.Error { code = e.P.e_code; reason = e.P.e_reason })
-  | Ok (P.Submit { tenant; job; deadline_ms; trace }) ->
-      let reply = Service.submit st.svc ~tenant ?deadline_ms ?trace job in
+  | Ok (P.Submit { tenant; job; deadline_ms; idem; trace }) ->
+      let reply = Service.submit st.svc ~tenant ?deadline_ms ?idem ?trace job in
+      let replays = Service.take_replays st.svc in
       (match reply with
-      | P.Accepted { id; _ } -> Hashtbl.replace st.routes id fd
+      | P.Accepted { id; _ } when replays = [] ->
+          (* route the eventual DONE to the submitter — unless this was
+             a dedup-complete hit, whose cached DONE goes out below *)
+          Hashtbl.replace st.routes id fd
       | _ -> ());
-      send st fd reply
+      send st fd reply;
+      List.iter (send st fd) replays
   | Ok P.Run ->
       dispatch st;
       send st fd (P.Idle { completed = Service.completed st.svc })
@@ -218,6 +240,9 @@ let read_conn config st conn =
       close_conn st conn.c_fd
   | 0 -> close_conn st conn.c_fd
   | n ->
+      let now = Unix.gettimeofday () in
+      conn.c_last_active <- now;
+      if conn.c_len = 0 then conn.c_frame_start <- now;
       let need = conn.c_len + n in
       if Bytes.length conn.c_buf < need then begin
         let nb = Bytes.create (max need (2 * Bytes.length conn.c_buf)) in
@@ -235,10 +260,45 @@ let read_conn config st conn =
         | P.Frame (payload, used) ->
             Bytes.blit conn.c_buf used conn.c_buf 0 (conn.c_len - used);
             conn.c_len <- conn.c_len - used;
+            (* the partial-frame clock restarts with whatever remains *)
+            conn.c_frame_start <- now;
             handle_payload config st conn.c_fd payload;
             if Hashtbl.mem st.conns conn.c_fd then frames ()
       in
       frames ()
+
+let fd_routed st fd =
+  Hashtbl.fold (fun _ dst acc -> acc || dst = fd) st.routes false
+
+(* Slowloris protection, two clocks per connection:
+   - read deadline: a peer sitting on a half-sent frame past
+     [read_deadline_s] is feeding bytes slower than any real client
+     and is cut;
+   - idle reap: a peer that has sent nothing for [idle_timeout_s] is
+     cut, but only when the daemon owes it nothing — no buffered
+     output and no pending job routed to it (a submit-and-wait client
+     is idle by design until its DONE arrives). *)
+let reap st ~now ~idle_timeout_s ~read_deadline_s =
+  let victims =
+    Hashtbl.fold
+      (fun fd c acc ->
+        let stalled_frame =
+          match read_deadline_s with
+          | Some d -> c.c_len > 0 && now -. c.c_frame_start > d
+          | None -> false
+        in
+        let idle =
+          match idle_timeout_s with
+          | Some d ->
+              now -. c.c_last_active > d
+              && c.c_len = 0 && c.c_out_len = 0
+              && not (fd_routed st fd)
+          | None -> false
+        in
+        if stalled_frame || idle then fd :: acc else acc)
+      st.conns []
+  in
+  List.iter (close_conn st) victims
 
 (* After drain, lagging clients get a bounded window to take delivery
    of their final frames (Done / Drained); whoever still is not
@@ -268,9 +328,30 @@ let final_flush st ~deadline =
   in
   go ()
 
+(* A SIGKILLed daemon leaves its socket file behind; the restarted
+   worker must reclaim it, but only when no live daemon owns it — a
+   connect probe distinguishes the two (a live listener accepts or at
+   least does not refuse; a corpse's socket refuses). *)
+let bind_reclaiming srv path =
+  try Unix.bind srv (Unix.ADDR_UNIX path)
+  with Unix.Unix_error (Unix.EADDRINUSE, _, _) as e ->
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let stale =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> false
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if stale then begin
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      Unix.bind srv (Unix.ADDR_UNIX path)
+    end
+    else raise e
+
 let run_socket ?(config = default_config) ~path svc =
   let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.bind srv (Unix.ADDR_UNIX path)
+  (try bind_reclaiming srv path
    with e ->
      Unix.close srv;
      raise e);
@@ -284,11 +365,26 @@ let run_socket ?(config = default_config) ~path svc =
   in
   let st =
     { svc; conns = Hashtbl.create 8; routes = Hashtbl.create 64;
-      stop = false; drained = false }
+      stop = false; drained = false; crashed = false }
   in
   let on_term = Sys.Signal_handle (fun _ -> st.stop <- true) in
   let old_term = Sys.signal Sys.sigterm on_term in
   let old_int = Sys.signal Sys.sigint on_term in
+  (* fatal-but-catchable signals: no drain (the journal re-runs what
+     is pending), but the loop still exits to persist observability
+     state — decisions, SLO counters, metrics — for the post-mortem *)
+  let on_fatal =
+    Sys.Signal_handle
+      (fun _ ->
+        st.crashed <- true;
+        st.stop <- true)
+  in
+  let set_fatal s =
+    try Some (Sys.signal s on_fatal)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let old_quit = set_fatal Sys.sigquit in
+  let old_hup = set_fatal Sys.sighup in
   while not st.stop do
     let fds =
       srv :: Hashtbl.fold (fun fd _ acc -> fd :: acc) st.conns []
@@ -320,24 +416,36 @@ let run_socket ?(config = default_config) ~path svc =
                   ()
               | cfd, _ ->
                   Unix.set_nonblock cfd;
+                  let now = Unix.gettimeofday () in
                   Hashtbl.replace st.conns cfd
                     { c_fd = cfd; c_buf = Bytes.create 4096; c_len = 0;
-                      c_out = Bytes.create 4096; c_out_off = 0; c_out_len = 0 }
+                      c_out = Bytes.create 4096; c_out_off = 0; c_out_len = 0;
+                      c_last_active = now; c_frame_start = now }
             end
             else
               match Hashtbl.find_opt st.conns fd with
               | Some conn -> read_conn config st conn
               | None -> ())
           ready;
-        if not st.stop then dispatch st
+        if not st.stop then begin
+          dispatch st;
+          if config.idle_timeout_s <> None || config.read_deadline_s <> None
+          then
+            reap st ~now:(Unix.gettimeofday ())
+              ~idle_timeout_s:config.idle_timeout_s
+              ~read_deadline_s:config.read_deadline_s
+        end
   done;
   (* graceful shutdown: stop admitting, finish or cancel in-flight
-     work within the budget, persist state, release the socket *)
-  if not st.drained then begin
+     work within the budget, persist state, release the socket.  On
+     the fatal-signal path there is no drain — pending jobs stay in
+     the journal for the next incarnation to replay — but persistence
+     still runs. *)
+  if (not st.drained) && not st.crashed then begin
     let dones, _final = Service.drain svc ?budget_ms:config.budget_ms () in
     List.iter (route_done st) dones
   end;
-  final_flush st ~deadline:(Unix.gettimeofday () +. 2.0);
+  if not st.crashed then final_flush st ~deadline:(Unix.gettimeofday () +. 2.0);
   flush_state config svc;
   Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
     st.conns;
@@ -346,7 +454,10 @@ let run_socket ?(config = default_config) ~path svc =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   Sys.set_signal Sys.sigterm old_term;
   Sys.set_signal Sys.sigint old_int;
-  Option.iter (Sys.set_signal Sys.sigpipe) old_pipe
+  Option.iter (Sys.set_signal Sys.sigquit) old_quit;
+  Option.iter (Sys.set_signal Sys.sighup) old_hup;
+  Option.iter (Sys.set_signal Sys.sigpipe) old_pipe;
+  if st.crashed then Aborted else Completed
 
 (* --- a minimal blocking client (scripted sessions, tests, bench) ------- *)
 

@@ -20,17 +20,33 @@ type config = {
   trace_out : string option;  (** per-tenant Chrome trace path *)
   metrics_out : string option;  (** Prometheus text dump path *)
   decisions_out : string option;  (** scheduler decision-log JSONL path *)
+  journal : Journal.t option;
+      (** the service's write-ahead log, if journaling; the server
+          syncs and closes it on every exit path *)
+  idle_timeout_s : float option;
+      (** reap a connection this long silent — unless the daemon owes
+          it output or a routed DONE *)
+  read_deadline_s : float option;
+      (** cut a connection holding a partial frame open this long
+          (slowloris) *)
 }
 
 val default_config : config
-(** Everything off: unbounded drain, nothing persisted. *)
+(** Everything off: unbounded drain, nothing persisted, no reaping. *)
+
+type outcome =
+  | Completed  (** drained gracefully (EOF, SIGTERM/SIGINT, DRAIN) *)
+  | Aborted
+      (** fatal signal (SIGQUIT/SIGHUP): no drain — pending jobs stay
+          journaled for the next incarnation — but observability state
+          was still persisted.  The CLI maps this to exit code 2. *)
 
 val run_stdio : ?config:config -> Service.t -> unit
 (** Serve text mode until EOF or an explicit [drain] request, then
     drain and persist. Replies (including [Done]s) are printed in
     order on stdout. *)
 
-val run_socket : ?config:config -> path:string -> Service.t -> unit
+val run_socket : ?config:config -> path:string -> Service.t -> outcome
 (** Bind [path], serve binary frames until SIGTERM/SIGINT or an
     explicit [drain] request, then drain, persist, close every
     connection and unlink the socket. Queued jobs are dispatched
@@ -46,8 +62,13 @@ val run_socket : ?config:config -> path:string -> Service.t -> unit
     wedging the event loop. Closing a connection also forgets its
     pending reply routes, so a recycled fd number cannot receive
     another client's frames. Installs signal handlers (TERM, INT,
-    PIPE) for the duration of the call and restores the previous
-    ones on return.
+    QUIT, HUP, PIPE) for the duration of the call and restores the
+    previous ones on return.
+
+    A stale socket file left by a SIGKILLed predecessor is reclaimed:
+    when bind fails with [EADDRINUSE] but a probe connect is refused,
+    the file is a corpse's and is unlinked before rebinding — a path
+    owned by a {e live} daemon still fails the bind.
     @raise Unix.Unix_error when the socket cannot be created or
     bound (the CLI maps this to its "unsupported platform" exit). *)
 

@@ -11,10 +11,17 @@ type pending = {
   p_submitted : float;  (* wall-clock seconds from the injected clock *)
   p_deadline_ms : float option;
   p_cost : float;  (* flops estimate; the DRR currency *)
+  p_idem : string option;  (* client idempotency key, if any *)
   p_trace : Obs.Trace_ctx.t;  (* minted at admission unless supplied *)
   p_trace_str : string;  (* echoed verbatim in ACCEPTED/DONE *)
   p_admit_ns : int;  (* Span.start at admission; 0 when telemetry off *)
 }
+
+(* What a retried idempotency key replays: the original ACCEPTED while
+   the job is queued, the cached DONE once it finished. *)
+type idem_state =
+  | Ipending of int * string  (* original id, echoed trace string *)
+  | Idone of P.reply  (* always [P.Done _] *)
 
 type tenant = {
   t_name : string;
@@ -55,13 +62,20 @@ type t = {
   mutable draining : bool;
   mutable next_id : int;
   mutable total_completed : int;
+  journal : Journal.t option;  (* WAL: accept on admit, done on finish *)
+  dedup_cap : int;  (* completed idempotency keys remembered *)
+  idem : (string, idem_state) Hashtbl.t;  (* "tenant\x00key" -> state *)
+  idem_done : string Queue.t;  (* completed keys in completion order *)
+  replays : P.reply Queue.t;  (* cached DONEs owed to retried clients *)
 }
 
 let create ?(policy = Engine.Heft) ?(shards = 2) ?(queue_cap = 16)
     ?(quantum = 1e6) ?tune ?(now = Unix.gettimeofday) ?slo_ms
-    ?(slo_objective = 0.99) ?(slo_window_s = 300.0) cfg =
+    ?(slo_objective = 0.99) ?(slo_window_s = 300.0) ?journal
+    ?(dedup_cap = 512) cfg =
   if queue_cap < 1 then invalid_arg "Service.create: queue_cap must be >= 1";
   if quantum <= 0.0 then invalid_arg "Service.create: quantum must be > 0";
+  if dedup_cap < 1 then invalid_arg "Service.create: dedup_cap must be >= 1";
   (match slo_ms with
   | Some m when m <= 0.0 -> invalid_arg "Service.create: slo_ms must be > 0"
   | _ -> ());
@@ -80,7 +94,28 @@ let create ?(policy = Engine.Heft) ?(shards = 2) ?(queue_cap = 16)
     draining = false;
     next_id = 0;
     total_completed = 0;
+    journal;
+    dedup_cap;
+    idem = Hashtbl.create 64;
+    idem_done = Queue.create ();
+    replays = Queue.create ();
   }
+
+(* keys are protocol-validated to [A-Za-z0-9._:-], so NUL cannot occur
+   in either half and the join is unambiguous *)
+let idem_key tenant k = tenant ^ "\x00" ^ k
+
+let idem_complete t tenant_name k reply =
+  let key = idem_key tenant_name k in
+  Hashtbl.replace t.idem key (Idone reply);
+  Queue.add key t.idem_done;
+  while Queue.length t.idem_done > t.dedup_cap do
+    let old = Queue.pop t.idem_done in
+    (* never evict a pending entry: the window bounds completed keys *)
+    match Hashtbl.find_opt t.idem old with
+    | Some (Idone _) -> Hashtbl.remove t.idem old
+    | _ -> ()
+  done
 
 let shard_configs t = t.shard_cfgs
 
@@ -255,7 +290,7 @@ let run_job t ten job =
 
 (* --- admission --------------------------------------------------------- *)
 
-let admit t name ?deadline_ms ?trace job =
+let admit t name ?deadline_ms ?idem ?trace job =
   let ten = tenant t name in
   let queue = Queue.length ten.t_queue in
   if queue >= ten.t_cap then begin
@@ -290,6 +325,7 @@ let admit t name ?deadline_ms ?trace job =
         p_submitted = t.now ();
         p_deadline_ms = deadline_ms;
         p_cost = P.job_cost job;
+        p_idem = idem;
         p_trace = ctx;
         p_trace_str = ctx_str;
         p_admit_ns = Obs.Span.start ();
@@ -298,6 +334,25 @@ let admit t name ?deadline_ms ?trace job =
     Queue.add p ten.t_queue;
     ten.t_submitted <- ten.t_submitted + 1;
     Obs.Counter.incr ten.c_submitted;
+    (* WAL before the reply leaves: once the client sees ACCEPTED the
+       job must survive a crash *)
+    (match t.journal with
+    | Some j ->
+        Journal.append j
+          (Journal.Accept
+             {
+               a_id = p.p_id;
+               a_tenant = name;
+               a_job = job;
+               a_deadline_ms = deadline_ms;
+               a_idem = idem;
+               a_trace = Some ctx_str;
+             })
+    | None -> ());
+    (match idem with
+    | Some k ->
+        Hashtbl.replace t.idem (idem_key name k) (Ipending (p.p_id, ctx_str))
+    | None -> ());
     P.Accepted
       {
         id = p.p_id;
@@ -306,15 +361,53 @@ let admit t name ?deadline_ms ?trace job =
       }
   end
 
-let submit t ~tenant:name ?deadline_ms ?trace job =
-  if t.draining then P.Draining
-  else
-    match P.validate_job job with
-    | Error reason ->
-        (* refuse before touching any queue: an unbounded job would
-           OOM the daemon or stall the DRR for every tenant *)
-        P.Error { code = P.Bad_request; reason }
-    | Ok () -> admit t name ?deadline_ms ?trace job
+let tenant_credit ten = max 0 (ten.t_cap - Queue.length ten.t_queue)
+
+let submit t ~tenant:name ?deadline_ms ?idem ?trace job =
+  match idem with
+  | Some k when not (P.valid_idem k) ->
+      P.Error
+        {
+          code = P.Bad_request;
+          reason =
+            Printf.sprintf "idem must be 1-%d characters from [A-Za-z0-9._:-]"
+              P.max_idem_len;
+        }
+  | _ -> (
+      (* Dedup before the draining check: a retry of work the daemon
+         already owns should replay its outcome even mid-drain. *)
+      match
+        Option.bind idem (fun k -> Hashtbl.find_opt t.idem (idem_key name k))
+      with
+      | Some (Idone (P.Done { id; trace = tr; _ } as cached)) ->
+          (* replay discipline: answer the retry with ACCEPTED carrying
+             the original id, then re-deliver the cached DONE as the
+             usual asynchronous frame (see [take_replays]) — a
+             retrying client needs no special read path *)
+          Queue.add cached t.replays;
+          P.Accepted { id; credit = tenant_credit (tenant t name); trace = tr }
+      | Some (Idone _) | Some (Ipending _) as hit ->
+          let id, tr =
+            match hit with
+            | Some (Ipending (id, tr)) -> (id, Some tr)
+            | _ -> (0, None)
+          in
+          P.Accepted { id; credit = tenant_credit (tenant t name); trace = tr }
+      | None ->
+          if t.draining then P.Draining
+          else (
+            match P.validate_job job with
+            | Error reason ->
+                (* refuse before touching any queue: an unbounded job
+                   would OOM the daemon or stall the DRR for every
+                   tenant *)
+                P.Error { code = P.Bad_request; reason }
+            | Ok () -> admit t name ?deadline_ms ?idem ?trace job))
+
+let take_replays t =
+  let out = List.of_seq (Queue.to_seq t.replays) in
+  Queue.clear t.replays;
+  out
 
 (* --- dispatch: deficit round robin ------------------------------------- *)
 
@@ -351,10 +444,21 @@ let finish t ten emit p status =
     | P.Jfailed _ | P.Jtimeout | P.Jcancelled -> false
   in
   Obs.Slo.observe ten.t_slo ~now:(t.now ()) ~good;
-  emit
-    (P.Done
-       { id = p.p_id; tenant = ten.t_name; latency_ms = lat; status;
-         trace = Some p.p_trace_str })
+  let reply =
+    P.Done
+      { id = p.p_id; tenant = ten.t_name; latency_ms = lat; status;
+        trace = Some p.p_trace_str }
+  in
+  (* journal the completion before the reply leaves, so a crash after
+     DONE can never re-run the job on replay *)
+  (match t.journal with
+  | Some j ->
+      Journal.append j (Journal.Complete { c_idem = p.p_idem; c_reply = reply })
+  | None -> ());
+  (match p.p_idem with
+  | Some k -> idem_complete t ten.t_name k reply
+  | None -> ());
+  emit reply
 
 (* Complete every queued job identical to [job] with the result it
    just produced: same-tenant coalescing (a cross-tenant match would
@@ -481,6 +585,56 @@ let run_until_idle t =
 
 let completed t = t.total_completed
 let is_draining t = t.draining
+
+(* --- crash recovery ----------------------------------------------------- *)
+
+(* Re-enqueue journaled-but-unfinished jobs.  Deliberately NOT via
+   [admit]: records are not re-appended to the journal (they are
+   already in it), and the tenant cap is not re-checked (every job
+   here was admitted under the cap before the crash; dropping one now
+   would break the ACCEPTED-implies-runs contract).  Deadlines rebase
+   on the restore clock — the original submission instant died with
+   the old process, and cancelling a recovered job for time spent
+   crashed would punish the client for the daemon's failure. *)
+let restore t (r : Journal.recovery) =
+  t.next_id <- max t.next_id r.Journal.r_next_id;
+  List.iter
+    (fun (tn, k, reply) ->
+      match reply with P.Done _ -> idem_complete t tn k reply | _ -> ())
+    r.Journal.r_completed;
+  List.iter
+    (fun (a : Journal.accepted) ->
+      let ten = tenant t a.Journal.a_tenant in
+      let ctx, ctx_str =
+        match Option.bind a.Journal.a_trace Obs.Trace_ctx.of_string with
+        | Some c -> (c, Option.get a.Journal.a_trace)
+        | None ->
+            let c = Obs.Trace_ctx.make () in
+            (c, Obs.Trace_ctx.to_string c)
+      in
+      let p =
+        {
+          p_id = a.Journal.a_id;
+          p_job = a.Journal.a_job;
+          p_submitted = t.now ();
+          p_deadline_ms = a.Journal.a_deadline_ms;
+          p_cost = P.job_cost a.Journal.a_job;
+          p_idem = a.Journal.a_idem;
+          p_trace = ctx;
+          p_trace_str = ctx_str;
+          p_admit_ns = Obs.Span.start ();
+        }
+      in
+      Queue.add p ten.t_queue;
+      ten.t_submitted <- ten.t_submitted + 1;
+      Obs.Counter.incr ten.c_submitted;
+      match a.Journal.a_idem with
+      | Some k ->
+          Hashtbl.replace t.idem
+            (idem_key a.Journal.a_tenant k)
+            (Ipending (a.Journal.a_id, ctx_str))
+      | None -> ())
+    r.Journal.r_pending
 
 (* --- drain ------------------------------------------------------------- *)
 

@@ -30,6 +30,8 @@ val create :
   ?slo_ms:float ->
   ?slo_objective:float ->
   ?slo_window_s:float ->
+  ?journal:Journal.t ->
+  ?dedup_cap:int ->
   Taskrt.Machine_config.t ->
   t
 (** [shards] (default 2) sub-machines, [queue_cap] (default 16)
@@ -40,7 +42,13 @@ val create :
     must meet (in addition to finishing Ok) to count as SLO-good;
     omitted means any Ok finish is good.  [slo_objective] (default
     0.99) and [slo_window_s] (default 300) parameterize the rolling
-    {!Obs.Slo} window behind burn rates.
+    {!Obs.Slo} window behind burn rates.  [journal] is the write-ahead
+    log: every admission appends an accept record {e before} ACCEPTED
+    is emitted, every terminal outcome a completion record before
+    DONE, so a crash between the two re-runs the job on {!restore}
+    instead of losing it.  [dedup_cap] (default 512) bounds the
+    remembered {e completed} idempotency keys (pending keys are never
+    evicted).
     @raise Invalid_argument on a non-positive cap, quantum or target. *)
 
 val configure_tenant :
@@ -63,6 +71,7 @@ val submit :
   t ->
   tenant:string ->
   ?deadline_ms:float ->
+  ?idem:string ->
   ?trace:string ->
   Protocol.job ->
   Protocol.reply
@@ -76,7 +85,30 @@ val submit :
     is adopted and echoed verbatim in ACCEPTED and DONE; otherwise
     (or when absent) the service mints a fresh context, so every
     accepted job carries exactly one flow id through queue, engine,
-    and kernel spans. *)
+    and kernel spans.
+
+    [idem] is the client's idempotency key ({!Protocol.valid_idem};
+    an invalid key is a [bad-request]).  A resubmission carrying a
+    known (tenant, key) never enqueues a second copy: while the
+    original is pending it answers [Accepted] with the original id;
+    after completion it answers [Accepted] and queues the cached
+    [Done] for re-delivery via {!take_replays}.  The dedup check runs
+    even while draining, so a retry of owned work replays its outcome
+    instead of drawing [Draining]. *)
+
+val take_replays : t -> Protocol.reply list
+(** Drain the cached [Done] replies owed to retried idempotent
+    submissions, in retry order.  The daemon sends these through the
+    same path as fresh completion frames. *)
+
+val restore : t -> Journal.recovery -> unit
+(** Adopt a journal {!Journal.recover} plan: advance the id counter
+    past every journaled id, seed the dedup window with completed
+    (tenant, key, DONE) triples, and re-enqueue unfinished jobs in
+    their original acceptance order — bypassing the tenant cap (they
+    were admitted under it before the crash) and without re-appending
+    journal records.  Deadlines rebase on the restore clock.  Call
+    once, before serving traffic. *)
 
 val run_until_idle : t -> Protocol.reply list
 (** Dispatch DRR passes until every queue is empty; returns the

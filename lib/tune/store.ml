@@ -202,6 +202,12 @@ let save ?(dir = ".") t =
   let tmp = p ^ ".tmp" in
   let oc = open_out tmp in
   output_string oc (to_json_string t);
+  (* fsync before the rename: the rename is atomic, but without it a
+     crash can publish a complete-looking name over truncated bytes —
+     the one window the atomic-rename discipline does not cover *)
+  flush oc;
+  (try Unix.fsync (Unix.descr_of_out_channel oc)
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
   close_out oc;
   Sys.rename tmp p;
   t.dirty <- false

@@ -1,0 +1,25 @@
+The chaos harness's deterministic smoke mode: journal entries survive
+the CRC-framed line codec and a flipped byte is caught; a crash
+mid-burst (service state abandoned, only the write-ahead log kept)
+recovers into a plan that splits pending from completed jobs; a fresh
+incarnation replays the unfinished job bit-identically to a fault-free
+run without re-running the completed one; resubmitting a finished
+idempotency key replays the cached DONE instead of executing again; a
+torn journal tail — half the last record chopped, as SIGKILL mid-write
+leaves — yields the longest valid prefix without raising; and a full
+seeded trial composing the crash with 30 % transient PU faults and
+blanket client resubmission keeps every job exactly-once with
+checksums matching the fault-free reference.  Seeded RNG plus the
+virtual-time engine make the output exact.
+
+  $ ../../bench/main.exe chaos smoke
+  chaos: journal entries survive the line codec        ok
+  chaos: a flipped journal byte is caught by the CRC   ok
+  chaos: recovery splits pending from completed        ok
+  chaos: replay completes the lost job bit-identically ok
+  chaos: a completed job is never re-run after replay  ok
+  chaos: resubmitting a finished key replays the cached DONE ok
+  chaos: a torn tail yields the longest valid prefix   ok
+  chaos: crash + 30% transient faults keep exactly-once ok
+  chaos: chaotic checksums match the fault-free run    ok
+  chaos smoke: all checks passed

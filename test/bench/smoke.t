@@ -41,5 +41,5 @@ bitwise-identity contract at 1/2/4 domains.
 Unknown experiment names fail cleanly:
 
   $ ../../bench/main.exe no-such-experiment
-  unknown experiment "no-such-experiment" (known: fig5, sweep, sched, tile, presel, chol, eng, par, kern, obs, faults, tune, cc, serve, smoke, micro)
+  unknown experiment "no-such-experiment" (known: fig5, sweep, sched, tile, presel, chol, eng, par, kern, obs, faults, tune, cc, serve, chaos, smoke, micro)
   [1]

@@ -1,0 +1,187 @@
+#!/usr/bin/env bash
+# Crash-durability gate for `dune runtest`.
+#
+# Boots cascabeld under its supervisor (--supervise) with a write-ahead
+# journal on a Unix domain socket, then:
+#   1. fires a burst of keyed submits from a client that hangs up
+#      without reading a single reply;
+#   2. SIGKILLs the WORKER (pid from --pid-file, not the supervisor)
+#      as soon as the burst's accept records hit the journal —
+#      mid-burst, while jobs are queued or running;
+#   3. waits for the supervisor to restart a fresh worker, which must
+#      reclaim the stale socket and replay the journal;
+#   4. resubmits the same burst with the same idempotency keys over a
+#      reconnecting client (--retry): every job must complete exactly
+#      once — pending jobs through journal replay, finished ones from
+#      the dedup window — with one DONE per key;
+#   5. throws a garbage frame at the restarted daemon, which must
+#      answer a structured parse error and stay up;
+#   6. SIGTERMs the supervisor: it forwards the drain to the worker,
+#      which must exit 0 and unlink the socket.
+#
+# Platforms without Unix domain sockets make the daemon exit 3; the
+# check is then skipped with a notice, as in check_serve.sh.
+set -u
+
+root="${1:-../..}"
+daemon="$root/bin/cascabeld.exe"
+
+tmp=$(mktemp -d)
+pid=
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+sock="$tmp/cascabel.sock"
+wal="$tmp/cascabel.wal"
+pidf="$tmp/worker.pid"
+
+"$daemon" serve --zoo xeon-2gpu --socket "$sock" --shards 1 \
+  --supervise --journal "$wal" --pid-file "$pidf" \
+  --max-restarts 3 --restart-backoff-ms 10 --budget-ms 10000 \
+  2>"$tmp/daemon.err" &
+pid=$!
+
+for _ in $(seq 1 200); do
+  [ -S "$sock" ] && break
+  if ! kill -0 "$pid" 2>/dev/null; then
+    wait "$pid"
+    rc=$?
+    pid=
+    if [ "$rc" -eq 3 ]; then
+      echo "chaos: no Unix domain sockets on this platform, skipping"
+      exit 0
+    fi
+    echo "chaos: daemon died before binding (rc=$rc)"
+    cat "$tmp/daemon.err"
+    exit 1
+  fi
+  sleep 0.05
+done
+if [ ! -S "$sock" ]; then
+  echo "chaos: socket never appeared"
+  exit 1
+fi
+
+bad=0
+check() { # check NAME TEXT PATTERN: PATTERN must match a line of TEXT
+  if printf '%s\n' "$2" | grep -q -- "$3"; then
+    echo "chaos: $1"
+  else
+    echo "chaos: $1 FAILED (no match for $3)"
+    printf '%s\n' "$2" | sed 's/^/  | /'
+    bad=1
+  fi
+}
+
+wpid=$(cat "$pidf" 2>/dev/null)
+if [ -z "$wpid" ]; then
+  echo "chaos: no worker pid file"
+  bad=1
+fi
+
+# The burst: four keyed submits (--idem numbers them chaos-1..chaos-4
+# by stdin position) from a client that disconnects without reading a
+# reply — the unacknowledged requests a real client would have to
+# resubmit after the crash.
+burst="$tmp/burst.txt"
+cat >"$burst" <<'EOF'
+{"v":1,"op":"submit","tenant":"a","job":{"kind":"dgemm","n":512,"tiles":2,"seed":1}}
+{"v":1,"op":"submit","tenant":"a","job":{"kind":"dgemm","n":512,"tiles":2,"seed":2}}
+{"v":1,"op":"submit","tenant":"b","job":{"kind":"dgemm","n":512,"tiles":2,"seed":3}}
+{"v":1,"op":"submit","tenant":"b","job":{"kind":"dgemm","n":512,"tiles":2,"seed":4}}
+EOF
+timeout 60 "$daemon" client --socket "$sock" --hangup --idem chaos <"$burst"
+
+# Kill the worker the moment all four accepts are journaled: the WAL
+# is the ground truth for "the daemon owns these jobs".
+journaled=0
+for _ in $(seq 1 400); do
+  n=$(wc -l <"$wal" 2>/dev/null || echo 0)
+  if [ "$n" -ge 4 ]; then journaled=1; break; fi
+  sleep 0.02
+done
+if [ "$journaled" -ne 1 ]; then
+  echo "chaos: accepts never reached the journal"
+  cat "$tmp/daemon.err"
+  exit 1
+fi
+kill -9 "$wpid" 2>/dev/null
+echo "chaos: worker SIGKILLed mid-burst"
+
+# The supervisor must fork a fresh worker (new pid) that reclaims the
+# stale socket and replays the journal.
+newpid=
+for _ in $(seq 1 400); do
+  np=$(cat "$pidf" 2>/dev/null)
+  if [ -n "$np" ] && [ "$np" != "$wpid" ] && kill -0 "$np" 2>/dev/null; then
+    newpid=$np
+    break
+  fi
+  sleep 0.02
+done
+if [ -z "$newpid" ]; then
+  echo "chaos: supervisor never restarted the worker"
+  cat "$tmp/daemon.err"
+  exit 1
+fi
+echo "chaos: supervisor restarted the worker"
+
+# Resubmit the whole burst with the SAME keys over a reconnecting
+# client, then run + stats.  Dedup + replay must yield exactly one
+# DONE per key, all ok, regardless of how far the first incarnation
+# got before the kill.
+session=$( (cat "$burst"; printf '{"v":1,"op":"run"}\n{"v":1,"op":"stats"}\n') |
+  timeout 120 "$daemon" client --socket "$sock" --idem chaos \
+    --retry 8 --backoff-ms 25)
+check "resubmitted burst admitted" "$session" '"re":"accepted"'
+accepted=$(printf '%s\n' "$session" | grep -c '"re":"accepted"')
+dones=$(printf '%s\n' "$session" | grep -c '"re":"done"')
+okdones=$(printf '%s\n' "$session" | grep -c '"re":"done".*"status":"ok"')
+ids=$(printf '%s\n' "$session" | grep -o '"re":"done","id":[0-9]*' |
+  sort -u | wc -l)
+if [ "$accepted" -eq 4 ] && [ "$dones" -eq 4 ] && [ "$okdones" -eq 4 ] &&
+  [ "$ids" -eq 4 ]; then
+  echo "chaos: every key completed exactly once (4 distinct DONEs, all ok)"
+else
+  echo "chaos: exactly-once violated (accepted=$accepted dones=$dones ok=$okdones distinct_ids=$ids)"
+  printf '%s\n' "$session" | sed 's/^/  | /'
+  bad=1
+fi
+
+err=$(cat "$tmp/daemon.err")
+check "journal replayed on restart" "$err" '# journal: replayed'
+check "supervisor logged the restart" "$err" '# supervisor: worker died'
+
+# Connection chaos against the restarted daemon: a garbage frame draws
+# a structured error, and the daemon survives to answer a ping.
+session2=$(printf '{not json\n{"v":1,"op":"ping"}\n' |
+  timeout 60 "$daemon" client --socket "$sock" --raw)
+check "garbage frame draws a structured error" "$session2" \
+  '"re":"error","code":"parse"'
+check "daemon alive after garbage" "$session2" '"re":"pong"'
+
+# Graceful end: SIGTERM the supervisor; it forwards to the worker,
+# which drains, journals, unlinks the socket and exits 0.
+kill -TERM "$pid"
+wait "$pid"
+rc=$?
+pid=
+if [ "$rc" -ne 0 ]; then
+  echo "chaos: supervised drain exited rc=$rc"
+  cat "$tmp/daemon.err"
+  bad=1
+else
+  echo "chaos: supervised drain exited cleanly"
+fi
+if [ -e "$sock" ]; then
+  echo "chaos: socket not unlinked on drain"
+  bad=1
+else
+  echo "chaos: socket unlinked on drain"
+fi
+if grep -q '"r":"done"' "$wal"; then
+  echo "chaos: completions reached the journal"
+else
+  echo "chaos: no completion records in the journal"
+  bad=1
+fi
+
+exit $bad

@@ -57,17 +57,33 @@ let gen_trace =
           (int_range 1 0xFFFFFF);
       ])
 
+(* Idempotency keys over the full legal alphabet, absent half the
+   time so both codec paths run. *)
+let gen_idem =
+  QCheck.Gen.(
+    oneof
+      [
+        return None;
+        map Option.some
+          (string_size
+             ~gen:
+               (oneofl
+                  [ 'a'; 'Z'; 'm'; '0'; '9'; '-'; '_'; '.'; ':' ])
+             (int_range 1 P.max_idem_len));
+      ])
+
 let gen_request =
   QCheck.Gen.(
     oneof
       [
-        map2
-          (fun (tenant, job) (deadline_ms, trace) ->
-            P.Submit { tenant; job; deadline_ms; trace })
+        map3
+          (fun (tenant, job) (deadline_ms, trace) idem ->
+            P.Submit { tenant; job; deadline_ms; idem; trace })
           (pair gen_tenant gen_job)
           (pair
              (oneof [ return None; map (fun f -> Some (Float.abs f)) pfloat ])
-             gen_trace);
+             gen_trace)
+          gen_idem;
         return P.Run;
         return P.Stats;
         map
@@ -674,20 +690,432 @@ let flow_chain =
       && List.exists (has_prefix "exec:") bound_names)
 
 (* ------------------------------------------------------------------ *)
+(* Backward compatibility: the pre-durability wire dialect             *)
+
+let compat_tests =
+  [
+    Alcotest.test_case "keyless submits encode byte-identically to the \
+                        pre-durability dialect" `Quick (fun () ->
+        (* an old-style client's frames must be exactly what the new
+           encoder produces when idem is absent, so replaying a PR 9
+           transcript against the new daemon is a no-op diff *)
+        let old =
+          "{\"v\":1,\"op\":\"submit\",\"tenant\":\"a\",\"job\":{\"kind\":\"dgemm\",\"n\":32,\"tiles\":2,\"seed\":7}}"
+        in
+        let req =
+          P.Submit
+            {
+              tenant = "a";
+              job = P.Dgemm { n = 32; tiles = 2; seed = 7 };
+              deadline_ms = None;
+              idem = None;
+              trace = None;
+            }
+        in
+        check Alcotest.string "identical bytes" old (P.request_to_string req);
+        check bool_ "identical decode" true
+          (P.request_of_string old = Ok req));
+    Alcotest.test_case "valid keys round-trip; malformed keys draw \
+                        bad-request" `Quick (fun () ->
+        let submit_with idem =
+          Printf.sprintf
+            "{\"v\":1,\"op\":\"submit\",\"tenant\":\"a\",\"job\":{\"kind\":\"dgemm\",\"n\":32,\"tiles\":2,\"seed\":7},\"idem\":%s}"
+            idem
+        in
+        (match P.request_of_string (submit_with "\"req-1.a:b_C\"") with
+        | Ok (P.Submit { idem = Some "req-1.a:b_C"; _ }) -> ()
+        | _ -> Alcotest.fail "legal key refused");
+        let bad idem =
+          match P.request_of_string (submit_with idem) with
+          | Error { P.e_code = P.Bad_request; _ } -> ()
+          | _ -> Alcotest.failf "malformed key admitted: %s" idem
+        in
+        bad "\"\"";
+        bad "\"has space\"";
+        bad "\"nul\\u0000key\"";
+        bad (Printf.sprintf "%S" (String.make (P.max_idem_len + 1) 'a'));
+        bad "42");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Idempotency: the daemon-side dedup window                           *)
+
+let submit_done svc ~tenant ?idem job =
+  ignore (Service.submit svc ~tenant ?idem job);
+  List.filter_map
+    (function P.Done _ as d -> Some d | _ -> None)
+    (Service.run_until_idle svc)
+
+let idem_tests =
+  [
+    Alcotest.test_case "a pending key replays ACCEPTED with the original id"
+      `Quick (fun () ->
+        let svc =
+          Service.create ~shards:1 ~now:(fun () -> 0.0) (cfg_of "xeon-2gpu")
+        in
+        let r1 = Service.submit svc ~tenant:"a" ~idem:"k1" (gjob 1) in
+        let r2 = Service.submit svc ~tenant:"a" ~idem:"k1" (gjob 1) in
+        let id1 =
+          match r1 with P.Accepted { id; _ } -> id | _ -> Alcotest.fail "r1"
+        in
+        (match r2 with
+        | P.Accepted { id; _ } -> check int_ "same id" id1 id
+        | _ -> Alcotest.fail "retry not accepted");
+        check bool_ "no replay owed while pending" true
+          (Service.take_replays svc = []);
+        check int_ "exactly one copy enqueued" 1
+          (match Service.stats svc with
+          | [ row ] -> row.P.tr_submitted
+          | _ -> -1));
+    Alcotest.test_case "a completed key replays the cached DONE verbatim"
+      `Quick (fun () ->
+        let svc =
+          Service.create ~shards:1 ~now:(fun () -> 0.0) (cfg_of "xeon-2gpu")
+        in
+        let dones = submit_done svc ~tenant:"a" ~idem:"k1" (gjob 1) in
+        let original =
+          match dones with [ d ] -> d | _ -> Alcotest.fail "one done"
+        in
+        let r = Service.submit svc ~tenant:"a" ~idem:"k1" (gjob 1) in
+        (match (r, original) with
+        | P.Accepted { id; _ }, P.Done { id = oid; _ } ->
+            check int_ "original id echoed" oid id
+        | _ -> Alcotest.fail "retry not accepted");
+        (match Service.take_replays svc with
+        | [ replay ] ->
+            check Alcotest.string "bit-identical DONE"
+              (P.reply_to_string original)
+              (P.reply_to_string replay)
+        | l -> Alcotest.failf "expected one replay, got %d" (List.length l));
+        check bool_ "the job never re-ran" true
+          (Service.run_until_idle svc = []);
+        (* dedup wins over draining: a retry mid-drain still replays *)
+        ignore (Service.drain svc ());
+        match Service.submit svc ~tenant:"a" ~idem:"k1" (gjob 1) with
+        | P.Accepted _ -> ()
+        | _ -> Alcotest.fail "retry during drain refused");
+    Alcotest.test_case "keys are tenant-scoped" `Quick (fun () ->
+        let svc =
+          Service.create ~shards:1 ~now:(fun () -> 0.0) (cfg_of "xeon-2gpu")
+        in
+        ignore (submit_done svc ~tenant:"a" ~idem:"k" (gjob 1));
+        (* the same key from another tenant is fresh work *)
+        let dones = submit_done svc ~tenant:"b" ~idem:"k" (gjob 1) in
+        check int_ "b's job ran" 1 (List.length dones));
+    Alcotest.test_case "an invalid key on the direct API is a bad request"
+      `Quick (fun () ->
+        let svc =
+          Service.create ~shards:1 ~now:(fun () -> 0.0) (cfg_of "xeon-2gpu")
+        in
+        match Service.submit svc ~tenant:"a" ~idem:"not ok" (gjob 1) with
+        | P.Error { code = P.Bad_request; _ } -> ()
+        | _ -> Alcotest.fail "invalid key admitted");
+    Alcotest.test_case "the completed-key window is bounded" `Quick (fun () ->
+        let svc =
+          Service.create ~shards:1 ~dedup_cap:2 ~now:(fun () -> 0.0)
+            (cfg_of "xeon-2gpu")
+        in
+        ignore (submit_done svc ~tenant:"a" ~idem:"k1" (gjob 1));
+        ignore (submit_done svc ~tenant:"a" ~idem:"k2" (gjob 2));
+        ignore (submit_done svc ~tenant:"a" ~idem:"k3" (gjob 3));
+        (* k1 evicted: its retry is fresh work, not a replay *)
+        ignore (Service.submit svc ~tenant:"a" ~idem:"k1" (gjob 1));
+        check bool_ "no cached reply for the evicted key" true
+          (Service.take_replays svc = []);
+        check bool_ "the resubmitted job runs" true
+          (Service.run_until_idle svc <> []));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Journal: the WAL's codec, torn tails, and replay                    *)
+
+module Journal = Serve.Journal
+
+let tmp_journal () =
+  Filename.temp_file "cascabel_test_journal" ".wal"
+
+let write_raw path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let mk_accept ?(id = 1) ?(tenant = "a") ?idem ?trace ?deadline_ms job =
+  Journal.Accept
+    {
+      Journal.a_id = id;
+      a_tenant = tenant;
+      a_job = job;
+      a_deadline_ms = deadline_ms;
+      a_idem = idem;
+      a_trace = trace;
+    }
+
+let mk_done ?(id = 1) ?(tenant = "a") ?idem () =
+  Journal.Complete
+    {
+      c_idem = idem;
+      c_reply =
+        P.Done
+          {
+            id;
+            tenant;
+            latency_ms = 1.5;
+            status =
+              P.Jok
+                {
+                  makespan_s = 0.25;
+                  checksum = "00ff";
+                  tasks = 4;
+                  coalesced = false;
+                  shard = 0;
+                };
+            trace = None;
+          };
+    }
+
+let journal_tests =
+  [
+    Alcotest.test_case "recover pairs accepts with completions" `Quick
+      (fun () ->
+        let path = tmp_journal () in
+        let j = Journal.open_append path in
+        Journal.append j (mk_accept ~id:1 ~idem:"k1" (gjob 1));
+        Journal.append j (mk_accept ~id:2 (gjob 2));
+        Journal.append j (mk_done ~id:1 ~idem:"k1" ());
+        Journal.close j;
+        let r = Journal.recover path in
+        Sys.remove path;
+        check bool_ "not torn" false r.Journal.r_torn;
+        check int_ "all records read" 3 r.Journal.r_entries;
+        check int_ "ids continue past the journal" 2 r.Journal.r_next_id;
+        (match r.Journal.r_pending with
+        | [ a ] -> check int_ "job 2 still pending" 2 a.Journal.a_id
+        | l -> Alcotest.failf "expected one pending, got %d" (List.length l));
+        match r.Journal.r_completed with
+        | [ (tenant, key, P.Done { id; _ }) ] ->
+            check Alcotest.string "tenant" "a" tenant;
+            check Alcotest.string "key" "k1" key;
+            check int_ "id" 1 id
+        | _ -> Alcotest.fail "expected one completed key");
+    Alcotest.test_case "a torn tail is discarded, the prefix survives"
+      `Quick (fun () ->
+        let path = tmp_journal () in
+        let l1 = Journal.entry_to_line (mk_accept ~id:1 (gjob 1)) in
+        let l2 = Journal.entry_to_line (mk_accept ~id:2 (gjob 2)) in
+        (* cut the second record mid-payload, no trailing newline *)
+        write_raw path (l1 ^ String.sub l2 0 (String.length l2 - 7));
+        let r = Journal.recover path in
+        Sys.remove path;
+        check bool_ "torn" true r.Journal.r_torn;
+        check int_ "prefix record kept" 1 r.Journal.r_entries;
+        check int_ "job 1 pending" 1 (List.length r.Journal.r_pending));
+    Alcotest.test_case "appending after a torn tail never hides new records"
+      `Quick (fun () ->
+        (* a naive append would glue the next record onto the torn
+           bytes; since replay stops at the first bad line, every
+           record of the new incarnation would then be invisible to
+           the incarnation after it.  open_append must drop the torn
+           bytes first. *)
+        let path = tmp_journal () in
+        let l1 = Journal.entry_to_line (mk_accept ~id:1 (gjob 1)) in
+        let l2 = Journal.entry_to_line (mk_accept ~id:2 (gjob 2)) in
+        write_raw path (l1 ^ String.sub l2 0 (String.length l2 - 7));
+        let j = Journal.open_append path in
+        Journal.append j (mk_done ~id:1 ());
+        Journal.close j;
+        let entries, torn = Journal.replay path in
+        Sys.remove path;
+        check bool_ "clean after the torn tail was dropped" false torn;
+        check int_ "prefix plus the new record" 2 (List.length entries);
+        check bool_ "the new completion is readable" true
+          (match List.rev entries with
+          | Journal.Complete _ :: _ -> true
+          | _ -> false));
+    Alcotest.test_case "a corrupted byte fails the CRC, not the daemon"
+      `Quick (fun () ->
+        let path = tmp_journal () in
+        let line = Journal.entry_to_line (mk_accept ~id:1 (gjob 1)) in
+        let b = Bytes.of_string line in
+        (* flip one payload byte; the stored CRC now disagrees *)
+        Bytes.set b 12 (Char.chr (Char.code (Bytes.get b 12) lxor 1));
+        write_raw path (Bytes.to_string b);
+        let r = Journal.recover path in
+        Sys.remove path;
+        check bool_ "torn" true r.Journal.r_torn;
+        check int_ "nothing recovered" 0 r.Journal.r_entries);
+    Alcotest.test_case "an over-cap job cannot be smuggled via the journal"
+      `Quick (fun () ->
+        (* the embedded request runs through the protocol decoder, so
+           admission caps hold even against a hand-edited journal *)
+        let huge =
+          "{\"v\":1,\"op\":\"submit\",\"tenant\":\"a\",\"job\":{\"kind\":\"dgemm\",\"n\":20000000,\"tiles\":2,\"seed\":1}}"
+        in
+        let payload =
+          Printf.sprintf "{\"r\":\"accept\",\"id\":1,\"req\":%s}"
+            (P.json_string huge)
+        in
+        let line = Printf.sprintf "%08x %s" (Journal.crc32 payload) payload in
+        match Journal.entry_of_line line with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "over-cap accept decoded");
+    Alcotest.test_case "restore re-runs pending work bit-identically" `Quick
+      (fun () ->
+        (* run a reference service; then simulate a crash after accept
+           by journaling accepts only, and compare checksums *)
+        let job = P.Dgemm { n = 48; tiles = 3; seed = 11 } in
+        let checksum_of dones =
+          List.filter_map
+            (function
+              | P.Done { status = P.Jok { checksum; _ }; _ } -> Some checksum
+              | _ -> None)
+            dones
+        in
+        let reference =
+          let svc =
+            Service.create ~shards:1 ~now:(fun () -> 0.0)
+              (cfg_of "xeon-2gpu")
+          in
+          checksum_of (submit_done svc ~tenant:"a" job)
+        in
+        let path = tmp_journal () in
+        let j = Journal.open_append path in
+        Journal.append j (mk_accept ~id:7 ~tenant:"a" ~idem:"k" job);
+        Journal.close j;
+        let svc =
+          Service.create ~shards:1 ~now:(fun () -> 0.0) (cfg_of "xeon-2gpu")
+        in
+        Service.restore svc (Journal.recover path);
+        Sys.remove path;
+        let dones =
+          List.filter_map
+            (function P.Done _ as d -> Some d | _ -> None)
+            (Service.run_until_idle svc)
+        in
+        check bool_ "recovered result bit-identical" true
+          (checksum_of dones = reference);
+        (match dones with
+        | [ P.Done { id; _ } ] -> check int_ "journaled id kept" 7 id
+        | _ -> Alcotest.fail "expected one done");
+        (* the recovered completion seeds the dedup window *)
+        ignore (Service.submit svc ~tenant:"a" ~idem:"k" job);
+        check int_ "retry replays instead of re-running" 1
+          (List.length (Service.take_replays svc)));
+    Alcotest.test_case "restore never resurrects a completed job" `Quick
+      (fun () ->
+        let path = tmp_journal () in
+        let j = Journal.open_append path in
+        Journal.append j (mk_accept ~id:1 ~idem:"k" (gjob 1));
+        Journal.append j (mk_done ~id:1 ~idem:"k" ());
+        Journal.close j;
+        let svc =
+          Service.create ~shards:1 ~now:(fun () -> 0.0) (cfg_of "xeon-2gpu")
+        in
+        Service.restore svc (Journal.recover path);
+        Sys.remove path;
+        check bool_ "nothing to run" false (Service.has_work svc);
+        ignore (Service.submit svc ~tenant:"a" ~idem:"k" (gjob 1));
+        check int_ "the cached DONE replays across the restart" 1
+          (List.length (Service.take_replays svc)));
+  ]
+
+(* Arbitrary journal histories: accepts with optional completions, in
+   acceptance order, with idempotency keys and hostile tenant names. *)
+let gen_history =
+  QCheck.Gen.(
+    list_size (int_range 0 12)
+      (map3
+         (fun (tenant, job) idem completed -> (tenant, job, idem, completed))
+         (pair gen_tenant gen_job)
+         gen_idem bool))
+
+let arb_history =
+  QCheck.make
+    ~print:(fun h ->
+      String.concat ";"
+        (List.map
+           (fun (t, _, i, c) ->
+             Printf.sprintf "(%S,%s,%b)" t
+               (match i with None -> "-" | Some k -> k)
+               c)
+           h))
+    gen_history
+
+let history_entries h =
+  List.concat
+    (List.mapi
+       (fun i (tenant, job, idem, completed) ->
+         let id = i + 1 in
+         mk_accept ~id ~tenant ?idem job
+         :: (if completed then [ mk_done ~id ~tenant ?idem () ] else []))
+       h)
+
+let journal_roundtrip =
+  QCheck.Test.make ~name:"journal replay inverts append" ~count:100
+    arb_history (fun h ->
+      let entries = history_entries h in
+      let path = tmp_journal () in
+      let j = Journal.open_append path in
+      List.iter (Journal.append j) entries;
+      Journal.close j;
+      let read, torn = Journal.replay path in
+      Sys.remove path;
+      (not torn) && read = entries)
+
+let journal_truncation_safe =
+  QCheck.Test.make
+    ~name:"truncation at any offset never raises, never resurrects"
+    ~count:100
+    QCheck.(pair arb_history (int_range 0 10_000))
+    (fun (h, cut) ->
+      let entries = history_entries h in
+      let bytes = String.concat "" (List.map Journal.entry_to_line entries) in
+      let cut = min cut (String.length bytes) in
+      let path = tmp_journal () in
+      write_raw path (String.sub bytes 0 cut);
+      let r = Journal.recover path in
+      (* completions whose record survived the cut, by construction of
+         the framed byte stream *)
+      let surviving_done_ids =
+        let read, _ = Journal.replay path in
+        List.filter_map
+          (function
+            | Journal.Complete { c_reply = P.Done { id; _ }; _ } ->
+                Some id
+            | _ -> None)
+          read
+      in
+      Sys.remove path;
+      let pending_ids =
+        List.map (fun a -> a.Journal.a_id) r.Journal.r_pending
+      in
+      let all_ids = List.mapi (fun i _ -> i + 1) h in
+      (cut = String.length bytes && not r.Journal.r_torn
+      || cut < String.length bytes)
+      && List.for_all (fun id -> List.mem id all_ids) pending_ids
+      && List.for_all
+           (fun id -> not (List.mem id pending_ids))
+           surviving_done_ids
+      && List.length (List.sort_uniq compare pending_ids)
+         = List.length pending_ids)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "serve"
     [
       ("protocol", protocol_tests);
+      ("compat", compat_tests);
+      ("idempotency", idem_tests);
+      ("journal", journal_tests);
       ("service", service_tests);
       ("trace", trace_tests);
       ( "properties",
         qt
           [
             request_roundtrip; reply_roundtrip; decode_total;
-            framing_roundtrip; shard_partition; engine_interleave;
-            flow_chain;
+            framing_roundtrip; journal_roundtrip; journal_truncation_safe;
+            shard_partition; engine_interleave; flow_chain;
           ]
       );
     ]

@@ -191,6 +191,31 @@ let persistence_tests =
         check bool_ "warned" true (warn <> None);
         check int_ "cold" 0 (Store.total_samples l);
         Sys.remove (Store.path s));
+    Alcotest.test_case "crash mid-save: truncated store loads cold, next \
+                        save overwrites cleanly" `Quick (fun () ->
+        (* simulate the torn-write window save's fsync+rename guards
+           against: a complete-looking CALIB_<hash>.json holding only a
+           prefix of the bytes *)
+        let s = populated () in
+        let json = Store.to_json_string s in
+        write_file (Store.path s) (String.sub json 0 (String.length json / 2));
+        let l, warn =
+          Store.load ~pdl_hash:(Store.pdl_hash s)
+            ~platform:(Store.platform s) ()
+        in
+        check bool_ "torn file warns" true (warn <> None);
+        check int_ "torn file loads as empty" 0 (Store.total_samples l);
+        (* recovery: repopulate and save over the torn file *)
+        Store.observe l ~codelet:"dgemm" ~pu:"cpu0" ~flops:1e9 ~seconds:0.5;
+        Store.save l;
+        let l2, warn2 =
+          Store.load ~pdl_hash:(Store.pdl_hash s)
+            ~platform:(Store.platform s) ()
+        in
+        check (Alcotest.option string_) "clean after re-save" None warn2;
+        check int_ "re-saved samples load" (Store.total_samples l)
+          (Store.total_samples l2);
+        Sys.remove (Store.path s));
   ]
 
 let truncation_never_crashes =
